@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **store-event machinery** — the MiniC VM can report every memory
+//!   store (the watchpoint hook). What does the *mechanism* cost when
+//!   enabled, isolated from the tracker stack?
+//! * **trace-hook overhead** — the MiniPy interpreter calls a tracer at
+//!   every line. How much does a no-op hook cost relative to a
+//!   line-counting hook (the cheapest useful tracker)?
+//! * **whole-block heap rendering** — inspecting a heap array with
+//!   element rendering capped vs full (`InspectOptions::max_elems`).
+
+use bench::{c_heap, c_loop, py_loop};
+use criterion::{criterion_group, criterion_main, Criterion};
+use minipy::{TraceAction, TraceCtx, TraceEvent, Tracer};
+use std::hint::black_box;
+
+fn store_events_ablation(c: &mut Criterion) {
+    let program = minic::compile("abl.c", &c_loop(100)).unwrap();
+    let mut g = c.benchmark_group("ablation_store_events");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut vm = minic::vm::Vm::new(&program);
+            black_box(vm.run_to_completion().unwrap())
+        })
+    });
+    g.bench_function("enabled_drained", |b| {
+        b.iter(|| {
+            let mut vm = minic::vm::Vm::new(&program);
+            vm.set_store_events(true);
+            loop {
+                match vm.step().unwrap() {
+                    minic::vm::Event::Exited(code) => break black_box(code),
+                    _ => continue,
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+struct CountingTracer(u64);
+
+impl Tracer for CountingTracer {
+    fn trace(&mut self, event: &TraceEvent, _ctx: &TraceCtx<'_>) -> TraceAction {
+        if matches!(event, TraceEvent::Line { .. }) {
+            self.0 += 1;
+        }
+        TraceAction::Continue
+    }
+}
+
+fn trace_hook_ablation(c: &mut Criterion) {
+    let src = py_loop(100);
+    let mut g = c.benchmark_group("ablation_trace_hook");
+    g.sample_size(10);
+    g.bench_function("null_hook", |b| {
+        b.iter(|| black_box(minipy::run_source(&src, &mut minipy::NullTracer).unwrap()))
+    });
+    g.bench_function("counting_hook", |b| {
+        b.iter(|| {
+            let mut t = CountingTracer(0);
+            minipy::run_source(&src, &mut t).unwrap();
+            black_box(t.0)
+        })
+    });
+    g.finish();
+}
+
+fn heap_render_ablation(c: &mut Criterion) {
+    // Pause a VM holding a 512-element heap array, then inspect with
+    // different element caps.
+    let program = minic::compile("abl.c", &c_heap(512)).unwrap();
+    let mut vm = minic::vm::Vm::new(&program);
+    loop {
+        match vm.step().unwrap() {
+            minic::vm::Event::Line(6) => break, // `int done = 1;`
+            minic::vm::Event::Exited(_) => panic!("missed the pause line"),
+            _ => {}
+        }
+    }
+    let mut g = c.benchmark_group("ablation_heap_render_cap");
+    g.sample_size(10);
+    for cap in [8usize, 64, 512] {
+        let opts = minic::inspect::InspectOptions {
+            max_elems: cap,
+            ..Default::default()
+        };
+        g.bench_function(format!("cap_{cap}"), |b| {
+            b.iter(|| black_box(minic::inspect::current_frame_with(&vm, opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, store_events_ablation, trace_hook_ablation, heap_render_ablation);
+criterion_main!(benches);

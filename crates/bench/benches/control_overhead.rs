@@ -1,0 +1,93 @@
+//! Control-granularity overhead (paper §II-C2 and §V).
+//!
+//! The paper states that (a) watchpoints in the Python tracker force
+//! line-by-line single stepping, slowing execution "a lot", and (b)
+//! control cost scales with the number of control/introspection points,
+//! like any debugger. This bench measures, per tracker:
+//!
+//! * `uncontrolled` — the raw engine with no tracker at all;
+//! * `resume` — tracker attached, zero control points;
+//! * `step_all` — pause at every line;
+//! * `watch1` — one watchpoint (forces per-store / per-line checks).
+//!
+//! Expected shape: `uncontrolled < resume << step_all ≈ watch1`.
+
+use bench::{c_loop, c_tracker, py_loop, py_tracker, run_resume, run_step_all, run_with_watch};
+use easytracker::Tracker as _;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const ITERS: u32 = 60;
+
+fn minic_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_overhead_minic");
+    g.sample_size(10);
+    let src = c_loop(ITERS);
+
+    let program = minic::compile("bench.c", &src).unwrap();
+    g.bench_function("uncontrolled", |b| {
+        b.iter(|| {
+            let mut vm = minic::vm::Vm::new(&program);
+            black_box(vm.run_to_completion().unwrap())
+        })
+    });
+    g.bench_function("resume", |b| {
+        b.iter(|| {
+            let mut t = c_tracker(&src);
+            run_resume(&mut t);
+            t.terminate();
+        })
+    });
+    g.bench_function("step_all", |b| {
+        b.iter(|| {
+            let mut t = c_tracker(&src);
+            black_box(run_step_all(&mut t));
+            t.terminate();
+        })
+    });
+    g.bench_function("watch1", |b| {
+        b.iter(|| {
+            let mut t = c_tracker(&src);
+            black_box(run_with_watch(&mut t, "acc"));
+            t.terminate();
+        })
+    });
+    g.finish();
+}
+
+fn minipy_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_overhead_minipy");
+    g.sample_size(10);
+    let src = py_loop(ITERS);
+
+    g.bench_function("uncontrolled", |b| {
+        b.iter(|| {
+            black_box(minipy::run_source(&src, &mut minipy::NullTracer).unwrap());
+        })
+    });
+    g.bench_function("resume", |b| {
+        b.iter(|| {
+            let mut t = py_tracker(&src);
+            run_resume(&mut t);
+            t.terminate();
+        })
+    });
+    g.bench_function("step_all", |b| {
+        b.iter(|| {
+            let mut t = py_tracker(&src);
+            black_box(run_step_all(&mut t));
+            t.terminate();
+        })
+    });
+    g.bench_function("watch1", |b| {
+        b.iter(|| {
+            let mut t = py_tracker(&src);
+            black_box(run_with_watch(&mut t, "acc"));
+            t.terminate();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, minic_group, minipy_group);
+criterion_main!(benches);

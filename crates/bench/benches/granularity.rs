@@ -1,0 +1,85 @@
+//! Pause-granularity sweep (paper Fig. 8's workload): on a recursion-heavy
+//! program, pausing only at tracked-function boundaries must be far
+//! cheaper than stepping every line — that is why the recursion tool uses
+//! `track_function` + `resume` instead of stepping.
+
+use bench::{c_fib, c_tracker, py_fib, py_tracker, run_step_all};
+use criterion::{criterion_group, criterion_main, Criterion};
+use easytracker::{PauseReason, Tracker};
+use std::hint::black_box;
+
+fn run_tracked(tracker: &mut dyn Tracker, function: &str) -> u64 {
+    tracker.track_function(function, None).expect("track");
+    tracker.start().expect("start");
+    let mut events = 0;
+    loop {
+        match tracker.resume().expect("resume") {
+            PauseReason::Exited(_) => return events,
+            _ => events += 1,
+        }
+    }
+}
+
+fn run_tracked_maxdepth(tracker: &mut dyn Tracker, function: &str, maxdepth: u32) -> u64 {
+    tracker.track_function(function, Some(maxdepth)).expect("track");
+    tracker.start().expect("start");
+    let mut events = 0;
+    loop {
+        match tracker.resume().expect("resume") {
+            PauseReason::Exited(_) => return events,
+            _ => events += 1,
+        }
+    }
+}
+
+fn granularity(c: &mut Criterion) {
+    const N: u32 = 10;
+
+    let mut g = c.benchmark_group("granularity_minic_fib10");
+    g.sample_size(10);
+    let c_src = c_fib(N);
+    g.bench_function("step_every_line", |b| {
+        b.iter(|| {
+            let mut t = c_tracker(&c_src);
+            black_box(run_step_all(&mut t));
+            t.terminate();
+        })
+    });
+    g.bench_function("track_function", |b| {
+        b.iter(|| {
+            let mut t = c_tracker(&c_src);
+            black_box(run_tracked(&mut t, "fib"));
+            t.terminate();
+        })
+    });
+    g.bench_function("track_function_maxdepth2", |b| {
+        b.iter(|| {
+            let mut t = c_tracker(&c_src);
+            black_box(run_tracked_maxdepth(&mut t, "fib", 2));
+            t.terminate();
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("granularity_minipy_fib10");
+    g.sample_size(10);
+    let py_src = py_fib(N);
+    g.bench_function("step_every_line", |b| {
+        b.iter(|| {
+            let mut t = py_tracker(&py_src);
+            black_box(run_step_all(&mut t));
+            t.terminate();
+        })
+    });
+    g.bench_function("track_function", |b| {
+        b.iter(|| {
+            let mut t = py_tracker(&py_src);
+            black_box(run_tracked(&mut t, "fib"));
+            t.terminate();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, granularity);
+criterion_main!(benches);

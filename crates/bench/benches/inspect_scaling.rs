@@ -1,0 +1,93 @@
+//! Inspection-cost scaling (paper Fig. 6 workloads): the cost of
+//! `get_state` as the stack gets deeper and the heap gets bigger, for the
+//! out-of-process (machine-interface, serializing) tracker vs the
+//! in-process (thread snapshot) tracker. This is the quantitative
+//! motivation for the paper's two-implementation design: in-process
+//! inspection is much cheaper, which is why the Python tracker lives in
+//! the inferior's interpreter.
+
+use bench::{c_deep, c_heap, c_tracker, py_deep, py_heap, py_tracker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use easytracker::{PauseReason, Tracker};
+use std::hint::black_box;
+
+/// Pauses a tracker at the bottom of the `down` recursion.
+fn pause_deep(tracker: &mut dyn Tracker) {
+    tracker.break_before_func("down", None).expect("bp");
+    tracker.start().expect("start");
+    loop {
+        match tracker.resume().expect("resume") {
+            PauseReason::Breakpoint { .. }
+                if tracker.get_current_frame().expect("frame").depth() > 0 => {
+                    // Keep resuming until the innermost call.
+                }
+            PauseReason::Exited(_) => panic!("should pause before exit"),
+            _ => {}
+        }
+        let frame = tracker.get_current_frame().expect("frame");
+        if let Some(v) = frame.variable("n") {
+            if state::render_value(v.value().deref_fully()) == "0" {
+                return;
+            }
+        }
+    }
+}
+
+/// Pauses a tracker at the line after the heap array is built.
+fn pause_after_heap(tracker: &mut dyn Tracker, line: u32) {
+    tracker.break_before_line(line).expect("bp");
+    tracker.start().expect("start");
+    loop {
+        match tracker.resume().expect("resume") {
+            PauseReason::Breakpoint { .. } => return,
+            PauseReason::Exited(_) => panic!("should pause before exit"),
+            _ => {}
+        }
+    }
+}
+
+fn stack_depth_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inspect_vs_stack_depth");
+    g.sample_size(10);
+    for depth in [2u32, 8, 24] {
+        let mut mi = c_tracker(&c_deep(depth));
+        pause_deep(&mut mi);
+        g.bench_with_input(BenchmarkId::new("mi_tracker", depth), &depth, |b, _| {
+            b.iter(|| black_box(mi.get_state().unwrap()))
+        });
+        mi.terminate();
+
+        let mut py = py_tracker(&py_deep(depth));
+        pause_deep(&mut py);
+        g.bench_with_input(BenchmarkId::new("py_tracker", depth), &depth, |b, _| {
+            b.iter(|| black_box(py.get_state().unwrap()))
+        });
+        py.terminate();
+    }
+    g.finish();
+}
+
+fn heap_size_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inspect_vs_heap_size");
+    g.sample_size(10);
+    for n in [8u32, 64, 256] {
+        // `int done = 1;` is line 6 in c_heap, `done = 1` line 4 in py_heap.
+        let mut mi = c_tracker(&c_heap(n));
+        pause_after_heap(&mut mi, 6);
+        g.bench_with_input(BenchmarkId::new("mi_tracker", n), &n, |b, _| {
+            b.iter(|| black_box(mi.get_state().unwrap()))
+        });
+        mi.terminate();
+
+        let mut py = py_tracker(&py_heap(n));
+        pause_after_heap(&mut py, 4);
+        g.bench_with_input(BenchmarkId::new("py_tracker", n), &n, |b, _| {
+            b.iter(|| black_box(py.get_state().unwrap()))
+        });
+        py.terminate();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, stack_depth_scaling, heap_size_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Machine-interface costs (paper Fig. 4): command round-trip latency
+//! through the serialized transport, and the serialization cost of
+//! program-state snapshots of growing size — the price the GDB-style
+//! architecture pays for process isolation.
+
+use bench::{c_heap, c_tracker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use easytracker::{PauseReason, Tracker};
+use state::ProgramState;
+use std::hint::black_box;
+
+fn command_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mi_command_roundtrip");
+    g.sample_size(20);
+    let mut t = c_tracker("int main() {\nint x = 0;\nreturn x;\n}");
+    t.start().unwrap();
+    g.bench_function("get_exit_code", |b| {
+        b.iter(|| black_box(t.get_exit_code()))
+    });
+    g.bench_function("get_variable", |b| {
+        b.iter(|| black_box(t.get_variable("x").unwrap()))
+    });
+    g.finish();
+    t.terminate();
+}
+
+fn state_snapshot(tracker_src: &str, bp_line: u32) -> ProgramState {
+    let mut t = c_tracker(tracker_src);
+    t.break_before_line(bp_line).unwrap();
+    t.start().unwrap();
+    loop {
+        match t.resume().unwrap() {
+            PauseReason::Breakpoint { .. } => break,
+            PauseReason::Exited(_) => panic!("no pause"),
+            _ => {}
+        }
+    }
+    let st = t.get_state().unwrap();
+    t.terminate();
+    st
+}
+
+fn state_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_serialize");
+    g.sample_size(20);
+    for n in [8u32, 64, 256] {
+        let st = state_snapshot(&c_heap(n), 6);
+        let json = serde_json::to_string(&st).unwrap();
+        println!("state with {n}-element heap array: {} bytes serialized", json.len());
+        g.bench_with_input(BenchmarkId::new("encode", n), &st, |b, st| {
+            b.iter(|| black_box(serde_json::to_string(st).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", n), &json, |b, json| {
+            b.iter(|| black_box(serde_json::from_str::<ProgramState>(json).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, command_roundtrip, state_serialization);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Python-Tutor trace generation and reduction (paper Fig. 10): the cost
+//! of exporting a full trace vs a partial one, and the size ratio between
+//! them — the paper reports ~10× reduction when restricting to the
+//! interesting subset.
+
+use bench::py_tracker;
+use criterion::{criterion_group, criterion_main, Criterion};
+use easytracker::{Recording, Tracker};
+use pttrace::{trace_from_recording, trace_size, trace_with_options, ExportOptions};
+use std::hint::black_box;
+
+const PROG: &str = "\
+def work(v, k):
+    out = []
+    for x in v:
+        out.append(x * k)
+    return out
+data = [3, 1, 4, 1, 5, 9, 2, 6]
+r1 = work(data, 2)
+r2 = work(r1, 3)
+n = len(r2)
+print(n)
+";
+
+fn record() -> Recording {
+    let mut t = py_tracker(PROG);
+    let rec = Recording::capture(&mut t).unwrap();
+    t.terminate();
+    rec
+}
+
+fn trace_reduction(c: &mut Criterion) {
+    let rec = record();
+    let opts = ExportOptions {
+        only_functions: Some(vec!["<module>".into()]),
+        only_variables: Some(vec!["data".into(), "r1".into(), "r2".into(), "n".into()]),
+        ..Default::default()
+    };
+    let full = trace_from_recording(&rec);
+    let partial = trace_with_options(&rec, &opts);
+    let (fs, ps) = (trace_size(&full), trace_size(&partial));
+    println!(
+        "fig10 trace sizes: full {fs} bytes, partial {ps} bytes, reduction {:.1}x",
+        fs as f64 / ps as f64
+    );
+    assert!(fs > ps * 5, "partial trace must be much smaller");
+
+    let mut g = c.benchmark_group("trace_export");
+    g.sample_size(10);
+    g.bench_function("record_run", |b| b.iter(|| black_box(record())));
+    g.bench_function("export_full", |b| {
+        b.iter(|| black_box(trace_from_recording(&rec)))
+    });
+    g.bench_function("export_partial", |b| {
+        b.iter(|| black_box(trace_with_options(&rec, &opts)))
+    });
+    g.bench_function("import_roundtrip", |b| {
+        b.iter(|| black_box(pttrace::recording_from_trace(&full, "p.py").unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, trace_reduction);
+criterion_main!(benches);

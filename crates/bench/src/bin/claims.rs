@@ -1,0 +1,159 @@
+//! Quick quantitative-shape check: measures the paper's performance
+//! claims with wall clocks (no criterion), printing a paper-vs-measured
+//! table for EXPERIMENTS.md. Exit code is nonzero when a shape
+//! expectation fails.
+//!
+//! Run with: `cargo run -p bench --release --bin claims`
+
+use bench::{
+    c_fib, c_heap, c_loop, c_tracker, py_fib, py_loop, py_tracker, run_resume, run_step_all,
+    run_with_watch,
+};
+use easytracker::{PauseReason, Recording, Tracker};
+use std::time::Instant;
+
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up once, then take the best of 3 (control for noise).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut failures = 0;
+    let mut check = |name: &str, claim: &str, ratio: f64, expect_at_least: f64| {
+        let ok = ratio >= expect_at_least;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<44} {:<34} measured {ratio:6.1}x  (expect ≥{expect_at_least}x)  {}",
+            name,
+            claim,
+            if ok { "OK" } else { "FAIL" }
+        );
+    };
+
+    const ITERS: u32 = 150;
+
+    // §II-C2: watchpoints slow the Python tracker down a lot.
+    let py_src = py_loop(ITERS);
+    let t_resume = time(|| {
+        let mut t = py_tracker(&py_src);
+        run_resume(&mut t);
+        t.terminate();
+    });
+    let t_watch = time(|| {
+        let mut t = py_tracker(&py_src);
+        run_with_watch(&mut t, "acc");
+        t.terminate();
+    });
+    check(
+        "minipy: watchpoint vs plain resume",
+        "\"slows the execution down a lot\"",
+        t_watch / t_resume,
+        1.5,
+    );
+
+    // Same shape for the C engine: store events + per-store checks.
+    let c_src = c_loop(ITERS);
+    let t_resume_c = time(|| {
+        let mut t = c_tracker(&c_src);
+        run_resume(&mut t);
+        t.terminate();
+    });
+    let t_watch_c = time(|| {
+        let mut t = c_tracker(&c_src);
+        run_with_watch(&mut t, "acc");
+        t.terminate();
+    });
+    check(
+        "minic:  watchpoint vs plain resume",
+        "watchpoints re-check per store",
+        t_watch_c / t_resume_c,
+        1.5,
+    );
+
+    // §V: control cost scales with control points — stepping every line
+    // is much slower than coarse function tracking on recursion.
+    let fibc = c_fib(12);
+    let t_step = time(|| {
+        let mut t = c_tracker(&fibc);
+        run_step_all(&mut t);
+        t.terminate();
+    });
+    let t_track = time(|| {
+        let mut t = c_tracker(&fibc);
+        t.track_function("fib", Some(2)).unwrap();
+        t.start().unwrap();
+        loop {
+            if let PauseReason::Exited(_) = t.resume().unwrap() {
+                break;
+            }
+        }
+        t.terminate();
+    });
+    check(
+        "minic:  step-all vs track(maxdepth=2)",
+        "coarse control is much cheaper",
+        t_step / t_track,
+        2.0,
+    );
+
+    // In-process inspection (PyTracker snapshot) vs serialized MI
+    // inspection — the motivation for the two implementations.
+    let mut mi = c_tracker(&c_heap(128));
+    mi.break_before_line(6).unwrap();
+    mi.start().unwrap();
+    while !matches!(mi.resume().unwrap(), PauseReason::Breakpoint { .. }) {}
+    let t_mi = time(|| {
+        let _ = mi.get_state().unwrap();
+    });
+    mi.terminate();
+    let mut py = py_tracker(&bench::py_heap(128));
+    py.break_before_line(4).unwrap();
+    py.start().unwrap();
+    while !matches!(py.resume().unwrap(), PauseReason::Breakpoint { .. }) {}
+    let t_py = time(|| {
+        let _ = py.get_state().unwrap();
+    });
+    py.terminate();
+    check(
+        "inspect: MI get_state vs in-process",
+        "in-process inspection is cheaper",
+        t_mi / t_py,
+        1.0,
+    );
+
+    // Fig. 10: partial trace ~10x smaller.
+    let mut t = py_tracker(&py_fib(9));
+    let rec = Recording::capture(&mut t).unwrap();
+    t.terminate();
+    let full = pttrace::trace_from_recording(&rec);
+    let partial = pttrace::trace_with_options(
+        &rec,
+        &pttrace::ExportOptions {
+            only_functions: Some(vec!["<module>".into()]),
+            ..Default::default()
+        },
+    );
+    check(
+        "fig10:  full vs partial PT trace size",
+        "\"reduce the trace by a factor of 10\"",
+        pttrace::trace_size(&full) as f64 / pttrace::trace_size(&partial) as f64,
+        5.0,
+    );
+
+    println!();
+    if failures == 0 {
+        println!("all quantitative shapes hold");
+    } else {
+        println!("{failures} shape check(s) FAILED");
+    }
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,358 @@
+//! The machine-interface tracker: the GDB tracker analogue (paper Fig. 4).
+//!
+//! The inferior's engine (MiniC VM or RISC-V simulator) runs on its own
+//! thread behind a serialized command/response transport — the same
+//! decoupling the paper gets from running `gdb --interpreter=mi` as a
+//! subprocess. All state crossing the boundary is serialized and
+//! deserialized, so this tracker pays the real marshalling cost the
+//! benchmarks measure.
+
+use crate::{ControlPointId, LowLevel, Result, Tracker, TrackerError};
+use mi::protocol::{Command, Response};
+use mi::Session;
+use state::{Frame, PauseReason, ProgramState, Variable};
+
+/// Tracker for MiniC and RISC-V inferiors behind the MI boundary.
+#[derive(Debug)]
+pub struct MiTracker {
+    session: Option<Session>,
+    last_reason: PauseReason,
+    started: bool,
+}
+
+impl MiTracker {
+    /// Compiles MiniC source and attaches an engine to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] for compile errors.
+    pub fn load_c(file: &str, source: &str) -> Result<Self> {
+        let program =
+            minic::compile(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
+        Ok(MiTracker {
+            session: Some(mi::spawn_minic(&program)),
+            last_reason: PauseReason::NotStarted,
+            started: false,
+        })
+    }
+
+    /// Assembles RISC-V source and attaches an engine to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] for assembly errors.
+    pub fn load_asm(file: &str, source: &str) -> Result<Self> {
+        let program = miniasm::asm::assemble(file, source)
+            .map_err(|e| TrackerError::Load(e.to_string()))?;
+        Ok(MiTracker {
+            session: Some(mi::spawn_asm(&program)),
+            last_reason: PauseReason::NotStarted,
+            started: false,
+        })
+    }
+
+    fn call(&mut self, command: Command) -> Result<Response> {
+        let session = self
+            .session
+            .as_mut()
+            .ok_or_else(|| TrackerError::Engine("tracker already terminated".into()))?;
+        let resp = session.client.call(command)?;
+        if let Response::Error { message } = resp {
+            return Err(TrackerError::Engine(message));
+        }
+        Ok(resp)
+    }
+
+    fn control(&mut self, command: Command) -> Result<PauseReason> {
+        match self.call(command)? {
+            Response::Paused(reason) => {
+                self.last_reason = reason.clone();
+                Ok(reason)
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected pause report, got {other:?}"
+            ))),
+        }
+    }
+
+    fn created(&mut self, command: Command) -> Result<ControlPointId> {
+        match self.call(command)? {
+            Response::Created { id } => Ok(id),
+            other => Err(TrackerError::Protocol(format!(
+                "expected creation report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bytes shipped across the MI boundary so far (bench metric).
+    pub fn bytes_transferred(&self) -> u64 {
+        self.session
+            .as_ref()
+            .map(|s| s.client.transport().bytes_sent + s.client.transport().bytes_received)
+            .unwrap_or(0)
+    }
+}
+
+impl Tracker for MiTracker {
+    fn start(&mut self) -> Result<PauseReason> {
+        let r = self.control(Command::Start)?;
+        self.started = true;
+        Ok(r)
+    }
+
+    fn resume(&mut self) -> Result<PauseReason> {
+        self.control(Command::Resume)
+    }
+
+    fn step(&mut self) -> Result<PauseReason> {
+        self.control(Command::Step)
+    }
+
+    fn next(&mut self) -> Result<PauseReason> {
+        self.control(Command::Next)
+    }
+
+    fn finish(&mut self) -> Result<PauseReason> {
+        self.control(Command::Finish)
+    }
+
+    fn break_before_line(&mut self, line: u32) -> Result<ControlPointId> {
+        self.created(Command::SetBreakLine { line })
+    }
+
+    fn break_before_func(
+        &mut self,
+        function: &str,
+        maxdepth: Option<u32>,
+    ) -> Result<ControlPointId> {
+        self.created(Command::SetBreakFunc {
+            function: function.to_owned(),
+            maxdepth,
+        })
+    }
+
+    fn track_function(&mut self, function: &str, maxdepth: Option<u32>) -> Result<ControlPointId> {
+        self.created(Command::TrackFunction {
+            function: function.to_owned(),
+            maxdepth,
+        })
+    }
+
+    fn watch(&mut self, variable: &str) -> Result<ControlPointId> {
+        self.created(Command::Watch {
+            variable: variable.to_owned(),
+        })
+    }
+
+    fn remove(&mut self, id: ControlPointId) -> Result<()> {
+        self.call(Command::Delete { id })?;
+        Ok(())
+    }
+
+    fn terminate(&mut self) {
+        if let Some(session) = self.session.take() {
+            session.shutdown();
+        }
+    }
+
+    fn pause_reason(&self) -> PauseReason {
+        self.last_reason.clone()
+    }
+
+    fn get_current_frame(&mut self) -> Result<Frame> {
+        Ok(self.get_state()?.frame)
+    }
+
+    fn get_state(&mut self) -> Result<ProgramState> {
+        match self.call(Command::GetState)? {
+            Response::State(st) => Ok(*st),
+            other => Err(TrackerError::Protocol(format!(
+                "expected state, got {other:?}"
+            ))),
+        }
+    }
+
+    fn get_global_variables(&mut self) -> Result<Vec<Variable>> {
+        match self.call(Command::GetGlobals)? {
+            Response::Globals(gs) => Ok(gs),
+            other => Err(TrackerError::Protocol(format!(
+                "expected globals, got {other:?}"
+            ))),
+        }
+    }
+
+    fn get_variable(&mut self, name: &str) -> Result<Option<Variable>> {
+        match self.call(Command::GetVariable {
+            name: name.to_owned(),
+        })? {
+            Response::Variable(v) => Ok(v),
+            other => Err(TrackerError::Protocol(format!(
+                "expected variable, got {other:?}"
+            ))),
+        }
+    }
+
+    fn get_exit_code(&mut self) -> Option<i64> {
+        match self.call(Command::GetExitCode) {
+            Ok(Response::ExitCode(c)) => c,
+            _ => None,
+        }
+    }
+
+    fn get_output(&mut self) -> Result<String> {
+        match self.call(Command::GetOutput)? {
+            Response::Output(o) => Ok(o),
+            other => Err(TrackerError::Protocol(format!(
+                "expected output, got {other:?}"
+            ))),
+        }
+    }
+
+    fn get_source(&mut self) -> Result<(String, String)> {
+        match self.call(Command::GetSource)? {
+            Response::Source { file, text } => Ok((file, text)),
+            other => Err(TrackerError::Protocol(format!(
+                "expected source, got {other:?}"
+            ))),
+        }
+    }
+
+    fn breakable_lines(&mut self) -> Result<Vec<u32>> {
+        match self.call(Command::GetBreakableLines)? {
+            Response::Lines(lines) => Ok(lines),
+            other => Err(TrackerError::Protocol(format!(
+                "expected lines, got {other:?}"
+            ))),
+        }
+    }
+
+    fn low_level(&mut self) -> Option<&mut dyn LowLevel> {
+        Some(self)
+    }
+}
+
+impl LowLevel for MiTracker {
+    fn registers(&mut self) -> Result<Vec<Variable>> {
+        match self.call(Command::GetRegisters)? {
+            Response::Registers(regs) => Ok(regs),
+            other => Err(TrackerError::Protocol(format!(
+                "expected registers, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read_memory(&mut self, addr: u64, len: u64) -> Result<Vec<u8>> {
+        match self.call(Command::ReadMemory { addr, len })? {
+            Response::Memory(bytes) => Ok(bytes),
+            other => Err(TrackerError::Protocol(format!(
+                "expected memory, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Drop for MiTracker {
+    fn drop(&mut self) {
+        self.terminate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use state::{Content, ExitStatus, Prim};
+
+    const C_PROG: &str = "int square(int x) {\nreturn x * x;\n}\nint main() {\nint s = 0;\nfor (int i = 1; i <= 3; i++) {\ns += square(i);\n}\nreturn s;\n}";
+
+    #[test]
+    fn full_session_over_the_boundary() {
+        let mut t = MiTracker::load_c("p.c", C_PROG).unwrap();
+        assert_eq!(t.pause_reason(), PauseReason::NotStarted);
+        let r = t.start().unwrap();
+        assert_eq!(r, PauseReason::Started);
+        t.track_function("square", None).unwrap();
+        let mut calls = 0;
+        loop {
+            match t.resume().unwrap() {
+                PauseReason::FunctionCall { .. } => {
+                    calls += 1;
+                    let frame = t.get_current_frame().unwrap();
+                    assert_eq!(frame.name(), "square");
+                    let x = frame.variable("x").unwrap();
+                    match x.value().content() {
+                        Content::Primitive(Prim::Int(v)) => assert_eq!(*v, calls),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                PauseReason::FunctionReturn { .. } => {}
+                PauseReason::Exited(ExitStatus::Exited(code)) => {
+                    assert_eq!(code, 14);
+                    break;
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(calls, 3);
+        assert!(t.bytes_transferred() > 0, "traffic really crossed the pipe");
+        t.terminate();
+    }
+
+    #[test]
+    fn asm_tracker_speaks_the_same_api() {
+        let src = "main:\n    li a0, 5\n    call triple\n    li a7, 93\n    ecall\ntriple:\n    li t0, 3\n    mul a0, a0, t0\n    ret";
+        let mut t = MiTracker::load_asm("p.s", src).unwrap();
+        t.start().unwrap();
+        t.track_function("triple", None).unwrap();
+        let r = t.resume().unwrap();
+        assert!(matches!(r, PauseReason::FunctionCall { .. }));
+        let regs = t.low_level().unwrap().registers().unwrap();
+        let a0 = regs.iter().find(|v| v.name() == "a0").unwrap();
+        assert_eq!(state::render_value(a0.value()), "5");
+        let r = t.resume().unwrap();
+        assert!(matches!(r, PauseReason::FunctionReturn { .. }));
+        let r = t.resume().unwrap();
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Exited(15)));
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        assert!(matches!(
+            MiTracker::load_c("bad.c", "int main() { return x; }"),
+            Err(TrackerError::Load(_))
+        ));
+        assert!(matches!(
+            MiTracker::load_asm("bad.s", "frobnicate a0"),
+            Err(TrackerError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn engine_errors_surface() {
+        let mut t = MiTracker::load_c("p.c", C_PROG).unwrap();
+        assert!(matches!(t.resume(), Err(TrackerError::Engine(_))));
+        t.start().unwrap();
+        assert!(matches!(
+            t.break_before_func("nope", None),
+            Err(TrackerError::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn terminate_is_idempotent_and_drop_safe() {
+        let mut t = MiTracker::load_c("p.c", C_PROG).unwrap();
+        t.start().unwrap();
+        t.terminate();
+        t.terminate();
+        assert!(matches!(t.resume(), Err(TrackerError::Engine(_))));
+    }
+
+    #[test]
+    fn memory_reads_via_low_level() {
+        let mut t = MiTracker::load_c("p.c", "int g = 7;\nint main() {\nreturn g;\n}").unwrap();
+        t.start().unwrap();
+        let g = t.get_variable("g").unwrap().unwrap();
+        let addr = g.value().address().unwrap();
+        let bytes = t.low_level().unwrap().read_memory(addr, 4).unwrap();
+        assert_eq!(bytes, 7i32.to_le_bytes());
+    }
+}

@@ -1,0 +1,844 @@
+//! Execution recordings and the replay tracker (paper §III-E).
+//!
+//! A [`Recording`] is a serializable step-by-step capture of an inferior's
+//! execution: one [`ProgramState`] snapshot per executed line. Because it
+//! serializes, a recording can be saved, shipped to a browser, or replayed
+//! later. [`ReplayTracker`] implements the *full* [`Tracker`] API over a
+//! recording — "the full power of control through the API on a
+//! pre-generated trace" — so every visualization tool in this repository
+//! also works offline on recorded runs. Breakpoints, function tracking,
+//! stepping and watchpoints are all re-derived from the recorded
+//! snapshots.
+
+use crate::{ControlPointId, Result, Tracker, TrackerError};
+use serde::{Deserialize, Serialize};
+use state::{ExitStatus, Frame, PauseReason, ProgramState, SourceLocation, Variable};
+
+/// One recorded pause: the full snapshot plus the output produced since
+/// the previous step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedStep {
+    /// The snapshot at this pause.
+    pub state: ProgramState,
+    /// Output emitted between the previous pause and this one.
+    pub output_delta: String,
+}
+
+/// A recorded execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    /// Source file name.
+    pub file: String,
+    /// Full source text.
+    pub source: String,
+    /// Snapshots, one per executed line (step granularity).
+    pub steps: Vec<RecordedStep>,
+    /// Exit code of the run.
+    pub exit_code: i64,
+}
+
+impl Recording {
+    /// Records a *fresh* (not yet started) tracker by single-stepping it to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracker errors; the tracker must not have been started.
+    pub fn capture(tracker: &mut dyn Tracker) -> Result<Recording> {
+        let (file, source) = tracker.get_source()?;
+        let mut steps = Vec::new();
+        let mut reason = tracker.start()?;
+        while reason.is_alive() {
+            let state = tracker.get_state()?;
+            let output_delta = tracker.get_output()?;
+            steps.push(RecordedStep {
+                state,
+                output_delta,
+            });
+            reason = tracker.step()?;
+        }
+        // Any output produced by the very last step.
+        if let (Some(last), Ok(tail)) = (steps.last_mut(), tracker.get_output()) {
+            last.output_delta.push_str(&tail);
+        }
+        Ok(Recording {
+            file,
+            source,
+            steps,
+            exit_code: tracker.get_exit_code().unwrap_or(0),
+        })
+    }
+
+    /// Serializes to JSON (loadable by [`crate::init_tracker`] with a
+    /// `.json` name).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; surfaces serializer errors as
+    /// [`TrackerError::Engine`].
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| TrackerError::Engine(e.to_string()))
+    }
+
+    /// Total number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the recording has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CpKind {
+    LineBp(u32),
+    FuncBp { function: String, maxdepth: Option<u32> },
+    Track { function: String, maxdepth: Option<u32> },
+    Watch { variable: String },
+}
+
+#[derive(Debug, Clone)]
+struct ControlPoint {
+    id: u64,
+    kind: CpKind,
+}
+
+/// A tracker that replays a [`Recording`].
+#[derive(Debug)]
+pub struct ReplayTracker {
+    recording: Recording,
+    /// Index of the current step; `None` before `start`.
+    idx: Option<usize>,
+    points: Vec<ControlPoint>,
+    next_id: u64,
+    last_reason: PauseReason,
+    /// Output released to the tool so far (recorded deltas up to `idx`).
+    output_pos: usize,
+    output_cursor: usize,
+    /// Highest trigger phase already reported at the current step
+    /// (`u8::MAX` when the step was reached by plain stepping).
+    rank_done: u8,
+}
+
+impl ReplayTracker {
+    /// Creates a replay tracker over a recording.
+    pub fn new(recording: Recording) -> Self {
+        ReplayTracker {
+            recording,
+            idx: None,
+            points: Vec::new(),
+            next_id: 1,
+            last_reason: PauseReason::NotStarted,
+            output_pos: 0,
+            output_cursor: 0,
+            rank_done: u8::MAX,
+        }
+    }
+
+    fn state_at(&self, i: usize) -> &ProgramState {
+        &self.recording.steps[i].state
+    }
+
+    fn depth_at(&self, i: usize) -> usize {
+        self.state_at(i).stack_depth()
+    }
+
+    fn line_at(&self, i: usize) -> u32 {
+        self.state_at(i).frame.location().line()
+    }
+
+    fn exited_reason(&self) -> PauseReason {
+        let code = self.recording.exit_code;
+        PauseReason::Exited(if code == -1 {
+            ExitStatus::Crashed
+        } else {
+            ExitStatus::Exited(code)
+        })
+    }
+
+    fn lookup_in(&self, state: &ProgramState, name: &str) -> Option<Variable> {
+        let (frame_filter, var) = match name.split_once("::") {
+            Some((f, v)) => (Some(f), v),
+            None => (None, name),
+        };
+        for frame in state.frame.chain() {
+            if let Some(f) = frame_filter {
+                if frame.name() != f {
+                    continue;
+                }
+            }
+            if let Some(v) = frame.variable(var) {
+                return Some(v.clone());
+            }
+            if frame_filter.is_none() {
+                break;
+            }
+        }
+        if frame_filter.is_none() {
+            return state.globals.iter().find(|g| g.name() == var).cloned();
+        }
+        None
+    }
+
+    /// Pause reason triggered at step `i` (coming from step `i - 1`), if
+    /// any control point with phase rank `>= min_rank` matches. Ranks
+    /// order the triggers that can coexist on one recorded step (a
+    /// one-line function's entry and exit share a step): watch(0), line
+    /// breakpoint(1), function breakpoint(2), tracked call(3), tracked
+    /// return(4). Re-examining the current step with a higher `min_rank`
+    /// lets `resume` deliver both events of such a step, like the live
+    /// trackers do.
+    fn trigger_at_ranked(&self, i: usize, min_rank: u8) -> Option<(u8, PauseReason)> {
+        let cur = self.state_at(i);
+        let prev = i.checked_sub(1).map(|p| self.state_at(p));
+        let cur_depth = cur.stack_depth();
+        let prev_depth = prev.map(|p| p.stack_depth()).unwrap_or(cur_depth);
+        let mut best: Option<(u8, PauseReason)> = None;
+        let mut consider = |rank: u8, reason: PauseReason| {
+            if rank >= min_rank && best.as_ref().is_none_or(|(r, _)| rank < *r) {
+                best = Some((rank, reason));
+            }
+        };
+        for cp in &self.points {
+            match &cp.kind {
+                CpKind::Watch { variable } => {
+                    if prev.is_none() {
+                        continue;
+                    }
+                    // Sticky semantics like the live trackers: compare with
+                    // the most recent step where the variable was visible
+                    // (it may have been shadowed by callee frames).
+                    // Render the referenced value (Python bindings are REF
+                    // wrappers; C primitives pass through unchanged).
+                    let old = (0..i).rev().find_map(|j| {
+                        self.lookup_in(self.state_at(j), variable)
+                            .map(|v| state::render_value(v.value().deref_fully()))
+                    });
+                    let new = self
+                        .lookup_in(cur, variable)
+                        .map(|v| state::render_value(v.value().deref_fully()));
+                    if let Some(new_val) = &new {
+                        if old.is_some() && old != new {
+                            consider(
+                                0,
+                                PauseReason::Watchpoint {
+                                    id: cp.id,
+                                    variable: variable.clone(),
+                                    old: old.clone(),
+                                    new: new_val.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                CpKind::LineBp(l) => {
+                    if self.line_at(i) == *l {
+                        consider(
+                            1,
+                            PauseReason::Breakpoint {
+                                id: cp.id,
+                                location: cur.frame.location().clone(),
+                            },
+                        );
+                    }
+                }
+                CpKind::FuncBp { function, maxdepth } => {
+                    let depth0 = (cur_depth - 1) as u32;
+                    if cur_depth > prev_depth
+                        && cur.frame.name() == function
+                        && maxdepth.is_none_or(|m| depth0 <= m)
+                    {
+                        consider(
+                            2,
+                            PauseReason::Breakpoint {
+                                id: cp.id,
+                                location: cur.frame.location().clone(),
+                            },
+                        );
+                    }
+                }
+                CpKind::Track { function, maxdepth } => {
+                    let depth0 = (cur_depth - 1) as u32;
+                    let depth_ok = maxdepth.is_none_or(|m| depth0 <= m);
+                    if cur_depth > prev_depth && cur.frame.name() == function && depth_ok {
+                        consider(
+                            3,
+                            PauseReason::FunctionCall {
+                                function: function.clone(),
+                                depth: depth0,
+                            },
+                        );
+                    }
+                    let leaves = match self.recording.steps.get(i + 1) {
+                        Some(next) => next.state.stack_depth() < cur_depth,
+                        None => cur_depth > 1,
+                    };
+                    if leaves && cur.frame.name() == function && depth_ok {
+                        consider(
+                            4,
+                            PauseReason::FunctionReturn {
+                                function: function.clone(),
+                                depth: depth0,
+                                return_value: None,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances to step `target` (releasing its output) or to the end.
+    fn goto(&mut self, target: usize) -> PauseReason {
+        self.rank_done = u8::MAX;
+        if target >= self.recording.steps.len() {
+            self.idx = Some(self.recording.steps.len());
+            self.output_pos = self.recording.steps.len();
+            self.last_reason = self.exited_reason();
+        } else {
+            self.idx = Some(target);
+            self.output_pos = target + 1;
+            self.last_reason = PauseReason::Step;
+        }
+        self.last_reason.clone()
+    }
+
+    fn advance_until(
+        &mut self,
+        mut stop: impl FnMut(&Self, usize) -> Option<PauseReason>,
+    ) -> Result<PauseReason> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        // Later-phase triggers on the *current* step first (a one-line
+        // function's entry and exit share one recorded step).
+        if cur < self.recording.steps.len() && self.rank_done < u8::MAX {
+            if let Some((rank, trigger)) = self.trigger_at_ranked(cur, self.rank_done + 1) {
+                self.rank_done = rank;
+                self.last_reason = trigger.clone();
+                return Ok(trigger);
+            }
+        }
+        let mut i = cur + 1;
+        while i < self.recording.steps.len() {
+            if let Some((rank, trigger)) = self.trigger_at_ranked(i, 0) {
+                self.goto(i);
+                self.rank_done = rank;
+                self.last_reason = trigger.clone();
+                return Ok(trigger);
+            }
+            if let Some(reason) = stop(self, i) {
+                self.goto(i);
+                self.last_reason = reason.clone();
+                return Ok(reason);
+            }
+            i += 1;
+        }
+        Ok(self.goto(self.recording.steps.len()))
+    }
+
+    // ---- reverse execution (paper §V: the RR-tracker future work) --------
+    //
+    // A recording is a time-travel debugger for free: these methods walk
+    // the recorded steps backwards, honouring the same control points.
+
+    /// Steps one recorded line backwards. At the first step this reports
+    /// [`PauseReason::Started`] and stays put.
+    ///
+    /// # Errors
+    ///
+    /// Fails before `start`.
+    pub fn step_back(&mut self) -> Result<PauseReason> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        if cur == 0 {
+            self.last_reason = PauseReason::Started;
+            return Ok(PauseReason::Started);
+        }
+        let target = (cur - 1).min(self.recording.steps.len().saturating_sub(1));
+        let r = self.goto(target);
+        Ok(r)
+    }
+
+    /// Runs backwards until the previous control point (breakpoint,
+    /// watchpoint, tracked-function boundary), or to the beginning
+    /// ([`PauseReason::Started`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails before `start`.
+    pub fn resume_back(&mut self) -> Result<PauseReason> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        // From the exited position every recorded step is behind us.
+        let mut i = cur.min(self.recording.steps.len());
+        while i > 0 {
+            i -= 1;
+            if let Some((rank, trigger)) = self.trigger_at_ranked(i, 0) {
+                self.goto(i);
+                self.rank_done = rank;
+                self.last_reason = trigger.clone();
+                return Ok(trigger);
+            }
+        }
+        self.goto(0);
+        self.last_reason = PauseReason::Started;
+        Ok(PauseReason::Started)
+    }
+}
+
+impl Tracker for ReplayTracker {
+    fn start(&mut self) -> Result<PauseReason> {
+        if self.idx.is_some() {
+            return Err(TrackerError::Engine("replay already started".into()));
+        }
+        if self.recording.steps.is_empty() {
+            self.idx = Some(0);
+            self.last_reason = self.exited_reason();
+            return Ok(self.last_reason.clone());
+        }
+        self.idx = Some(0);
+        self.output_pos = 1;
+        self.last_reason = PauseReason::Started;
+        Ok(PauseReason::Started)
+    }
+
+    fn resume(&mut self) -> Result<PauseReason> {
+        self.advance_until(|_, _| None)
+    }
+
+    fn step(&mut self) -> Result<PauseReason> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        Ok(self.goto(cur + 1))
+    }
+
+    fn next(&mut self) -> Result<PauseReason> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        if cur >= self.recording.steps.len() {
+            return Ok(self.exited_reason());
+        }
+        let depth = self.depth_at(cur);
+        let line = self.line_at(cur);
+        self.advance_until(move |this, i| {
+            let d = this.depth_at(i);
+            (d < depth || (d == depth && this.line_at(i) != line)).then_some(PauseReason::Step)
+        })
+    }
+
+    fn finish(&mut self) -> Result<PauseReason> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        if cur >= self.recording.steps.len() {
+            return Ok(self.exited_reason());
+        }
+        let depth = self.depth_at(cur);
+        if depth <= 1 {
+            return Err(TrackerError::Engine(
+                "cannot finish the outermost frame".into(),
+            ));
+        }
+        self.advance_until(move |this, i| {
+            (this.depth_at(i) < depth).then_some(PauseReason::Step)
+        })
+    }
+
+    fn break_before_line(&mut self, line: u32) -> Result<ControlPointId> {
+        // Slide to the next recorded line, like the live engines.
+        let actual = self
+            .recording
+            .steps
+            .iter()
+            .map(|s| s.state.frame.location().line())
+            .filter(|&l| l >= line)
+            .min()
+            .ok_or_else(|| {
+                TrackerError::Engine(format!("no recorded execution at or after line {line}"))
+            })?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.points.push(ControlPoint {
+            id,
+            kind: CpKind::LineBp(actual),
+        });
+        Ok(id)
+    }
+
+    fn break_before_func(
+        &mut self,
+        function: &str,
+        maxdepth: Option<u32>,
+    ) -> Result<ControlPointId> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.points.push(ControlPoint {
+            id,
+            kind: CpKind::FuncBp {
+                function: function.to_owned(),
+                maxdepth,
+            },
+        });
+        Ok(id)
+    }
+
+    fn track_function(&mut self, function: &str, maxdepth: Option<u32>) -> Result<ControlPointId> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.points.push(ControlPoint {
+            id,
+            kind: CpKind::Track {
+                function: function.to_owned(),
+                maxdepth,
+            },
+        });
+        Ok(id)
+    }
+
+    fn watch(&mut self, variable: &str) -> Result<ControlPointId> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.points.push(ControlPoint {
+            id,
+            kind: CpKind::Watch {
+                variable: variable.to_owned(),
+            },
+        });
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: ControlPointId) -> Result<()> {
+        let before = self.points.len();
+        self.points.retain(|cp| cp.id != id);
+        if self.points.len() == before {
+            return Err(TrackerError::Engine(format!("no control point {id}")));
+        }
+        Ok(())
+    }
+
+    fn terminate(&mut self) {
+        self.idx = Some(self.recording.steps.len());
+    }
+
+    fn pause_reason(&self) -> PauseReason {
+        self.last_reason.clone()
+    }
+
+    fn get_current_frame(&mut self) -> Result<Frame> {
+        Ok(self.get_state()?.frame)
+    }
+
+    fn get_state(&mut self) -> Result<ProgramState> {
+        let Some(cur) = self.idx else {
+            return Err(TrackerError::NotStarted);
+        };
+        if cur >= self.recording.steps.len() {
+            // After the end: synthesize a terminal state on the last frame.
+            if let Some(last) = self.recording.steps.last() {
+                let mut st = last.state.clone();
+                st.reason = self.exited_reason();
+                return Ok(st);
+            }
+            return Ok(ProgramState::new(
+                Frame::new("<module>", 0, SourceLocation::new(self.recording.file.clone(), 0)),
+                Vec::new(),
+                self.exited_reason(),
+            ));
+        }
+        let mut st = self.state_at(cur).clone();
+        st.reason = self.last_reason.clone();
+        Ok(st)
+    }
+
+    fn get_global_variables(&mut self) -> Result<Vec<Variable>> {
+        Ok(self.get_state()?.globals)
+    }
+
+    fn get_variable(&mut self, name: &str) -> Result<Option<Variable>> {
+        let st = self.get_state()?;
+        Ok(self.lookup_in(&st, name))
+    }
+
+    fn get_exit_code(&mut self) -> Option<i64> {
+        match self.idx {
+            Some(i) if i >= self.recording.steps.len() => Some(self.recording.exit_code),
+            _ => None,
+        }
+    }
+
+    fn get_output(&mut self) -> Result<String> {
+        let upto = self.output_pos.min(self.recording.steps.len());
+        let mut out = String::new();
+        for step in &self.recording.steps[self.output_cursor.min(upto)..upto] {
+            out.push_str(&step.output_delta);
+        }
+        self.output_cursor = upto;
+        Ok(out)
+    }
+
+    fn get_source(&mut self) -> Result<(String, String)> {
+        Ok((self.recording.file.clone(), self.recording.source.clone()))
+    }
+
+    fn breakable_lines(&mut self) -> Result<Vec<u32>> {
+        let mut lines: Vec<u32> = self
+            .recording
+            .steps
+            .iter()
+            .map(|s| s.state.frame.location().line())
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MiTracker, PyTracker};
+
+    const C_PROG: &str = "int square(int x) {\nreturn x * x;\n}\nint main() {\nint s = 0;\nfor (int i = 1; i <= 3; i++) {\ns += square(i);\n}\nreturn s;\n}";
+
+    fn record_c() -> Recording {
+        let mut t = MiTracker::load_c("p.c", C_PROG).unwrap();
+        let rec = Recording::capture(&mut t).unwrap();
+        t.terminate();
+        rec
+    }
+
+    #[test]
+    fn capture_records_every_step() {
+        let rec = record_c();
+        assert!(rec.len() > 10);
+        assert_eq!(rec.exit_code, 14);
+        // Serializes and round-trips.
+        let json = rec.to_json().unwrap();
+        let back: Recording = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn replay_stepping_matches_recording() {
+        let rec = record_c();
+        let n = rec.len();
+        let mut t = ReplayTracker::new(rec);
+        assert_eq!(t.start().unwrap(), PauseReason::Started);
+        let mut count = 1;
+        while t.get_exit_code().is_none() {
+            t.step().unwrap();
+            count += 1;
+        }
+        assert_eq!(count, n + 1);
+        assert_eq!(t.get_exit_code(), Some(14));
+    }
+
+    #[test]
+    fn replay_breakpoints_and_tracking() {
+        let rec = record_c();
+        let mut t = ReplayTracker::new(rec);
+        t.track_function("square", None).unwrap();
+        t.start().unwrap();
+        let mut calls = 0;
+        let mut returns = 0;
+        loop {
+            match t.resume().unwrap() {
+                PauseReason::FunctionCall { function, .. } => {
+                    assert_eq!(function, "square");
+                    calls += 1;
+                    // The frame is inspectable from the recording.
+                    let f = t.get_current_frame().unwrap();
+                    assert_eq!(f.name(), "square");
+                }
+                PauseReason::FunctionReturn { .. } => returns += 1,
+                PauseReason::Exited(_) => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(returns, 3);
+    }
+
+    #[test]
+    fn replay_watchpoints_from_recorded_states() {
+        let mut live = MiTracker::load_c(
+            "w.c",
+            "int main() {\nint i = 0;\nwhile (i < 3) {\ni = i + 1;\n}\nreturn i;\n}",
+        )
+        .unwrap();
+        let rec = Recording::capture(&mut live).unwrap();
+        live.terminate();
+        let mut t = ReplayTracker::new(rec);
+        t.start().unwrap();
+        t.watch("i").unwrap();
+        let mut changes = 0;
+        loop {
+            match t.resume().unwrap() {
+                PauseReason::Watchpoint { variable, .. } => {
+                    assert_eq!(variable, "i");
+                    changes += 1;
+                }
+                PauseReason::Exited(_) => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(changes, 3);
+    }
+
+    #[test]
+    fn replay_works_for_python_recordings_too() {
+        let mut live = PyTracker::load(
+            "p.py",
+            "def f(x):\n    return x + 1\na = f(1)\nb = f(a)\n",
+        )
+        .unwrap();
+        let rec = Recording::capture(&mut live).unwrap();
+        live.terminate();
+        let mut t = ReplayTracker::new(rec);
+        t.track_function("f", None).unwrap();
+        t.start().unwrap();
+        let mut calls = 0;
+        loop {
+            match t.resume().unwrap() {
+                PauseReason::FunctionCall { .. } => calls += 1,
+                PauseReason::Exited(_) => break,
+                _ => {}
+            }
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn replay_output_released_in_step_order() {
+        let mut live = PyTracker::load("p.py", "print('a')\nprint('b')\nprint('c')\n").unwrap();
+        let rec = Recording::capture(&mut live).unwrap();
+        live.terminate();
+        let mut t = ReplayTracker::new(rec);
+        t.start().unwrap();
+        t.step().unwrap();
+        let first = t.get_output().unwrap();
+        assert!(first.contains('a') && !first.contains('c'));
+        t.resume().unwrap();
+        let rest = t.get_output().unwrap();
+        assert!(rest.contains('c'));
+    }
+
+    #[test]
+    fn via_init_tracker_json() {
+        let rec = record_c();
+        let json = rec.to_json().unwrap();
+        let mut t = crate::init_tracker("recording.json", &json).unwrap();
+        t.start().unwrap();
+        t.break_before_line(7).unwrap();
+        let r = t.resume().unwrap();
+        assert!(matches!(r, PauseReason::Breakpoint { .. }));
+    }
+
+    #[test]
+    fn replay_errors() {
+        let rec = record_c();
+        let mut t = ReplayTracker::new(rec);
+        assert!(matches!(t.step(), Err(TrackerError::NotStarted)));
+        t.start().unwrap();
+        assert!(matches!(t.finish(), Err(TrackerError::Engine(_))));
+        assert!(matches!(t.remove(99), Err(TrackerError::Engine(_))));
+        assert!(matches!(
+            t.break_before_line(9999),
+            Err(TrackerError::Engine(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod reverse_tests {
+    use super::*;
+    use crate::{MiTracker, Tracker};
+
+    fn recording() -> Recording {
+        let src = "int bump(int v) {\nreturn v + 1;\n}\nint main() {\nint x = 0;\nx = bump(x);\nx = bump(x);\nreturn x;\n}";
+        let mut t = MiTracker::load_c("rev.c", src).unwrap();
+        let rec = Recording::capture(&mut t).unwrap();
+        t.terminate();
+        rec
+    }
+
+    #[test]
+    fn step_back_reverses_step() {
+        let mut t = ReplayTracker::new(recording());
+        t.start().unwrap();
+        let l0 = t.current_line().unwrap();
+        t.step().unwrap();
+        t.step().unwrap();
+        let l2 = t.current_line().unwrap();
+        t.step_back().unwrap();
+        t.step_back().unwrap();
+        assert_eq!(t.current_line().unwrap(), l0);
+        // Forward again reaches the same place (time travel is coherent).
+        t.step().unwrap();
+        t.step().unwrap();
+        assert_eq!(t.current_line().unwrap(), l2);
+    }
+
+    #[test]
+    fn step_back_at_origin_reports_started() {
+        let mut t = ReplayTracker::new(recording());
+        t.start().unwrap();
+        assert_eq!(t.step_back().unwrap(), PauseReason::Started);
+        assert_eq!(t.pause_reason(), PauseReason::Started);
+    }
+
+    #[test]
+    fn resume_back_finds_previous_breakpoint() {
+        let mut t = ReplayTracker::new(recording());
+        t.start().unwrap();
+        t.break_before_func("bump", None).unwrap();
+        // Forward over both calls.
+        t.resume().unwrap();
+        t.resume().unwrap();
+        let line_second = t.get_state().unwrap().frame.location().line();
+        t.step().unwrap();
+        // Backwards: hits the second call again, then the first.
+        let r = t.resume_back().unwrap();
+        assert!(matches!(r, PauseReason::Breakpoint { .. }));
+        assert_eq!(t.get_state().unwrap().frame.location().line(), line_second);
+        let r = t.resume_back().unwrap();
+        assert!(matches!(r, PauseReason::Breakpoint { .. }));
+        let r = t.resume_back().unwrap();
+        assert_eq!(r, PauseReason::Started);
+    }
+
+    #[test]
+    fn reverse_watchpoint_sees_changes_backwards() {
+        let mut t = ReplayTracker::new(recording());
+        t.start().unwrap();
+        t.watch("x").unwrap();
+        // Run forward to the end, then backwards collecting watch hits.
+        while t.get_exit_code().is_none() {
+            t.step().unwrap();
+        }
+        let mut hits = 0;
+        loop {
+            match t.resume_back().unwrap() {
+                PauseReason::Watchpoint { .. } => hits += 1,
+                PauseReason::Started => break,
+                _ => {}
+            }
+        }
+        assert!(hits >= 2, "x changed at least twice, saw {hits}");
+    }
+
+    #[test]
+    fn reverse_before_start_fails() {
+        let mut t = ReplayTracker::new(recording());
+        assert!(matches!(t.step_back(), Err(TrackerError::NotStarted)));
+        assert!(matches!(t.resume_back(), Err(TrackerError::NotStarted)));
+    }
+}

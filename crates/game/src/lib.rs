@@ -1,0 +1,511 @@
+//! A game for learning debugging (paper §III-D, Fig. 9).
+//!
+//! Each [`Level`] bundles a grid map and a buggy program (MiniC like the
+//! paper's levels, though any EasyTracker language works) that moves
+//! a character across the map. The player's goal is to *fix the program*
+//! so the character picks up the key and reaches the exit through the
+//! door. The game controller drives the level program through the
+//! EasyTracker API — stepping it, watching the interesting variables
+//! (`has_key`, the position), and generating **incremental hints** from
+//! live inspection, which is exactly what the paper argues trace-based
+//! tools cannot do: the visualization (hints, map animation) depends on
+//! the program control itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use game::{Level, Game};
+//!
+//! let level = Level::level_one();
+//! // The shipped program is buggy: the character never picks up the key.
+//! let report = Game::new(level.clone()).play(&level.buggy_source).unwrap();
+//! assert!(!report.won);
+//! assert!(!report.hints.is_empty());
+//!
+//! // After the "player" fixes the bug, the level is won.
+//! let fixed = level.buggy_source.replace(
+//!     "/* BUG: the key is never picked up */",
+//!     "has_key = 1;",
+//! );
+//! let report = Game::new(level).play(&fixed).unwrap();
+//! assert!(report.won);
+//! ```
+
+pub mod map;
+
+pub use map::{Map, Tile};
+
+use easytracker::{init_tracker, PauseReason, Tracker, TrackerError};
+use std::fmt;
+
+/// A game level: map, buggy program, and win metadata.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// Display name.
+    pub name: String,
+    /// The grid map.
+    pub map: Map,
+    /// The buggy MiniC source handed to the player.
+    pub buggy_source: String,
+    /// File name used for the tracker.
+    pub file: String,
+}
+
+impl Level {
+    /// The paper's example level: the character walks over the key and to
+    /// the door, but `check_key` forgets to record the pickup, so the door
+    /// never opens.
+    pub fn level_one() -> Level {
+        let map = Map::parse(
+            "#######\n\
+             #S....#\n\
+             #.K...#\n\
+             #...D.E\n\
+             #######",
+        )
+        .expect("level map is well-formed");
+        let buggy_source = "\
+int x = 1; int y = 1;\n\
+int key_x = 2; int key_y = 2;\n\
+int door_x = 4; int door_y = 3;\n\
+int has_key = 0;\n\
+int door_open = 0;\n\
+\n\
+void check_key() {\n\
+    if (x == key_x && y == key_y) {\n\
+        /* BUG: the key is never picked up */\n\
+    }\n\
+}\n\
+\n\
+void step_to(int nx, int ny) {\n\
+    x = nx;\n\
+    y = ny;\n\
+    check_key();\n\
+}\n\
+\n\
+void try_door() {\n\
+    if (has_key == 1) {\n\
+        door_open = 1;\n\
+    }\n\
+}\n\
+\n\
+int main() {\n\
+    /* Walk over the key, then to the door (simulated play). */\n\
+    step_to(2, 1);\n\
+    step_to(2, 2);\n\
+    step_to(3, 2);\n\
+    step_to(3, 3);\n\
+    step_to(4, 3);\n\
+    try_door();\n\
+    if (door_open == 1) {\n\
+        step_to(6, 3);\n\
+    }\n\
+    return door_open;\n\
+}\n"
+            .to_owned();
+        Level {
+            name: "Level 1: the stubborn door".into(),
+            map,
+            buggy_source,
+            file: "level1.c".into(),
+        }
+    }
+
+    /// Level 2: an off-by-one bug. The walk loop stops one tile short of
+    /// the door, so the character never arrives — students must spot the
+    /// `<` that should be `<=` (or the wrong bound) by watching `x`.
+    pub fn level_two() -> Level {
+        let map = Map::parse(
+            "########\n\
+             #S.K..D.E\n\
+             ########",
+        )
+        .expect("level map is well-formed");
+        let buggy_source = "\
+int x = 1; int y = 1;\n\
+int key_x = 3; int key_y = 1;\n\
+int door_x = 6; int door_y = 1;\n\
+int has_key = 0;\n\
+int door_open = 0;\n\
+\n\
+void check_key() {\n\
+    if (x == key_x && y == key_y) {\n\
+        has_key = 1;\n\
+    }\n\
+}\n\
+\n\
+void step_to(int nx, int ny) {\n\
+    x = nx;\n\
+    y = ny;\n\
+    check_key();\n\
+}\n\
+\n\
+void try_door() {\n\
+    if (has_key == 1 && x == door_x && y == door_y) {\n\
+        door_open = 1;\n\
+    }\n\
+}\n\
+\n\
+int main() {\n\
+    /* BUG: walks to door_x - 1, one tile short of the door. */\n\
+    for (int i = x + 1; i < door_x; i++) {\n\
+        step_to(i, 1);\n\
+    }\n\
+    try_door();\n\
+    if (door_open == 1) {\n\
+        step_to(8, 1);\n\
+    }\n\
+    return door_open;\n\
+}\n"
+            .to_owned();
+        Level {
+            name: "Level 2: one step short".into(),
+            map,
+            buggy_source,
+            file: "level2.c".into(),
+        }
+    }
+}
+
+/// One frame of the played game (for rendering/replaying the animation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlayFrame {
+    /// Character position.
+    pub x: i64,
+    /// Character position.
+    pub y: i64,
+    /// Whether the key has been collected.
+    pub has_key: bool,
+    /// Whether the door is open.
+    pub door_open: bool,
+    /// Source line paused at.
+    pub line: u32,
+}
+
+/// The outcome of playing a level once.
+#[derive(Debug, Clone)]
+pub struct PlayReport {
+    /// Whether the character reached the exit through an open door.
+    pub won: bool,
+    /// Hints generated during the run, in order.
+    pub hints: Vec<String>,
+    /// Animation frames (one per observed movement).
+    pub frames: Vec<PlayFrame>,
+    /// The program's exit code.
+    pub exit_code: i64,
+    /// Illegal moves detected (into walls / out of bounds).
+    pub illegal_moves: Vec<(i64, i64)>,
+}
+
+impl fmt::Display for PlayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", if self.won { "YOU WIN!" } else { "not yet…" })?;
+        for h in &self.hints {
+            writeln!(f, "hint: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The game controller.
+#[derive(Debug)]
+pub struct Game {
+    level: Level,
+}
+
+impl Game {
+    /// Creates a game for a level.
+    pub fn new(level: Level) -> Self {
+        Game { level }
+    }
+
+    /// The level being played.
+    pub fn level(&self) -> &Level {
+        &self.level
+    }
+
+    /// Plays one round with the given (possibly player-edited) source.
+    ///
+    /// The controller tracks the position variables with watchpoints,
+    /// validates every move against the map, collects animation frames,
+    /// and emits incremental hints derived from live inspection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] when the edited program no longer
+    /// compiles (the player is told to fix their syntax first).
+    pub fn play(&self, source: &str) -> Result<PlayReport, TrackerError> {
+        // Any EasyTracker language works as a level language; the file
+        // extension picks the tracker (levels ship in MiniC, like the
+        // paper's, but a `.py` level runs unchanged).
+        let mut tracker = init_tracker(&self.level.file, source)?;
+        tracker.start()?;
+        tracker.watch("x")?;
+        tracker.watch("y")?;
+        tracker.watch("door_open")?;
+
+        let mut frames = Vec::new();
+        let mut hints = Vec::new();
+        let mut illegal_moves = Vec::new();
+        let mut visited_key_tile = false;
+        let mut hinted_key = false;
+        let mut hinted_door = false;
+
+        let read_int = |t: &mut dyn Tracker, name: &str| -> Option<i64> {
+            t.get_variable(name)
+                .ok()
+                .flatten()
+                .and_then(|v| match v.value().deref_fully().content() {
+                    state::Content::Primitive(state::Prim::Int(n)) => Some(*n),
+                    _ => None,
+                })
+        };
+
+        loop {
+            let reason = tracker.resume()?;
+            match reason {
+                PauseReason::Watchpoint { .. } => {
+                    // Until the position is fully bound (Python levels bind
+                    // variables one by one), there is nothing to draw.
+                    let (Some(x), Some(y)) = (
+                        read_int(tracker.as_mut(), "x"),
+                        read_int(tracker.as_mut(), "y"),
+                    ) else {
+                        continue;
+                    };
+                    let has_key = read_int(tracker.as_mut(), "has_key").unwrap_or(0) != 0;
+                    let door_open = read_int(tracker.as_mut(), "door_open").unwrap_or(0) != 0;
+                    let line = tracker.current_line().unwrap_or(0);
+                    frames.push(PlayFrame {
+                        x,
+                        y,
+                        has_key,
+                        door_open,
+                        line,
+                    });
+                    match self.level.map.tile_at(x, y) {
+                        None | Some(Tile::Wall) => illegal_moves.push((x, y)),
+                        Some(Tile::Key) => visited_key_tile = true,
+                        _ => {}
+                    }
+                    // Hint 1: walked over the key but has_key stayed 0.
+                    if visited_key_tile && !has_key && !hinted_key {
+                        // Only meaningful once check_key had its chance:
+                        // i.e. the *next* pause after stepping on the key.
+                        if self.level.map.tile_at(x, y) != Some(Tile::Key) {
+                            hints.push(
+                                "the character walked over the key, but `has_key` is \
+                                 still 0 — inspect `check_key`"
+                                    .into(),
+                            );
+                            hinted_key = true;
+                        }
+                    }
+                    // Hint 2: at the door without the key.
+                    if self.level.map.tile_at(x, y) == Some(Tile::Door)
+                        && !has_key
+                        && !hinted_door
+                    {
+                        hints.push(
+                            "the character reached the door, but without the key the \
+                             door stays closed"
+                                .into(),
+                        );
+                        hinted_door = true;
+                    }
+                }
+                PauseReason::Exited(_) => break,
+                _ => {}
+            }
+        }
+        // Post-run hint: the character never even reached the door.
+        let reached_door = frames
+            .iter()
+            .any(|f| self.level.map.tile_at(f.x, f.y) == Some(Tile::Door));
+        if !reached_door && !hinted_door {
+            if let Some(last) = frames.last() {
+                hints.push(format!(
+                    "the run ended with the character at ({}, {}) — it never \
+                     reached the door; check how far the walk goes",
+                    last.x, last.y
+                ));
+            }
+        }
+        let exit_code = tracker.get_exit_code().unwrap_or(-1);
+        let won = frames
+            .last()
+            .is_some_and(|f| {
+                self.level.map.tile_at(f.x, f.y) == Some(Tile::Exit) && f.door_open
+            })
+            && illegal_moves.is_empty();
+        tracker.terminate();
+        Ok(PlayReport {
+            won,
+            hints,
+            frames,
+            exit_code,
+            illegal_moves,
+        })
+    }
+
+    /// Renders the map with the character at the given frame (text mode).
+    pub fn render_frame(&self, frame: &PlayFrame) -> String {
+        self.level.map.render_with_character(frame.x, frame.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_source(level: &Level) -> String {
+        level.buggy_source.replace(
+            "/* BUG: the key is never picked up */",
+            "has_key = 1;",
+        )
+    }
+
+    #[test]
+    fn buggy_level_loses_with_hints() {
+        let level = Level::level_one();
+        let report = Game::new(level.clone()).play(&level.buggy_source).unwrap();
+        assert!(!report.won);
+        assert_eq!(report.exit_code, 0);
+        assert!(report
+            .hints
+            .iter()
+            .any(|h| h.contains("check_key")), "{:?}", report.hints);
+        assert!(report
+            .hints
+            .iter()
+            .any(|h| h.contains("door stays closed")));
+        // Character moved but never reached the exit tile.
+        assert!(!report.frames.is_empty());
+        let last = report.frames.last().unwrap();
+        assert_ne!(level.map.tile_at(last.x, last.y), Some(Tile::Exit));
+    }
+
+    #[test]
+    fn fixed_level_wins_cleanly() {
+        let level = Level::level_one();
+        let report = Game::new(level.clone())
+            .play(&fixed_source(&level))
+            .unwrap();
+        assert!(report.won, "hints: {:?}", report.hints);
+        assert_eq!(report.exit_code, 1);
+        assert!(report.illegal_moves.is_empty());
+        // The winning run needs no hints.
+        assert!(report.hints.is_empty());
+        let last = report.frames.last().unwrap();
+        assert_eq!(level.map.tile_at(last.x, last.y), Some(Tile::Exit));
+        assert!(last.has_key && last.door_open);
+    }
+
+    #[test]
+    fn syntax_errors_reported_to_player() {
+        let level = Level::level_one();
+        let broken = level.buggy_source.replace("int main()", "int main(");
+        assert!(matches!(
+            Game::new(level).play(&broken),
+            Err(TrackerError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn walking_into_walls_is_detected() {
+        let level = Level::level_one();
+        let cheating = level
+            .buggy_source
+            .replace("step_to(2, 1);", "step_to(0, 0);");
+        let report = Game::new(level).play(&cheating).unwrap();
+        assert!(!report.illegal_moves.is_empty());
+        assert!(!report.won);
+    }
+
+    #[test]
+    fn level_two_off_by_one() {
+        let level = Level::level_two();
+        let game = Game::new(level.clone());
+        // Buggy: picks the key up but stops short of the door.
+        let report = game.play(&level.buggy_source).unwrap();
+        assert!(!report.won);
+        assert!(report.frames.iter().any(|f| f.has_key));
+        assert!(report
+            .hints
+            .iter()
+            .all(|h| !h.contains("check_key")), "key hint must not fire: {:?}", report.hints);
+        // The game hints that the walk never reached the door.
+        assert!(report
+            .hints
+            .iter()
+            .any(|h| h.contains("never") && h.contains("door")), "{:?}", report.hints);
+        // Fix the loop bound; the level is won.
+        let fixed = level
+            .buggy_source
+            .replace("i < door_x", "i <= door_x");
+        let report = game.play(&fixed).unwrap();
+        assert!(report.won, "hints: {:?}", report.hints);
+        assert_eq!(report.exit_code, 1);
+    }
+
+    #[test]
+    fn frames_animate_the_walk() {
+        let level = Level::level_one();
+        let game = Game::new(level.clone());
+        let report = game.play(&fixed_source(&level)).unwrap();
+        // x changes: 1 -> 2 -> ... -> 6 over the run.
+        let xs: Vec<i64> = report.frames.iter().map(|f| f.x).collect();
+        assert!(xs.contains(&2) && xs.contains(&6));
+        // Rendering places the character.
+        let text = game.render_frame(report.frames.last().unwrap());
+        assert!(text.contains('@'));
+    }
+}
+
+#[cfg(test)]
+mod python_level_tests {
+    use super::*;
+
+    /// The same level-one game play expressed as a MiniPy program: the
+    /// game controller does not change at all (the paper's
+    /// language-agnosticity claim applied to the game tool).
+    #[test]
+    fn python_level_plays_through_the_same_controller() {
+        let map = Map::parse(
+            "#######\n\
+             #S....#\n\
+             #.K...#\n\
+             #...D.E\n\
+             #######",
+        )
+        .unwrap();
+        let source = r#"x = 1
+y = 1
+key_x = 2
+key_y = 2
+has_key = 0
+door_open = 0
+def step_to(nx, ny):
+    global x, y, has_key
+    x = nx
+    y = ny
+    if x == key_x and y == key_y:
+        has_key = 1
+for pos in [(2, 1), (2, 2), (3, 2), (3, 3), (4, 3)]:
+    step_to(pos[0], pos[1])
+if has_key == 1:
+    door_open = 1
+if door_open == 1:
+    step_to(6, 3)
+"#;
+        let level = Level {
+            name: "Python level".into(),
+            map,
+            buggy_source: source.to_owned(),
+            file: "level.py".into(),
+        };
+        let report = Game::new(level).play(source).unwrap();
+        assert!(report.won, "hints: {:?}", report.hints);
+        assert!(report.frames.iter().any(|f| f.has_key));
+    }
+}

@@ -1,0 +1,174 @@
+//! Grid maps for the debugging game.
+
+use std::fmt;
+
+/// One map tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tile {
+    /// Impassable wall (`#`).
+    Wall,
+    /// Walkable floor (`.`).
+    Floor,
+    /// The character's start tile (`S`, walkable).
+    Start,
+    /// The key tile (`K`).
+    Key,
+    /// The door tile (`D`, passable only with the key).
+    Door,
+    /// The exit tile (`E`).
+    Exit,
+}
+
+impl Tile {
+    fn from_char(c: char) -> Option<Tile> {
+        Some(match c {
+            '#' => Tile::Wall,
+            '.' => Tile::Floor,
+            'S' => Tile::Start,
+            'K' => Tile::Key,
+            'D' => Tile::Door,
+            'E' => Tile::Exit,
+            _ => return None,
+        })
+    }
+
+    fn to_char(self) -> char {
+        match self {
+            Tile::Wall => '#',
+            Tile::Floor => '.',
+            Tile::Start => 'S',
+            Tile::Key => 'K',
+            Tile::Door => 'D',
+            Tile::Exit => 'E',
+        }
+    }
+}
+
+/// A rectangular grid map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Map {
+    rows: Vec<Vec<Tile>>,
+}
+
+impl Map {
+    /// Parses a map from its textual form (rows of tile characters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid character.
+    pub fn parse(text: &str) -> Result<Map, String> {
+        let mut rows = Vec::new();
+        for (y, line) in text.lines().enumerate() {
+            let mut row = Vec::new();
+            for (x, c) in line.chars().enumerate() {
+                let tile = Tile::from_char(c)
+                    .ok_or_else(|| format!("invalid map character `{c}` at ({x}, {y})"))?;
+                row.push(tile);
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Err("empty map".into());
+        }
+        Ok(Map { rows })
+    }
+
+    /// The tile at `(x, y)`; `None` outside the map.
+    pub fn tile_at(&self, x: i64, y: i64) -> Option<Tile> {
+        if x < 0 || y < 0 {
+            return None;
+        }
+        self.rows
+            .get(y as usize)
+            .and_then(|row| row.get(x as usize))
+            .copied()
+    }
+
+    /// The start tile's position.
+    pub fn start(&self) -> Option<(i64, i64)> {
+        self.find(Tile::Start)
+    }
+
+    /// The first position of a tile kind.
+    pub fn find(&self, tile: Tile) -> Option<(i64, i64)> {
+        for (y, row) in self.rows.iter().enumerate() {
+            for (x, t) in row.iter().enumerate() {
+                if *t == tile {
+                    return Some((x as i64, y as i64));
+                }
+            }
+        }
+        None
+    }
+
+    /// Map dimensions `(width, height)` (width of the widest row).
+    pub fn size(&self) -> (usize, usize) {
+        let w = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        (w, self.rows.len())
+    }
+
+    /// Renders the map with the character (`@`) overlaid.
+    pub fn render_with_character(&self, cx: i64, cy: i64) -> String {
+        let mut out = String::new();
+        for (y, row) in self.rows.iter().enumerate() {
+            for (x, t) in row.iter().enumerate() {
+                if (x as i64, y as i64) == (cx, cy) {
+                    out.push('@');
+                } else {
+                    out.push(t.to_char());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Map {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            for t in row {
+                write!(f, "{}", t.to_char())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAP: &str = "#####\n#S.K#\n#.D.E\n#####";
+
+    #[test]
+    fn parse_and_query() {
+        let m = Map::parse(MAP).unwrap();
+        assert_eq!(m.size(), (5, 4));
+        assert_eq!(m.tile_at(1, 1), Some(Tile::Start));
+        assert_eq!(m.tile_at(3, 1), Some(Tile::Key));
+        assert_eq!(m.tile_at(2, 2), Some(Tile::Door));
+        assert_eq!(m.tile_at(4, 2), Some(Tile::Exit));
+        assert_eq!(m.tile_at(0, 0), Some(Tile::Wall));
+        assert_eq!(m.tile_at(-1, 0), None);
+        assert_eq!(m.tile_at(99, 0), None);
+        assert_eq!(m.start(), Some((1, 1)));
+        assert_eq!(m.find(Tile::Exit), Some((4, 2)));
+    }
+
+    #[test]
+    fn invalid_maps_rejected() {
+        assert!(Map::parse("").is_err());
+        assert!(Map::parse("#?#").unwrap_err().contains('?'));
+    }
+
+    #[test]
+    fn character_overlay() {
+        let m = Map::parse(MAP).unwrap();
+        let text = m.render_with_character(2, 1);
+        assert!(text.lines().nth(1).unwrap().contains("#S@K#"));
+        // Display shows the raw map.
+        assert_eq!(m.to_string().lines().count(), 4);
+    }
+}

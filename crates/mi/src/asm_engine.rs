@@ -1,0 +1,817 @@
+//! The RISC-V debugger engine: the MI command set over the simulator.
+//!
+//! Breakpoints are checked *before* executing the instruction at the
+//! paused pc (like a hardware debugger), function tracking keeps a shadow
+//! call stack keyed by `jal ra` / `jalr zero, 0(ra)` control transfers,
+//! and the pause-before-return check decodes the instruction at the pc —
+//! the direct analogue of the paper's scan-for-`retq` trick, applied to
+//! `ret`.
+//!
+//! Watchable things: registers by name (`a0`, `sp`, ...) and raw memory
+//! ranges written `*0xADDR:LEN`.
+
+use crate::protocol::{Command, Response};
+use crate::server::Engine;
+use miniasm::asm::AsmProgram;
+use miniasm::isa::{decode, parse_reg, reg_name, Inst};
+use miniasm::sim::{Control, Cpu};
+use state::{
+    ExitStatus, Frame, PauseReason, Prim, ProgramState, Scope, SourceLocation, Value, Variable,
+};
+
+#[derive(Debug, Clone)]
+enum BpKind {
+    Line(u32),
+    FuncEntry { addr: u32, maxdepth: Option<u32> },
+}
+
+#[derive(Debug, Clone)]
+struct Breakpoint {
+    id: u64,
+    kind: BpKind,
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    addr: u32,
+    name: String,
+    maxdepth: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum WatchKind {
+    Reg(u8),
+    Mem { addr: u32, len: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Watch {
+    id: u64,
+    name: String,
+    kind: WatchKind,
+    last: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Resume,
+    Step { line: u32 },
+    Next { line: u32, depth: usize },
+    Finish { depth: usize },
+}
+
+/// One shadow-stack entry.
+#[derive(Debug, Clone)]
+struct ShadowFrame {
+    name: String,
+    call_line: u32,
+}
+
+/// The RISC-V engine (see the [module docs](self)).
+#[derive(Debug)]
+pub struct AsmEngine {
+    cpu: Cpu,
+    started: bool,
+    bps: Vec<Breakpoint>,
+    tracked: Vec<Track>,
+    watches: Vec<Watch>,
+    next_id: u64,
+    shadow: Vec<ShadowFrame>,
+    last_reason: PauseReason,
+    output_cursor: usize,
+    crashed: Option<String>,
+    crash_reported: bool,
+}
+
+impl AsmEngine {
+    /// Creates an engine with the program loaded, paused at the entry.
+    pub fn new(program: &AsmProgram) -> Self {
+        let cpu = Cpu::new(program);
+        let entry_name = program
+            .label_at(program.entry)
+            .unwrap_or("main")
+            .to_owned();
+        AsmEngine {
+            cpu,
+            started: false,
+            bps: Vec::new(),
+            tracked: Vec::new(),
+            watches: Vec::new(),
+            next_id: 1,
+            shadow: vec![ShadowFrame {
+                name: entry_name,
+                call_line: 0,
+            }],
+            last_reason: PauseReason::NotStarted,
+            output_cursor: 0,
+            crashed: None,
+            crash_reported: false,
+        }
+    }
+
+    /// Read access to the CPU.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn location(&self, line: u32) -> SourceLocation {
+        SourceLocation::new(self.cpu.program().file.clone(), line)
+    }
+
+    /// Whether `pc` is the first instruction word of its source line
+    /// (multi-word pseudo-instructions only trigger line breakpoints once).
+    fn is_line_start(&self, pc: u32) -> bool {
+        let p = self.cpu.program();
+        match p.line_at(pc) {
+            Some(line) => pc < 4 || p.line_at(pc - 4) != Some(line),
+            None => false,
+        }
+    }
+
+    fn eval_watch(&self, kind: &WatchKind) -> Option<String> {
+        match kind {
+            WatchKind::Reg(r) => Some((self.cpu.reg(*r) as i32).to_string()),
+            WatchKind::Mem { addr, len } => self
+                .cpu
+                .read_mem(*addr, *len)
+                .map(|bytes| format!("{bytes:02x?}")),
+        }
+    }
+
+    fn check_watches(&mut self) -> Option<PauseReason> {
+        let evals: Vec<Option<String>> = self
+            .watches
+            .iter()
+            .map(|w| self.eval_watch(&w.kind))
+            .collect();
+        let mut hit = None;
+        for (w, current) in self.watches.iter_mut().zip(evals) {
+            let changed = current.is_some() && w.last != current;
+            if changed && hit.is_none() {
+                hit = Some(PauseReason::Watchpoint {
+                    id: w.id,
+                    variable: w.name.clone(),
+                    old: w.last.clone(),
+                    new: current.clone().expect("changed implies Some"),
+                });
+            }
+            if current.is_some() {
+                w.last = current;
+            }
+        }
+        hit
+    }
+
+    /// The decoded instruction about to execute, if decodable.
+    fn pending_inst(&self) -> Option<Inst> {
+        self.cpu.read_word(self.cpu.pc()).and_then(decode)
+    }
+
+    fn run(&mut self, mode: Mode) -> PauseReason {
+        if let Some(code) = self.cpu.exit_code() {
+            return PauseReason::Exited(ExitStatus::Exited(code));
+        }
+        if self.crashed.is_some() {
+            return PauseReason::Exited(ExitStatus::Crashed);
+        }
+        let mut first = true;
+        let mut finish_fired = false;
+        loop {
+            // ---- pre-execution checks (we are paused *before* pc) ------
+            if !first {
+                let pc = self.cpu.pc();
+                let line = self.cpu.current_line();
+                if let Some(bp) = self.bps.iter().find(|bp| match bp.kind {
+                    BpKind::Line(l) => l == line && self.is_line_start(pc),
+                    BpKind::FuncEntry { addr, maxdepth } => {
+                        addr == pc && maxdepth.is_none_or(|m| self.shadow.len() as u32 <= m + 1)
+                    }
+                }) {
+                    return PauseReason::Breakpoint {
+                        id: bp.id,
+                        location: self.location(line),
+                    };
+                }
+                // Tracked function entry: paused at its first instruction.
+                let depth = (self.shadow.len() - 1) as u32;
+                if let Some(t) = self.tracked.iter().find(|t| {
+                    t.addr == pc && t.maxdepth.is_none_or(|m| depth <= m)
+                }) {
+                    // Only when we *just* entered (previous instruction was
+                    // the call) — the shadow top carries the name.
+                    if self.shadow.last().map(|f| f.name.as_str()) == Some(t.name.as_str()) {
+                        return PauseReason::FunctionCall {
+                            function: t.name.clone(),
+                            depth,
+                        };
+                    }
+                }
+                // Tracked function about to return (paper's retq scan).
+                if matches!(
+                    self.pending_inst(),
+                    Some(Inst::Jalr { rd: 0, rs1: 1, imm: 0 })
+                ) {
+                    if let Some(top) = self.shadow.last() {
+                        let depth = (self.shadow.len() - 1) as u32;
+                        if self
+                            .tracked
+                            .iter()
+                            .any(|t| t.name == top.name && t.maxdepth.is_none_or(|m| depth <= m))
+                        {
+                            return PauseReason::FunctionReturn {
+                                function: top.name.clone(),
+                                depth,
+                                return_value: Some((self.cpu.reg(10) as i32).to_string()),
+                            };
+                        }
+                    }
+                }
+                if finish_fired {
+                    return PauseReason::Step;
+                }
+                match mode {
+                    Mode::Step { line: from } => {
+                        if line != from && line != 0 {
+                            return PauseReason::Step;
+                        }
+                    }
+                    Mode::Next { line: from, depth } => {
+                        if self.shadow.len() <= depth && line != from && line != 0 {
+                            return PauseReason::Step;
+                        }
+                    }
+                    Mode::Resume | Mode::Finish { .. } => {}
+                }
+            }
+            first = false;
+
+            // ---- execute one instruction -------------------------------
+            let info = match self.cpu.step() {
+                Ok(i) => i,
+                Err(e) => {
+                    self.crashed = Some(e.to_string());
+                    return PauseReason::Exited(ExitStatus::Crashed);
+                }
+            };
+            if let Some(code) = info.exit {
+                return PauseReason::Exited(ExitStatus::Exited(code));
+            }
+            match info.control {
+                Some(Control::Call { target }) => {
+                    let name = self
+                        .cpu
+                        .program()
+                        .label_at(target)
+                        .unwrap_or("<anonymous>")
+                        .to_owned();
+                    self.shadow.push(ShadowFrame {
+                        name,
+                        call_line: info.line,
+                    });
+                }
+                Some(Control::Return) => {
+                    if self.shadow.len() > 1 {
+                        self.shadow.pop();
+                    }
+                    if let Mode::Finish { depth } = mode {
+                        if self.shadow.len() < depth {
+                            finish_fired = true;
+                        }
+                    }
+                }
+                None => {}
+            }
+            if !self.watches.is_empty() {
+                if let Some(reason) = self.check_watches() {
+                    return reason;
+                }
+            }
+        }
+    }
+
+    fn control(&mut self, mode: Mode) -> Response {
+        if !self.started {
+            return Response::Error {
+                message: "inferior not started (call start first)".into(),
+            };
+        }
+        let reason = self.run(mode);
+        self.last_reason = reason.clone();
+        Response::Paused(reason)
+    }
+
+    /// Builds the frame chain from the shadow stack; the innermost frame
+    /// carries the register file as its variables.
+    fn build_state(&self) -> ProgramState {
+        let mut result: Option<Frame> = None;
+        let n = self.shadow.len();
+        for (depth, sf) in self.shadow.iter().enumerate() {
+            let line = if depth + 1 == n {
+                self.cpu.current_line()
+            } else {
+                // Parent frames show their call site.
+                self.shadow
+                    .get(depth + 1)
+                    .map(|child| child.call_line)
+                    .unwrap_or(0)
+            };
+            let mut frame = Frame::new(sf.name.clone(), depth as u32, self.location(line));
+            if depth + 1 == n {
+                for var in self.cpu.register_variables() {
+                    frame.insert_variable(var);
+                }
+            }
+            if let Some(parent) = result.take() {
+                frame.set_parent(parent);
+            }
+            result = Some(frame);
+        }
+        ProgramState::new(
+            result.expect("shadow stack never empty"),
+            self.data_globals(),
+            self.last_reason.clone(),
+        )
+    }
+
+    /// Data-segment labels as global variables (word values).
+    fn data_globals(&self) -> Vec<Variable> {
+        let p = self.cpu.program();
+        p.labels
+            .iter()
+            .filter(|(_, a)| *a >= p.data_base)
+            .map(|(name, addr)| {
+                let word = self.cpu.read_word(*addr).unwrap_or(0);
+                Variable::new(
+                    name.clone(),
+                    Scope::Global,
+                    Value::primitive(Prim::Int(word as i32 as i64), "word")
+                        .with_location(state::Location::Global)
+                        .with_address(*addr as u64),
+                )
+            })
+            .collect()
+    }
+}
+
+impl Engine for AsmEngine {
+    fn handle(&mut self, command: Command) -> Response {
+        match command {
+            Command::Start => {
+                if self.started {
+                    return Response::Error {
+                        message: "inferior already started".into(),
+                    };
+                }
+                self.started = true;
+                self.last_reason = PauseReason::Started;
+                // Paused before the entry instruction; nothing executed.
+                Response::Paused(PauseReason::Started)
+            }
+            Command::Resume => self.control(Mode::Resume),
+            Command::Step => {
+                let line = self.cpu.current_line();
+                self.control(Mode::Step { line })
+            }
+            Command::Next => {
+                let line = self.cpu.current_line();
+                let depth = self.shadow.len();
+                self.control(Mode::Next { line, depth })
+            }
+            Command::Finish => {
+                let depth = self.shadow.len();
+                if depth <= 1 {
+                    return Response::Error {
+                        message: "cannot finish the outermost frame".into(),
+                    };
+                }
+                self.control(Mode::Finish { depth })
+            }
+            Command::SetBreakLine { line } => {
+                let lines = self.cpu.program().breakable_lines();
+                let Some(&actual) = lines.iter().find(|&&l| l >= line) else {
+                    return Response::Error {
+                        message: format!("no code at or after line {line}"),
+                    };
+                };
+                let id = self.alloc_id();
+                self.bps.push(Breakpoint {
+                    id,
+                    kind: BpKind::Line(actual),
+                });
+                Response::Created { id }
+            }
+            Command::SetBreakFunc { function, maxdepth } => {
+                let Some(addr) = self.cpu.program().label(&function) else {
+                    return Response::Error {
+                        message: format!("unknown label `{function}`"),
+                    };
+                };
+                let id = self.alloc_id();
+                self.bps.push(Breakpoint {
+                    id,
+                    kind: BpKind::FuncEntry { addr, maxdepth },
+                });
+                Response::Created { id }
+            }
+            Command::TrackFunction { function, maxdepth } => {
+                let Some(addr) = self.cpu.program().label(&function) else {
+                    return Response::Error {
+                        message: format!("unknown label `{function}`"),
+                    };
+                };
+                self.tracked.push(Track {
+                    addr,
+                    name: function,
+                    maxdepth,
+                });
+                let id = self.alloc_id();
+                Response::Created { id }
+            }
+            Command::Watch { variable } => {
+                let kind = if let Some(r) = parse_reg(&variable) {
+                    WatchKind::Reg(r)
+                } else if let Some(spec) = variable.strip_prefix('*') {
+                    let (addr_s, len_s) = spec.split_once(':').unwrap_or((spec, "4"));
+                    let addr = parse_u32(addr_s);
+                    let len = parse_u32(len_s);
+                    match (addr, len) {
+                        (Some(addr), Some(len)) if len > 0 && len <= 256 => {
+                            WatchKind::Mem { addr, len }
+                        }
+                        _ => {
+                            return Response::Error {
+                                message: format!("bad memory watch `{variable}`"),
+                            }
+                        }
+                    }
+                } else if let Some(addr) = self.cpu.program().label(&variable) {
+                    WatchKind::Mem { addr, len: 4 }
+                } else {
+                    return Response::Error {
+                        message: format!(
+                            "cannot watch `{variable}` (register, label or *0xADDR:LEN)"
+                        ),
+                    };
+                };
+                let last = self.eval_watch(&kind);
+                let id = self.alloc_id();
+                self.watches.push(Watch {
+                    id,
+                    name: variable,
+                    kind,
+                    last,
+                });
+                Response::Created { id }
+            }
+            Command::Delete { id } => {
+                let before = self.bps.len() + self.watches.len();
+                self.bps.retain(|b| b.id != id);
+                self.watches.retain(|w| w.id != id);
+                if self.bps.len() + self.watches.len() == before {
+                    Response::Error {
+                        message: format!("no breakpoint or watchpoint {id}"),
+                    }
+                } else {
+                    Response::Ok
+                }
+            }
+            Command::GetState => {
+                if !self.started {
+                    return Response::Error {
+                        message: "inferior not started".into(),
+                    };
+                }
+                Response::State(Box::new(self.build_state()))
+            }
+            Command::GetGlobals => Response::Globals(self.data_globals()),
+            Command::GetVariable { name } => {
+                // Registers by name, then data labels as words, then text
+                // labels as FUNCTION values.
+                let var = if let Some(r) = parse_reg(&name) {
+                    Some(Variable::new(
+                        reg_name(r),
+                        Scope::Register,
+                        Value::primitive(Prim::Int(self.cpu.reg(r) as i32 as i64), "u32")
+                            .with_location(state::Location::Register),
+                    ))
+                } else if let Some(addr) = self.cpu.program().label(&name) {
+                    if addr >= self.cpu.program().data_base {
+                        let word = self.cpu.read_word(addr).unwrap_or(0);
+                        Some(Variable::new(
+                            name,
+                            Scope::Global,
+                            Value::primitive(Prim::Int(word as i32 as i64), "word")
+                                .with_location(state::Location::Global)
+                                .with_address(addr as u64),
+                        ))
+                    } else {
+                        Some(Variable::new(
+                            name.clone(),
+                            Scope::Global,
+                            Value::function(name, "label")
+                                .with_location(state::Location::Global)
+                                .with_address(addr as u64),
+                        ))
+                    }
+                } else {
+                    None
+                };
+                Response::Variable(var)
+            }
+            Command::GetRegisters => Response::Registers(self.cpu.register_variables()),
+            Command::ReadMemory { addr, len } => {
+                match self.cpu.read_mem(addr as u32, len.min(64 * 1024) as u32) {
+                    Some(bytes) => Response::Memory(bytes.to_vec()),
+                    None => Response::Error {
+                        message: format!("memory range {addr:#x}+{len} out of bounds"),
+                    },
+                }
+            }
+            Command::GetOutput => {
+                let all = self.cpu.output();
+                let new = all[self.output_cursor.min(all.len())..].to_owned();
+                self.output_cursor = all.len();
+                let with_crash = match &self.crashed {
+                    Some(msg) if !self.crash_reported => {
+                        self.crash_reported = true;
+                        format!("{new}{msg}\n")
+                    }
+                    _ => new,
+                };
+                Response::Output(with_crash)
+            }
+            Command::GetExitCode => Response::ExitCode(if self.crashed.is_some() {
+                Some(-1)
+            } else {
+                self.cpu.exit_code()
+            }),
+            Command::GetSource => Response::Source {
+                file: self.cpu.program().file.clone(),
+                text: self.cpu.program().source.clone(),
+            },
+            Command::GetBreakableLines => {
+                Response::Lines(self.cpu.program().breakable_lines())
+            }
+            Command::Terminate => Response::Ok,
+        }
+    }
+}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniasm::asm::assemble;
+
+    fn engine(src: &str) -> AsmEngine {
+        AsmEngine::new(&assemble("t.s", src).unwrap())
+    }
+
+    fn paused(r: Response) -> PauseReason {
+        match r {
+            Response::Paused(p) => p,
+            other => panic!("expected Paused, got {other:?}"),
+        }
+    }
+
+    const SUM: &str = "main:\n    li t0, 0\n    li t1, 1\nloop:\n    li t2, 5\n    bgt t1, t2, done\n    add t0, t0, t1\n    addi t1, t1, 1\n    j loop\ndone:\n    mv a0, t0\n    li a7, 93\n    ecall";
+
+    #[test]
+    fn resume_runs_to_exit() {
+        let mut e = engine(SUM);
+        assert_eq!(paused(e.handle(Command::Start)), PauseReason::Started);
+        let r = paused(e.handle(Command::Resume));
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Exited(15)));
+        assert_eq!(e.handle(Command::GetExitCode), Response::ExitCode(Some(15)));
+    }
+
+    #[test]
+    fn stepping_by_source_line() {
+        let mut e = engine(SUM);
+        e.handle(Command::Start);
+        paused(e.handle(Command::Step)); // past li t0
+        paused(e.handle(Command::Step));
+        match e.handle(Command::GetRegisters) {
+            Response::Registers(regs) => {
+                let t0 = regs.iter().find(|r| r.name() == "t0").unwrap();
+                assert_eq!(state::render_value(t0.value()), "0");
+                let t1 = regs.iter().find(|r| r.name() == "t1").unwrap();
+                assert_eq!(state::render_value(t1.value()), "1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_breakpoint_hits_once_per_pass() {
+        let mut e = engine(SUM);
+        e.handle(Command::SetBreakLine { line: 7 }); // the add
+        e.handle(Command::Start);
+        let mut hits = 0;
+        loop {
+            match paused(e.handle(Command::Resume)) {
+                PauseReason::Breakpoint { location, .. } => {
+                    assert_eq!(location.line(), 7);
+                    hits += 1;
+                }
+                PauseReason::Exited(_) => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(hits, 5);
+    }
+
+    const CALLPROG: &str = "main:\n    li a0, 3\n    call double\n    li a7, 93\n    ecall\ndouble:\n    add a0, a0, a0\n    ret";
+
+    #[test]
+    fn function_breakpoint_and_tracking() {
+        let mut e = engine(CALLPROG);
+        e.handle(Command::TrackFunction {
+            function: "double".into(),
+            maxdepth: None,
+        });
+        e.handle(Command::Start);
+        let r = paused(e.handle(Command::Resume));
+        match r {
+            PauseReason::FunctionCall { function, depth } => {
+                assert_eq!(function, "double");
+                assert_eq!(depth, 1);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // a0 holds the argument at entry.
+        match e.handle(Command::GetVariable { name: "a0".into() }) {
+            Response::Variable(Some(v)) => assert_eq!(state::render_value(v.value()), "3"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let r = paused(e.handle(Command::Resume));
+        match r {
+            PauseReason::FunctionReturn {
+                function,
+                return_value,
+                ..
+            } => {
+                assert_eq!(function, "double");
+                assert_eq!(return_value.as_deref(), Some("6"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let r = paused(e.handle(Command::Resume));
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Exited(6)));
+    }
+
+    #[test]
+    fn shadow_stack_frames_in_state() {
+        let mut e = engine(CALLPROG);
+        e.handle(Command::SetBreakFunc {
+            function: "double".into(),
+            maxdepth: None,
+        });
+        e.handle(Command::Start);
+        paused(e.handle(Command::Resume));
+        match e.handle(Command::GetState) {
+            Response::State(st) => {
+                let names: Vec<_> = st.frame.chain().map(|f| f.name().to_owned()).collect();
+                assert_eq!(names, ["double", "main"]);
+                assert!(st.frame.variable("a0").is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_watchpoint() {
+        let mut e = engine(SUM);
+        e.handle(Command::Start);
+        e.handle(Command::Watch {
+            variable: "t1".into(),
+        });
+        let mut changes = Vec::new();
+        for _ in 0..3 {
+            match paused(e.handle(Command::Resume)) {
+                PauseReason::Watchpoint { variable, new, .. } => {
+                    assert_eq!(variable, "t1");
+                    changes.push(new);
+                }
+                PauseReason::Exited(_) => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(changes, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn memory_watch_on_data_label() {
+        let src = ".data\ncounter: .word 0\n.text\nmain:\n    la t0, counter\n    li t1, 7\n    sw t1, 0(t0)\n    li a7, 10\n    ecall";
+        let mut e = engine(src);
+        e.handle(Command::Start);
+        e.handle(Command::Watch {
+            variable: "counter".into(),
+        });
+        let r = paused(e.handle(Command::Resume));
+        assert!(matches!(r, PauseReason::Watchpoint { .. }));
+    }
+
+    #[test]
+    fn next_steps_over_call() {
+        let mut e = engine(CALLPROG);
+        e.handle(Command::Start);
+        paused(e.handle(Command::Step)); // li a0 done, at call line
+        let r = paused(e.handle(Command::Next)); // steps over double
+        assert_eq!(r, PauseReason::Step);
+        match e.handle(Command::GetState) {
+            Response::State(st) => {
+                assert_eq!(st.frame.name(), "main");
+                assert_eq!(st.frame.location().line(), 4); // li a7, 93
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_memory_and_globals() {
+        let src = ".data\nvalue: .word 1234\n.text\nmain:\n    li a7, 10\n    ecall";
+        let mut e = engine(src);
+        e.handle(Command::Start);
+        match e.handle(Command::GetGlobals) {
+            Response::Globals(gs) => {
+                let v = gs.iter().find(|g| g.name() == "value").unwrap();
+                assert_eq!(state::render_value(v.value()), "1234");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let addr = e.cpu().program().label("value").unwrap();
+        match e.handle(Command::ReadMemory {
+            addr: addr as u64,
+            len: 4,
+        }) {
+            Response::Memory(bytes) => assert_eq!(bytes, 1234i32.to_le_bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_collected() {
+        let src = ".data\nmsg: .asciz \"ok\"\n.text\nmain:\n    la a0, msg\n    li a7, 4\n    ecall\n    li a7, 10\n    ecall";
+        let mut e = engine(src);
+        e.handle(Command::Start);
+        paused(e.handle(Command::Resume));
+        assert_eq!(e.handle(Command::GetOutput), Response::Output("ok".into()));
+    }
+
+    #[test]
+    fn crash_reported() {
+        let src = "main:\n    li t0, 0x20000\n    lw t1, 0(t0)";
+        let mut e = engine(src);
+        e.handle(Command::Start);
+        let r = paused(e.handle(Command::Resume));
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Crashed));
+        match e.handle(Command::GetOutput) {
+            Response::Output(o) => assert!(o.contains("out of range")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod label_lookup_tests {
+    use super::*;
+    use miniasm::asm::assemble;
+
+    #[test]
+    fn labels_resolve_as_variables() {
+        let src = ".data\ncount: .word 7\n.text\nmain:\n    li a7, 10\n    ecall\nhelper:\n    ret";
+        let mut e = AsmEngine::new(&assemble("t.s", src).unwrap());
+        e.handle(Command::Start);
+        match e.handle(Command::GetVariable { name: "count".into() }) {
+            Response::Variable(Some(v)) => {
+                assert_eq!(state::render_value(v.value()), "7");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match e.handle(Command::GetVariable { name: "helper".into() }) {
+            Response::Variable(Some(v)) => {
+                assert_eq!(v.value().abstract_type(), state::AbstractType::Function);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match e.handle(Command::GetVariable { name: "nonesuch".into() }) {
+            Response::Variable(None) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `mi-server` — serves a debugger engine for one inferior over
+//! stdin/stdout, one JSON frame per line.
+//!
+//! This is the paper's deployment shape made literal: the tracker runs
+//! `mi-server <program>` as a child process and talks to it through real
+//! OS pipes, exactly as its GDB tracker runs `gdb --interpreter=mi`.
+//!
+//! ```text
+//! mi-server prog.c     # MiniC engine
+//! mi-server prog.s     # RISC-V engine
+//! ```
+
+use mi::transport::StreamTransport;
+use mi::{asm_engine::AsmEngine, minic_engine::MinicEngine, Server};
+use std::io::{stdin, stdout, Read};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: mi-server <program.c|program.s|->");
+        std::process::exit(2);
+    };
+    // `-` reads the program from a leading source block on stdin is not
+    // supported (frames own stdin); require a file path.
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mi-server: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let transport = StreamTransport::new(LockedStdin, stdout());
+    if path.ends_with(".s") || path.ends_with(".asm") {
+        let program = match miniasm::asm::assemble(&path, &source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mi-server: {e}");
+                std::process::exit(1);
+            }
+        };
+        Server::new(AsmEngine::new(&program), transport).serve();
+    } else {
+        let program = match minic::compile(&path, &source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mi-server: {e}");
+                std::process::exit(1);
+            }
+        };
+        Server::new(MinicEngine::new(&program), transport).serve();
+    }
+}
+
+/// `Stdin` is not `Read` by value without locking games; a tiny adapter.
+struct LockedStdin;
+
+impl Read for LockedStdin {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        stdin().lock().read(buf)
+    }
+}

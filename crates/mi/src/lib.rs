@@ -1,0 +1,142 @@
+//! The machine-interface (MI) layer: the GDB/MI analogue of the
+//! EasyTracker reproduction.
+//!
+//! The paper's GDB tracker (Fig. 4) runs GDB as a subprocess in MI mode and
+//! exchanges serialized commands and state over a pipe. This crate
+//! reproduces that architecture:
+//!
+//! * [`protocol`] — the command/response vocabulary, serde-serializable;
+//! * [`transport`] — framed byte transports; [`transport::duplex`] builds
+//!   the in-process analogue of the OS pipe (bytes really are serialized,
+//!   framed, sent, and parsed on the other side);
+//! * [`server`] — [`server::Server`] pumps commands into an [`Engine`],
+//!   [`server::Client`] is the tracker-side stub;
+//! * [`minic_engine`] — wraps the MiniC VM: breakpoints (line and
+//!   function-with-`maxdepth`), function tracking with pause-before-return,
+//!   watchpoints driven by store events, step/next/finish;
+//! * [`asm_engine`] — the same contract over the RISC-V simulator, with a
+//!   shadow call stack for function tracking and register/memory access.
+//!
+//! # Examples
+//!
+//! ```
+//! use mi::{spawn_minic, protocol::{Command, Response}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = minic::compile("t.c", "int main() { return 40 + 2; }")?;
+//! let mut session = spawn_minic(&program);
+//! session.client.call(Command::Start)?;
+//! let reply = session.client.call(Command::Resume)?;
+//! match reply {
+//!     Response::Paused(reason) => assert_eq!(reason.to_string(), "exited (42)"),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! session.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm_engine;
+pub mod minic_engine;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use protocol::{Command, Response};
+pub use server::{Client, Engine, Server};
+
+use std::fmt;
+use std::thread::JoinHandle;
+
+/// Errors at the MI layer (transport failures, protocol violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiError {
+    /// The peer hung up.
+    Disconnected,
+    /// A frame failed to encode/decode.
+    Codec(String),
+    /// The engine reported an error.
+    Engine(String),
+}
+
+impl fmt::Display for MiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiError::Disconnected => write!(f, "machine-interface peer disconnected"),
+            MiError::Codec(m) => write!(f, "machine-interface codec error: {m}"),
+            MiError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MiError {}
+
+/// A running engine session: the client stub plus the server thread handle.
+pub struct Session {
+    /// Tracker-side stub; send commands through it.
+    pub client: Client<transport::ChannelTransport>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Sends `Terminate` (best effort) and joins the server thread.
+    pub fn shutdown(mut self) {
+        let _ = self.client.call(Command::Terminate);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Destructors must not fail or block indefinitely: fire Terminate
+        // and detach if the user did not call `shutdown`.
+        if self.handle.take().is_some() {
+            let _ = self.client.call(Command::Terminate);
+        }
+    }
+}
+
+/// Spawns a MiniC engine on its own thread (the "GDB subprocess" analogue)
+/// and returns the connected session.
+pub fn spawn_minic(program: &minic::Program) -> Session {
+    let (a, b) = transport::duplex();
+    let engine = minic_engine::MinicEngine::new(program);
+    let handle = std::thread::Builder::new()
+        .name("mi-minic-engine".into())
+        .spawn(move || {
+            let mut server = Server::new(engine, b);
+            server.serve();
+        })
+        .expect("spawn engine thread");
+    Session {
+        client: Client::new(a),
+        handle: Some(handle),
+    }
+}
+
+/// Spawns a RISC-V engine on its own thread and returns the session.
+pub fn spawn_asm(program: &miniasm::asm::AsmProgram) -> Session {
+    let (a, b) = transport::duplex();
+    let engine = asm_engine::AsmEngine::new(program);
+    let handle = std::thread::Builder::new()
+        .name("mi-asm-engine".into())
+        .spawn(move || {
+            let mut server = Server::new(engine, b);
+            server.serve();
+        })
+        .expect("spawn engine thread");
+    Session {
+        client: Client::new(a),
+        handle: Some(handle),
+    }
+}

@@ -1,0 +1,840 @@
+//! The MiniC debugger engine: implements the MI command set over the
+//! MiniC VM's event stream.
+//!
+//! This is where GDB's control features are reproduced:
+//!
+//! * **line breakpoints** pause at `Line` events;
+//! * **function breakpoints with `maxdepth`** pause at `Call` events (the
+//!   paper implements `maxdepth` as a GDB extension that silently resumes
+//!   when the frame is too deep — the same filter lives in
+//!   [`MinicEngine`]);
+//! * **function tracking** pauses at `Call` events *and* at `Return`
+//!   events, which the VM emits while the returning frame is still intact
+//!   (reproducing the paper's breakpoint-on-`retq` trick);
+//! * **watchpoints** re-evaluate watched variables at every store event —
+//!   store events are only enabled while watchpoints exist, so the
+//!   paper's "watchpoints slow execution down a lot" behaviour is
+//!   measurable;
+//! * **step / next / finish** with GDB's line-change semantics.
+
+use crate::protocol::{Command, Response};
+use crate::server::Engine;
+use minic::inspect::{self, InspectOptions};
+use minic::vm::{Event, Vm};
+use minic::Program;
+use state::{
+    ExitStatus, PauseReason, ProgramState, Prim, SourceLocation, Value, Variable,
+};
+
+#[derive(Debug, Clone)]
+enum BpKind {
+    Line(u32),
+    FuncEntry { function: String, maxdepth: Option<u32> },
+}
+
+#[derive(Debug, Clone)]
+struct Breakpoint {
+    id: u64,
+    kind: BpKind,
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    function: String,
+    maxdepth: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct Watch {
+    id: u64,
+    name: String,
+    last: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Start,
+    Resume,
+    Step { line: u32, depth: usize },
+    Next { line: u32, depth: usize },
+    Finish { depth: usize },
+}
+
+/// The MiniC engine (see the [module docs](self)).
+#[derive(Debug)]
+pub struct MinicEngine {
+    vm: Vm,
+    started: bool,
+    bps: Vec<Breakpoint>,
+    tracked: Vec<Track>,
+    watches: Vec<Watch>,
+    next_id: u64,
+    last_reason: PauseReason,
+    output_cursor: usize,
+    crashed: Option<String>,
+    crash_reported: bool,
+    /// Set while a `finish` waits for the target frame's return event.
+    finish_fired: bool,
+}
+
+impl MinicEngine {
+    /// Creates an engine with the program loaded but not started.
+    pub fn new(program: &Program) -> Self {
+        MinicEngine {
+            vm: Vm::new(program),
+            started: false,
+            bps: Vec::new(),
+            tracked: Vec::new(),
+            watches: Vec::new(),
+            next_id: 1,
+            last_reason: PauseReason::NotStarted,
+            output_cursor: 0,
+            crashed: None,
+            crash_reported: false,
+            finish_fired: false,
+        }
+    }
+
+    /// Read access to the VM (used by in-process tools and benches).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn location(&self, line: u32) -> SourceLocation {
+        SourceLocation::new(self.vm.program().file.clone(), line)
+    }
+
+    /// Renders the current value of a watched variable, `None` when it is
+    /// not in scope.
+    fn eval_watch(&self, name: &str) -> Option<String> {
+        self.lookup_variable(name)
+            .map(|v| state::render_value(v.value()))
+    }
+
+    /// Resolves `var` / `function::var` against the live frames, then the
+    /// globals.
+    fn lookup_variable(&self, name: &str) -> Option<Variable> {
+        if self.vm.frames().is_empty() {
+            return None;
+        }
+        let opts = InspectOptions::default();
+        let program = self.vm.program();
+        let (func_filter, var) = match name.split_once("::") {
+            Some((f, v)) => (Some(f), v),
+            None => (None, name),
+        };
+        // Innermost matching frame first.
+        for fi in self.vm.frames().iter().rev() {
+            let meta = &program.functions[fi.function];
+            if let Some(f) = func_filter {
+                if meta.name != f {
+                    continue;
+                }
+            }
+            if let Some(local) = meta
+                .locals
+                .iter()
+                .find(|l| l.name == var && (l.is_param || l.decl_line <= fi.line))
+            {
+                let addr = fi.base + local.offset;
+                let value = inspect::read_value(&self.vm, addr, &local.ty, opts)
+                    .with_location(state::Location::Stack)
+                    .with_address(addr);
+                let scope = if local.is_param {
+                    state::Scope::Parameter
+                } else {
+                    state::Scope::Local
+                };
+                return Some(Variable::new(local.name.clone(), scope, value));
+            }
+            if func_filter.is_none() {
+                // Unqualified names only look at the innermost frame
+                // before falling back to globals, like a debugger.
+                break;
+            }
+        }
+        if func_filter.is_none() {
+            if let Some(g) = program.globals.iter().find(|g| g.name == var) {
+                let value = inspect::read_value(&self.vm, g.addr, &g.ty, opts)
+                    .with_location(state::Location::Global)
+                    .with_address(g.addr);
+                return Some(Variable::new(g.name.clone(), state::Scope::Global, value));
+            }
+            // Function symbols are inspectable as FUNCTION values (the
+            // paper's abstract type for C function designators).
+            if let Some((idx, f)) = program.function(var) {
+                let value = Value::function(f.name.clone(), "function")
+                    .with_location(state::Location::Global)
+                    .with_address(idx as u64);
+                return Some(Variable::new(f.name.clone(), state::Scope::Global, value));
+            }
+        }
+        None
+    }
+
+    /// Checks all watchpoints; returns the pause reason for the first
+    /// changed one.
+    fn check_watches(&mut self) -> Option<PauseReason> {
+        let mut hit = None;
+        // Evaluate first (immutable), then update (mutable).
+        let evals: Vec<Option<String>> = self
+            .watches
+            .iter()
+            .map(|w| self.eval_watch(&w.name))
+            .collect();
+        for (w, current) in self.watches.iter_mut().zip(evals) {
+            // A C variable becoming *visible* (entering scope) is not a
+            // modification — prime silently; only value changes trigger.
+            let changed = current.is_some() && w.last.is_some() && w.last != current;
+            if changed && hit.is_none() {
+                hit = Some(PauseReason::Watchpoint {
+                    id: w.id,
+                    variable: w.name.clone(),
+                    old: w.last.clone(),
+                    new: current.clone().expect("changed implies Some"),
+                });
+            }
+            if current.is_some() {
+                w.last = current;
+            }
+        }
+        hit
+    }
+
+    /// Runs the VM until a pause condition for `mode` is met.
+    fn run(&mut self, mode: Mode) -> PauseReason {
+        if let Some(code) = self.vm.exit_code() {
+            return PauseReason::Exited(ExitStatus::Exited(code));
+        }
+        if self.crashed.is_some() {
+            return PauseReason::Exited(ExitStatus::Crashed);
+        }
+        self.finish_fired = false;
+        loop {
+            let event = match self.vm.step() {
+                Ok(ev) => ev,
+                Err(e) => {
+                    self.crashed = Some(e.to_string());
+                    return PauseReason::Exited(ExitStatus::Crashed);
+                }
+            };
+            match event {
+                Event::Line(n) => {
+                    if !self.watches.is_empty() {
+                        if let Some(reason) = self.check_watches() {
+                            return reason;
+                        }
+                    }
+                    if let Some(bp) = self.bps.iter().find(|bp| {
+                        matches!(bp.kind, BpKind::Line(l) if l == n)
+                    }) {
+                        return PauseReason::Breakpoint {
+                            id: bp.id,
+                            location: self.location(n),
+                        };
+                    }
+                    if self.finish_fired {
+                        return PauseReason::Step;
+                    }
+                    let depth = self.vm.frames().len();
+                    match mode {
+                        Mode::Start => return PauseReason::Started,
+                        Mode::Step { line, depth: d } => {
+                            if n != line || depth != d {
+                                return PauseReason::Step;
+                            }
+                        }
+                        Mode::Next { line, depth: d } => {
+                            if depth < d || (depth == d && n != line) {
+                                return PauseReason::Step;
+                            }
+                        }
+                        Mode::Resume | Mode::Finish { .. } => {}
+                    }
+                }
+                Event::Call { function, depth } => {
+                    let name = &self.vm.program().functions[function].name;
+                    if let Some(bp) = self.bps.iter().find(|bp| match &bp.kind {
+                        BpKind::FuncEntry { function: f, maxdepth } => {
+                            f == name && maxdepth.is_none_or(|m| depth <= m)
+                        }
+                        BpKind::Line(_) => false,
+                    }) {
+                        let line = self.vm.program().functions[function].line;
+                        return PauseReason::Breakpoint {
+                            id: bp.id,
+                            location: self.location(line),
+                        };
+                    }
+                    if self
+                        .tracked
+                        .iter()
+                        .any(|t| t.function == *name && t.maxdepth.is_none_or(|m| depth <= m))
+                    {
+                        return PauseReason::FunctionCall {
+                            function: name.clone(),
+                            depth,
+                        };
+                    }
+                }
+                Event::Return {
+                    function,
+                    depth,
+                    value,
+                } => {
+                    let name = self.vm.program().functions[function].name.clone();
+                    if self
+                        .tracked
+                        .iter()
+                        .any(|t| t.function == name && t.maxdepth.is_none_or(|m| depth <= m))
+                    {
+                        return PauseReason::FunctionReturn {
+                            function: name,
+                            depth,
+                            return_value: value.map(|v| v.to_string()),
+                        };
+                    }
+                    if let Mode::Finish { depth: d } = mode {
+                        if depth as usize == d {
+                            self.finish_fired = true;
+                        }
+                    }
+                }
+                Event::Store { .. } => {
+                    if let Some(reason) = self.check_watches() {
+                        return reason;
+                    }
+                }
+                Event::Output(_) => {}
+                Event::Exited(code) => {
+                    return PauseReason::Exited(ExitStatus::Exited(code));
+                }
+            }
+        }
+    }
+
+    fn control(&mut self, mode: Mode) -> Response {
+        if !self.started && !matches!(mode, Mode::Start) {
+            return Response::Error {
+                message: "inferior not started (call start first)".into(),
+            };
+        }
+        let reason = self.run(mode);
+        self.last_reason = reason.clone();
+        Response::Paused(reason)
+    }
+
+    fn current_position(&self) -> (u32, usize) {
+        let line = self
+            .vm
+            .frames()
+            .last()
+            .map(|f| f.line)
+            .unwrap_or(0);
+        (line, self.vm.frames().len())
+    }
+}
+
+impl Engine for MinicEngine {
+    fn handle(&mut self, command: Command) -> Response {
+        match command {
+            Command::Start => {
+                if self.started {
+                    return Response::Error {
+                        message: "inferior already started".into(),
+                    };
+                }
+                self.started = true;
+                self.control(Mode::Start)
+            }
+            Command::Resume => self.control(Mode::Resume),
+            Command::Step => {
+                let (line, depth) = self.current_position();
+                self.control(Mode::Step { line, depth })
+            }
+            Command::Next => {
+                let (line, depth) = self.current_position();
+                self.control(Mode::Next { line, depth })
+            }
+            Command::Finish => {
+                let (_, depth) = self.current_position();
+                if depth <= 1 {
+                    return Response::Error {
+                        message: "cannot finish the outermost frame".into(),
+                    };
+                }
+                // Depth as reported in Return events is 0-based.
+                self.control(Mode::Finish { depth: depth - 1 })
+            }
+            Command::SetBreakLine { line } => {
+                // Like GDB: slide to the next line that really holds code.
+                let lines = self.vm.program().breakable_lines();
+                let Some(&actual) = lines.range(line..).next() else {
+                    return Response::Error {
+                        message: format!("no code at or after line {line}"),
+                    };
+                };
+                let id = self.alloc_id();
+                self.bps.push(Breakpoint {
+                    id,
+                    kind: BpKind::Line(actual),
+                });
+                Response::Created { id }
+            }
+            Command::SetBreakFunc { function, maxdepth } => {
+                if self.vm.program().function(&function).is_none() {
+                    return Response::Error {
+                        message: format!("unknown function `{function}`"),
+                    };
+                }
+                let id = self.alloc_id();
+                self.bps.push(Breakpoint {
+                    id,
+                    kind: BpKind::FuncEntry { function, maxdepth },
+                });
+                Response::Created { id }
+            }
+            Command::TrackFunction { function, maxdepth } => {
+                if self.vm.program().function(&function).is_none() {
+                    return Response::Error {
+                        message: format!("unknown function `{function}`"),
+                    };
+                }
+                self.tracked.push(Track { function, maxdepth });
+                let id = self.alloc_id();
+                Response::Created { id }
+            }
+            Command::Watch { variable } => {
+                let last = self.eval_watch(&variable);
+                let id = self.alloc_id();
+                self.watches.push(Watch {
+                    id,
+                    name: variable,
+                    last,
+                });
+                // Watchpoints require store events: this is the expensive
+                // mode the paper warns about.
+                self.vm.set_store_events(true);
+                Response::Created { id }
+            }
+            Command::Delete { id } => {
+                let before = self.bps.len() + self.watches.len();
+                self.bps.retain(|b| b.id != id);
+                self.watches.retain(|w| w.id != id);
+                if self.watches.is_empty() {
+                    self.vm.set_store_events(false);
+                }
+                if self.bps.len() + self.watches.len() == before {
+                    Response::Error {
+                        message: format!("no breakpoint or watchpoint {id}"),
+                    }
+                } else {
+                    Response::Ok
+                }
+            }
+            Command::GetState => {
+                if !self.started || self.vm.frames().is_empty() {
+                    return Response::Error {
+                        message: "no frames to inspect".into(),
+                    };
+                }
+                let frame = inspect::current_frame(&self.vm);
+                let globals = inspect::global_variables(&self.vm);
+                Response::State(Box::new(ProgramState::new(
+                    frame,
+                    globals,
+                    self.last_reason.clone(),
+                )))
+            }
+            Command::GetGlobals => Response::Globals(inspect::global_variables(&self.vm)),
+            Command::GetVariable { name } => Response::Variable(self.lookup_variable(&name)),
+            Command::GetRegisters => {
+                // Pseudo-registers of the C VM: stack pointer and current
+                // line (the paper's Fig. 7 registers come from the
+                // assembly engine; these are still useful for tools).
+                let sp = self.vm.stack_pointer();
+                let (line, depth) = self.current_position();
+                Response::Registers(vec![
+                    Variable::new(
+                        "sp",
+                        state::Scope::Register,
+                        Value::primitive(Prim::Int(sp as i64), "u64")
+                            .with_location(state::Location::Register),
+                    ),
+                    Variable::new(
+                        "line",
+                        state::Scope::Register,
+                        Value::primitive(Prim::Int(line as i64), "u32")
+                            .with_location(state::Location::Register),
+                    ),
+                    Variable::new(
+                        "depth",
+                        state::Scope::Register,
+                        Value::primitive(Prim::Int(depth as i64), "u32")
+                            .with_location(state::Location::Register),
+                    ),
+                ])
+            }
+            Command::ReadMemory { addr, len } => {
+                match self.vm.memory().read_bytes(addr, len.min(64 * 1024)) {
+                    Ok(bytes) => Response::Memory(bytes.to_vec()),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Command::GetOutput => {
+                let all = self.vm.output();
+                let new = all[self.output_cursor.min(all.len())..].to_owned();
+                self.output_cursor = all.len();
+                let with_crash = match &self.crashed {
+                    Some(msg) if !self.crash_reported => {
+                        self.crash_reported = true;
+                        format!("{new}{msg}\n")
+                    }
+                    _ => new,
+                };
+                Response::Output(with_crash)
+            }
+            Command::GetExitCode => Response::ExitCode(if self.crashed.is_some() {
+                Some(-1)
+            } else {
+                self.vm.exit_code()
+            }),
+            Command::GetSource => Response::Source {
+                file: self.vm.program().file.clone(),
+                text: self.vm.program().source.clone(),
+            },
+            Command::GetBreakableLines => {
+                Response::Lines(self.vm.program().breakable_lines().into_iter().collect())
+            }
+            Command::Terminate => Response::Ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::compile;
+
+    fn engine(src: &str) -> MinicEngine {
+        MinicEngine::new(&compile("t.c", src).unwrap())
+    }
+
+    fn paused(r: Response) -> PauseReason {
+        match r {
+            Response::Paused(p) => p,
+            other => panic!("expected Paused, got {other:?}"),
+        }
+    }
+
+    const COUNT: &str = "int main() {\nint i = 0;\nwhile (i < 5) {\ni = i + 1;\n}\nreturn i;\n}";
+
+    #[test]
+    fn start_pauses_before_first_line() {
+        let mut e = engine(COUNT);
+        let r = paused(e.handle(Command::Start));
+        assert_eq!(r, PauseReason::Started);
+        // Inspect: i not yet visible or zero; frame is main.
+        match e.handle(Command::GetState) {
+            Response::State(st) => {
+                assert_eq!(st.frame.name(), "main");
+                assert_eq!(st.frame.location().line(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_moves_line_by_line() {
+        let mut e = engine(COUNT);
+        e.handle(Command::Start);
+        let mut lines = Vec::new();
+        loop {
+            match paused(e.handle(Command::Step)) {
+                PauseReason::Step => {
+                    if let Response::State(st) = e.handle(Command::GetState) {
+                        lines.push(st.frame.location().line());
+                    }
+                }
+                PauseReason::Exited(ExitStatus::Exited(code)) => {
+                    assert_eq!(code, 5);
+                    break;
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        // 3,4 repeated five times, then 6.
+        assert_eq!(lines[0], 3);
+        assert_eq!(*lines.last().unwrap(), 6);
+        assert_eq!(lines.iter().filter(|&&l| l == 4).count(), 5);
+    }
+
+    #[test]
+    fn line_breakpoints_slide_and_hit() {
+        let mut e = engine(COUNT);
+        let id = match e.handle(Command::SetBreakLine { line: 4 }) {
+            Response::Created { id } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        e.handle(Command::Start);
+        let r = paused(e.handle(Command::Resume));
+        match r {
+            PauseReason::Breakpoint { id: hit, location } => {
+                assert_eq!(hit, id);
+                assert_eq!(location.line(), 4);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // Hits again each iteration.
+        let r = paused(e.handle(Command::Resume));
+        assert!(matches!(r, PauseReason::Breakpoint { .. }));
+        // Delete, then run to exit.
+        assert_eq!(e.handle(Command::Delete { id }), Response::Ok);
+        let r = paused(e.handle(Command::Resume));
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Exited(5)));
+    }
+
+    const REC: &str = "int fact(int n) {\nif (n <= 1) { return 1; }\nreturn n * fact(n - 1);\n}\nint main() {\nreturn fact(4);\n}";
+
+    #[test]
+    fn function_breakpoint_with_maxdepth() {
+        let mut e = engine(REC);
+        e.handle(Command::SetBreakFunc {
+            function: "fact".into(),
+            maxdepth: Some(2),
+        });
+        e.handle(Command::Start);
+        let mut hits = 0;
+        loop {
+            match paused(e.handle(Command::Resume)) {
+                PauseReason::Breakpoint { .. } => {
+                    hits += 1;
+                    // Arguments are bound at the pause.
+                    match e.handle(Command::GetVariable { name: "n".into() }) {
+                        Response::Variable(Some(v)) => {
+                            assert_eq!(v.scope(), state::Scope::Parameter);
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                PauseReason::Exited(_) => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        // Depths are 1 and 2 only (of 4 recursive activations).
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn track_function_pairs_calls_and_returns() {
+        let mut e = engine(REC);
+        e.handle(Command::TrackFunction {
+            function: "fact".into(),
+            maxdepth: None,
+        });
+        e.handle(Command::Start);
+        let mut calls = 0;
+        let mut returns = Vec::new();
+        loop {
+            match paused(e.handle(Command::Resume)) {
+                PauseReason::FunctionCall { function, .. } => {
+                    assert_eq!(function, "fact");
+                    calls += 1;
+                }
+                PauseReason::FunctionReturn {
+                    function,
+                    return_value,
+                    ..
+                } => {
+                    assert_eq!(function, "fact");
+                    // Frame still live: n is inspectable.
+                    match e.handle(Command::GetVariable { name: "n".into() }) {
+                        Response::Variable(Some(_)) => {}
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    returns.push(return_value.unwrap());
+                }
+                PauseReason::Exited(ExitStatus::Exited(code)) => {
+                    assert_eq!(code, 24);
+                    break;
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(calls, 4);
+        assert_eq!(returns, vec!["1", "2", "6", "24"]);
+    }
+
+    #[test]
+    fn watchpoint_reports_old_and_new() {
+        let mut e = engine(COUNT);
+        e.handle(Command::Start);
+        e.handle(Command::Watch {
+            variable: "i".into(),
+        });
+        let mut transitions = Vec::new();
+        loop {
+            match paused(e.handle(Command::Resume)) {
+                PauseReason::Watchpoint { old, new, variable, .. } => {
+                    assert_eq!(variable, "i");
+                    transitions.push((old, new));
+                }
+                PauseReason::Exited(_) => break,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        // The fresh stack slot already reads 0 when the watch is created,
+        // so only the five increments 1..=5 trigger.
+        assert_eq!(transitions.len(), 5);
+        assert_eq!(transitions[0], (Some("0".into()), "1".into()));
+        assert_eq!(transitions[4], (Some("4".into()), "5".into()));
+    }
+
+    #[test]
+    fn next_steps_over_calls() {
+        let src = "int f(int x) {\nint y = x * 2;\nreturn y;\n}\nint main() {\nint a = f(3);\nreturn a;\n}";
+        let mut e = engine(src);
+        e.handle(Command::Start); // paused at line 6
+        let r = paused(e.handle(Command::Next));
+        assert_eq!(r, PauseReason::Step);
+        if let Response::State(st) = e.handle(Command::GetState) {
+            assert_eq!(st.frame.name(), "main");
+            assert_eq!(st.frame.location().line(), 7);
+        } else {
+            panic!("no state");
+        }
+        // Whereas step enters.
+        let mut e = engine(src);
+        e.handle(Command::Start);
+        paused(e.handle(Command::Step));
+        if let Response::State(st) = e.handle(Command::GetState) {
+            assert_eq!(st.frame.name(), "f");
+        } else {
+            panic!("no state");
+        }
+    }
+
+    #[test]
+    fn finish_returns_to_caller() {
+        let src = "int f(int x) {\nint y = x * 2;\nreturn y;\n}\nint main() {\nint a = f(3);\nreturn a;\n}";
+        let mut e = engine(src);
+        e.handle(Command::Start);
+        paused(e.handle(Command::Step)); // inside f
+        let r = paused(e.handle(Command::Finish));
+        assert_eq!(r, PauseReason::Step);
+        if let Response::State(st) = e.handle(Command::GetState) {
+            assert_eq!(st.frame.name(), "main");
+        } else {
+            panic!("no state");
+        }
+    }
+
+    #[test]
+    fn output_and_exit_code() {
+        let mut e = engine("int main() {\nprintf(\"hi %d\\n\", 3);\nreturn 9;\n}");
+        e.handle(Command::Start);
+        assert_eq!(e.handle(Command::GetExitCode), Response::ExitCode(None));
+        paused(e.handle(Command::Resume));
+        assert_eq!(e.handle(Command::GetExitCode), Response::ExitCode(Some(9)));
+        assert_eq!(
+            e.handle(Command::GetOutput),
+            Response::Output("hi 3\n".into())
+        );
+        // Cursor advanced: second read is empty.
+        assert_eq!(e.handle(Command::GetOutput), Response::Output(String::new()));
+    }
+
+    #[test]
+    fn crash_reported_as_crashed() {
+        let mut e = engine("int main() {\nint* p = NULL;\nreturn *p;\n}");
+        e.handle(Command::Start);
+        let r = paused(e.handle(Command::Resume));
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Crashed));
+        assert_eq!(e.handle(Command::GetExitCode), Response::ExitCode(Some(-1)));
+        match e.handle(Command::GetOutput) {
+            Response::Output(o) => assert!(o.contains("invalid memory")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_before_start_rejected() {
+        let mut e = engine(COUNT);
+        assert!(matches!(
+            e.handle(Command::Resume),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            e.handle(Command::GetState),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_for_unknown_targets() {
+        let mut e = engine(COUNT);
+        assert!(matches!(
+            e.handle(Command::SetBreakFunc {
+                function: "nope".into(),
+                maxdepth: None
+            }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            e.handle(Command::SetBreakLine { line: 999 }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            e.handle(Command::Delete { id: 42 }),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn memory_and_registers() {
+        let mut e = engine("int g = 258;\nint main() {\nreturn g;\n}");
+        e.handle(Command::Start);
+        let g_addr = e.vm().program().global("g").unwrap().addr;
+        match e.handle(Command::ReadMemory { addr: g_addr, len: 4 }) {
+            Response::Memory(bytes) => assert_eq!(bytes, 258i32.to_le_bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match e.handle(Command::GetRegisters) {
+            Response::Registers(regs) => {
+                assert!(regs.iter().any(|r| r.name() == "sp"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod function_symbol_tests {
+    use super::*;
+    use minic::compile;
+
+    #[test]
+    fn function_symbols_are_function_values() {
+        let mut e = MinicEngine::new(&compile(
+            "t.c",
+            "int helper(int x) { return x; }\nint main() { return helper(1); }",
+        )
+        .unwrap());
+        e.handle(Command::Start);
+        match e.handle(Command::GetVariable { name: "helper".into() }) {
+            Response::Variable(Some(v)) => {
+                assert_eq!(v.value().abstract_type(), state::AbstractType::Function);
+                assert_eq!(state::render_value(v.value()), "<fn helper>");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The MI command/response vocabulary.
+//!
+//! Everything here is serde-serializable; the transport sends JSON frames,
+//! so the state really crosses a serialization boundary, like the paper's
+//! pickled objects crossing the GDB pipe.
+
+use serde::{Deserialize, Serialize};
+use state::{PauseReason, ProgramState, Variable};
+
+/// A command from the tracker to the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Run until the first line of the entry function.
+    Start,
+    /// Run until the next pause condition (breakpoint, watchpoint,
+    /// tracked-function boundary) or exit.
+    Resume,
+    /// Run until the next different source line (entering calls).
+    Step,
+    /// Like `Step` but never pauses deeper than the current frame.
+    Next,
+    /// Run until the current function is about to return to its caller.
+    Finish,
+    /// Create a line breakpoint.
+    SetBreakLine {
+        /// 1-based source line.
+        line: u32,
+    },
+    /// Create a function-entry breakpoint (paused with arguments bound).
+    SetBreakFunc {
+        /// Function name (a label for assembly engines).
+        function: String,
+        /// Ignore hits whose call depth exceeds this.
+        maxdepth: Option<u32>,
+    },
+    /// Pause at every entry and exit of the function.
+    TrackFunction {
+        /// Function name.
+        function: String,
+        /// Ignore events whose call depth exceeds this.
+        maxdepth: Option<u32>,
+    },
+    /// Pause whenever the named variable changes value.
+    ///
+    /// Names are `var`, `function::var`, a register name (assembly), or
+    /// `*0xADDR:SIZE` for a raw memory watch (assembly).
+    Watch {
+        /// Variable identifier.
+        variable: String,
+    },
+    /// Remove a breakpoint/watchpoint by id.
+    Delete {
+        /// Identifier returned at creation.
+        id: u64,
+    },
+    /// Fetch the innermost frame (with parent chain) and globals.
+    GetState,
+    /// Fetch only the global variables.
+    GetGlobals,
+    /// Fetch a single variable by (possibly qualified) name.
+    GetVariable {
+        /// `var` or `function::var`.
+        name: String,
+    },
+    /// Fetch machine registers (engine-specific pseudo-registers for the C
+    /// VM; the real register file for assembly).
+    GetRegisters,
+    /// Read raw memory.
+    ReadMemory {
+        /// Start address.
+        addr: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Fetch output produced since the previous `GetOutput`.
+    GetOutput,
+    /// Fetch the exit code (None while running).
+    GetExitCode,
+    /// Fetch the source file name and text.
+    GetSource,
+    /// Fetch the lines valid as breakpoint targets.
+    GetBreakableLines,
+    /// Stop the inferior and shut the engine down.
+    Terminate,
+}
+
+/// A response from the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Command accepted, nothing to report.
+    Ok,
+    /// The inferior paused (or exited) for this reason.
+    Paused(PauseReason),
+    /// A breakpoint/watchpoint was created.
+    Created {
+        /// Its identifier.
+        id: u64,
+    },
+    /// Full state snapshot.
+    State(Box<ProgramState>),
+    /// Global variables.
+    Globals(Vec<Variable>),
+    /// A single variable (None when not found).
+    Variable(Option<Variable>),
+    /// Register values.
+    Registers(Vec<Variable>),
+    /// Raw memory bytes.
+    Memory(Vec<u8>),
+    /// Buffered output.
+    Output(String),
+    /// Exit code (None while running).
+    ExitCode(Option<i64>),
+    /// Source file name and text.
+    Source {
+        /// File name.
+        file: String,
+        /// Full text.
+        text: String,
+    },
+    /// Lines that can hold a breakpoint.
+    Lines(Vec<u32>),
+    /// The command failed.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use state::{ExitStatus, SourceLocation};
+
+    #[test]
+    fn commands_roundtrip_through_json() {
+        let cmds = vec![
+            Command::Start,
+            Command::SetBreakFunc {
+                function: "sort".into(),
+                maxdepth: Some(3),
+            },
+            Command::Watch {
+                variable: "main::x".into(),
+            },
+            Command::ReadMemory { addr: 0x1000, len: 64 },
+            Command::Terminate,
+        ];
+        for c in cmds {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: Command = serde_json::from_str(&json).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let rs = vec![
+            Response::Ok,
+            Response::Paused(PauseReason::Breakpoint {
+                id: 2,
+                location: SourceLocation::new("a.c", 7),
+            }),
+            Response::Paused(PauseReason::Exited(ExitStatus::Exited(3))),
+            Response::Created { id: 9 },
+            Response::ExitCode(None),
+            Response::Memory(vec![1, 2, 3]),
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for r in rs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+}

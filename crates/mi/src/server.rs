@@ -1,0 +1,142 @@
+//! The MI server (engine side) and client (tracker side).
+
+use crate::protocol::{Command, Response};
+use crate::transport::Transport;
+use crate::MiError;
+
+/// A debugger engine: executes one command against its inferior.
+pub trait Engine {
+    /// Handles one command. Engines never panic on bad input; they return
+    /// [`Response::Error`].
+    fn handle(&mut self, command: Command) -> Response;
+}
+
+/// Pumps commands from a transport into an engine until `Terminate`.
+#[derive(Debug)]
+pub struct Server<E, T> {
+    engine: E,
+    transport: T,
+}
+
+impl<E: Engine, T: Transport> Server<E, T> {
+    /// Creates a server from an engine and its transport endpoint.
+    pub fn new(engine: E, transport: T) -> Self {
+        Server { engine, transport }
+    }
+
+    /// Serves until `Terminate` arrives or the peer disconnects.
+    pub fn serve(&mut self) {
+        loop {
+            let Ok(frame) = self.transport.recv() else {
+                return;
+            };
+            let response = match serde_json::from_slice::<Command>(&frame) {
+                Ok(cmd) => {
+                    let stop = cmd == Command::Terminate;
+                    let resp = self.engine.handle(cmd);
+                    let bytes =
+                        serde_json::to_vec(&resp).expect("responses always serialize");
+                    let _ = self.transport.send(&bytes);
+                    if stop {
+                        return;
+                    }
+                    continue;
+                }
+                Err(e) => Response::Error {
+                    message: format!("malformed command: {e}"),
+                },
+            };
+            let bytes = serde_json::to_vec(&response).expect("responses always serialize");
+            if self.transport.send(&bytes).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Tracker-side stub: sends a command, waits for the response.
+#[derive(Debug)]
+pub struct Client<T> {
+    transport: T,
+}
+
+impl<T: Transport> Client<T> {
+    /// Creates a client over a transport endpoint.
+    pub fn new(transport: T) -> Self {
+        Client { transport }
+    }
+
+    /// Sends `command` and blocks for the engine's response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`MiError`]; engine-level failures
+    /// come back as [`Response::Error`].
+    pub fn call(&mut self, command: Command) -> Result<Response, MiError> {
+        let bytes = serde_json::to_vec(&command)
+            .map_err(|e| MiError::Codec(e.to_string()))?;
+        self.transport.send(&bytes)?;
+        let frame = self.transport.recv()?;
+        serde_json::from_slice(&frame).map_err(|e| MiError::Codec(e.to_string()))
+    }
+
+    /// Access to the underlying transport (byte counters for benches).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex;
+
+    /// An engine that echoes command names.
+    struct Echo;
+
+    impl Engine for Echo {
+        fn handle(&mut self, command: Command) -> Response {
+            match command {
+                Command::Terminate => Response::Ok,
+                Command::GetOutput => Response::Output("echo".into()),
+                _ => Response::Error {
+                    message: "unsupported".into(),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn request_response_over_thread() {
+        let (a, b) = duplex();
+        let handle = std::thread::spawn(move || {
+            Server::new(Echo, b).serve();
+        });
+        let mut client = Client::new(a);
+        assert_eq!(
+            client.call(Command::GetOutput).unwrap(),
+            Response::Output("echo".into())
+        );
+        assert!(matches!(
+            client.call(Command::Start).unwrap(),
+            Response::Error { .. }
+        ));
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn server_survives_malformed_frames() {
+        let (mut a, b) = duplex();
+        let handle = std::thread::spawn(move || {
+            Server::new(Echo, b).serve();
+        });
+        a.send(b"not json").unwrap();
+        let resp: Response = serde_json::from_slice(&a.recv().unwrap()).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+        // Still alive afterwards.
+        let mut client = Client::new(a);
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! The real-subprocess deployment (paper Fig. 4, made literal): the
+//! engine runs as a separate OS process (`mi-server`) and the tracker
+//! talks to it over actual pipes.
+
+use mi::protocol::{Command, Response};
+use mi::transport::StreamTransport;
+use mi::Client;
+use state::{ExitStatus, PauseReason};
+use std::process::{Child, Stdio};
+
+fn spawn_server(path: &std::path::Path) -> (Child, Client<StreamTransport<std::process::ChildStdout, std::process::ChildStdin>>) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mi_server"))
+        .arg(path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn mi-server");
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    (child, Client::new(StreamTransport::new(stdout, stdin)))
+}
+
+#[test]
+fn full_debug_session_across_a_process_boundary() {
+    let dir = std::env::temp_dir().join(format!("easytracker-proc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inferior.c");
+    std::fs::write(
+        &path,
+        "int square(int x) {\nreturn x * x;\n}\nint main() {\nint s = square(6);\nprintf(\"%d\\n\", s);\nreturn s;\n}",
+    )
+    .unwrap();
+
+    let (mut child, mut client) = spawn_server(&path);
+    // Control and inspect across the pipe.
+    assert!(matches!(
+        client.call(Command::Start).unwrap(),
+        Response::Paused(PauseReason::Started)
+    ));
+    client
+        .call(Command::TrackFunction {
+            function: "square".into(),
+            maxdepth: None,
+        })
+        .unwrap();
+    let mut calls = 0;
+    loop {
+        match client.call(Command::Resume).unwrap() {
+            Response::Paused(PauseReason::FunctionCall { .. }) => {
+                calls += 1;
+                // Inspect the live frame in the other process.
+                match client.call(Command::GetState).unwrap() {
+                    Response::State(st) => {
+                        assert_eq!(st.frame.name(), "square");
+                        assert!(st.frame.variable("x").is_some());
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            Response::Paused(PauseReason::FunctionReturn { .. }) => {}
+            Response::Paused(PauseReason::Exited(ExitStatus::Exited(code))) => {
+                assert_eq!(code, 36);
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(calls, 1);
+    match client.call(Command::GetOutput).unwrap() {
+        Response::Output(o) => assert_eq!(o, "36\n"),
+        other => panic!("unexpected {other:?}"),
+    }
+    client.call(Command::Terminate).unwrap();
+    let status = child.wait().expect("server exits");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn assembly_engine_as_a_process() {
+    let dir = std::env::temp_dir().join(format!("easytracker-proc-asm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inferior.s");
+    std::fs::write(&path, "main:\n    li a0, 9\n    li a7, 93\n    ecall\n").unwrap();
+    let (mut child, mut client) = spawn_server(&path);
+    client.call(Command::Start).unwrap();
+    match client.call(Command::Resume).unwrap() {
+        Response::Paused(PauseReason::Exited(ExitStatus::Exited(9))) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    client.call(Command::Terminate).unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killing_the_tracker_side_ends_the_server() {
+    let dir = std::env::temp_dir().join(format!("easytracker-proc-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inferior.c");
+    std::fs::write(&path, "int main() { return 0; }").unwrap();
+    let (mut child, client) = spawn_server(&path);
+    drop(client); // closes the pipes
+    let status = child.wait().expect("server exits after EOF");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_rejects_bad_programs() {
+    let dir = std::env::temp_dir().join(format!("easytracker-proc-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.c");
+    std::fs::write(&path, "int main() { return syntax error }").unwrap();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mi_server"))
+        .arg(&path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,816 @@
+//! Two-pass assembler: labels, `.data` directives, pseudo-instructions.
+
+use crate::isa::{encode, parse_reg, BOp, IOp, Inst, ROp, Width};
+use crate::Error;
+use std::collections::HashMap;
+
+/// Base address of the text segment.
+pub const TEXT_BASE: u32 = 0x0000;
+/// Default memory size (also the initial stack pointer).
+pub const DEFAULT_MEM_SIZE: u32 = 64 * 1024;
+
+/// An assembled program: the memory image plus debug info.
+#[derive(Debug, Clone)]
+pub struct AsmProgram {
+    /// Initial memory image (text, then data), loaded at address 0.
+    pub image: Vec<u8>,
+    /// First address of the data segment.
+    pub data_base: u32,
+    /// One past the last text byte.
+    pub text_end: u32,
+    /// Entry point (address of `main` if defined, else 0).
+    pub entry: u32,
+    /// Source line of each instruction address.
+    pub line_of: HashMap<u32, u32>,
+    /// Labels in definition order.
+    pub labels: Vec<(String, u32)>,
+    /// Total simulated memory size (stack pointer starts here).
+    pub mem_size: u32,
+    /// Source file name for reported locations.
+    pub file: String,
+    /// Full source text.
+    pub source: String,
+}
+
+impl AsmProgram {
+    /// Address of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+    }
+
+    /// The label at exactly this address, if any (prefers text labels).
+    pub fn label_at(&self, addr: u32) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(_, a)| *a == addr)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// The source line of the instruction at `addr`.
+    pub fn line_at(&self, addr: u32) -> Option<u32> {
+        self.line_of.get(&addr).copied()
+    }
+
+    /// All source lines carrying instructions (breakpoint targets).
+    pub fn breakable_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self.line_of.values().copied().collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// One parsed data item before label resolution.
+#[derive(Debug)]
+enum Item {
+    Word(i64),
+    Byte(u8),
+    Asciz(String),
+    Space,
+}
+
+/// Assembles RISC-V source into an [`AsmProgram`].
+///
+/// # Errors
+///
+/// Returns [`Error::Asm`] with the offending line for unknown mnemonics,
+/// bad operands, duplicate or undefined labels, and out-of-range
+/// immediates.
+///
+/// # Examples
+///
+/// ```
+/// let p = miniasm::asm::assemble("t.s", "main: li a7, 10\n ecall")?;
+/// assert_eq!(p.entry, 0);
+/// assert!(p.label("main").is_some());
+/// # Ok::<(), miniasm::Error>(())
+/// ```
+pub fn assemble(file: &str, source: &str) -> Result<AsmProgram, Error> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut label_order: Vec<(String, u32)> = Vec::new();
+    let mut text_items: Vec<(u32, String, u32)> = Vec::new(); // (addr, text, line)
+    let mut data_items: Vec<(u32, Item)> = Vec::new();
+    let mut section = Section::Text;
+    let mut text_addr: u32 = TEXT_BASE;
+    let mut data_len: u32 = 0;
+
+    let aerr = |line: u32, message: String| Error::Asm { line, message };
+
+    // ---- pass 1: layout ----------------------------------------------------
+    let mut pending_data_labels: Vec<(String, u32, u32)> = Vec::new(); // name, offset, line
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let mut text = raw;
+        if let Some(pos) = text.find('#') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            let addr = match section {
+                Section::Text => text_addr,
+                Section::Data => data_len, // patched after text size is known
+            };
+            if labels.contains_key(name) {
+                return Err(aerr(line_no, format!("duplicate label `{name}`")));
+            }
+            if section == Section::Data {
+                pending_data_labels.push((name.to_owned(), addr, line_no));
+            } else {
+                labels.insert(name.to_owned(), addr);
+                label_order.push((name.to_owned(), addr));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            let (name, args) = directive
+                .split_once(char::is_whitespace)
+                .unwrap_or((directive, ""));
+            match name {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "globl" | "global" | "align" => {}
+                "word" => {
+                    for part in args.split(',') {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        // Labels in .word are resolved in pass 2 via a
+                        // sentinel; numeric values resolve now.
+                        let v = parse_int(part).unwrap_or(i64::MIN);
+                        if v == i64::MIN && !part.is_empty() {
+                            // Store the label name; resolve later.
+                            data_items.push((data_len, Item::Asciz(format!("\0WORDLABEL:{part}"))));
+                            data_len += 4;
+                            continue;
+                        }
+                        data_items.push((data_len, Item::Word(v)));
+                        data_len += 4;
+                    }
+                }
+                "byte" => {
+                    for part in args.split(',') {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        let v = parse_int(part)
+                            .ok_or_else(|| aerr(line_no, format!("bad byte `{part}`")))?;
+                        data_items.push((data_len, Item::Byte(v as u8)));
+                        data_len += 1;
+                    }
+                }
+                "asciz" | "string" => {
+                    let s = parse_string(args)
+                        .ok_or_else(|| aerr(line_no, format!("bad string `{args}`")))?;
+                    let len = s.len() as u32 + 1;
+                    data_items.push((data_len, Item::Asciz(s)));
+                    data_len += len;
+                }
+                "space" => {
+                    let n = parse_int(args.trim())
+                        .ok_or_else(|| aerr(line_no, format!("bad size `{args}`")))?;
+                    data_items.push((data_len, Item::Space));
+                    data_len += n as u32;
+                }
+                other => return Err(aerr(line_no, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+        if section != Section::Text {
+            return Err(aerr(line_no, "instructions must be in .text".into()));
+        }
+        let words = pseudo_size(text).ok_or_else(|| {
+            aerr(
+                line_no,
+                format!("unknown instruction `{}`", text.split_whitespace().next().unwrap_or("")),
+            )
+        })?;
+        text_items.push((text_addr, text.to_owned(), line_no));
+        text_addr += 4 * words;
+    }
+
+    let text_end = text_addr;
+    let data_base = text_end.div_ceil(16) * 16;
+    for (name, off, line) in pending_data_labels {
+        if labels.contains_key(&name) {
+            return Err(aerr(line, format!("duplicate label `{name}`")));
+        }
+        labels.insert(name.clone(), data_base + off);
+        label_order.push((name, data_base + off));
+    }
+
+    // ---- pass 2: encode ------------------------------------------------------
+    let mut image = vec![0u8; (data_base + data_len) as usize];
+    let mut line_of = HashMap::new();
+    for (addr, text, line) in &text_items {
+        let insts = lower(text, *addr, &labels)
+            .map_err(|message| aerr(*line, message))?;
+        for (i, inst) in insts.iter().enumerate() {
+            let a = *addr + 4 * i as u32;
+            let w = encode(inst);
+            image[a as usize..a as usize + 4].copy_from_slice(&w.to_le_bytes());
+            line_of.insert(a, *line);
+        }
+    }
+    for (off, item) in &data_items {
+        let a = (data_base + off) as usize;
+        match item {
+            Item::Word(v) => image[a..a + 4].copy_from_slice(&(*v as i32).to_le_bytes()),
+            Item::Byte(v) => image[a] = *v,
+            Item::Asciz(s) => {
+                if let Some(label) = s.strip_prefix("\0WORDLABEL:") {
+                    let target = *labels
+                        .get(label)
+                        .ok_or_else(|| aerr(0, format!("undefined label `{label}` in .word")))?;
+                    image[a..a + 4].copy_from_slice(&target.to_le_bytes());
+                } else {
+                    image[a..a + s.len()].copy_from_slice(s.as_bytes());
+                    image[a + s.len()] = 0;
+                }
+            }
+            Item::Space => {}
+        }
+    }
+
+    let entry = labels.get("main").copied().unwrap_or(TEXT_BASE);
+    Ok(AsmProgram {
+        image,
+        data_base,
+        text_end,
+        entry,
+        line_of,
+        labels: label_order,
+        mem_size: DEFAULT_MEM_SIZE,
+        file: file.to_owned(),
+        source: source.to_owned(),
+    })
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(hex) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    if s.len() == 3 && s.starts_with('\'') && s.ends_with('\'') {
+        return Some(s.as_bytes()[1] as i64);
+    }
+    s.parse().ok()
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    let s = s.trim();
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => out.push(other),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Number of machine words a (possibly pseudo) instruction expands to;
+/// `None` for unknown mnemonics.
+fn pseudo_size(text: &str) -> Option<u32> {
+    let mnemonic = text.split_whitespace().next()?;
+    let rest = text[mnemonic.len()..].trim();
+    Some(match mnemonic {
+        "li" => {
+            let imm = rest
+                .split(',')
+                .nth(1)
+                .and_then(parse_int)
+                .unwrap_or(0);
+            if (-2048..2048).contains(&imm) {
+                1
+            } else {
+                2
+            }
+        }
+        "la" => 2,
+        "mv" | "not" | "neg" | "seqz" | "snez" | "nop" | "j" | "jr" | "ret" | "call" | "beqz"
+        | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" | "ble" | "bgt" => 1,
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul"
+        | "div" | "rem" | "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli"
+        | "srai" | "lb" | "lbu" | "lh" | "lhu" | "lw" | "sb" | "sh" | "sw" | "beq" | "bne"
+        | "blt" | "bge" | "bltu" | "bgeu" | "lui" | "auipc" | "jal" | "jalr" | "ecall" => 1,
+        _ => return None,
+    })
+}
+
+/// Lowers one source instruction (expanding pseudos) into machine
+/// instructions; `addr` is its address, used for branch offsets.
+fn lower(text: &str, addr: u32, labels: &HashMap<String, u32>) -> Result<Vec<Inst>, String> {
+    let mnemonic = text.split_whitespace().next().unwrap_or("");
+    let rest = text[mnemonic.len()..].trim();
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim()).collect()
+    };
+
+    let reg = |s: &str| parse_reg(s).ok_or_else(|| format!("unknown register `{s}`"));
+    let imm = |s: &str| parse_int(s).ok_or_else(|| format!("bad immediate `{s}`"));
+    let target = |s: &str, from: u32| -> Result<i32, String> {
+        if let Some(v) = parse_int(s) {
+            return Ok(v as i32);
+        }
+        let a = labels
+            .get(s)
+            .ok_or_else(|| format!("undefined label `{s}`"))?;
+        Ok(*a as i32 - from as i32)
+    };
+    let need = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+        }
+    };
+    /// `off(rs)` operand.
+    fn base_off(s: &str) -> Result<(i32, u8), String> {
+        let open = s.find('(').ok_or_else(|| format!("expected `off(reg)`, got `{s}`"))?;
+        let close = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+        let off = if s[..open].trim().is_empty() {
+            0
+        } else {
+            parse_int(&s[..open]).ok_or_else(|| format!("bad offset in `{s}`"))?
+        };
+        let r = parse_reg(s[open + 1..close].trim())
+            .ok_or_else(|| format!("unknown register in `{s}`"))?;
+        Ok((off as i32, r))
+    }
+
+    let rop = |op: ROp| -> Result<Vec<Inst>, String> {
+        need(3)?;
+        Ok(vec![Inst::R {
+            op,
+            rd: reg(ops[0])?,
+            rs1: reg(ops[1])?,
+            rs2: reg(ops[2])?,
+        }])
+    };
+    let iop = |op: IOp| -> Result<Vec<Inst>, String> {
+        need(3)?;
+        let v = imm(ops[2])?;
+        check_imm12(v)?;
+        Ok(vec![Inst::I {
+            op,
+            rd: reg(ops[0])?,
+            rs1: reg(ops[1])?,
+            imm: v as i32,
+        }])
+    };
+    let load = |width: Width| -> Result<Vec<Inst>, String> {
+        need(2)?;
+        let (off, rs1) = base_off(ops[1])?;
+        Ok(vec![Inst::Load {
+            width,
+            rd: reg(ops[0])?,
+            rs1,
+            imm: off,
+        }])
+    };
+    let store = |width: Width| -> Result<Vec<Inst>, String> {
+        need(2)?;
+        let (off, rs1) = base_off(ops[1])?;
+        Ok(vec![Inst::Store {
+            width,
+            rs2: reg(ops[0])?,
+            rs1,
+            imm: off,
+        }])
+    };
+    let branch = |op: BOp, a: &str, b: &str, t: &str| -> Result<Vec<Inst>, String> {
+        Ok(vec![Inst::Branch {
+            op,
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            imm: target(t, addr)?,
+        }])
+    };
+
+    match mnemonic {
+        "add" => rop(ROp::Add),
+        "sub" => rop(ROp::Sub),
+        "sll" => rop(ROp::Sll),
+        "slt" => rop(ROp::Slt),
+        "sltu" => rop(ROp::Sltu),
+        "xor" => rop(ROp::Xor),
+        "srl" => rop(ROp::Srl),
+        "sra" => rop(ROp::Sra),
+        "or" => rop(ROp::Or),
+        "and" => rop(ROp::And),
+        "mul" => rop(ROp::Mul),
+        "div" => rop(ROp::Div),
+        "rem" => rop(ROp::Rem),
+        "addi" => iop(IOp::Addi),
+        "slti" => iop(IOp::Slti),
+        "sltiu" => iop(IOp::Sltiu),
+        "xori" => iop(IOp::Xori),
+        "ori" => iop(IOp::Ori),
+        "andi" => iop(IOp::Andi),
+        "slli" => iop(IOp::Slli),
+        "srli" => iop(IOp::Srli),
+        "srai" => iop(IOp::Srai),
+        "lb" => load(Width::B),
+        "lbu" => load(Width::Bu),
+        "lh" => load(Width::H),
+        "lhu" => load(Width::Hu),
+        "lw" => load(Width::W),
+        "sb" => store(Width::B),
+        "sh" => store(Width::H),
+        "sw" => store(Width::W),
+        "beq" => {
+            need(3)?;
+            branch(BOp::Beq, ops[0], ops[1], ops[2])
+        }
+        "bne" => {
+            need(3)?;
+            branch(BOp::Bne, ops[0], ops[1], ops[2])
+        }
+        "blt" => {
+            need(3)?;
+            branch(BOp::Blt, ops[0], ops[1], ops[2])
+        }
+        "bge" => {
+            need(3)?;
+            branch(BOp::Bge, ops[0], ops[1], ops[2])
+        }
+        "bltu" => {
+            need(3)?;
+            branch(BOp::Bltu, ops[0], ops[1], ops[2])
+        }
+        "bgeu" => {
+            need(3)?;
+            branch(BOp::Bgeu, ops[0], ops[1], ops[2])
+        }
+        "ble" => {
+            need(3)?;
+            branch(BOp::Bge, ops[1], ops[0], ops[2])
+        }
+        "bgt" => {
+            need(3)?;
+            branch(BOp::Blt, ops[1], ops[0], ops[2])
+        }
+        "beqz" => {
+            need(2)?;
+            branch(BOp::Beq, ops[0], "zero", ops[1])
+        }
+        "bnez" => {
+            need(2)?;
+            branch(BOp::Bne, ops[0], "zero", ops[1])
+        }
+        "blez" => {
+            need(2)?;
+            branch(BOp::Bge, "zero", ops[0], ops[1])
+        }
+        "bgez" => {
+            need(2)?;
+            branch(BOp::Bge, ops[0], "zero", ops[1])
+        }
+        "bltz" => {
+            need(2)?;
+            branch(BOp::Blt, ops[0], "zero", ops[1])
+        }
+        "bgtz" => {
+            need(2)?;
+            branch(BOp::Blt, "zero", ops[0], ops[1])
+        }
+        "lui" => {
+            need(2)?;
+            Ok(vec![Inst::Lui {
+                rd: reg(ops[0])?,
+                imm: imm(ops[1])? as i32,
+            }])
+        }
+        "auipc" => {
+            need(2)?;
+            Ok(vec![Inst::Auipc {
+                rd: reg(ops[0])?,
+                imm: imm(ops[1])? as i32,
+            }])
+        }
+        "jal" => match ops.as_slice() {
+            [t] => Ok(vec![Inst::Jal {
+                rd: 1,
+                imm: target(t, addr)?,
+            }]),
+            [rd, t] => Ok(vec![Inst::Jal {
+                rd: reg(rd)?,
+                imm: target(t, addr)?,
+            }]),
+            _ => Err("`jal` expects 1 or 2 operands".into()),
+        },
+        "jalr" => match ops.as_slice() {
+            [rs] => Ok(vec![Inst::Jalr {
+                rd: 1,
+                rs1: reg(rs)?,
+                imm: 0,
+            }]),
+            [rd, bo] => {
+                let (off, rs1) = base_off(bo)?;
+                Ok(vec![Inst::Jalr {
+                    rd: reg(rd)?,
+                    rs1,
+                    imm: off,
+                }])
+            }
+            _ => Err("`jalr` expects 1 or 2 operands".into()),
+        },
+        "ecall" => Ok(vec![Inst::Ecall]),
+        // ---- pseudo-instructions ----
+        "nop" => Ok(vec![Inst::I {
+            op: IOp::Addi,
+            rd: 0,
+            rs1: 0,
+            imm: 0,
+        }]),
+        "li" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let v = imm(ops[1])?;
+            if (-2048..2048).contains(&v) {
+                Ok(vec![Inst::I {
+                    op: IOp::Addi,
+                    rd,
+                    rs1: 0,
+                    imm: v as i32,
+                }])
+            } else {
+                let v = v as i32;
+                let lo = (v << 20) >> 20; // sign-extended low 12 bits
+                let hi = (v - lo) >> 12;
+                Ok(vec![
+                    Inst::Lui { rd, imm: hi & 0xfffff },
+                    Inst::I {
+                        op: IOp::Addi,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    },
+                ])
+            }
+        }
+        "la" => {
+            need(2)?;
+            let rd = reg(ops[0])?;
+            let a = *labels
+                .get(ops[1])
+                .ok_or_else(|| format!("undefined label `{}`", ops[1]))? as i32;
+            let lo = (a << 20) >> 20;
+            let hi = (a - lo) >> 12;
+            Ok(vec![
+                Inst::Lui { rd, imm: hi & 0xfffff },
+                Inst::I {
+                    op: IOp::Addi,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
+            ])
+        }
+        "mv" => {
+            need(2)?;
+            Ok(vec![Inst::I {
+                op: IOp::Addi,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 0,
+            }])
+        }
+        "not" => {
+            need(2)?;
+            Ok(vec![Inst::I {
+                op: IOp::Xori,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: -1,
+            }])
+        }
+        "neg" => {
+            need(2)?;
+            Ok(vec![Inst::R {
+                op: ROp::Sub,
+                rd: reg(ops[0])?,
+                rs1: 0,
+                rs2: reg(ops[1])?,
+            }])
+        }
+        "seqz" => {
+            need(2)?;
+            Ok(vec![Inst::I {
+                op: IOp::Sltiu,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm: 1,
+            }])
+        }
+        "snez" => {
+            need(2)?;
+            Ok(vec![Inst::R {
+                op: ROp::Sltu,
+                rd: reg(ops[0])?,
+                rs1: 0,
+                rs2: reg(ops[1])?,
+            }])
+        }
+        "j" => {
+            need(1)?;
+            Ok(vec![Inst::Jal {
+                rd: 0,
+                imm: target(ops[0], addr)?,
+            }])
+        }
+        "jr" => {
+            need(1)?;
+            Ok(vec![Inst::Jalr {
+                rd: 0,
+                rs1: reg(ops[0])?,
+                imm: 0,
+            }])
+        }
+        "ret" => {
+            need(0)?;
+            Ok(vec![Inst::Jalr {
+                rd: 0,
+                rs1: 1,
+                imm: 0,
+            }])
+        }
+        "call" => {
+            need(1)?;
+            Ok(vec![Inst::Jal {
+                rd: 1,
+                imm: target(ops[0], addr)?,
+            }])
+        }
+        other => Err(format!("unknown instruction `{other}`")),
+    }
+}
+
+fn check_imm12(v: i64) -> Result<(), String> {
+    if (-2048..2048).contains(&v) {
+        Ok(())
+    } else {
+        Err(format!("immediate {v} does not fit in 12 bits (use `li`)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::decode;
+
+    fn words(p: &AsmProgram) -> Vec<Inst> {
+        (0..p.text_end)
+            .step_by(4)
+            .map(|a| {
+                let w = u32::from_le_bytes(p.image[a as usize..a as usize + 4].try_into().unwrap());
+                decode(w).unwrap_or_else(|| panic!("undecodable word {w:#x} at {a:#x}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assembles_simple_program() {
+        let p = assemble("t.s", "main:\n    addi a0, zero, 5\n    ecall").unwrap();
+        let insts = words(&p);
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[1], Inst::Ecall);
+        assert_eq!(p.entry, 0);
+        assert_eq!(p.line_at(0), Some(2));
+        assert_eq!(p.line_at(4), Some(3));
+    }
+
+    #[test]
+    fn branches_resolve_labels_backwards_and_forwards() {
+        let src = "loop:\n    addi t0, t0, 1\n    blt t0, t1, loop\n    beq t0, t1, done\n    nop\ndone:\n    ecall";
+        let p = assemble("t.s", src).unwrap();
+        let insts = words(&p);
+        match insts[1] {
+            Inst::Branch { imm, .. } => assert_eq!(imm, -4),
+            other => panic!("unexpected {other}"),
+        }
+        match insts[2] {
+            Inst::Branch { imm, .. } => assert_eq!(imm, 8),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn li_expands_by_size() {
+        let small = assemble("t.s", "li a0, 100").unwrap();
+        assert_eq!(small.text_end, 4);
+        let big = assemble("t.s", "li a0, 100000").unwrap();
+        assert_eq!(big.text_end, 8);
+        let insts = words(&big);
+        assert!(matches!(insts[0], Inst::Lui { .. }));
+        assert!(matches!(insts[1], Inst::I { op: IOp::Addi, .. }));
+    }
+
+    #[test]
+    fn la_points_at_data() {
+        let src = ".data\nvalue: .word 42\n.text\nmain:\n    la t0, value\n    lw t1, 0(t0)";
+        let p = assemble("t.s", src).unwrap();
+        let value_addr = p.label("value").unwrap();
+        assert!(value_addr >= p.data_base);
+        let v = i32::from_le_bytes(
+            p.image[value_addr as usize..value_addr as usize + 4]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn data_directives() {
+        let src = ".data\nmsg: .asciz \"hi\\n\"\nbytes: .byte 1, 2, 3\nbuf: .space 8\nnums: .word 1, -2, 0x10";
+        let p = assemble("t.s", src).unwrap();
+        let msg = p.label("msg").unwrap() as usize;
+        assert_eq!(&p.image[msg..msg + 4], b"hi\n\0");
+        let bytes = p.label("bytes").unwrap() as usize;
+        assert_eq!(&p.image[bytes..bytes + 3], &[1, 2, 3]);
+        let nums = p.label("nums").unwrap() as usize;
+        assert_eq!(
+            i32::from_le_bytes(p.image[nums + 4..nums + 8].try_into().unwrap()),
+            -2
+        );
+    }
+
+    #[test]
+    fn pseudo_instructions_lower() {
+        let src = "main:\n    mv a0, a1\n    neg a2, a3\n    not a4, a5\n    seqz t0, t1\n    snez t2, t3\n    j main\n    ret";
+        let p = assemble("t.s", src).unwrap();
+        let insts = words(&p);
+        assert_eq!(insts.len(), 7);
+        assert!(matches!(insts[5], Inst::Jal { rd: 0, .. }));
+        assert!(matches!(insts[6], Inst::Jalr { rd: 0, rs1: 1, imm: 0 }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(assemble("t.s", "frob a0, a1").is_err());
+        assert!(assemble("t.s", "addi a0, a1").is_err());
+        assert!(assemble("t.s", "addi a0, a1, 5000").is_err());
+        assert!(assemble("t.s", "beq a0, a1, nowhere").is_err());
+        assert!(assemble("t.s", "dup:\nnop\ndup:\nnop").is_err());
+        assert!(assemble("t.s", ".bogus 1").is_err());
+        assert!(assemble("t.s", ".data\naddi a0, a0, 1").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("t.s", "# header\n\nmain: # entry\n    nop # do nothing\n").unwrap();
+        assert_eq!(p.text_end, 4);
+    }
+
+    #[test]
+    fn entry_defaults_to_main_label() {
+        let p = assemble("t.s", "helper:\n    ret\nmain:\n    nop").unwrap();
+        assert_eq!(p.entry, 4);
+        assert_eq!(p.label_at(4), Some("main"));
+    }
+
+    #[test]
+    fn breakable_lines_sorted() {
+        let p = assemble("t.s", "main:\n    nop\n\n    nop\n    nop").unwrap();
+        assert_eq!(p.breakable_lines(), vec![2, 4, 5]);
+    }
+}

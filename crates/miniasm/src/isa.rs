@@ -1,0 +1,722 @@
+//! RV32I(+M) instruction set: typed instructions and real binary
+//! encoding/decoding.
+//!
+//! Only the subset teaching programs need is implemented; the encodings
+//! are the genuine RISC-V ones, so memory dumps show real code bytes and
+//! `encode`/`decode` round-trip (property-tested).
+
+use std::fmt;
+
+/// ABI register names indexed by register number.
+pub const REG_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// Parses a register name: ABI (`a0`, `sp`), numeric (`x12`), or `fp`.
+pub fn parse_reg(name: &str) -> Option<u8> {
+    if name == "fp" {
+        return Some(8);
+    }
+    if let Some(rest) = name.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 32 {
+                return Some(n);
+            }
+        }
+    }
+    REG_NAMES.iter().position(|r| *r == name).map(|i| i as u8)
+}
+
+/// The ABI name of register `r`.
+///
+/// # Panics
+///
+/// Panics if `r >= 32`.
+pub fn reg_name(r: u8) -> &'static str {
+    REG_NAMES[r as usize]
+}
+
+/// Register-register ALU operations (R-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ROp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Div,
+    Rem,
+}
+
+/// Register-immediate ALU operations (I-type arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+/// Branch conditions (B-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// Byte (sign-extended on load).
+    B,
+    /// Byte unsigned.
+    Bu,
+    /// Halfword (sign-extended on load).
+    H,
+    /// Halfword unsigned.
+    Hu,
+    /// Word.
+    W,
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// R-type: `rd = rs1 op rs2`.
+    R {
+        /// Operation.
+        op: ROp,
+        /// Destination.
+        rd: u8,
+        /// First source.
+        rs1: u8,
+        /// Second source.
+        rs2: u8,
+    },
+    /// I-type ALU: `rd = rs1 op imm`.
+    I {
+        /// Operation.
+        op: IOp,
+        /// Destination.
+        rd: u8,
+        /// Source.
+        rs1: u8,
+        /// Sign-extended 12-bit immediate (shift amount for shifts).
+        imm: i32,
+    },
+    /// Load: `rd = mem[rs1 + imm]`.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Offset.
+        imm: i32,
+    },
+    /// Store: `mem[rs1 + imm] = rs2`.
+    Store {
+        /// Access width (B/H/W only).
+        width: Width,
+        /// Source register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Offset.
+        imm: i32,
+    },
+    /// Branch: `if rs1 op rs2 then pc += imm`.
+    Branch {
+        /// Condition.
+        op: BOp,
+        /// First source.
+        rs1: u8,
+        /// Second source.
+        rs2: u8,
+        /// Byte offset (even).
+        imm: i32,
+    },
+    /// `rd = imm << 12`.
+    Lui {
+        /// Destination.
+        rd: u8,
+        /// Upper 20 bits.
+        imm: i32,
+    },
+    /// `rd = pc + (imm << 12)`.
+    Auipc {
+        /// Destination.
+        rd: u8,
+        /// Upper 20 bits.
+        imm: i32,
+    },
+    /// `rd = pc + 4; pc += imm`.
+    Jal {
+        /// Destination (link register).
+        rd: u8,
+        /// Byte offset.
+        imm: i32,
+    },
+    /// `rd = pc + 4; pc = (rs1 + imm) & !1`.
+    Jalr {
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Offset.
+        imm: i32,
+    },
+    /// Environment call (syscall).
+    Ecall,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = reg_name;
+        match self {
+            Inst::R { op, rd, rs1, rs2 } => {
+                let name = format!("{op:?}").to_lowercase();
+                write!(f, "{name} {}, {}, {}", r(*rd), r(*rs1), r(*rs2))
+            }
+            Inst::I { op, rd, rs1, imm } => {
+                let name = format!("{op:?}").to_lowercase();
+                write!(f, "{name} {}, {}, {imm}", r(*rd), r(*rs1))
+            }
+            Inst::Load {
+                width,
+                rd,
+                rs1,
+                imm,
+            } => {
+                let name = match width {
+                    Width::B => "lb",
+                    Width::Bu => "lbu",
+                    Width::H => "lh",
+                    Width::Hu => "lhu",
+                    Width::W => "lw",
+                };
+                write!(f, "{name} {}, {imm}({})", r(*rd), r(*rs1))
+            }
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
+                let name = match width {
+                    Width::B | Width::Bu => "sb",
+                    Width::H | Width::Hu => "sh",
+                    Width::W => "sw",
+                };
+                write!(f, "{name} {}, {imm}({})", r(*rs2), r(*rs1))
+            }
+            Inst::Branch { op, rs1, rs2, imm } => {
+                let name = format!("{op:?}").to_lowercase();
+                write!(f, "{name} {}, {}, {imm}", r(*rs1), r(*rs2))
+            }
+            Inst::Lui { rd, imm } => write!(f, "lui {}, {imm}", r(*rd)),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {}, {imm}", r(*rd)),
+            Inst::Jal { rd, imm } => write!(f, "jal {}, {imm}", r(*rd)),
+            Inst::Jalr { rd, rs1, imm } => write!(f, "jalr {}, {imm}({})", r(*rd), r(*rs1)),
+            Inst::Ecall => write!(f, "ecall"),
+        }
+    }
+}
+
+// Field packing helpers.
+fn b(v: u32, lo: u32, len: u32) -> u32 {
+    (v >> lo) & ((1 << len) - 1)
+}
+
+/// Encodes an instruction to its RV32I word.
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::R { op, rd, rs1, rs2 } => {
+            let (funct7, funct3) = match op {
+                ROp::Add => (0b0000000, 0b000),
+                ROp::Sub => (0b0100000, 0b000),
+                ROp::Sll => (0b0000000, 0b001),
+                ROp::Slt => (0b0000000, 0b010),
+                ROp::Sltu => (0b0000000, 0b011),
+                ROp::Xor => (0b0000000, 0b100),
+                ROp::Srl => (0b0000000, 0b101),
+                ROp::Sra => (0b0100000, 0b101),
+                ROp::Or => (0b0000000, 0b110),
+                ROp::And => (0b0000000, 0b111),
+                ROp::Mul => (0b0000001, 0b000),
+                ROp::Div => (0b0000001, 0b100),
+                ROp::Rem => (0b0000001, 0b110),
+            };
+            (funct7 << 25)
+                | ((rs2 as u32) << 20)
+                | ((rs1 as u32) << 15)
+                | (funct3 << 12)
+                | ((rd as u32) << 7)
+                | 0b0110011
+        }
+        Inst::I { op, rd, rs1, imm } => {
+            let (funct3, imm) = match op {
+                IOp::Addi => (0b000, imm as u32),
+                IOp::Slti => (0b010, imm as u32),
+                IOp::Sltiu => (0b011, imm as u32),
+                IOp::Xori => (0b100, imm as u32),
+                IOp::Ori => (0b110, imm as u32),
+                IOp::Andi => (0b111, imm as u32),
+                IOp::Slli => (0b001, imm as u32 & 0x1f),
+                IOp::Srli => (0b101, imm as u32 & 0x1f),
+                IOp::Srai => (0b101, (imm as u32 & 0x1f) | (0b0100000 << 5)),
+            };
+            (b(imm, 0, 12) << 20)
+                | ((rs1 as u32) << 15)
+                | (funct3 << 12)
+                | ((rd as u32) << 7)
+                | 0b0010011
+        }
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            imm,
+        } => {
+            let funct3 = match width {
+                Width::B => 0b000,
+                Width::H => 0b001,
+                Width::W => 0b010,
+                Width::Bu => 0b100,
+                Width::Hu => 0b101,
+            };
+            (b(imm as u32, 0, 12) << 20)
+                | ((rs1 as u32) << 15)
+                | (funct3 << 12)
+                | ((rd as u32) << 7)
+                | 0b0000011
+        }
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            imm,
+        } => {
+            let funct3 = match width {
+                Width::B | Width::Bu => 0b000,
+                Width::H | Width::Hu => 0b001,
+                Width::W => 0b010,
+            };
+            let imm = imm as u32;
+            (b(imm, 5, 7) << 25)
+                | ((rs2 as u32) << 20)
+                | ((rs1 as u32) << 15)
+                | (funct3 << 12)
+                | (b(imm, 0, 5) << 7)
+                | 0b0100011
+        }
+        Inst::Branch { op, rs1, rs2, imm } => {
+            let funct3 = match op {
+                BOp::Beq => 0b000,
+                BOp::Bne => 0b001,
+                BOp::Blt => 0b100,
+                BOp::Bge => 0b101,
+                BOp::Bltu => 0b110,
+                BOp::Bgeu => 0b111,
+            };
+            let imm = imm as u32;
+            (b(imm, 12, 1) << 31)
+                | (b(imm, 5, 6) << 25)
+                | ((rs2 as u32) << 20)
+                | ((rs1 as u32) << 15)
+                | (funct3 << 12)
+                | (b(imm, 1, 4) << 8)
+                | (b(imm, 11, 1) << 7)
+                | 0b1100011
+        }
+        Inst::Lui { rd, imm } => (b(imm as u32, 0, 20) << 12) | ((rd as u32) << 7) | 0b0110111,
+        Inst::Auipc { rd, imm } => {
+            (b(imm as u32, 0, 20) << 12) | ((rd as u32) << 7) | 0b0010111
+        }
+        Inst::Jal { rd, imm } => {
+            let imm = imm as u32;
+            (b(imm, 20, 1) << 31)
+                | (b(imm, 1, 10) << 21)
+                | (b(imm, 11, 1) << 20)
+                | (b(imm, 12, 8) << 12)
+                | ((rd as u32) << 7)
+                | 0b1101111
+        }
+        Inst::Jalr { rd, rs1, imm } => {
+            (b(imm as u32, 0, 12) << 20)
+                | ((rs1 as u32) << 15)
+                | ((rd as u32) << 7)
+                | 0b1100111
+        }
+        Inst::Ecall => 0b1110011,
+    }
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decodes an RV32I word back into an instruction.
+///
+/// Returns `None` for words outside the implemented subset.
+pub fn decode(word: u32) -> Option<Inst> {
+    let opcode = b(word, 0, 7);
+    let rd = b(word, 7, 5) as u8;
+    let funct3 = b(word, 12, 3);
+    let rs1 = b(word, 15, 5) as u8;
+    let rs2 = b(word, 20, 5) as u8;
+    let funct7 = b(word, 25, 7);
+    Some(match opcode {
+        0b0110011 => {
+            let op = match (funct7, funct3) {
+                (0b0000000, 0b000) => ROp::Add,
+                (0b0100000, 0b000) => ROp::Sub,
+                (0b0000000, 0b001) => ROp::Sll,
+                (0b0000000, 0b010) => ROp::Slt,
+                (0b0000000, 0b011) => ROp::Sltu,
+                (0b0000000, 0b100) => ROp::Xor,
+                (0b0000000, 0b101) => ROp::Srl,
+                (0b0100000, 0b101) => ROp::Sra,
+                (0b0000000, 0b110) => ROp::Or,
+                (0b0000000, 0b111) => ROp::And,
+                (0b0000001, 0b000) => ROp::Mul,
+                (0b0000001, 0b100) => ROp::Div,
+                (0b0000001, 0b110) => ROp::Rem,
+                _ => return None,
+            };
+            Inst::R { op, rd, rs1, rs2 }
+        }
+        0b0010011 => {
+            let imm12 = sext(b(word, 20, 12), 12);
+            let shamt = b(word, 20, 5) as i32;
+            let (op, imm) = match funct3 {
+                0b000 => (IOp::Addi, imm12),
+                0b010 => (IOp::Slti, imm12),
+                0b011 => (IOp::Sltiu, imm12),
+                0b100 => (IOp::Xori, imm12),
+                0b110 => (IOp::Ori, imm12),
+                0b111 => (IOp::Andi, imm12),
+                0b001 => (IOp::Slli, shamt),
+                0b101 if funct7 == 0b0100000 => (IOp::Srai, shamt),
+                0b101 => (IOp::Srli, shamt),
+                _ => return None,
+            };
+            Inst::I { op, rd, rs1, imm }
+        }
+        0b0000011 => {
+            let width = match funct3 {
+                0b000 => Width::B,
+                0b001 => Width::H,
+                0b010 => Width::W,
+                0b100 => Width::Bu,
+                0b101 => Width::Hu,
+                _ => return None,
+            };
+            Inst::Load {
+                width,
+                rd,
+                rs1,
+                imm: sext(b(word, 20, 12), 12),
+            }
+        }
+        0b0100011 => {
+            let width = match funct3 {
+                0b000 => Width::B,
+                0b001 => Width::H,
+                0b010 => Width::W,
+                _ => return None,
+            };
+            let imm = (b(word, 25, 7) << 5) | b(word, 7, 5);
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm: sext(imm, 12),
+            }
+        }
+        0b1100011 => {
+            let op = match funct3 {
+                0b000 => BOp::Beq,
+                0b001 => BOp::Bne,
+                0b100 => BOp::Blt,
+                0b101 => BOp::Bge,
+                0b110 => BOp::Bltu,
+                0b111 => BOp::Bgeu,
+                _ => return None,
+            };
+            let imm = (b(word, 31, 1) << 12)
+                | (b(word, 7, 1) << 11)
+                | (b(word, 25, 6) << 5)
+                | (b(word, 8, 4) << 1);
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                imm: sext(imm, 13),
+            }
+        }
+        0b0110111 => Inst::Lui {
+            rd,
+            imm: b(word, 12, 20) as i32,
+        },
+        0b0010111 => Inst::Auipc {
+            rd,
+            imm: b(word, 12, 20) as i32,
+        },
+        0b1101111 => {
+            let imm = (b(word, 31, 1) << 20)
+                | (b(word, 12, 8) << 12)
+                | (b(word, 20, 1) << 11)
+                | (b(word, 21, 10) << 1);
+            Inst::Jal {
+                rd,
+                imm: sext(imm, 21),
+            }
+        }
+        0b1100111 if funct3 == 0 => Inst::Jalr {
+            rd,
+            rs1,
+            imm: sext(b(word, 20, 12), 12),
+        },
+        0b1110011 if word == 0b1110011 => Inst::Ecall,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn register_parsing() {
+        assert_eq!(parse_reg("zero"), Some(0));
+        assert_eq!(parse_reg("ra"), Some(1));
+        assert_eq!(parse_reg("sp"), Some(2));
+        assert_eq!(parse_reg("fp"), Some(8));
+        assert_eq!(parse_reg("s0"), Some(8));
+        assert_eq!(parse_reg("a0"), Some(10));
+        assert_eq!(parse_reg("t6"), Some(31));
+        assert_eq!(parse_reg("x13"), Some(13));
+        assert_eq!(parse_reg("x32"), None);
+        assert_eq!(parse_reg("bogus"), None);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addi a0, zero, 42  ->  0x02A00513
+        let i = Inst::I {
+            op: IOp::Addi,
+            rd: 10,
+            rs1: 0,
+            imm: 42,
+        };
+        assert_eq!(encode(&i), 0x02A0_0513);
+        // add a0, a1, a2 -> 0x00C58533
+        let r = Inst::R {
+            op: ROp::Add,
+            rd: 10,
+            rs1: 11,
+            rs2: 12,
+        };
+        assert_eq!(encode(&r), 0x00C5_8533);
+        // ecall -> 0x00000073
+        assert_eq!(encode(&Inst::Ecall), 0x73);
+        // lw a0, 8(sp) -> 0x00812503
+        let lw = Inst::Load {
+            width: Width::W,
+            rd: 10,
+            rs1: 2,
+            imm: 8,
+        };
+        assert_eq!(encode(&lw), 0x0081_2503);
+    }
+
+    #[test]
+    fn negative_immediates_roundtrip() {
+        let cases = [
+            Inst::I {
+                op: IOp::Addi,
+                rd: 5,
+                rs1: 6,
+                imm: -1,
+            },
+            Inst::Load {
+                width: Width::W,
+                rd: 1,
+                rs1: 2,
+                imm: -2048,
+            },
+            Inst::Store {
+                width: Width::W,
+                rs2: 3,
+                rs1: 4,
+                imm: -4,
+            },
+            Inst::Branch {
+                op: BOp::Bne,
+                rs1: 1,
+                rs2: 2,
+                imm: -8,
+            },
+            Inst::Jal { rd: 1, imm: -1024 },
+        ];
+        for inst in cases {
+            assert_eq!(decode(encode(&inst)), Some(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Inst::Load {
+            width: Width::W,
+            rd: 10,
+            rs1: 2,
+            imm: 8,
+        };
+        assert_eq!(i.to_string(), "lw a0, 8(sp)");
+        let brz = Inst::Branch {
+            op: BOp::Beq,
+            rs1: 10,
+            rs2: 0,
+            imm: 16,
+        };
+        assert_eq!(brz.to_string(), "beq a0, zero, 16");
+    }
+
+    #[test]
+    fn unknown_words_decode_to_none() {
+        assert_eq!(decode(0), None);
+        assert_eq!(decode(0xffff_ffff), None);
+    }
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        let reg = 0u8..32;
+        let imm12 = -2048i32..2048;
+        let imm20 = 0i32..(1 << 20);
+        let shamt = 0i32..32;
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(ROp::Add),
+                    Just(ROp::Sub),
+                    Just(ROp::Sll),
+                    Just(ROp::Slt),
+                    Just(ROp::Sltu),
+                    Just(ROp::Xor),
+                    Just(ROp::Srl),
+                    Just(ROp::Sra),
+                    Just(ROp::Or),
+                    Just(ROp::And),
+                    Just(ROp::Mul),
+                    Just(ROp::Div),
+                    Just(ROp::Rem),
+                ],
+                reg.clone(),
+                reg.clone(),
+                reg.clone()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| Inst::R { op, rd, rs1, rs2 }),
+            (
+                prop_oneof![
+                    Just(IOp::Addi),
+                    Just(IOp::Slti),
+                    Just(IOp::Sltiu),
+                    Just(IOp::Xori),
+                    Just(IOp::Ori),
+                    Just(IOp::Andi),
+                ],
+                reg.clone(),
+                reg.clone(),
+                imm12.clone()
+            )
+                .prop_map(|(op, rd, rs1, imm)| Inst::I { op, rd, rs1, imm }),
+            (
+                prop_oneof![Just(IOp::Slli), Just(IOp::Srli), Just(IOp::Srai)],
+                reg.clone(),
+                reg.clone(),
+                shamt
+            )
+                .prop_map(|(op, rd, rs1, imm)| Inst::I { op, rd, rs1, imm }),
+            (
+                prop_oneof![
+                    Just(Width::B),
+                    Just(Width::Bu),
+                    Just(Width::H),
+                    Just(Width::Hu),
+                    Just(Width::W)
+                ],
+                reg.clone(),
+                reg.clone(),
+                imm12.clone()
+            )
+                .prop_map(|(width, rd, rs1, imm)| Inst::Load {
+                    width,
+                    rd,
+                    rs1,
+                    imm
+                }),
+            (
+                prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W)],
+                reg.clone(),
+                reg.clone(),
+                imm12.clone()
+            )
+                .prop_map(|(width, rs2, rs1, imm)| Inst::Store {
+                    width,
+                    rs2,
+                    rs1,
+                    imm
+                }),
+            (
+                prop_oneof![
+                    Just(BOp::Beq),
+                    Just(BOp::Bne),
+                    Just(BOp::Blt),
+                    Just(BOp::Bge),
+                    Just(BOp::Bltu),
+                    Just(BOp::Bgeu)
+                ],
+                reg.clone(),
+                reg.clone(),
+                (-2048i32..2048).prop_map(|v| v * 2)
+            )
+                .prop_map(|(op, rs1, rs2, imm)| Inst::Branch { op, rs1, rs2, imm }),
+            (reg.clone(), imm20.clone()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+            (reg.clone(), imm20).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
+            (reg.clone(), (-262144i32..262144).prop_map(|v| v * 2))
+                .prop_map(|(rd, imm)| Inst::Jal { rd, imm }),
+            (reg.clone(), reg, imm12).prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
+            Just(Inst::Ecall),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in arb_inst()) {
+            prop_assert_eq!(decode(encode(&inst)), Some(inst));
+        }
+    }
+}

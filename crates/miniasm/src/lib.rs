@@ -1,0 +1,78 @@
+//! An RV32I-subset assembler and simulator, built as the "assembly
+//! language" substrate for the EasyTracker reproduction.
+//!
+//! The paper's Fig. 7 tool shows CPU registers and raw memory while
+//! stepping a RISC-V program under GDB. This crate provides the whole
+//! chain natively:
+//!
+//! * [`isa`] — the instruction set: typed instructions, real RV32I binary
+//!   encoding and decoding (the simulator fetches and decodes actual
+//!   instruction words, so tools that display raw memory show real code
+//!   bytes);
+//! * [`asm`] — a two-pass assembler with labels, `.data` directives and
+//!   the common pseudo-instructions (`li`, `la`, `mv`, `j`, `ret`, ...);
+//! * [`sim`] — a step-at-a-time simulator with per-instruction source-line
+//!   debug info, register/memory access for inspectors, and RARS-style
+//!   `ecall` conventions for output and exit.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "
+//! main:
+//!     li a0, 21
+//!     add a0, a0, a0
+//!     li a7, 93      # exit(a0)
+//!     ecall
+//! ";
+//! let program = miniasm::asm::assemble("t.s", src)?;
+//! let mut cpu = miniasm::sim::Cpu::new(&program);
+//! let exit = cpu.run_to_exit(10_000)?;
+//! assert_eq!(exit, 42);
+//! # Ok::<(), miniasm::Error>(())
+//! ```
+
+pub mod asm;
+pub mod isa;
+pub mod sim;
+
+use std::fmt;
+
+/// Errors from the assembler or simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Assembly-time error.
+    Asm {
+        /// 1-based source line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Runtime error in the simulator.
+    Sim {
+        /// Program counter at the fault.
+        pc: u32,
+        /// Description.
+        message: String,
+    },
+}
+
+impl Error {
+    /// The error message without location.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Asm { message, .. } | Error::Sim { message, .. } => message,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Asm { line, message } => write!(f, "assembly error at line {line}: {message}"),
+            Error::Sim { pc, message } => write!(f, "simulator fault at pc={pc:#x}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

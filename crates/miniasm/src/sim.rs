@@ -1,0 +1,663 @@
+//! The RV32 simulator: fetch, decode, execute, one instruction per step.
+//!
+//! Each [`Cpu::step`] returns a [`StepInfo`] describing everything a
+//! debugger engine needs: the executed pc and source line, any memory
+//! store (for watchpoints), any output, call/return control transfers
+//! (for `track_function` on labels), and the exit code when an exit
+//! `ecall` ran.
+//!
+//! `ecall` follows the RARS conventions teaching courses use:
+//! `a7=1` print integer in `a0`; `a7=4` print the NUL-terminated string at
+//! `a0`; `a7=11` print the character in `a0`; `a7=10` exit(0); `a7=93`
+//! exit with code `a0`.
+
+use crate::asm::AsmProgram;
+use crate::isa::{decode, reg_name, BOp, IOp, Inst, ROp, Width};
+use crate::Error;
+use state::{Location, Prim, Scope, Value, Variable};
+
+/// Control-transfer classification of an executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// A `jal ra, target` — a function call to `target`.
+    Call {
+        /// The callee's address.
+        target: u32,
+    },
+    /// A `jalr zero, 0(ra)` — a function return.
+    Return,
+}
+
+/// Everything that happened during one executed instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepInfo {
+    /// Address of the executed instruction.
+    pub pc: u32,
+    /// Its source line.
+    pub line: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Memory store performed, as `(addr, size)`.
+    pub store: Option<(u32, u32)>,
+    /// Output produced by an `ecall`.
+    pub output: Option<String>,
+    /// Exit code, if the instruction terminated the program.
+    pub exit: Option<i64>,
+    /// Call/return classification.
+    pub control: Option<Control>,
+}
+
+/// The simulated CPU.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    mem: Vec<u8>,
+    program: AsmProgram,
+    output: String,
+    exited: Option<i64>,
+    instret: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU with the program loaded and `sp` at the top of memory.
+    pub fn new(program: &AsmProgram) -> Self {
+        let mut mem = vec![0u8; program.mem_size as usize];
+        mem[..program.image.len()].copy_from_slice(&program.image);
+        let mut regs = [0u32; 32];
+        regs[2] = program.mem_size; // sp
+        regs[1] = EXIT_SENTINEL; // ra: returning from main falls into the sentinel
+        Cpu {
+            regs,
+            pc: program.entry,
+            mem,
+            program: program.clone(),
+            output: String::new(),
+            exited: None,
+            instret: 0,
+        }
+    }
+
+    /// The loaded program (debug info).
+    pub fn program(&self) -> &AsmProgram {
+        &self.program
+    }
+
+    /// Register file (x0..x31).
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// One register by number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 32`.
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The source line of the *next* instruction to execute.
+    pub fn current_line(&self) -> u32 {
+        self.program.line_at(self.pc).unwrap_or(0)
+    }
+
+    /// Total instructions retired (bench metric).
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Output so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Exit code once terminated.
+    pub fn exit_code(&self) -> Option<i64> {
+        self.exited
+    }
+
+    /// Reads raw memory for inspectors (the Fig. 7 memory viewer).
+    pub fn read_mem(&self, addr: u32, len: u32) -> Option<&[u8]> {
+        self.mem
+            .get(addr as usize..addr as usize + len as usize)
+    }
+
+    /// Reads one little-endian word for inspectors.
+    pub fn read_word(&self, addr: u32) -> Option<u32> {
+        self.read_mem(addr, 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// The registers as language-agnostic [`Variable`]s (plus `pc`), the
+    /// inferior state the Fig. 7 viewer renders.
+    pub fn register_variables(&self) -> Vec<Variable> {
+        let mut out = Vec::with_capacity(33);
+        for (i, v) in self.regs.iter().enumerate() {
+            out.push(Variable::new(
+                reg_name(i as u8),
+                Scope::Register,
+                Value::primitive(Prim::Int(*v as i32 as i64), "u32")
+                    .with_location(Location::Register),
+            ));
+        }
+        out.push(Variable::new(
+            "pc",
+            Scope::Register,
+            Value::primitive(Prim::Int(self.pc as i64), "u32").with_location(Location::Register),
+        ));
+        out
+    }
+
+    fn serr(&self, message: impl Into<String>) -> Error {
+        Error::Sim {
+            pc: self.pc,
+            message: message.into(),
+        }
+    }
+
+    fn load(&self, addr: u32, size: u32) -> Result<u32, Error> {
+        let bytes = self
+            .read_mem(addr, size)
+            .ok_or_else(|| self.serr(format!("load of {size} byte(s) at {addr:#x} out of range")))?;
+        Ok(match size {
+            1 => bytes[0] as u32,
+            2 => u16::from_le_bytes(bytes.try_into().expect("2 bytes")) as u32,
+            4 => u32::from_le_bytes(bytes.try_into().expect("4 bytes")),
+            _ => unreachable!("load size {size}"),
+        })
+    }
+
+    fn store(&mut self, addr: u32, size: u32, value: u32) -> Result<(), Error> {
+        let end = addr as usize + size as usize;
+        if end > self.mem.len() {
+            return Err(self.serr(format!(
+                "store of {size} byte(s) at {addr:#x} out of range"
+            )));
+        }
+        self.mem[addr as usize..end].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// After exit, further calls return the same exit info with no effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] on out-of-range memory access, undecodable
+    /// instruction words, or pc escaping the text segment.
+    pub fn step(&mut self) -> Result<StepInfo, Error> {
+        if let Some(code) = self.exited {
+            return Ok(StepInfo {
+                pc: self.pc,
+                line: 0,
+                inst: Inst::Ecall,
+                store: None,
+                output: None,
+                exit: Some(code),
+                control: None,
+            });
+        }
+        if self.pc == EXIT_SENTINEL {
+            // main returned without an exit ecall: exit with a0.
+            let code = self.regs[10] as i32 as i64;
+            self.exited = Some(code);
+            return Ok(StepInfo {
+                pc: self.pc,
+                line: 0,
+                inst: Inst::Ecall,
+                store: None,
+                output: None,
+                exit: Some(code),
+                control: None,
+            });
+        }
+        if self.pc >= self.program.text_end {
+            return Err(self.serr("program counter left the text segment"));
+        }
+        let word = self.load(self.pc, 4)?;
+        let inst = decode(word)
+            .ok_or_else(|| self.serr(format!("cannot decode instruction word {word:#010x}")))?;
+        let pc = self.pc;
+        let line = self.program.line_at(pc).unwrap_or(0);
+        let mut info = StepInfo {
+            pc,
+            line,
+            inst,
+            store: None,
+            output: None,
+            exit: None,
+            control: None,
+        };
+        let mut next_pc = pc.wrapping_add(4);
+        match inst {
+            Inst::R { op, rd, rs1, rs2 } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let v = match op {
+                    ROp::Add => a.wrapping_add(b),
+                    ROp::Sub => a.wrapping_sub(b),
+                    ROp::Sll => a.wrapping_shl(b & 31),
+                    ROp::Slt => ((a as i32) < (b as i32)) as u32,
+                    ROp::Sltu => (a < b) as u32,
+                    ROp::Xor => a ^ b,
+                    ROp::Srl => a.wrapping_shr(b & 31),
+                    ROp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+                    ROp::Or => a | b,
+                    ROp::And => a & b,
+                    ROp::Mul => a.wrapping_mul(b),
+                    ROp::Div => {
+                        if b == 0 {
+                            u32::MAX
+                        } else {
+                            ((a as i32).wrapping_div(b as i32)) as u32
+                        }
+                    }
+                    ROp::Rem => {
+                        if b == 0 {
+                            a
+                        } else {
+                            ((a as i32).wrapping_rem(b as i32)) as u32
+                        }
+                    }
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::I { op, rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                let i = imm as u32;
+                let v = match op {
+                    IOp::Addi => a.wrapping_add(i),
+                    IOp::Slti => ((a as i32) < imm) as u32,
+                    IOp::Sltiu => (a < i) as u32,
+                    IOp::Xori => a ^ i,
+                    IOp::Ori => a | i,
+                    IOp::Andi => a & i,
+                    IOp::Slli => a.wrapping_shl(i & 31),
+                    IOp::Srli => a.wrapping_shr(i & 31),
+                    IOp::Srai => ((a as i32).wrapping_shr(i & 31)) as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::Load {
+                width,
+                rd,
+                rs1,
+                imm,
+            } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as u32);
+                let v = match width {
+                    Width::B => self.load(addr, 1)? as i8 as i32 as u32,
+                    Width::Bu => self.load(addr, 1)?,
+                    Width::H => self.load(addr, 2)? as i16 as i32 as u32,
+                    Width::Hu => self.load(addr, 2)?,
+                    Width::W => self.load(addr, 4)?,
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as u32);
+                let size = match width {
+                    Width::B | Width::Bu => 1,
+                    Width::H | Width::Hu => 2,
+                    Width::W => 4,
+                };
+                self.store(addr, size, self.regs[rs2 as usize])?;
+                info.store = Some((addr, size));
+            }
+            Inst::Branch { op, rs1, rs2, imm } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let taken = match op {
+                    BOp::Beq => a == b,
+                    BOp::Bne => a != b,
+                    BOp::Blt => (a as i32) < (b as i32),
+                    BOp::Bge => (a as i32) >= (b as i32),
+                    BOp::Bltu => a < b,
+                    BOp::Bgeu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Inst::Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 12),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm as u32) << 12)),
+            Inst::Jal { rd, imm } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(imm as u32);
+                if rd == 1 {
+                    info.control = Some(Control::Call { target: next_pc });
+                }
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                let target = self.regs[rs1 as usize].wrapping_add(imm as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+                if rd == 0 && rs1 == 1 && imm == 0 {
+                    info.control = Some(Control::Return);
+                }
+            }
+            Inst::Ecall => {
+                let a7 = self.regs[17];
+                let a0 = self.regs[10];
+                match a7 {
+                    1 => {
+                        let text = (a0 as i32).to_string();
+                        self.output.push_str(&text);
+                        info.output = Some(text);
+                    }
+                    4 => {
+                        let mut s = String::new();
+                        let mut a = a0;
+                        while let Some(bytes) = self.read_mem(a, 1) {
+                            if bytes[0] == 0 {
+                                break;
+                            }
+                            s.push(bytes[0] as char);
+                            a += 1;
+                        }
+                        self.output.push_str(&s);
+                        info.output = Some(s);
+                    }
+                    11 => {
+                        let c = char::from_u32(a0 & 0xff).unwrap_or('\u{fffd}');
+                        self.output.push(c);
+                        info.output = Some(c.to_string());
+                    }
+                    10 => {
+                        self.exited = Some(0);
+                        info.exit = Some(0);
+                    }
+                    93 => {
+                        let code = a0 as i32 as i64;
+                        self.exited = Some(code);
+                        info.exit = Some(code);
+                    }
+                    other => {
+                        return Err(self.serr(format!("unsupported ecall number {other}")))
+                    }
+                }
+            }
+        }
+        self.instret += 1;
+        if info.exit.is_none() {
+            self.pc = next_pc;
+        }
+        Ok(info)
+    }
+
+    fn set_reg(&mut self, rd: u8, value: u32) {
+        if rd != 0 {
+            self.regs[rd as usize] = value;
+        }
+    }
+
+    /// Runs until exit or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a simulator fault, or an error when the step budget is
+    /// exhausted (runaway program).
+    pub fn run_to_exit(&mut self, max_steps: u64) -> Result<i64, Error> {
+        for _ in 0..max_steps {
+            let info = self.step()?;
+            if let Some(code) = info.exit {
+                return Ok(code);
+            }
+        }
+        Err(self.serr(format!("no exit after {max_steps} instructions")))
+    }
+}
+
+/// Sentinel return address for `main`; reaching it exits with `a0`.
+const EXIT_SENTINEL: u32 = 0xffff_fff0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> (i64, String) {
+        let p = assemble("t.s", src).unwrap();
+        let mut cpu = Cpu::new(&p);
+        let code = cpu.run_to_exit(1_000_000).unwrap();
+        (code, cpu.output().to_owned())
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10.
+        let src = "
+main:
+    li t0, 0        # sum
+    li t1, 1        # i
+loop:
+    bgt t1, 10, done_check
+    add t0, t0, t1
+    addi t1, t1, 1
+    j loop
+done_check:
+    mv a0, t0
+    li a7, 93
+    ecall
+";
+        // `bgt t1, 10, ...` is invalid (immediate operand); rewrite with a reg.
+        let src = src.replace("bgt t1, 10, done_check", "li t2, 10\n    bgt t1, t2, done_check");
+        let (code, _) = run(&src);
+        assert_eq!(code, 55);
+    }
+
+    #[test]
+    fn memory_and_data_segment() {
+        let src = "
+.data
+arr: .word 3, 1, 4, 1, 5
+.text
+main:
+    la t0, arr
+    lw t1, 0(t0)
+    lw t2, 8(t0)
+    add a0, t1, t2
+    li a7, 93
+    ecall
+";
+        let (code, _) = run(src);
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let src = "
+main:
+    addi sp, sp, -8
+    li t0, 99
+    sw t0, 4(sp)
+    lw a0, 4(sp)
+    addi sp, sp, 8
+    li a7, 93
+    ecall
+";
+        let (code, _) = run(src);
+        assert_eq!(code, 99);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let src = "
+main:
+    li a0, 20
+    jal double
+    li a7, 93
+    ecall
+double:
+    add a0, a0, a0
+    ret
+";
+        let (code, _) = run(src);
+        assert_eq!(code, 40);
+    }
+
+    #[test]
+    fn recursive_factorial() {
+        let src = "
+main:
+    li a0, 5
+    call fact
+    li a7, 93
+    ecall
+fact:
+    li t0, 2
+    bge a0, t0, recurse
+    li a0, 1
+    ret
+recurse:
+    addi sp, sp, -8
+    sw ra, 4(sp)
+    sw a0, 0(sp)
+    addi a0, a0, -1
+    call fact
+    lw t1, 0(sp)
+    mul a0, a0, t1
+    lw ra, 4(sp)
+    addi sp, sp, 8
+    ret
+";
+        let (code, _) = run(src);
+        assert_eq!(code, 120);
+    }
+
+    #[test]
+    fn ecall_output() {
+        let src = "
+.data
+msg: .asciz \"n=\"
+.text
+main:
+    la a0, msg
+    li a7, 4
+    ecall
+    li a0, 7
+    li a7, 1
+    ecall
+    li a0, 10
+    li a7, 11
+    ecall
+    li a7, 10
+    ecall
+";
+        let (code, out) = run(src);
+        assert_eq!(code, 0);
+        assert_eq!(out, "n=7\n");
+    }
+
+    #[test]
+    fn main_return_exits_with_a0() {
+        let (code, _) = run("main:\n    li a0, 17\n    ret");
+        assert_eq!(code, 17);
+    }
+
+    #[test]
+    fn step_info_reports_stores_and_control() {
+        let src = "
+main:
+    addi sp, sp, -4
+    li t0, 5
+    sw t0, 0(sp)
+    jal f
+    li a7, 10
+    ecall
+f:
+    ret
+";
+        let p = assemble("t.s", src).unwrap();
+        let mut cpu = Cpu::new(&p);
+        let mut saw_store = false;
+        let mut saw_call = false;
+        let mut saw_ret = false;
+        loop {
+            let info = cpu.step().unwrap();
+            if info.store.is_some() {
+                saw_store = true;
+            }
+            match info.control {
+                Some(Control::Call { target }) => {
+                    assert_eq!(Some(target), p.label("f"));
+                    saw_call = true;
+                }
+                Some(Control::Return) => saw_ret = true,
+                None => {}
+            }
+            if info.exit.is_some() {
+                break;
+            }
+        }
+        assert!(saw_store && saw_call && saw_ret);
+    }
+
+    #[test]
+    fn line_tracking() {
+        let p = assemble("t.s", "main:\n    li a0, 1\n    li a7, 93\n    ecall").unwrap();
+        let mut cpu = Cpu::new(&p);
+        assert_eq!(cpu.current_line(), 2);
+        let info = cpu.step().unwrap();
+        assert_eq!(info.line, 2);
+        assert_eq!(cpu.current_line(), 3);
+    }
+
+    #[test]
+    fn register_variables_for_inspection() {
+        let p = assemble("t.s", "main:\n    li a0, 42\n    li a7, 93\n    ecall").unwrap();
+        let mut cpu = Cpu::new(&p);
+        cpu.step().unwrap();
+        let vars = cpu.register_variables();
+        assert_eq!(vars.len(), 33);
+        let a0 = vars.iter().find(|v| v.name() == "a0").unwrap();
+        assert_eq!(state::render_value(a0.value()), "42");
+        assert_eq!(a0.scope(), Scope::Register);
+        assert!(vars.iter().any(|v| v.name() == "pc"));
+    }
+
+    #[test]
+    fn faults() {
+        let p = assemble("t.s", "main:\n    lw t0, 0(zero)\n    ecall").unwrap();
+        // Load at 0 is fine (text segment) — but a wild address is not.
+        let p2 = assemble("t.s", "main:\n    li t0, 0x10000\n    lw t1, 0(t0)").unwrap();
+        let mut cpu = Cpu::new(&p2);
+        let mut fault = None;
+        for _ in 0..10 {
+            match cpu.step() {
+                Ok(_) => {}
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(fault.unwrap().message().contains("out of range"));
+        drop(p);
+
+        // zero register is immutable.
+        let p3 = assemble("t.s", "main:\n    li zero, 5\n    mv a0, zero\n    li a7, 93\n    ecall").unwrap();
+        let mut cpu = Cpu::new(&p3);
+        assert_eq!(cpu.run_to_exit(100).unwrap(), 0);
+    }
+
+    #[test]
+    fn runaway_detected() {
+        let p = assemble("t.s", "main:\n    j main").unwrap();
+        let mut cpu = Cpu::new(&p);
+        assert!(cpu.run_to_exit(1000).is_err());
+        assert_eq!(cpu.instret(), 1000);
+    }
+}

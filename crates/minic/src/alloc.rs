@@ -1,0 +1,403 @@
+//! The tracking heap allocator.
+//!
+//! The paper's GDB tracker interposes `malloc`/`calloc`/`realloc`/`free`
+//! through `LD_PRELOAD` so the tracker always knows which addresses are live
+//! heap blocks and how big they are — that is what lets its tools draw
+//! heap-allocated arrays with the right length and cross out dangling
+//! pointers. This module provides the same knowledge natively: the VM's
+//! allocator records every block, keeps freed blocks around (marked dead)
+//! for dangling-pointer classification, and exposes lookup by address.
+
+use crate::mem::{Memory, HEAP_BASE, HEAP_SIZE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Allocation granularity; every block address is a multiple of this.
+pub const ALIGN: u64 = 16;
+
+/// A heap block, live or freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// First address of the block.
+    pub addr: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Whether the block is still allocated.
+    pub live: bool,
+}
+
+impl Block {
+    /// Whether `addr` falls inside the block.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.addr + self.size.max(1)
+    }
+}
+
+/// Errors raised by the allocation intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The arena is exhausted.
+    OutOfMemory {
+        /// The requested size.
+        requested: u64,
+    },
+    /// `free`/`realloc` called with an address that is not the start of a
+    /// live block.
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+    /// `free` called twice on the same block.
+    DoubleFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "heap exhausted allocating {requested} byte(s)")
+            }
+            AllocError::InvalidFree { addr } => {
+                write!(f, "free of non-heap or interior pointer {addr:#x}")
+            }
+            AllocError::DoubleFree { addr } => write!(f, "double free of {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// First-fit free-list allocator over the heap segment, with full block
+/// tracking.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// All blocks ever allocated, keyed by base address. Freed blocks stay,
+    /// marked `live: false`, until their range is reused.
+    blocks: BTreeMap<u64, Block>,
+    /// Free ranges `(addr, size)`, kept sorted and coalesced.
+    free: Vec<(u64, u64)>,
+    /// High-water mark relative to `HEAP_BASE`.
+    brk: u64,
+    /// Total bytes currently allocated.
+    live_bytes: u64,
+    /// Count of allocations performed (for stats/benches).
+    total_allocs: u64,
+}
+
+impl Default for Allocator {
+    fn default() -> Self {
+        Allocator::new()
+    }
+}
+
+impl Allocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Allocator {
+            blocks: BTreeMap::new(),
+            free: Vec::new(),
+            brk: 0,
+            live_bytes: 0,
+            total_allocs: 0,
+        }
+    }
+
+    /// Allocates `size` bytes (zero-size allocations get a unique 1-byte
+    /// block, like glibc returns a unique pointer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the arena is exhausted.
+    pub fn malloc(&mut self, mem: &mut Memory, size: u64) -> Result<u64, AllocError> {
+        let want = crate::types::round_up(size.max(1), ALIGN);
+        // First fit in the free list.
+        let addr = if let Some(i) = self.free.iter().position(|&(_, s)| s >= want) {
+            let (a, s) = self.free[i];
+            if s == want {
+                self.free.remove(i);
+            } else {
+                self.free[i] = (a + want, s - want);
+            }
+            a
+        } else {
+            let a = HEAP_BASE + self.brk;
+            if self.brk + want > HEAP_SIZE {
+                return Err(AllocError::OutOfMemory { requested: size });
+            }
+            self.brk += want;
+            mem.ensure_heap(self.brk);
+            a
+        };
+        // Drop any stale (freed) block records overlapping the reused range.
+        let stale: Vec<u64> = self
+            .blocks
+            .range(..addr + want)
+            .rev()
+            .take_while(|(_, b)| b.addr + b.size.max(1) > addr)
+            .map(|(a, _)| *a)
+            .collect();
+        for a in stale {
+            if !self.blocks[&a].live {
+                self.blocks.remove(&a);
+            }
+        }
+        self.blocks.insert(
+            addr,
+            Block {
+                addr,
+                size,
+                live: true,
+            },
+        );
+        self.live_bytes += size;
+        self.total_allocs += 1;
+        Ok(addr)
+    }
+
+    /// `calloc(n, size)`: zeroed allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] on exhaustion (also used for
+    /// `n * size` overflow).
+    pub fn calloc(&mut self, mem: &mut Memory, n: u64, size: u64) -> Result<u64, AllocError> {
+        let total = n
+            .checked_mul(size)
+            .ok_or(AllocError::OutOfMemory { requested: u64::MAX })?;
+        let addr = self.malloc(mem, total)?;
+        let zeros = vec![0u8; total as usize];
+        mem.write_bytes(addr, &zeros).expect("fresh block is mapped");
+        Ok(addr)
+    }
+
+    /// Releases a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::DoubleFree`] for an already-freed block and
+    /// [`AllocError::InvalidFree`] for a pointer that is not the base of a
+    /// block. Freeing `NULL` is a no-op, like C.
+    pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
+        if addr == 0 {
+            return Ok(());
+        }
+        match self.blocks.get_mut(&addr) {
+            Some(b) if b.live => {
+                b.live = false;
+                self.live_bytes -= b.size;
+                let span = crate::types::round_up(b.size.max(1), ALIGN);
+                Allocator::insert_free(&mut self.free, addr, span);
+                Ok(())
+            }
+            Some(_) => Err(AllocError::DoubleFree { addr }),
+            None => Err(AllocError::InvalidFree { addr }),
+        }
+    }
+
+    /// `realloc(ptr, size)`: grows/shrinks, preserving contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] from the underlying free/malloc; `realloc`
+    /// of `NULL` behaves like `malloc`.
+    pub fn realloc(
+        &mut self,
+        mem: &mut Memory,
+        addr: u64,
+        size: u64,
+    ) -> Result<u64, AllocError> {
+        if addr == 0 {
+            return self.malloc(mem, size);
+        }
+        let old = *self
+            .blocks
+            .get(&addr)
+            .filter(|b| b.live)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        let new_addr = self.malloc(mem, size)?;
+        let keep = old.size.min(size);
+        if keep > 0 {
+            mem.copy(new_addr, addr, keep).expect("both blocks mapped");
+        }
+        self.free(addr)?;
+        Ok(new_addr)
+    }
+
+    fn insert_free(free: &mut Vec<(u64, u64)>, addr: u64, size: u64) {
+        let pos = free.partition_point(|&(a, _)| a < addr);
+        free.insert(pos, (addr, size));
+        // Coalesce with neighbours.
+        if pos + 1 < free.len() && free[pos].0 + free[pos].1 == free[pos + 1].0 {
+            free[pos].1 += free[pos + 1].1;
+            free.remove(pos + 1);
+        }
+        if pos > 0 && free[pos - 1].0 + free[pos - 1].1 == free[pos].0 {
+            free[pos - 1].1 += free[pos].1;
+            free.remove(pos);
+        }
+    }
+
+    /// The block (live or freed) whose range contains `addr`, if any.
+    pub fn block_containing(&self, addr: u64) -> Option<Block> {
+        self.blocks
+            .range(..=addr)
+            .next_back()
+            .map(|(_, b)| *b)
+            .filter(|b| b.contains(addr))
+    }
+
+    /// Whether `addr` points into a live heap block.
+    pub fn is_live(&self, addr: u64) -> bool {
+        self.block_containing(addr).is_some_and(|b| b.live)
+    }
+
+    /// Iterates over live blocks in address order.
+    pub fn live_blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        self.blocks.values().copied().filter(|b| b.live)
+    }
+
+    /// Total bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Number of `malloc`/`calloc`/`realloc` allocations performed so far.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Allocator, Memory) {
+        (Allocator::new(), Memory::new(0))
+    }
+
+    #[test]
+    fn malloc_returns_aligned_disjoint_blocks() {
+        let (mut a, mut m) = setup();
+        let p1 = a.malloc(&mut m, 10).unwrap();
+        let p2 = a.malloc(&mut m, 20).unwrap();
+        assert_eq!(p1 % ALIGN, 0);
+        assert_eq!(p2 % ALIGN, 0);
+        assert!(p2 >= p1 + 16);
+        assert_eq!(a.live_bytes(), 30);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (mut a, mut m) = setup();
+        let p1 = a.malloc(&mut m, 32).unwrap();
+        a.free(p1).unwrap();
+        assert!(!a.is_live(p1));
+        let p2 = a.malloc(&mut m, 16).unwrap();
+        assert_eq!(p2, p1, "first fit reuses the freed range");
+        assert!(a.is_live(p2));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut a, mut m) = setup();
+        let p = a.malloc(&mut m, 8).unwrap();
+        a.free(p).unwrap();
+        assert_eq!(a.free(p), Err(AllocError::DoubleFree { addr: p }));
+    }
+
+    #[test]
+    fn invalid_free_detected() {
+        let (mut a, mut m) = setup();
+        let p = a.malloc(&mut m, 64).unwrap();
+        assert_eq!(a.free(p + 4), Err(AllocError::InvalidFree { addr: p + 4 }));
+        assert!(a.free(0).is_ok(), "free(NULL) is a no-op");
+    }
+
+    #[test]
+    fn block_containing_finds_interior_pointers() {
+        let (mut a, mut m) = setup();
+        let p = a.malloc(&mut m, 40).unwrap();
+        let b = a.block_containing(p + 39).unwrap();
+        assert_eq!(b.addr, p);
+        assert_eq!(b.size, 40);
+        assert!(a.block_containing(p + 40 + 64).is_none());
+    }
+
+    #[test]
+    fn freed_block_still_classified_until_reuse() {
+        let (mut a, mut m) = setup();
+        let p = a.malloc(&mut m, 24).unwrap();
+        a.free(p).unwrap();
+        let b = a.block_containing(p + 3).unwrap();
+        assert!(!b.live, "dangling pointer classified as freed block");
+    }
+
+    #[test]
+    fn calloc_zeroes_reused_memory() {
+        let (mut a, mut m) = setup();
+        let p = a.malloc(&mut m, 16).unwrap();
+        m.write_int(p, 8, -1).unwrap();
+        a.free(p).unwrap();
+        let q = a.calloc(&mut m, 2, 8).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(m.read_int(q, 8).unwrap(), 0);
+        assert_eq!(m.read_int(q + 8, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn realloc_preserves_contents() {
+        let (mut a, mut m) = setup();
+        let p = a.malloc(&mut m, 8).unwrap();
+        m.write_int(p, 8, 0x1234_5678).unwrap();
+        let q = a.realloc(&mut m, p, 64).unwrap();
+        assert_eq!(m.read_int(q, 8).unwrap(), 0x1234_5678);
+        assert!(!a.is_live(p) || p == q);
+        assert!(a.is_live(q));
+        // realloc(NULL, n) == malloc(n)
+        let r = a.realloc(&mut m, 0, 8).unwrap();
+        assert!(a.is_live(r));
+    }
+
+    #[test]
+    fn coalescing_allows_large_reuse() {
+        let (mut a, mut m) = setup();
+        let p1 = a.malloc(&mut m, 16).unwrap();
+        let p2 = a.malloc(&mut m, 16).unwrap();
+        let _p3 = a.malloc(&mut m, 16).unwrap();
+        a.free(p1).unwrap();
+        a.free(p2).unwrap();
+        let big = a.malloc(&mut m, 32).unwrap();
+        assert_eq!(big, p1, "coalesced neighbours satisfy a bigger request");
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let (mut a, mut m) = setup();
+        assert!(matches!(
+            a.malloc(&mut m, crate::mem::HEAP_SIZE + 1),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn live_blocks_iteration() {
+        let (mut a, mut m) = setup();
+        let p1 = a.malloc(&mut m, 8).unwrap();
+        let p2 = a.malloc(&mut m, 8).unwrap();
+        a.free(p1).unwrap();
+        let live: Vec<u64> = a.live_blocks().map(|b| b.addr).collect();
+        assert_eq!(live, vec![p2]);
+        assert_eq!(a.total_allocs(), 2);
+    }
+
+    #[test]
+    fn zero_size_malloc_gets_unique_block() {
+        let (mut a, mut m) = setup();
+        let p1 = a.malloc(&mut m, 0).unwrap();
+        let p2 = a.malloc(&mut m, 0).unwrap();
+        assert_ne!(p1, p2);
+    }
+}

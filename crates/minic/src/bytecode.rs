@@ -1,0 +1,271 @@
+//! The flat bytecode the MiniC VM executes, plus the executable [`Program`]
+//! container with all the debug metadata the trackers need.
+
+use crate::ast::BinOp;
+use crate::typecheck::{HLocal, Intrinsic};
+use crate::types::{StructTable, Type};
+use std::collections::BTreeSet;
+
+/// Width/kind of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemTy {
+    /// 1-byte signed integer (`char`).
+    I8,
+    /// 4-byte signed integer (`int`).
+    I32,
+    /// 8-byte signed integer (`long`).
+    I64,
+    /// 4-byte float.
+    F32,
+    /// 8-byte float.
+    F64,
+    /// 8-byte pointer.
+    P,
+}
+
+impl MemTy {
+    /// Access size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            MemTy::I8 => 1,
+            MemTy::I32 | MemTy::F32 => 4,
+            MemTy::I64 | MemTy::F64 | MemTy::P => 8,
+        }
+    }
+
+    /// The access kind for a scalar MiniC type.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-scalar types (the typechecker never sends one).
+    pub fn from_type(ty: &Type) -> MemTy {
+        match ty {
+            Type::Char => MemTy::I8,
+            Type::Int => MemTy::I32,
+            Type::Long => MemTy::I64,
+            Type::Float => MemTy::F32,
+            Type::Double => MemTy::F64,
+            Type::Ptr(_) => MemTy::P,
+            other => panic!("no memory representation for `{other}`"),
+        }
+    }
+}
+
+/// One bytecode operation.
+///
+/// The VM evaluates expressions on an operand stack of tagged scalars
+/// (integer, float, pointer). Store-like ops are the watchpoint hook points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Source-line marker: the VM reports a [`crate::vm::Event::Line`].
+    Line(u32),
+    /// Push an integer.
+    PushI(i64),
+    /// Push a float.
+    PushF(f64),
+    /// Push a pointer.
+    PushP(u64),
+    /// Push `frame_base + offset`.
+    LocalAddr(u64),
+    /// Pop an address, push the loaded value.
+    Load(MemTy),
+    /// Pop value then address, store, push the value back (C assignment
+    /// yields the stored value).
+    Store(MemTy),
+    /// Pop source then destination address, copy `size` bytes.
+    MemCopy(u64),
+    /// Integer arithmetic/bitwise op on two popped integers.
+    IArith(BinOp),
+    /// Float arithmetic on two popped floats.
+    FArith(BinOp),
+    /// Integer (or pointer) comparison; pushes 0/1.
+    ICmp(BinOp),
+    /// Float comparison; pushes 0/1.
+    FCmp(BinOp),
+    /// Arithmetic negation (`true` = float operand).
+    Neg(bool),
+    /// Logical not on any scalar; pushes 0/1.
+    Not,
+    /// Bitwise not on an integer.
+    BitNot,
+    /// Integer to float.
+    I2F,
+    /// Float to integer (truncating, like C).
+    F2I,
+    /// Truncate an integer to the given width (with sign extension).
+    TruncI(MemTy),
+    /// Round a double to float precision.
+    F2F32,
+    /// Reinterpret an integer as a pointer.
+    I2P,
+    /// Reinterpret a pointer as an integer.
+    P2I,
+    /// Pop index (integer) then pointer; push `ptr + index * elem`.
+    PtrAdd(u64),
+    /// Pop index then pointer; push `ptr - index * elem`.
+    PtrSub(u64),
+    /// Pop two pointers; push `(lhs - rhs) / elem` as integer.
+    PtrDiff(u64),
+    /// Unconditional jump to code index.
+    Jump(usize),
+    /// Pop a scalar; jump when it is zero/null.
+    JumpIfZero(usize),
+    /// Pop a scalar; jump when it is non-zero.
+    JumpIfNotZero(usize),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Call the function with the given index; arguments are on the stack.
+    Call(usize),
+    /// Return; `true` when a return value is on the stack.
+    Ret(bool),
+    /// Load-modify-store increment/decrement.
+    IncDec {
+        /// Access kind of the target.
+        memty: MemTy,
+        /// +1 or -1.
+        delta: i64,
+        /// Push the new (prefix) or old (postfix) value.
+        prefix: bool,
+        /// For pointer targets: the pointee size to scale by.
+        ptr_step: Option<u64>,
+    },
+    /// Invoke a built-in with the given argument count.
+    Intrinsic(Intrinsic, u8),
+    /// No operation.
+    Nop,
+}
+
+/// Metadata of one compiled function.
+#[derive(Debug, Clone)]
+pub struct FuncMeta {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Number of leading parameter slots in `locals`.
+    pub nparams: usize,
+    /// Frame layout (parameters first).
+    pub locals: Vec<HLocal>,
+    /// Frame size in bytes.
+    pub frame_size: u64,
+    /// Code index of the function's first op.
+    pub entry: usize,
+    /// Header line.
+    pub line: u32,
+    /// Closing-brace line.
+    pub end_line: u32,
+}
+
+/// Metadata of one global variable.
+#[derive(Debug, Clone)]
+pub struct GlobalMeta {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Absolute address.
+    pub addr: u64,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// A compiled MiniC program: code, initial globals image, and debug info.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Flat code for all functions.
+    pub code: Vec<Op>,
+    /// Function table; [`Op::Call`] indexes into it.
+    pub functions: Vec<FuncMeta>,
+    /// Index of `main` in `functions`.
+    pub main_index: usize,
+    /// Initial contents of the globals segment.
+    pub global_image: Vec<u8>,
+    /// Global variables (addresses point into the globals segment).
+    pub globals: Vec<GlobalMeta>,
+    /// Struct layouts (needed to render struct values).
+    pub structs: StructTable,
+    /// Source file name used in reported locations.
+    pub file: String,
+    /// Full source text (tools show listings from it).
+    pub source: String,
+}
+
+impl Program {
+    /// Looks a function up by name.
+    pub fn function(&self, name: &str) -> Option<(usize, &FuncMeta)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+    }
+
+    /// Looks a global up by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalMeta> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// The 1-based source line text, if the line exists.
+    pub fn source_line(&self, line: u32) -> Option<&str> {
+        self.source.lines().nth(line.saturating_sub(1) as usize)
+    }
+
+    /// All lines that carry a [`Op::Line`] marker, i.e. valid breakpoint
+    /// targets.
+    pub fn breakable_lines(&self) -> BTreeSet<u32> {
+        self.code
+            .iter()
+            .filter_map(|op| match op {
+                Op::Line(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of source lines.
+    pub fn line_count(&self) -> u32 {
+        self.source.lines().count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memty_sizes() {
+        assert_eq!(MemTy::I8.size(), 1);
+        assert_eq!(MemTy::I32.size(), 4);
+        assert_eq!(MemTy::F32.size(), 4);
+        assert_eq!(MemTy::I64.size(), 8);
+        assert_eq!(MemTy::F64.size(), 8);
+        assert_eq!(MemTy::P.size(), 8);
+    }
+
+    #[test]
+    fn memty_from_type() {
+        assert_eq!(MemTy::from_type(&Type::Char), MemTy::I8);
+        assert_eq!(MemTy::from_type(&Type::Int), MemTy::I32);
+        assert_eq!(MemTy::from_type(&Type::Long), MemTy::I64);
+        assert_eq!(MemTy::from_type(&Type::Float), MemTy::F32);
+        assert_eq!(MemTy::from_type(&Type::Double), MemTy::F64);
+        assert_eq!(MemTy::from_type(&Type::Int.ptr_to()), MemTy::P);
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let program = crate::compile(
+            "p.c",
+            "int g = 1;\nint helper(int x) { return x; }\nint main() { return helper(g); }",
+        )
+        .unwrap();
+        assert!(program.function("helper").is_some());
+        assert!(program.function("nope").is_none());
+        assert_eq!(program.global("g").unwrap().ty, Type::Int);
+        assert_eq!(program.source_line(1).unwrap(), "int g = 1;");
+        assert!(program.breakable_lines().contains(&2));
+        assert_eq!(program.line_count(), 3);
+        assert_eq!(program.functions[program.main_index].name, "main");
+    }
+}

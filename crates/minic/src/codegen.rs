@@ -1,0 +1,636 @@
+//! Lowers the typed HIR to flat bytecode.
+//!
+//! The walk is direct: statements become structured jumps, expressions
+//! become operand-stack code. [`Op::Line`] markers are emitted once per
+//! statement (the VM's stepping/event granularity, like a debugger's line
+//! table).
+
+use crate::ast::UnOp;
+use crate::bytecode::{FuncMeta, GlobalMeta, MemTy, Op, Program};
+use crate::mem::GLOBAL_BASE;
+use crate::typecheck::{CheckedProgram, HExpr, HExprKind, HStmt, HStmtKind, InitWrite};
+use crate::types::Type;
+
+/// Lowers a checked program to an executable [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// let program = minic::compile("a.c", "int main() { return 0; }")?;
+/// assert!(!program.code.is_empty());
+/// # Ok::<(), minic::Error>(())
+/// ```
+pub fn lower(file: &str, source: &str, checked: &CheckedProgram) -> Program {
+    let mut gen = Gen {
+        code: Vec::new(),
+        loops: Vec::new(),
+        local_offsets: Vec::new(),
+    };
+    let mut functions = Vec::with_capacity(checked.functions.len());
+    for f in &checked.functions {
+        let entry = gen.code.len();
+        gen.function(f);
+        functions.push(FuncMeta {
+            name: f.name.clone(),
+            ret: f.ret.clone(),
+            nparams: f.nparams,
+            locals: f.locals.clone(),
+            frame_size: f.frame_size,
+            entry,
+            line: f.line,
+            end_line: f.end_line,
+        });
+    }
+    let main_index = checked
+        .function("main")
+        .map(|(i, _)| i)
+        .expect("typechecker guarantees main");
+
+    Program {
+        code: gen.code,
+        functions,
+        main_index,
+        global_image: build_global_image(checked),
+        globals: checked
+            .globals
+            .iter()
+            .map(|g| GlobalMeta {
+                name: g.name.clone(),
+                ty: g.ty.clone(),
+                addr: g.addr,
+                line: g.line,
+            })
+            .collect(),
+        structs: checked.structs.clone(),
+        file: file.to_owned(),
+        source: source.to_owned(),
+    }
+}
+
+/// Builds the initial byte image of the globals segment: zeroed variables,
+/// constant-initializer patches, then the string pool.
+fn build_global_image(checked: &CheckedProgram) -> Vec<u8> {
+    let mut image = vec![0u8; checked.global_segment_size as usize];
+    let mut patch = |addr: u64, bytes: &[u8]| {
+        let off = (addr - GLOBAL_BASE) as usize;
+        image[off..off + bytes.len()].copy_from_slice(bytes);
+    };
+    for g in &checked.globals {
+        for w in &g.init {
+            match *w {
+                InitWrite::Int {
+                    offset,
+                    size,
+                    value,
+                } => match size {
+                    1 => patch(g.addr + offset, &[value as u8]),
+                    4 => patch(g.addr + offset, &(value as i32).to_le_bytes()),
+                    8 => patch(g.addr + offset, &value.to_le_bytes()),
+                    other => unreachable!("bad init width {other}"),
+                },
+                InitWrite::Float {
+                    offset,
+                    size,
+                    value,
+                } => match size {
+                    4 => patch(g.addr + offset, &(value as f32).to_le_bytes()),
+                    8 => patch(g.addr + offset, &value.to_le_bytes()),
+                    other => unreachable!("bad float init width {other}"),
+                },
+                InitWrite::Ptr { offset, value } => {
+                    patch(g.addr + offset, &value.to_le_bytes())
+                }
+            }
+        }
+    }
+    for (s, addr) in &checked.strings {
+        patch(*addr, s.as_bytes());
+        patch(*addr + s.len() as u64, &[0]);
+    }
+    image
+}
+
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+    /// Switches take `break` but pass `continue` through to the loop.
+    is_switch: bool,
+}
+
+struct Gen {
+    code: Vec<Op>,
+    loops: Vec<LoopCtx>,
+    /// Frame offsets of the current function's locals, indexed by HIR
+    /// local index.
+    local_offsets: Vec<u64>,
+}
+
+impl Gen {
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn emit_line(&mut self, line: u32) {
+        // Avoid stuttering when a lowered statement expands to several
+        // sub-statements on the same line.
+        if self.code.last() == Some(&Op::Line(line)) {
+            return;
+        }
+        self.emit(Op::Line(line));
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.code.len();
+        self.patch_jump_to(at, target);
+    }
+
+    fn patch_jump_to(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn function(&mut self, f: &crate::typecheck::HFunction) {
+        self.local_offsets = f.locals.iter().map(|l| l.offset).collect();
+        self.stmts(&f.body);
+        // Implicit return for functions that fall off the end.
+        self.emit_line(f.end_line);
+        match &f.ret {
+            Type::Void => {
+                self.emit(Op::Ret(false));
+            }
+            t if t.is_float() => {
+                self.emit(Op::PushF(0.0));
+                self.emit(Op::Ret(true));
+            }
+            Type::Ptr(_) => {
+                self.emit(Op::PushP(0));
+                self.emit(Op::Ret(true));
+            }
+            _ => {
+                self.emit(Op::PushI(0));
+                self.emit(Op::Ret(true));
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[HStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &HStmt) {
+        match &s.kind {
+            HStmtKind::Expr(e) => {
+                self.emit_line(s.line);
+                self.expr(e);
+                if e.ty != Type::Void {
+                    self.emit(Op::Pop);
+                }
+            }
+            HStmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.emit_line(s.line);
+                self.expr(cond);
+                let jz = self.emit(Op::JumpIfZero(0));
+                self.stmts(then_branch);
+                if else_branch.is_empty() {
+                    self.patch_jump(jz);
+                } else {
+                    let jend = self.emit(Op::Jump(0));
+                    self.patch_jump(jz);
+                    self.stmts(else_branch);
+                    self.patch_jump(jend);
+                }
+            }
+            HStmtKind::While { cond, body, step } => {
+                let top = self.code.len();
+                self.emit_line(s.line);
+                self.expr(cond);
+                let jexit = self.emit(Op::JumpIfZero(0));
+                self.loops.push(LoopCtx {
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    is_switch: false,
+                });
+                self.stmts(body);
+                let step_pos = self.code.len();
+                if let Some(step) = step {
+                    self.emit_line(step.line);
+                    self.expr(step);
+                    if step.ty != Type::Void {
+                        self.emit(Op::Pop);
+                    }
+                }
+                self.emit(Op::Jump(top));
+                let ctx = self.loops.pop().expect("pushed above");
+                for at in ctx.continue_patches {
+                    self.patch_jump_to(at, step_pos);
+                }
+                self.patch_jump(jexit);
+                let end = self.code.len();
+                for at in ctx.break_patches {
+                    self.patch_jump_to(at, end);
+                }
+            }
+            HStmtKind::DoWhile { body, cond } => {
+                let top = self.code.len();
+                self.loops.push(LoopCtx {
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    is_switch: false,
+                });
+                self.stmts(body);
+                let cond_pos = self.code.len();
+                self.emit_line(cond.line);
+                self.expr(cond);
+                self.emit(Op::JumpIfNotZero(top));
+                let ctx = self.loops.pop().expect("pushed above");
+                for at in ctx.continue_patches {
+                    self.patch_jump_to(at, cond_pos);
+                }
+                let end = self.code.len();
+                for at in ctx.break_patches {
+                    self.patch_jump_to(at, end);
+                }
+            }
+            HStmtKind::Switch { scrutinee, arms } => {
+                self.emit_line(s.line);
+                self.expr(scrutinee);
+                // Dispatch: compare the scrutinee (kept on the stack)
+                // against each label; matching jumps reach a stub that pops
+                // the scrutinee before entering the arm body (fallthrough
+                // between bodies must not pop).
+                let mut label_jumps = Vec::new(); // (stub placeholder, arm idx)
+                for (i, (label, _)) in arms.iter().enumerate() {
+                    if let Some(k) = label {
+                        self.emit(Op::Dup);
+                        self.emit(Op::PushI(*k));
+                        self.emit(Op::ICmp(crate::ast::BinOp::Eq));
+                        let at = self.emit(Op::JumpIfNotZero(0));
+                        label_jumps.push((at, i));
+                    }
+                }
+                self.emit(Op::Pop);
+                let default_jump = self.emit(Op::Jump(0));
+                let default_arm = arms.iter().position(|(l, _)| l.is_none());
+                // Stubs: pop the scrutinee, then jump to the body.
+                let mut body_jumps = Vec::new(); // (jump placeholder, arm idx)
+                for (at, i) in label_jumps {
+                    self.patch_jump(at);
+                    self.emit(Op::Pop);
+                    let j = self.emit(Op::Jump(0));
+                    body_jumps.push((j, i));
+                }
+                // Bodies, in order, with fallthrough.
+                self.loops.push(LoopCtx {
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    is_switch: true,
+                });
+                let mut body_starts = Vec::with_capacity(arms.len());
+                for (_, body) in arms {
+                    body_starts.push(self.code.len());
+                    self.stmts(body);
+                }
+                let end = self.code.len();
+                for (j, i) in body_jumps {
+                    self.patch_jump_to(j, body_starts[i]);
+                }
+                match default_arm {
+                    Some(i) => self.patch_jump_to(default_jump, body_starts[i]),
+                    None => self.patch_jump_to(default_jump, end),
+                }
+                let ctx = self.loops.pop().expect("pushed above");
+                debug_assert!(ctx.continue_patches.is_empty());
+                for at in ctx.break_patches {
+                    self.patch_jump_to(at, end);
+                }
+            }
+            HStmtKind::Return(value) => {
+                self.emit_line(s.line);
+                match value {
+                    Some(v) => {
+                        self.expr(v);
+                        self.emit(Op::Ret(true));
+                    }
+                    None => {
+                        self.emit(Op::Ret(false));
+                    }
+                }
+            }
+            HStmtKind::Break => {
+                self.emit_line(s.line);
+                let at = self.emit(Op::Jump(0));
+                self.loops
+                    .last_mut()
+                    .expect("typechecker rejects break outside loops")
+                    .break_patches
+                    .push(at);
+            }
+            HStmtKind::Continue => {
+                self.emit_line(s.line);
+                let at = self.emit(Op::Jump(0));
+                self.loops
+                    .iter_mut()
+                    .rev()
+                    .find(|c| !c.is_switch)
+                    .expect("typechecker rejects continue outside loops")
+                    .continue_patches
+                    .push(at);
+            }
+            HStmtKind::Block(inner) => self.stmts(inner),
+        }
+    }
+
+    /// Emits code that leaves the expression's value on the stack
+    /// (nothing for `Void`-typed expressions).
+    fn expr(&mut self, e: &HExpr) {
+        match &e.kind {
+            HExprKind::ConstInt(v) => {
+                self.emit(Op::PushI(*v));
+            }
+            HExprKind::ConstFloat(v) => {
+                self.emit(Op::PushF(*v));
+            }
+            HExprKind::ConstPtr(p) => {
+                self.emit(Op::PushP(*p));
+            }
+            HExprKind::LocalAddr(idx) => {
+                let offset = self.local_offsets[*idx];
+                self.emit(Op::LocalAddr(offset));
+            }
+            HExprKind::Load(addr) => {
+                self.expr(addr);
+                self.emit(Op::Load(MemTy::from_type(&e.ty)));
+            }
+            HExprKind::Store { addr, value } => {
+                self.expr(addr);
+                self.expr(value);
+                self.emit(Op::Store(MemTy::from_type(&e.ty)));
+            }
+            HExprKind::CopyStruct { dst, src, size } => {
+                self.expr(dst);
+                self.expr(src);
+                self.emit(Op::MemCopy(*size));
+            }
+            HExprKind::Binary {
+                op,
+                operand_ty,
+                lhs,
+                rhs,
+            } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                let is_float = operand_ty.is_float();
+                if op.is_comparison() {
+                    self.emit(if is_float { Op::FCmp(*op) } else { Op::ICmp(*op) });
+                } else {
+                    self.emit(if is_float { Op::FArith(*op) } else { Op::IArith(*op) });
+                }
+            }
+            HExprKind::Logical { is_and, lhs, rhs } => {
+                // Short-circuit evaluation producing 0/1.
+                self.expr(lhs);
+                if *is_and {
+                    let j1 = self.emit(Op::JumpIfZero(0));
+                    self.expr(rhs);
+                    let j2 = self.emit(Op::JumpIfZero(0));
+                    self.emit(Op::PushI(1));
+                    let jend = self.emit(Op::Jump(0));
+                    self.patch_jump(j1);
+                    self.patch_jump_to(j2, self.code.len());
+                    self.emit(Op::PushI(0));
+                    self.patch_jump(jend);
+                } else {
+                    let j1 = self.emit(Op::JumpIfNotZero(0));
+                    self.expr(rhs);
+                    let j2 = self.emit(Op::JumpIfNotZero(0));
+                    self.emit(Op::PushI(0));
+                    let jend = self.emit(Op::Jump(0));
+                    self.patch_jump(j1);
+                    self.patch_jump_to(j2, self.code.len());
+                    self.emit(Op::PushI(1));
+                    self.patch_jump(jend);
+                }
+            }
+            HExprKind::Unary { op, operand } => {
+                self.expr(operand);
+                match op {
+                    UnOp::Neg => {
+                        self.emit(Op::Neg(operand.ty.is_float()));
+                    }
+                    UnOp::Not => {
+                        self.emit(Op::Not);
+                    }
+                    UnOp::BitNot => {
+                        self.emit(Op::BitNot);
+                    }
+                }
+            }
+            HExprKind::PtrAdd {
+                ptr,
+                index,
+                elem_size,
+                negate,
+            } => {
+                self.expr(ptr);
+                self.expr(index);
+                self.emit(if *negate {
+                    Op::PtrSub(*elem_size)
+                } else {
+                    Op::PtrAdd(*elem_size)
+                });
+            }
+            HExprKind::PtrDiff {
+                lhs,
+                rhs,
+                elem_size,
+            } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.emit(Op::PtrDiff(*elem_size));
+            }
+            HExprKind::Cast { from, expr } => {
+                self.expr(expr);
+                self.cast(from, &e.ty);
+            }
+            HExprKind::Call { target, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                match target {
+                    crate::typecheck::CallTarget::Function(idx) => {
+                        self.emit(Op::Call(*idx));
+                    }
+                    crate::typecheck::CallTarget::Intrinsic(intr) => {
+                        self.emit(Op::Intrinsic(*intr, args.len() as u8));
+                    }
+                }
+            }
+            HExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.expr(cond);
+                let jz = self.emit(Op::JumpIfZero(0));
+                self.expr(then_expr);
+                let jend = self.emit(Op::Jump(0));
+                self.patch_jump(jz);
+                self.expr(else_expr);
+                self.patch_jump(jend);
+            }
+            HExprKind::IncDec {
+                addr,
+                delta,
+                prefix,
+                elem_size,
+            } => {
+                self.expr(addr);
+                self.emit(Op::IncDec {
+                    memty: MemTy::from_type(&e.ty),
+                    delta: *delta,
+                    prefix: *prefix,
+                    ptr_step: *elem_size,
+                });
+            }
+        }
+    }
+
+    /// Emits a value conversion between scalar types (the typechecker only
+    /// produces legal pairs).
+    fn cast(&mut self, from: &Type, to: &Type) {
+        match (from, to) {
+            (a, b) if a == b => {}
+            (a, b) if a.is_integer() && b.is_integer() => {
+                // Narrowing truncates+sign-extends; widening from a value
+                // already held as i64 is a no-op thanks to earlier
+                // truncation on every narrow store/cast.
+                if size_rank(b) < size_rank(a) {
+                    self.emit(Op::TruncI(MemTy::from_type(b)));
+                }
+            }
+            (a, b) if a.is_integer() && b.is_float() => {
+                self.emit(Op::I2F);
+                if *b == Type::Float {
+                    self.emit(Op::F2F32);
+                }
+            }
+            (a, b) if a.is_float() && b.is_integer() => {
+                self.emit(Op::F2I);
+                if size_rank(b) < 8 {
+                    self.emit(Op::TruncI(MemTy::from_type(b)));
+                }
+            }
+            (Type::Double, Type::Float) => {
+                self.emit(Op::F2F32);
+            }
+            (Type::Float, Type::Double) => {
+                // Stack floats are f64 already; the f32 rounding happened
+                // at the producing load/cast.
+            }
+            (a, b) if a.is_pointer() && b.is_pointer() => {}
+            (a, b) if a.is_integer() && b.is_pointer() => {
+                self.emit(Op::I2P);
+            }
+            (a, b) if a.is_pointer() && b.is_integer() => {
+                self.emit(Op::P2I);
+                if size_rank(b) < 8 {
+                    self.emit(Op::TruncI(MemTy::from_type(b)));
+                }
+            }
+            (a, b) => unreachable!("typechecker passed invalid cast {a} -> {b}"),
+        }
+    }
+}
+
+fn size_rank(t: &Type) -> u64 {
+    match t {
+        Type::Char => 1,
+        Type::Int => 4,
+        _ => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn every_statement_line_has_a_marker() {
+        let p = compile(
+            "t.c",
+            "int main() {\nint a = 1;\nint b = 2;\nreturn a + b;\n}",
+        )
+        .unwrap();
+        let lines = p.breakable_lines();
+        for l in [2u32, 3, 4] {
+            assert!(lines.contains(&l), "line {l} has no marker");
+        }
+    }
+
+    #[test]
+    fn jumps_are_patched_in_bounds() {
+        let src = "int main() {\n\
+                   int s = 0;\n\
+                   for (int i = 0; i < 10; i++) {\n\
+                   if (i == 5) continue;\n\
+                   if (i == 8) break;\n\
+                   s += i;\n\
+                   }\n\
+                   while (s > 100) s--;\n\
+                   return s;\n\
+                   }";
+        let p = compile("t.c", src).unwrap();
+        for op in &p.code {
+            if let Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) = op {
+                assert!(*t <= p.code.len(), "jump target {t} out of bounds");
+                assert_ne!(*t, 0, "unpatched jump");
+            }
+        }
+    }
+
+    #[test]
+    fn global_image_contains_initializers_and_strings() {
+        let p = compile(
+            "t.c",
+            "int g = 7;\nchar* s = \"ab\";\nint main() { return g; }",
+        )
+        .unwrap();
+        assert_eq!(&p.global_image[0..4], &7i32.to_le_bytes());
+        // The string bytes appear somewhere in the image, NUL-terminated.
+        let needle = b"ab\0";
+        assert!(p
+            .global_image
+            .windows(needle.len())
+            .any(|w| w == needle));
+        // The pointer slot holds the string's address.
+        let sp = p.global("s").unwrap().addr;
+        let off = (sp - GLOBAL_BASE) as usize;
+        let ptr = u64::from_le_bytes(p.global_image[off..off + 8].try_into().unwrap());
+        let str_off = (ptr - GLOBAL_BASE) as usize;
+        assert_eq!(&p.global_image[str_off..str_off + 3], needle);
+    }
+
+    #[test]
+    fn call_ops_reference_valid_functions() {
+        let p = compile(
+            "t.c",
+            "int f(int x) { return x; } int main() { return f(1) + f(2); }",
+        )
+        .unwrap();
+        for op in &p.code {
+            if let Op::Call(idx) = op {
+                assert!(*idx < p.functions.len());
+            }
+        }
+    }
+}

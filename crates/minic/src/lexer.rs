@@ -1,0 +1,671 @@
+//! Hand-written lexer for MiniC.
+
+use crate::Error;
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Token kinds of the MiniC grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Integer literal (decimal, hex `0x`, or char escape value).
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// String literal with escapes resolved.
+    StrLit(String),
+    /// Character literal with escapes resolved.
+    CharLit(char),
+    /// A keyword such as `int` or `while`.
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float `{v}`"),
+            TokenKind::StrLit(_) => write!(f, "string literal"),
+            TokenKind::CharLit(c) => write!(f, "char literal `{c:?}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words of MiniC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Int,
+    Long,
+    Float,
+    Double,
+    Char,
+    Void,
+    Struct,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+    Null,
+    Do,
+    Switch,
+    Case,
+    Default,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "char" => Keyword::Char,
+            "void" => Keyword::Void,
+            "struct" => Keyword::Struct,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "sizeof" => Keyword::Sizeof,
+            "NULL" => Keyword::Null,
+            "do" => Keyword::Do,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Keyword::Int => "int",
+            Keyword::Long => "long",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::Char => "char",
+            Keyword::Void => "void",
+            Keyword::Struct => "struct",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Sizeof => "sizeof",
+            Keyword::Null => "NULL",
+            Keyword::Do => "do",
+            Keyword::Switch => "switch",
+            Keyword::Case => "case",
+            Keyword::Default => "default",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operators and punctuation of MiniC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Question,
+    Colon,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::PercentAssign => "%=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+            Punct::Eq => "==",
+            Punct::Ne => "!=",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Not => "!",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Question => "?",
+            Punct::Colon => ":",
+        };
+        f.write_str(s)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::Lex {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::Lex {
+                                    line: start_line,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                Some(b'#') => {
+                    // Preprocessor lines (#include, #define) are accepted and
+                    // ignored so that teaching programs copy-paste unchanged.
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_escape(&mut self) -> Result<char, Error> {
+        match self.bump() {
+            Some(b'n') => Ok('\n'),
+            Some(b't') => Ok('\t'),
+            Some(b'r') => Ok('\r'),
+            Some(b'0') => Ok('\0'),
+            Some(b'\\') => Ok('\\'),
+            Some(b'\'') => Ok('\''),
+            Some(b'"') => Ok('"'),
+            Some(c) => Err(self.error(format!("unknown escape `\\{}`", c as char))),
+            None => Err(self.error("unterminated escape sequence")),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).unwrap();
+            if text.is_empty() {
+                return Err(self.error("expected hex digits after `0x`"));
+            }
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|_| self.error("hex literal out of range"))?;
+            return Ok(TokenKind::IntLit(v));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.src.get(look), Some(b'+') | Some(b'-')) {
+                look += 1;
+            }
+            if matches!(self.src.get(look), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            // Accept an optional `f` suffix.
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.bump();
+            }
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error("malformed float literal"))?;
+            Ok(TokenKind::FloatLit(v))
+        } else {
+            // Accept an optional `L` suffix.
+            if matches!(self.peek(), Some(b'l') | Some(b'L')) {
+                self.bump();
+            }
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error("integer literal out of range"))?;
+            Ok(TokenKind::IntLit(v))
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, Error> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+            });
+        };
+        let kind = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                match Keyword::from_ident(text) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(text.to_owned()),
+                }
+            }
+            b'0'..=b'9' => self.lex_number()?,
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => s.push(self.lex_escape()?),
+                        Some(b'\n') | None => {
+                            return Err(Error::Lex {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                TokenKind::StrLit(s)
+            }
+            b'\'' => {
+                self.bump();
+                let ch = match self.bump() {
+                    Some(b'\\') => self.lex_escape()?,
+                    Some(b'\'') | None => {
+                        return Err(Error::Lex {
+                            line,
+                            message: "empty char literal".into(),
+                        })
+                    }
+                    Some(c) => c as char,
+                };
+                if self.bump() != Some(b'\'') {
+                    return Err(Error::Lex {
+                        line,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                TokenKind::CharLit(ch)
+            }
+            _ => TokenKind::Punct(self.lex_punct()?),
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn lex_punct(&mut self) -> Result<Punct, Error> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Lexer<'a>, next: u8, yes: Punct, no: Punct| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => Punct::LParen,
+            b')' => Punct::RParen,
+            b'{' => Punct::LBrace,
+            b'}' => Punct::RBrace,
+            b'[' => Punct::LBracket,
+            b']' => Punct::RBracket,
+            b';' => Punct::Semi,
+            b',' => Punct::Comma,
+            b'.' => Punct::Dot,
+            b'?' => Punct::Question,
+            b':' => Punct::Colon,
+            b'~' => Punct::Tilde,
+            b'^' => Punct::Caret,
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    Punct::PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Punct::PlusAssign
+                }
+                _ => Punct::Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    Punct::MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Punct::MinusAssign
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Punct::Arrow
+                }
+                _ => Punct::Minus,
+            },
+            b'*' => two(self, b'=', Punct::StarAssign, Punct::Star),
+            b'/' => two(self, b'=', Punct::SlashAssign, Punct::Slash),
+            b'%' => two(self, b'=', Punct::PercentAssign, Punct::Percent),
+            b'=' => two(self, b'=', Punct::Eq, Punct::Assign),
+            b'!' => two(self, b'=', Punct::Ne, Punct::Not),
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Punct::Le
+                }
+                Some(b'<') => {
+                    self.bump();
+                    Punct::Shl
+                }
+                _ => Punct::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Punct::Ge
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Punct::Shr
+                }
+                _ => Punct::Gt,
+            },
+            b'&' => two(self, b'&', Punct::AndAnd, Punct::Amp),
+            b'|' => two(self, b'|', Punct::OrOr, Punct::Pipe),
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)))
+            }
+        })
+    }
+}
+
+/// Tokenizes MiniC source text.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on malformed input (unterminated literals, unknown
+/// characters or escapes, out-of-range numbers).
+///
+/// # Examples
+///
+/// ```
+/// let tokens = minic::lexer::lex("int x = 1;")?;
+/// assert_eq!(tokens.len(), 6); // int x = 1 ; EOF
+/// # Ok::<(), minic::Error>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        tokens.push(tok);
+        if done {
+            return Ok(tokens);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        let ks = kinds("int foo while whilex");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Keyword(Keyword::While),
+                TokenKind::Ident("whilex".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("0x2A")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::FloatLit(3.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds("2.5f")[0], TokenKind::FloatLit(2.5));
+        assert_eq!(kinds("7L")[0], TokenKind::IntLit(7));
+    }
+
+    #[test]
+    fn dot_after_int_without_digit_is_member_access() {
+        let ks = kinds("a.b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::Dot),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_chars_with_escapes() {
+        assert_eq!(kinds(r#""a\nb""#)[0], TokenKind::StrLit("a\nb".into()));
+        assert_eq!(kinds(r"'\t'")[0], TokenKind::CharLit('\t'));
+        assert_eq!(kinds("'x'")[0], TokenKind::CharLit('x'));
+        assert_eq!(kinds(r"'\0'")[0], TokenKind::CharLit('\0'));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let ks = kinds("a += b-- -> <<= == <=");
+        assert!(ks.contains(&TokenKind::Punct(Punct::PlusAssign)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::MinusMinus)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Arrow)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Eq)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Le)));
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        let src = "#include <stdio.h>\n// c1\nint /* mid */ x; /* multi\nline */ 5";
+        let ks = kinds(src);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::IntLit(5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("int\nx\n=\n1;").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn reports_errors() {
+        assert!(matches!(lex("\"abc"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("'ab'"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("$"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("/* x"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("0x"), Err(Error::Lex { .. })));
+    }
+
+    #[test]
+    fn null_keyword() {
+        assert_eq!(kinds("NULL")[0], TokenKind::Keyword(Keyword::Null));
+    }
+}

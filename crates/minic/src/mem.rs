@@ -1,0 +1,362 @@
+//! The simulated byte-addressable memory of the MiniC virtual machine.
+//!
+//! The address space mimics a conventional process layout so that teaching
+//! tools can show "real" addresses (paper Figs. 6c and 7):
+//!
+//! ```text
+//! 0x000000            NULL page (never mapped; dereference traps)
+//! 0x001000  GLOBALS   globals and string literals
+//! 0x100000  HEAP      malloc arena, managed by `alloc::Allocator`
+//! 0x700000  STACK     grows downward from STACK_TOP
+//! 0x800000  STACK_TOP
+//! ```
+//!
+//! All scalars are stored little-endian. Loads and stores are bounds-checked
+//! against the segment they fall in; accessing the NULL page or an unmapped
+//! address is an error the VM surfaces as a MiniC runtime error.
+
+use std::fmt;
+
+/// The null address.
+pub const NULL: u64 = 0;
+/// Base address of the globals segment.
+pub const GLOBAL_BASE: u64 = 0x1000;
+/// Base address of the heap segment.
+pub const HEAP_BASE: u64 = 0x10_0000;
+/// Lowest valid stack address.
+pub const STACK_BASE: u64 = 0x70_0000;
+/// One past the highest stack address; initial stack pointer.
+pub const STACK_TOP: u64 = 0x80_0000;
+/// Heap capacity in bytes.
+pub const HEAP_SIZE: u64 = STACK_BASE - HEAP_BASE;
+
+/// An out-of-segment or null access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// The offending address.
+    pub addr: u64,
+    /// Number of bytes of the attempted access.
+    pub size: u64,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid memory access of {} byte(s) at {:#x}",
+            self.size, self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Which segment an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Globals and string literals.
+    Global,
+    /// The malloc arena.
+    Heap,
+    /// The call stack.
+    Stack,
+}
+
+/// The VM's memory: three independently grown segments.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    globals: Vec<u8>,
+    heap: Vec<u8>,
+    stack: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a memory with a globals segment of `global_size` bytes
+    /// (zero-initialized).
+    pub fn new(global_size: u64) -> Self {
+        Memory {
+            globals: vec![0; global_size as usize],
+            heap: Vec::new(),
+            stack: vec![0; (STACK_TOP - STACK_BASE) as usize],
+        }
+    }
+
+    /// Classifies an address without bounds checking the access size.
+    pub fn segment_of(addr: u64) -> Option<Segment> {
+        if (GLOBAL_BASE..HEAP_BASE).contains(&addr) {
+            Some(Segment::Global)
+        } else if (HEAP_BASE..STACK_BASE).contains(&addr) {
+            Some(Segment::Heap)
+        } else if (STACK_BASE..STACK_TOP).contains(&addr) {
+            Some(Segment::Stack)
+        } else {
+            None
+        }
+    }
+
+    /// Grows the heap segment so that `size` bytes from `HEAP_BASE` are
+    /// mapped. Used by the allocator.
+    pub fn ensure_heap(&mut self, size: u64) {
+        if size as usize > self.heap.len() {
+            self.heap.resize(size as usize, 0);
+        }
+    }
+
+    /// Number of currently mapped heap bytes.
+    pub fn heap_len(&self) -> u64 {
+        self.heap.len() as u64
+    }
+
+    fn slice(&self, addr: u64, size: u64) -> Result<&[u8], MemError> {
+        let err = MemError { addr, size };
+        let (buf, base) = match Memory::segment_of(addr) {
+            Some(Segment::Global) => (&self.globals, GLOBAL_BASE),
+            Some(Segment::Heap) => (&self.heap, HEAP_BASE),
+            Some(Segment::Stack) => (&self.stack, STACK_BASE),
+            None => return Err(err),
+        };
+        let off = (addr - base) as usize;
+        let end = off.checked_add(size as usize).ok_or(err)?;
+        buf.get(off..end).ok_or(err)
+    }
+
+    fn slice_mut(&mut self, addr: u64, size: u64) -> Result<&mut [u8], MemError> {
+        let err = MemError { addr, size };
+        let (buf, base) = match Memory::segment_of(addr) {
+            Some(Segment::Global) => (&mut self.globals, GLOBAL_BASE),
+            Some(Segment::Heap) => (&mut self.heap, HEAP_BASE),
+            Some(Segment::Stack) => (&mut self.stack, STACK_BASE),
+            None => return Err(err),
+        };
+        let off = (addr - base) as usize;
+        let end = off.checked_add(size as usize).ok_or(err)?;
+        buf.get_mut(off..end).ok_or(err)
+    }
+
+    /// Reads `size` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any byte of the range is unmapped.
+    pub fn read_bytes(&self, addr: u64, size: u64) -> Result<&[u8], MemError> {
+        self.slice(addr, size)
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any byte of the range is unmapped.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
+        self.slice_mut(addr, bytes.len() as u64)?.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Copies `size` bytes from `src` to `dst` (regions may not overlap in
+    /// practice; a temporary buffer makes overlap safe anyway).
+    ///
+    /// # Errors
+    ///
+    /// Fails when either range is unmapped.
+    pub fn copy(&mut self, dst: u64, src: u64, size: u64) -> Result<(), MemError> {
+        let tmp = self.slice(src, size)?.to_vec();
+        self.write_bytes(dst, &tmp)
+    }
+
+    /// Reads a signed integer of `size` (1, 4 or 8) bytes, sign-extended.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 4 or 8.
+    pub fn read_int(&self, addr: u64, size: u64) -> Result<i64, MemError> {
+        let b = self.slice(addr, size)?;
+        Ok(match size {
+            1 => b[0] as i8 as i64,
+            4 => i32::from_le_bytes(b.try_into().unwrap()) as i64,
+            8 => i64::from_le_bytes(b.try_into().unwrap()),
+            _ => panic!("unsupported integer width {size}"),
+        })
+    }
+
+    /// Writes the low `size` bytes of `value` (two's complement truncation).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 4 or 8.
+    pub fn write_int(&mut self, addr: u64, size: u64, value: i64) -> Result<(), MemError> {
+        match size {
+            1 => self.write_bytes(addr, &[(value as u8)]),
+            4 => self.write_bytes(addr, &(value as i32).to_le_bytes()),
+            8 => self.write_bytes(addr, &value.to_le_bytes()),
+            _ => panic!("unsupported integer width {size}"),
+        }
+    }
+
+    /// Reads an unsigned 64-bit pointer value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    pub fn read_ptr(&self, addr: u64) -> Result<u64, MemError> {
+        let b = self.slice(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Writes an unsigned 64-bit pointer value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    pub fn write_ptr(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads an `f32` (4 bytes) or `f64` (8 bytes) as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 4 or 8.
+    pub fn read_float(&self, addr: u64, size: u64) -> Result<f64, MemError> {
+        let b = self.slice(addr, size)?;
+        Ok(match size {
+            4 => f32::from_le_bytes(b.try_into().unwrap()) as f64,
+            8 => f64::from_le_bytes(b.try_into().unwrap()),
+            _ => panic!("unsupported float width {size}"),
+        })
+    }
+
+    /// Writes `value` as `f32` (4 bytes, rounded) or `f64` (8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 4 or 8.
+    pub fn write_float(&mut self, addr: u64, size: u64, value: f64) -> Result<(), MemError> {
+        match size {
+            4 => self.write_bytes(addr, &(value as f32).to_le_bytes()),
+            8 => self.write_bytes(addr, &value.to_le_bytes()),
+            _ => panic!("unsupported float width {size}"),
+        }
+    }
+
+    /// Reads a NUL-terminated C string starting at `addr`, capped at `max`
+    /// bytes. Non-UTF-8 bytes are replaced.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` is unmapped; a missing terminator within the
+    /// segment simply truncates at the segment end or at `max`.
+    pub fn read_cstring(&self, addr: u64, max: u64) -> Result<String, MemError> {
+        // Validate at least the first byte.
+        self.slice(addr, 1)?;
+        let mut bytes = Vec::new();
+        let mut a = addr;
+        while (a - addr) < max {
+            match self.slice(a, 1) {
+                Ok(b) if b[0] != 0 => bytes.push(b[0]),
+                _ => break,
+            }
+            a += 1;
+        }
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new(256);
+        m.ensure_heap(1024);
+        m
+    }
+
+    #[test]
+    fn segments_classified() {
+        assert_eq!(Memory::segment_of(0), None);
+        assert_eq!(Memory::segment_of(GLOBAL_BASE), Some(Segment::Global));
+        assert_eq!(Memory::segment_of(HEAP_BASE + 5), Some(Segment::Heap));
+        assert_eq!(Memory::segment_of(STACK_TOP - 1), Some(Segment::Stack));
+        assert_eq!(Memory::segment_of(STACK_TOP), None);
+    }
+
+    #[test]
+    fn int_roundtrip_all_widths() {
+        let mut m = mem();
+        for (size, value) in [(1u64, -5i64), (4, -123456), (8, i64::MIN + 3)] {
+            m.write_int(GLOBAL_BASE, size, value).unwrap();
+            assert_eq!(m.read_int(GLOBAL_BASE, size).unwrap(), value);
+        }
+        // Truncation wraps like C.
+        m.write_int(GLOBAL_BASE, 1, 300).unwrap();
+        assert_eq!(m.read_int(GLOBAL_BASE, 1).unwrap(), 300i64 as i8 as i64);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut m = mem();
+        m.write_float(HEAP_BASE, 8, 3.25).unwrap();
+        assert_eq!(m.read_float(HEAP_BASE, 8).unwrap(), 3.25);
+        m.write_float(HEAP_BASE, 4, 1.5).unwrap();
+        assert_eq!(m.read_float(HEAP_BASE, 4).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let mut m = mem();
+        m.write_ptr(STACK_TOP - 8, HEAP_BASE).unwrap();
+        assert_eq!(m.read_ptr(STACK_TOP - 8).unwrap(), HEAP_BASE);
+    }
+
+    #[test]
+    fn null_and_oob_accesses_fail() {
+        let mut m = mem();
+        assert!(m.read_int(NULL, 4).is_err());
+        assert!(m.read_int(0x10, 4).is_err());
+        assert!(m.write_int(GLOBAL_BASE + 255, 4, 1).is_err()); // straddles end
+        assert!(m.read_int(HEAP_BASE + 1024, 1).is_err()); // beyond mapped heap
+        assert!(m.read_int(STACK_TOP, 1).is_err());
+    }
+
+    #[test]
+    fn cstring_reading() {
+        let mut m = mem();
+        m.write_bytes(GLOBAL_BASE, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstring(GLOBAL_BASE, 100).unwrap(), "hello");
+        assert_eq!(m.read_cstring(GLOBAL_BASE + 6, 3).unwrap(), "wor");
+        assert!(m.read_cstring(NULL, 10).is_err());
+    }
+
+    #[test]
+    fn copy_between_segments() {
+        let mut m = mem();
+        m.write_bytes(GLOBAL_BASE, b"abcd").unwrap();
+        m.copy(HEAP_BASE, GLOBAL_BASE, 4).unwrap();
+        assert_eq!(m.read_bytes(HEAP_BASE, 4).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn heap_grows_on_demand() {
+        let mut m = Memory::new(0);
+        assert!(m.read_int(HEAP_BASE, 1).is_err());
+        m.ensure_heap(16);
+        assert_eq!(m.heap_len(), 16);
+        assert_eq!(m.read_int(HEAP_BASE, 8).unwrap(), 0);
+    }
+}

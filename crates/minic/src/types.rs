@@ -1,0 +1,344 @@
+//! MiniC's type representation, sizes and alignment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer.
+    Long,
+    /// 32-bit IEEE float.
+    Float,
+    /// 64-bit IEEE float.
+    Double,
+    /// 8-bit signed character.
+    Char,
+    /// The absence of a value (function returns only).
+    Void,
+    /// Pointer to another type. Pointers are 8 bytes.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, usize),
+    /// A named struct; layout is resolved by the typechecker.
+    Struct(String),
+    /// Function type, used for function designators / pointers.
+    Func {
+        /// Return type.
+        ret: Box<Type>,
+        /// Parameter types.
+        params: Vec<Type>,
+    },
+}
+
+impl Type {
+    /// Convenience constructor for a pointer to `self`.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Whether the type is one of the integer types (`char`, `int`, `long`).
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::Int | Type::Long | Type::Char)
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float | Type::Double)
+    }
+
+    /// Whether the type is arithmetic (integer or float).
+    pub fn is_arithmetic(&self) -> bool {
+        self.is_integer() || self.is_float()
+    }
+
+    /// Whether the type is a pointer.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Whether the type can be used in a boolean context.
+    pub fn is_scalar(&self) -> bool {
+        self.is_arithmetic() || self.is_pointer()
+    }
+
+    /// The pointee of a pointer, or the element type of an array.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay: arrays become pointers to their element type,
+    /// everything else is unchanged.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Size in bytes. Struct sizes require a [`StructTable`]; this method
+    /// panics for bare `Struct` types — use [`StructTable::size_of`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a `Struct`, `Void` or `Func` type.
+    pub fn scalar_size(&self) -> u64 {
+        match self {
+            Type::Char => 1,
+            Type::Int | Type::Float => 4,
+            Type::Long | Type::Double | Type::Ptr(_) => 8,
+            Type::Array(elem, n) => elem.scalar_size() * *n as u64,
+            Type::Struct(name) => panic!("size of struct {name} requires a StructTable"),
+            Type::Void => panic!("void has no size"),
+            Type::Func { .. } => panic!("function types have no size"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Long => f.write_str("long"),
+            Type::Float => f.write_str("float"),
+            Type::Double => f.write_str("double"),
+            Type::Char => f.write_str("char"),
+            Type::Void => f.write_str("void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+            Type::Func { ret, params } => {
+                write!(f, "{ret}(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One field of a resolved struct layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset from the start of the struct.
+    pub offset: u64,
+}
+
+/// Resolved layout of a struct: field offsets, total size, alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructLayout {
+    /// Struct tag name.
+    pub name: String,
+    /// Fields in declaration order with resolved offsets.
+    pub fields: Vec<FieldLayout>,
+    /// Total size in bytes (padded to alignment).
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+}
+
+impl StructLayout {
+    /// Looks a field up by name.
+    pub fn field(&self, name: &str) -> Option<&FieldLayout> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// All struct layouts of a program, produced by the typechecker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StructTable {
+    layouts: Vec<StructLayout>,
+}
+
+impl StructTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StructTable::default()
+    }
+
+    /// Registers a resolved layout.
+    pub fn insert(&mut self, layout: StructLayout) {
+        self.layouts.push(layout);
+    }
+
+    /// Looks a struct up by tag name.
+    pub fn get(&self, name: &str) -> Option<&StructLayout> {
+        self.layouts.iter().find(|l| l.name == name)
+    }
+
+    /// Size of any type, resolving struct names through the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Void`, `Func`, or an unknown struct name (the typechecker
+    /// guarantees neither reaches the backend).
+    pub fn size_of(&self, ty: &Type) -> u64 {
+        match ty {
+            Type::Struct(name) => {
+                self.get(name)
+                    .unwrap_or_else(|| panic!("unknown struct {name}"))
+                    .size
+            }
+            Type::Array(elem, n) => self.size_of(elem) * *n as u64,
+            other => other.scalar_size(),
+        }
+    }
+
+    /// Alignment of any type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Void`, `Func`, or an unknown struct name.
+    pub fn align_of(&self, ty: &Type) -> u64 {
+        match ty {
+            Type::Struct(name) => {
+                self.get(name)
+                    .unwrap_or_else(|| panic!("unknown struct {name}"))
+                    .align
+            }
+            Type::Array(elem, _) => self.align_of(elem),
+            Type::Char => 1,
+            Type::Int | Type::Float => 4,
+            Type::Long | Type::Double | Type::Ptr(_) => 8,
+            Type::Void | Type::Func { .. } => panic!("{ty} has no alignment"),
+        }
+    }
+
+    /// Computes a struct layout from field declarations (C-style: fields at
+    /// aligned offsets, size padded to the max alignment).
+    pub fn layout_struct(&self, name: &str, fields: &[(String, Type)]) -> StructLayout {
+        let mut offset = 0u64;
+        let mut align = 1u64;
+        let mut out = Vec::with_capacity(fields.len());
+        for (fname, fty) in fields {
+            let fa = self.align_of(fty);
+            let fs = self.size_of(fty);
+            align = align.max(fa);
+            offset = round_up(offset, fa);
+            out.push(FieldLayout {
+                name: fname.clone(),
+                ty: fty.clone(),
+                offset,
+            });
+            offset += fs;
+        }
+        StructLayout {
+            name: name.to_owned(),
+            fields: out,
+            size: round_up(offset.max(1), align),
+            align,
+        }
+    }
+}
+
+/// Rounds `v` up to the next multiple of `align` (which must be a power of
+/// two or any positive integer).
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Type::Char.scalar_size(), 1);
+        assert_eq!(Type::Int.scalar_size(), 4);
+        assert_eq!(Type::Float.scalar_size(), 4);
+        assert_eq!(Type::Long.scalar_size(), 8);
+        assert_eq!(Type::Double.scalar_size(), 8);
+        assert_eq!(Type::Int.ptr_to().scalar_size(), 8);
+        assert_eq!(Type::Array(Box::new(Type::Int), 5).scalar_size(), 20);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Int.ptr_to().to_string(), "int*");
+        assert_eq!(Type::Array(Box::new(Type::Char), 4).to_string(), "char[4]");
+        assert_eq!(Type::Struct("s".into()).to_string(), "struct s");
+        assert_eq!(Type::Char.ptr_to().to_string(), "char*");
+    }
+
+    #[test]
+    fn decay_turns_arrays_into_pointers() {
+        let arr = Type::Array(Box::new(Type::Int), 3);
+        assert_eq!(arr.decay(), Type::Int.ptr_to());
+        assert_eq!(Type::Int.decay(), Type::Int);
+    }
+
+    #[test]
+    fn struct_layout_padding() {
+        let table = StructTable::new();
+        let layout = table.layout_struct(
+            "s",
+            &[
+                ("c".into(), Type::Char),
+                ("x".into(), Type::Int),
+                ("d".into(), Type::Double),
+                ("c2".into(), Type::Char),
+            ],
+        );
+        assert_eq!(layout.field("c").unwrap().offset, 0);
+        assert_eq!(layout.field("x").unwrap().offset, 4);
+        assert_eq!(layout.field("d").unwrap().offset, 8);
+        assert_eq!(layout.field("c2").unwrap().offset, 16);
+        assert_eq!(layout.align, 8);
+        assert_eq!(layout.size, 24);
+    }
+
+    #[test]
+    fn nested_struct_sizes() {
+        let mut table = StructTable::new();
+        let inner = table.layout_struct("inner", &[("a".into(), Type::Int)]);
+        table.insert(inner);
+        let outer = table.layout_struct(
+            "outer",
+            &[
+                ("i".into(), Type::Struct("inner".into())),
+                ("p".into(), Type::Char),
+            ],
+        );
+        assert_eq!(outer.field("i").unwrap().offset, 0);
+        assert_eq!(outer.field("p").unwrap().offset, 4);
+        assert_eq!(outer.size, 8);
+        table.insert(outer);
+        assert_eq!(table.size_of(&Type::Struct("outer".into())), 8);
+        assert_eq!(
+            table.size_of(&Type::Array(Box::new(Type::Struct("outer".into())), 3)),
+            24
+        );
+    }
+
+    #[test]
+    fn round_up_works() {
+        assert_eq!(round_up(0, 4), 0);
+        assert_eq!(round_up(1, 4), 4);
+        assert_eq!(round_up(4, 4), 4);
+        assert_eq!(round_up(9, 8), 16);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Type::Char.is_integer());
+        assert!(Type::Double.is_float());
+        assert!(Type::Int.ptr_to().is_pointer());
+        assert!(Type::Int.ptr_to().is_scalar());
+        assert!(!Type::Struct("s".into()).is_scalar());
+        assert_eq!(Type::Int.ptr_to().pointee(), Some(&Type::Int));
+    }
+}

@@ -1,0 +1,1149 @@
+//! The MiniC virtual machine.
+//!
+//! [`Vm::step`] runs the program until the next *debug event*: a source line
+//! is reached, a function is entered or about to return, memory is written
+//! (when store events are enabled), output is produced, or the program
+//! exits. A debugger engine drives the VM by looping on `step` and deciding
+//! at each event whether to pause — exactly the role GDB plays for the
+//! paper's tracker.
+//!
+//! Calls and returns are *two-phase*: the `Call` event fires after the
+//! callee frame exists and arguments are bound (the paper's
+//! `break_before_func` guarantee), and the `Return` event fires while the
+//! returning frame is still intact so locals remain inspectable (the
+//! paper's `retq`-breakpoint trick).
+
+use crate::alloc::Allocator;
+use crate::ast::BinOp;
+use crate::bytecode::{MemTy, Op, Program};
+use crate::mem::{Memory, GLOBAL_BASE, STACK_BASE, STACK_TOP};
+use crate::typecheck::Intrinsic;
+use crate::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// A tagged runtime scalar on the VM's operand stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer of any MiniC integer type (held sign-extended in 64 bits).
+    Int(i64),
+    /// Float of either precision (held as `f64`).
+    Float(f64),
+    /// Pointer.
+    Ptr(u64),
+}
+
+impl RtVal {
+    /// Whether the value is zero/null in a boolean context.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            RtVal::Int(v) => *v == 0,
+            RtVal::Float(v) => *v == 0.0,
+            RtVal::Ptr(p) => *p == 0,
+        }
+    }
+
+    /// Raw 64-bit payload (floats by bit pattern).
+    pub fn bits(&self) -> u64 {
+        match self {
+            RtVal::Int(v) => *v as u64,
+            RtVal::Float(v) => v.to_bits(),
+            RtVal::Ptr(p) => *p,
+        }
+    }
+}
+
+impl fmt::Display for RtVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtVal::Int(v) => write!(f, "{v}"),
+            RtVal::Float(v) => write!(f, "{v}"),
+            RtVal::Ptr(0) => write!(f, "NULL"),
+            RtVal::Ptr(p) => write!(f, "{p:#x}"),
+        }
+    }
+}
+
+/// A debug event produced by [`Vm::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Execution reached the start of a source line.
+    Line(u32),
+    /// A function was entered; its frame exists and arguments are bound.
+    Call {
+        /// Index into [`Program::functions`].
+        function: usize,
+        /// 0-based call depth (`main` is 0).
+        depth: u32,
+    },
+    /// A function is about to return; its frame is still inspectable.
+    Return {
+        /// Index into [`Program::functions`].
+        function: usize,
+        /// 0-based call depth of the returning frame.
+        depth: u32,
+        /// The value being returned, if any.
+        value: Option<RtVal>,
+    },
+    /// Memory was written (only when [`Vm::set_store_events`] is on).
+    Store {
+        /// First written address.
+        addr: u64,
+        /// Number of bytes written.
+        size: u64,
+    },
+    /// The program printed something.
+    Output(String),
+    /// The program terminated with this exit code.
+    Exited(i64),
+}
+
+/// One live activation record.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameInfo {
+    /// Index into [`Program::functions`].
+    pub function: usize,
+    /// Base address of the frame in the stack segment.
+    pub base: u64,
+    /// Current source line of this frame.
+    pub line: u32,
+    /// Saved return address (code index), 0 for `main`.
+    pub return_pc: usize,
+    /// Operand-stack height at frame creation (unwinding truncates to it).
+    stack_mark: usize,
+}
+
+/// The MiniC virtual machine. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Vm {
+    program: Arc<Program>,
+    mem: Memory,
+    alloc: Allocator,
+    frames: Vec<FrameInfo>,
+    stack: Vec<RtVal>,
+    pc: usize,
+    pending_return: bool,
+    store_events: bool,
+    output: String,
+    exited: Option<i64>,
+    ops_executed: u64,
+}
+
+impl Vm {
+    /// Creates a VM ready to execute `program` (paused before anything has
+    /// run; the first events will come from `main`).
+    pub fn new(program: &Program) -> Self {
+        Vm::from_arc(Arc::new(program.clone()))
+    }
+
+    /// Creates a VM sharing an already-reference-counted program.
+    pub fn from_arc(program: Arc<Program>) -> Self {
+        let mut mem = Memory::new(program.global_image.len() as u64);
+        if !program.global_image.is_empty() {
+            mem.write_bytes(GLOBAL_BASE, &program.global_image)
+                .expect("globals segment sized from the image");
+        }
+        let main = &program.functions[program.main_index];
+        let base = align_down(STACK_TOP - main.frame_size, 16);
+        let pc = main.entry;
+        let frames = vec![FrameInfo {
+            function: program.main_index,
+            base,
+            line: main.line,
+            return_pc: 0,
+            stack_mark: 0,
+        }];
+        Vm {
+            program,
+            mem,
+            alloc: Allocator::new(),
+            frames,
+            stack: Vec::with_capacity(64),
+            pc,
+            pending_return: false,
+            store_events: false,
+            output: String::new(),
+            exited: None,
+            ops_executed: 0,
+        }
+    }
+
+    /// Enables or disables [`Event::Store`] reporting. The engine turns this
+    /// on while watchpoints exist — reproducing the paper's observation that
+    /// watchpoints make execution much slower.
+    pub fn set_store_events(&mut self, on: bool) {
+        self.store_events = on;
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Live frames, outermost (`main`) first.
+    pub fn frames(&self) -> &[FrameInfo] {
+        &self.frames
+    }
+
+    /// The innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after the program exited (no frames remain).
+    pub fn current_frame(&self) -> &FrameInfo {
+        self.frames.last().expect("program still running")
+    }
+
+    /// The memory, for inspection.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The allocator, for heap-block classification.
+    pub fn allocator(&self) -> &Allocator {
+        &self.alloc
+    }
+
+    /// Everything printed so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// The exit code, once the program terminated.
+    pub fn exit_code(&self) -> Option<i64> {
+        self.exited
+    }
+
+    /// Total bytecode operations executed (bench metric).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Current stack pointer (base of the innermost frame); exposed as a
+    /// pseudo-register by the low-level inspection API.
+    pub fn stack_pointer(&self) -> u64 {
+        self.frames.last().map(|f| f.base).unwrap_or(STACK_TOP)
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        let line = self.frames.last().map(|f| f.line).unwrap_or(0);
+        Error::Runtime {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn pop(&mut self) -> RtVal {
+        self.stack.pop().expect("codegen never underflows")
+    }
+
+    fn pop_int(&mut self) -> i64 {
+        match self.pop() {
+            RtVal::Int(v) => v,
+            other => unreachable!("expected integer on stack, found {other:?}"),
+        }
+    }
+
+    fn pop_float(&mut self) -> f64 {
+        match self.pop() {
+            RtVal::Float(v) => v,
+            other => unreachable!("expected float on stack, found {other:?}"),
+        }
+    }
+
+    fn pop_ptr(&mut self) -> u64 {
+        match self.pop() {
+            RtVal::Ptr(p) => p,
+            // Integer zero can flow into pointer positions through `p = 0`
+            // style conversions; accept it as NULL.
+            RtVal::Int(v) => v as u64,
+            other => unreachable!("expected pointer on stack, found {other:?}"),
+        }
+    }
+
+    /// Runs until the next debug event.
+    ///
+    /// After [`Event::Exited`] the VM is finished; further calls keep
+    /// returning the same event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] for invalid memory accesses, allocation
+    /// misuse, division by zero or stack overflow; the VM is dead
+    /// afterwards.
+    pub fn step(&mut self) -> Result<Event, Error> {
+        if let Some(code) = self.exited {
+            return Ok(Event::Exited(code));
+        }
+        if self.pending_return {
+            if let Some(ev) = self.finish_return()? {
+                return Ok(ev);
+            }
+        }
+        loop {
+            let op = self.program.code[self.pc];
+            self.ops_executed += 1;
+            if let Some(event) = self.exec(op)? {
+                return Ok(event);
+            }
+        }
+    }
+
+    /// Runs the program to completion, ignoring all intermediate events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first runtime error.
+    pub fn run_to_completion(&mut self) -> Result<i64, Error> {
+        loop {
+            if let Event::Exited(code) = self.step()? {
+                return Ok(code);
+            }
+        }
+    }
+
+    /// Second phase of a return: unwind the frame.
+    fn finish_return(&mut self) -> Result<Option<Event>, Error> {
+        self.pending_return = false;
+        let has_value = matches!(self.program.code[self.pc], Op::Ret(true));
+        let value = if has_value { Some(self.pop()) } else { None };
+        let frame = self.frames.pop().expect("returning frame exists");
+        self.stack.truncate(frame.stack_mark);
+        if self.frames.is_empty() {
+            let code = match value {
+                Some(RtVal::Int(v)) => v,
+                Some(RtVal::Ptr(p)) => p as i64,
+                Some(RtVal::Float(f)) => f as i64,
+                None => 0,
+            };
+            self.exited = Some(code);
+            return Ok(Some(Event::Exited(code)));
+        }
+        if let Some(v) = value {
+            self.stack.push(v);
+        }
+        self.pc = frame.return_pc;
+        Ok(None)
+    }
+
+    fn exec(&mut self, op: Op) -> Result<Option<Event>, Error> {
+        use Op::*;
+        match op {
+            Line(n) => {
+                self.frames.last_mut().expect("running frame").line = n;
+                self.pc += 1;
+                return Ok(Some(Event::Line(n)));
+            }
+            PushI(v) => self.stack.push(RtVal::Int(v)),
+            PushF(v) => self.stack.push(RtVal::Float(v)),
+            PushP(p) => self.stack.push(RtVal::Ptr(p)),
+            LocalAddr(off) => {
+                let base = self.current_frame().base;
+                self.stack.push(RtVal::Ptr(base + off));
+            }
+            Load(mt) => {
+                let addr = self.pop_ptr();
+                let v = self.load(addr, mt)?;
+                self.stack.push(v);
+            }
+            Store(mt) => {
+                let value = self.pop();
+                let addr = self.pop_ptr();
+                self.store(addr, mt, value)?;
+                self.stack.push(value);
+                if self.store_events {
+                    self.pc += 1;
+                    return Ok(Some(Event::Store {
+                        addr,
+                        size: mt.size(),
+                    }));
+                }
+            }
+            MemCopy(size) => {
+                let src = self.pop_ptr();
+                let dst = self.pop_ptr();
+                self.mem
+                    .copy(dst, src, size)
+                    .map_err(|e| self.err(e.to_string()))?;
+                if self.store_events {
+                    self.pc += 1;
+                    return Ok(Some(Event::Store { addr: dst, size }));
+                }
+            }
+            IArith(binop) => {
+                let b = self.pop_int();
+                let a = self.pop_int();
+                let v = self.iarith(binop, a, b)?;
+                self.stack.push(RtVal::Int(v));
+            }
+            FArith(binop) => {
+                let b = self.pop_float();
+                let a = self.pop_float();
+                let v = match binop {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    other => unreachable!("float arith {other:?}"),
+                };
+                self.stack.push(RtVal::Float(v));
+            }
+            ICmp(binop) => {
+                let b = self.pop();
+                let a = self.pop();
+                let r = match (a, b) {
+                    (RtVal::Ptr(x), RtVal::Ptr(y)) => cmp(binop, &x, &y),
+                    (x, y) => cmp(binop, &(x.bits() as i64), &(y.bits() as i64)),
+                };
+                self.stack.push(RtVal::Int(r as i64));
+            }
+            FCmp(binop) => {
+                let b = self.pop_float();
+                let a = self.pop_float();
+                self.stack.push(RtVal::Int(cmp(binop, &a, &b) as i64));
+            }
+            Neg(true) => {
+                let v = self.pop_float();
+                self.stack.push(RtVal::Float(-v));
+            }
+            Neg(false) => {
+                let v = self.pop_int();
+                self.stack.push(RtVal::Int(v.wrapping_neg()));
+            }
+            Not => {
+                let v = self.pop();
+                self.stack.push(RtVal::Int(v.is_zero() as i64));
+            }
+            BitNot => {
+                let v = self.pop_int();
+                self.stack.push(RtVal::Int(!v));
+            }
+            I2F => {
+                let v = self.pop_int();
+                self.stack.push(RtVal::Float(v as f64));
+            }
+            F2I => {
+                let v = self.pop_float();
+                let v = if v.is_nan() { 0 } else { v as i64 };
+                self.stack.push(RtVal::Int(v));
+            }
+            TruncI(mt) => {
+                let v = self.pop_int();
+                let t = match mt {
+                    MemTy::I8 => v as i8 as i64,
+                    MemTy::I32 => v as i32 as i64,
+                    MemTy::I64 => v,
+                    other => unreachable!("integer truncation to {other:?}"),
+                };
+                self.stack.push(RtVal::Int(t));
+            }
+            F2F32 => {
+                let v = self.pop_float();
+                self.stack.push(RtVal::Float(v as f32 as f64));
+            }
+            I2P => {
+                let v = self.pop_int();
+                self.stack.push(RtVal::Ptr(v as u64));
+            }
+            P2I => {
+                let p = self.pop_ptr();
+                self.stack.push(RtVal::Int(p as i64));
+            }
+            PtrAdd(elem) => {
+                let idx = self.pop_int();
+                let p = self.pop_ptr();
+                self.stack
+                    .push(RtVal::Ptr(p.wrapping_add_signed(idx.wrapping_mul(elem as i64))));
+            }
+            PtrSub(elem) => {
+                let idx = self.pop_int();
+                let p = self.pop_ptr();
+                self.stack
+                    .push(RtVal::Ptr(p.wrapping_sub((idx.wrapping_mul(elem as i64)) as u64)));
+            }
+            PtrDiff(elem) => {
+                let rhs = self.pop_ptr();
+                let lhs = self.pop_ptr();
+                let diff = (lhs as i64).wrapping_sub(rhs as i64) / elem as i64;
+                self.stack.push(RtVal::Int(diff));
+            }
+            Jump(t) => {
+                self.pc = t;
+                return Ok(None);
+            }
+            JumpIfZero(t) => {
+                let v = self.pop();
+                if v.is_zero() {
+                    self.pc = t;
+                    return Ok(None);
+                }
+            }
+            JumpIfNotZero(t) => {
+                let v = self.pop();
+                if !v.is_zero() {
+                    self.pc = t;
+                    return Ok(None);
+                }
+            }
+            Dup => {
+                let v = *self.stack.last().expect("dup on non-empty stack");
+                self.stack.push(v);
+            }
+            Pop => {
+                self.pop();
+            }
+            Call(idx) => {
+                return self.do_call(idx).map(Some);
+            }
+            Ret(_) => {
+                // Phase one: report the imminent return with the frame
+                // intact; `finish_return` unwinds on the next step.
+                self.pending_return = true;
+                let frame = self.current_frame();
+                let has_value = matches!(op, Ret(true));
+                let value = if has_value {
+                    Some(*self.stack.last().expect("return value on stack"))
+                } else {
+                    None
+                };
+                return Ok(Some(Event::Return {
+                    function: frame.function,
+                    depth: (self.frames.len() - 1) as u32,
+                    value,
+                }));
+            }
+            IncDec {
+                memty,
+                delta,
+                prefix,
+                ptr_step,
+            } => {
+                let addr = self.pop_ptr();
+                let old = self.load(addr, memty)?;
+                let new = match (old, ptr_step) {
+                    (RtVal::Ptr(p), Some(step)) => {
+                        RtVal::Ptr(p.wrapping_add_signed(delta * step as i64))
+                    }
+                    (RtVal::Int(v), None) => RtVal::Int(v.wrapping_add(delta)),
+                    (RtVal::Float(v), None) => RtVal::Float(v + delta as f64),
+                    other => unreachable!("inc/dec on {other:?}"),
+                };
+                self.store(addr, memty, new)?;
+                self.stack.push(if prefix { new } else { old });
+                if self.store_events {
+                    self.pc += 1;
+                    return Ok(Some(Event::Store {
+                        addr,
+                        size: memty.size(),
+                    }));
+                }
+            }
+            Intrinsic(intr, argc) => {
+                return self.do_intrinsic(intr, argc as usize);
+            }
+            Nop => {}
+        }
+        self.pc += 1;
+        Ok(None)
+    }
+
+    fn iarith(&self, op: BinOp, a: i64, b: i64) -> Result<i64, Error> {
+        Ok(match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(self.err("division by zero"));
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(self.err("remainder by zero"));
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::BitAnd => a & b,
+            BinOp::BitOr => a | b,
+            BinOp::BitXor => a ^ b,
+            other => unreachable!("integer arith {other:?}"),
+        })
+    }
+
+    fn load(&self, addr: u64, mt: MemTy) -> Result<RtVal, Error> {
+        let v = match mt {
+            MemTy::I8 => RtVal::Int(
+                self.mem
+                    .read_int(addr, 1)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+            MemTy::I32 => RtVal::Int(
+                self.mem
+                    .read_int(addr, 4)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+            MemTy::I64 => RtVal::Int(
+                self.mem
+                    .read_int(addr, 8)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+            MemTy::F32 => RtVal::Float(
+                self.mem
+                    .read_float(addr, 4)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+            MemTy::F64 => RtVal::Float(
+                self.mem
+                    .read_float(addr, 8)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+            MemTy::P => RtVal::Ptr(
+                self.mem
+                    .read_ptr(addr)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+        };
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, mt: MemTy, value: RtVal) -> Result<(), Error> {
+        let r = match (mt, value) {
+            (MemTy::I8, RtVal::Int(v)) => self.mem.write_int(addr, 1, v),
+            (MemTy::I32, RtVal::Int(v)) => self.mem.write_int(addr, 4, v),
+            (MemTy::I64, RtVal::Int(v)) => self.mem.write_int(addr, 8, v),
+            (MemTy::F32, RtVal::Float(v)) => self.mem.write_float(addr, 4, v),
+            (MemTy::F64, RtVal::Float(v)) => self.mem.write_float(addr, 8, v),
+            (MemTy::P, RtVal::Ptr(p)) => self.mem.write_ptr(addr, p),
+            // Integer zero flowing into a pointer slot (NULL conversions).
+            (MemTy::P, RtVal::Int(v)) => self.mem.write_ptr(addr, v as u64),
+            (mt, v) => unreachable!("store type confusion {mt:?} <- {v:?}"),
+        };
+        r.map_err(|e| self.err(e.to_string()))
+    }
+
+    fn do_call(&mut self, idx: usize) -> Result<Event, Error> {
+        let callee = &self.program.functions[idx];
+        let cur_base = self.current_frame().base;
+        let base = align_down(cur_base - callee.frame_size, 16);
+        if base < STACK_BASE {
+            return Err(self.err(format!("stack overflow calling `{}`", callee.name)));
+        }
+        // Bind arguments right-to-left into the first nparams slots.
+        let nparams = callee.nparams;
+        let entry = callee.entry;
+        let line = callee.line;
+        for i in (0..nparams).rev() {
+            let slot = &self.program.functions[idx].locals[i];
+            let mt = MemTy::from_type(&slot.ty);
+            let offset = slot.offset;
+            let v = self.pop();
+            self.store(base + offset, mt, v)?;
+        }
+        self.frames.push(FrameInfo {
+            function: idx,
+            base,
+            line,
+            return_pc: self.pc + 1,
+            stack_mark: self.stack.len(),
+        });
+        self.pc = entry;
+        Ok(Event::Call {
+            function: idx,
+            depth: (self.frames.len() - 1) as u32,
+        })
+    }
+
+    fn do_intrinsic(&mut self, intr: Intrinsic, argc: usize) -> Result<Option<Event>, Error> {
+        let mut args = Vec::with_capacity(argc);
+        for _ in 0..argc {
+            args.push(self.pop());
+        }
+        args.reverse();
+        let event = match intr {
+            Intrinsic::Malloc => {
+                let size = int_arg(&args[0]);
+                let p = self
+                    .alloc
+                    .malloc(&mut self.mem, size)
+                    .map_err(|e| self.err(e.to_string()))?;
+                self.stack.push(RtVal::Ptr(p));
+                None
+            }
+            Intrinsic::Calloc => {
+                let (n, sz) = (int_arg(&args[0]), int_arg(&args[1]));
+                let p = self
+                    .alloc
+                    .calloc(&mut self.mem, n, sz)
+                    .map_err(|e| self.err(e.to_string()))?;
+                self.stack.push(RtVal::Ptr(p));
+                None
+            }
+            Intrinsic::Realloc => {
+                let ptr = ptr_arg(&args[0]);
+                let size = int_arg(&args[1]);
+                let p = self
+                    .alloc
+                    .realloc(&mut self.mem, ptr, size)
+                    .map_err(|e| self.err(e.to_string()))?;
+                self.stack.push(RtVal::Ptr(p));
+                None
+            }
+            Intrinsic::Free => {
+                let ptr = ptr_arg(&args[0]);
+                self.alloc.free(ptr).map_err(|e| self.err(e.to_string()))?;
+                None
+            }
+            Intrinsic::Printf => {
+                let fmt_ptr = ptr_arg(&args[0]);
+                let fmt = self
+                    .mem
+                    .read_cstring(fmt_ptr, 64 * 1024)
+                    .map_err(|e| self.err(e.to_string()))?;
+                let text = self.format_printf(&fmt, &args[1..])?;
+                self.stack.push(RtVal::Int(text.len() as i64));
+                self.output.push_str(&text);
+                Some(Event::Output(text))
+            }
+            Intrinsic::Puts => {
+                let ptr = ptr_arg(&args[0]);
+                let mut s = self
+                    .mem
+                    .read_cstring(ptr, 64 * 1024)
+                    .map_err(|e| self.err(e.to_string()))?;
+                s.push('\n');
+                self.stack.push(RtVal::Int(s.len() as i64));
+                self.output.push_str(&s);
+                Some(Event::Output(s))
+            }
+            Intrinsic::Putchar => {
+                let c = int_arg(&args[0]) as i64;
+                let ch = char::from_u32((c as u32) & 0xff).unwrap_or('\u{fffd}');
+                self.stack.push(RtVal::Int(c));
+                self.output.push(ch);
+                Some(Event::Output(ch.to_string()))
+            }
+        };
+        self.pc += 1;
+        Ok(event)
+    }
+
+    /// Minimal printf: `%d %i %ld %li %u %lu %c %s %f %lf %g %x %p %%`.
+    /// Unknown directives are copied through literally.
+    fn format_printf(&self, fmt: &str, args: &[RtVal]) -> Result<String, Error> {
+        let mut out = String::new();
+        let mut it = fmt.chars().peekable();
+        let mut next_arg = args.iter();
+        while let Some(c) = it.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            // Skip length modifiers.
+            let mut spec = it.next().unwrap_or('%');
+            while spec == 'l' {
+                spec = it.next().unwrap_or('%');
+            }
+            if spec == '%' {
+                out.push('%');
+                continue;
+            }
+            let Some(arg) = next_arg.next() else {
+                out.push('%');
+                out.push(spec);
+                continue;
+            };
+            match spec {
+                'd' | 'i' => out.push_str(&int_of(arg).to_string()),
+                'u' => out.push_str(&(int_of(arg) as u64).to_string()),
+                'x' => out.push_str(&format!("{:x}", int_of(arg))),
+                'c' => {
+                    let code = (int_of(arg) as u32) & 0xff;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                'f' => out.push_str(&format!("{:.6}", float_of(arg))),
+                'g' => out.push_str(&format!("{}", float_of(arg))),
+                's' => {
+                    let p = ptr_arg(arg);
+                    let s = self
+                        .mem
+                        .read_cstring(p, 64 * 1024)
+                        .map_err(|e| self.err(e.to_string()))?;
+                    out.push_str(&s);
+                }
+                'p' => match arg {
+                    RtVal::Ptr(0) => out.push_str("(nil)"),
+                    other => out.push_str(&format!("{:#x}", other.bits())),
+                },
+                other => {
+                    out.push('%');
+                    out.push(other);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn align_down(v: u64, align: u64) -> u64 {
+    v / align * align
+}
+
+fn int_arg(v: &RtVal) -> u64 {
+    match v {
+        RtVal::Int(i) => *i as u64,
+        RtVal::Ptr(p) => *p,
+        RtVal::Float(f) => *f as u64,
+    }
+}
+
+fn ptr_arg(v: &RtVal) -> u64 {
+    match v {
+        RtVal::Ptr(p) => *p,
+        RtVal::Int(i) => *i as u64,
+        RtVal::Float(_) => 0,
+    }
+}
+
+fn int_of(v: &RtVal) -> i64 {
+    match v {
+        RtVal::Int(i) => *i,
+        RtVal::Ptr(p) => *p as i64,
+        RtVal::Float(f) => *f as i64,
+    }
+}
+
+fn float_of(v: &RtVal) -> f64 {
+    match v {
+        RtVal::Float(f) => *f,
+        RtVal::Int(i) => *i as f64,
+        RtVal::Ptr(p) => *p as f64,
+    }
+}
+
+fn cmp<T: PartialOrd>(op: BinOp, a: &T, b: &T) -> bool {
+    match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        other => unreachable!("comparison {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn run(src: &str) -> i64 {
+        let p = compile("t.c", src).unwrap();
+        Vm::new(&p).run_to_completion().unwrap()
+    }
+
+    fn run_output(src: &str) -> (i64, String) {
+        let p = compile("t.c", src).unwrap();
+        let mut vm = Vm::new(&p);
+        let code = vm.run_to_completion().unwrap();
+        (code, vm.output().to_owned())
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        assert_eq!(run("int main() { int x = 21; return x * 2; }"), 42);
+        assert_eq!(run("int main() { return 7 % 3 + (10 - 4) / 2; }"), 4);
+        assert_eq!(run("int main() { return 1 << 5 | 3; }"), 35);
+        assert_eq!(run("int main() { return -(-5); }"), 5);
+        assert_eq!(run("int main() { return ~0 & 255; }"), 255);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(run("int main() { double d = 2.5; return (int)(d * 4.0); }"), 10);
+        assert_eq!(run("int main() { float f = 1.5f; return (int)(f + 2.5); }"), 4);
+        assert_eq!(run("int main() { return (int)(7.9); }"), 7);
+        assert_eq!(run("int main() { return 3 < 2.5; }"), 0);
+    }
+
+    #[test]
+    fn char_truncation() {
+        assert_eq!(run("int main() { char c = 200; return c; }"), 200i64 as i8 as i64);
+        assert_eq!(run("int main() { char c = 'A'; return c + 1; }"), 66);
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(
+            run("int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }"),
+            55
+        );
+        assert_eq!(
+            run("int main() { int i = 0; while (i < 100) { i++; if (i == 42) break; } return i; }"),
+            42
+        );
+        assert_eq!(
+            run(
+                "int main() { int s = 0; for (int i = 0; i < 10; i++) { \
+                 if (i % 2) continue; s += i; } return s; }"
+            ),
+            20
+        );
+        assert_eq!(run("int main() { return 1 ? 10 : 20; }"), 10);
+        assert_eq!(run("int main() { int x = 5; if (x > 3) return 1; else return 2; }"), 1);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // The second operand must not run (it would divide by zero).
+        assert_eq!(run("int main() { int x = 0; return x != 0 && 10 / x > 1; }"), 0);
+        assert_eq!(run("int main() { int x = 0; return x == 0 || 10 / x > 1; }"), 1);
+        assert_eq!(run("int main() { return 2 && 3; }"), 1);
+        assert_eq!(run("int main() { return 0 || 0; }"), 0);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            run("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+                 int main() { return fib(10); }"),
+            55
+        );
+        assert_eq!(
+            run("void inc(int* p) { *p = *p + 1; } int main() { int x = 5; inc(&x); return x; }"),
+            6
+        );
+    }
+
+    #[test]
+    fn pointers_and_arrays() {
+        assert_eq!(
+            run("int main() { int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; \
+                 return a[4] + a[2]; }"),
+            20
+        );
+        assert_eq!(
+            run("int main() { int a[3] = {10, 20, 30}; int* p = a; p++; return *p; }"),
+            20
+        );
+        assert_eq!(
+            run("int main() { int a[4] = {1,2,3,4}; int* p = &a[3]; return (int)(p - a); }"),
+            3
+        );
+        assert_eq!(run("int main() { int a[2] = {5}; return a[1]; }"), 0); // zero fill
+    }
+
+    #[test]
+    fn strings_and_globals() {
+        assert_eq!(
+            run("char* msg = \"hi\"; int main() { return msg[0] + msg[1]; }"),
+            ('h' as i64) + ('i' as i64)
+        );
+        assert_eq!(run("int g = 10; int main() { g += 5; return g; }"), 15);
+        assert_eq!(
+            run("int table[4] = {1, 2, 3, 4}; int main() { return table[2]; }"),
+            3
+        );
+    }
+
+    #[test]
+    fn structs() {
+        assert_eq!(
+            run("struct point { int x; int y; };\n\
+                 int main() { struct point p; p.x = 3; p.y = 4; return p.x * p.x + p.y * p.y; }"),
+            25
+        );
+        assert_eq!(
+            run("struct pair { int a; int b; };\n\
+                 int main() { struct pair p; p.a = 1; p.b = 2; struct pair q; q = p; \
+                 q.a = 10; return p.a + q.a + q.b; }"),
+            13
+        );
+        assert_eq!(
+            run("struct node { int v; struct node* next; };\n\
+                 int main() { struct node a; struct node b; a.v = 1; b.v = 2; \
+                 a.next = &b; b.next = NULL; return a.next->v; }"),
+            2
+        );
+    }
+
+    #[test]
+    fn heap_allocation() {
+        assert_eq!(
+            run("int main() { int* p = malloc(4 * sizeof(int)); \
+                 for (int i = 0; i < 4; i++) p[i] = i + 1; \
+                 int s = p[0] + p[3]; free(p); return s; }"),
+            5
+        );
+        assert_eq!(
+            run("int main() { int* p = calloc(8, sizeof(int)); int v = p[7]; free(p); return v; }"),
+            0
+        );
+        assert_eq!(
+            run("int main() { int* p = malloc(2 * sizeof(int)); p[0] = 9; \
+                 p = realloc(p, 8 * sizeof(int)); int v = p[0]; free(p); return v; }"),
+            9
+        );
+    }
+
+    #[test]
+    fn inc_dec_semantics() {
+        assert_eq!(run("int main() { int i = 5; int a = i++; return a * 100 + i; }"), 506);
+        assert_eq!(run("int main() { int i = 5; int a = ++i; return a * 100 + i; }"), 606);
+        assert_eq!(run("int main() { int i = 5; i--; --i; return i; }"), 3);
+    }
+
+    #[test]
+    fn printf_output() {
+        let (_, out) = run_output(
+            "int main() { printf(\"%d %s %c %f\\n\", 42, \"hi\", 'x', 1.5); return 0; }",
+        );
+        assert_eq!(out, "42 hi x 1.500000\n");
+        let (_, out) = run_output("int main() { puts(\"line\"); putchar('!'); return 0; }");
+        assert_eq!(out, "line\n!");
+        let (_, out) = run_output("int main() { printf(\"%p\", (int*)0); return 0; }");
+        assert_eq!(out, "(nil)");
+    }
+
+    #[test]
+    fn runtime_errors() {
+        let p = compile("t.c", "int main() { int* p = NULL; return *p; }").unwrap();
+        let err = Vm::new(&p).run_to_completion().unwrap_err();
+        assert!(err.message().contains("invalid memory"));
+
+        let p = compile("t.c", "int main() { return 1 / 0; }").unwrap();
+        let err = Vm::new(&p).run_to_completion().unwrap_err();
+        assert!(err.message().contains("division"));
+
+        let p = compile(
+            "t.c",
+            "int main() { int* p = malloc(4); free(p); free(p); return 0; }",
+        )
+        .unwrap();
+        let err = Vm::new(&p).run_to_completion().unwrap_err();
+        assert!(err.message().contains("double free"));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let p = compile("t.c", "int f(int n) { int pad[200]; pad[0] = n; return f(n + 1); } \
+                        int main() { return f(0); }")
+            .unwrap();
+        let err = Vm::new(&p).run_to_completion().unwrap_err();
+        assert!(err.message().contains("stack overflow"));
+    }
+
+    #[test]
+    fn events_sequence_for_call_and_return() {
+        let p = compile(
+            "t.c",
+            "int id(int x) { return x; }\nint main() { return id(7); }",
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p);
+        let mut calls = 0;
+        let mut returns = 0;
+        let mut lines = Vec::new();
+        loop {
+            match vm.step().unwrap() {
+                Event::Call { function, depth } => {
+                    calls += 1;
+                    assert_eq!(p.functions[function].name, "id");
+                    assert_eq!(depth, 1);
+                    // Arguments are bound when the call event fires.
+                    let base = vm.current_frame().base;
+                    assert_eq!(vm.memory().read_int(base, 4).unwrap(), 7);
+                }
+                Event::Return { value, .. } => {
+                    returns += 1;
+                    if returns == 1 {
+                        assert_eq!(value, Some(RtVal::Int(7)));
+                        // The frame is still intact at the return event.
+                        assert_eq!(vm.frames().len(), 2);
+                    }
+                }
+                Event::Line(n) => lines.push(n),
+                Event::Exited(code) => {
+                    assert_eq!(code, 7);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(returns, 2); // id and main
+        assert!(lines.contains(&1) && lines.contains(&2));
+    }
+
+    #[test]
+    fn store_events_only_when_enabled() {
+        let src = "int main() { int x = 1; x = 2; x = 3; return x; }";
+        let p = compile("t.c", src).unwrap();
+        let mut vm = Vm::new(&p);
+        let mut stores = 0;
+        loop {
+            match vm.step().unwrap() {
+                Event::Store { .. } => stores += 1,
+                Event::Exited(_) => break,
+                _ => {}
+            }
+        }
+        assert_eq!(stores, 0);
+
+        let mut vm = Vm::new(&p);
+        vm.set_store_events(true);
+        let mut stores = 0;
+        loop {
+            match vm.step().unwrap() {
+                Event::Store { size, .. } => {
+                    stores += 1;
+                    assert_eq!(size, 4);
+                }
+                Event::Exited(_) => break,
+                _ => {}
+            }
+        }
+        assert_eq!(stores, 3);
+    }
+
+    #[test]
+    fn exited_is_idempotent() {
+        let p = compile("t.c", "int main() { return 3; }").unwrap();
+        let mut vm = Vm::new(&p);
+        assert_eq!(vm.run_to_completion().unwrap(), 3);
+        assert_eq!(vm.step().unwrap(), Event::Exited(3));
+        assert_eq!(vm.exit_code(), Some(3));
+    }
+
+    #[test]
+    fn long_arithmetic() {
+        assert_eq!(
+            run("int main() { long big = 1000000000; big = big * 5; \
+                 return (int)(big % 1000000007); }"),
+            5_000_000_000i64 % 1_000_000_007
+        );
+    }
+
+    #[test]
+    fn pointer_comparison_and_null() {
+        assert_eq!(
+            run("int main() { int* p = NULL; if (p == NULL) return 1; return 0; }"),
+            1
+        );
+        assert_eq!(
+            run("int main() { int a[2]; int* p = &a[0]; int* q = &a[1]; return p < q; }"),
+            1
+        );
+    }
+
+    #[test]
+    fn compound_assignment_on_array_elements() {
+        assert_eq!(
+            run("int main() { int a[3] = {1, 2, 3}; a[1] *= 10; a[2] += a[1]; return a[2]; }"),
+            23
+        );
+    }
+}

@@ -1,0 +1,478 @@
+//! Program-level MiniC battery: realistic teaching programs (the kind the
+//! paper's tools display) checked end to end by exit code and output.
+
+use minic::vm::Vm;
+
+fn run(src: &str) -> (i64, String) {
+    let program = minic::compile("prog.c", src).expect("compiles");
+    let mut vm = Vm::new(&program);
+    let code = vm.run_to_completion().expect("runs");
+    (code, vm.output().to_owned())
+}
+
+#[test]
+fn insertion_sort_array() {
+    let src = "
+int main() {
+    int a[8] = {5, 2, 8, 1, 9, 3, 7, 4};
+    for (int i = 1; i < 8; i++) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = key;
+    }
+    for (int i = 0; i < 8; i++) {
+        printf(\"%d \", a[i]);
+    }
+    int ok = 1;
+    for (int i = 1; i < 8; i++) {
+        if (a[i - 1] > a[i]) { ok = 0; }
+    }
+    return ok;
+}
+";
+    let (code, out) = run(src);
+    assert_eq!(code, 1);
+    assert_eq!(out, "1 2 3 4 5 7 8 9 ");
+}
+
+#[test]
+fn linked_list_build_sum_free() {
+    let src = "
+struct node { int v; struct node* next; };
+struct node* push(struct node* head, int v) {
+    struct node* n = malloc(sizeof(struct node));
+    n->v = v;
+    n->next = head;
+    return n;
+}
+int main() {
+    struct node* head = NULL;
+    for (int i = 1; i <= 10; i++) {
+        head = push(head, i);
+    }
+    int sum = 0;
+    struct node* cur = head;
+    while (cur != NULL) {
+        sum += cur->v;
+        cur = cur->next;
+    }
+    while (head != NULL) {
+        struct node* next = head->next;
+        free(head);
+        head = next;
+    }
+    return sum;
+}
+";
+    assert_eq!(run(src).0, 55);
+}
+
+#[test]
+fn string_reverse_in_heap() {
+    let src = "
+int len_of(char* s) {
+    int n = 0;
+    while (s[n] != '\\0') { n++; }
+    return n;
+}
+int main() {
+    char* src = \"easytracker\";
+    int n = len_of(src);
+    char* dst = malloc(n + 1);
+    for (int i = 0; i < n; i++) {
+        dst[i] = src[n - 1 - i];
+    }
+    dst[n] = '\\0';
+    printf(\"%s\\n\", dst);
+    int ok = dst[0] == 'r' && dst[n - 1] == 'e';
+    free(dst);
+    return ok;
+}
+";
+    let (code, out) = run(src);
+    assert_eq!(code, 1);
+    assert_eq!(out, "rekcartysae\n");
+}
+
+#[test]
+fn matrix_multiply_2d_arrays() {
+    let src = "
+int main() {
+    int a[2][3] = {{1, 2, 3}, {4, 5, 6}};
+    int b[3][2] = {{7, 8}, {9, 10}, {11, 12}};
+    int c[2][2];
+    for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 2; j++) {
+            c[i][j] = 0;
+            for (int k = 0; k < 3; k++) {
+                c[i][j] += a[i][k] * b[k][j];
+            }
+        }
+    }
+    return c[0][0] + c[0][1] + c[1][0] + c[1][1];
+}
+";
+    // [[58, 64], [139, 154]] -> 415
+    assert_eq!(run(src).0, 415);
+}
+
+#[test]
+fn collatz_with_long() {
+    let src = "
+int main() {
+    long n = 27;
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; }
+        else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+";
+    assert_eq!(run(src).0, 111);
+}
+
+#[test]
+fn struct_copies_are_deep_for_inline_arrays() {
+    let src = "
+struct vec { int xs[3]; };
+int main() {
+    struct vec a;
+    a.xs[0] = 1; a.xs[1] = 2; a.xs[2] = 3;
+    struct vec b;
+    b = a;
+    b.xs[0] = 99;
+    return a.xs[0] * 100 + b.xs[0];
+}
+";
+    assert_eq!(run(src).0, 199);
+}
+
+#[test]
+fn pointer_swap_function() {
+    let src = "
+void swap(int* a, int* b) {
+    int t = *a;
+    *a = *b;
+    *b = t;
+}
+int main() {
+    int x = 3;
+    int y = 11;
+    swap(&x, &y);
+    return x * 100 + y;
+}
+";
+    assert_eq!(run(src).0, 1103);
+}
+
+#[test]
+fn dynamic_growable_buffer_with_realloc() {
+    let src = "
+int main() {
+    int cap = 2;
+    int n = 0;
+    int* buf = malloc(cap * sizeof(int));
+    for (int i = 0; i < 20; i++) {
+        if (n == cap) {
+            cap = cap * 2;
+            buf = realloc(buf, cap * sizeof(int));
+        }
+        buf[n] = i * i;
+        n++;
+    }
+    int last = buf[19];
+    free(buf);
+    return last;
+}
+";
+    assert_eq!(run(src).0, 361);
+}
+
+#[test]
+fn floats_accumulate_with_precision_rules() {
+    let src = "
+int main() {
+    double total = 0.0;
+    for (int i = 1; i <= 100; i++) {
+        total += 1.0 / i;
+    }
+    /* harmonic(100) = 5.187377... */
+    return (int)(total * 1000.0);
+}
+";
+    assert_eq!(run(src).0, 5187);
+}
+
+#[test]
+fn char_classification() {
+    let src = "
+int is_vowel(char c) {
+    return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+int main() {
+    char* text = \"the quick brown fox\";
+    int vowels = 0;
+    for (int i = 0; text[i] != '\\0'; i++) {
+        if (is_vowel(text[i])) { vowels++; }
+    }
+    return vowels;
+}
+";
+    assert_eq!(run(src).0, 5);
+}
+
+#[test]
+fn sieve_of_eratosthenes_on_heap() {
+    let src = "
+int main() {
+    int n = 100;
+    char* sieve = calloc(n + 1, 1);
+    int count = 0;
+    for (int p = 2; p <= n; p++) {
+        if (sieve[p] == 0) {
+            count++;
+            for (int m = p * 2; m <= n; m += p) {
+                sieve[m] = 1;
+            }
+        }
+    }
+    free(sieve);
+    return count;
+}
+";
+    assert_eq!(run(src).0, 25);
+}
+
+#[test]
+fn ternary_and_compound_in_one_expression() {
+    let src = "
+int main() {
+    int score = 73;
+    int grade = score >= 90 ? 4 : score >= 80 ? 3 : score >= 70 ? 2 : 1;
+    int bonus = 0;
+    bonus += grade > 1 ? 10 : 0;
+    return grade * 100 + bonus;
+}
+";
+    assert_eq!(run(src).0, 210);
+}
+
+#[test]
+fn global_state_machine() {
+    let src = "
+int state = 0;
+int transitions = 0;
+void feed(char c) {
+    transitions++;
+    if (state == 0 && c == 'a') { state = 1; }
+    else if (state == 1 && c == 'b') { state = 2; }
+    else if (c == 'a') { state = 1; }
+    else { state = 0; }
+}
+int main() {
+    char* input = \"xaababx\";
+    for (int i = 0; input[i] != '\\0'; i++) {
+        feed(input[i]);
+    }
+    return state * 100 + transitions;
+}
+";
+    // Trace: x->0 a->1 a->1 b->2 a->1 b->2 x->0; 7 transitions.
+    assert_eq!(run(src).0, 7);
+}
+
+#[test]
+fn recursion_with_arrays_passed_by_pointer() {
+    let src = "
+int sum_range(int* a, int lo, int hi) {
+    if (lo >= hi) { return 0; }
+    if (hi - lo == 1) { return a[lo]; }
+    int mid = (lo + hi) / 2;
+    return sum_range(a, lo, mid) + sum_range(a, mid, hi);
+}
+int main() {
+    int a[10];
+    for (int i = 0; i < 10; i++) { a[i] = i + 1; }
+    return sum_range(a, 0, 10);
+}
+";
+    assert_eq!(run(src).0, 55);
+}
+
+#[test]
+fn shadowing_globals_by_locals_is_allowed() {
+    let src = "
+int x = 100;
+int get_global() { return x; }
+int main() {
+    int x = 5;
+    return x + get_global();
+}
+";
+    assert_eq!(run(src).0, 105);
+}
+
+#[test]
+fn break_and_continue_in_nested_loops() {
+    let src = "
+int main() {
+    int found_i = -1;
+    int found_j = -1;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 1) { continue; }
+        for (int j = 0; j < 10; j++) {
+            if (i * j == 24) {
+                found_i = i;
+                found_j = j;
+                break;
+            }
+        }
+        if (found_i >= 0) { break; }
+    }
+    return found_i * 10 + found_j;
+}
+";
+    // First even i with i*j==24: i=4, j=6.
+    assert_eq!(run(src).0, 46);
+}
+
+#[test]
+fn do_while_runs_body_at_least_once() {
+    let src = "
+int main() {
+    int n = 10;
+    int iterations = 0;
+    do {
+        iterations++;
+        n = n - 3;
+    } while (n > 0);
+    int once = 0;
+    do { once++; } while (0);
+    return iterations * 10 + once;
+}
+";
+    assert_eq!(run(src).0, 41);
+}
+
+#[test]
+fn do_while_with_break_and_continue() {
+    let src = "
+int main() {
+    int i = 0;
+    int sum = 0;
+    do {
+        i++;
+        if (i % 2 == 0) { continue; }
+        if (i > 7) { break; }
+        sum += i;
+    } while (i < 100);
+    return sum;
+}
+";
+    // odd i in 1..=7: 1+3+5+7 = 16
+    assert_eq!(run(src).0, 16);
+}
+
+#[test]
+fn switch_dispatch_and_fallthrough() {
+    let src = "
+int classify(int c) {
+    int kind = 0;
+    switch (c) {
+        case 0:
+        case 1:
+            kind = 10;
+            break;
+        case 2:
+            kind = 20;
+            /* fallthrough */
+        case 3:
+            kind = kind + 1;
+            break;
+        default:
+            kind = 99;
+    }
+    return kind;
+}
+int main() {
+    return classify(0) * 1000000 + classify(1) * 10000 +
+           classify(2) * 1000 + classify(3) * 100 + classify(7);
+}
+";
+    // classify: 0->10, 1->10, 2->21, 3->1, 7->99
+    assert_eq!(run(src).0, 10 * 1_000_000 + 10 * 10_000 + 21 * 1000 + 100 + 99);
+}
+
+#[test]
+fn switch_without_default_skips() {
+    let src = "
+int main() {
+    int x = 5;
+    int hit = 0;
+    switch (x) {
+        case 1: hit = 1; break;
+        case 2: hit = 2; break;
+    }
+    return hit;
+}
+";
+    assert_eq!(run(src).0, 0);
+}
+
+#[test]
+fn switch_inside_loop_break_vs_continue() {
+    let src = "
+int main() {
+    int total = 0;
+    for (int i = 0; i < 6; i++) {
+        switch (i % 3) {
+            case 0:
+                break;          /* breaks the switch, not the loop */
+            case 1:
+                continue;       /* continues the enclosing loop */
+            default:
+                total += 100;
+        }
+        total += 1;             /* runs for i%3 == 0 and 2 */
+    }
+    return total;
+}
+";
+    // i=0:+1, i=1:skip, i=2:+101, i=3:+1, i=4:skip, i=5:+101 => 204
+    assert_eq!(run(src).0, 204);
+}
+
+#[test]
+fn switch_on_char_labels() {
+    let src = "
+int main() {
+    char* s = \"abca\";
+    int a = 0;
+    int other = 0;
+    for (int i = 0; s[i] != '\\0'; i++) {
+        switch (s[i]) {
+            case 'a': a++; break;
+            default: other++;
+        }
+    }
+    return a * 10 + other;
+}
+";
+    assert_eq!(run(src).0, 22);
+}
+
+#[test]
+fn switch_type_errors() {
+    let bad = minic::compile("t.c", "int main() { double d = 1.0; switch (d) { default: break; } return 0; }");
+    assert!(bad.unwrap_err().message().contains("integer"));
+    let dup = minic::compile("t.c", "int main() { switch (1) { case 2: break; case 2: break; } return 0; }");
+    assert!(dup.unwrap_err().message().contains("duplicate case"));
+    let dupd = minic::compile("t.c", "int main() { switch (1) { default: break; default: break; } return 0; }");
+    assert!(dupd.unwrap_err().message().contains("duplicate default"));
+}

@@ -1,0 +1,255 @@
+//! Abstract syntax tree for MiniPy.
+
+/// A parsed module (top-level statements).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Top-level statements, including `def`s and `class`es.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// 1-based line.
+    pub line: u32,
+    /// The statement's form.
+    pub kind: StmtKind,
+}
+
+/// Statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `targets = value` (single target or tuple of names).
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `target op= value`.
+    AugAssign {
+        /// Assignment target (no tuple targets).
+        target: Target,
+        /// `+`, `-`, `*`, `/`, `//`, `%`.
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if`/`elif`/`else` chain; `elif`s are nested `If`s in `orelse`.
+    If {
+        /// Condition.
+        test: Expr,
+        /// True branch.
+        body: Vec<Stmt>,
+        /// Else branch (may hold a single nested `If` for `elif`).
+        orelse: Vec<Stmt>,
+    },
+    /// `while test:`
+    While {
+        /// Condition.
+        test: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for target in iter:`
+    For {
+        /// Loop variable(s).
+        target: Target,
+        /// Iterable expression.
+        iter: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `def name(params):`
+    Def {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `class name:` with method definitions.
+    Class {
+        /// Class name.
+        name: String,
+        /// Methods (each a `Def`).
+        methods: Vec<Stmt>,
+    },
+    /// `return value?`
+    Return(Option<Expr>),
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `pass`
+    Pass,
+    /// `global name, ...`
+    Global(Vec<String>),
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A plain name.
+    Name(String),
+    /// Subscript `base[index]`.
+    Index {
+        /// Container expression.
+        base: Expr,
+        /// Index expression.
+        index: Expr,
+    },
+    /// Attribute `base.attr`.
+    Attr {
+        /// Object expression.
+        base: Expr,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Tuple of names `a, b = ...`.
+    Tuple(Vec<Target>),
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// 1-based line.
+    pub line: u32,
+    /// Form.
+    pub kind: ExprKind,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, line: u32) -> Self {
+        Expr { kind, line }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    FloorDiv,
+    Mod,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    In,
+    NotIn,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::In
+                | BinOp::NotIn
+        )
+    }
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `True`/`False`.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Name reference.
+    Name(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `and`/`or` (short-circuit, Python value semantics).
+    Bool2 {
+        /// true = `and`.
+        is_and: bool,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `not e`.
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Call `func(args...)`; `func` is any expression (name, attribute).
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Subscript `base[index]`.
+    Index {
+        /// Container.
+        base: Box<Expr>,
+        /// Index.
+        index: Box<Expr>,
+    },
+    /// Slice `base[lo:hi]` (either bound optional).
+    Slice {
+        /// Container.
+        base: Box<Expr>,
+        /// Lower bound (default 0).
+        lo: Option<Box<Expr>>,
+        /// Upper bound (default `len`).
+        hi: Option<Box<Expr>>,
+    },
+    /// Attribute access `base.attr`.
+    Attr {
+        /// Object.
+        base: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// List display `[a, b, c]`.
+    List(Vec<Expr>),
+    /// Tuple display `(a, b)` or bare `a, b`.
+    Tuple(Vec<Expr>),
+    /// Dict display `{k: v, ...}`.
+    Dict(Vec<(Expr, Expr)>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::In.is_comparison());
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Pow.is_comparison());
+    }
+}

@@ -1,0 +1,561 @@
+//! Indentation-aware lexer for MiniPy.
+//!
+//! Indentation is translated into `Indent`/`Dedent` tokens with a classic
+//! offside-rule stack; blank lines and comment-only lines produce nothing.
+
+use crate::Error;
+use std::fmt;
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// MiniPy token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// A keyword.
+    Kw(Kw),
+    /// Operator / punctuation.
+    Op(OpTok),
+    /// Logical end of a statement line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased (one level).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Float(v) => write!(f, "float `{v}`"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Kw(k) => write!(f, "keyword `{k}`"),
+            Tok::Op(o) => write!(f, "`{o}`"),
+            Tok::Newline => write!(f, "end of line"),
+            Tok::Indent => write!(f, "indent"),
+            Tok::Dedent => write!(f, "dedent"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// MiniPy keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Break,
+    Continue,
+    Pass,
+    Global,
+    Class,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+}
+
+impl Kw {
+    fn from_ident(s: &str) -> Option<Kw> {
+        Some(match s {
+            "def" => Kw::Def,
+            "return" => Kw::Return,
+            "if" => Kw::If,
+            "elif" => Kw::Elif,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "for" => Kw::For,
+            "in" => Kw::In,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "pass" => Kw::Pass,
+            "global" => Kw::Global,
+            "class" => Kw::Class,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "True" => Kw::True,
+            "False" => Kw::False,
+            "None" => Kw::None,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Kw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Kw::Def => "def",
+            Kw::Return => "return",
+            Kw::If => "if",
+            Kw::Elif => "elif",
+            Kw::Else => "else",
+            Kw::While => "while",
+            Kw::For => "for",
+            Kw::In => "in",
+            Kw::Break => "break",
+            Kw::Continue => "continue",
+            Kw::Pass => "pass",
+            Kw::Global => "global",
+            Kw::Class => "class",
+            Kw::And => "and",
+            Kw::Or => "or",
+            Kw::Not => "not",
+            Kw::True => "True",
+            Kw::False => "False",
+            Kw::None => "None",
+        };
+        f.write_str(s)
+    }
+}
+
+/// MiniPy operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum OpTok {
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    SlashSlash,
+    Percent,
+    Eq,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    SlashSlashEq,
+    PercentEq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+}
+
+impl fmt::Display for OpTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpTok::Plus => "+",
+            OpTok::Minus => "-",
+            OpTok::Star => "*",
+            OpTok::StarStar => "**",
+            OpTok::Slash => "/",
+            OpTok::SlashSlash => "//",
+            OpTok::Percent => "%",
+            OpTok::Eq => "=",
+            OpTok::EqEq => "==",
+            OpTok::Ne => "!=",
+            OpTok::Lt => "<",
+            OpTok::Le => "<=",
+            OpTok::Gt => ">",
+            OpTok::Ge => ">=",
+            OpTok::PlusEq => "+=",
+            OpTok::MinusEq => "-=",
+            OpTok::StarEq => "*=",
+            OpTok::SlashEq => "/=",
+            OpTok::SlashSlashEq => "//=",
+            OpTok::PercentEq => "%=",
+            OpTok::LParen => "(",
+            OpTok::RParen => ")",
+            OpTok::LBracket => "[",
+            OpTok::RBracket => "]",
+            OpTok::LBrace => "{",
+            OpTok::RBrace => "}",
+            OpTok::Comma => ",",
+            OpTok::Colon => ":",
+            OpTok::Dot => ".",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tokenizes MiniPy source, producing `Indent`/`Dedent` per the offside
+/// rule.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on tabs-vs-spaces confusion (tabs are rejected),
+/// inconsistent dedents, unterminated strings, or unknown characters.
+///
+/// # Examples
+///
+/// ```
+/// let toks = minipy::lexer::lex("if x:\n    y = 1\n")?;
+/// assert!(toks.iter().any(|t| t.kind == minipy::lexer::Tok::Indent));
+/// # Ok::<(), minipy::Error>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    let mut tokens = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut paren_depth = 0usize;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        if raw_line.contains('\t') {
+            return Err(Error::Lex {
+                line: line_no,
+                message: "tabs are not allowed for indentation; use spaces".into(),
+            });
+        }
+        let trimmed = raw_line.trim_start_matches(' ');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let indent = raw_line.len() - trimmed.len();
+        if paren_depth == 0 {
+            let current = *indents.last().expect("indent stack never empty");
+            if indent > current {
+                indents.push(indent);
+                tokens.push(Token {
+                    kind: Tok::Indent,
+                    line: line_no,
+                });
+            } else if indent < current {
+                while *indents.last().expect("nonempty") > indent {
+                    indents.pop();
+                    tokens.push(Token {
+                        kind: Tok::Dedent,
+                        line: line_no,
+                    });
+                }
+                if *indents.last().expect("nonempty") != indent {
+                    return Err(Error::Lex {
+                        line: line_no,
+                        message: "unindent does not match any outer indentation level".into(),
+                    });
+                }
+            }
+        }
+        lex_line(trimmed, line_no, &mut tokens, &mut paren_depth)?;
+        if paren_depth == 0 {
+            tokens.push(Token {
+                kind: Tok::Newline,
+                line: line_no,
+            });
+        }
+    }
+    let last_line = source.lines().count() as u32;
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(Token {
+            kind: Tok::Dedent,
+            line: last_line,
+        });
+    }
+    tokens.push(Token {
+        kind: Tok::Eof,
+        line: last_line.max(1),
+    });
+    Ok(tokens)
+}
+
+fn lex_line(
+    text: &str,
+    line: u32,
+    tokens: &mut Vec<Token>,
+    paren_depth: &mut usize,
+) -> Result<(), Error> {
+    let b = text.as_bytes();
+    let mut i = 0;
+    let err = |message: String| Error::Lex { line, message };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' => {
+                i += 1;
+            }
+            b'#' => break,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                let kind = match Kw::from_ident(word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text_num = &text[start..i];
+                let kind = if is_float {
+                    Tok::Float(
+                        text_num
+                            .parse()
+                            .map_err(|_| err(format!("bad float `{text_num}`")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text_num
+                            .parse()
+                            .map_err(|_| err(format!("integer out of range `{text_num}`")))?,
+                    )
+                };
+                tokens.push(Token { kind, line });
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err("unterminated string literal".into()));
+                    }
+                    match b[i] {
+                        q if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= b.len() {
+                                return Err(err("unterminated escape".into()));
+                            }
+                            s.push(match b[i] {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'\'' => '\'',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(format!(
+                                        "unknown escape `\\{}`",
+                                        other as char
+                                    )))
+                                }
+                            });
+                            i += 1;
+                        }
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: Tok::Str(s),
+                    line,
+                });
+            }
+            _ => {
+                let (op, len) = lex_op(&text[i..]).ok_or_else(|| {
+                    err(format!("unexpected character `{}`", c as char))
+                })?;
+                match op {
+                    OpTok::LParen | OpTok::LBracket | OpTok::LBrace => *paren_depth += 1,
+                    OpTok::RParen | OpTok::RBracket | OpTok::RBrace => {
+                        *paren_depth = paren_depth.saturating_sub(1)
+                    }
+                    _ => {}
+                }
+                tokens.push(Token {
+                    kind: Tok::Op(op),
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lex_op(s: &str) -> Option<(OpTok, usize)> {
+    let three = s.get(..3);
+    let two = s.get(..2);
+    if three == Some("//=") {
+        return Some((OpTok::SlashSlashEq, 3));
+    }
+    if let Some(t) = two {
+        let op = match t {
+            "**" => Some(OpTok::StarStar),
+            "//" => Some(OpTok::SlashSlash),
+            "==" => Some(OpTok::EqEq),
+            "!=" => Some(OpTok::Ne),
+            "<=" => Some(OpTok::Le),
+            ">=" => Some(OpTok::Ge),
+            "+=" => Some(OpTok::PlusEq),
+            "-=" => Some(OpTok::MinusEq),
+            "*=" => Some(OpTok::StarEq),
+            "/=" => Some(OpTok::SlashEq),
+            "%=" => Some(OpTok::PercentEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            return Some((op, 2));
+        }
+    }
+    let op = match s.as_bytes().first()? {
+        b'+' => OpTok::Plus,
+        b'-' => OpTok::Minus,
+        b'*' => OpTok::Star,
+        b'/' => OpTok::Slash,
+        b'%' => OpTok::Percent,
+        b'=' => OpTok::Eq,
+        b'<' => OpTok::Lt,
+        b'>' => OpTok::Gt,
+        b'(' => OpTok::LParen,
+        b')' => OpTok::RParen,
+        b'[' => OpTok::LBracket,
+        b']' => OpTok::RBracket,
+        b'{' => OpTok::LBrace,
+        b'}' => OpTok::RBrace,
+        b',' => OpTok::Comma,
+        b':' => OpTok::Colon,
+        b'.' => OpTok::Dot,
+        _ => return None,
+    };
+    Some((op, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_statement() {
+        assert_eq!(
+            kinds("x = 1"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Op(OpTok::Eq),
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let ks = kinds("if a:\n    b = 1\n    c = 2\nd = 3");
+        let indents = ks.iter().filter(|k| **k == Tok::Indent).count();
+        let dedents = ks.iter().filter(|k| **k == Tok::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_dedents_at_eof() {
+        let ks = kinds("if a:\n    if b:\n        c = 1");
+        let dedents = ks.iter().filter(|k| **k == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_ignored() {
+        let ks = kinds("a = 1\n\n# comment\n   \nb = 2");
+        let newlines = ks.iter().filter(|k| **k == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn implicit_line_continuation_in_brackets() {
+        let ks = kinds("a = [1,\n     2,\n     3]");
+        let newlines = ks.iter().filter(|k| **k == Tok::Newline).count();
+        assert_eq!(newlines, 1, "brackets suppress newlines");
+        assert!(!ks.contains(&Tok::Indent));
+    }
+
+    #[test]
+    fn strings_both_quotes_and_escapes() {
+        assert_eq!(kinds("'a\\n'")[0], Tok::Str("a\n".into()));
+        assert_eq!(kinds("\"b'c\"")[0], Tok::Str("b'c".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], Tok::Int(42));
+        assert_eq!(kinds("2.5")[0], Tok::Float(2.5));
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a //= b ** 2 != c");
+        assert!(ks.contains(&Tok::Op(OpTok::SlashSlashEq)));
+        assert!(ks.contains(&Tok::Op(OpTok::StarStar)));
+        assert!(ks.contains(&Tok::Op(OpTok::Ne)));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let ks = kinds("for iffy in None");
+        assert_eq!(ks[0], Tok::Kw(Kw::For));
+        assert_eq!(ks[1], Tok::Ident("iffy".into()));
+        assert_eq!(ks[2], Tok::Kw(Kw::In));
+        assert_eq!(ks[3], Tok::Kw(Kw::None));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("x = 'abc").is_err());
+        assert!(lex("x = $").is_err());
+        assert!(lex("\tx = 1").is_err());
+        assert!(matches!(
+            lex("if a:\n    b = 1\n  c = 2"),
+            Err(Error::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let toks = lex("a = 1\nb = 2").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[4].line, 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Program-level MiniPy battery: the teaching programs the paper's tools
+//! display, run end to end and checked by output.
+
+use minipy::{run_source, NullTracer};
+
+fn out(src: &str) -> String {
+    run_source(src, &mut NullTracer).expect("runs").output
+}
+
+#[test]
+fn insertion_sort() {
+    let src = "
+def insertion_sort(a):
+    i = 1
+    while i < len(a):
+        key = a[i]
+        j = i - 1
+        while j >= 0 and a[j] > key:
+            a[j + 1] = a[j]
+            j = j - 1
+        a[j + 1] = key
+        i = i + 1
+    return a
+print(insertion_sort([5, 2, 8, 1, 9, 3]))
+";
+    assert_eq!(out(src), "[1, 2, 3, 5, 8, 9]\n");
+}
+
+#[test]
+fn fibonacci_memoized_with_dict() {
+    let src = "
+memo = {}
+def fib(n):
+    if n < 2:
+        return n
+    if n in memo:
+        return memo[n]
+    r = fib(n - 1) + fib(n - 2)
+    memo[n] = r
+    return r
+print(fib(30))
+print(len(memo))
+";
+    assert_eq!(out(src), "832040\n29\n");
+}
+
+#[test]
+fn class_based_stack() {
+    let src = "
+class Stack:
+    def __init__(self):
+        self.items = []
+    def push(self, v):
+        self.items.append(v)
+    def pop(self):
+        return self.items.pop()
+    def size(self):
+        return len(self.items)
+s = Stack()
+for i in range(5):
+    s.push(i * i)
+print(s.pop(), s.pop(), s.size())
+";
+    assert_eq!(out(src), "16 9 3\n");
+}
+
+#[test]
+fn linked_list_with_none_terminator() {
+    let src = "
+class Node:
+    def __init__(self, v, next):
+        self.v = v
+        self.next = next
+head = None
+for i in range(5):
+    head = Node(i, head)
+total = 0
+cur = head
+while cur != None:
+    total = total + cur.v
+    cur = cur.next
+print(total)
+";
+    assert_eq!(out(src), "10\n");
+}
+
+#[test]
+fn word_frequency_with_dict() {
+    let src = "
+text = 'the cat and the dog and the bird'
+counts = {}
+for w in text.split():
+    counts[w] = counts.get(w, 0) + 1
+print(counts['the'], counts['and'], counts.get('fish', 0))
+";
+    assert_eq!(out(src), "3 2 0\n");
+}
+
+#[test]
+fn tuple_swap_gcd() {
+    let src = "
+a, b = 252, 105
+while b != 0:
+    a, b = b, a % b
+print(a)
+";
+    assert_eq!(out(src), "21\n");
+}
+
+#[test]
+fn nested_list_mutation_through_alias() {
+    let src = "
+grid = [[0, 0], [0, 0]]
+row = grid[1]
+row[0] = 7
+grid[0][1] = 3
+print(grid)
+";
+    assert_eq!(out(src), "[[0, 3], [7, 0]]\n");
+}
+
+#[test]
+fn string_processing() {
+    let src = "
+s = 'EasyTracker'
+upper = 0
+for c in s:
+    if c == c.upper() and c != c.lower():
+        upper = upper + 1
+print(upper, s.lower(), len(s))
+";
+    assert_eq!(out(src), "2 easytracker 11\n");
+}
+
+#[test]
+fn sorted_and_aggregates() {
+    let src = "
+data = [31, 4, 15, 9, 26, 5]
+print(sorted(data))
+print(min(data), max(data), sum(data))
+";
+    assert_eq!(out(src), "[4, 5, 9, 15, 26, 31]\n4 31 90\n");
+}
+
+#[test]
+fn global_counter_across_functions() {
+    let src = "
+calls = 0
+def traced(x):
+    global calls
+    calls = calls + 1
+    return x * 2
+total = 0
+for i in range(4):
+    total = total + traced(i)
+print(total, calls)
+";
+    assert_eq!(out(src), "12 4\n");
+}
+
+#[test]
+fn range_stepping_and_membership() {
+    let src = "
+evens = range(0, 20, 2)
+print(len(evens), 8 in evens, 9 in evens)
+print(list(range(5, 0, -1)))
+";
+    assert_eq!(out(src), "10 True False\n[5, 4, 3, 2, 1]\n");
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = "
+def is_even(n):
+    if n == 0:
+        return True
+    return is_odd(n - 1)
+def is_odd(n):
+    if n == 0:
+        return False
+    return is_even(n - 1)
+print(is_even(10), is_odd(7))
+";
+    assert_eq!(out(src), "True True\n");
+}
+
+#[test]
+fn matrix_transpose() {
+    let src = "
+m = [[1, 2, 3], [4, 5, 6]]
+t = []
+for j in range(3):
+    row = []
+    for i in range(2):
+        row.append(m[i][j])
+    t.append(row)
+print(t)
+";
+    assert_eq!(out(src), "[[1, 4], [2, 5], [3, 6]]\n");
+}
+
+#[test]
+fn queue_via_list_methods() {
+    let src = "
+q = []
+for job in ['a', 'b', 'c']:
+    q.append(job)
+served = []
+while len(q) > 0:
+    served.append(q.pop(0))
+print(served)
+";
+    assert_eq!(out(src), "['a', 'b', 'c']\n");
+}
+
+#[test]
+fn boolean_short_circuit_guards() {
+    let src = "
+data = []
+if len(data) > 0 and data[0] == 1:
+    print('first is one')
+else:
+    print('safe')
+";
+    assert_eq!(out(src), "safe\n");
+}
+
+#[test]
+fn percent_format_report() {
+    let src = "
+name = 'fib'
+value = 55
+print('%s(10) = %d' % (name, value))
+";
+    assert_eq!(out(src), "fib(10) = 55\n");
+}
+
+#[test]
+fn slicing() {
+    assert_eq!(out("a = [0, 1, 2, 3, 4]\nprint(a[1:3], a[:2], a[3:], a[:])"), "[1, 2] [0, 1] [3, 4] [0, 1, 2, 3, 4]\n");
+    assert_eq!(out("print('easytracker'[:4], 'easytracker'[4:])"), "easy tracker\n");
+    assert_eq!(out("a = [1, 2, 3]\nprint(a[-2:], a[:-1])"), "[2, 3] [1, 2]\n");
+    assert_eq!(out("t = (1, 2, 3, 4)\nprint(t[1:3])"), "(2, 3)\n");
+    // Out-of-range bounds clamp; empty when lo >= hi.
+    assert_eq!(out("a = [1, 2]\nprint(a[0:99], a[5:], a[2:1])"), "[1, 2] [] []\n");
+    // Slices copy: mutating the copy leaves the source alone.
+    assert_eq!(out("a = [1, 2, 3]\nb = a[:]\nb[0] = 9\nprint(a, b)"), "[1, 2, 3] [9, 2, 3]\n");
+}
+
+#[test]
+fn slice_errors() {
+    let err = run_source("d = {}\nx = d[1:2]\n", &mut NullTracer).unwrap_err();
+    assert!(err.message().contains("not sliceable"));
+    let err = run_source("a = [1]\nx = a['q':2]\n", &mut NullTracer).unwrap_err();
+    assert!(err.message().contains("slice indices"));
+}

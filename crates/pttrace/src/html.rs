@@ -1,0 +1,182 @@
+//! A self-contained HTML viewer for Python-Tutor traces.
+//!
+//! The paper's Fig. 10 artifact ships a `demo.html` the reader opens in a
+//! browser, stepping through the trace with a Forward button. This module
+//! generates the same kind of artifact: one HTML file embedding the trace
+//! JSON and a small vanilla-JS walker that renders the source with the
+//! current line highlighted, the stack frames with their variables, the
+//! heap objects, and the program output — no server, no dependencies.
+
+use serde_json::Value as Json;
+
+/// Renders a trace (as produced by [`crate::trace_from_recording`]) into a
+/// single self-contained HTML page with Forward/Back controls.
+pub fn render_html(trace: &Json, title: &str) -> String {
+    let json = serde_json::to_string(trace).unwrap_or_else(|_| "{}".into());
+    // Guard the inline <script> against `</script>` inside string values.
+    let json = json.replace("</", "<\\/");
+    let title = title
+        .replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;");
+    format!(
+        r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: monospace; display: flex; gap: 24px; margin: 20px; }}
+#code {{ white-space: pre; border: 1px solid #aaa; padding: 8px; min-width: 320px; }}
+#code .cur {{ background: #fff3c4; display: inline-block; width: 100%; }}
+#panel {{ max-width: 560px; }}
+.frame {{ border: 1px solid #334; background: #f4f6fb; margin: 6px 0; padding: 6px; }}
+.frame h4 {{ margin: 0 0 4px 0; }}
+.heapobj {{ border: 1px solid #252; background: #eef8ef; margin: 6px 0; padding: 6px; }}
+#out {{ white-space: pre; background: #111; color: #ddd; padding: 6px; min-height: 2em; }}
+button {{ font-size: 14px; margin-right: 6px; }}
+</style>
+</head>
+<body>
+<div id="code"></div>
+<div id="panel">
+  <div>
+    <button id="back">&#9664; Back</button>
+    <button id="fwd">Forward &#9654;</button>
+    <span id="pos"></span>
+  </div>
+  <h3>Frames</h3><div id="frames"></div>
+  <h3>Heap</h3><div id="heap"></div>
+  <h3>Output</h3><div id="out"></div>
+</div>
+<script>
+const data = {json};
+let i = 0;
+function enc(v) {{
+  if (Array.isArray(v)) {{
+    const t = v[0];
+    if (t === "REF") return "&rarr;@" + v[1];
+    if (t === "FUNCTION") return "fn " + v[1];
+    if (t === "LIST" || t === "TUPLE") {{
+      const inner = v.slice(1).map(enc).join(", ");
+      return t === "LIST" ? "[" + inner + "]" : "(" + inner + ")";
+    }}
+    if (t === "DICT") return "{{" + v.slice(1).map(p => enc(p[0]) + ": " + enc(p[1])).join(", ") + "}}";
+    if (t === "INSTANCE") return v[1] + "{{" + v.slice(2).map(p => p[0] + ": " + enc(p[1])).join(", ") + "}}";
+    return JSON.stringify(v);
+  }}
+  if (v === null) return "None";
+  if (typeof v === "string") return JSON.stringify(v);
+  return String(v);
+}}
+function esc(s) {{
+  return s.replace(/&/g, "&amp;").replace(/</g, "&lt;").replace(/>/g, "&gt;");
+}}
+function show() {{
+  const steps = data.trace || [];
+  const step = steps[i] || {{}};
+  const lines = (data.code || "").split("\n");
+  document.getElementById("code").innerHTML = lines
+    .map((l, k) => (k + 1 === step.line ? '<span class="cur">' : "<span>") + esc(l) + " </span>")
+    .join("\n");
+  document.getElementById("pos").textContent =
+    "step " + (steps.length ? i + 1 : 0) + " / " + steps.length +
+    (step.event ? " (" + step.event + ")" : "");
+  const frames = (step.stack_to_render || []).slice().reverse();
+  document.getElementById("frames").innerHTML = frames
+    .map(f => '<div class="frame"><h4>' + esc(f.func_name) + "</h4>" +
+      (f.ordered_varnames || [])
+        .map(n => esc(n) + " = " + esc(enc(f.encoded_locals[n])))
+        .join("<br>") + "</div>")
+    .join("") +
+    '<div class="frame"><h4>globals</h4>' +
+    (step.ordered_globals || [])
+      .map(n => esc(n) + " = " + esc(enc((step.globals || {{}})[n])))
+      .join("<br>") + "</div>";
+  const heap = step.heap || {{}};
+  document.getElementById("heap").innerHTML = Object.keys(heap)
+    .map(id => '<div class="heapobj">@' + id + ": " + esc(enc(heap[id])) + "</div>")
+    .join("");
+  document.getElementById("out").textContent = step.stdout || "";
+}}
+document.getElementById("fwd").onclick = () => {{
+  if (i + 1 < (data.trace || []).length) {{ i++; show(); }}
+}};
+document.getElementById("back").onclick = () => {{
+  if (i > 0) {{ i--; show(); }}
+}};
+show();
+</script>
+</body>
+</html>
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample_trace() -> Json {
+        json!({
+            "code": "x = [1]\ny = x\n",
+            "trace": [
+                {
+                    "event": "step_line",
+                    "line": 1,
+                    "func_name": "<module>",
+                    "stack_to_render": [],
+                    "globals": {},
+                    "ordered_globals": [],
+                    "heap": {},
+                    "stdout": ""
+                },
+                {
+                    "event": "step_line",
+                    "line": 2,
+                    "func_name": "<module>",
+                    "stack_to_render": [],
+                    "globals": {"x": ["REF", 7]},
+                    "ordered_globals": ["x"],
+                    "heap": {"7": ["LIST", 1]},
+                    "stdout": "hi\n"
+                }
+            ]
+        })
+    }
+
+    #[test]
+    fn html_embeds_trace_and_controls() {
+        let html = render_html(&sample_trace(), "demo");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<title>demo</title>"));
+        assert!(html.contains("id=\"fwd\""));
+        assert!(html.contains("id=\"back\""));
+        assert!(html.contains("\"trace\":"));
+        assert!(html.contains("REF"));
+    }
+
+    #[test]
+    fn script_breaking_content_is_escaped() {
+        let tricky = json!({
+            "code": "s = '</script><script>alert(1)'",
+            "trace": []
+        });
+        let html = render_html(&tricky, "t < & >");
+        assert!(!html.contains("</script><script>alert"));
+        assert!(html.contains("t &lt; &amp; &gt;"));
+    }
+
+    #[test]
+    fn roundtrip_from_real_recording() {
+        use easytracker::{PyTracker, Recording, Tracker};
+        let mut t = PyTracker::load("h.py", "a = [1, 2]\nprint(a)\n").unwrap();
+        let rec = Recording::capture(&mut t).unwrap();
+        t.terminate();
+        let trace = crate::trace_from_recording(&rec);
+        let html = render_html(&trace, "h.py");
+        assert!(html.contains("a = [1, 2]"));
+        assert!(html.len() > 2000);
+    }
+}

@@ -1,0 +1,601 @@
+//! Python-Tutor-compatible execution traces (paper §III-E, Fig. 10).
+//!
+//! Python Tutor's front end walks a JSON trace with one entry per executed
+//! line: each entry carries the event kind, the stack frames with encoded
+//! locals, a heap dictionary keyed by object id, and the accumulated
+//! stdout. This crate converts EasyTracker [`Recording`]s into that format
+//! ([`trace_from_recording`]) and back ([`recording_from_trace`]), so:
+//!
+//! * any tracker run can drive the PT front end (export direction), and
+//! * a PT trace can drive the full EasyTracker control API through
+//!   [`easytracker::ReplayTracker`] (import direction).
+//!
+//! The export can be *partial* — restricted to chosen functions and
+//! variables, like the paper's example that shrinks the trace by ~10× —
+//! via [`ExportOptions`].
+//!
+//! # Value encoding
+//!
+//! Primitives are encoded directly (numbers, strings, booleans, `null`);
+//! compound values live in the `heap` map keyed by their address and are
+//! referenced as `["REF", id]`; invalid C pointers encode as the string
+//! `"<invalid>"`, matching the cross the diagrams draw.
+
+pub mod html;
+
+use easytracker::{Recording, RecordedStep};
+use serde_json::{json, Map, Value as Json};
+use state::{
+    AbstractType, Content, Frame, PauseReason, Prim, ProgramState, Scope, SourceLocation, Value,
+    Variable,
+};
+use std::collections::BTreeMap;
+
+/// Controls which parts of the execution are exported.
+#[derive(Debug, Clone, Default)]
+pub struct ExportOptions {
+    /// Keep only steps whose innermost frame is one of these functions.
+    pub only_functions: Option<Vec<String>>,
+    /// Keep only these variables in every frame.
+    pub only_variables: Option<Vec<String>>,
+    /// Keep only steps within this inclusive line range.
+    pub line_range: Option<(u32, u32)>,
+}
+
+impl ExportOptions {
+    fn keep_step(&self, step: &RecordedStep) -> bool {
+        if let Some(funcs) = &self.only_functions {
+            if !funcs.iter().any(|f| f == step.state.frame.name()) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.line_range {
+            let line = step.state.frame.location().line();
+            if line < lo || line > hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn keep_var(&self, name: &str) -> bool {
+        match &self.only_variables {
+            Some(vars) => vars.iter().any(|v| v == name),
+            None => true,
+        }
+    }
+}
+
+/// Exports a recording as a full Python-Tutor trace.
+pub fn trace_from_recording(rec: &Recording) -> Json {
+    trace_with_options(rec, &ExportOptions::default())
+}
+
+/// Exports a recording with filtering (the paper's partial traces).
+pub fn trace_with_options(rec: &Recording, opts: &ExportOptions) -> Json {
+    let mut stdout = String::new();
+    let mut trace = Vec::new();
+    for step in &rec.steps {
+        stdout.push_str(&step.output_delta);
+        if !opts.keep_step(step) {
+            continue;
+        }
+        trace.push(encode_step(step, &stdout, opts));
+    }
+    json!({
+        "code": rec.source,
+        "trace": trace,
+    })
+}
+
+fn event_name(reason: &PauseReason) -> &'static str {
+    match reason {
+        PauseReason::FunctionCall { .. } => "call",
+        PauseReason::FunctionReturn { .. } => "return",
+        PauseReason::Exited(_) => "return",
+        _ => "step_line",
+    }
+}
+
+fn encode_step(step: &RecordedStep, stdout: &str, opts: &ExportOptions) -> Json {
+    let state = &step.state;
+    let mut heap = BTreeMap::new();
+    let mut frames_json = Vec::new();
+    let frames: Vec<&Frame> = state.frame.chain().collect();
+    let innermost = frames.first().map(|f| f.name().to_owned());
+    for (i, f) in frames.iter().rev().enumerate() {
+        let mut locals = Map::new();
+        let mut order = Vec::new();
+        for var in f.variables() {
+            if !opts.keep_var(var.name()) {
+                continue;
+            }
+            order.push(Json::String(var.name().to_owned()));
+            locals.insert(var.name().to_owned(), encode_value(var.value(), &mut heap));
+        }
+        frames_json.push(json!({
+            "func_name": f.name(),
+            "frame_id": i,
+            "unique_hash": format!("{}_{}", f.name(), i),
+            "encoded_locals": locals,
+            "ordered_varnames": order,
+            "is_highlighted": Some(f.name().to_owned()) == innermost,
+            "is_parent": false,
+            "is_zombie": false,
+            "parent_frame_id_list": Json::Array(Vec::new()),
+        }));
+    }
+    let mut globals = Map::new();
+    let mut ordered_globals = Vec::new();
+    for g in &state.globals {
+        if !opts.keep_var(g.name()) {
+            continue;
+        }
+        ordered_globals.push(Json::String(g.name().to_owned()));
+        globals.insert(g.name().to_owned(), encode_value(g.value(), &mut heap));
+    }
+    let heap_json: Map<String, Json> = heap
+        .into_iter()
+        .map(|(id, v)| (id.to_string(), v))
+        .collect();
+    json!({
+        "event": event_name(&state.reason),
+        "line": state.frame.location().line(),
+        "func_name": state.frame.name(),
+        "stack_to_render": frames_json,
+        "globals": globals,
+        "ordered_globals": ordered_globals,
+        "heap": heap_json,
+        "stdout": stdout,
+    })
+}
+
+/// Encodes one value; compound values are interned into `heap`.
+fn encode_value(value: &Value, heap: &mut BTreeMap<u64, Json>) -> Json {
+    match value.content() {
+        Content::Primitive(p) => match p {
+            Prim::Int(v) => json!(v),
+            Prim::Float(v) => json!(v),
+            Prim::Str(s) => json!(s),
+            Prim::Bool(b) => json!(b),
+            Prim::Char(c) => json!(c.to_string()),
+        },
+        Content::Nothing => {
+            if value.abstract_type() == AbstractType::Invalid {
+                json!("<invalid>")
+            } else {
+                Json::Null
+            }
+        }
+        Content::Function(name) => json!(["FUNCTION", name]),
+        Content::Ref(target) => {
+            let Some(id) = target.address() else {
+                return encode_value(target, heap);
+            };
+            if !heap.contains_key(&id) {
+                // Reserve the slot first so cycles terminate.
+                heap.insert(id, Json::Null);
+                let encoded = encode_compound(target, heap);
+                heap.insert(id, encoded);
+            }
+            json!(["REF", id])
+        }
+        // Bare compound (C arrays/structs held by value on the stack):
+        // intern under their own address when known.
+        _ => match value.address() {
+            Some(id) => {
+                if !heap.contains_key(&id) {
+                    heap.insert(id, Json::Null);
+                    let encoded = encode_compound(value, heap);
+                    heap.insert(id, encoded);
+                }
+                json!(["REF", id])
+            }
+            None => encode_compound(value, heap),
+        },
+    }
+}
+
+fn encode_compound(value: &Value, heap: &mut BTreeMap<u64, Json>) -> Json {
+    match value.content() {
+        Content::List(items) => {
+            let tag = if value.language_type() == "tuple" {
+                "TUPLE"
+            } else {
+                "LIST"
+            };
+            let mut arr = vec![json!(tag)];
+            arr.extend(items.iter().map(|i| encode_value(i, heap)));
+            Json::Array(arr)
+        }
+        Content::Dict(entries) => {
+            let mut arr = vec![json!("DICT")];
+            arr.extend(entries.iter().map(|(k, v)| {
+                json!([encode_value(k, heap), encode_value(v, heap)])
+            }));
+            Json::Array(arr)
+        }
+        Content::Struct(fields) => {
+            let mut arr = vec![json!("INSTANCE"), json!(value.language_type())];
+            arr.extend(
+                fields
+                    .iter()
+                    .map(|(n, v)| json!([n, encode_value(v, heap)])),
+            );
+            Json::Array(arr)
+        }
+        _ => encode_value(value, heap),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Import
+// ---------------------------------------------------------------------------
+
+/// Decodes a Python-Tutor trace (as produced by [`trace_from_recording`])
+/// back into an EasyTracker [`Recording`], enabling the full control API
+/// on the trace through [`easytracker::ReplayTracker`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn recording_from_trace(trace: &Json, file: &str) -> Result<Recording, String> {
+    let code = trace
+        .get("code")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    let entries = trace
+        .get("trace")
+        .and_then(Json::as_array)
+        .ok_or("missing trace array")?;
+    let mut steps = Vec::new();
+    let mut prev_stdout = String::new();
+    for entry in entries {
+        let line = entry.get("line").and_then(Json::as_u64).unwrap_or(0) as u32;
+        let heap = entry
+            .get("heap")
+            .and_then(Json::as_object)
+            .cloned()
+            .unwrap_or_default();
+        let empty = Vec::new();
+        let stack = entry
+            .get("stack_to_render")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty);
+        // Frames come outermost-first in PT traces.
+        let mut frame_acc: Option<Frame> = None;
+        for (depth, fj) in stack.iter().enumerate() {
+            let name = fj
+                .get("func_name")
+                .and_then(Json::as_str)
+                .unwrap_or("<module>");
+            let mut frame = Frame::new(
+                name,
+                depth as u32,
+                SourceLocation::new(file.to_owned(), line),
+            );
+            decode_bindings(fj, &heap, Scope::Local, |var| frame.insert_variable(var))?;
+            if let Some(parent) = frame_acc.take() {
+                frame.set_parent(parent);
+            }
+            frame_acc = Some(frame);
+        }
+        let mut frame = frame_acc.unwrap_or_else(|| {
+            Frame::new("<module>", 0, SourceLocation::new(file.to_owned(), line))
+        });
+        // PT reports the执行 position only on the innermost frame; ours
+        // stores it per frame, which the loop above already set.
+        let _ = &mut frame;
+        let mut globals = Vec::new();
+        if let (Some(gmap), Some(gorder)) = (
+            entry.get("globals").and_then(Json::as_object),
+            entry.get("ordered_globals").and_then(Json::as_array),
+        ) {
+            for name in gorder.iter().filter_map(Json::as_str) {
+                if let Some(v) = gmap.get(name) {
+                    globals.push(Variable::new(
+                        name,
+                        Scope::Global,
+                        decode_value(v, &heap, &mut Vec::new()),
+                    ));
+                }
+            }
+        }
+        let event = entry.get("event").and_then(Json::as_str).unwrap_or("step_line");
+        let reason = match event {
+            "call" => PauseReason::FunctionCall {
+                function: frame.name().to_owned(),
+                depth: frame.depth(),
+            },
+            "return" => PauseReason::FunctionReturn {
+                function: frame.name().to_owned(),
+                depth: frame.depth(),
+                return_value: None,
+            },
+            _ => PauseReason::Step,
+        };
+        let stdout = entry
+            .get("stdout")
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        let delta = stdout
+            .strip_prefix(prev_stdout.as_str())
+            .unwrap_or(stdout)
+            .to_owned();
+        prev_stdout = stdout.to_owned();
+        steps.push(RecordedStep {
+            state: ProgramState::new(frame, globals, reason),
+            output_delta: delta,
+        });
+    }
+    Ok(Recording {
+        file: file.to_owned(),
+        source: code,
+        steps,
+        exit_code: 0,
+    })
+}
+
+fn decode_bindings(
+    frame_json: &Json,
+    heap: &Map<String, Json>,
+    scope: Scope,
+    mut sink: impl FnMut(Variable),
+) -> Result<(), String> {
+    let Some(order) = frame_json.get("ordered_varnames").and_then(Json::as_array) else {
+        return Ok(());
+    };
+    let locals = frame_json
+        .get("encoded_locals")
+        .and_then(Json::as_object)
+        .ok_or("frame without encoded_locals")?;
+    for name in order.iter().filter_map(Json::as_str) {
+        if let Some(v) = locals.get(name) {
+            sink(Variable::new(
+                name,
+                scope,
+                decode_value(v, heap, &mut Vec::new()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn decode_value(v: &Json, heap: &Map<String, Json>, visiting: &mut Vec<u64>) -> Value {
+    match v {
+        Json::Null => Value::none("NoneType"),
+        Json::Bool(b) => Value::primitive(Prim::Bool(*b), "bool"),
+        Json::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::primitive(Prim::Int(i), "int")
+            } else {
+                Value::primitive(Prim::Float(n.as_f64().unwrap_or(0.0)), "float")
+            }
+        }
+        Json::String(s) if s == "<invalid>" => Value::invalid("pointer"),
+        Json::String(s) => Value::primitive(Prim::Str(s.clone()), "str"),
+        Json::Array(arr) => decode_tagged(arr, heap, visiting),
+        Json::Object(_) => Value::none("unknown"),
+    }
+}
+
+fn decode_tagged(arr: &[Json], heap: &Map<String, Json>, visiting: &mut Vec<u64>) -> Value {
+    let Some(tag) = arr.first().and_then(Json::as_str) else {
+        return Value::none("unknown");
+    };
+    match tag {
+        "REF" => {
+            let Some(id) = arr.get(1).and_then(Json::as_u64) else {
+                return Value::invalid("ref");
+            };
+            if visiting.contains(&id) {
+                return Value::reference(
+                    Value::none("object")
+                        .with_location(state::Location::Heap)
+                        .with_address(id),
+                    "ref",
+                );
+            }
+            visiting.push(id);
+            let target = heap
+                .get(&id.to_string())
+                .map(|t| decode_value(t, heap, visiting))
+                .unwrap_or_else(|| Value::none("object"))
+                .with_location(state::Location::Heap)
+                .with_address(id);
+            visiting.pop();
+            let lt = format!("ref[{}]", target.language_type());
+            Value::reference(target, lt)
+        }
+        "FUNCTION" => {
+            let name = arr.get(1).and_then(Json::as_str).unwrap_or("?");
+            Value::function(name, "function")
+        }
+        "LIST" | "TUPLE" => {
+            let items = arr[1..]
+                .iter()
+                .map(|i| decode_value(i, heap, visiting))
+                .collect();
+            Value::list(items, if tag == "TUPLE" { "tuple" } else { "list" })
+        }
+        "DICT" => {
+            let entries = arr[1..]
+                .iter()
+                .filter_map(Json::as_array)
+                .filter(|pair| pair.len() == 2)
+                .map(|pair| {
+                    (
+                        decode_value(&pair[0], heap, visiting),
+                        decode_value(&pair[1], heap, visiting),
+                    )
+                })
+                .collect();
+            Value::dict(entries, "dict")
+        }
+        "INSTANCE" => {
+            let class = arr.get(1).and_then(Json::as_str).unwrap_or("object");
+            let fields = arr[2..]
+                .iter()
+                .filter_map(Json::as_array)
+                .filter(|pair| pair.len() == 2)
+                .filter_map(|pair| {
+                    pair[0]
+                        .as_str()
+                        .map(|n| (n.to_owned(), decode_value(&pair[1], heap, visiting)))
+                })
+                .collect();
+            Value::structure(fields, class)
+        }
+        _ => Value::none("unknown"),
+    }
+}
+
+/// Size of a trace in serialized bytes (the Fig. 10 reduction metric).
+pub fn trace_size(trace: &Json) -> usize {
+    serde_json::to_string(trace).map(|s| s.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytracker::{PyTracker, ReplayTracker, Tracker};
+
+    fn record_py(src: &str) -> Recording {
+        let mut t = PyTracker::load("p.py", src).unwrap();
+        let rec = Recording::capture(&mut t).unwrap();
+        t.terminate();
+        rec
+    }
+
+    #[test]
+    fn export_basic_shape() {
+        let rec = record_py("x = [1, 2]\ny = x\nprint(len(x))\n");
+        let trace = trace_from_recording(&rec);
+        let entries = trace["trace"].as_array().unwrap();
+        assert_eq!(entries.len(), rec.len());
+        assert_eq!(trace["code"].as_str().unwrap(), rec.source);
+        let last = entries.last().unwrap();
+        assert_eq!(last["stdout"].as_str().unwrap(), "2\n");
+        // The list lives in the heap, referenced from the globals.
+        let heap = last["heap"].as_object().unwrap();
+        assert!(!heap.is_empty());
+        let globals = last["globals"].as_object().unwrap();
+        let x = globals["x"].as_array().unwrap();
+        assert_eq!(x[0], "REF");
+    }
+
+    #[test]
+    fn aliases_share_heap_ids() {
+        let rec = record_py("a = [1]\nb = a\nc = [1]\nz = 0\n");
+        let trace = trace_from_recording(&rec);
+        let last = trace["trace"].as_array().unwrap().last().unwrap().clone();
+        let g = last["globals"].as_object().unwrap();
+        assert_eq!(g["a"][1], g["b"][1], "aliased lists share an id");
+        assert_ne!(g["a"][1], g["c"][1]);
+    }
+
+    #[test]
+    fn call_events_marked() {
+        let rec = record_py("def f(x):\n    return x\nf(1)\n");
+        let trace = trace_from_recording(&rec);
+        let events: Vec<&str> = trace["trace"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e["event"].as_str().unwrap())
+            .collect();
+        // Step recordings contain a step inside f (depth change shows in
+        // stack_to_render length).
+        let max_stack = trace["trace"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e["stack_to_render"].as_array().unwrap().len())
+            .max()
+            .unwrap();
+        assert_eq!(max_stack, 2);
+        assert!(events.iter().all(|e| *e == "step_line" || *e == "return"));
+    }
+
+    #[test]
+    fn partial_export_shrinks_trace() {
+        let src = "def work(n):\n    t = 0\n    for i in range(20):\n        t = t + i\n    return t\nr = work(3)\nprint(r)\n";
+        let rec = record_py(src);
+        let full = trace_from_recording(&rec);
+        let partial = trace_with_options(
+            &rec,
+            &ExportOptions {
+                only_functions: Some(vec!["<module>".into()]),
+                ..Default::default()
+            },
+        );
+        let full_size = trace_size(&full);
+        let partial_size = trace_size(&partial);
+        assert!(
+            partial_size * 5 < full_size,
+            "partial trace should be much smaller ({partial_size} vs {full_size})"
+        );
+    }
+
+    #[test]
+    fn variable_filter() {
+        let rec = record_py("a = 1\nsecret = 2\nb = 3\n");
+        let trace = trace_with_options(
+            &rec,
+            &ExportOptions {
+                only_variables: Some(vec!["a".into(), "b".into()]),
+                ..Default::default()
+            },
+        );
+        let last = trace["trace"].as_array().unwrap().last().unwrap();
+        let g = last["globals"].as_object().unwrap();
+        assert!(g.contains_key("a"));
+        assert!(!g.contains_key("secret"));
+    }
+
+    #[test]
+    fn roundtrip_through_pt_format() {
+        let rec = record_py("def f(x):\n    return x * 2\ny = f(21)\n");
+        let trace = trace_from_recording(&rec);
+        let back = recording_from_trace(&trace, "p.py").unwrap();
+        assert_eq!(back.len(), rec.len());
+        assert_eq!(back.source, rec.source);
+        // The replay tracker drives the decoded trace.
+        let mut t = ReplayTracker::new(back);
+        t.start().unwrap();
+        let mut saw_f = false;
+        while t.get_exit_code().is_none() {
+            if t.get_current_frame().unwrap().name() == "f" {
+                saw_f = true;
+                let x = t.get_variable("x").unwrap().unwrap();
+                assert_eq!(
+                    state::render_value(x.value().deref_fully()),
+                    "21"
+                );
+            }
+            t.step().unwrap();
+        }
+        assert!(saw_f);
+    }
+
+    #[test]
+    fn c_recording_exports_with_invalid_pointers() {
+        use easytracker::MiTracker;
+        let mut t = MiTracker::load_c(
+            "p.c",
+            "int main() {\nint* p = malloc(8);\nfree(p);\nreturn 0;\n}",
+        )
+        .unwrap();
+        let rec = Recording::capture(&mut t).unwrap();
+        t.terminate();
+        let trace = trace_from_recording(&rec);
+        let text = serde_json::to_string(&trace).unwrap();
+        assert!(text.contains("<invalid>"));
+    }
+
+    #[test]
+    fn malformed_trace_rejected() {
+        assert!(recording_from_trace(&serde_json::json!({}), "x.py").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Compact textual rendering of [`Value`]s, used by pause reasons,
+//! diagnostics and the text-mode visualizations.
+
+use crate::value::{Content, Value};
+use std::fmt::Write as _;
+
+/// Renders a value as a single compact line, e.g. `[1, 2, 3]`,
+/// `{"a": 1}`, `&0x7ff0`, `<fn sort>`, `Node{v: 1, next: None}`.
+///
+/// Reference targets are not expanded (only the arrow and the target address
+/// are shown) so the rendering stays bounded even for cyclic structures.
+///
+/// # Examples
+///
+/// ```
+/// use state::{render_value, Value, Prim};
+/// let v = Value::list(vec![Value::primitive(Prim::Int(1), "int")], "int[1]");
+/// assert_eq!(render_value(&v), "[1]");
+/// ```
+pub fn render_value(value: &Value) -> String {
+    let mut out = String::new();
+    render_into(&mut out, value);
+    out
+}
+
+fn render_into(out: &mut String, value: &Value) {
+    match value.content() {
+        Content::Primitive(p) => {
+            let _ = write!(out, "{p}");
+        }
+        Content::Ref(target) => match target.address() {
+            Some(addr) => {
+                let _ = write!(out, "&{addr:#x}");
+            }
+            None => {
+                out.push('&');
+                render_into(out, target);
+            }
+        },
+        Content::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_into(out, item);
+            }
+            out.push(']');
+        }
+        Content::Dict(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_into(out, k);
+                out.push_str(": ");
+                render_into(out, v);
+            }
+            out.push('}');
+        }
+        Content::Struct(fields) => {
+            let _ = write!(out, "{}{{", value.language_type());
+            for (i, (name, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{name}: ");
+                render_into(out, v);
+            }
+            out.push('}');
+        }
+        Content::Nothing => {
+            if value.abstract_type() == crate::AbstractType::Invalid {
+                out.push_str("<invalid>");
+            } else {
+                out.push_str("None");
+            }
+        }
+        Content::Function(name) => {
+            let _ = write!(out, "<fn {name}>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Prim, Value};
+
+    #[test]
+    fn renders_primitives() {
+        assert_eq!(render_value(&Value::primitive(Prim::Int(7), "int")), "7");
+        assert_eq!(
+            render_value(&Value::primitive(Prim::Str("hi".into()), "str")),
+            "\"hi\""
+        );
+    }
+
+    #[test]
+    fn renders_list_and_dict() {
+        let l = Value::list(
+            vec![
+                Value::primitive(Prim::Int(1), "int"),
+                Value::primitive(Prim::Int(2), "int"),
+            ],
+            "list",
+        );
+        assert_eq!(render_value(&l), "[1, 2]");
+        let d = Value::dict(
+            vec![(
+                Value::primitive(Prim::Str("a".into()), "str"),
+                Value::primitive(Prim::Int(1), "int"),
+            )],
+            "dict",
+        );
+        assert_eq!(render_value(&d), "{\"a\": 1}");
+    }
+
+    #[test]
+    fn renders_struct_and_function_and_none() {
+        let s = Value::structure(
+            vec![("v".into(), Value::primitive(Prim::Int(1), "int"))],
+            "Node",
+        );
+        assert_eq!(render_value(&s), "Node{v: 1}");
+        assert_eq!(render_value(&Value::function("f", "function")), "<fn f>");
+        assert_eq!(render_value(&Value::none("NoneType")), "None");
+        assert_eq!(render_value(&Value::invalid("int*")), "<invalid>");
+    }
+
+    #[test]
+    fn renders_refs_by_address_when_known() {
+        let target = Value::primitive(Prim::Int(5), "int").with_address(0x1000);
+        let r = Value::reference(target, "int*");
+        assert_eq!(render_value(&r), "&0x1000");
+        let anon = Value::reference(Value::primitive(Prim::Int(5), "int"), "int*");
+        assert_eq!(render_value(&anon), "&5");
+    }
+}

@@ -1,0 +1,220 @@
+//! The array-invariant view (paper Fig. 1): array cells with index
+//! markers and a highlighted region, used to show loop invariants while a
+//! sort executes.
+
+use crate::svg::SvgDoc;
+use state::{Content, Value};
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// Specification of the array view.
+#[derive(Debug, Clone, Default)]
+pub struct ArrayView {
+    /// Rendered cell contents, left to right.
+    pub cells: Vec<String>,
+    /// Named index markers (name, cell index) drawn under the array.
+    pub markers: Vec<(String, usize)>,
+    /// Cell range drawn with the "already sorted" darker background.
+    pub highlight: Option<Range<usize>>,
+    /// Title above the array.
+    pub title: Option<String>,
+}
+
+impl ArrayView {
+    /// Builds a view from a `LIST` value (e.g. a MiniC array or MiniPy
+    /// list); other value kinds produce a single cell. Element references
+    /// are followed so MiniPy lists show their contents, not addresses.
+    pub fn from_value(value: &Value) -> Self {
+        let cells = match value.deref_fully().content() {
+            Content::List(items) => items
+                .iter()
+                .map(|i| state::render_value(i.deref_fully()))
+                .collect(),
+            _ => vec![state::render_value(value.deref_fully())],
+        };
+        ArrayView {
+            cells,
+            ..ArrayView::default()
+        }
+    }
+
+    /// Adds an index marker (builder style).
+    #[must_use]
+    pub fn with_marker(mut self, name: impl Into<String>, index: usize) -> Self {
+        self.markers.push((name.into(), index));
+        self
+    }
+
+    /// Sets the highlighted (e.g. sorted) region (builder style).
+    #[must_use]
+    pub fn with_highlight(mut self, range: Range<usize>) -> Self {
+        self.highlight = Some(range);
+        self
+    }
+
+    /// Sets the title (builder style).
+    #[must_use]
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Renders as plain text, markers on a second line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use viz::array::ArrayView;
+    /// let v = ArrayView {
+    ///     cells: vec!["3".into(), "1".into(), "2".into()],
+    ///     ..Default::default()
+    /// }
+    /// .with_marker("i", 1)
+    /// .with_highlight(0..1);
+    /// let text = v.render_text();
+    /// assert!(text.contains("▌3▐"));
+    /// assert!(text.contains("i"));
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let width = self.cells.iter().map(|c| c.len()).max().unwrap_or(1).max(1);
+        let mut row = String::new();
+        let mut positions = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let highlighted = self
+                .highlight
+                .as_ref()
+                .is_some_and(|r| r.contains(&i));
+            let (l, r) = if highlighted { ('▌', '▐') } else { ('|', '|') };
+            positions.push(row.chars().count() + 1 + width / 2);
+            let _ = write!(row, "{l}{cell:^width$}{r}");
+        }
+        let _ = writeln!(out, "{row}");
+        if !self.markers.is_empty() {
+            let mut marker_row: Vec<char> = vec![' '; row.chars().count() + 8];
+            for (name, idx) in &self.markers {
+                if let Some(&pos) = positions.get(*idx) {
+                    for (k, ch) in name.chars().enumerate() {
+                        if pos + k < marker_row.len() {
+                            marker_row[pos + k] = ch;
+                        }
+                    }
+                }
+            }
+            let _ = writeln!(out, "{}", marker_row.iter().collect::<String>().trim_end());
+        }
+        out
+    }
+
+    /// Renders as SVG.
+    pub fn render_svg(&self) -> String {
+        const CELL_W: f64 = 46.0;
+        const CELL_H: f64 = 34.0;
+        const X0: f64 = 20.0;
+        let mut y0 = 20.0;
+        let mut doc = SvgDoc::new(
+            X0 * 2.0 + CELL_W * self.cells.len().max(1) as f64,
+            110.0,
+        );
+        if let Some(t) = &self.title {
+            doc.text(X0, y0, 13.0, "start", "black", t);
+            y0 += 16.0;
+        }
+        for (i, cell) in self.cells.iter().enumerate() {
+            let x = X0 + i as f64 * CELL_W;
+            let highlighted = self
+                .highlight
+                .as_ref()
+                .is_some_and(|r| r.contains(&i));
+            let fill = if highlighted { "#b9cdb9" } else { "#f2f2f2" };
+            doc.rect(x, y0, CELL_W, CELL_H, fill, "#333");
+            doc.text(
+                x + CELL_W / 2.0,
+                y0 + CELL_H / 2.0 + 4.0,
+                12.0,
+                "middle",
+                "black",
+                cell,
+            );
+            doc.text(
+                x + CELL_W / 2.0,
+                y0 + CELL_H + 12.0,
+                9.0,
+                "middle",
+                "#888",
+                &i.to_string(),
+            );
+        }
+        for (name, idx) in &self.markers {
+            let x = X0 + (*idx as f64 + 0.5) * CELL_W;
+            doc.arrow(x, y0 + CELL_H + 38.0, x, y0 + CELL_H + 18.0, "#b33");
+            doc.text(x, y0 + CELL_H + 50.0, 12.0, "middle", "#b33", name);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use state::Prim;
+
+    #[test]
+    fn from_list_value() {
+        let v = Value::list(
+            vec![
+                Value::primitive(Prim::Int(5), "int"),
+                Value::primitive(Prim::Int(2), "int"),
+            ],
+            "int[2]",
+        );
+        let view = ArrayView::from_value(&v);
+        assert_eq!(view.cells, vec!["5", "2"]);
+    }
+
+    #[test]
+    fn from_scalar_value_single_cell() {
+        let v = Value::primitive(Prim::Int(9), "int");
+        assert_eq!(ArrayView::from_value(&v).cells, vec!["9"]);
+    }
+
+    #[test]
+    fn text_markers_positioned() {
+        let view = ArrayView {
+            cells: vec!["10".into(), "20".into(), "30".into()],
+            ..Default::default()
+        }
+        .with_marker("j", 2);
+        let text = view.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let j_pos = lines[1].find('j').unwrap();
+        let cell3_pos = lines[0].find("30").unwrap();
+        assert!((j_pos as i64 - cell3_pos as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn svg_highlights_and_markers() {
+        let view = ArrayView {
+            cells: vec!["1".into(), "2".into(), "3".into(), "4".into()],
+            ..Default::default()
+        }
+        .with_highlight(0..2)
+        .with_marker("i", 1)
+        .with_title("insertion sort");
+        let svg = view.render_svg();
+        assert_eq!(svg.matches("#b9cdb9").count(), 2, "two highlighted cells");
+        assert!(svg.contains("insertion sort"));
+        assert!(svg.contains(">i</text>"));
+    }
+
+    #[test]
+    fn empty_array_renders() {
+        let view = ArrayView::default();
+        assert!(view.render_text().contains('\n'));
+        assert!(view.render_svg().starts_with("<svg"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The recursive-call tree (paper Fig. 8): one node per call, red while
+//! live, gray after returning, with the return value on a back edge.
+
+use crate::dot::Digraph;
+use crate::svg::SvgDoc;
+use std::fmt::Write as _;
+
+/// One call node.
+#[derive(Debug, Clone)]
+pub struct CallNode {
+    /// Unique id (creation order).
+    pub uid: usize,
+    /// Display label, e.g. `fact(3)` or argument values.
+    pub label: String,
+    /// Parent call's uid (`None` for the root call).
+    pub parent: Option<usize>,
+    /// Whether the call is still executing.
+    pub active: bool,
+    /// Rendered return value once the call finished.
+    pub return_value: Option<String>,
+}
+
+/// The evolving call tree. Drive it from `track_function` pause reasons:
+/// [`CallTree::enter`] on `FunctionCall`, [`CallTree::leave`] on
+/// `FunctionReturn`.
+#[derive(Debug, Clone, Default)]
+pub struct CallTree {
+    nodes: Vec<CallNode>,
+    /// Stack of live call uids.
+    live: Vec<usize>,
+}
+
+impl CallTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        CallTree::default()
+    }
+
+    /// Records a call; returns its uid.
+    pub fn enter(&mut self, label: impl Into<String>) -> usize {
+        let uid = self.nodes.len();
+        self.nodes.push(CallNode {
+            uid,
+            label: label.into(),
+            parent: self.live.last().copied(),
+            active: true,
+            return_value: None,
+        });
+        self.live.push(uid);
+        uid
+    }
+
+    /// Records the innermost live call returning with `value`.
+    pub fn leave(&mut self, value: impl Into<String>) {
+        if let Some(uid) = self.live.pop() {
+            let node = &mut self.nodes[uid];
+            node.active = false;
+            node.return_value = Some(value.into());
+        }
+    }
+
+    /// The recorded nodes.
+    pub fn nodes(&self) -> &[CallNode] {
+        &self.nodes
+    }
+
+    /// Number of calls recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no calls were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Emits Graphviz DOT (red = live, gray = returned, dashed back edges
+    /// carry return values), like the paper's Listing 6 tool.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut g = Digraph::new(name);
+        g.attr("rankdir", "TB");
+        for n in &self.nodes {
+            let color = if n.active { "red" } else { "gray" };
+            g.node(
+                format!("n{}", n.uid),
+                [
+                    ("label", n.label.clone()),
+                    ("color", color.to_owned()),
+                    ("shape", "box".to_owned()),
+                ],
+            );
+        }
+        for n in &self.nodes {
+            if let Some(p) = n.parent {
+                g.edge(format!("n{p}"), format!("n{}", n.uid), [("dir", "forward")]);
+                if let Some(rv) = &n.return_value {
+                    g.edge(
+                        format!("n{}", n.uid),
+                        format!("n{p}"),
+                        [
+                            ("label", rv.clone()),
+                            ("style", "dashed".to_owned()),
+                            ("constraint", "false".to_owned()),
+                        ],
+                    );
+                }
+            }
+        }
+        g.render()
+    }
+
+    /// Depth of a node in the tree.
+    fn depth(&self, uid: usize) -> usize {
+        let mut d = 0;
+        let mut cur = self.nodes[uid].parent;
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.nodes[p].parent;
+        }
+        d
+    }
+
+    /// Renders a layered SVG: depth = row, creation order = column.
+    pub fn to_svg(&self) -> String {
+        const W: f64 = 110.0;
+        const H: f64 = 40.0;
+        const GAPX: f64 = 16.0;
+        const GAPY: f64 = 46.0;
+        let mut doc = SvgDoc::new(300.0, 200.0);
+        // Column = number of nodes already placed at any depth (in-order).
+        let mut centers = vec![(0.0, 0.0); self.nodes.len()];
+        for (col, n) in self.nodes.iter().enumerate() {
+            let depth = self.depth(n.uid);
+            let x = 20.0 + col as f64 * (W + GAPX);
+            let y = 20.0 + depth as f64 * (H + GAPY);
+            let (fill, stroke) = if n.active {
+                ("#fdecec", "#c22")
+            } else {
+                ("#eeeeee", "#777")
+            };
+            doc.rect(x, y, W, H, fill, stroke);
+            doc.text(
+                x + W / 2.0,
+                y + H / 2.0 + 4.0,
+                11.0,
+                "middle",
+                "black",
+                &n.label,
+            );
+            centers[n.uid] = (x + W / 2.0, y);
+        }
+        for n in &self.nodes {
+            if let Some(p) = n.parent {
+                let (cx, cy) = centers[n.uid];
+                let (px, py) = centers[p];
+                doc.arrow(px, py + H, cx, cy, "#555");
+                if let Some(rv) = &n.return_value {
+                    let midx = (px + cx) / 2.0;
+                    let midy = (py + H + cy) / 2.0;
+                    doc.text(midx + 8.0, midy, 10.0, "start", "#383", rv);
+                }
+            }
+        }
+        doc.finish()
+    }
+
+    /// Renders an indented text tree.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        fn rec(tree: &CallTree, uid: usize, indent: usize, out: &mut String) {
+            let n = &tree.nodes[uid];
+            let status = if n.active { "*" } else { " " };
+            let rv = n
+                .return_value
+                .as_ref()
+                .map(|v| format!(" -> {v}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{}{status}{}{rv}", "  ".repeat(indent), n.label);
+            for child in tree.nodes.iter().filter(|c| c.parent == Some(uid)) {
+                rec(tree, child.uid, indent + 1, out);
+            }
+        }
+        for root in self.nodes.iter().filter(|n| n.parent.is_none()) {
+            rec(self, root.uid, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// fact(3) call shape.
+    fn fact_tree() -> CallTree {
+        let mut t = CallTree::new();
+        t.enter("fact(3)");
+        t.enter("fact(2)");
+        t.enter("fact(1)");
+        t.leave("1");
+        t.leave("2");
+        // fact(3) still live.
+        t
+    }
+
+    #[test]
+    fn enter_leave_maintains_structure() {
+        let t = fact_tree();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.nodes()[1].parent, Some(0));
+        assert_eq!(t.nodes()[2].parent, Some(1));
+        assert!(t.nodes()[0].active);
+        assert!(!t.nodes()[1].active);
+        assert_eq!(t.nodes()[1].return_value.as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn dot_has_colors_and_back_edges() {
+        let dot = fact_tree().to_dot("fact");
+        assert!(dot.contains("color=\"red\""));
+        assert!(dot.contains("color=\"gray\""));
+        assert!(dot.contains("style=\"dashed\""));
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.contains("\"n0\" -> \"n1\""));
+    }
+
+    #[test]
+    fn svg_places_children_lower() {
+        let svg = fact_tree().to_svg();
+        assert!(svg.contains("fact(3)"));
+        assert!(svg.contains("fact(1)"));
+        // Live node fill vs returned node fill.
+        assert!(svg.contains("#fdecec"));
+        assert!(svg.contains("#eeeeee"));
+    }
+
+    #[test]
+    fn text_tree_indents() {
+        let text = fact_tree().render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("fact(3)"));
+        assert!(lines[1].starts_with("  "));
+        assert!(lines[2].starts_with("    "));
+        assert!(lines[2].contains("-> 1"));
+    }
+
+    #[test]
+    fn sibling_calls_share_parent() {
+        let mut t = CallTree::new();
+        t.enter("fib(3)");
+        t.enter("fib(2)");
+        t.leave("1");
+        t.enter("fib(1)");
+        t.leave("1");
+        t.leave("2");
+        assert_eq!(t.nodes()[1].parent, Some(0));
+        assert_eq!(t.nodes()[2].parent, Some(0));
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Graphviz DOT emitter.
+//!
+//! The paper's recursion tool pipes DOT text into `dot -Tsvg`; tools here
+//! can emit the same text (for users who have Graphviz) while the bundled
+//! [`crate::calltree`] renderer produces SVG natively.
+
+use std::fmt::Write as _;
+
+/// Attribute list attached to a node or edge.
+type Attrs = Vec<(String, String)>;
+
+/// A directed graph under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Digraph {
+    name: String,
+    nodes: Vec<(String, Attrs)>,
+    edges: Vec<(String, String, Attrs)>,
+    graph_attrs: Vec<(String, String)>,
+}
+
+/// Escapes a DOT string literal.
+pub fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Digraph {
+    /// Creates a digraph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Digraph {
+            name: name.into(),
+            ..Digraph::default()
+        }
+    }
+
+    /// Sets a graph-level attribute.
+    pub fn attr(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.graph_attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a node with attributes.
+    pub fn node<I, K, V>(&mut self, id: impl Into<String>, attrs: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        self.nodes.push((
+            id.into(),
+            attrs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Adds an edge with attributes.
+    pub fn edge<I, K, V>(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        attrs: I,
+    ) -> &mut Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        self.edges.push((
+            from.into(),
+            to.into(),
+            attrs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Number of nodes so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Renders the DOT text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(&self.name));
+        for (k, v) in &self.graph_attrs {
+            let _ = writeln!(out, "  {k}=\"{}\";", escape(v));
+        }
+        for (id, attrs) in &self.nodes {
+            let attr_text = attrs
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "  \"{}\" [{attr_text}];", escape(id));
+        }
+        for (from, to, attrs) in &self.edges {
+            let attr_text = attrs
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [{attr_text}];",
+                escape(from),
+                escape(to)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Digraph::new("rec");
+        g.attr("rankdir", "TB");
+        g.node("n0", [("label", "f(3)"), ("color", "red")]);
+        g.node("n1", [("label", "f(2)")]);
+        g.edge("n0", "n1", [("label", "call")]);
+        let text = g.render();
+        assert!(text.starts_with("digraph \"rec\" {"));
+        assert!(text.contains("\"n0\" [label=\"f(3)\", color=\"red\"];"));
+        assert!(text.contains("\"n0\" -> \"n1\" [label=\"call\"];"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g = Digraph::new("q");
+        g.node("a", [("label", "say \"hi\"")]);
+        assert!(g.render().contains("say \\\"hi\\\""));
+    }
+}

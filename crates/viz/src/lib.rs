@@ -1,0 +1,27 @@
+//! Visualization primitives and diagram renderers for EasyTracker tools.
+//!
+//! The paper's evaluation (§III) builds four teaching tools whose
+//! rendering needs are covered here, without external binaries:
+//!
+//! * [`svg`] — a small, dependency-free SVG document builder;
+//! * [`dot`] — a Graphviz DOT emitter (for tools that prefer `dot`);
+//! * [`stack`] — stack and stack-and-heap diagrams (paper Fig. 6a/6b/6c),
+//!   with invalid pointers drawn as crosses and reference arrows resolved
+//!   by address;
+//! * [`mod@array`] — the array-invariant view of Fig. 1 (cells, index markers,
+//!   highlighted sorted region);
+//! * [`calltree`] — the recursive-call tree of Fig. 8 (live/returned
+//!   nodes, return-value back edges), as DOT and as layered SVG;
+//! * [`memview`] — the registers + raw memory viewer of Fig. 7;
+//! * [`source`] — source listings with a current-line marker.
+//!
+//! Every renderer also offers a plain-text mode so tools can run in
+//! terminals and tests can assert on output cheaply.
+
+pub mod array;
+pub mod calltree;
+pub mod dot;
+pub mod memview;
+pub mod source;
+pub mod stack;
+pub mod svg;

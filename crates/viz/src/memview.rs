@@ -1,0 +1,187 @@
+//! The registers + raw memory viewer (paper Fig. 7): the CPU registers in
+//! a table next to memory rendered as a one-dimensional array of words,
+//! with the pc and sp highlighted.
+
+use crate::svg::SvgDoc;
+use state::Variable;
+use std::fmt::Write as _;
+
+/// Input to the register/memory view.
+#[derive(Debug, Clone, Default)]
+pub struct MemView {
+    /// Register name/value pairs (from the low-level interface).
+    pub registers: Vec<(String, i64)>,
+    /// Memory words as `(address, value)` rows.
+    pub words: Vec<(u64, u32)>,
+    /// Addresses to highlight (e.g. sp target); drawn with accent border.
+    pub highlights: Vec<u64>,
+    /// Title.
+    pub title: Option<String>,
+}
+
+impl MemView {
+    /// Builds the register list from language-agnostic variables (the
+    /// output of `LowLevel::registers`).
+    pub fn from_registers(registers: &[Variable]) -> Self {
+        let regs = registers
+            .iter()
+            .map(|v| {
+                let n = match v.value().content() {
+                    state::Content::Primitive(state::Prim::Int(n)) => *n,
+                    _ => 0,
+                };
+                (v.name().to_owned(), n)
+            })
+            .collect();
+        MemView {
+            registers: regs,
+            ..MemView::default()
+        }
+    }
+
+    /// Adds memory rows from raw little-endian bytes starting at `base`.
+    #[must_use]
+    pub fn with_memory(mut self, base: u64, bytes: &[u8]) -> Self {
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.words.push((base + i as u64 * 4, u32::from_le_bytes(word)));
+        }
+        self
+    }
+
+    /// Adds an address highlight (builder style).
+    #[must_use]
+    pub fn with_highlight(mut self, addr: u64) -> Self {
+        self.highlights.push(addr);
+        self
+    }
+
+    /// Sets the title (builder style).
+    #[must_use]
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Renders as plain text: registers in four columns, then memory rows.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "== {t} ==");
+        }
+        for row in self.registers.chunks(4) {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|(n, v)| format!("{n:>4} = {v:<10}"))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(" "));
+        }
+        if !self.words.is_empty() {
+            let _ = writeln!(out, "memory:");
+            for (addr, word) in &self.words {
+                let marker = if self.highlights.contains(addr) {
+                    " <--"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  {addr:#08x}: {word:#010x} ({}){marker}", *word as i32);
+            }
+        }
+        out
+    }
+
+    /// Renders as SVG: registers table on the left, memory strip on the
+    /// right.
+    pub fn render_svg(&self) -> String {
+        const ROW: f64 = 16.0;
+        let mut doc = SvgDoc::new(560.0, 60.0);
+        let mut y = 20.0;
+        if let Some(t) = &self.title {
+            doc.text(20.0, y, 13.0, "start", "black", t);
+            y += 20.0;
+        }
+        let reg_top = y;
+        for (i, (name, value)) in self.registers.iter().enumerate() {
+            let ry = reg_top + i as f64 * ROW;
+            doc.rect(20.0, ry - 11.0, 220.0, ROW, "#f7f7fb", "#99a");
+            doc.text(26.0, ry, 10.0, "start", "#225", name);
+            doc.text(90.0, ry, 10.0, "start", "black", &value.to_string());
+            doc.text(
+                170.0,
+                ry,
+                10.0,
+                "start",
+                "#777",
+                &format!("{:#010x}", *value as u32),
+            );
+        }
+        for (i, (addr, word)) in self.words.iter().enumerate() {
+            let ry = reg_top + i as f64 * ROW;
+            let stroke = if self.highlights.contains(addr) {
+                "#c22"
+            } else {
+                "#9a9"
+            };
+            doc.rect(280.0, ry - 11.0, 250.0, ROW, "#f4faf4", stroke);
+            doc.text(286.0, ry, 10.0, "start", "#252", &format!("{addr:#08x}"));
+            doc.text(380.0, ry, 10.0, "start", "black", &format!("{word:#010x}"));
+            doc.text(480.0, ry, 10.0, "start", "#555", &(*word as i32).to_string());
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use state::{Location, Prim, Scope, Value};
+
+    fn sample() -> MemView {
+        MemView {
+            registers: vec![
+                ("zero".into(), 0),
+                ("sp".into(), 0x10000),
+                ("a0".into(), 42),
+            ],
+            ..MemView::default()
+        }
+        .with_memory(0x1000, &[1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff])
+        .with_highlight(0x1004)
+        .with_title("cpu state")
+    }
+
+    #[test]
+    fn text_renders_registers_and_memory() {
+        let text = sample().render_text();
+        assert!(text.contains("sp = 65536"));
+        assert!(text.contains("0x001000: 0x00000001 (1)"));
+        assert!(text.contains("0x001004: 0xffffffff (-1) <--"));
+    }
+
+    #[test]
+    fn svg_marks_highlights() {
+        let svg = sample().render_svg();
+        assert!(svg.contains("cpu state"));
+        assert!(svg.contains("#c22"));
+        assert!(svg.contains("0x001004"));
+    }
+
+    #[test]
+    fn from_register_variables() {
+        let regs = vec![Variable::new(
+            "a0",
+            Scope::Register,
+            Value::primitive(Prim::Int(7), "u32").with_location(Location::Register),
+        )];
+        let view = MemView::from_registers(&regs);
+        assert_eq!(view.registers, vec![("a0".into(), 7)]);
+    }
+
+    #[test]
+    fn odd_byte_lengths_pad() {
+        let view = MemView::default().with_memory(0, &[1, 2, 3, 4, 5]);
+        assert_eq!(view.words.len(), 2);
+        assert_eq!(view.words[1], (4, 5));
+    }
+}

@@ -1,0 +1,120 @@
+//! Source listings with a current-line marker, shown by every tool next
+//! to its diagram (the left pane of the paper's Fig. 1 and Fig. 7).
+
+use crate::svg::SvgDoc;
+use std::fmt::Write as _;
+
+/// Options for source rendering.
+#[derive(Debug, Clone, Default)]
+pub struct SourceView {
+    /// 1-based line to mark as current, if any.
+    pub current_line: Option<u32>,
+    /// 1-based lines carrying breakpoints (drawn with a dot).
+    pub breakpoints: Vec<u32>,
+    /// Title (usually the file name).
+    pub title: Option<String>,
+}
+
+impl SourceView {
+    /// Sets the current line (builder style).
+    #[must_use]
+    pub fn at_line(mut self, line: u32) -> Self {
+        self.current_line = Some(line);
+        self
+    }
+
+    /// Adds a breakpoint dot (builder style).
+    #[must_use]
+    pub fn with_breakpoint(mut self, line: u32) -> Self {
+        self.breakpoints.push(line);
+        self
+    }
+
+    /// Sets the title (builder style).
+    #[must_use]
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Renders as plain text with `=>` marking the current line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let text = viz::source::SourceView::default()
+    ///     .at_line(2)
+    ///     .render_text("a = 1\nb = 2\nc = 3");
+    /// assert!(text.contains("=>   2 | b = 2"));
+    /// ```
+    pub fn render_text(&self, source: &str) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "── {t} ──");
+        }
+        for (i, line) in source.lines().enumerate() {
+            let n = (i + 1) as u32;
+            let cur = if Some(n) == self.current_line { "=>" } else { "  " };
+            let bp = if self.breakpoints.contains(&n) { "●" } else { " " };
+            let _ = writeln!(out, "{cur}{bp}{n:>3} | {line}");
+        }
+        out
+    }
+
+    /// Renders as SVG with the current line highlighted.
+    pub fn render_svg(&self, source: &str) -> String {
+        const ROW: f64 = 15.0;
+        let lines: Vec<&str> = source.lines().collect();
+        let mut doc = SvgDoc::new(460.0, 30.0 + lines.len() as f64 * ROW);
+        let mut y = 18.0;
+        if let Some(t) = &self.title {
+            doc.text(14.0, y, 12.0, "start", "black", t);
+            y += 18.0;
+        }
+        for (i, line) in lines.iter().enumerate() {
+            let n = (i + 1) as u32;
+            let ly = y + i as f64 * ROW;
+            if Some(n) == self.current_line {
+                doc.rect(10.0, ly - 11.0, 440.0, ROW, "#fff3c4", "#e5c85a");
+            }
+            if self.breakpoints.contains(&n) {
+                doc.cross(16.0, ly - 4.0, 3.0, "#c22");
+            }
+            doc.text(26.0, ly, 10.0, "start", "#999", &format!("{n:>3}"));
+            doc.text(54.0, ly, 10.0, "start", "black", line);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int main() {\nint x = 1;\nreturn x;\n}";
+
+    #[test]
+    fn text_marks_current_and_breakpoints() {
+        let text = SourceView::default()
+            .at_line(2)
+            .with_breakpoint(3)
+            .with_title("t.c")
+            .render_text(SRC);
+        assert!(text.contains("── t.c ──"));
+        assert!(text.contains("=>   2 | int x = 1;"));
+        assert!(text.contains("●  3 | return x;"));
+    }
+
+    #[test]
+    fn svg_highlights_current_line() {
+        let svg = SourceView::default().at_line(3).render_svg(SRC);
+        assert!(svg.contains("#fff3c4"));
+        assert!(svg.contains("return x;"));
+    }
+
+    #[test]
+    fn no_marker_without_current_line() {
+        let text = SourceView::default().render_text(SRC);
+        assert!(!text.contains("=>"));
+    }
+}

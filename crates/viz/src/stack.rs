@@ -1,0 +1,516 @@
+//! Stack and stack-and-heap diagrams (paper Fig. 6).
+//!
+//! One renderer covers all three figure variants:
+//!
+//! * Fig. 6a — stack only, values inlined (`show_heap: false,
+//!   inline_values: true`): used to teach stack frames before references
+//!   are introduced;
+//! * Fig. 6b — stack and heap with reference arrows (MiniPy);
+//! * Fig. 6c — the same for MiniC, where values can live *on the stack*,
+//!   pointers can target the stack, and invalid pointers are drawn as a
+//!   cross.
+//!
+//! Arrows are resolved purely by address: a reference pointing at a heap
+//! object's address is drawn to that heap box; one pointing at another
+//! stack slot is drawn to that slot; anything else renders textually.
+
+use crate::svg::SvgDoc;
+use state::{AbstractType, Content, Frame, Location, Value, Variable};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options for the stack diagram renderers.
+#[derive(Debug, Clone)]
+pub struct StackDiagramOptions {
+    /// Draw the heap column and reference arrows.
+    pub show_heap: bool,
+    /// Render reference targets inline instead of as arrows (Fig. 6a).
+    pub inline_values: bool,
+    /// Include the globals box.
+    pub show_globals: bool,
+    /// Diagram title.
+    pub title: Option<String>,
+}
+
+impl Default for StackDiagramOptions {
+    fn default() -> Self {
+        StackDiagramOptions {
+            show_heap: true,
+            inline_values: false,
+            show_globals: true,
+            title: None,
+        }
+    }
+}
+
+impl StackDiagramOptions {
+    /// Fig. 6a preset: stack only, inlined values.
+    pub fn stack_only() -> Self {
+        StackDiagramOptions {
+            show_heap: false,
+            inline_values: true,
+            ..StackDiagramOptions::default()
+        }
+    }
+}
+
+/// A heap object discovered by walking the reachable values.
+#[derive(Debug, Clone)]
+struct HeapObject {
+    addr: u64,
+    value: Value,
+}
+
+/// Collects unique heap objects reachable from the frame chain and the
+/// globals, in discovery order.
+fn collect_heap(frame: &Frame, globals: &[Variable]) -> Vec<HeapObject> {
+    let mut seen = BTreeMap::new();
+    let mut order = Vec::new();
+    // Only *reference targets* become heap boxes: the elements inside an
+    // allocated block render inline within their block's box, while
+    // anything another pointer reaches becomes its own box.
+    let mut walk_value = |v: &Value| {
+        let mut stack = vec![v.clone()];
+        while let Some(v) = stack.pop() {
+            if v.abstract_type() == AbstractType::Ref {
+                if let Content::Ref(target) = v.content() {
+                    if target.location() == Location::Heap {
+                        if let Some(addr) = target.address() {
+                            if !seen.contains_key(&addr)
+                                && target.abstract_type() != AbstractType::None
+                            {
+                                seen.insert(addr, (**target).clone());
+                                order.push(addr);
+                            }
+                        }
+                    }
+                }
+            }
+            for child in v.children() {
+                stack.push(child.clone());
+            }
+        }
+    };
+    for f in frame.chain() {
+        for var in f.variables() {
+            walk_value(var.value());
+        }
+    }
+    for g in globals {
+        walk_value(g.value());
+    }
+    order
+        .into_iter()
+        .map(|addr| HeapObject {
+            addr,
+            value: seen[&addr].clone(),
+        })
+        .collect()
+}
+
+/// How a variable's cell renders: plain text, an arrow to an address, or
+/// an invalid-pointer cross.
+#[derive(Debug, Clone, PartialEq)]
+enum Cell {
+    Text(String),
+    ArrowTo(u64),
+    Invalid,
+}
+
+fn cell_for(value: &Value, opts: &StackDiagramOptions) -> Cell {
+    match value.abstract_type() {
+        AbstractType::Invalid => Cell::Invalid,
+        AbstractType::Ref => {
+            let Content::Ref(target) = value.content() else {
+                return Cell::Text(state::render_value(value));
+            };
+            if opts.inline_values {
+                return Cell::Text(state::render_value(target));
+            }
+            match target.address() {
+                Some(addr) if opts.show_heap => Cell::ArrowTo(addr),
+                Some(addr) => Cell::Text(format!("&{addr:#x}")),
+                None => Cell::Text(state::render_value(target)),
+            }
+        }
+        _ => Cell::Text(state::render_value(value)),
+    }
+}
+
+/// Renders the diagram as plain text (terminal tools, tests).
+///
+/// # Examples
+///
+/// ```
+/// use state::{Frame, Variable, Value, Prim, Scope, SourceLocation};
+/// let mut f = Frame::new("main", 0, SourceLocation::new("t.c", 3));
+/// f.insert_variable(Variable::new("x", Scope::Local, Value::primitive(Prim::Int(7), "int")));
+/// let text = viz::stack::render_text(&f, &[], &viz::stack::StackDiagramOptions::default());
+/// assert!(text.contains("main"));
+/// assert!(text.contains("x: 7"));
+/// ```
+pub fn render_text(frame: &Frame, globals: &[Variable], opts: &StackDiagramOptions) -> String {
+    let mut out = String::new();
+    if let Some(title) = &opts.title {
+        let _ = writeln!(out, "== {title} ==");
+    }
+    let frames: Vec<&Frame> = frame.chain().collect();
+    for f in frames.iter().rev() {
+        let _ = writeln!(out, "┌─ {} ({})", f.name(), f.location());
+        for var in f.variables() {
+            match cell_for(var.value(), opts) {
+                Cell::Text(t) => {
+                    let _ = writeln!(out, "│  {}: {}", var.name(), t);
+                }
+                Cell::ArrowTo(addr) => {
+                    let _ = writeln!(out, "│  {}: ──▶ [{addr:#x}]", var.name());
+                }
+                Cell::Invalid => {
+                    let _ = writeln!(out, "│  {}: ✗", var.name());
+                }
+            }
+        }
+        let _ = writeln!(out, "└─");
+    }
+    if opts.show_globals && !globals.is_empty() {
+        let _ = writeln!(out, "globals:");
+        for g in globals {
+            match cell_for(g.value(), opts) {
+                Cell::Text(t) => {
+                    let _ = writeln!(out, "  {}: {}", g.name(), t);
+                }
+                Cell::ArrowTo(addr) => {
+                    let _ = writeln!(out, "  {}: ──▶ [{addr:#x}]", g.name());
+                }
+                Cell::Invalid => {
+                    let _ = writeln!(out, "  {}: ✗", g.name());
+                }
+            }
+        }
+    }
+    if opts.show_heap {
+        let heap = collect_heap(frame, globals);
+        if !heap.is_empty() {
+            let _ = writeln!(out, "heap:");
+            for obj in heap {
+                let _ = writeln!(
+                    out,
+                    "  [{:#x}] {} = {}",
+                    obj.addr,
+                    obj.value.language_type(),
+                    state::render_value(&obj.value)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the diagram as SVG.
+pub fn render_svg(frame: &Frame, globals: &[Variable], opts: &StackDiagramOptions) -> String {
+    const ROW: f64 = 18.0;
+    const STACK_X: f64 = 20.0;
+    const STACK_W: f64 = 280.0;
+    const HEAP_X: f64 = 380.0;
+    const HEAP_W: f64 = 300.0;
+
+    let mut doc = SvgDoc::new(HEAP_X + HEAP_W + 40.0, 80.0);
+    let mut y = 20.0;
+    if let Some(title) = &opts.title {
+        doc.text(STACK_X, y, 14.0, "start", "black", title);
+        y += 26.0;
+    }
+
+    // Row anchor of each stack slot address, and pending arrows.
+    let mut slot_anchor: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    let mut arrows: Vec<((f64, f64), u64)> = Vec::new();
+
+    let frames: Vec<&Frame> = frame.chain().collect();
+    for f in frames.iter().rev() {
+        let nrows = f.variables().count().max(1) as f64;
+        let box_h = 22.0 + nrows * ROW;
+        doc.rect(STACK_X, y, STACK_W, box_h, "#f4f6fb", "#334");
+        doc.text(
+            STACK_X + 8.0,
+            y + 15.0,
+            12.0,
+            "start",
+            "#223",
+            &format!("{} — {}", f.name(), f.location()),
+        );
+        let mut ry = y + 22.0 + 13.0;
+        for var in f.variables() {
+            if let Some(addr) = var.value().address() {
+                slot_anchor.insert(addr, (STACK_X + STACK_W, ry - 4.0));
+            }
+            match cell_for(var.value(), opts) {
+                Cell::Text(t) => {
+                    let text = format!("{}: {}", var.name(), truncate(&t, 34));
+                    doc.text(STACK_X + 12.0, ry, 11.0, "start", "black", &text);
+                }
+                Cell::ArrowTo(addr) => {
+                    doc.text(
+                        STACK_X + 12.0,
+                        ry,
+                        11.0,
+                        "start",
+                        "black",
+                        &format!("{}: ●", var.name()),
+                    );
+                    arrows.push(((STACK_X + STACK_W - 10.0, ry - 4.0), addr));
+                }
+                Cell::Invalid => {
+                    doc.text(
+                        STACK_X + 12.0,
+                        ry,
+                        11.0,
+                        "start",
+                        "black",
+                        &format!("{}:", var.name()),
+                    );
+                    doc.cross(STACK_X + 90.0, ry - 4.0, 5.0, "#c00");
+                }
+            }
+            ry += ROW;
+        }
+        y += box_h + 14.0;
+    }
+
+    if opts.show_globals && !globals.is_empty() {
+        let nrows = globals.len() as f64;
+        let box_h = 22.0 + nrows * ROW;
+        doc.rect(STACK_X, y, STACK_W, box_h, "#fbf6ee", "#553");
+        doc.text(STACK_X + 8.0, y + 15.0, 12.0, "start", "#432", "globals");
+        let mut ry = y + 22.0 + 13.0;
+        for g in globals {
+            if let Some(addr) = g.value().address() {
+                slot_anchor.insert(addr, (STACK_X + STACK_W, ry - 4.0));
+            }
+            match cell_for(g.value(), opts) {
+                Cell::Text(t) => {
+                    doc.text(
+                        STACK_X + 12.0,
+                        ry,
+                        11.0,
+                        "start",
+                        "black",
+                        &format!("{}: {}", g.name(), truncate(&t, 34)),
+                    );
+                }
+                Cell::ArrowTo(addr) => {
+                    doc.text(
+                        STACK_X + 12.0,
+                        ry,
+                        11.0,
+                        "start",
+                        "black",
+                        &format!("{}: ●", g.name()),
+                    );
+                    arrows.push(((STACK_X + STACK_W - 10.0, ry - 4.0), addr));
+                }
+                Cell::Invalid => {
+                    doc.text(
+                        STACK_X + 12.0,
+                        ry,
+                        11.0,
+                        "start",
+                        "black",
+                        &format!("{}:", g.name()),
+                    );
+                    doc.cross(STACK_X + 90.0, ry - 4.0, 5.0, "#c00");
+                }
+            }
+            ry += ROW;
+        }
+        let _ = y; // globals box is the last stack-column element
+        y += box_h + 14.0;
+        doc.ensure(STACK_X, y);
+    }
+
+    // Heap column.
+    let mut heap_anchor: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    if opts.show_heap {
+        let mut hy = 20.0;
+        for obj in collect_heap(frame, globals) {
+            let text = state::render_value(&obj.value);
+            let box_h = 44.0;
+            doc.rect(HEAP_X, hy, HEAP_W, box_h, "#eef8ef", "#252");
+            doc.text(
+                HEAP_X + 8.0,
+                hy + 15.0,
+                11.0,
+                "start",
+                "#141",
+                &format!("{} @ {:#x}", obj.value.language_type(), obj.addr),
+            );
+            doc.text(
+                HEAP_X + 8.0,
+                hy + 33.0,
+                11.0,
+                "start",
+                "black",
+                &truncate(&text, 42),
+            );
+            heap_anchor.insert(obj.addr, (HEAP_X, hy + box_h / 2.0));
+            hy += box_h + 12.0;
+        }
+    }
+
+    // Arrows, resolved by address: heap boxes first, then stack slots.
+    for ((x, yy), target) in arrows {
+        if let Some(&(hx, hyy)) = heap_anchor.get(&target) {
+            doc.arrow(x, yy, hx, hyy, "#36c");
+        } else if let Some(&(sx, syy)) = slot_anchor.get(&target) {
+            doc.arrow(x, yy, sx + 6.0, syy, "#c63");
+        } else {
+            doc.text(x, yy, 10.0, "start", "#666", &format!("{target:#x}"));
+        }
+    }
+    doc.finish()
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let mut out: String = s.chars().take(max.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use state::{Prim, Scope, SourceLocation};
+
+    fn frame_with(vars: Vec<(&str, Value)>) -> Frame {
+        let mut f = Frame::new("main", 0, SourceLocation::new("t.c", 5));
+        for (n, v) in vars {
+            f.insert_variable(Variable::new(n, Scope::Local, v));
+        }
+        f
+    }
+
+    #[test]
+    fn text_inlines_or_arrows_by_option() {
+        let heap_list = Value::list(
+            vec![
+                Value::primitive(Prim::Int(1), "int"),
+                Value::primitive(Prim::Int(2), "int"),
+            ],
+            "list",
+        )
+        .with_location(Location::Heap)
+        .with_address(0x5000);
+        let f = frame_with(vec![(
+            "xs",
+            Value::reference(heap_list, "ref[list]").with_address(0x100),
+        )]);
+
+        let inline = render_text(&f, &[], &StackDiagramOptions::stack_only());
+        assert!(inline.contains("xs: [1, 2]"));
+        assert!(!inline.contains("heap:"));
+
+        let arrows = render_text(&f, &[], &StackDiagramOptions::default());
+        assert!(arrows.contains("xs: ──▶ [0x5000]"));
+        assert!(arrows.contains("heap:"));
+        assert!(arrows.contains("[0x5000] list = [1, 2]"));
+    }
+
+    #[test]
+    fn invalid_pointers_marked() {
+        let f = frame_with(vec![("p", Value::invalid("int*").with_address(0x10))]);
+        let text = render_text(&f, &[], &StackDiagramOptions::default());
+        assert!(text.contains("p: ✗"));
+        let svg = render_svg(&f, &[], &StackDiagramOptions::default());
+        // The cross renders as two crossing lines in red.
+        assert!(svg.contains("#c00"));
+    }
+
+    #[test]
+    fn svg_draws_frames_globals_and_heap_arrows() {
+        let heap_obj = Value::structure(
+            vec![("v".into(), Value::primitive(Prim::Int(9), "int"))],
+            "Node",
+        )
+        .with_location(Location::Heap)
+        .with_address(0x7000);
+        let f = frame_with(vec![(
+            "n",
+            Value::reference(heap_obj, "Node*").with_address(0x200),
+        )]);
+        let globals = vec![Variable::new(
+            "g",
+            Scope::Global,
+            Value::primitive(Prim::Int(3), "int").with_address(0x1000),
+        )];
+        let svg = render_svg(&f, &globals, &StackDiagramOptions::default());
+        assert!(svg.contains("main — t.c:5"));
+        assert!(svg.contains("globals"));
+        assert!(svg.contains("Node @ 0x7000"));
+        assert!(svg.contains("g: 3"));
+        // Arrow from the slot toward the heap box.
+        assert!(svg.contains("#36c"));
+    }
+
+    #[test]
+    fn stack_to_stack_arrows() {
+        // C-style: q points at x's stack slot (Fig. 6c).
+        let x = Value::primitive(Prim::Int(5), "int")
+            .with_location(Location::Stack)
+            .with_address(0x7fff0);
+        let q_target = x.clone();
+        let f = frame_with(vec![
+            ("x", x),
+            (
+                "q",
+                Value::reference(q_target, "int*").with_address(0x7ffe0),
+            ),
+        ]);
+        let svg = render_svg(&f, &[], &StackDiagramOptions::default());
+        assert!(svg.contains("#c63"), "stack-target arrow color present");
+    }
+
+    #[test]
+    fn parent_frames_render_above() {
+        let mut outer = Frame::new("main", 0, SourceLocation::new("t.c", 9));
+        outer.insert_variable(Variable::new(
+            "total",
+            Scope::Local,
+            Value::primitive(Prim::Int(10), "int"),
+        ));
+        let inner = {
+            let mut f = Frame::new("helper", 1, SourceLocation::new("t.c", 2));
+            f.insert_variable(Variable::new(
+                "x",
+                Scope::Local,
+                Value::primitive(Prim::Int(1), "int"),
+            ));
+            f.set_parent(outer);
+            f
+        };
+        let text = render_text(&inner, &[], &StackDiagramOptions::default());
+        let main_pos = text.find("main").unwrap();
+        let helper_pos = text.find("helper").unwrap();
+        assert!(main_pos < helper_pos, "outermost frame first");
+    }
+
+    #[test]
+    fn long_values_truncated_in_svg() {
+        let long_list = Value::list(
+            (0..100)
+                .map(|i| Value::primitive(Prim::Int(i), "int"))
+                .collect(),
+            "list",
+        )
+        .with_location(Location::Heap)
+        .with_address(0x9000);
+        let f = frame_with(vec![(
+            "big",
+            Value::reference(long_list, "ref[list]").with_address(0x300),
+        )]);
+        let svg = render_svg(&f, &[], &StackDiagramOptions::default());
+        assert!(svg.contains('…'));
+    }
+}

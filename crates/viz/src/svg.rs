@@ -1,0 +1,129 @@
+//! A minimal SVG document builder.
+//!
+//! Only the features the diagram renderers need: rectangles, lines,
+//! text, polylines with arrowheads, and groups. Text is XML-escaped.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgDoc {
+    /// Creates a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Grows the canvas if needed so `(x, y)` is inside it (plus margin).
+    pub fn ensure(&mut self, x: f64, y: f64) {
+        self.width = self.width.max(x + 10.0);
+        self.height = self.height.max(y + 10.0);
+    }
+
+    /// Adds a filled, stroked rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str) {
+        self.ensure(x + w, y + h);
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}" stroke="{stroke}"/>"#
+        );
+    }
+
+    /// Adds a text label (`anchor`: start/middle/end).
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
+        self.ensure(x, y);
+        let content = escape(content);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.1}" font-family="monospace" text-anchor="{anchor}" fill="{fill}">{content}</text>"#
+        );
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.ensure(x1.max(x2), y1.max(y2));
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width:.1}"/>"#
+        );
+    }
+
+    /// Adds an arrow from `(x1, y1)` to `(x2, y2)` with a small head.
+    pub fn arrow(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        self.line(x1, y1, x2, y2, stroke, 1.5);
+        // Arrowhead: two short lines at the target.
+        let dx = x2 - x1;
+        let dy = y2 - y1;
+        let len = (dx * dx + dy * dy).sqrt().max(0.001);
+        let (ux, uy) = (dx / len, dy / len);
+        let (px, py) = (-uy, ux);
+        let hx = x2 - ux * 8.0;
+        let hy = y2 - uy * 8.0;
+        self.line(x2, y2, hx + px * 4.0, hy + py * 4.0, stroke, 1.5);
+        self.line(x2, y2, hx - px * 4.0, hy - py * 4.0, stroke, 1.5);
+    }
+
+    /// Adds a cross (used for invalid pointers).
+    pub fn cross(&mut self, x: f64, y: f64, r: f64, stroke: &str) {
+        self.line(x - r, y - r, x + r, y + r, stroke, 2.0);
+        self.line(x - r, y + r, x + r, y - r, stroke, 2.0);
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_wellformed_document() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.rect(5.0, 5.0, 20.0, 10.0, "#eee", "black");
+        doc.text(10.0, 12.0, 10.0, "start", "black", "x < 3 & \"ok\"");
+        doc.arrow(0.0, 0.0, 30.0, 30.0, "blue");
+        doc.cross(50.0, 25.0, 5.0, "red");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("&lt; 3 &amp; &quot;ok&quot;"));
+        assert_eq!(svg.matches("<rect").count(), 2); // background + rect
+    }
+
+    #[test]
+    fn canvas_grows_to_fit() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.rect(0.0, 0.0, 500.0, 300.0, "none", "black");
+        let svg = doc.finish();
+        assert!(svg.contains("width=\"510\""));
+        assert!(svg.contains("height=\"310\""));
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+}

@@ -1,0 +1,45 @@
+//! The debugging game (paper §III-D, Fig. 9).
+//!
+//! The shipped level program has a bug: `check_key` never records the
+//! key pickup, so the door stays closed. The game controller runs the
+//! level under EasyTracker, animates the character from watchpoint hits,
+//! and produces incremental hints from live inspection. This example
+//! plays the buggy version (losing, with hints) and then the fixed
+//! version (winning) — simulating the player's edit.
+//!
+//! Run with: `cargo run --example debugging_game`
+
+use game::{Game, Level};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let level = Level::level_one();
+    let game = Game::new(level.clone());
+    println!("=== {} ===", level.name);
+    println!("{}", level.map);
+
+    println!("--- attempt 1: the program as shipped ---");
+    let report = game.play(&level.buggy_source)?;
+    for (i, frame) in report.frames.iter().enumerate() {
+        println!(
+            "move {}: ({}, {}) key={} door={}",
+            i + 1,
+            frame.x,
+            frame.y,
+            frame.has_key,
+            frame.door_open
+        );
+    }
+    println!("{report}");
+
+    println!("--- the player inspects check_key and fixes it ---");
+    let fixed = level
+        .buggy_source
+        .replace("/* BUG: the key is never picked up */", "has_key = 1;");
+    let report = game.play(&fixed)?;
+    if let Some(last) = report.frames.last() {
+        println!("{}", game.render_frame(last));
+    }
+    println!("{report}");
+    assert!(report.won);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The loop-invariant array visualization (paper §I, Fig. 1).
+//!
+//! Watches an insertion sort and renders the array after every line with
+//! the `i`/`j` indices marked and the already-sorted prefix highlighted —
+//! the exact classroom visualization of the paper's Fig. 1.
+//!
+//! Run with: `cargo run --example loop_invariant`
+
+use easytracker::{init_tracker, Content, Value};
+use viz::array::ArrayView;
+
+const SORT: &str = "\
+def insertion_sort(a):
+    i = 1
+    while i < len(a):
+        j = i
+        while j > 0 and a[j - 1] > a[j]:
+            a[j - 1], a[j] = a[j], a[j - 1]
+            j = j - 1
+        i = i + 1
+    return a
+data = [5, 2, 4, 6, 1, 3]
+insertion_sort(data)
+";
+
+fn int_of(v: &Value) -> Option<usize> {
+    match v.deref_fully().content() {
+        Content::Primitive(state::Prim::Int(n)) if *n >= 0 => Some(*n as usize),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/easytracker-out");
+    std::fs::create_dir_all(out_dir)?;
+    let mut tracker = init_tracker("sort.py", SORT)?;
+    tracker.start()?;
+    let mut img = 0usize;
+    let mut last = String::new();
+    while tracker.get_exit_code().is_none() {
+        let frame = tracker.get_current_frame()?;
+        // Show only while inside insertion_sort, like striking Enter in
+        // the classroom demo.
+        if frame.name() == "insertion_sort" {
+            if let Some(a) = frame.variable("a") {
+                let mut view = ArrayView::from_value(a.value().deref_fully())
+                    .with_title(format!("insertion sort — line {}", frame.location().line()));
+                if let Some(i) = frame.variable("i").and_then(|v| int_of(v.value())) {
+                    view = view.with_marker("i", i).with_highlight(0..i);
+                }
+                if let Some(j) = frame.variable("j").and_then(|v| int_of(v.value())) {
+                    view = view.with_marker("j", j);
+                }
+                img += 1;
+                std::fs::write(
+                    out_dir.join(format!("fig1.{img:03}.array.svg")),
+                    view.render_svg(),
+                )?;
+                last = view.render_text();
+            }
+        }
+        tracker.step()?;
+    }
+    tracker.terminate();
+    println!("wrote {img} array frames to target/easytracker-out/");
+    println!("final frame:\n{last}");
+    Ok(())
+}

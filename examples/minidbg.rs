@@ -1,0 +1,186 @@
+//! `minidbg` — an interactive command-line debugger over the EasyTracker
+//! API, for any supported inferior (MiniC, MiniPy, RISC-V, recordings).
+//!
+//! This is the kind of tool the paper says teachers should *not* have to
+//! build from scratch: with the Tracker API it is a command loop and some
+//! printing. Reads commands from stdin, so it scripts cleanly:
+//!
+//! ```text
+//! echo 'b 6
+//! c
+//! p x
+//! bt
+//! c
+//! q' | cargo run --example minidbg            # demo program
+//! cargo run --example minidbg prog.c          # your own file
+//! ```
+//!
+//! Commands: `s`tep, `n`ext, `f`inish, `c`ontinue, `b <line>`,
+//! `bf <func> [maxdepth]`, `t <func>` (track), `w <var>` (watch),
+//! `p <var>` (print), `bt` (backtrace), `l`ist, `regs`, `o`utput, `q`uit.
+
+use easytracker::{init_tracker, PauseReason, Tracker};
+use std::io::{self, BufRead, Write};
+
+const DEMO: &str = "\
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 1)
+x = fact(4)
+print('4! =', x)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let (file, source) = match args.get(1) {
+        Some(path) => (path.clone(), std::fs::read_to_string(path)?),
+        None => ("demo.py".to_owned(), DEMO.to_owned()),
+    };
+    let mut t = init_tracker(&file, &source)?;
+    let reason = t.start()?;
+    println!("{file}: started ({reason})");
+    print_position(t.as_mut(), &source);
+
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("(minidbg) ");
+            io::stdout().flush()?;
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let reason = match parts.as_slice() {
+            [] => continue,
+            ["q"] | ["quit"] => break,
+            ["s"] | ["step"] => Some(t.step()),
+            ["n"] | ["next"] => Some(t.next()),
+            ["f"] | ["finish"] => Some(t.finish()),
+            ["c"] | ["continue"] => Some(t.resume()),
+            ["b", line_no] => {
+                report_created(t.break_before_line(line_no.parse().unwrap_or(0)));
+                None
+            }
+            ["bf", func] => {
+                report_created(t.break_before_func(func, None));
+                None
+            }
+            ["bf", func, depth] => {
+                report_created(t.break_before_func(func, depth.parse().ok()));
+                None
+            }
+            ["t", func] => {
+                report_created(t.track_function(func, None));
+                None
+            }
+            ["w", var] => {
+                report_created(t.watch(var));
+                None
+            }
+            ["p", var] => {
+                match t.get_variable(var) {
+                    Ok(Some(v)) => println!(
+                        "{} = {}  ({}, {})",
+                        v.name(),
+                        state::render_value(v.value().deref_fully()),
+                        v.value().language_type(),
+                        v.scope()
+                    ),
+                    Ok(None) => println!("no variable `{var}`"),
+                    Err(e) => println!("error: {e}"),
+                }
+                None
+            }
+            ["bt"] => {
+                match t.get_current_frame() {
+                    Ok(frame) => {
+                        for (i, f) in frame.chain().enumerate() {
+                            println!("#{i} {} at {}", f.name(), f.location());
+                            for var in f.variables() {
+                                println!(
+                                    "    {} = {}",
+                                    var.name(),
+                                    state::render_value(var.value().deref_fully())
+                                );
+                            }
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+                None
+            }
+            ["l"] | ["list"] => {
+                print_position(t.as_mut(), &source);
+                None
+            }
+            ["regs"] => {
+                match t.low_level() {
+                    Some(low) => match low.registers() {
+                        Ok(regs) => {
+                            for r in regs {
+                                print!("{}={} ", r.name(), state::render_value(r.value()));
+                            }
+                            println!();
+                        }
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("this tracker has no register access"),
+                }
+                None
+            }
+            ["o"] | ["output"] => {
+                print!("{}", t.get_output().unwrap_or_default());
+                None
+            }
+            other => {
+                println!("unknown command {other:?} — s n f c b bf t w p bt l regs o q");
+                None
+            }
+        };
+        if let Some(result) = reason {
+            match result {
+                Ok(reason) => {
+                    println!("{reason}");
+                    if let PauseReason::Exited(_) = reason {
+                        print!("{}", t.get_output().unwrap_or_default());
+                        println!("inferior finished (exit code {:?})", t.get_exit_code());
+                    } else {
+                        print_position(t.as_mut(), &source);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+    t.terminate();
+    Ok(())
+}
+
+fn report_created(r: easytracker::Result<u64>) {
+    match r {
+        Ok(id) => println!("control point {id} set"),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn print_position(t: &mut dyn Tracker, source: &str) {
+    if let Some(line) = t.current_line() {
+        let view = viz::source::SourceView::default().at_line(line);
+        let text = view.render_text(source);
+        // Show a 5-line window around the current line.
+        let lo = line.saturating_sub(3) as usize;
+        for l in text.lines().skip(lo).take(5) {
+            println!("{l}");
+        }
+    }
+}
+
+/// Crude interactivity check without platform crates: scripts set
+/// MINIDBG_BATCH=1 or just pipe stdin (prompts are harmless either way).
+fn atty_stdin() -> bool {
+    std::env::var_os("MINIDBG_BATCH").is_none()
+}

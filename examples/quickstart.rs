@@ -1,0 +1,109 @@
+//! Quickstart: the EasyTracker API in one tour.
+//!
+//! Runs the same control-and-inspect loop over three inferiors — a MiniC
+//! program, a MiniPy program, and a RISC-V assembly program — using the
+//! single language-agnostic `Tracker` API (the paper's core claim).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use easytracker::{init_tracker, PauseReason};
+
+const C_PROG: &str = "\
+int fib(int n) {
+if (n < 2) { return n; }
+return fib(n - 1) + fib(n - 2);
+}
+int main() {
+int r = fib(6);
+printf(\"fib(6) = %d\\n\", r);
+return r;
+}
+";
+
+const PY_PROG: &str = "\
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+r = fib(6)
+print('fib(6) =', r)
+";
+
+const ASM_PROG: &str = "\
+main:
+    li a0, 6
+    call fib
+    li a7, 93
+    ecall
+fib:
+    li t0, 2
+    blt a0, t0, base
+    addi sp, sp, -12
+    sw ra, 8(sp)
+    sw a0, 4(sp)
+    addi a0, a0, -1
+    call fib
+    sw a0, 0(sp)
+    lw a0, 4(sp)
+    addi a0, a0, -2
+    call fib
+    lw t1, 0(sp)
+    add a0, a0, t1
+    lw ra, 8(sp)
+    addi sp, sp, 12
+    ret
+base:
+    ret
+";
+
+/// The language-agnostic controller (the paper's Listing 6 shape): track
+/// the recursive function, count calls, report returns.
+fn demo(file: &str, source: &str, function: &str) -> Result<(), easytracker::TrackerError> {
+    println!("──── {file} ────");
+    let mut tracker = init_tracker(file, source)?;
+    tracker.start()?;
+    tracker.track_function(function, None)?;
+    let mut calls = 0;
+    loop {
+        match tracker.resume()? {
+            PauseReason::FunctionCall { function, depth } => {
+                calls += 1;
+                println!("  call  {function} at depth {depth}");
+            }
+            PauseReason::FunctionReturn {
+                function,
+                return_value,
+                ..
+            } => {
+                println!(
+                    "  return {function} -> {}",
+                    return_value.unwrap_or_else(|| "?".into())
+                );
+            }
+            PauseReason::Exited(status) => {
+                println!("  exited: {status:?}");
+                break;
+            }
+            other => println!("  paused: {other}"),
+        }
+        if calls > 40 {
+            // Keep the demo output short.
+            tracker.resume()?;
+            break;
+        }
+    }
+    let out = tracker.get_output()?;
+    if !out.is_empty() {
+        print!("  program output: {out}");
+    }
+    tracker.terminate();
+    Ok(())
+}
+
+fn main() -> Result<(), easytracker::TrackerError> {
+    demo("fib.c", C_PROG, "fib")?;
+    demo("fib.py", PY_PROG, "fib")?;
+    demo("fib.s", ASM_PROG, "fib")?;
+    println!("\nOne controller, three languages — that is EasyTracker's API.");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Reverse debugging on a recording (paper §V: the RR-tracker direction).
+//!
+//! Records a buggy binary-search run once, then debugs it *backwards*:
+//! starting from the bad final state, `resume_back` over a watchpoint on
+//! the `lo`/`hi` bounds walks the investigator back through every state
+//! change until the iteration where the invariant broke.
+//!
+//! Run with: `cargo run --example reverse_debugging`
+
+use easytracker::{PauseReason, PyTracker, Recording, ReplayTracker, Tracker};
+
+/// Binary search with the classic `hi = mid` / `hi = mid - 1` bug that
+/// makes it miss the last element.
+const PROG: &str = "\
+def bsearch(a, x):
+    lo = 0
+    hi = len(a) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return lo
+data = [2, 4, 6, 8, 10, 12]
+idx = bsearch(data, 10)
+print(idx)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Record the run live.
+    let mut live = PyTracker::load("bsearch.py", PROG)?;
+    let recording = Recording::capture(&mut live)?;
+    live.terminate();
+    println!(
+        "recorded {} steps; program printed: {:?}",
+        recording.len(),
+        recording
+            .steps
+            .iter()
+            .map(|s| s.output_delta.as_str())
+            .collect::<String>()
+            .trim()
+    );
+
+    // 2. Jump to the end and debug backwards.
+    let mut t = ReplayTracker::new(recording);
+    t.start()?;
+    while t.get_exit_code().is_none() {
+        t.step()?;
+    }
+    println!("\nat program end; reverse-stepping through the search bounds:");
+    t.watch("bsearch::lo")?;
+    t.watch("bsearch::hi")?;
+    let mut moves = 0;
+    loop {
+        match t.resume_back()? {
+            PauseReason::Watchpoint { variable, old, new, .. } => {
+                moves += 1;
+                let line = t.current_line().unwrap_or(0);
+                // Note the reversed reading: going backwards, `new` is the
+                // later-in-time value we are *leaving*.
+                println!(
+                    "  back to line {line}: {variable} became {new} (was {})",
+                    old.unwrap_or_else(|| "unset".into())
+                );
+                let frame = t.get_current_frame()?;
+                if let (Some(lo), Some(hi)) = (frame.variable("lo"), frame.variable("hi")) {
+                    let lo = state::render_value(lo.value().deref_fully());
+                    let hi = state::render_value(hi.value().deref_fully());
+                    if lo > hi {
+                        println!("    !! lo > hi here ({lo} > {hi}) — the window collapsed past the target");
+                    }
+                }
+            }
+            PauseReason::Started => break,
+            other => println!("  {other}"),
+        }
+        if moves > 20 {
+            break;
+        }
+    }
+    println!("\n{moves} bound changes replayed in reverse — the `hi = mid - 1` branch drops the answer.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The RISC-V registers and memory viewer (paper §III-B, Fig. 7).
+//!
+//! Steps an assembly program line by line and, at each pause, reads the
+//! register file and raw memory through the low-level interface (the
+//! paper's `get_registers_gdb` / `get_value_at_gdb`) to render the Fig. 7
+//! side-by-side view: source with the current line marked, registers, and
+//! memory as a one-dimensional array of words.
+//!
+//! Run with: `cargo run --example riscv_viewer`
+
+use easytracker::init_tracker;
+use viz::memview::MemView;
+use viz::source::SourceView;
+
+const PROG: &str = "\
+.data
+vec: .word 4, 8, 15, 16, 23, 42
+.text
+main:
+    la t0, vec          # t0 = &vec
+    li t1, 0            # sum
+    li t2, 0            # i
+loop:
+    li t3, 6
+    bge t2, t3, done
+    slli t4, t2, 2
+    add t4, t4, t0
+    lw t5, 0(t4)
+    add t1, t1, t5
+    addi t2, t2, 1
+    j loop
+done:
+    mv a0, t1
+    li a7, 93
+    ecall
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/easytracker-out");
+    std::fs::create_dir_all(out_dir)?;
+    let mut tracker = init_tracker("vecsum.s", PROG)?;
+    tracker.start()?;
+    let (_, source) = tracker.get_source()?;
+    let mut shot = 0usize;
+    let mut last = String::new();
+    while tracker.get_exit_code().is_none() {
+        let line = tracker.current_line().unwrap_or(0);
+        let low = tracker.low_level().expect("assembly tracker is low-level");
+        let regs = low.registers()?;
+        // The data segment holds `vec`; show its six words.
+        let data = low.read_memory(0x40, 64)?;
+        let view = MemView::from_registers(&regs)
+            .with_memory(0x40, &data[..24.min(data.len())])
+            .with_title(format!("vecsum.s — line {line}"));
+        let src_view = SourceView::default().at_line(line).with_title("vecsum.s");
+        shot += 1;
+        std::fs::write(
+            out_dir.join(format!("fig7.{shot:03}.cpu.svg")),
+            view.render_svg(),
+        )?;
+        std::fs::write(
+            out_dir.join(format!("fig7.{shot:03}.src.svg")),
+            src_view.render_svg(&source),
+        )?;
+        last = format!("{}\n{}", src_view.render_text(&source), view.render_text());
+        tracker.step()?;
+    }
+    println!("{last}");
+    println!("exit code: {:?}", tracker.get_exit_code());
+    println!("wrote {shot} register/memory snapshots to target/easytracker-out/");
+    tracker.terminate();
+    Ok(())
+}

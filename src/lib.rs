@@ -1,0 +1,25 @@
+//! Umbrella crate of the EasyTracker reproduction workspace: hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`), and re-exports the member crates so examples can name them
+//! uniformly.
+//!
+//! Start with [`easytracker`] — the paper's contribution — then see the
+//! examples:
+//!
+//! * `quickstart` — one controller, three inferior languages;
+//! * `stack_heap`, `loop_invariant`, `recursion_tree`, `riscv_viewer`,
+//!   `debugging_game`, `pt_export` — the paper's §III tools (Figs. 1,
+//!   6–10);
+//! * `minidbg` — an interactive command-line debugger over the API;
+//! * `reverse_debugging`, `lockstep_equivalence` — the §V future-work
+//!   extensions.
+
+pub use easytracker;
+pub use game;
+pub use mi;
+pub use miniasm;
+pub use minic;
+pub use minipy;
+pub use pttrace;
+pub use state;
+pub use viz;

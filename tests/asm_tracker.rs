@@ -1,0 +1,87 @@
+//! The RISC-V inferior through the public `Tracker` API: register and
+//! memory watchpoints, low-level access, and the Fig. 7 viewing loop.
+
+use easytracker::{init_tracker, PauseReason};
+
+const PROG: &str = "\
+.data
+total: .word 0
+.text
+main:
+    li t0, 0          # i
+    la t1, total
+loop:
+    li t2, 5
+    bge t0, t2, done
+    lw t3, 0(t1)
+    add t3, t3, t0
+    sw t3, 0(t1)
+    addi t0, t0, 1
+    j loop
+done:
+    lw a0, 0(t1)
+    li a7, 93
+    ecall
+";
+
+#[test]
+fn register_watch_through_the_api() {
+    let mut t = init_tracker("w.s", PROG).unwrap();
+    t.start().unwrap();
+    t.watch("t0").unwrap();
+    let mut values = Vec::new();
+    loop {
+        match t.resume().unwrap() {
+            PauseReason::Watchpoint { variable, new, .. } => {
+                assert_eq!(variable, "t0");
+                values.push(new.parse::<i64>().unwrap());
+            }
+            PauseReason::Exited(status) => {
+                assert_eq!(status.code(), Some(10)); // 0+1+2+3+4
+                break;
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+    assert_eq!(values, vec![1, 2, 3, 4, 5]);
+    t.terminate();
+}
+
+#[test]
+fn data_label_memory_watch_through_the_api() {
+    let mut t = init_tracker("w.s", PROG).unwrap();
+    t.start().unwrap();
+    t.watch("total").unwrap();
+    let mut hits = 0;
+    loop {
+        match t.resume().unwrap() {
+            PauseReason::Watchpoint { .. } => hits += 1,
+            PauseReason::Exited(_) => break,
+            other => panic!("unexpected {other}"),
+        }
+    }
+    // total changes on the stores where i > 0 (0+0 leaves it unchanged).
+    assert_eq!(hits, 4);
+    t.terminate();
+}
+
+#[test]
+fn low_level_viewer_loop() {
+    let mut t = init_tracker("w.s", PROG).unwrap();
+    t.start().unwrap();
+    let mut snapshots = 0;
+    while t.get_exit_code().is_none() {
+        let low = t.low_level().expect("asm tracker is low-level");
+        let regs = low.registers().unwrap();
+        assert_eq!(regs.len(), 33);
+        let mem = low.read_memory(0, 64).unwrap();
+        assert_eq!(mem.len(), 64);
+        snapshots += 1;
+        t.step().unwrap();
+    }
+    assert!(snapshots > 10);
+    // Final value of `total` readable from memory via its label.
+    let v = t.get_variable("total").unwrap().unwrap();
+    assert_eq!(state::render_value(v.value()), "10");
+    t.terminate();
+}

@@ -1,0 +1,505 @@
+//! Property-based tests spanning the substrates: expression semantics
+//! checked against a reference evaluator for both languages, state-model
+//! serialization, allocator invariants under random workloads, and
+//! record/replay equivalence.
+
+use proptest::prelude::*;
+use state::{Location, Prim, Value};
+
+// ---------------------------------------------------------------------------
+// A tiny reference expression language, rendered to MiniC and MiniPy.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    /// Program variable by index (differential tests only; `usize::MAX`
+    /// is the loop-counter placeholder).
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    /// Reference semantics (wrapping like both our VMs at i64 width;
+    /// values stay far from overflow by construction).
+    fn eval(&self) -> i64 {
+        match self {
+            E::Lit(v) => *v as i64,
+            E::Var(_) => unreachable!("arb_expr never generates variables"),
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            E::Neg(a) => a.eval().wrapping_neg(),
+        }
+    }
+
+    /// Renders with full parentheses (valid in both languages).
+    fn render(&self) -> String {
+        match self {
+            E::Lit(v) => format!("({v})"),
+            E::Var(_) => unreachable!("arb_expr never generates variables"),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Neg(a) => format!("(-{})", a.render()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-50i32..50).prop_map(E::Lit);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn run_minic(expr: &str) -> i64 {
+    // Compute in `long` and take a residue so any i32 exit-code concerns
+    // disappear: return ((v % 1000) + 1000) % 1000.
+    let src = format!(
+        "int main() {{ long v = {expr}; return (int)(((v % 1000) + 1000) % 1000); }}"
+    );
+    let program = minic::compile("prop.c", &src).expect("compiles");
+    minic::vm::Vm::new(&program)
+        .run_to_completion()
+        .expect("runs")
+}
+
+fn run_minipy(expr: &str) -> i64 {
+    let src = format!("print((({expr}) % 1000 + 1000) % 1000)");
+    let out = minipy::run_source(&src, &mut minipy::NullTracer).expect("runs");
+    out.output.trim().parse().expect("integer output")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MiniC evaluates integer arithmetic exactly like the reference.
+    #[test]
+    fn minic_matches_reference(e in arb_expr()) {
+        let expected = ((e.eval() % 1000) + 1000) % 1000;
+        prop_assert_eq!(run_minic(&e.render()), expected);
+    }
+
+    /// MiniPy agrees too (Python's `%` on positives matches here since the
+    /// programs normalize into [0, 1000)).
+    #[test]
+    fn minipy_matches_reference(e in arb_expr()) {
+        let expected = ((e.eval() % 1000) + 1000) % 1000;
+        prop_assert_eq!(run_minipy(&e.render()), expected);
+    }
+
+    /// And therefore the two languages agree with each other — the
+    /// cross-language consistency the language-agnostic API relies on.
+    #[test]
+    fn languages_agree(e in arb_expr()) {
+        prop_assert_eq!(run_minic(&e.render()), run_minipy(&e.render()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State model: arbitrary value trees round-trip through JSON.
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(|v| Value::primitive(Prim::Int(v), "int")),
+        // Finite floats only: NaN breaks equality, infinities break JSON.
+        (-1e12f64..1e12).prop_map(|v| Value::primitive(Prim::Float(v), "double")),
+        "[a-z]{0,12}".prop_map(|s| Value::primitive(Prim::Str(s), "str")),
+        any::<bool>().prop_map(|b| Value::primitive(Prim::Bool(b), "bool")),
+        Just(Value::none("NoneType")),
+        Just(Value::invalid("int*")),
+        "[a-z]{1,8}".prop_map(|n| Value::function(n, "function")),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4)
+                .prop_map(|items| Value::list(items, "list")),
+            prop::collection::vec((inner.clone(), inner.clone()), 0..3)
+                .prop_map(|entries| Value::dict(entries, "dict")),
+            prop::collection::vec(("[a-z]{1,6}", inner.clone()), 0..3)
+                .prop_map(|fields| Value::structure(fields, "S")),
+            (inner, any::<u64>()).prop_map(|(v, addr)| {
+                Value::reference(v.with_address(addr).with_location(Location::Heap), "ref")
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn values_roundtrip_json(v in arb_value()) {
+        let json = serde_json::to_string(&v).expect("serializes");
+        let back: Value = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&v, &back);
+        // Rendering never panics and is non-empty.
+        prop_assert!(!state::render_value(&v).is_empty());
+        // Traversal metrics are consistent.
+        prop_assert!(v.depth() >= 1);
+        prop_assert!(v.node_count() >= 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocator invariants under random malloc/free workloads.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_blocks_never_overlap(ops in prop::collection::vec((0u8..3, 1u64..256), 1..60)) {
+        use minic::alloc::Allocator;
+        use minic::mem::Memory;
+        let mut alloc = Allocator::new();
+        let mut mem = Memory::new(0);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (op, size) in ops {
+            match op {
+                0 | 1 => {
+                    let addr = alloc.malloc(&mut mem, size).expect("arena big enough");
+                    // Alignment invariant.
+                    prop_assert_eq!(addr % minic::alloc::ALIGN, 0);
+                    // No overlap with any live block.
+                    for &(a, s) in &live {
+                        prop_assert!(addr + size <= a || a + s <= addr,
+                            "overlap: new [{}, {}) vs live [{}, {})", addr, addr + size, a, a + s);
+                    }
+                    live.push((addr, size));
+                }
+                _ => {
+                    if let Some((addr, _)) = live.pop() {
+                        alloc.free(addr).expect("valid free");
+                        prop_assert!(!alloc.is_live(addr));
+                    }
+                }
+            }
+        }
+        // Bookkeeping agrees with our model.
+        let model: u64 = live.iter().map(|(_, s)| *s).sum();
+        prop_assert_eq!(alloc.live_bytes(), model);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record/replay equivalence on random straight-line programs.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn replay_preserves_step_structure(values in prop::collection::vec(-100i64..100, 2..10)) {
+        use easytracker::{PyTracker, Recording, ReplayTracker, Tracker};
+        let src: String = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("v{i} = {v}\n"))
+            .collect();
+        let mut live = PyTracker::load("gen.py", &src).unwrap();
+        let rec = Recording::capture(&mut live).unwrap();
+        live.terminate();
+        prop_assert_eq!(rec.len(), values.len());
+
+        let mut t = ReplayTracker::new(rec);
+        t.start().unwrap();
+        let mut steps = 0;
+        while t.get_exit_code().is_none() {
+            let frame = t.get_current_frame().unwrap();
+            // Variables assigned so far are visible with their values.
+            for (i, v) in values.iter().enumerate().take(steps) {
+                let name = format!("v{i}");
+                let var = frame.variable(&name).unwrap();
+                prop_assert_eq!(
+                    state::render_value(var.value().deref_fully()),
+                    v.to_string()
+                );
+            }
+            t.step().unwrap();
+            steps += 1;
+        }
+        prop_assert_eq!(steps, values.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing: random *structured programs* (assignments, ifs,
+// bounded whiles) rendered to both MiniC and MiniPy must leave identical
+// final states. This exercises the full front ends + engines against each
+// other, not just the expression evaluators.
+// ---------------------------------------------------------------------------
+
+/// Variables `v0..v3`; each `while` gets its own dedicated counter `k{n}`
+/// incremented exactly once per iteration, so every program terminates.
+#[derive(Debug, Clone)]
+enum PStmt {
+    Assign(usize, E),
+    If(PCond, Vec<PStmt>, Vec<PStmt>),
+    While(PCond, usize, Vec<PStmt>),
+}
+
+#[derive(Debug, Clone)]
+enum PCond {
+    Lt(E, E),
+    Eq(E, E),
+    Ne(E, E),
+}
+
+const NVARS: usize = 4;
+
+fn var_expr() -> impl Strategy<Value = E> {
+    // Reuse the arithmetic generator but keep magnitudes small.
+    (-9i32..10).prop_map(E::Lit)
+}
+
+fn small_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![var_expr(), (0usize..NVARS).prop_map(E::Var)];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn cond() -> impl Strategy<Value = PCond> {
+    prop_oneof![
+        (small_expr(), small_expr()).prop_map(|(a, b)| PCond::Lt(a, b)),
+        (small_expr(), small_expr()).prop_map(|(a, b)| PCond::Eq(a, b)),
+        (small_expr(), small_expr()).prop_map(|(a, b)| PCond::Ne(a, b)),
+    ]
+}
+
+fn stmts(depth: u32) -> BoxedStrategy<Vec<PStmt>> {
+    let assign = (0usize..NVARS, small_expr()).prop_map(|(v, e)| PStmt::Assign(v, e));
+    if depth == 0 {
+        return prop::collection::vec(assign, 1..4).boxed();
+    }
+    let stmt = prop_oneof![
+        3 => (0usize..NVARS, small_expr()).prop_map(|(v, e)| PStmt::Assign(v, e)),
+        1 => (cond(), stmts(depth - 1), stmts(depth - 1))
+            .prop_map(|(c, a, b)| PStmt::If(c, a, b)),
+        1 => (1usize..5, stmts(depth - 1)).prop_map(|(bound, body)| {
+            PStmt::While(PCond::Lt(E::Var(usize::MAX), E::Lit(bound as i32)), 0, body)
+        }),
+    ];
+    prop::collection::vec(stmt, 1..4).boxed()
+}
+
+/// Renders/normalizes: assigns each `while` a unique counter id.
+fn number_loops(body: &mut [PStmt], next: &mut usize) {
+    for s in body {
+        match s {
+            PStmt::While(_, id, inner) => {
+                *id = *next;
+                *next += 1;
+                number_loops(inner, next);
+            }
+            PStmt::If(_, a, b) => {
+                number_loops(a, next);
+                number_loops(b, next);
+            }
+            PStmt::Assign(..) => {}
+        }
+    }
+}
+
+fn expr_text(e: &E) -> String {
+    match e {
+        E::Lit(v) => format!("({v})"),
+        E::Var(i) if *i == usize::MAX => "LOOPVAR".into(),
+        E::Var(i) => format!("v{i}"),
+        E::Add(a, b) => format!("({} + {})", expr_text(a), expr_text(b)),
+        E::Sub(a, b) => format!("({} - {})", expr_text(a), expr_text(b)),
+        E::Mul(a, b) => format!("({} * {})", expr_text(a), expr_text(b)),
+        E::Neg(a) => format!("(-{})", expr_text(a)),
+    }
+}
+
+fn cond_text(c: &PCond, loopvar: Option<usize>) -> String {
+    let sub = |e: &E| {
+        let mut t = expr_text(e);
+        if let Some(k) = loopvar {
+            t = t.replace("LOOPVAR", &format!("k{k}"));
+        }
+        t
+    };
+    match c {
+        PCond::Lt(a, b) => format!("{} < {}", sub(a), sub(b)),
+        PCond::Eq(a, b) => format!("{} == {}", sub(a), sub(b)),
+        PCond::Ne(a, b) => format!("{} != {}", sub(a), sub(b)),
+    }
+}
+
+fn render_c(body: &[PStmt], out: &mut String, indent: usize) {
+    let pad = "    ".repeat(indent);
+    for s in body {
+        match s {
+            PStmt::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{v} = {};\n", expr_text(e)));
+            }
+            PStmt::If(c, a, b) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", cond_text(c, None)));
+                render_c(a, out, indent + 1);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_c(b, out, indent + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            PStmt::While(c, id, inner) => {
+                out.push_str(&format!("{pad}k{id} = 0;\n"));
+                out.push_str(&format!("{pad}while ({}) {{\n", cond_text(c, Some(*id))));
+                render_c(inner, out, indent + 1);
+                out.push_str(&format!("{pad}    k{id} = k{id} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+fn render_py(body: &[PStmt], out: &mut String, indent: usize) {
+    let pad = "    ".repeat(indent);
+    for s in body {
+        match s {
+            PStmt::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{v} = {}\n", expr_text(e)));
+            }
+            PStmt::If(c, a, b) => {
+                out.push_str(&format!("{pad}if {}:\n", cond_text(c, None)));
+                render_py(a, out, indent + 1);
+                out.push_str(&format!("{pad}else:\n"));
+                render_py(b, out, indent + 1);
+            }
+            PStmt::While(c, id, inner) => {
+                out.push_str(&format!("{pad}k{id} = 0\n"));
+                out.push_str(&format!("{pad}while {}:\n", cond_text(c, Some(*id))));
+                render_py(inner, out, indent + 1);
+                out.push_str(&format!("{pad}    k{id} = k{id} + 1\n"));
+            }
+        }
+    }
+}
+
+fn count_loops(body: &[PStmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            PStmt::While(_, _, inner) => 1 + count_loops(inner),
+            PStmt::If(_, a, b) => count_loops(a) + count_loops(b),
+            PStmt::Assign(..) => 0,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn structured_programs_agree_across_languages(mut body in stmts(2)) {
+        let mut next = 0usize;
+        number_loops(&mut body, &mut next);
+        let nloops = count_loops(&body);
+        prop_assume!(nloops == next);
+
+        // Common prologue: deterministic initial values.
+        let mut c_src = String::from("int main() {\n");
+        // `long` on the C side: both languages then wrap at 64 bits, so
+        // overflow semantics agree (MiniPy ints are wrapping i64).
+        for v in 0..NVARS {
+            c_src.push_str(&format!("    long v{v} = {};\n", v as i32 + 1));
+        }
+        for k in 0..nloops {
+            c_src.push_str(&format!("    long k{k} = 0;\n"));
+        }
+        render_c(&body, &mut c_src, 1);
+        // Residue of a mixed hash of the final state.
+        c_src.push_str("    long h = 0;\n");
+        for v in 0..NVARS {
+            c_src.push_str(&format!("    h = h * 31 + (v{v} % 1000);\n"));
+        }
+        c_src.push_str("    return (int)(((h % 1000) + 1000) % 1000);\n}\n");
+
+        let mut py_src = String::new();
+        for v in 0..NVARS {
+            py_src.push_str(&format!("v{v} = {}\n", v as i32 + 1));
+        }
+        for k in 0..nloops {
+            py_src.push_str(&format!("k{k} = 0\n"));
+        }
+        render_py(&body, &mut py_src, 0);
+        py_src.push_str("h = 0\n");
+        for v in 0..NVARS {
+            // Match C's truncating % on possibly-negative values (Python's
+            // % floors; MiniPy has no conditional expressions, so spell it
+            // out as statements).
+            py_src.push_str(&format!("if v{v} >= 0:\n    m{v} = v{v} % 1000\n"));
+            py_src.push_str(&format!("else:\n    m{v} = 0 - ((0 - v{v}) % 1000)\n"));
+            py_src.push_str(&format!("h = h * 31 + m{v}\n"));
+        }
+        py_src.push_str("print((h % 1000 + 1000) % 1000)\n");
+
+        let program = minic::compile("diff.c", &c_src).expect("C side compiles");
+        let c_result = minic::vm::Vm::new(&program)
+            .run_to_completion()
+            .expect("C side runs");
+
+        let module = minipy::parser::parse(&py_src).expect("Python side parses");
+        let mut interp = minipy::Interp::new(module);
+        interp.set_max_steps(Some(2_000_000));
+        let out = interp.run(&mut minipy::NullTracer).expect("Python side runs");
+        let py_result: i64 = out.output.trim().parse().expect("integer output");
+
+        prop_assert_eq!(c_result, py_result, "\nC:\n{}\nPy:\n{}", c_src, py_src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-freedom: the front ends must reject arbitrary garbage with an
+// error, never a panic (tools feed them student-typed text).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn minic_frontend_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = minic::compile("fuzz.c", &src);
+    }
+
+    #[test]
+    fn minipy_frontend_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = minipy::parser::parse(&src);
+    }
+
+    #[test]
+    fn miniasm_frontend_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = miniasm::asm::assemble("fuzz.s", &src);
+    }
+
+    /// Structured-looking garbage too: C-ish token soup.
+    #[test]
+    fn minic_token_soup_never_panics(words in prop::collection::vec(
+        prop_oneof![
+            Just("int"), Just("while"), Just("if"), Just("("), Just(")"),
+            Just("{"), Just("}"), Just(";"), Just("x"), Just("="),
+            Just("1"), Just("+"), Just("*"), Just("&"), Just("switch"),
+            Just("case"), Just(":"), Just("do"), Just("struct"), Just(","),
+        ], 0..60))
+    {
+        let src = words.join(" ");
+        let _ = minic::compile("soup.c", &src);
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 5 of the paper: the thread-based Python tracker. The inferior
+//! runs on its own thread; a control call blocks the tool thread until
+//! the inferior pauses again; the tracker's control logic executes inside
+//! the trace function on the inferior thread.
+
+use easytracker::{PauseReason, PyTracker, Tracker};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn control_calls_block_until_the_inferior_pauses() {
+    // A program whose step takes real work: the control call must not
+    // return before the pause, however long the inferior computes.
+    let src = "\
+total = 0
+for i in range(2000):
+    total = total + i
+done = total
+";
+    let mut t = PyTracker::load("p.py", src).unwrap();
+    t.start().unwrap();
+    t.break_before_line(4).unwrap();
+    let before = std::time::Instant::now();
+    let r = t.resume().unwrap();
+    let _elapsed = before.elapsed();
+    assert!(matches!(r, PauseReason::Breakpoint { .. }));
+    // When resume returned, the loop had fully run: total is final.
+    let total = t.get_variable("total").unwrap().unwrap();
+    assert_eq!(
+        state::render_value(total.value().deref_fully()),
+        (0..2000).sum::<i64>().to_string()
+    );
+    t.terminate();
+}
+
+#[test]
+fn tool_thread_and_inferior_thread_are_distinct() {
+    // Observe the two threads through their names/ids: the tracer runs on
+    // the inferior thread, the test runs on the tool thread.
+    let flag = Arc::new(AtomicBool::new(false));
+    let tool_thread = std::thread::current().id();
+    let flag2 = Arc::clone(&flag);
+
+    // Indirect observation: while the tool thread is *blocked* in resume,
+    // progress still happens (the inferior runs elsewhere). Spawn a watcher
+    // that records that the tool thread reached resume before the program
+    // finished.
+    let src = "x = 0\nwhile x < 50000:\n    x = x + 1\n";
+    let mut t = PyTracker::load("w.py", src).unwrap();
+    t.start().unwrap();
+    let watcher = std::thread::spawn(move || {
+        // Runs concurrently with the blocked resume on the tool thread.
+        assert_ne!(std::thread::current().id(), tool_thread);
+        flag2.store(true, Ordering::SeqCst);
+    });
+    let r = t.resume().unwrap();
+    assert!(matches!(r, PauseReason::Exited(_)));
+    watcher.join().unwrap();
+    assert!(flag.load(Ordering::SeqCst));
+    t.terminate();
+}
+
+#[test]
+fn watchpoints_force_per_line_checks() {
+    // The paper: with watchpoints, "single-stepping line by line is done
+    // to determine whether EasyTracker should pause". Observable effect:
+    // a watched variable never skips a change, no matter how tight the
+    // loop.
+    let src = "x = 0\nwhile x < 20:\n    x = x + 1\n";
+    let mut t = PyTracker::load("w.py", src).unwrap();
+    t.start().unwrap();
+    t.watch("x").unwrap();
+    let mut seen = Vec::new();
+    loop {
+        match t.resume().unwrap() {
+            PauseReason::Watchpoint { new, .. } => seen.push(new.parse::<i64>().unwrap()),
+            PauseReason::Exited(_) => break,
+            other => panic!("unexpected {other}"),
+        }
+    }
+    // The first binding (x = 0) counts, then every increment.
+    let expect: Vec<i64> = (0..=20).collect();
+    assert_eq!(seen, expect, "every single change observed");
+    t.terminate();
+}
+
+#[test]
+fn terminate_while_paused_unblocks_and_joins() {
+    let src = "i = 0\nwhile True:\n    i = i + 1\n";
+    let mut t = PyTracker::load("loop.py", src).unwrap();
+    t.start().unwrap();
+    for _ in 0..5 {
+        t.step().unwrap();
+    }
+    // Must return promptly (no deadlock with the paused inferior).
+    let begin = std::time::Instant::now();
+    t.terminate();
+    assert!(begin.elapsed() < std::time::Duration::from_secs(5));
+}
+
+#[test]
+fn snapshots_are_stable_while_paused() {
+    // The snapshot taken at the pause does not change while the inferior
+    // sits blocked (it is a copy, like the pickled state GDB would send).
+    let src = "a = [1, 2, 3]\nb = a\nc = 0\n";
+    let mut t = PyTracker::load("p.py", src).unwrap();
+    t.start().unwrap();
+    t.step().unwrap();
+    t.step().unwrap();
+    let s1 = t.get_state().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let s2 = t.get_state().unwrap();
+    assert_eq!(s1, s2);
+    t.terminate();
+}
+
+#[test]
+fn output_streams_across_the_threads() {
+    let src = "for i in range(3):\n    print(i)\n";
+    let mut t = PyTracker::load("p.py", src).unwrap();
+    t.start().unwrap();
+    let mut pieces = Vec::new();
+    while t.get_exit_code().is_none() {
+        t.step().unwrap();
+        let out = t.get_output().unwrap();
+        if !out.is_empty() {
+            pieces.push(out);
+        }
+    }
+    assert_eq!(pieces.concat(), "0\n1\n2\n");
+    assert!(pieces.len() >= 3, "output arrives incrementally");
+    t.terminate();
+}

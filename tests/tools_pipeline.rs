@@ -1,0 +1,200 @@
+//! End-to-end pipelines of the §III tools: tracker → inspection →
+//! renderer, across languages, plus the Python-Tutor interop loop.
+
+use easytracker::{init_tracker, PauseReason, Recording, ReplayTracker, Tracker};
+use viz::array::ArrayView;
+use viz::calltree::CallTree;
+use viz::memview::MemView;
+use viz::source::SourceView;
+use viz::stack::{render_svg, render_text, StackDiagramOptions};
+
+#[test]
+fn stack_heap_tool_runs_on_c_and_python() {
+    let cases = [
+        (
+            "t.py",
+            "xs = [1, 2]\nys = xs\nd = {'k': xs}\nz = 0\n",
+            "0x55", // MiniPy heap addresses
+        ),
+        (
+            "t.c",
+            "int main() {\nint* p = malloc(2 * sizeof(int));\np[0] = 5;\nint x = 1;\nreturn x;\n}",
+            "0x10", // MiniC heap base
+        ),
+    ];
+    for (file, src, addr_prefix) in cases {
+        let mut t = init_tracker(file, src).unwrap();
+        t.start().unwrap();
+        let mut svgs = 0;
+        let mut saw_heap = false;
+        while t.get_exit_code().is_none() {
+            let frame = t.get_current_frame().unwrap();
+            let globals = t.get_global_variables().unwrap();
+            let svg = render_svg(&frame, &globals, &StackDiagramOptions::default());
+            assert!(svg.starts_with("<svg"));
+            svgs += 1;
+            let text = render_text(&frame, &globals, &StackDiagramOptions::default());
+            if text.contains("heap:") {
+                saw_heap = true;
+                assert!(text.contains(addr_prefix), "{file}: {text}");
+            }
+            t.step().unwrap();
+        }
+        assert!(svgs > 3, "{file}: {svgs} diagrams");
+        assert!(saw_heap, "{file}: heap content appeared");
+        t.terminate();
+    }
+}
+
+#[test]
+fn invalid_pointer_cross_reaches_the_diagram() {
+    let src = "int main() {\nint* p = malloc(4);\nfree(p);\nint z = 0;\nreturn z;\n}";
+    let mut t = init_tracker("inv.c", src).unwrap();
+    t.start().unwrap();
+    t.break_before_line(4).unwrap();
+    t.resume().unwrap();
+    let frame = t.get_current_frame().unwrap();
+    let text = render_text(&frame, &[], &StackDiagramOptions::default());
+    assert!(text.contains("p: ✗"), "{text}");
+    t.terminate();
+}
+
+#[test]
+fn recursion_tree_tool_counts_match_calls() {
+    let src = "\
+int fib(int n) {
+if (n < 2) { return n; }
+return fib(n - 1) + fib(n - 2);
+}
+int main() {
+return fib(5);
+}
+";
+    let mut t = init_tracker("fib.c", src).unwrap();
+    t.track_function("fib", None).unwrap();
+    t.start().unwrap();
+    let mut tree = CallTree::new();
+    loop {
+        match t.resume().unwrap() {
+            PauseReason::FunctionCall { .. } => {
+                let frame = t.get_current_frame().unwrap();
+                let n = frame.variable("n").unwrap();
+                tree.enter(format!("fib({})", state::render_value(n.value())));
+            }
+            PauseReason::FunctionReturn { return_value, .. } => {
+                tree.leave(return_value.unwrap());
+            }
+            PauseReason::Exited(_) => break,
+            other => panic!("unexpected {other}"),
+        }
+    }
+    // fib(5) performs 15 calls.
+    assert_eq!(tree.len(), 15);
+    // All returned by the end.
+    assert!(tree.nodes().iter().all(|n| !n.active));
+    let dot = tree.to_dot("fib");
+    assert_eq!(dot.matches("shape=\"box\"").count(), 15);
+    // Root label shows the tracked arguments.
+    assert!(dot.contains("fib(5)"));
+    t.terminate();
+}
+
+#[test]
+fn riscv_viewer_pipeline() {
+    let src = "\
+.data
+v: .word 11, 22
+.text
+main:
+    la t0, v
+    lw a0, 0(t0)
+    lw t1, 4(t0)
+    add a0, a0, t1
+    li a7, 93
+    ecall
+";
+    let mut t = init_tracker("v.s", src).unwrap();
+    t.start().unwrap();
+    t.step().unwrap();
+    t.step().unwrap();
+    let low = t.low_level().unwrap();
+    let regs = low.registers().unwrap();
+    let mem = low.read_memory(0x0, 32).unwrap();
+    let view = MemView::from_registers(&regs).with_memory(0, &mem);
+    let text = view.render_text();
+    assert!(text.contains("a0 = 11"), "{text}");
+    let (file, source) = t.get_source().unwrap();
+    let sv = SourceView::default()
+        .at_line(t.current_line().unwrap())
+        .with_title(&file)
+        .render_text(&source);
+    assert!(sv.contains("=>"));
+    t.terminate();
+}
+
+#[test]
+fn array_view_follows_a_sort() {
+    let src = "\
+a = [3, 1, 2]
+n = len(a)
+i = 0
+while i < n - 1:
+    j = 0
+    while j < n - 1 - i:
+        if a[j] > a[j + 1]:
+            a[j], a[j + 1] = a[j + 1], a[j]
+        j = j + 1
+    i = i + 1
+done = a
+";
+    let mut t = init_tracker("bubble.py", src).unwrap();
+    t.start().unwrap();
+    let mut frames = Vec::new();
+    while t.get_exit_code().is_none() {
+        let frame = t.get_current_frame().unwrap();
+        if let Some(a) = frame.variable("a") {
+            frames.push(ArrayView::from_value(a.value()).render_text());
+        }
+        t.step().unwrap();
+    }
+    t.terminate();
+    assert!(frames.first().unwrap().contains('3'));
+    assert!(frames.last().unwrap().contains("|1|"));
+    // The array visibly changed over the run.
+    assert!(frames.windows(2).any(|w| w[0] != w[1]));
+}
+
+#[test]
+fn record_export_import_drive_loop() {
+    // Full circle: live run -> recording -> PT JSON -> recording -> replay
+    // tracker -> diagram.
+    let src = "def inc(x):\n    return x + 1\na = inc(1)\nb = inc(a)\n";
+    let mut live = init_tracker("loop.py", src).unwrap();
+    let rec = Recording::capture(live.as_mut()).unwrap();
+    live.terminate();
+    let pt = pttrace::trace_from_recording(&rec);
+    let rec2 = pttrace::recording_from_trace(&pt, "loop.py").unwrap();
+    let mut t = ReplayTracker::new(rec2);
+    t.start().unwrap();
+    t.break_before_func("inc", None).unwrap();
+    let r = t.resume().unwrap();
+    assert!(matches!(r, PauseReason::Breakpoint { .. }));
+    let frame = t.get_current_frame().unwrap();
+    assert_eq!(frame.name(), "inc");
+    let svg = render_svg(&frame, &[], &StackDiagramOptions::default());
+    assert!(svg.contains("inc"));
+    t.terminate();
+}
+
+#[test]
+fn game_runs_via_generic_tool_stack() {
+    // The game is itself an EasyTracker tool; its reports feed the map
+    // renderer.
+    let level = game::Level::level_one();
+    let g = game::Game::new(level.clone());
+    let report = g.play(&level.buggy_source).unwrap();
+    let frame = report.frames.first().unwrap();
+    let rendered = g.render_frame(frame);
+    assert!(rendered.contains('@'));
+    assert!(!report.won);
+}
