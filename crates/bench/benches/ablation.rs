@@ -93,5 +93,10 @@ fn heap_render_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, store_events_ablation, trace_hook_ablation, heap_render_ablation);
+criterion_group!(
+    benches,
+    store_events_ablation,
+    trace_hook_ablation,
+    heap_render_ablation
+);
 criterion_main!(benches);

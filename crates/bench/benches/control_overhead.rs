@@ -13,8 +13,8 @@
 //! Expected shape: `uncontrolled < resume << step_all ≈ watch1`.
 
 use bench::{c_loop, c_tracker, py_loop, py_tracker, run_resume, run_step_all, run_with_watch};
-use easytracker::Tracker as _;
 use criterion::{criterion_group, criterion_main, Criterion};
+use easytracker::Tracker as _;
 use std::hint::black_box;
 
 const ITERS: u32 = 60;

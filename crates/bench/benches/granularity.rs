@@ -21,7 +21,9 @@ fn run_tracked(tracker: &mut dyn Tracker, function: &str) -> u64 {
 }
 
 fn run_tracked_maxdepth(tracker: &mut dyn Tracker, function: &str, maxdepth: u32) -> u64 {
-    tracker.track_function(function, Some(maxdepth)).expect("track");
+    tracker
+        .track_function(function, Some(maxdepth))
+        .expect("track");
     tracker.start().expect("start");
     let mut events = 0;
     loop {

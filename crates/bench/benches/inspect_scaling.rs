@@ -18,9 +18,10 @@ fn pause_deep(tracker: &mut dyn Tracker) {
     loop {
         match tracker.resume().expect("resume") {
             PauseReason::Breakpoint { .. }
-                if tracker.get_current_frame().expect("frame").depth() > 0 => {
-                    // Keep resuming until the innermost call.
-                }
+                if tracker.get_current_frame().expect("frame").depth() > 0 =>
+            {
+                // Keep resuming until the innermost call.
+            }
             PauseReason::Exited(_) => panic!("should pause before exit"),
             _ => {}
         }

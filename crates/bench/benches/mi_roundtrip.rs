@@ -14,9 +14,7 @@ fn command_roundtrip(c: &mut Criterion) {
     g.sample_size(20);
     let mut t = c_tracker("int main() {\nint x = 0;\nreturn x;\n}");
     t.start().unwrap();
-    g.bench_function("get_exit_code", |b| {
-        b.iter(|| black_box(t.get_exit_code()))
-    });
+    g.bench_function("get_exit_code", |b| b.iter(|| black_box(t.get_exit_code())));
     g.bench_function("get_variable", |b| {
         b.iter(|| black_box(t.get_variable("x").unwrap()))
     });
@@ -46,7 +44,10 @@ fn state_serialization(c: &mut Criterion) {
     for n in [8u32, 64, 256] {
         let st = state_snapshot(&c_heap(n), 6);
         let json = serde_json::to_string(&st).unwrap();
-        println!("state with {n}-element heap array: {} bytes serialized", json.len());
+        println!(
+            "state with {n}-element heap array: {} bytes serialized",
+            json.len()
+        );
         g.bench_with_input(BenchmarkId::new("encode", n), &st, |b, st| {
             b.iter(|| black_box(serde_json::to_string(st).unwrap()))
         });

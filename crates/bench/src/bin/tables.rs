@@ -89,7 +89,10 @@ fn main() {
     let p = probe();
 
     println!("Table I — program-visualization tool properties (paper §IV-A)");
-    println!("{:<22} {:^10} {:^9} {:^9} {:^10} {:^9}", "tool", "decoupled", "control", "online", "agnostic", "serial.");
+    println!(
+        "{:<22} {:^10} {:^9} {:^9} {:^10} {:^9}",
+        "tool", "decoupled", "control", "online", "agnostic", "serial."
+    );
     println!("{:-<75}", "");
     for (tool, d, c, o, a, s) in [
         ("JSaV / VisuAlgo", "no", "no", "yes", "no", "no"),
@@ -113,7 +116,10 @@ fn main() {
 
     println!();
     println!("Table II — debugger machine interfaces (paper §IV-B)");
-    println!("{:<22} {:<12} {:<22} {:<10}", "interface", "level", "languages", "teaching-ready");
+    println!(
+        "{:<22} {:<12} {:<22} {:<10}",
+        "interface", "level", "languages", "teaching-ready"
+    );
     println!("{:-<70}", "");
     for (iface, level, langs, ready) in [
         ("GDB/MI", "low", "compiled", "no"),
@@ -136,7 +142,10 @@ fn main() {
     println!("{:<34} {:<12}", "requirement", "supported");
     println!("{:-<48}", "");
     for (req, ok) in [
-        ("pause at line / function / change", p.controls_execution && p.watchpoints),
+        (
+            "pause at line / function / change",
+            p.controls_execution && p.watchpoints,
+        ),
         ("pause before function returns", p.function_tracking),
         ("depth-filtered control (maxdepth)", p.controls_execution),
         ("walk stack + globals + heap", p.serializable_state),

@@ -171,8 +171,11 @@ pub trait Tracker {
     /// # Errors
     ///
     /// Fails for unknown functions.
-    fn break_before_func(&mut self, function: &str, maxdepth: Option<u32>)
-        -> Result<ControlPointId>;
+    fn break_before_func(
+        &mut self,
+        function: &str,
+        maxdepth: Option<u32>,
+    ) -> Result<ControlPointId>;
 
     /// Pauses at every entry of `function` *and* just before each of its
     /// returns (the returning frame is still inspectable).
@@ -180,8 +183,7 @@ pub trait Tracker {
     /// # Errors
     ///
     /// Fails for unknown functions.
-    fn track_function(&mut self, function: &str, maxdepth: Option<u32>)
-        -> Result<ControlPointId>;
+    fn track_function(&mut self, function: &str, maxdepth: Option<u32>) -> Result<ControlPointId>;
 
     /// Pauses whenever the variable changes value. Names are `var`,
     /// `function::var`, or engine-specific identifiers (registers,
@@ -261,15 +263,23 @@ pub trait Tracker {
 
     /// The current source line of the innermost frame, when paused.
     fn current_line(&mut self) -> Option<u32> {
-        self.get_current_frame()
-            .ok()
-            .map(|f| f.location().line())
+        self.get_current_frame().ok().map(|f| f.location().line())
     }
 
     /// Engine-specific low-level access (the paper's `get_registers_gdb` /
     /// `get_value_at_gdb`); `None` for trackers without one.
     fn low_level(&mut self) -> Option<&mut dyn LowLevel> {
         None
+    }
+
+    // ---- observability ----------------------------------------------------
+
+    /// Point-in-time view of this tracker's metrics: control-call latency
+    /// histograms, inspection counters, MI byte gauges, and VM execution
+    /// stats. The default is an empty snapshot for trackers that do not
+    /// report.
+    fn stats(&self) -> obs::Snapshot {
+        obs::Snapshot::default()
     }
 }
 
@@ -309,16 +319,39 @@ pub trait LowLevel {
 /// # Ok::<(), easytracker::TrackerError>(())
 /// ```
 pub fn init_tracker(file: &str, source: &str) -> Result<Box<dyn Tracker>> {
+    init_tracker_with_registry(file, source, obs::Registry::new())
+}
+
+/// Like [`init_tracker`], but the tracker (and every layer beneath it —
+/// MI client/server, VM engine) reports metrics and trace events into
+/// `registry`. Passing the same registry to several trackers aggregates
+/// them into one profile.
+///
+/// # Errors
+///
+/// Returns [`TrackerError::Load`] for unknown extensions or programs that
+/// fail to compile.
+pub fn init_tracker_with_registry(
+    file: &str,
+    source: &str,
+    registry: obs::Registry,
+) -> Result<Box<dyn Tracker>> {
     if file.ends_with(".c") {
-        Ok(Box::new(MiTracker::load_c(file, source)?))
+        Ok(Box::new(MiTracker::load_c_with_registry(
+            file, source, registry,
+        )?))
     } else if file.ends_with(".s") || file.ends_with(".asm") {
-        Ok(Box::new(MiTracker::load_asm(file, source)?))
+        Ok(Box::new(MiTracker::load_asm_with_registry(
+            file, source, registry,
+        )?))
     } else if file.ends_with(".py") {
-        Ok(Box::new(PyTracker::load(file, source)?))
+        Ok(Box::new(PyTracker::load_with_registry(
+            file, source, registry,
+        )?))
     } else if file.ends_with(".json") {
         let recording: Recording = serde_json::from_str(source)
             .map_err(|e| TrackerError::Load(format!("bad recording: {e}")))?;
-        Ok(Box::new(ReplayTracker::new(recording)))
+        Ok(Box::new(ReplayTracker::with_registry(recording, registry)))
     } else {
         Err(TrackerError::Load(format!(
             "cannot infer language from file name `{file}` (.c, .s, .py, .json)"

@@ -9,6 +9,7 @@
 
 use crate::{ControlPointId, LowLevel, Result, Tracker, TrackerError};
 use mi::protocol::{Command, Response};
+use mi::transport::Transport as _;
 use mi::Session;
 use state::{Frame, PauseReason, ProgramState, Variable};
 
@@ -18,6 +19,7 @@ pub struct MiTracker {
     session: Option<Session>,
     last_reason: PauseReason,
     started: bool,
+    obs: obs::Registry,
 }
 
 impl MiTracker {
@@ -27,12 +29,23 @@ impl MiTracker {
     ///
     /// Returns [`TrackerError::Load`] for compile errors.
     pub fn load_c(file: &str, source: &str) -> Result<Self> {
+        Self::load_c_with_registry(file, source, obs::Registry::new())
+    }
+
+    /// Like [`MiTracker::load_c`], with every layer (tracker control
+    /// calls, MI client/server, VM engine) reporting into `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] for compile errors.
+    pub fn load_c_with_registry(file: &str, source: &str, registry: obs::Registry) -> Result<Self> {
         let program =
             minic::compile(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
         Ok(MiTracker {
-            session: Some(mi::spawn_minic(&program)),
+            session: Some(mi::spawn_minic_with_registry(&program, registry.clone())),
             last_reason: PauseReason::NotStarted,
             started: false,
+            obs: registry,
         })
     }
 
@@ -42,13 +55,32 @@ impl MiTracker {
     ///
     /// Returns [`TrackerError::Load`] for assembly errors.
     pub fn load_asm(file: &str, source: &str) -> Result<Self> {
-        let program = miniasm::asm::assemble(file, source)
-            .map_err(|e| TrackerError::Load(e.to_string()))?;
+        Self::load_asm_with_registry(file, source, obs::Registry::new())
+    }
+
+    /// Like [`MiTracker::load_asm`], reporting into `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] for assembly errors.
+    pub fn load_asm_with_registry(
+        file: &str,
+        source: &str,
+        registry: obs::Registry,
+    ) -> Result<Self> {
+        let program =
+            miniasm::asm::assemble(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
         Ok(MiTracker {
-            session: Some(mi::spawn_asm(&program)),
+            session: Some(mi::spawn_asm_with_registry(&program, registry.clone())),
             last_reason: PauseReason::NotStarted,
             started: false,
+            obs: registry,
         })
+    }
+
+    /// The registry this tracker reports into.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.obs
     }
 
     fn call(&mut self, command: Command) -> Result<Response> {
@@ -63,9 +95,17 @@ impl MiTracker {
         Ok(resp)
     }
 
+    fn inspect(&mut self, command: Command) -> Result<Response> {
+        self.obs.inc(&format!("tracker.inspect.{}", command.kind()));
+        self.call(command)
+    }
+
     fn control(&mut self, command: Command) -> Result<PauseReason> {
+        let mut span = self.obs.span(format!("tracker.control.{}", command.kind()));
+        span.category("tracker");
         match self.call(command)? {
             Response::Paused(reason) => {
+                span.tag("pause_reason", reason.tag());
                 self.last_reason = reason.clone();
                 Ok(reason)
             }
@@ -76,6 +116,8 @@ impl MiTracker {
     }
 
     fn created(&mut self, command: Command) -> Result<ControlPointId> {
+        self.obs
+            .inc(&format!("tracker.control_point.{}", command.kind()));
         match self.call(command)? {
             Response::Created { id } => Ok(id),
             other => Err(TrackerError::Protocol(format!(
@@ -88,7 +130,7 @@ impl MiTracker {
     pub fn bytes_transferred(&self) -> u64 {
         self.session
             .as_ref()
-            .map(|s| s.client.transport().bytes_sent + s.client.transport().bytes_received)
+            .map(|s| s.client.transport().counters().bytes_total())
             .unwrap_or(0)
     }
 }
@@ -164,7 +206,7 @@ impl Tracker for MiTracker {
     }
 
     fn get_state(&mut self) -> Result<ProgramState> {
-        match self.call(Command::GetState)? {
+        match self.inspect(Command::GetState)? {
             Response::State(st) => Ok(*st),
             other => Err(TrackerError::Protocol(format!(
                 "expected state, got {other:?}"
@@ -173,7 +215,7 @@ impl Tracker for MiTracker {
     }
 
     fn get_global_variables(&mut self) -> Result<Vec<Variable>> {
-        match self.call(Command::GetGlobals)? {
+        match self.inspect(Command::GetGlobals)? {
             Response::Globals(gs) => Ok(gs),
             other => Err(TrackerError::Protocol(format!(
                 "expected globals, got {other:?}"
@@ -182,7 +224,7 @@ impl Tracker for MiTracker {
     }
 
     fn get_variable(&mut self, name: &str) -> Result<Option<Variable>> {
-        match self.call(Command::GetVariable {
+        match self.inspect(Command::GetVariable {
             name: name.to_owned(),
         })? {
             Response::Variable(v) => Ok(v),
@@ -193,14 +235,14 @@ impl Tracker for MiTracker {
     }
 
     fn get_exit_code(&mut self) -> Option<i64> {
-        match self.call(Command::GetExitCode) {
+        match self.inspect(Command::GetExitCode) {
             Ok(Response::ExitCode(c)) => c,
             _ => None,
         }
     }
 
     fn get_output(&mut self) -> Result<String> {
-        match self.call(Command::GetOutput)? {
+        match self.inspect(Command::GetOutput)? {
             Response::Output(o) => Ok(o),
             other => Err(TrackerError::Protocol(format!(
                 "expected output, got {other:?}"
@@ -209,7 +251,7 @@ impl Tracker for MiTracker {
     }
 
     fn get_source(&mut self) -> Result<(String, String)> {
-        match self.call(Command::GetSource)? {
+        match self.inspect(Command::GetSource)? {
             Response::Source { file, text } => Ok((file, text)),
             other => Err(TrackerError::Protocol(format!(
                 "expected source, got {other:?}"
@@ -218,7 +260,7 @@ impl Tracker for MiTracker {
     }
 
     fn breakable_lines(&mut self) -> Result<Vec<u32>> {
-        match self.call(Command::GetBreakableLines)? {
+        match self.inspect(Command::GetBreakableLines)? {
             Response::Lines(lines) => Ok(lines),
             other => Err(TrackerError::Protocol(format!(
                 "expected lines, got {other:?}"
@@ -229,11 +271,15 @@ impl Tracker for MiTracker {
     fn low_level(&mut self) -> Option<&mut dyn LowLevel> {
         Some(self)
     }
+
+    fn stats(&self) -> obs::Snapshot {
+        self.obs.snapshot()
+    }
 }
 
 impl LowLevel for MiTracker {
     fn registers(&mut self) -> Result<Vec<Variable>> {
-        match self.call(Command::GetRegisters)? {
+        match self.inspect(Command::GetRegisters)? {
             Response::Registers(regs) => Ok(regs),
             other => Err(TrackerError::Protocol(format!(
                 "expected registers, got {other:?}"
@@ -242,7 +288,7 @@ impl LowLevel for MiTracker {
     }
 
     fn read_memory(&mut self, addr: u64, len: u64) -> Result<Vec<u8>> {
-        match self.call(Command::ReadMemory { addr, len })? {
+        match self.inspect(Command::ReadMemory { addr, len })? {
             Response::Memory(bytes) => Ok(bytes),
             other => Err(TrackerError::Protocol(format!(
                 "expected memory, got {other:?}"

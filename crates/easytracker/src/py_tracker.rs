@@ -34,6 +34,20 @@ enum RunMode {
     Finish { depth: usize },
 }
 
+impl RunMode {
+    /// Stable short name used as the metric-name suffix
+    /// (`tracker.control.<kind>`), matching the MI command vocabulary.
+    fn kind(&self) -> &'static str {
+        match self {
+            RunMode::Start => "Start",
+            RunMode::Resume => "Resume",
+            RunMode::Step { .. } => "Step",
+            RunMode::Next { .. } => "Next",
+            RunMode::Finish { .. } => "Finish",
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Go {
     Mode(RunMode),
@@ -50,9 +64,17 @@ struct PauseMsg {
 #[derive(Debug, Clone)]
 enum CpKind {
     LineBp(u32),
-    FuncBp { function: String, maxdepth: Option<u32> },
-    Track { function: String, maxdepth: Option<u32> },
-    Watch { variable: String },
+    FuncBp {
+        function: String,
+        maxdepth: Option<u32>,
+    },
+    Track {
+        function: String,
+        maxdepth: Option<u32>,
+    },
+    Watch {
+        variable: String,
+    },
 }
 
 #[derive(Debug)]
@@ -78,6 +100,9 @@ struct ControlTracer {
     mode: RunMode,
     finish_fired: bool,
     file: String,
+    /// Live count of trace-hook invocations (`vm.minipy.trace_hooks`);
+    /// a cheap atomic bump per event, readable from the tool thread.
+    hook_counter: obs::Counter,
 }
 
 impl ControlTracer {
@@ -145,9 +170,11 @@ impl ControlTracer {
                 }
                 {
                     let shared = self.shared.lock().expect("tracker poisoned");
-                    if let Some(cp) = shared.points.iter().find(
-                        |cp| matches!(cp.kind, CpKind::LineBp(l) if l == *line),
-                    ) {
+                    if let Some(cp) = shared
+                        .points
+                        .iter()
+                        .find(|cp| matches!(cp.kind, CpKind::LineBp(l) if l == *line))
+                    {
                         return Some(PauseReason::Breakpoint {
                             id: cp.id,
                             location: SourceLocation::new(self.file.clone(), *line),
@@ -160,12 +187,14 @@ impl ControlTracer {
                 let depth = ctx.frames.len();
                 match self.mode {
                     RunMode::Start => Some(PauseReason::Started),
-                    RunMode::Step { line: from, depth: d } => {
-                        (*line != from || depth != d).then_some(PauseReason::Step)
-                    }
-                    RunMode::Next { line: from, depth: d } => {
-                        (depth < d || (depth == d && *line != from)).then_some(PauseReason::Step)
-                    }
+                    RunMode::Step {
+                        line: from,
+                        depth: d,
+                    } => (*line != from || depth != d).then_some(PauseReason::Step),
+                    RunMode::Next {
+                        line: from,
+                        depth: d,
+                    } => (depth < d || (depth == d && *line != from)).then_some(PauseReason::Step),
                     RunMode::Resume | RunMode::Finish { .. } => None,
                 }
             }
@@ -177,17 +206,19 @@ impl ControlTracer {
                 let shared = self.shared.lock().expect("tracker poisoned");
                 for cp in &shared.points {
                     match &cp.kind {
-                        CpKind::FuncBp { function: f, maxdepth }
-                            if f == function && maxdepth.is_none_or(|m| *depth <= m) =>
-                        {
+                        CpKind::FuncBp {
+                            function: f,
+                            maxdepth,
+                        } if f == function && maxdepth.is_none_or(|m| *depth <= m) => {
                             return Some(PauseReason::Breakpoint {
                                 id: cp.id,
                                 location: SourceLocation::new(self.file.clone(), *line),
                             });
                         }
-                        CpKind::Track { function: f, maxdepth }
-                            if f == function && maxdepth.is_none_or(|m| *depth <= m) =>
-                        {
+                        CpKind::Track {
+                            function: f,
+                            maxdepth,
+                        } if f == function && maxdepth.is_none_or(|m| *depth <= m) => {
                             return Some(PauseReason::FunctionCall {
                                 function: function.clone(),
                                 depth: *depth,
@@ -237,6 +268,7 @@ impl ControlTracer {
 
 impl Tracer for ControlTracer {
     fn trace(&mut self, event: &TraceEvent, ctx: &TraceCtx<'_>) -> TraceAction {
+        self.hook_counter.inc();
         if let TraceEvent::Output { text } = event {
             self.shared
                 .lock()
@@ -268,6 +300,7 @@ pub struct PyTracker {
     file: String,
     source: String,
     breakable: Vec<u32>,
+    obs: obs::Registry,
 }
 
 impl PyTracker {
@@ -278,6 +311,17 @@ impl PyTracker {
     ///
     /// Returns [`TrackerError::Load`] for parse errors.
     pub fn load(file: &str, source: &str) -> Result<Self> {
+        Self::load_with_registry(file, source, obs::Registry::new())
+    }
+
+    /// Like [`PyTracker::load`], with control-call latencies, inspection
+    /// counters, and `vm.minipy.*` interpreter stats reported into
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] for parse errors.
+    pub fn load_with_registry(file: &str, source: &str, registry: obs::Registry) -> Result<Self> {
         let module =
             minipy::parser::parse(source).map_err(|e| TrackerError::Load(e.to_string()))?;
         let breakable = collect_lines(&module.body);
@@ -286,6 +330,7 @@ impl PyTracker {
         let (pause_tx, pause_rx) = bounded::<PauseMsg>(1);
         let tracer_shared = Arc::clone(&shared);
         let file_name = file.to_owned();
+        let inferior_reg = registry.clone();
         let handle = std::thread::Builder::new()
             .name("easytracker-py-inferior".into())
             // MiniPy frames cost deep Rust recursion; give the inferior a
@@ -304,10 +349,13 @@ impl PyTracker {
                     mode: first,
                     finish_fired: false,
                     file: file_name.clone(),
+                    hook_counter: inferior_reg.counter("vm.minipy.trace_hooks"),
                 };
                 let mut interp = Interp::new(module);
                 interp.set_max_depth(500);
-                let (reason, exit) = match interp.run(&mut tracer) {
+                let run_outcome = interp.run(&mut tracer);
+                inferior_reg.set("vm.minipy.steps", interp.steps());
+                let (reason, exit) = match run_outcome {
                     Ok(outcome) => (
                         PauseReason::Exited(ExitStatus::Exited(outcome.exit_code)),
                         Some(outcome.exit_code),
@@ -364,19 +412,28 @@ impl PyTracker {
             file: file.to_owned(),
             source: source.to_owned(),
             breakable,
+            obs: registry,
         })
+    }
+
+    /// The registry this tracker reports into.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.obs
     }
 
     fn control(&mut self, mode: RunMode) -> Result<PauseReason> {
         if !self.started {
             return Err(TrackerError::NotStarted);
         }
+        let mut span = self.obs.span(format!("tracker.control.{}", mode.kind()));
+        span.category("tracker");
         if let Some(code) = self.exit {
             let status = if code == -1 {
                 ExitStatus::Crashed
             } else {
                 ExitStatus::Exited(code)
             };
+            span.tag("pause_reason", PauseReason::Exited(status).tag());
             return Ok(PauseReason::Exited(status));
         }
         self.go_tx
@@ -386,10 +443,15 @@ impl PyTracker {
             .pause_rx
             .recv()
             .map_err(|_| TrackerError::Engine("inferior thread is gone".into()))?;
+        span.tag("pause_reason", msg.reason.tag());
         self.last_reason = msg.reason.clone();
         self.last_state = Some(msg.state);
         self.exit = msg.exit;
         Ok(msg.reason)
+    }
+
+    fn count_inspect(&self, kind: &str) {
+        self.obs.inc(&format!("tracker.inspect.{kind}"));
     }
 
     fn position(&self) -> (u32, usize) {
@@ -400,6 +462,15 @@ impl PyTracker {
     }
 
     fn add_point(&mut self, kind: CpKind) -> ControlPointId {
+        // Counter names mirror the MI command vocabulary so Py and Mi
+        // tracker snapshots line up column for column.
+        let name = match &kind {
+            CpKind::LineBp(_) => "SetBreakLine",
+            CpKind::FuncBp { .. } => "SetBreakFunc",
+            CpKind::Track { .. } => "TrackFunction",
+            CpKind::Watch { .. } => "Watch",
+        };
+        self.obs.inc(&format!("tracker.control_point.{name}"));
         let id = self.next_id;
         self.next_id += 1;
         self.shared
@@ -521,6 +592,7 @@ impl Tracker for PyTracker {
     }
 
     fn get_current_frame(&mut self) -> Result<Frame> {
+        self.count_inspect("GetState");
         self.last_state
             .as_ref()
             .map(|st| st.frame.clone())
@@ -528,10 +600,12 @@ impl Tracker for PyTracker {
     }
 
     fn get_state(&mut self) -> Result<ProgramState> {
+        self.count_inspect("GetState");
         self.last_state.clone().ok_or(TrackerError::NotStarted)
     }
 
     fn get_global_variables(&mut self) -> Result<Vec<Variable>> {
+        self.count_inspect("GetGlobals");
         Ok(self
             .last_state
             .as_ref()
@@ -540,6 +614,7 @@ impl Tracker for PyTracker {
     }
 
     fn get_variable(&mut self, name: &str) -> Result<Option<Variable>> {
+        self.count_inspect("GetVariable");
         let Some(st) = &self.last_state else {
             return Ok(None);
         };
@@ -567,10 +642,12 @@ impl Tracker for PyTracker {
     }
 
     fn get_exit_code(&mut self) -> Option<i64> {
+        self.count_inspect("GetExitCode");
         self.exit
     }
 
     fn get_output(&mut self) -> Result<String> {
+        self.count_inspect("GetOutput");
         let shared = self.shared.lock().expect("tracker poisoned");
         let all = &shared.output;
         let new = all[self.output_cursor.min(all.len())..].to_owned();
@@ -579,11 +656,17 @@ impl Tracker for PyTracker {
     }
 
     fn get_source(&mut self) -> Result<(String, String)> {
+        self.count_inspect("GetSource");
         Ok((self.file.clone(), self.source.clone()))
     }
 
     fn breakable_lines(&mut self) -> Result<Vec<u32>> {
+        self.count_inspect("GetBreakableLines");
         Ok(self.breakable.clone())
+    }
+
+    fn stats(&self) -> obs::Snapshot {
+        self.obs.snapshot()
     }
 }
 
@@ -623,7 +706,8 @@ mod tests {
     use crate::Tracker;
     use state::{AbstractType, Content, Prim};
 
-    const PY_PROG: &str = "def square(x):\n    return x * x\ns = 0\nfor i in range(1, 4):\n    s = s + square(i)\n";
+    const PY_PROG: &str =
+        "def square(x):\n    return x * x\ns = 0\nfor i in range(1, 4):\n    s = s + square(i)\n";
 
     #[test]
     fn full_session() {
@@ -679,8 +763,7 @@ mod tests {
 
     #[test]
     fn watchpoints_single_step_under_the_hood() {
-        let mut t =
-            PyTracker::load("p.py", "x = 0\nwhile x < 3:\n    x = x + 1\ny = x\n").unwrap();
+        let mut t = PyTracker::load("p.py", "x = 0\nwhile x < 3:\n    x = x + 1\ny = x\n").unwrap();
         t.start().unwrap();
         t.watch("x").unwrap();
         let mut changes = Vec::new();

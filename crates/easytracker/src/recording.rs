@@ -94,9 +94,17 @@ impl Recording {
 #[derive(Debug, Clone)]
 enum CpKind {
     LineBp(u32),
-    FuncBp { function: String, maxdepth: Option<u32> },
-    Track { function: String, maxdepth: Option<u32> },
-    Watch { variable: String },
+    FuncBp {
+        function: String,
+        maxdepth: Option<u32>,
+    },
+    Track {
+        function: String,
+        maxdepth: Option<u32>,
+    },
+    Watch {
+        variable: String,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -120,11 +128,18 @@ pub struct ReplayTracker {
     /// Highest trigger phase already reported at the current step
     /// (`u8::MAX` when the step was reached by plain stepping).
     rank_done: u8,
+    obs: obs::Registry,
 }
 
 impl ReplayTracker {
     /// Creates a replay tracker over a recording.
     pub fn new(recording: Recording) -> Self {
+        Self::with_registry(recording, obs::Registry::new())
+    }
+
+    /// Like [`ReplayTracker::new`], with control-call latencies and
+    /// inspection counters reported into `registry`.
+    pub fn with_registry(recording: Recording, registry: obs::Registry) -> Self {
         ReplayTracker {
             recording,
             idx: None,
@@ -134,7 +149,31 @@ impl ReplayTracker {
             output_pos: 0,
             output_cursor: 0,
             rank_done: u8::MAX,
+            obs: registry,
         }
+    }
+
+    /// The registry this tracker reports into.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.obs
+    }
+
+    fn timed_control(
+        &mut self,
+        kind: &str,
+        f: impl FnOnce(&mut Self) -> Result<PauseReason>,
+    ) -> Result<PauseReason> {
+        let mut span = self.obs.span(format!("tracker.control.{kind}"));
+        span.category("tracker");
+        let r = f(self);
+        if let Ok(reason) = &r {
+            span.tag("pause_reason", reason.tag());
+        }
+        r
+    }
+
+    fn count_inspect(&self, kind: &str) {
+        self.obs.inc(&format!("tracker.inspect.{kind}"));
     }
 
     fn state_at(&self, i: usize) -> &ProgramState {
@@ -352,16 +391,18 @@ impl ReplayTracker {
     ///
     /// Fails before `start`.
     pub fn step_back(&mut self) -> Result<PauseReason> {
-        let Some(cur) = self.idx else {
-            return Err(TrackerError::NotStarted);
-        };
-        if cur == 0 {
-            self.last_reason = PauseReason::Started;
-            return Ok(PauseReason::Started);
-        }
-        let target = (cur - 1).min(self.recording.steps.len().saturating_sub(1));
-        let r = self.goto(target);
-        Ok(r)
+        self.timed_control("StepBack", |t| {
+            let Some(cur) = t.idx else {
+                return Err(TrackerError::NotStarted);
+            };
+            if cur == 0 {
+                t.last_reason = PauseReason::Started;
+                return Ok(PauseReason::Started);
+            }
+            let target = (cur - 1).min(t.recording.steps.len().saturating_sub(1));
+            let r = t.goto(target);
+            Ok(r)
+        })
     }
 
     /// Runs backwards until the previous control point (breakpoint,
@@ -372,87 +413,124 @@ impl ReplayTracker {
     ///
     /// Fails before `start`.
     pub fn resume_back(&mut self) -> Result<PauseReason> {
+        self.timed_control("ResumeBack", |t| {
+            let Some(cur) = t.idx else {
+                return Err(TrackerError::NotStarted);
+            };
+            // From the exited position every recorded step is behind us.
+            let mut i = cur.min(t.recording.steps.len());
+            while i > 0 {
+                i -= 1;
+                if let Some((rank, trigger)) = t.trigger_at_ranked(i, 0) {
+                    t.goto(i);
+                    t.rank_done = rank;
+                    t.last_reason = trigger.clone();
+                    return Ok(trigger);
+                }
+            }
+            t.goto(0);
+            t.last_reason = PauseReason::Started;
+            Ok(PauseReason::Started)
+        })
+    }
+
+    /// The snapshot at the current position, without counting an
+    /// inspection (shared by the public inspection methods).
+    fn current_state(&mut self) -> Result<ProgramState> {
         let Some(cur) = self.idx else {
             return Err(TrackerError::NotStarted);
         };
-        // From the exited position every recorded step is behind us.
-        let mut i = cur.min(self.recording.steps.len());
-        while i > 0 {
-            i -= 1;
-            if let Some((rank, trigger)) = self.trigger_at_ranked(i, 0) {
-                self.goto(i);
-                self.rank_done = rank;
-                self.last_reason = trigger.clone();
-                return Ok(trigger);
+        if cur >= self.recording.steps.len() {
+            // After the end: synthesize a terminal state on the last frame.
+            if let Some(last) = self.recording.steps.last() {
+                let mut st = last.state.clone();
+                st.reason = self.exited_reason();
+                return Ok(st);
             }
+            return Ok(ProgramState::new(
+                Frame::new(
+                    "<module>",
+                    0,
+                    SourceLocation::new(self.recording.file.clone(), 0),
+                ),
+                Vec::new(),
+                self.exited_reason(),
+            ));
         }
-        self.goto(0);
-        self.last_reason = PauseReason::Started;
-        Ok(PauseReason::Started)
+        let mut st = self.state_at(cur).clone();
+        st.reason = self.last_reason.clone();
+        Ok(st)
     }
 }
 
 impl Tracker for ReplayTracker {
     fn start(&mut self) -> Result<PauseReason> {
-        if self.idx.is_some() {
-            return Err(TrackerError::Engine("replay already started".into()));
-        }
-        if self.recording.steps.is_empty() {
-            self.idx = Some(0);
-            self.last_reason = self.exited_reason();
-            return Ok(self.last_reason.clone());
-        }
-        self.idx = Some(0);
-        self.output_pos = 1;
-        self.last_reason = PauseReason::Started;
-        Ok(PauseReason::Started)
+        self.timed_control("Start", |t| {
+            if t.idx.is_some() {
+                return Err(TrackerError::Engine("replay already started".into()));
+            }
+            if t.recording.steps.is_empty() {
+                t.idx = Some(0);
+                t.last_reason = t.exited_reason();
+                return Ok(t.last_reason.clone());
+            }
+            t.idx = Some(0);
+            t.output_pos = 1;
+            t.last_reason = PauseReason::Started;
+            Ok(PauseReason::Started)
+        })
     }
 
     fn resume(&mut self) -> Result<PauseReason> {
-        self.advance_until(|_, _| None)
+        self.timed_control("Resume", |t| t.advance_until(|_, _| None))
     }
 
     fn step(&mut self) -> Result<PauseReason> {
-        let Some(cur) = self.idx else {
-            return Err(TrackerError::NotStarted);
-        };
-        Ok(self.goto(cur + 1))
+        self.timed_control("Step", |t| {
+            let Some(cur) = t.idx else {
+                return Err(TrackerError::NotStarted);
+            };
+            Ok(t.goto(cur + 1))
+        })
     }
 
     fn next(&mut self) -> Result<PauseReason> {
-        let Some(cur) = self.idx else {
-            return Err(TrackerError::NotStarted);
-        };
-        if cur >= self.recording.steps.len() {
-            return Ok(self.exited_reason());
-        }
-        let depth = self.depth_at(cur);
-        let line = self.line_at(cur);
-        self.advance_until(move |this, i| {
-            let d = this.depth_at(i);
-            (d < depth || (d == depth && this.line_at(i) != line)).then_some(PauseReason::Step)
+        self.timed_control("Next", |t| {
+            let Some(cur) = t.idx else {
+                return Err(TrackerError::NotStarted);
+            };
+            if cur >= t.recording.steps.len() {
+                return Ok(t.exited_reason());
+            }
+            let depth = t.depth_at(cur);
+            let line = t.line_at(cur);
+            t.advance_until(move |this, i| {
+                let d = this.depth_at(i);
+                (d < depth || (d == depth && this.line_at(i) != line)).then_some(PauseReason::Step)
+            })
         })
     }
 
     fn finish(&mut self) -> Result<PauseReason> {
-        let Some(cur) = self.idx else {
-            return Err(TrackerError::NotStarted);
-        };
-        if cur >= self.recording.steps.len() {
-            return Ok(self.exited_reason());
-        }
-        let depth = self.depth_at(cur);
-        if depth <= 1 {
-            return Err(TrackerError::Engine(
-                "cannot finish the outermost frame".into(),
-            ));
-        }
-        self.advance_until(move |this, i| {
-            (this.depth_at(i) < depth).then_some(PauseReason::Step)
+        self.timed_control("Finish", |t| {
+            let Some(cur) = t.idx else {
+                return Err(TrackerError::NotStarted);
+            };
+            if cur >= t.recording.steps.len() {
+                return Ok(t.exited_reason());
+            }
+            let depth = t.depth_at(cur);
+            if depth <= 1 {
+                return Err(TrackerError::Engine(
+                    "cannot finish the outermost frame".into(),
+                ));
+            }
+            t.advance_until(move |this, i| (this.depth_at(i) < depth).then_some(PauseReason::Step))
         })
     }
 
     fn break_before_line(&mut self, line: u32) -> Result<ControlPointId> {
+        self.obs.inc("tracker.control_point.SetBreakLine");
         // Slide to the next recorded line, like the live engines.
         let actual = self
             .recording
@@ -478,6 +556,7 @@ impl Tracker for ReplayTracker {
         function: &str,
         maxdepth: Option<u32>,
     ) -> Result<ControlPointId> {
+        self.obs.inc("tracker.control_point.SetBreakFunc");
         let id = self.next_id;
         self.next_id += 1;
         self.points.push(ControlPoint {
@@ -491,6 +570,7 @@ impl Tracker for ReplayTracker {
     }
 
     fn track_function(&mut self, function: &str, maxdepth: Option<u32>) -> Result<ControlPointId> {
+        self.obs.inc("tracker.control_point.TrackFunction");
         let id = self.next_id;
         self.next_id += 1;
         self.points.push(ControlPoint {
@@ -504,6 +584,7 @@ impl Tracker for ReplayTracker {
     }
 
     fn watch(&mut self, variable: &str) -> Result<ControlPointId> {
+        self.obs.inc("tracker.control_point.Watch");
         let id = self.next_id;
         self.next_id += 1;
         self.points.push(ControlPoint {
@@ -533,41 +614,28 @@ impl Tracker for ReplayTracker {
     }
 
     fn get_current_frame(&mut self) -> Result<Frame> {
-        Ok(self.get_state()?.frame)
+        self.count_inspect("GetState");
+        Ok(self.current_state()?.frame)
     }
 
     fn get_state(&mut self) -> Result<ProgramState> {
-        let Some(cur) = self.idx else {
-            return Err(TrackerError::NotStarted);
-        };
-        if cur >= self.recording.steps.len() {
-            // After the end: synthesize a terminal state on the last frame.
-            if let Some(last) = self.recording.steps.last() {
-                let mut st = last.state.clone();
-                st.reason = self.exited_reason();
-                return Ok(st);
-            }
-            return Ok(ProgramState::new(
-                Frame::new("<module>", 0, SourceLocation::new(self.recording.file.clone(), 0)),
-                Vec::new(),
-                self.exited_reason(),
-            ));
-        }
-        let mut st = self.state_at(cur).clone();
-        st.reason = self.last_reason.clone();
-        Ok(st)
+        self.count_inspect("GetState");
+        self.current_state()
     }
 
     fn get_global_variables(&mut self) -> Result<Vec<Variable>> {
-        Ok(self.get_state()?.globals)
+        self.count_inspect("GetGlobals");
+        Ok(self.current_state()?.globals)
     }
 
     fn get_variable(&mut self, name: &str) -> Result<Option<Variable>> {
-        let st = self.get_state()?;
+        self.count_inspect("GetVariable");
+        let st = self.current_state()?;
         Ok(self.lookup_in(&st, name))
     }
 
     fn get_exit_code(&mut self) -> Option<i64> {
+        self.count_inspect("GetExitCode");
         match self.idx {
             Some(i) if i >= self.recording.steps.len() => Some(self.recording.exit_code),
             _ => None,
@@ -575,6 +643,7 @@ impl Tracker for ReplayTracker {
     }
 
     fn get_output(&mut self) -> Result<String> {
+        self.count_inspect("GetOutput");
         let upto = self.output_pos.min(self.recording.steps.len());
         let mut out = String::new();
         for step in &self.recording.steps[self.output_cursor.min(upto)..upto] {
@@ -585,10 +654,12 @@ impl Tracker for ReplayTracker {
     }
 
     fn get_source(&mut self) -> Result<(String, String)> {
+        self.count_inspect("GetSource");
         Ok((self.recording.file.clone(), self.recording.source.clone()))
     }
 
     fn breakable_lines(&mut self) -> Result<Vec<u32>> {
+        self.count_inspect("GetBreakableLines");
         let mut lines: Vec<u32> = self
             .recording
             .steps
@@ -598,6 +669,10 @@ impl Tracker for ReplayTracker {
         lines.sort_unstable();
         lines.dedup();
         Ok(lines)
+    }
+
+    fn stats(&self) -> obs::Snapshot {
+        self.obs.snapshot()
     }
 }
 
@@ -695,11 +770,8 @@ mod tests {
 
     #[test]
     fn replay_works_for_python_recordings_too() {
-        let mut live = PyTracker::load(
-            "p.py",
-            "def f(x):\n    return x + 1\na = f(1)\nb = f(a)\n",
-        )
-        .unwrap();
+        let mut live =
+            PyTracker::load("p.py", "def f(x):\n    return x + 1\na = f(1)\nb = f(a)\n").unwrap();
         let rec = Recording::capture(&mut live).unwrap();
         live.terminate();
         let mut t = ReplayTracker::new(rec);

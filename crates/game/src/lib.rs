@@ -102,7 +102,7 @@ int main() {\n\
     }\n\
     return door_open;\n\
 }\n"
-            .to_owned();
+        .to_owned();
         Level {
             name: "Level 1: the stubborn door".into(),
             map,
@@ -157,7 +157,7 @@ int main() {\n\
     }\n\
     return door_open;\n\
 }\n"
-            .to_owned();
+        .to_owned();
         Level {
             name: "Level 2: one step short".into(),
             map,
@@ -252,13 +252,12 @@ impl Game {
         let mut hinted_door = false;
 
         let read_int = |t: &mut dyn Tracker, name: &str| -> Option<i64> {
-            t.get_variable(name)
-                .ok()
-                .flatten()
-                .and_then(|v| match v.value().deref_fully().content() {
+            t.get_variable(name).ok().flatten().and_then(|v| {
+                match v.value().deref_fully().content() {
                     state::Content::Primitive(state::Prim::Int(n)) => Some(*n),
                     _ => None,
-                })
+                }
+            })
         };
 
         loop {
@@ -302,9 +301,7 @@ impl Game {
                         }
                     }
                     // Hint 2: at the door without the key.
-                    if self.level.map.tile_at(x, y) == Some(Tile::Door)
-                        && !has_key
-                        && !hinted_door
+                    if self.level.map.tile_at(x, y) == Some(Tile::Door) && !has_key && !hinted_door
                     {
                         hints.push(
                             "the character reached the door, but without the key the \
@@ -334,9 +331,7 @@ impl Game {
         let exit_code = tracker.get_exit_code().unwrap_or(-1);
         let won = frames
             .last()
-            .is_some_and(|f| {
-                self.level.map.tile_at(f.x, f.y) == Some(Tile::Exit) && f.door_open
-            })
+            .is_some_and(|f| self.level.map.tile_at(f.x, f.y) == Some(Tile::Exit) && f.door_open)
             && illegal_moves.is_empty();
         tracker.terminate();
         Ok(PlayReport {
@@ -359,10 +354,9 @@ mod tests {
     use super::*;
 
     fn fixed_source(level: &Level) -> String {
-        level.buggy_source.replace(
-            "/* BUG: the key is never picked up */",
-            "has_key = 1;",
-        )
+        level
+            .buggy_source
+            .replace("/* BUG: the key is never picked up */", "has_key = 1;")
     }
 
     #[test]
@@ -371,14 +365,12 @@ mod tests {
         let report = Game::new(level.clone()).play(&level.buggy_source).unwrap();
         assert!(!report.won);
         assert_eq!(report.exit_code, 0);
-        assert!(report
-            .hints
-            .iter()
-            .any(|h| h.contains("check_key")), "{:?}", report.hints);
-        assert!(report
-            .hints
-            .iter()
-            .any(|h| h.contains("door stays closed")));
+        assert!(
+            report.hints.iter().any(|h| h.contains("check_key")),
+            "{:?}",
+            report.hints
+        );
+        assert!(report.hints.iter().any(|h| h.contains("door stays closed")));
         // Character moved but never reached the exit tile.
         assert!(!report.frames.is_empty());
         let last = report.frames.last().unwrap();
@@ -430,19 +422,22 @@ mod tests {
         let report = game.play(&level.buggy_source).unwrap();
         assert!(!report.won);
         assert!(report.frames.iter().any(|f| f.has_key));
-        assert!(report
-            .hints
-            .iter()
-            .all(|h| !h.contains("check_key")), "key hint must not fire: {:?}", report.hints);
+        assert!(
+            report.hints.iter().all(|h| !h.contains("check_key")),
+            "key hint must not fire: {:?}",
+            report.hints
+        );
         // The game hints that the walk never reached the door.
-        assert!(report
-            .hints
-            .iter()
-            .any(|h| h.contains("never") && h.contains("door")), "{:?}", report.hints);
+        assert!(
+            report
+                .hints
+                .iter()
+                .any(|h| h.contains("never") && h.contains("door")),
+            "{:?}",
+            report.hints
+        );
         // Fix the loop bound; the level is won.
-        let fixed = level
-            .buggy_source
-            .replace("i < door_x", "i <= door_x");
+        let fixed = level.buggy_source.replace("i < door_x", "i <= door_x");
         let report = game.play(&fixed).unwrap();
         assert!(report.won, "hints: {:?}", report.hints);
         assert_eq!(report.exit_code, 1);

@@ -81,16 +81,14 @@ pub struct AsmEngine {
     output_cursor: usize,
     crashed: Option<String>,
     crash_reported: bool,
+    registry: Option<obs::Registry>,
 }
 
 impl AsmEngine {
     /// Creates an engine with the program loaded, paused at the entry.
     pub fn new(program: &AsmProgram) -> Self {
         let cpu = Cpu::new(program);
-        let entry_name = program
-            .label_at(program.entry)
-            .unwrap_or("main")
-            .to_owned();
+        let entry_name = program.label_at(program.entry).unwrap_or("main").to_owned();
         AsmEngine {
             cpu,
             started: false,
@@ -106,7 +104,22 @@ impl AsmEngine {
             output_cursor: 0,
             crashed: None,
             crash_reported: false,
+            registry: None,
         }
+    }
+
+    /// Publishes `vm.miniasm.*` execution stats into `registry` after
+    /// every control command: retired instructions and shadow-stack depth.
+    pub fn set_registry(&mut self, registry: obs::Registry) {
+        self.registry = Some(registry);
+    }
+
+    fn publish_stats(&self) {
+        let Some(reg) = &self.registry else {
+            return;
+        };
+        reg.set("vm.miniasm.instret", self.cpu.instret());
+        reg.set("vm.miniasm.shadow_depth", self.shadow.len() as u64);
     }
 
     /// Read access to the CPU.
@@ -200,9 +213,11 @@ impl AsmEngine {
                 }
                 // Tracked function entry: paused at its first instruction.
                 let depth = (self.shadow.len() - 1) as u32;
-                if let Some(t) = self.tracked.iter().find(|t| {
-                    t.addr == pc && t.maxdepth.is_none_or(|m| depth <= m)
-                }) {
+                if let Some(t) = self
+                    .tracked
+                    .iter()
+                    .find(|t| t.addr == pc && t.maxdepth.is_none_or(|m| depth <= m))
+                {
                     // Only when we *just* entered (previous instruction was
                     // the call) — the shadow top carries the name.
                     if self.shadow.last().map(|f| f.name.as_str()) == Some(t.name.as_str()) {
@@ -215,7 +230,11 @@ impl AsmEngine {
                 // Tracked function about to return (paper's retq scan).
                 if matches!(
                     self.pending_inst(),
-                    Some(Inst::Jalr { rd: 0, rs1: 1, imm: 0 })
+                    Some(Inst::Jalr {
+                        rd: 0,
+                        rs1: 1,
+                        imm: 0
+                    })
                 ) {
                     if let Some(top) = self.shadow.last() {
                         let depth = (self.shadow.len() - 1) as u32;
@@ -303,6 +322,7 @@ impl AsmEngine {
         }
         let reason = self.run(mode);
         self.last_reason = reason.clone();
+        self.publish_stats();
         Response::Paused(reason)
     }
 
@@ -555,9 +575,7 @@ impl Engine for AsmEngine {
                 file: self.cpu.program().file.clone(),
                 text: self.cpu.program().source.clone(),
             },
-            Command::GetBreakableLines => {
-                Response::Lines(self.cpu.program().breakable_lines())
-            }
+            Command::GetBreakableLines => Response::Lines(self.cpu.program().breakable_lines()),
             Command::Terminate => Response::Ok,
         }
     }
@@ -797,19 +815,25 @@ mod label_lookup_tests {
         let src = ".data\ncount: .word 7\n.text\nmain:\n    li a7, 10\n    ecall\nhelper:\n    ret";
         let mut e = AsmEngine::new(&assemble("t.s", src).unwrap());
         e.handle(Command::Start);
-        match e.handle(Command::GetVariable { name: "count".into() }) {
+        match e.handle(Command::GetVariable {
+            name: "count".into(),
+        }) {
             Response::Variable(Some(v)) => {
                 assert_eq!(state::render_value(v.value()), "7");
             }
             other => panic!("unexpected {other:?}"),
         }
-        match e.handle(Command::GetVariable { name: "helper".into() }) {
+        match e.handle(Command::GetVariable {
+            name: "helper".into(),
+        }) {
             Response::Variable(Some(v)) => {
                 assert_eq!(v.value().abstract_type(), state::AbstractType::Function);
             }
             other => panic!("unexpected {other:?}"),
         }
-        match e.handle(Command::GetVariable { name: "nonesuch".into() }) {
+        match e.handle(Command::GetVariable {
+            name: "nonesuch".into(),
+        }) {
             Response::Variable(None) => {}
             other => panic!("unexpected {other:?}"),
         }

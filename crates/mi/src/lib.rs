@@ -109,34 +109,81 @@ impl Drop for Session {
 /// Spawns a MiniC engine on its own thread (the "GDB subprocess" analogue)
 /// and returns the connected session.
 pub fn spawn_minic(program: &minic::Program) -> Session {
+    spawn_minic_inner(program, None)
+}
+
+/// Like [`spawn_minic`], but client, server, and engine all report into
+/// `registry`: roundtrip latencies and byte gauges on the client side,
+/// per-command counters on the server side, and `vm.minic.*` execution
+/// stats from the engine.
+pub fn spawn_minic_with_registry(program: &minic::Program, registry: obs::Registry) -> Session {
+    spawn_minic_inner(program, Some(registry))
+}
+
+fn spawn_minic_inner(program: &minic::Program, registry: Option<obs::Registry>) -> Session {
     let (a, b) = transport::duplex();
-    let engine = minic_engine::MinicEngine::new(program);
+    let mut engine = minic_engine::MinicEngine::new(program);
+    if let Some(reg) = registry.clone() {
+        engine.set_registry(reg);
+    }
+    let server_reg = registry.clone();
     let handle = std::thread::Builder::new()
         .name("mi-minic-engine".into())
         .spawn(move || {
-            let mut server = Server::new(engine, b);
+            let mut server = match server_reg {
+                Some(reg) => Server::with_registry(engine, b, reg),
+                None => Server::new(engine, b),
+            };
             server.serve();
         })
         .expect("spawn engine thread");
+    let client = match registry {
+        Some(reg) => Client::with_registry(a, reg),
+        None => Client::new(a),
+    };
     Session {
-        client: Client::new(a),
+        client,
         handle: Some(handle),
     }
 }
 
 /// Spawns a RISC-V engine on its own thread and returns the session.
 pub fn spawn_asm(program: &miniasm::asm::AsmProgram) -> Session {
+    spawn_asm_inner(program, None)
+}
+
+/// Like [`spawn_asm`], but client, server, and engine all report into
+/// `registry` (engine stats appear as `vm.miniasm.*`).
+pub fn spawn_asm_with_registry(
+    program: &miniasm::asm::AsmProgram,
+    registry: obs::Registry,
+) -> Session {
+    spawn_asm_inner(program, Some(registry))
+}
+
+fn spawn_asm_inner(program: &miniasm::asm::AsmProgram, registry: Option<obs::Registry>) -> Session {
     let (a, b) = transport::duplex();
-    let engine = asm_engine::AsmEngine::new(program);
+    let mut engine = asm_engine::AsmEngine::new(program);
+    if let Some(reg) = registry.clone() {
+        engine.set_registry(reg);
+    }
+    let server_reg = registry.clone();
     let handle = std::thread::Builder::new()
         .name("mi-asm-engine".into())
         .spawn(move || {
-            let mut server = Server::new(engine, b);
+            let mut server = match server_reg {
+                Some(reg) => Server::with_registry(engine, b, reg),
+                None => Server::new(engine, b),
+            };
             server.serve();
         })
         .expect("spawn engine thread");
+    let client = match registry {
+        Some(reg) => Client::with_registry(a, reg),
+        None => Client::new(a),
+    };
     Session {
-        client: Client::new(a),
+        client,
         handle: Some(handle),
     }
 }

@@ -22,14 +22,15 @@ use crate::server::Engine;
 use minic::inspect::{self, InspectOptions};
 use minic::vm::{Event, Vm};
 use minic::Program;
-use state::{
-    ExitStatus, PauseReason, ProgramState, Prim, SourceLocation, Value, Variable,
-};
+use state::{ExitStatus, PauseReason, Prim, ProgramState, SourceLocation, Value, Variable};
 
 #[derive(Debug, Clone)]
 enum BpKind {
     Line(u32),
-    FuncEntry { function: String, maxdepth: Option<u32> },
+    FuncEntry {
+        function: String,
+        maxdepth: Option<u32>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -75,6 +76,9 @@ pub struct MinicEngine {
     crash_reported: bool,
     /// Set while a `finish` waits for the target frame's return event.
     finish_fired: bool,
+    registry: Option<obs::Registry>,
+    /// VM events seen by the control loop (published as `vm.minic.events`).
+    events_seen: u64,
 }
 
 impl MinicEngine {
@@ -92,12 +96,33 @@ impl MinicEngine {
             crashed: None,
             crash_reported: false,
             finish_fired: false,
+            registry: None,
+            events_seen: 0,
         }
+    }
+
+    /// Publishes `vm.minic.*` execution stats into `registry` after every
+    /// control command: ops executed, events seen, heap allocs/frees, and
+    /// live heap bytes.
+    pub fn set_registry(&mut self, registry: obs::Registry) {
+        self.registry = Some(registry);
     }
 
     /// Read access to the VM (used by in-process tools and benches).
     pub fn vm(&self) -> &Vm {
         &self.vm
+    }
+
+    fn publish_stats(&self) {
+        let Some(reg) = &self.registry else {
+            return;
+        };
+        reg.set("vm.minic.ops", self.vm.ops_executed());
+        reg.set("vm.minic.events", self.events_seen);
+        let alloc = self.vm.allocator();
+        reg.set("vm.minic.heap.allocs", alloc.total_allocs());
+        reg.set("vm.minic.heap.frees", alloc.total_frees());
+        reg.set("vm.minic.heap.live_bytes", alloc.live_bytes());
     }
 
     fn alloc_id(&mut self) -> u64 {
@@ -224,6 +249,7 @@ impl MinicEngine {
                     return PauseReason::Exited(ExitStatus::Crashed);
                 }
             };
+            self.events_seen += 1;
             match event {
                 Event::Line(n) => {
                     if !self.watches.is_empty() {
@@ -231,9 +257,11 @@ impl MinicEngine {
                             return reason;
                         }
                     }
-                    if let Some(bp) = self.bps.iter().find(|bp| {
-                        matches!(bp.kind, BpKind::Line(l) if l == n)
-                    }) {
+                    if let Some(bp) = self
+                        .bps
+                        .iter()
+                        .find(|bp| matches!(bp.kind, BpKind::Line(l) if l == n))
+                    {
                         return PauseReason::Breakpoint {
                             id: bp.id,
                             location: self.location(n),
@@ -261,9 +289,10 @@ impl MinicEngine {
                 Event::Call { function, depth } => {
                     let name = &self.vm.program().functions[function].name;
                     if let Some(bp) = self.bps.iter().find(|bp| match &bp.kind {
-                        BpKind::FuncEntry { function: f, maxdepth } => {
-                            f == name && maxdepth.is_none_or(|m| depth <= m)
-                        }
+                        BpKind::FuncEntry {
+                            function: f,
+                            maxdepth,
+                        } => f == name && maxdepth.is_none_or(|m| depth <= m),
                         BpKind::Line(_) => false,
                     }) {
                         let line = self.vm.program().functions[function].line;
@@ -327,16 +356,12 @@ impl MinicEngine {
         }
         let reason = self.run(mode);
         self.last_reason = reason.clone();
+        self.publish_stats();
         Response::Paused(reason)
     }
 
     fn current_position(&self) -> (u32, usize) {
-        let line = self
-            .vm
-            .frames()
-            .last()
-            .map(|f| f.line)
-            .unwrap_or(0);
+        let line = self.vm.frames().last().map(|f| f.line).unwrap_or(0);
         (line, self.vm.frames().len())
     }
 }
@@ -683,7 +708,9 @@ mod tests {
         let mut transitions = Vec::new();
         loop {
             match paused(e.handle(Command::Resume)) {
-                PauseReason::Watchpoint { old, new, variable, .. } => {
+                PauseReason::Watchpoint {
+                    old, new, variable, ..
+                } => {
                     assert_eq!(variable, "i");
                     transitions.push((old, new));
                 }
@@ -749,7 +776,10 @@ mod tests {
             Response::Output("hi 3\n".into())
         );
         // Cursor advanced: second read is empty.
-        assert_eq!(e.handle(Command::GetOutput), Response::Output(String::new()));
+        assert_eq!(
+            e.handle(Command::GetOutput),
+            Response::Output(String::new())
+        );
     }
 
     #[test]
@@ -768,10 +798,7 @@ mod tests {
     #[test]
     fn control_before_start_rejected() {
         let mut e = engine(COUNT);
-        assert!(matches!(
-            e.handle(Command::Resume),
-            Response::Error { .. }
-        ));
+        assert!(matches!(e.handle(Command::Resume), Response::Error { .. }));
         assert!(matches!(
             e.handle(Command::GetState),
             Response::Error { .. }
@@ -803,7 +830,10 @@ mod tests {
         let mut e = engine("int g = 258;\nint main() {\nreturn g;\n}");
         e.handle(Command::Start);
         let g_addr = e.vm().program().global("g").unwrap().addr;
-        match e.handle(Command::ReadMemory { addr: g_addr, len: 4 }) {
+        match e.handle(Command::ReadMemory {
+            addr: g_addr,
+            len: 4,
+        }) {
             Response::Memory(bytes) => assert_eq!(bytes, 258i32.to_le_bytes()),
             other => panic!("unexpected {other:?}"),
         }
@@ -823,13 +853,17 @@ mod function_symbol_tests {
 
     #[test]
     fn function_symbols_are_function_values() {
-        let mut e = MinicEngine::new(&compile(
-            "t.c",
-            "int helper(int x) { return x; }\nint main() { return helper(1); }",
-        )
-        .unwrap());
+        let mut e = MinicEngine::new(
+            &compile(
+                "t.c",
+                "int helper(int x) { return x; }\nint main() { return helper(1); }",
+            )
+            .unwrap(),
+        );
         e.handle(Command::Start);
-        match e.handle(Command::GetVariable { name: "helper".into() }) {
+        match e.handle(Command::GetVariable {
+            name: "helper".into(),
+        }) {
             Response::Variable(Some(v)) => {
                 assert_eq!(v.value().abstract_type(), state::AbstractType::Function);
                 assert_eq!(state::render_value(v.value()), "<fn helper>");

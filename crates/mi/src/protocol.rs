@@ -84,6 +84,36 @@ pub enum Command {
     Terminate,
 }
 
+impl Command {
+    /// Stable short name of the command kind, used as the metric-name
+    /// suffix in observability series (`mi.client.roundtrip.<kind>`,
+    /// `mi.server.cmd.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::Start => "Start",
+            Command::Resume => "Resume",
+            Command::Step => "Step",
+            Command::Next => "Next",
+            Command::Finish => "Finish",
+            Command::SetBreakLine { .. } => "SetBreakLine",
+            Command::SetBreakFunc { .. } => "SetBreakFunc",
+            Command::TrackFunction { .. } => "TrackFunction",
+            Command::Watch { .. } => "Watch",
+            Command::Delete { .. } => "Delete",
+            Command::GetState => "GetState",
+            Command::GetGlobals => "GetGlobals",
+            Command::GetVariable { .. } => "GetVariable",
+            Command::GetRegisters => "GetRegisters",
+            Command::ReadMemory { .. } => "ReadMemory",
+            Command::GetOutput => "GetOutput",
+            Command::GetExitCode => "GetExitCode",
+            Command::GetSource => "GetSource",
+            Command::GetBreakableLines => "GetBreakableLines",
+            Command::Terminate => "Terminate",
+        }
+    }
+}
+
 /// A response from the engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -142,7 +172,10 @@ mod tests {
             Command::Watch {
                 variable: "main::x".into(),
             },
-            Command::ReadMemory { addr: 0x1000, len: 64 },
+            Command::ReadMemory {
+                addr: 0x1000,
+                len: 64,
+            },
             Command::Terminate,
         ];
         for c in cmds {

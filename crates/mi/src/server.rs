@@ -16,12 +16,28 @@ pub trait Engine {
 pub struct Server<E, T> {
     engine: E,
     transport: T,
+    registry: Option<obs::Registry>,
 }
 
 impl<E: Engine, T: Transport> Server<E, T> {
     /// Creates a server from an engine and its transport endpoint.
     pub fn new(engine: E, transport: T) -> Self {
-        Server { engine, transport }
+        Server {
+            engine,
+            transport,
+            registry: None,
+        }
+    }
+
+    /// Like [`Server::new`], but every served command bumps a
+    /// `mi.server.cmd.<kind>` counter in `registry` (and undecodable
+    /// frames bump `mi.server.cmd.Malformed`).
+    pub fn with_registry(engine: E, transport: T, registry: obs::Registry) -> Self {
+        Server {
+            engine,
+            transport,
+            registry: Some(registry),
+        }
     }
 
     /// Serves until `Terminate` arrives or the peer disconnects.
@@ -32,19 +48,26 @@ impl<E: Engine, T: Transport> Server<E, T> {
             };
             let response = match serde_json::from_slice::<Command>(&frame) {
                 Ok(cmd) => {
+                    if let Some(reg) = &self.registry {
+                        reg.inc(&format!("mi.server.cmd.{}", cmd.kind()));
+                    }
                     let stop = cmd == Command::Terminate;
                     let resp = self.engine.handle(cmd);
-                    let bytes =
-                        serde_json::to_vec(&resp).expect("responses always serialize");
+                    let bytes = serde_json::to_vec(&resp).expect("responses always serialize");
                     let _ = self.transport.send(&bytes);
                     if stop {
                         return;
                     }
                     continue;
                 }
-                Err(e) => Response::Error {
-                    message: format!("malformed command: {e}"),
-                },
+                Err(e) => {
+                    if let Some(reg) = &self.registry {
+                        reg.inc("mi.server.cmd.Malformed");
+                    }
+                    Response::Error {
+                        message: format!("malformed command: {e}"),
+                    }
+                }
             };
             let bytes = serde_json::to_vec(&response).expect("responses always serialize");
             if self.transport.send(&bytes).is_err() {
@@ -58,12 +81,27 @@ impl<E: Engine, T: Transport> Server<E, T> {
 #[derive(Debug)]
 pub struct Client<T> {
     transport: T,
+    registry: Option<obs::Registry>,
 }
 
 impl<T: Transport> Client<T> {
     /// Creates a client over a transport endpoint.
     pub fn new(transport: T) -> Self {
-        Client { transport }
+        Client {
+            transport,
+            registry: None,
+        }
+    }
+
+    /// Like [`Client::new`], but every roundtrip is timed into a
+    /// `mi.client.roundtrip.<kind>` histogram and the transport's byte
+    /// counters are mirrored into `mi.client.bytes_{sent,received}`
+    /// gauges in `registry`.
+    pub fn with_registry(transport: T, registry: obs::Registry) -> Self {
+        Client {
+            transport,
+            registry: Some(registry),
+        }
     }
 
     /// Sends `command` and blocks for the engine's response.
@@ -73,11 +111,24 @@ impl<T: Transport> Client<T> {
     /// Transport failures surface as [`MiError`]; engine-level failures
     /// come back as [`Response::Error`].
     pub fn call(&mut self, command: Command) -> Result<Response, MiError> {
-        let bytes = serde_json::to_vec(&command)
-            .map_err(|e| MiError::Codec(e.to_string()))?;
+        let span = self
+            .registry
+            .as_ref()
+            .map(|reg| reg.span(format!("mi.client.roundtrip.{}", command.kind())));
+        let bytes = serde_json::to_vec(&command).map_err(|e| MiError::Codec(e.to_string()))?;
         self.transport.send(&bytes)?;
         let frame = self.transport.recv()?;
-        serde_json::from_slice(&frame).map_err(|e| MiError::Codec(e.to_string()))
+        let resp: Response =
+            serde_json::from_slice(&frame).map_err(|e| MiError::Codec(e.to_string()))?;
+        drop(span);
+        if let Some(reg) = &self.registry {
+            let c = self.transport.counters();
+            reg.set("mi.client.bytes_sent", c.bytes_sent);
+            reg.set("mi.client.bytes_received", c.bytes_received);
+            reg.set("mi.client.frames_sent", c.frames_sent);
+            reg.set("mi.client.frames_received", c.frames_received);
+        }
+        Ok(resp)
     }
 
     /// Access to the underlying transport (byte counters for benches).
@@ -123,6 +174,61 @@ mod tests {
         ));
         assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_command_variant_rejected_and_counted() {
+        // A peer speaking a newer (or broken) protocol revision sends a
+        // command id this server does not know: decode fails, the server
+        // answers Error, counts it as Malformed, and keeps serving.
+        let reg = obs::Registry::new();
+        let (mut a, b) = duplex();
+        let server_reg = reg.clone();
+        let handle = std::thread::spawn(move || {
+            Server::with_registry(Echo, b, server_reg).serve();
+        });
+        a.send(br#"{"SelfDestruct":{"countdown":3}}"#).unwrap();
+        let resp: Response = serde_json::from_slice(&a.recv().unwrap()).unwrap();
+        let Response::Error { message } = resp else {
+            panic!("expected error for unknown command id");
+        };
+        assert!(message.contains("malformed command"), "{message}");
+        let mut client = Client::new(a);
+        assert_eq!(
+            client.call(Command::GetOutput).unwrap(),
+            Response::Output("echo".into())
+        );
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        handle.join().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mi.server.cmd.Malformed"), 1);
+        assert_eq!(snap.counter("mi.server.cmd.GetOutput"), 1);
+        assert_eq!(snap.counter("mi.server.cmd.Terminate"), 1);
+    }
+
+    #[test]
+    fn malformed_json_frame_answered_with_error_and_counted() {
+        let reg = obs::Registry::new();
+        let (mut a, b) = duplex();
+        let server_reg = reg.clone();
+        let handle = std::thread::spawn(move || {
+            Server::with_registry(Echo, b, server_reg).serve();
+        });
+        // Three flavours of garbage: truncated JSON, binary noise, valid
+        // JSON of the wrong shape.
+        for garbage in [
+            &br#"{"GetOutput"#[..],
+            &b"\x00\xff\xfe"[..],
+            &b"[1,2,3]"[..],
+        ] {
+            a.send(garbage).unwrap();
+            let resp: Response = serde_json::from_slice(&a.recv().unwrap()).unwrap();
+            assert!(matches!(resp, Response::Error { .. }));
+        }
+        let mut client = Client::new(a);
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        handle.join().unwrap();
+        assert_eq!(reg.snapshot().counter("mi.server.cmd.Malformed"), 3);
     }
 
     #[test]

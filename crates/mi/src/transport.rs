@@ -9,6 +9,29 @@
 use crate::MiError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+/// Traffic accounting every transport keeps, regardless of medium.
+///
+/// `bytes_*` include framing overhead (length prefixes, newline
+/// delimiters): they measure what actually crosses the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Bytes shipped to the peer, framing included.
+    pub bytes_sent: u64,
+    /// Bytes received from the peer, framing included.
+    pub bytes_received: u64,
+    /// Frames shipped to the peer.
+    pub frames_sent: u64,
+    /// Frames received from the peer.
+    pub frames_received: u64,
+}
+
+impl TransportCounters {
+    /// Total bytes in both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
 /// A bidirectional byte-frame transport.
 pub trait Transport {
     /// Sends one frame.
@@ -24,6 +47,9 @@ pub trait Transport {
     ///
     /// [`MiError::Disconnected`] when the peer is gone.
     fn recv(&mut self) -> Result<Vec<u8>, MiError>;
+
+    /// Traffic shipped through this endpoint so far.
+    fn counters(&self) -> TransportCounters;
 }
 
 /// Transport over in-process byte channels (the pipe analogue).
@@ -31,10 +57,7 @@ pub trait Transport {
 pub struct ChannelTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
-    /// Bytes shipped in each direction, for the serialization-cost benches.
-    pub bytes_sent: u64,
-    /// Bytes received.
-    pub bytes_received: u64,
+    counters: TransportCounters,
 }
 
 impl Transport for ChannelTransport {
@@ -44,13 +67,15 @@ impl Transport for ChannelTransport {
         let mut wire = Vec::with_capacity(frame.len() + 4);
         wire.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         wire.extend_from_slice(frame);
-        self.bytes_sent += wire.len() as u64;
+        self.counters.bytes_sent += wire.len() as u64;
+        self.counters.frames_sent += 1;
         self.tx.send(wire).map_err(|_| MiError::Disconnected)
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, MiError> {
         let wire = self.rx.recv().map_err(|_| MiError::Disconnected)?;
-        self.bytes_received += wire.len() as u64;
+        self.counters.bytes_received += wire.len() as u64;
+        self.counters.frames_received += 1;
         if wire.len() < 4 {
             return Err(MiError::Codec("short frame".into()));
         }
@@ -63,6 +88,10 @@ impl Transport for ChannelTransport {
         }
         Ok(wire[4..].to_vec())
     }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
 }
 
 /// Creates a connected pair of transports (like `pipe(2)` both ways).
@@ -73,14 +102,12 @@ pub fn duplex() -> (ChannelTransport, ChannelTransport) {
         ChannelTransport {
             tx: tx_ab,
             rx: rx_ba,
-            bytes_sent: 0,
-            bytes_received: 0,
+            counters: TransportCounters::default(),
         },
         ChannelTransport {
             tx: tx_ba,
             rx: rx_ab,
-            bytes_sent: 0,
-            bytes_received: 0,
+            counters: TransportCounters::default(),
         },
     )
 }
@@ -102,9 +129,12 @@ mod tests {
     fn byte_counters_track_traffic() {
         let (mut a, mut b) = duplex();
         a.send(&[0u8; 100]).unwrap();
-        assert_eq!(a.bytes_sent, 104);
+        assert_eq!(a.counters().bytes_sent, 104);
+        assert_eq!(a.counters().frames_sent, 1);
         b.recv().unwrap();
-        assert_eq!(b.bytes_received, 104);
+        assert_eq!(b.counters().bytes_received, 104);
+        assert_eq!(b.counters().frames_received, 1);
+        assert_eq!(b.counters().bytes_total(), 104);
     }
 
     #[test]
@@ -120,6 +150,39 @@ mod tests {
         let (mut a, mut b) = duplex();
         a.send(b"").unwrap();
         assert_eq!(b.recv().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn frame_length_mismatch_detected() {
+        // Hand-build wire bytes whose length header lies about the body
+        // size — recv must refuse them instead of mis-slicing.
+        let (a, mut b) = duplex();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_le_bytes()); // claims 10 bytes
+        wire.extend_from_slice(b"ab"); // delivers 2
+        a.tx.send(wire).unwrap();
+        match b.recv() {
+            Err(MiError::Codec(msg)) => {
+                assert!(msg.contains("frame length mismatch"), "{msg}");
+                assert!(msg.contains("10") && msg.contains('2'), "{msg}");
+            }
+            other => panic!("expected codec error, got {other:?}"),
+        }
+        // The bad frame still counts as received traffic…
+        assert_eq!(b.counters().bytes_received, 6);
+        // …and the endpoint keeps working for well-formed successors.
+        drop(a);
+        assert_eq!(b.recv(), Err(MiError::Disconnected));
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        let (a, mut b) = duplex();
+        a.tx.send(vec![1, 2]).unwrap(); // shorter than the 4-byte header
+        match b.recv() {
+            Err(MiError::Codec(msg)) => assert!(msg.contains("short frame"), "{msg}"),
+            other => panic!("expected codec error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -143,6 +206,7 @@ mod tests {
 pub struct StreamTransport<R, W> {
     reader: std::io::BufReader<R>,
     writer: W,
+    counters: TransportCounters,
 }
 
 impl<R: std::io::Read, W: std::io::Write> StreamTransport<R, W> {
@@ -151,6 +215,7 @@ impl<R: std::io::Read, W: std::io::Write> StreamTransport<R, W> {
         StreamTransport {
             reader: std::io::BufReader::new(reader),
             writer,
+            counters: TransportCounters::default(),
         }
     }
 }
@@ -164,7 +229,10 @@ impl<R: std::io::Read, W: std::io::Write> Transport for StreamTransport<R, W> {
             .write_all(frame)
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush())
-            .map_err(|_| MiError::Disconnected)
+            .map_err(|_| MiError::Disconnected)?;
+        self.counters.bytes_sent += frame.len() as u64 + 1;
+        self.counters.frames_sent += 1;
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, MiError> {
@@ -172,7 +240,9 @@ impl<R: std::io::Read, W: std::io::Write> Transport for StreamTransport<R, W> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err(MiError::Disconnected),
-            Ok(_) => {
+            Ok(n) => {
+                self.counters.bytes_received += n as u64;
+                self.counters.frames_received += 1;
                 while line.ends_with('\n') || line.ends_with('\r') {
                     line.pop();
                 }
@@ -180,6 +250,10 @@ impl<R: std::io::Read, W: std::io::Write> Transport for StreamTransport<R, W> {
             }
             Err(_) => Err(MiError::Disconnected),
         }
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
     }
 }
 
@@ -205,5 +279,35 @@ mod stream_tests {
     fn newlines_in_frames_rejected() {
         let mut t = StreamTransport::new(std::io::empty(), std::io::sink());
         assert!(matches!(t.send(b"a\nb"), Err(MiError::Codec(_))));
+        // A rejected frame never hits the wire, so it is not counted.
+        assert_eq!(t.counters(), TransportCounters::default());
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        // An engine subprocess on Windows (or behind a tty filter) ends
+        // lines with \r\n; the payload must come back without either.
+        let wire = b"{\"a\":1}\r\n{\"b\":2}\r\n";
+        let mut t = StreamTransport::new(&wire[..], std::io::sink());
+        assert_eq!(t.recv().unwrap(), b"{\"a\":1}");
+        assert_eq!(t.recv().unwrap(), b"{\"b\":2}");
+        // Counters measure the wire, CR and LF included.
+        assert_eq!(t.counters().bytes_received, wire.len() as u64);
+        assert_eq!(t.counters().frames_received, 2);
+    }
+
+    #[test]
+    fn stream_counters_include_framing() {
+        let mut wire = Vec::new();
+        {
+            let mut t = StreamTransport::new(std::io::empty(), &mut wire);
+            t.send(b"{\"a\":1}").unwrap();
+            assert_eq!(t.counters().bytes_sent, 8); // 7 payload + '\n'
+            assert_eq!(t.counters().frames_sent, 1);
+        }
+        let mut t = StreamTransport::new(wire.as_slice(), std::io::sink());
+        t.recv().unwrap();
+        assert_eq!(t.counters().bytes_received, 8);
+        assert_eq!(t.counters().frames_received, 1);
     }
 }

@@ -8,7 +8,12 @@ use mi::Client;
 use state::{ExitStatus, PauseReason};
 use std::process::{Child, Stdio};
 
-fn spawn_server(path: &std::path::Path) -> (Child, Client<StreamTransport<std::process::ChildStdout, std::process::ChildStdin>>) {
+fn spawn_server(
+    path: &std::path::Path,
+) -> (
+    Child,
+    Client<StreamTransport<std::process::ChildStdout, std::process::ChildStdin>>,
+) {
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mi_server"))
         .arg(path)
         .stdin(Stdio::piped())

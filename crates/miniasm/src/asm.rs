@@ -35,10 +35,7 @@ pub struct AsmProgram {
 impl AsmProgram {
     /// Address of a label.
     pub fn label(&self, name: &str) -> Option<u32> {
-        self.labels
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, a)| *a)
+        self.labels.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
     }
 
     /// The label at exactly this address, if any (prefers text labels).
@@ -205,7 +202,10 @@ pub fn assemble(file: &str, source: &str) -> Result<AsmProgram, Error> {
         let words = pseudo_size(text).ok_or_else(|| {
             aerr(
                 line_no,
-                format!("unknown instruction `{}`", text.split_whitespace().next().unwrap_or("")),
+                format!(
+                    "unknown instruction `{}`",
+                    text.split_whitespace().next().unwrap_or("")
+                ),
             )
         })?;
         text_items.push((text_addr, text.to_owned(), line_no));
@@ -226,8 +226,7 @@ pub fn assemble(file: &str, source: &str) -> Result<AsmProgram, Error> {
     let mut image = vec![0u8; (data_base + data_len) as usize];
     let mut line_of = HashMap::new();
     for (addr, text, line) in &text_items {
-        let insts = lower(text, *addr, &labels)
-            .map_err(|message| aerr(*line, message))?;
+        let insts = lower(text, *addr, &labels).map_err(|message| aerr(*line, message))?;
         for (i, inst) in insts.iter().enumerate() {
             let a = *addr + 4 * i as u32;
             let w = encode(inst);
@@ -312,11 +311,7 @@ fn pseudo_size(text: &str) -> Option<u32> {
     let rest = text[mnemonic.len()..].trim();
     Some(match mnemonic {
         "li" => {
-            let imm = rest
-                .split(',')
-                .nth(1)
-                .and_then(parse_int)
-                .unwrap_or(0);
+            let imm = rest.split(',').nth(1).and_then(parse_int).unwrap_or(0);
             if (-2048..2048).contains(&imm) {
                 1
             } else {
@@ -360,13 +355,20 @@ fn lower(text: &str, addr: u32, labels: &HashMap<String, u32>) -> Result<Vec<Ins
         if ops.len() == n {
             Ok(())
         } else {
-            Err(format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+            Err(format!(
+                "`{mnemonic}` expects {n} operand(s), got {}",
+                ops.len()
+            ))
         }
     };
     /// `off(rs)` operand.
     fn base_off(s: &str) -> Result<(i32, u8), String> {
-        let open = s.find('(').ok_or_else(|| format!("expected `off(reg)`, got `{s}`"))?;
-        let close = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| format!("expected `off(reg)`, got `{s}`"))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| format!("missing `)` in `{s}`"))?;
         let off = if s[..open].trim().is_empty() {
             0
         } else {
@@ -578,7 +580,10 @@ fn lower(text: &str, addr: u32, labels: &HashMap<String, u32>) -> Result<Vec<Ins
                 let lo = (v << 20) >> 20; // sign-extended low 12 bits
                 let hi = (v - lo) >> 12;
                 Ok(vec![
-                    Inst::Lui { rd, imm: hi & 0xfffff },
+                    Inst::Lui {
+                        rd,
+                        imm: hi & 0xfffff,
+                    },
                     Inst::I {
                         op: IOp::Addi,
                         rd,
@@ -597,7 +602,10 @@ fn lower(text: &str, addr: u32, labels: &HashMap<String, u32>) -> Result<Vec<Ins
             let lo = (a << 20) >> 20;
             let hi = (a - lo) >> 12;
             Ok(vec![
-                Inst::Lui { rd, imm: hi & 0xfffff },
+                Inst::Lui {
+                    rd,
+                    imm: hi & 0xfffff,
+                },
                 Inst::I {
                     op: IOp::Addi,
                     rd,
@@ -781,7 +789,14 @@ mod tests {
         let insts = words(&p);
         assert_eq!(insts.len(), 7);
         assert!(matches!(insts[5], Inst::Jal { rd: 0, .. }));
-        assert!(matches!(insts[6], Inst::Jalr { rd: 0, rs1: 1, imm: 0 }));
+        assert!(matches!(
+            insts[6],
+            Inst::Jalr {
+                rd: 0,
+                rs1: 1,
+                imm: 0
+            }
+        ));
     }
 
     #[test]

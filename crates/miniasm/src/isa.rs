@@ -351,9 +351,7 @@ pub fn encode(inst: &Inst) -> u32 {
                 | 0b1100011
         }
         Inst::Lui { rd, imm } => (b(imm as u32, 0, 20) << 12) | ((rd as u32) << 7) | 0b0110111,
-        Inst::Auipc { rd, imm } => {
-            (b(imm as u32, 0, 20) << 12) | ((rd as u32) << 7) | 0b0010111
-        }
+        Inst::Auipc { rd, imm } => (b(imm as u32, 0, 20) << 12) | ((rd as u32) << 7) | 0b0010111,
         Inst::Jal { rd, imm } => {
             let imm = imm as u32;
             (b(imm, 20, 1) << 31)
@@ -364,10 +362,7 @@ pub fn encode(inst: &Inst) -> u32 {
                 | 0b1101111
         }
         Inst::Jalr { rd, rs1, imm } => {
-            (b(imm as u32, 0, 12) << 20)
-                | ((rs1 as u32) << 15)
-                | ((rd as u32) << 7)
-                | 0b1100111
+            (b(imm as u32, 0, 12) << 20) | ((rs1 as u32) << 15) | ((rd as u32) << 7) | 0b1100111
         }
         Inst::Ecall => 0b1110011,
     }

@@ -124,8 +124,7 @@ impl Cpu {
 
     /// Reads raw memory for inspectors (the Fig. 7 memory viewer).
     pub fn read_mem(&self, addr: u32, len: u32) -> Option<&[u8]> {
-        self.mem
-            .get(addr as usize..addr as usize + len as usize)
+        self.mem.get(addr as usize..addr as usize + len as usize)
     }
 
     /// Reads one little-endian word for inspectors.
@@ -162,9 +161,9 @@ impl Cpu {
     }
 
     fn load(&self, addr: u32, size: u32) -> Result<u32, Error> {
-        let bytes = self
-            .read_mem(addr, size)
-            .ok_or_else(|| self.serr(format!("load of {size} byte(s) at {addr:#x} out of range")))?;
+        let bytes = self.read_mem(addr, size).ok_or_else(|| {
+            self.serr(format!("load of {size} byte(s) at {addr:#x} out of range"))
+        })?;
         Ok(match size {
             1 => bytes[0] as u32,
             2 => u16::from_le_bytes(bytes.try_into().expect("2 bytes")) as u32,
@@ -176,9 +175,7 @@ impl Cpu {
     fn store(&mut self, addr: u32, size: u32, value: u32) -> Result<(), Error> {
         let end = addr as usize + size as usize;
         if end > self.mem.len() {
-            return Err(self.serr(format!(
-                "store of {size} byte(s) at {addr:#x} out of range"
-            )));
+            return Err(self.serr(format!("store of {size} byte(s) at {addr:#x} out of range")));
         }
         self.mem[addr as usize..end].copy_from_slice(&value.to_le_bytes()[..size as usize]);
         Ok(())
@@ -384,9 +381,7 @@ impl Cpu {
                         self.exited = Some(code);
                         info.exit = Some(code);
                     }
-                    other => {
-                        return Err(self.serr(format!("unsupported ecall number {other}")))
-                    }
+                    other => return Err(self.serr(format!("unsupported ecall number {other}"))),
                 }
             }
         }
@@ -453,7 +448,10 @@ done_check:
     ecall
 ";
         // `bgt t1, 10, ...` is invalid (immediate operand); rewrite with a reg.
-        let src = src.replace("bgt t1, 10, done_check", "li t2, 10\n    bgt t1, t2, done_check");
+        let src = src.replace(
+            "bgt t1, 10, done_check",
+            "li t2, 10\n    bgt t1, t2, done_check",
+        );
         let (code, _) = run(&src);
         assert_eq!(code, 55);
     }
@@ -648,7 +646,11 @@ f:
         drop(p);
 
         // zero register is immutable.
-        let p3 = assemble("t.s", "main:\n    li zero, 5\n    mv a0, zero\n    li a7, 93\n    ecall").unwrap();
+        let p3 = assemble(
+            "t.s",
+            "main:\n    li zero, 5\n    mv a0, zero\n    li a7, 93\n    ecall",
+        )
+        .unwrap();
         let mut cpu = Cpu::new(&p3);
         assert_eq!(cpu.run_to_exit(100).unwrap(), 0);
     }

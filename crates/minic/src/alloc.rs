@@ -85,6 +85,8 @@ pub struct Allocator {
     live_bytes: u64,
     /// Count of allocations performed (for stats/benches).
     total_allocs: u64,
+    /// Count of successful `free`s of real blocks (for stats/benches).
+    total_frees: u64,
 }
 
 impl Default for Allocator {
@@ -102,6 +104,7 @@ impl Allocator {
             brk: 0,
             live_bytes: 0,
             total_allocs: 0,
+            total_frees: 0,
         }
     }
 
@@ -164,12 +167,13 @@ impl Allocator {
     /// Returns [`AllocError::OutOfMemory`] on exhaustion (also used for
     /// `n * size` overflow).
     pub fn calloc(&mut self, mem: &mut Memory, n: u64, size: u64) -> Result<u64, AllocError> {
-        let total = n
-            .checked_mul(size)
-            .ok_or(AllocError::OutOfMemory { requested: u64::MAX })?;
+        let total = n.checked_mul(size).ok_or(AllocError::OutOfMemory {
+            requested: u64::MAX,
+        })?;
         let addr = self.malloc(mem, total)?;
         let zeros = vec![0u8; total as usize];
-        mem.write_bytes(addr, &zeros).expect("fresh block is mapped");
+        mem.write_bytes(addr, &zeros)
+            .expect("fresh block is mapped");
         Ok(addr)
     }
 
@@ -188,6 +192,7 @@ impl Allocator {
             Some(b) if b.live => {
                 b.live = false;
                 self.live_bytes -= b.size;
+                self.total_frees += 1;
                 let span = crate::types::round_up(b.size.max(1), ALIGN);
                 Allocator::insert_free(&mut self.free, addr, span);
                 Ok(())
@@ -203,12 +208,7 @@ impl Allocator {
     ///
     /// Propagates [`AllocError`] from the underlying free/malloc; `realloc`
     /// of `NULL` behaves like `malloc`.
-    pub fn realloc(
-        &mut self,
-        mem: &mut Memory,
-        addr: u64,
-        size: u64,
-    ) -> Result<u64, AllocError> {
+    pub fn realloc(&mut self, mem: &mut Memory, addr: u64, size: u64) -> Result<u64, AllocError> {
         if addr == 0 {
             return self.malloc(mem, size);
         }
@@ -267,6 +267,12 @@ impl Allocator {
     /// Number of `malloc`/`calloc`/`realloc` allocations performed so far.
     pub fn total_allocs(&self) -> u64 {
         self.total_allocs
+    }
+
+    /// Number of successful `free`s of real blocks so far (`free(NULL)`
+    /// does not count).
+    pub fn total_frees(&self) -> u64 {
+        self.total_frees
     }
 }
 

@@ -97,9 +97,7 @@ fn build_global_image(checked: &CheckedProgram) -> Vec<u8> {
                     8 => patch(g.addr + offset, &value.to_le_bytes()),
                     other => unreachable!("bad float init width {other}"),
                 },
-                InitWrite::Ptr { offset, value } => {
-                    patch(g.addr + offset, &value.to_le_bytes())
-                }
+                InitWrite::Ptr { offset, value } => patch(g.addr + offset, &value.to_le_bytes()),
             }
         }
     }
@@ -390,9 +388,17 @@ impl Gen {
                 self.expr(rhs);
                 let is_float = operand_ty.is_float();
                 if op.is_comparison() {
-                    self.emit(if is_float { Op::FCmp(*op) } else { Op::ICmp(*op) });
+                    self.emit(if is_float {
+                        Op::FCmp(*op)
+                    } else {
+                        Op::ICmp(*op)
+                    });
                 } else {
-                    self.emit(if is_float { Op::FArith(*op) } else { Op::IArith(*op) });
+                    self.emit(if is_float {
+                        Op::FArith(*op)
+                    } else {
+                        Op::IArith(*op)
+                    });
                 }
             }
             HExprKind::Logical { is_and, lhs, rhs } => {
@@ -608,10 +614,7 @@ mod tests {
         assert_eq!(&p.global_image[0..4], &7i32.to_le_bytes());
         // The string bytes appear somewhere in the image, NUL-terminated.
         let needle = b"ab\0";
-        assert!(p
-            .global_image
-            .windows(needle.len())
-            .any(|w| w == needle));
+        assert!(p.global_image.windows(needle.len()).any(|w| w == needle));
         // The pointer slot holds the string's address.
         let sp = p.global("s").unwrap().addr;
         let off = (sp - GLOBAL_BASE) as usize;

@@ -357,10 +357,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(target.location(), Location::Stack);
-        assert_eq!(
-            target.address(),
-            f.variable("x").unwrap().value().address()
-        );
+        assert_eq!(target.address(), f.variable("x").unwrap().value().address());
     }
 
     #[test]

@@ -529,9 +529,7 @@ impl<'a> Lexer<'a> {
             },
             b'&' => two(self, b'&', Punct::AndAnd, Punct::Amp),
             b'|' => two(self, b'|', Punct::OrOr, Punct::Pipe),
-            other => {
-                return Err(self.error(format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.error(format!("unexpected character `{}`", other as char))),
         })
     }
 }

@@ -148,7 +148,8 @@ impl Memory {
     ///
     /// Fails when any byte of the range is unmapped.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
-        self.slice_mut(addr, bytes.len() as u64)?.copy_from_slice(bytes);
+        self.slice_mut(addr, bytes.len() as u64)?
+            .copy_from_slice(bytes);
         Ok(())
     }
 

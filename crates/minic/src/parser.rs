@@ -345,9 +345,7 @@ impl Parser {
                         match self.peek() {
                             TokenKind::Keyword(Keyword::Case | Keyword::Default)
                             | TokenKind::Punct(Punct::RBrace) => break,
-                            TokenKind::Eof => {
-                                return Err(self.error("unterminated switch"))
-                            }
+                            TokenKind::Eof => return Err(self.error("unterminated switch")),
                             _ => body.push(self.statement()?),
                         }
                     }
@@ -850,7 +848,11 @@ mod tests {
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3");
         match e.kind {
-            ExprKind::Binary { op: BinOp::Add, rhs, .. } => match rhs.kind {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => match rhs.kind {
                 ExprKind::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("rhs should be mul, got {other:?}"),
             },
@@ -905,11 +907,19 @@ mod tests {
     fn parses_inc_dec() {
         assert!(matches!(
             parse_expr("i++").kind,
-            ExprKind::IncDec { prefix: false, delta: 1, .. }
+            ExprKind::IncDec {
+                prefix: false,
+                delta: 1,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("--i").kind,
-            ExprKind::IncDec { prefix: true, delta: -1, .. }
+            ExprKind::IncDec {
+                prefix: true,
+                delta: -1,
+                ..
+            }
         ));
     }
 
@@ -917,7 +927,9 @@ mod tests {
     fn parses_for_with_declaration() {
         let unit = parse_src("int main() { for (int i = 0; i < 3; i++) { } return 0; }");
         match &unit.functions[0].body[0] {
-            Stmt::For { init, cond, step, .. } => {
+            Stmt::For {
+                init, cond, step, ..
+            } => {
                 assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
                 assert!(cond.is_some());
                 assert!(step.is_some());
@@ -930,7 +942,11 @@ mod tests {
     fn parses_unbraced_bodies() {
         let unit = parse_src("int main() { if (1) return 1; else return 2; }");
         match &unit.functions[0].body[0] {
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 assert_eq!(then_branch.len(), 1);
                 assert_eq!(else_branch.as_ref().unwrap().len(), 1);
             }

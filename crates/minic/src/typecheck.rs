@@ -521,16 +521,15 @@ impl Checker {
                             }
                         }
                     }
-                    Type::Struct(n)
-                        if self.structs.get(n).is_none() => {
-                            return Err(terr(
-                                def.line,
-                                format!(
-                                    "field `{fname}` has incomplete type `struct {n}` \
+                    Type::Struct(n) if self.structs.get(n).is_none() => {
+                        return Err(terr(
+                            def.line,
+                            format!(
+                                "field `{fname}` has incomplete type `struct {n}` \
                                      (define it first or use a pointer)"
-                                ),
-                            ));
-                        }
+                            ),
+                        ));
+                    }
                     _ => {}
                 }
             }
@@ -643,9 +642,7 @@ impl Checker {
                 }
                 Ok(())
             }
-            (_, Initializer::List(_)) => {
-                Err(terr(line, "brace initializer on a scalar type"))
-            }
+            (_, Initializer::List(_)) => Err(terr(line, "brace initializer on a scalar type")),
             (_, Initializer::Expr(e)) => {
                 let c = self.const_expr(e)?;
                 let w = match (ty, c) {
@@ -690,7 +687,10 @@ impl Checker {
                 self.validate_type(ty, e.line, false)?;
                 Ok(ConstVal::Int(self.structs.size_of(ty) as i64))
             }
-            ExprKind::Unary { op: UnOp::Neg, operand } => match self.const_expr(operand)? {
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => match self.const_expr(operand)? {
                 ConstVal::Int(v) => Ok(ConstVal::Int(v.wrapping_neg())),
                 ConstVal::Float(v) => Ok(ConstVal::Float(-v)),
                 ConstVal::Ptr(_) => Err(terr(e.line, "cannot negate a pointer constant")),
@@ -959,7 +959,10 @@ impl Checker {
                 let value = match (value, &cx.ret) {
                     (None, Type::Void) => None,
                     (None, t) => {
-                        return Err(terr(*line, format!("return without value in `{t}` function")))
+                        return Err(terr(
+                            *line,
+                            format!("return without value in `{t}` function"),
+                        ))
                     }
                     (Some(_), Type::Void) => {
                         return Err(terr(*line, "return with value in void function"))
@@ -1008,12 +1011,27 @@ impl Checker {
                 }
                 let esize = self.structs.size_of(elem);
                 for (i, item) in items.iter().enumerate() {
-                    self.lower_local_init(cx, local, elem, item, offset + i as u64 * esize, line, out)?;
+                    self.lower_local_init(
+                        cx,
+                        local,
+                        elem,
+                        item,
+                        offset + i as u64 * esize,
+                        line,
+                        out,
+                    )?;
                 }
                 // C zero-fills the remainder of a partially initialized array.
                 for i in items.len()..*n {
                     let zero = self.zero_value(elem, line)?;
-                    out.push(self.store_at_local(cx, local, offset + i as u64 * esize, elem, zero, line));
+                    out.push(self.store_at_local(
+                        cx,
+                        local,
+                        offset + i as u64 * esize,
+                        elem,
+                        zero,
+                        line,
+                    ));
                 }
                 Ok(())
             }
@@ -1023,11 +1041,26 @@ impl Checker {
                     return Err(terr(line, "too many initializers for struct"));
                 }
                 for (item, field) in items.iter().zip(layout.fields.iter()) {
-                    self.lower_local_init(cx, local, &field.ty, item, offset + field.offset, line, out)?;
+                    self.lower_local_init(
+                        cx,
+                        local,
+                        &field.ty,
+                        item,
+                        offset + field.offset,
+                        line,
+                        out,
+                    )?;
                 }
                 for field in layout.fields.iter().skip(items.len()) {
                     let zero = self.zero_value(&field.ty, line)?;
-                    out.push(self.store_at_local(cx, local, offset + field.offset, &field.ty, zero, line));
+                    out.push(self.store_at_local(
+                        cx,
+                        local,
+                        offset + field.offset,
+                        &field.ty,
+                        zero,
+                        line,
+                    ));
                 }
                 Ok(())
             }
@@ -1157,9 +1190,7 @@ impl Checker {
                 let b = self.rvalue(cx, base)?;
                 let elem = match b.ty.clone() {
                     Type::Ptr(t) if *t != Type::Void => *t,
-                    other => {
-                        return Err(terr(e.line, format!("cannot index into `{other}`")))
-                    }
+                    other => return Err(terr(e.line, format!("cannot index into `{other}`"))),
                 };
                 let idx = self.rvalue(cx, index)?;
                 if !idx.ty.is_integer() {
@@ -1221,10 +1252,7 @@ impl Checker {
         };
         let layout = self.structs.get(sname).expect("validated");
         let Some(f) = layout.field(field) else {
-            return Err(terr(
-                line,
-                format!("struct {sname} has no field `{field}`"),
-            ));
+            return Err(terr(line, format!("struct {sname} has no field `{field}`")));
         };
         let fty = f.ty.clone();
         let addr = HExpr::new(
@@ -1313,9 +1341,7 @@ impl Checker {
         let line = e.line;
         match &e.kind {
             ExprKind::IntLit(v) => Ok(HExpr::new(Type::Int, line, HExprKind::ConstInt(*v))),
-            ExprKind::FloatLit(v) => {
-                Ok(HExpr::new(Type::Double, line, HExprKind::ConstFloat(*v)))
-            }
+            ExprKind::FloatLit(v) => Ok(HExpr::new(Type::Double, line, HExprKind::ConstFloat(*v))),
             ExprKind::CharLit(c) => {
                 Ok(HExpr::new(Type::Char, line, HExprKind::ConstInt(*c as i64)))
             }
@@ -1384,7 +1410,8 @@ impl Checker {
                         AssignOp::Rem => BinOp::Rem,
                         AssignOp::Assign => unreachable!("handled above"),
                     };
-                    let current = HExpr::new(ty.clone(), line, HExprKind::Load(Box::new(addr.clone())));
+                    let current =
+                        HExpr::new(ty.clone(), line, HExprKind::Load(Box::new(addr.clone())));
                     let combined = self.binary_typed(binop, current, rhs, line)?;
                     self.convert(combined, &ty, line)?
                 };
@@ -1409,7 +1436,11 @@ impl Checker {
                         if !v.ty.is_arithmetic() {
                             return Err(terr(line, format!("cannot negate `{}`", v.ty)));
                         }
-                        let ty = if v.ty.is_float() { v.ty.clone() } else { self.common_arith(&v.ty, &Type::Int) };
+                        let ty = if v.ty.is_float() {
+                            v.ty.clone()
+                        } else {
+                            self.common_arith(&v.ty, &Type::Int)
+                        };
                         let v = self.convert(v, &ty, line)?;
                         Ok(HExpr::new(
                             ty,
@@ -1460,9 +1491,7 @@ impl Checker {
                     Type::Ptr(p) if **p != Type::Void => Some(self.structs.size_of(p)),
                     Type::Ptr(_) => return Err(terr(line, "cannot increment a void pointer")),
                     t if t.is_arithmetic() => None,
-                    other => {
-                        return Err(terr(line, format!("cannot increment `{other}`")))
-                    }
+                    other => return Err(terr(line, format!("cannot increment `{other}`"))),
                 };
                 Ok(HExpr::new(
                     ty,
@@ -1561,13 +1590,7 @@ impl Checker {
         }
     }
 
-    fn binary_typed(
-        &mut self,
-        op: BinOp,
-        l: HExpr,
-        r: HExpr,
-        line: u32,
-    ) -> Result<HExpr, Error> {
+    fn binary_typed(&mut self, op: BinOp, l: HExpr, r: HExpr, line: u32) -> Result<HExpr, Error> {
         use BinOp::*;
         if op.is_logical() {
             if !l.ty.is_scalar() || !r.ty.is_scalar() {
@@ -1644,7 +1667,10 @@ impl Checker {
             if !compatible {
                 return Err(terr(
                     line,
-                    format!("comparison of incompatible pointers `{}` and `{}`", l.ty, r.ty),
+                    format!(
+                        "comparison of incompatible pointers `{}` and `{}`",
+                        l.ty, r.ty
+                    ),
                 ));
             }
             return Ok(HExpr::new(
@@ -1672,7 +1698,11 @@ impl Checker {
         let common = self.common_arith(&l.ty, &r.ty);
         let l = self.convert(l, &common, line)?;
         let r = self.convert(r, &common, line)?;
-        let result_ty = if op.is_comparison() { Type::Int } else { common.clone() };
+        let result_ty = if op.is_comparison() {
+            Type::Int
+        } else {
+            common.clone()
+        };
         Ok(HExpr::new(
             result_ty,
             line,
@@ -1845,7 +1875,8 @@ mod tests {
 
     #[test]
     fn accepts_basic_program() {
-        let p = check_ok("int add(int a, int b) { return a + b; } int main() { return add(1, 2); }");
+        let p =
+            check_ok("int add(int a, int b) { return a + b; } int main() { return add(1, 2); }");
         assert_eq!(p.functions.len(), 2);
         assert_eq!(p.functions[0].nparams, 2);
     }
@@ -1873,19 +1904,27 @@ mod tests {
 
     #[test]
     fn rejects_unknown_variable_and_function() {
-        assert!(check_err("int main() { return y; }").message().contains("unknown variable"));
-        assert!(check_err("int main() { return g(); }").message().contains("unknown function"));
+        assert!(check_err("int main() { return y; }")
+            .message()
+            .contains("unknown variable"));
+        assert!(check_err("int main() { return g(); }")
+            .message()
+            .contains("unknown function"));
     }
 
     #[test]
     fn pointer_arithmetic_types() {
         check_ok("int main() { int a[4]; int* p = a; p = p + 1; long d = p - a; return (int)d; }");
-        assert!(check_err("int main() { int* p; int* q; p = p + q; return 0; }")
-            .message()
-            .contains("add two pointers"));
-        assert!(check_err("int main() { double x; int* p; p = p + x; return 0; }")
-            .message()
-            .contains("integer"));
+        assert!(
+            check_err("int main() { int* p; int* q; p = p + q; return 0; }")
+                .message()
+                .contains("add two pointers")
+        );
+        assert!(
+            check_err("int main() { double x; int* p; p = p + x; return 0; }")
+                .message()
+                .contains("integer")
+        );
     }
 
     #[test]
@@ -1894,9 +1933,11 @@ mod tests {
         assert!(check_err("int main() { void* p = NULL; return *p; }")
             .message()
             .contains("void"));
-        assert!(check_err("int main() { void* p = NULL; p = p + 1; return 0; }")
-            .message()
-            .contains("void"));
+        assert!(
+            check_err("int main() { void* p = NULL; p = p + 1; return 0; }")
+                .message()
+                .contains("void")
+        );
     }
 
     #[test]
@@ -1912,11 +1953,11 @@ mod tests {
              int main() { struct point p; p.x = 1; p.y = p.x + 2; return p.y; }",
         );
         assert!(p.structs.get("point").is_some());
-        assert!(check_err(
-            "struct point { int x; };\nint main() { struct point p; return p.z; }"
-        )
-        .message()
-        .contains("no field"));
+        assert!(
+            check_err("struct point { int x; };\nint main() { struct point p; return p.z; }")
+                .message()
+                .contains("no field")
+        );
     }
 
     #[test]
@@ -1935,7 +1976,9 @@ mod tests {
 
     #[test]
     fn incomplete_struct_field_rejected() {
-        let e = check_err("struct a { struct b inner; };\nstruct b { int x; };\nint main() { return 0; }");
+        let e = check_err(
+            "struct a { struct b inner; };\nstruct b { int x; };\nint main() { return 0; }",
+        );
         assert!(e.message().contains("incomplete"));
     }
 
@@ -1949,8 +1992,12 @@ mod tests {
 
     #[test]
     fn break_continue_outside_loop() {
-        assert!(check_err("int main() { break; return 0; }").message().contains("break"));
-        assert!(check_err("int main() { continue; return 0; }").message().contains("continue"));
+        assert!(check_err("int main() { break; return 0; }")
+            .message()
+            .contains("break"));
+        assert!(check_err("int main() { continue; return 0; }")
+            .message()
+            .contains("continue"));
     }
 
     #[test]
@@ -1958,7 +2005,9 @@ mod tests {
         assert!(check_err("void f() { return 1; } int main() { return 0; }")
             .message()
             .contains("void"));
-        assert!(check_err("int main() { return; }").message().contains("without value"));
+        assert!(check_err("int main() { return; }")
+            .message()
+            .contains("without value"));
         check_ok("int main() { return 2.5; }"); // implicit double -> int
     }
 
@@ -2066,7 +2115,9 @@ mod tests {
 
     #[test]
     fn ternary_common_types() {
-        check_ok("int main() { int x = 1; double d = x ? 1 : 2.5; int* p = x ? NULL : &x; return 0; }");
+        check_ok(
+            "int main() { int x = 1; double d = x ? 1 : 2.5; int* p = x ? NULL : &x; return 0; }",
+        );
         let e = check_err("int main() { int x; int* p; double d = x ? x : p; return 0; }");
         assert!(e.message().contains("ternary"));
     }
@@ -2076,12 +2127,16 @@ mod tests {
         assert!(check_err("int g; int g; int main() { return 0; }")
             .message()
             .contains("duplicate"));
-        assert!(check_err("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
-            .message()
-            .contains("duplicate"));
-        assert!(check_err("struct s { int a; }; struct s { int b; }; int main() { return 0; }")
-            .message()
-            .contains("duplicate"));
+        assert!(
+            check_err("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
+                .message()
+                .contains("duplicate")
+        );
+        assert!(
+            check_err("struct s { int a; }; struct s { int b; }; int main() { return 0; }")
+                .message()
+                .contains("duplicate")
+        );
     }
 
     #[test]

@@ -452,14 +452,16 @@ impl Vm {
             PtrAdd(elem) => {
                 let idx = self.pop_int();
                 let p = self.pop_ptr();
-                self.stack
-                    .push(RtVal::Ptr(p.wrapping_add_signed(idx.wrapping_mul(elem as i64))));
+                self.stack.push(RtVal::Ptr(
+                    p.wrapping_add_signed(idx.wrapping_mul(elem as i64)),
+                ));
             }
             PtrSub(elem) => {
                 let idx = self.pop_int();
                 let p = self.pop_ptr();
-                self.stack
-                    .push(RtVal::Ptr(p.wrapping_sub((idx.wrapping_mul(elem as i64)) as u64)));
+                self.stack.push(RtVal::Ptr(
+                    p.wrapping_sub((idx.wrapping_mul(elem as i64)) as u64),
+                ));
             }
             PtrDiff(elem) => {
                 let rhs = self.pop_ptr();
@@ -863,15 +865,24 @@ mod tests {
 
     #[test]
     fn float_arithmetic() {
-        assert_eq!(run("int main() { double d = 2.5; return (int)(d * 4.0); }"), 10);
-        assert_eq!(run("int main() { float f = 1.5f; return (int)(f + 2.5); }"), 4);
+        assert_eq!(
+            run("int main() { double d = 2.5; return (int)(d * 4.0); }"),
+            10
+        );
+        assert_eq!(
+            run("int main() { float f = 1.5f; return (int)(f + 2.5); }"),
+            4
+        );
         assert_eq!(run("int main() { return (int)(7.9); }"), 7);
         assert_eq!(run("int main() { return 3 < 2.5; }"), 0);
     }
 
     #[test]
     fn char_truncation() {
-        assert_eq!(run("int main() { char c = 200; return c; }"), 200i64 as i8 as i64);
+        assert_eq!(
+            run("int main() { char c = 200; return c; }"),
+            200i64 as i8 as i64
+        );
         assert_eq!(run("int main() { char c = 'A'; return c + 1; }"), 66);
     }
 
@@ -886,21 +897,28 @@ mod tests {
             42
         );
         assert_eq!(
-            run(
-                "int main() { int s = 0; for (int i = 0; i < 10; i++) { \
-                 if (i % 2) continue; s += i; } return s; }"
-            ),
+            run("int main() { int s = 0; for (int i = 0; i < 10; i++) { \
+                 if (i % 2) continue; s += i; } return s; }"),
             20
         );
         assert_eq!(run("int main() { return 1 ? 10 : 20; }"), 10);
-        assert_eq!(run("int main() { int x = 5; if (x > 3) return 1; else return 2; }"), 1);
+        assert_eq!(
+            run("int main() { int x = 5; if (x > 3) return 1; else return 2; }"),
+            1
+        );
     }
 
     #[test]
     fn short_circuit_semantics() {
         // The second operand must not run (it would divide by zero).
-        assert_eq!(run("int main() { int x = 0; return x != 0 && 10 / x > 1; }"), 0);
-        assert_eq!(run("int main() { int x = 0; return x == 0 || 10 / x > 1; }"), 1);
+        assert_eq!(
+            run("int main() { int x = 0; return x != 0 && 10 / x > 1; }"),
+            0
+        );
+        assert_eq!(
+            run("int main() { int x = 0; return x == 0 || 10 / x > 1; }"),
+            1
+        );
         assert_eq!(run("int main() { return 2 && 3; }"), 1);
         assert_eq!(run("int main() { return 0 || 0; }"), 0);
     }
@@ -908,8 +926,10 @@ mod tests {
     #[test]
     fn functions_and_recursion() {
         assert_eq!(
-            run("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
-                 int main() { return fib(10); }"),
+            run(
+                "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+                 int main() { return fib(10); }"
+            ),
             55
         );
         assert_eq!(
@@ -921,8 +941,10 @@ mod tests {
     #[test]
     fn pointers_and_arrays() {
         assert_eq!(
-            run("int main() { int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; \
-                 return a[4] + a[2]; }"),
+            run(
+                "int main() { int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i; \
+                 return a[4] + a[2]; }"
+            ),
             20
         );
         assert_eq!(
@@ -991,8 +1013,14 @@ mod tests {
 
     #[test]
     fn inc_dec_semantics() {
-        assert_eq!(run("int main() { int i = 5; int a = i++; return a * 100 + i; }"), 506);
-        assert_eq!(run("int main() { int i = 5; int a = ++i; return a * 100 + i; }"), 606);
+        assert_eq!(
+            run("int main() { int i = 5; int a = i++; return a * 100 + i; }"),
+            506
+        );
+        assert_eq!(
+            run("int main() { int i = 5; int a = ++i; return a * 100 + i; }"),
+            606
+        );
         assert_eq!(run("int main() { int i = 5; i--; --i; return i; }"), 3);
     }
 
@@ -1029,9 +1057,12 @@ mod tests {
 
     #[test]
     fn stack_overflow_detected() {
-        let p = compile("t.c", "int f(int n) { int pad[200]; pad[0] = n; return f(n + 1); } \
-                        int main() { return f(0); }")
-            .unwrap();
+        let p = compile(
+            "t.c",
+            "int f(int n) { int pad[200]; pad[0] = n; return f(n + 1); } \
+                        int main() { return f(0); }",
+        )
+        .unwrap();
         let err = Vm::new(&p).run_to_completion().unwrap_err();
         assert!(err.message().contains("stack overflow"));
     }

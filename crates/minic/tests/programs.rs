@@ -406,7 +406,10 @@ int main() {
 }
 ";
     // classify: 0->10, 1->10, 2->21, 3->1, 7->99
-    assert_eq!(run(src).0, 10 * 1_000_000 + 10 * 10_000 + 21 * 1000 + 100 + 99);
+    assert_eq!(
+        run(src).0,
+        10 * 1_000_000 + 10 * 10_000 + 21 * 1000 + 100 + 99
+    );
 }
 
 #[test]
@@ -469,10 +472,19 @@ int main() {
 
 #[test]
 fn switch_type_errors() {
-    let bad = minic::compile("t.c", "int main() { double d = 1.0; switch (d) { default: break; } return 0; }");
+    let bad = minic::compile(
+        "t.c",
+        "int main() { double d = 1.0; switch (d) { default: break; } return 0; }",
+    );
     assert!(bad.unwrap_err().message().contains("integer"));
-    let dup = minic::compile("t.c", "int main() { switch (1) { case 2: break; case 2: break; } return 0; }");
+    let dup = minic::compile(
+        "t.c",
+        "int main() { switch (1) { case 2: break; case 2: break; } return 0; }",
+    );
     assert!(dup.unwrap_err().message().contains("duplicate case"));
-    let dupd = minic::compile("t.c", "int main() { switch (1) { default: break; default: break; } return 0; }");
+    let dupd = minic::compile(
+        "t.c",
+        "int main() { switch (1) { default: break; default: break; } return 0; }",
+    );
     assert!(dupd.unwrap_err().message().contains("duplicate default"));
 }

@@ -24,7 +24,11 @@ pub fn current_frame(ctx: &TraceCtx<'_>, file: &str) -> Frame {
         );
         for (name, obj) in pf.vars() {
             let value = ctx.heap.binding_value(obj);
-            let scope = if depth == 0 { Scope::Global } else { Scope::Local };
+            let scope = if depth == 0 {
+                Scope::Global
+            } else {
+                Scope::Local
+            };
             frame.insert_variable(Variable::new(name.to_owned(), scope, value));
         }
         if let Some(parent) = result.take() {

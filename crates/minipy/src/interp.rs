@@ -71,11 +71,7 @@ impl<'a> TraceCtx<'a> {
     /// module frame. `frame_name::var` syntax addresses a specific frame.
     pub fn lookup(&self, name: &str) -> Option<ObjRef> {
         if let Some((frame_name, var)) = name.split_once("::") {
-            let frame = self
-                .frames
-                .iter()
-                .rev()
-                .find(|f| f.name() == frame_name)?;
+            let frame = self.frames.iter().rev().find(|f| f.name() == frame_name)?;
             return frame.get(var);
         }
         if let Some(f) = self.frames.last() {
@@ -221,8 +217,8 @@ pub struct Interp {
 }
 
 const BUILTINS: &[&str] = &[
-    "print", "len", "range", "str", "int", "float", "abs", "min", "max", "sum", "sorted",
-    "list", "id", "type",
+    "print", "len", "range", "str", "int", "float", "abs", "min", "max", "sum", "sorted", "list",
+    "id", "type",
 ];
 
 impl Interp {
@@ -622,7 +618,10 @@ impl Interp {
                     }
                     other => Err(self.rerr(
                         e.line,
-                        format!("TypeError: bad operand type for unary -: '{}'", other.type_name()),
+                        format!(
+                            "TypeError: bad operand type for unary -: '{}'",
+                            other.type_name()
+                        ),
                     )),
                 }
             }
@@ -732,21 +731,12 @@ impl Interp {
                 };
                 PyVal::Str(self.percent_format(fmt, &args))
             }
-            _ => {
-                
-                self.numeric_binary(op, &lv, &rv, line)?
-            }
+            _ => self.numeric_binary(op, &lv, &rv, line)?,
         };
         Ok(self.heap.alloc(result))
     }
 
-    fn numeric_binary(
-        &self,
-        op: BinOp,
-        lv: &PyVal,
-        rv: &PyVal,
-        line: u32,
-    ) -> Result<PyVal, Error> {
+    fn numeric_binary(&self, op: BinOp, lv: &PyVal, rv: &PyVal, line: u32) -> Result<PyVal, Error> {
         use BinOp::*;
         let as_num = |v: &PyVal| -> Option<(i64, f64, bool)> {
             match v {
@@ -890,7 +880,10 @@ impl Interp {
                 PyVal::Str(sub) => Ok(s.contains(sub.as_str())),
                 other => Err(self.rerr(
                     line,
-                    format!("TypeError: 'in <string>' requires string, got '{}'", other.type_name()),
+                    format!(
+                        "TypeError: 'in <string>' requires string, got '{}'",
+                        other.type_name()
+                    ),
                 )),
             },
             PyVal::Range { start, stop, step } => match self.heap.get(item) {
@@ -907,7 +900,10 @@ impl Interp {
             },
             other => Err(self.rerr(
                 line,
-                format!("TypeError: argument of type '{}' is not iterable", other.type_name()),
+                format!(
+                    "TypeError: argument of type '{}' is not iterable",
+                    other.type_name()
+                ),
             )),
         }
     }
@@ -965,7 +961,10 @@ impl Interp {
             }
             other => Err(self.rerr(
                 line,
-                format!("TypeError: '{}' object is not subscriptable", other.type_name()),
+                format!(
+                    "TypeError: '{}' object is not subscriptable",
+                    other.type_name()
+                ),
             )),
         }
     }
@@ -987,7 +986,10 @@ impl Interp {
                     PyVal::Bool(b) => Ok(*b as i64),
                     other => Err(this.rerr(
                         line,
-                        format!("TypeError: slice indices must be integers, not '{}'", other.type_name()),
+                        format!(
+                            "TypeError: slice indices must be integers, not '{}'",
+                            other.type_name()
+                        ),
                     )),
                 },
             }
@@ -1003,7 +1005,11 @@ impl Interp {
                     clamp(bound(self, lo, 0)?, items.len()),
                     clamp(bound(self, hi, items.len() as i64)?, items.len()),
                 );
-                let out = if l < h { items[l..h].to_vec() } else { Vec::new() };
+                let out = if l < h {
+                    items[l..h].to_vec()
+                } else {
+                    Vec::new()
+                };
                 Ok(self.heap.alloc(PyVal::List(out)))
             }
             PyVal::Tuple(items) => {
@@ -1011,7 +1017,11 @@ impl Interp {
                     clamp(bound(self, lo, 0)?, items.len()),
                     clamp(bound(self, hi, items.len() as i64)?, items.len()),
                 );
-                let out = if l < h { items[l..h].to_vec() } else { Vec::new() };
+                let out = if l < h {
+                    items[l..h].to_vec()
+                } else {
+                    Vec::new()
+                };
                 Ok(self.heap.alloc(PyVal::Tuple(out)))
             }
             PyVal::Str(sv) => {
@@ -1052,9 +1062,9 @@ impl Interp {
             PyVal::Dict(_) => {
                 // Replace existing key (by equality) or append.
                 let existing = match self.heap.get(base) {
-                    PyVal::Dict(entries) => entries
-                        .iter()
-                        .position(|(k, _)| self.heap.py_eq(*k, index)),
+                    PyVal::Dict(entries) => {
+                        entries.iter().position(|(k, _)| self.heap.py_eq(*k, index))
+                    }
                     _ => unreachable!("matched dict"),
                 };
                 if let PyVal::Dict(entries) = self.heap.get_mut(base) {
@@ -1086,7 +1096,10 @@ impl Interp {
             other => {
                 return Err(self.rerr(
                     line,
-                    format!("TypeError: indices must be integers, not '{}'", other.type_name()),
+                    format!(
+                        "TypeError: indices must be integers, not '{}'",
+                        other.type_name()
+                    ),
                 ))
             }
         };
@@ -1294,7 +1307,10 @@ impl Interp {
         tracer: &mut dyn Tracer,
     ) -> Result<ObjRef, Error> {
         let arity_err = |this: &Self, expected: &str| {
-            this.rerr(line, format!("TypeError: {name}() expects {expected} argument(s)"))
+            this.rerr(
+                line,
+                format!("TypeError: {name}() expects {expected} argument(s)"),
+            )
         };
         match name {
             "print" => {
@@ -1309,7 +1325,9 @@ impl Interp {
                 Ok(self.none_ref)
             }
             "len" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let n = match self.heap.get(*r) {
                     PyVal::Str(s) => s.chars().count() as i64,
                     PyVal::List(v) | PyVal::Tuple(v) => v.len() as i64,
@@ -1324,7 +1342,10 @@ impl Interp {
                     other => {
                         return Err(self.rerr(
                             line,
-                            format!("TypeError: object of type '{}' has no len()", other.type_name()),
+                            format!(
+                                "TypeError: object of type '{}' has no len()",
+                                other.type_name()
+                            ),
                         ))
                     }
                 };
@@ -1338,7 +1359,10 @@ impl Interp {
                         PyVal::Bool(b) => Ok(*b as i64),
                         other => Err(self.rerr(
                             line,
-                            format!("TypeError: range() requires int, got '{}'", other.type_name()),
+                            format!(
+                                "TypeError: range() requires int, got '{}'",
+                                other.type_name()
+                            ),
                         )),
                     })
                     .collect::<Result<_, _>>()?;
@@ -1354,12 +1378,16 @@ impl Interp {
                 Ok(self.heap.alloc(PyVal::Range { start, stop, step }))
             }
             "str" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let s = self.heap.str_of(*r);
                 Ok(self.heap.alloc(PyVal::Str(s)))
             }
             "int" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let v = match self.heap.get(*r) {
                     PyVal::Int(v) => *v,
                     PyVal::Float(f) => *f as i64,
@@ -1373,39 +1401,55 @@ impl Interp {
                     other => {
                         return Err(self.rerr(
                             line,
-                            format!("TypeError: int() argument must not be '{}'", other.type_name()),
+                            format!(
+                                "TypeError: int() argument must not be '{}'",
+                                other.type_name()
+                            ),
                         ))
                     }
                 };
                 Ok(self.heap.alloc(PyVal::Int(v)))
             }
             "float" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let v = match self.heap.get(*r) {
                     PyVal::Int(v) => *v as f64,
                     PyVal::Float(f) => *f,
                     PyVal::Bool(b) => *b as i64 as f64,
                     PyVal::Str(s) => s.trim().parse().map_err(|_| {
-                        self.rerr(line, format!("ValueError: could not convert '{s}' to float"))
+                        self.rerr(
+                            line,
+                            format!("ValueError: could not convert '{s}' to float"),
+                        )
                     })?,
                     other => {
                         return Err(self.rerr(
                             line,
-                            format!("TypeError: float() argument must not be '{}'", other.type_name()),
+                            format!(
+                                "TypeError: float() argument must not be '{}'",
+                                other.type_name()
+                            ),
                         ))
                     }
                 };
                 Ok(self.heap.alloc(PyVal::Float(v)))
             }
             "abs" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let v = match self.heap.get(*r) {
                     PyVal::Int(v) => PyVal::Int(v.wrapping_abs()),
                     PyVal::Float(f) => PyVal::Float(f.abs()),
                     other => {
                         return Err(self.rerr(
                             line,
-                            format!("TypeError: bad operand type for abs(): '{}'", other.type_name()),
+                            format!(
+                                "TypeError: bad operand type for abs(): '{}'",
+                                other.type_name()
+                            ),
                         ))
                     }
                 };
@@ -1430,7 +1474,9 @@ impl Interp {
                 Ok(best)
             }
             "sum" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let items = self.iterate(*r, line)?;
                 let mut acc_i: i64 = 0;
                 let mut acc_f: f64 = 0.0;
@@ -1452,7 +1498,10 @@ impl Interp {
                         other => {
                             return Err(self.rerr(
                                 line,
-                                format!("TypeError: unsupported operand for sum: '{}'", other.type_name()),
+                                format!(
+                                    "TypeError: unsupported operand for sum: '{}'",
+                                    other.type_name()
+                                ),
                             ))
                         }
                     }
@@ -1464,7 +1513,9 @@ impl Interp {
                 }))
             }
             "sorted" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let mut items = self.iterate(*r, line)?;
                 // Insertion sort via compare (stable, avoids closures that
                 // would need error plumbing through sort_by).
@@ -1481,16 +1532,22 @@ impl Interp {
                 if args.is_empty() {
                     return Ok(self.heap.alloc(PyVal::List(Vec::new())));
                 }
-                let [r] = args else { return Err(arity_err(self, "0 or 1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "0 or 1"));
+                };
                 let items = self.iterate(*r, line)?;
                 Ok(self.heap.alloc(PyVal::List(items)))
             }
             "id" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 Ok(self.heap.alloc(PyVal::Int(r.address() as i64)))
             }
             "type" => {
-                let [r] = args else { return Err(arity_err(self, "1")) };
+                let [r] = args else {
+                    return Err(arity_err(self, "1"));
+                };
                 let n = self.heap.get(*r).type_name().to_owned();
                 Ok(self.heap.alloc(PyVal::Str(format!("<class '{n}'>"))))
             }
@@ -1524,9 +1581,10 @@ impl Interp {
             }
             (PyVal::List(items), "pop") => {
                 let idx = match args {
-                    [] => items.len().checked_sub(1).ok_or_else(|| {
-                        self.rerr(line, "IndexError: pop from empty list")
-                    })?,
+                    [] => items
+                        .len()
+                        .checked_sub(1)
+                        .ok_or_else(|| self.rerr(line, "IndexError: pop from empty list"))?,
                     [i] => self.normalize_index(*i, items.len(), line)?,
                     _ => return Err(self.rerr(line, "TypeError: pop() takes at most one argument")),
                 };
@@ -1635,7 +1693,10 @@ impl Interp {
                         other => {
                             return Err(self.rerr(
                                 line,
-                                format!("TypeError: join() requires str items, got '{}'", other.type_name()),
+                                format!(
+                                    "TypeError: join() requires str items, got '{}'",
+                                    other.type_name()
+                                ),
                             ))
                         }
                     }
@@ -1719,9 +1780,15 @@ mod tests {
 
     #[test]
     fn lists_and_aliasing() {
-        assert_eq!(out("a = [1, 2]\nb = a\nb.append(3)\nprint(a)"), "[1, 2, 3]\n");
+        assert_eq!(
+            out("a = [1, 2]\nb = a\nb.append(3)\nprint(a)"),
+            "[1, 2, 3]\n"
+        );
         assert_eq!(out("a = [1, 2, 3]\nprint(a[0], a[-1])"), "1 3\n");
-        assert_eq!(out("a = [3, 1, 2]\nprint(sorted(a))\nprint(a)"), "[1, 2, 3]\n[3, 1, 2]\n");
+        assert_eq!(
+            out("a = [3, 1, 2]\nprint(sorted(a))\nprint(a)"),
+            "[1, 2, 3]\n[3, 1, 2]\n"
+        );
         assert_eq!(out("a = [1]\na[0] = 9\nprint(a)"), "[9]\n");
         assert_eq!(out("a = [1, 2]\nprint(a.pop(), a)"), "2 [1]\n");
         assert_eq!(out("a = [1, 3]\na.insert(1, 2)\nprint(a)"), "[1, 2, 3]\n");
@@ -1737,16 +1804,25 @@ mod tests {
 
     #[test]
     fn dicts() {
-        assert_eq!(out("d = {'a': 1}\nd['b'] = 2\nprint(d)"), "{'a': 1, 'b': 2}\n");
+        assert_eq!(
+            out("d = {'a': 1}\nd['b'] = 2\nprint(d)"),
+            "{'a': 1, 'b': 2}\n"
+        );
         assert_eq!(out("d = {'a': 1}\nprint(d['a'], d.get('x', 0))"), "1 0\n");
-        assert_eq!(out("d = {1: 'x', 2: 'y'}\nprint(d.keys(), d.values())"), "[1, 2] ['x', 'y']\n");
+        assert_eq!(
+            out("d = {1: 'x', 2: 'y'}\nprint(d.keys(), d.values())"),
+            "[1, 2] ['x', 'y']\n"
+        );
         assert_eq!(out("d = {'k': 1}\nfor k in d:\n    print(k)"), "k\n");
         assert_eq!(out("print('a' in {'a': 1}, 2 in {'a': 1})"), "True False\n");
     }
 
     #[test]
     fn control_flow() {
-        assert_eq!(out("x = 3\nif x > 2:\n    print('big')\nelse:\n    print('small')"), "big\n");
+        assert_eq!(
+            out("x = 3\nif x > 2:\n    print('big')\nelse:\n    print('small')"),
+            "big\n"
+        );
         assert_eq!(
             out("s = 0\nfor i in range(5):\n    s += i\nprint(s)"),
             "10\n"
@@ -1759,7 +1835,10 @@ mod tests {
             out("s = 0\nfor i in range(6):\n    if i % 2 == 0:\n        continue\n    s += i\nprint(s)"),
             "9\n"
         );
-        assert_eq!(out("for i in range(10, 4, -2):\n    print(i)"), "10\n8\n6\n");
+        assert_eq!(
+            out("for i in range(10, 4, -2):\n    print(i)"),
+            "10\n8\n6\n"
+        );
     }
 
     #[test]
@@ -1816,7 +1895,10 @@ mod tests {
     fn boolean_value_semantics() {
         assert_eq!(out("print(0 or 'x', 1 and 2, not [])"), "x 2 True\n");
         // Short circuit: right side must not run.
-        assert_eq!(out("def boom():\n    return 1 // 0\nprint(False and boom())"), "False\n");
+        assert_eq!(
+            out("def boom():\n    return 1 // 0\nprint(False and boom())"),
+            "False\n"
+        );
     }
 
     #[test]
@@ -1829,11 +1911,19 @@ mod tests {
     fn runtime_errors() {
         assert!(run_err("print(x)").message().contains("NameError"));
         assert!(run_err("print(1 // 0)").message().contains("ZeroDivision"));
-        assert!(run_err("a = [1]\nprint(a[5])").message().contains("IndexError"));
-        assert!(run_err("d = {}\nprint(d['k'])").message().contains("KeyError"));
-        assert!(run_err("t = (1, 2)\nt[0] = 5").message().contains("TypeError"));
+        assert!(run_err("a = [1]\nprint(a[5])")
+            .message()
+            .contains("IndexError"));
+        assert!(run_err("d = {}\nprint(d['k'])")
+            .message()
+            .contains("KeyError"));
+        assert!(run_err("t = (1, 2)\nt[0] = 5")
+            .message()
+            .contains("TypeError"));
         assert!(run_err("print('a' + 1)").message().contains("TypeError"));
-        assert!(run_err("def f(a):\n    return a\nf(1, 2)").message().contains("TypeError"));
+        assert!(run_err("def f(a):\n    return a\nf(1, 2)")
+            .message()
+            .contains("TypeError"));
     }
 
     #[test]
@@ -1866,14 +1956,18 @@ mod tests {
             fn trace(&mut self, event: &TraceEvent, ctx: &TraceCtx<'_>) -> TraceAction {
                 match event {
                     TraceEvent::Line { line } => self.events.push(format!("line {line}")),
-                    TraceEvent::Call { function, depth, .. } => {
+                    TraceEvent::Call {
+                        function, depth, ..
+                    } => {
                         // Args must be bound at call time.
                         let f = ctx.frames.last().unwrap();
                         let nargs = f.vars().count();
                         self.events
                             .push(format!("call {function}@{depth} args={nargs}"));
                     }
-                    TraceEvent::Return { function, value, .. } => {
+                    TraceEvent::Return {
+                        function, value, ..
+                    } => {
                         self.events
                             .push(format!("return {function}={}", ctx.heap.repr(*value)));
                     }

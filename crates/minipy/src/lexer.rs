@@ -390,9 +390,8 @@ fn lex_line(
                 });
             }
             _ => {
-                let (op, len) = lex_op(&text[i..]).ok_or_else(|| {
-                    err(format!("unexpected character `{}`", c as char))
-                })?;
+                let (op, len) = lex_op(&text[i..])
+                    .ok_or_else(|| err(format!("unexpected character `{}`", c as char)))?;
                 match op {
                     OpTok::LParen | OpTok::LBracket | OpTok::LBrace => *paren_depth += 1,
                     OpTok::RParen | OpTok::RBracket | OpTok::RBrace => {

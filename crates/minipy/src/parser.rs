@@ -281,12 +281,14 @@ impl Parser {
                         let value = self.expression()?;
                         StmtKind::Assign { target, value }
                     }
-                    Tok::Op(op @ (OpTok::PlusEq
-                    | OpTok::MinusEq
-                    | OpTok::StarEq
-                    | OpTok::SlashEq
-                    | OpTok::SlashSlashEq
-                    | OpTok::PercentEq)) => {
+                    Tok::Op(
+                        op @ (OpTok::PlusEq
+                        | OpTok::MinusEq
+                        | OpTok::StarEq
+                        | OpTok::SlashEq
+                        | OpTok::SlashSlashEq
+                        | OpTok::PercentEq),
+                    ) => {
                         let binop = match op {
                             OpTok::PlusEq => BinOp::Add,
                             OpTok::MinusEq => BinOp::Sub,
@@ -761,12 +763,17 @@ mod tests {
         let m = parse_ok("x = 1 + 2 * 3 ** 2");
         match &m.body[0].kind {
             StmtKind::Assign { value, .. } => match &value.kind {
-                ExprKind::Binary { op: BinOp::Add, rhs, .. } => match &rhs.kind {
-                    ExprKind::Binary { op: BinOp::Mul, rhs, .. } => {
-                        assert!(matches!(
-                            rhs.kind,
-                            ExprKind::Binary { op: BinOp::Pow, .. }
-                        ));
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => match &rhs.kind {
+                    ExprKind::Binary {
+                        op: BinOp::Mul,
+                        rhs,
+                        ..
+                    } => {
+                        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Pow, .. }));
                     }
                     other => panic!("unexpected {other:?}"),
                 },
@@ -781,13 +788,22 @@ mod tests {
         let m = parse_ok("y = a and not b or c\nz = x not in lst");
         assert!(matches!(
             &m.body[0].kind,
-            StmtKind::Assign { value: Expr { kind: ExprKind::Bool2 { is_and: false, .. }, .. }, .. }
+            StmtKind::Assign {
+                value: Expr {
+                    kind: ExprKind::Bool2 { is_and: false, .. },
+                    ..
+                },
+                ..
+            }
         ));
         match &m.body[1].kind {
             StmtKind::Assign { value, .. } => {
                 assert!(matches!(
                     value.kind,
-                    ExprKind::Binary { op: BinOp::NotIn, .. }
+                    ExprKind::Binary {
+                        op: BinOp::NotIn,
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),

@@ -170,13 +170,9 @@ impl Heap {
         match (self.get(a), self.get(b)) {
             (PyVal::Int(x), PyVal::Int(y)) => x == y,
             (PyVal::Float(x), PyVal::Float(y)) => x == y,
-            (PyVal::Int(x), PyVal::Float(y)) | (PyVal::Float(y), PyVal::Int(x)) => {
-                *x as f64 == *y
-            }
+            (PyVal::Int(x), PyVal::Float(y)) | (PyVal::Float(y), PyVal::Int(x)) => *x as f64 == *y,
             (PyVal::Bool(x), PyVal::Bool(y)) => x == y,
-            (PyVal::Bool(x), PyVal::Int(y)) | (PyVal::Int(y), PyVal::Bool(x)) => {
-                (*x as i64) == *y
-            }
+            (PyVal::Bool(x), PyVal::Int(y)) | (PyVal::Int(y), PyVal::Bool(x)) => (*x as i64) == *y,
             (PyVal::Str(x), PyVal::Str(y)) => x == y,
             (PyVal::None, PyVal::None) => true,
             (PyVal::List(x), PyVal::List(y)) | (PyVal::Tuple(x), PyVal::Tuple(y)) => {
@@ -305,12 +301,7 @@ impl Heap {
         self.to_abstract_bounded(r, 24, &mut HashSet::new())
     }
 
-    fn to_abstract_bounded(
-        &self,
-        r: ObjRef,
-        depth: usize,
-        seen: &mut HashSet<ObjRef>,
-    ) -> Value {
+    fn to_abstract_bounded(&self, r: ObjRef, depth: usize, seen: &mut HashSet<ObjRef>) -> Value {
         let addr = r.address();
         if depth == 0 || !seen.insert(r) {
             return Value::none(self.get(r).type_name().to_owned())
@@ -456,8 +447,18 @@ mod tests {
         assert!(!PyVal::None.is_truthy());
         let empty = h.alloc(PyVal::List(vec![]));
         assert!(!h.get(empty).is_truthy());
-        assert!(!PyVal::Range { start: 3, stop: 3, step: 1 }.is_truthy());
-        assert!(PyVal::Range { start: 0, stop: 3, step: 1 }.is_truthy());
+        assert!(!PyVal::Range {
+            start: 3,
+            stop: 3,
+            step: 1
+        }
+        .is_truthy());
+        assert!(PyVal::Range {
+            start: 0,
+            stop: 3,
+            step: 1
+        }
+        .is_truthy());
     }
 
     #[test]

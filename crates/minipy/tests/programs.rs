@@ -237,14 +237,29 @@ print('%s(10) = %d' % (name, value))
 
 #[test]
 fn slicing() {
-    assert_eq!(out("a = [0, 1, 2, 3, 4]\nprint(a[1:3], a[:2], a[3:], a[:])"), "[1, 2] [0, 1] [3, 4] [0, 1, 2, 3, 4]\n");
-    assert_eq!(out("print('easytracker'[:4], 'easytracker'[4:])"), "easy tracker\n");
-    assert_eq!(out("a = [1, 2, 3]\nprint(a[-2:], a[:-1])"), "[2, 3] [1, 2]\n");
+    assert_eq!(
+        out("a = [0, 1, 2, 3, 4]\nprint(a[1:3], a[:2], a[3:], a[:])"),
+        "[1, 2] [0, 1] [3, 4] [0, 1, 2, 3, 4]\n"
+    );
+    assert_eq!(
+        out("print('easytracker'[:4], 'easytracker'[4:])"),
+        "easy tracker\n"
+    );
+    assert_eq!(
+        out("a = [1, 2, 3]\nprint(a[-2:], a[:-1])"),
+        "[2, 3] [1, 2]\n"
+    );
     assert_eq!(out("t = (1, 2, 3, 4)\nprint(t[1:3])"), "(2, 3)\n");
     // Out-of-range bounds clamp; empty when lo >= hi.
-    assert_eq!(out("a = [1, 2]\nprint(a[0:99], a[5:], a[2:1])"), "[1, 2] [] []\n");
+    assert_eq!(
+        out("a = [1, 2]\nprint(a[0:99], a[5:], a[2:1])"),
+        "[1, 2] [] []\n"
+    );
     // Slices copy: mutating the copy leaves the source alone.
-    assert_eq!(out("a = [1, 2, 3]\nb = a[:]\nb[0] = 9\nprint(a, b)"), "[1, 2, 3] [9, 2, 3]\n");
+    assert_eq!(
+        out("a = [1, 2, 3]\nb = a[:]\nb[0] = 9\nprint(a, b)"),
+        "[1, 2, 3] [9, 2, 3]\n"
+    );
 }
 
 #[test]

@@ -1,0 +1,180 @@
+//! Log-bucketed histograms for latency and size distributions.
+//!
+//! Values are `u64` (nanoseconds for latencies, bytes for sizes) and
+//! land in power-of-two buckets, so `record` is a couple of arithmetic
+//! ops and quantile estimates are exact to within a factor of two —
+//! plenty for the order-of-magnitude cost accounting the paper's §V
+//! tables call for.
+
+use serde::{Deserialize, Serialize};
+
+const BUCKETS: usize = 64;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket `i` holds values in `[2^(i-1), 2^i)`; bucket 0 holds 0.
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample,
+    /// clamped to the observed maximum. `q` is in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn stats(&self) -> HistStats {
+        HistStats {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            max: self.max,
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`], cheap to copy around and
+/// serialize into reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistStats {
+    pub count: u64,
+    pub sum: u64,
+    pub mean: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let s = h.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p95, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn quantiles_bound_samples_within_a_factor_of_two() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median is 500; bucketed answer must be in [500, 1000).
+        assert!((500..1024).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn zero_values_have_their_own_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(7);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1010);
+    }
+
+    #[test]
+    fn stats_roundtrip_through_json() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(50);
+        let s = h.stats();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: HistStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,488 @@
+//! `obs` — structured tracing and metrics for the EasyTracker suite.
+//!
+//! One [`Registry`] instance is shared (via cheap `Clone`) by every
+//! instrumented layer: trackers time their control calls as [`Span`]s,
+//! the MI client records per-command roundtrip [`Histogram`]s, engines
+//! and VMs bump [`Counter`]s. Attached [`Sink`]s receive every finished
+//! span as a Chrome trace event, so the same instrumentation yields
+//! both aggregate statistics ([`Snapshot`]) and a loadable profile
+//! timeline ([`ChromeTraceSink`]).
+//!
+//! Metric names follow `layer.component.metric[.detail]`, e.g.
+//! `tracker.control.step`, `mi.client.roundtrip.GetState`,
+//! `vm.minic.heap.allocs`. Dots group related series in reports.
+//!
+//! Everything is `std`-only: `Mutex`/atomics for sharing,
+//! `Instant` for monotonic time.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+pub mod hist;
+pub mod session;
+pub mod sink;
+
+pub use hist::{HistStats, Histogram};
+pub use session::Session;
+pub use sink::{ChromeTraceSink, JsonLinesSink, RingSink, Sink, TraceEvent};
+
+/// A monotonically increasing event counter, cheap to clone and bump
+/// from any thread.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value; used for gauge-style absolute readings
+    /// (e.g. "VM executed N ops total").
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct RegistryInner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    sinks: Mutex<Vec<Arc<dyn Sink>>>,
+    tids: Mutex<HashMap<ThreadId, u64>>,
+}
+
+/// Shared hub for counters, histograms, spans, and sinks.
+///
+/// Cloning a `Registry` clones a handle to the same underlying data,
+/// so one registry can be threaded through trackers, MI client/server
+/// pairs, and VM engines while every layer reports to the same place.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.inner.counters.lock().unwrap().len())
+            .field("histograms", &self.inner.histograms.lock().unwrap().len())
+            .field("sinks", &self.inner.sinks.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                sinks: Mutex::new(Vec::new()),
+                tids: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Process-wide default registry, for tools (like the interactive
+    /// debugger) that have no natural place to thread one through.
+    pub fn global() -> Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new).clone()
+    }
+
+    /// Whether two handles share the same underlying registry.
+    pub fn same_as(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    pub fn add_sink(&self, sink: Arc<dyn Sink>) {
+        self.inner.sinks.lock().unwrap().push(sink);
+    }
+
+    /// Microseconds since this registry was created.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Small stable integer id for the calling thread.
+    fn tid(&self) -> u64 {
+        let mut tids = self.inner.tids.lock().unwrap();
+        let next = tids.len() as u64 + 1;
+        *tids.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    // ---- counters ---------------------------------------------------------
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().unwrap();
+        counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+            .clone()
+    }
+
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    pub fn set(&self, name: &str, v: u64) {
+        self.counter(name).set(v);
+    }
+
+    // ---- histograms -------------------------------------------------------
+
+    pub fn record_value(&self, name: &str, value: u64) {
+        let mut histograms = self.inner.histograms.lock().unwrap();
+        histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration in nanoseconds under `name`.
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        self.record_value(name, d.as_nanos() as u64);
+    }
+
+    // ---- spans & events ---------------------------------------------------
+
+    /// Opens a span. Dropping (or [`Span::finish`]ing) it records the
+    /// elapsed time into the histogram of the same name and emits a
+    /// complete (`ph: "X"`) trace event to every sink.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        let name = name.into();
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().cloned();
+            stack.push(name.clone());
+            parent
+        });
+        Span {
+            registry: self.clone(),
+            name,
+            cat: "span".into(),
+            parent,
+            start: Instant::now(),
+            start_us: self.now_us(),
+            args: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Emits an instant (`ph: "i"`) event.
+    pub fn instant(&self, name: &str, args: &[(&str, &str)]) {
+        self.emit(TraceEvent {
+            name: name.to_string(),
+            cat: "instant".into(),
+            ph: 'i',
+            ts_us: self.now_us(),
+            dur_us: 0,
+            pid: 1,
+            tid: self.tid(),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// Emits a counter (`ph: "C"`) sample so the trace viewer can chart
+    /// the series over time.
+    pub fn counter_sample(&self, name: &str, value: u64) {
+        self.emit(TraceEvent {
+            name: name.to_string(),
+            cat: "counter".into(),
+            ph: 'C',
+            ts_us: self.now_us(),
+            dur_us: 0,
+            pid: 1,
+            tid: self.tid(),
+            args: vec![("value".into(), value.to_string())],
+        });
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        let sinks = self.inner.sinks.lock().unwrap();
+        for sink in sinks.iter() {
+            sink.record(&event);
+        }
+    }
+
+    pub fn flush(&self) {
+        let sinks = self.inner.sinks.lock().unwrap();
+        for sink in sinks.iter() {
+            let _ = sink.flush();
+        }
+    }
+
+    // ---- reporting --------------------------------------------------------
+
+    /// Copies out current counter values and histogram summaries.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+thread_local! {
+    /// Names of the spans currently open on this thread, innermost
+    /// last; used to tag children with their parent span.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open timed region. Ends on drop or explicit [`Span::finish`].
+pub struct Span {
+    registry: Registry,
+    name: String,
+    cat: String,
+    parent: Option<String>,
+    start: Instant,
+    start_us: u64,
+    args: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl Span {
+    /// Attaches a key/value tag emitted with the trace event (e.g. the
+    /// `PauseReason` a control call returned).
+    pub fn tag(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.args.push((key.into(), value.into()));
+    }
+
+    /// Overrides the event category (defaults to `"span"`).
+    pub fn category(&mut self, cat: impl Into<String>) {
+        self.cat = cat.into();
+    }
+
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            }
+        });
+        let elapsed = self.start.elapsed();
+        self.registry.record_duration(&self.name, elapsed);
+        let mut args = std::mem::take(&mut self.args);
+        if let Some(parent) = self.parent.take() {
+            args.push(("parent".into(), parent));
+        }
+        let tid = self.registry.tid();
+        self.registry.emit(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            cat: std::mem::take(&mut self.cat),
+            ph: 'X',
+            ts_us: self.start_us,
+            dur_us: elapsed.as_micros() as u64,
+            pid: 1,
+            tid,
+            args,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Point-in-time view of every metric in a registry.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistStats>,
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value, or 0 when the counter never fired.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistStats> {
+        self.histograms.get(name)
+    }
+
+    /// Renders a fixed-width, two-section stats table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<44} {:>12}\n", "counter", "value"));
+            out.push_str(&format!("{:-<44} {:->12}\n", "", ""));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<44} {value:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram (ns)", "count", "mean", "p50", "p95", "max"
+            ));
+            out.push_str(&format!(
+                "{:-<44} {:->8} {:->10} {:->10} {:->10} {:->10}\n",
+                "", "", "", "", "", ""
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    name, h.count, h.mean, h.p50, h.p95, h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let reg = Registry::new();
+        let other = reg.clone();
+        reg.inc("a.b");
+        other.add("a.b", 4);
+        assert_eq!(reg.snapshot().counter("a.b"), 5);
+        assert!(reg.same_as(&other));
+    }
+
+    #[test]
+    fn spans_record_into_histograms_and_sinks() {
+        let reg = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        reg.add_sink(ring.clone());
+        {
+            let mut outer = reg.span("outer");
+            outer.tag("k", "v");
+            let inner = reg.span("inner");
+            inner.finish();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("outer").unwrap().count, 1);
+        assert_eq!(snap.histogram("inner").unwrap().count, 1);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        // Inner finishes first and is tagged with its parent.
+        assert_eq!(events[0].name, "inner");
+        assert!(events[0]
+            .args
+            .iter()
+            .any(|(k, v)| k == "parent" && v == "outer"));
+        assert!(events[1].args.iter().any(|(k, v)| k == "k" && v == "v"));
+    }
+
+    #[test]
+    fn snapshot_serializes_and_renders() {
+        let reg = Registry::new();
+        reg.add("x.count", 3);
+        reg.record_value("y.lat", 128);
+        let snap = reg.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.counter("x.count"), 3);
+        assert_eq!(back.histogram("y.lat").unwrap().count, 1);
+        let table = snap.render_table();
+        assert!(table.contains("x.count"));
+        assert!(table.contains("y.lat"));
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let reg = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        reg.add_sink(ring.clone());
+        reg.instant("main-side", &[]);
+        let reg2 = reg.clone();
+        std::thread::spawn(move || reg2.instant("thread-side", &[]))
+            .join()
+            .unwrap();
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].tid, events[1].tid);
+    }
+
+    #[test]
+    fn counter_prefix_sum_groups_series() {
+        let reg = Registry::new();
+        reg.add("mi.server.cmd.Step", 2);
+        reg.add("mi.server.cmd.Resume", 3);
+        reg.add("vm.ops", 100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_prefix_sum("mi.server.cmd."), 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! User-facing bundle: a registry with standard sinks pre-attached.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::sink::{ChromeTraceSink, RingSink, TraceEvent};
+use crate::{Registry, Snapshot};
+
+/// Convenience wrapper owning a [`Registry`] wired to a Chrome-trace
+/// collector and an in-memory ring of recent events.
+///
+/// Typical profiling flow:
+///
+/// ```
+/// let session = obs::Session::new();
+/// let registry = session.registry();
+/// // ... thread `registry` through trackers / engines / VMs ...
+/// registry.span("tracker.control.start").finish();
+/// println!("{}", session.snapshot().render_table());
+/// # let dir = std::env::temp_dir().join("obs-doc-session");
+/// # std::fs::create_dir_all(&dir).unwrap();
+/// session.write_chrome_trace(&dir.join("profile.trace.json")).unwrap();
+/// ```
+pub struct Session {
+    registry: Registry,
+    ring: Arc<RingSink>,
+    chrome: Arc<ChromeTraceSink>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Registry with a Chrome-trace sink and a 4096-event ring attached.
+    pub fn new() -> Self {
+        Self::with_capacity(4096)
+    }
+
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        let registry = Registry::new();
+        let ring = Arc::new(RingSink::new(ring_capacity));
+        let chrome = Arc::new(ChromeTraceSink::new());
+        registry.add_sink(ring.clone());
+        registry.add_sink(chrome.clone());
+        Session {
+            registry,
+            ring,
+            chrome,
+        }
+    }
+
+    /// A bare registry with no sinks: metrics still aggregate, but no
+    /// per-event work happens. Baseline for overhead comparisons.
+    pub fn without_sinks() -> Self {
+        Session {
+            registry: Registry::new(),
+            ring: Arc::new(RingSink::new(1)),
+            chrome: Arc::new(ChromeTraceSink::new()),
+        }
+    }
+
+    /// Cheap shared handle; thread this through instrumented layers.
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Most recent events, oldest first.
+    pub fn recent_events(&self) -> Vec<TraceEvent> {
+        self.ring.events()
+    }
+
+    /// Number of events captured for the Chrome trace so far.
+    pub fn trace_len(&self) -> usize {
+        self.chrome.len()
+    }
+
+    /// Writes the collected profile as Chrome trace-event JSON; open in
+    /// `chrome://tracing`, Perfetto, or Speedscope.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        self.chrome.save(path)
+    }
+
+    /// Serializes the profile into any writer.
+    pub fn write_chrome_trace_to<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        self.chrome.write_to(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_collects_spans_into_trace_and_ring() {
+        let session = Session::new();
+        let reg = session.registry();
+        reg.span("a").finish();
+        reg.span("b").finish();
+        assert_eq!(session.trace_len(), 2);
+        assert_eq!(session.recent_events().len(), 2);
+        let mut out = Vec::new();
+        session.write_chrome_trace_to(&mut out).unwrap();
+        let doc: serde_json::Value = serde_json::from_slice(&out).unwrap();
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sinkless_session_still_aggregates() {
+        let session = Session::without_sinks();
+        let reg = session.registry();
+        reg.span("quiet").finish();
+        reg.inc("n");
+        assert_eq!(session.trace_len(), 0);
+        let snap = session.snapshot();
+        assert_eq!(snap.counter("n"), 1);
+        assert_eq!(snap.histogram("quiet").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Event sinks: where finished spans and instant events go.
+//!
+//! A [`Registry`](crate::Registry) fans each [`TraceEvent`] out to every
+//! attached sink. Three implementations cover the common needs:
+//! [`RingSink`] for in-memory inspection (last N events), [`JsonLinesSink`]
+//! for streaming JSONL logs, and [`ChromeTraceSink`] for a
+//! `chrome://tracing` / Perfetto-compatible profile file.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde_json::{json, Value};
+
+/// One trace event in (a subset of) the Chrome trace-event format.
+///
+/// `ph` is the phase: `'X'` complete span, `'i'` instant, `'C'` counter
+/// sample. Timestamps and durations are microseconds relative to the
+/// owning registry's epoch.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: String,
+    pub ph: char,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub pid: u64,
+    pub tid: u64,
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// Renders as a Chrome trace-event JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut args = serde_json::Map::new();
+        for (k, v) in &self.args {
+            // Counter samples carry numeric args so the trace viewer
+            // can chart them; everything else stays a string tag.
+            if self.ph == 'C' {
+                if let Ok(n) = v.parse::<u64>() {
+                    args.insert(k.clone(), json!(n));
+                    continue;
+                }
+            }
+            args.insert(k.clone(), json!(v));
+        }
+        let mut obj = serde_json::Map::new();
+        obj.insert("name".into(), json!(self.name));
+        obj.insert("cat".into(), json!(self.cat));
+        obj.insert("ph".into(), json!(self.ph.to_string()));
+        obj.insert("ts".into(), json!(self.ts_us));
+        if self.ph == 'X' {
+            obj.insert("dur".into(), json!(self.dur_us));
+        }
+        obj.insert("pid".into(), json!(self.pid));
+        obj.insert("tid".into(), json!(self.tid));
+        obj.insert("args".into(), Value::Object(args));
+        Value::Object(obj)
+    }
+}
+
+/// Receives every event emitted through a registry.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &TraceEvent);
+
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Keeps the most recent `capacity` events in memory.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Writes each event as one JSON object per line.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().unwrap();
+        // A full sink must not take down the instrumented program.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+/// Collects events and serializes them as a Chrome trace-event file
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing`,
+/// Perfetto, or Speedscope.
+#[derive(Default)]
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl ChromeTraceSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the collected profile into `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let events = self.events.lock().unwrap();
+        let list: Vec<Value> = events.iter().map(TraceEvent::to_json).collect();
+        let doc = json!({
+            "traceEvents": list,
+            "displayTimeUnit": "ms",
+        });
+        write!(w, "{doc}")
+    }
+
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)?;
+        f.flush()
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "test".into(),
+            ph: 'X',
+            ts_us: ts,
+            dur_us: 3,
+            pid: 1,
+            tid: 1,
+            args: vec![("k".into(), "v".into())],
+        }
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest() {
+        let ring = RingSink::new(2);
+        ring.record(&ev("a", 1));
+        ring.record(&ev("b", 2));
+        ring.record(&ev("c", 3));
+        let names: Vec<String> = ring.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.record(&ev("a", 1));
+        sink.record(&ev("b", 2));
+        let bytes = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["ph"], "X");
+            assert_eq!(v["args"]["k"], "v");
+        }
+    }
+
+    #[test]
+    fn chrome_sink_emits_trace_events_document() {
+        let sink = ChromeTraceSink::new();
+        sink.record(&ev("span", 10));
+        let mut out = Vec::new();
+        sink.write_to(&mut out).unwrap();
+        let doc: Value = serde_json::from_slice(&out).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["name"], "span");
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["dur"], 3u64);
+    }
+
+    #[test]
+    fn counter_events_carry_numeric_args() {
+        let e = TraceEvent {
+            name: "vm.ops".into(),
+            cat: "counter".into(),
+            ph: 'C',
+            ts_us: 5,
+            dur_us: 0,
+            pid: 1,
+            tid: 1,
+            args: vec![("value".into(), "42".into())],
+        };
+        let v = e.to_json();
+        assert_eq!(v["args"]["value"], 42u64);
+    }
+}

@@ -23,7 +23,7 @@
 
 pub mod html;
 
-use easytracker::{Recording, RecordedStep};
+use easytracker::{RecordedStep, Recording};
 use serde_json::{json, Map, Value as Json};
 use state::{
     AbstractType, Content, Frame, PauseReason, Prim, ProgramState, Scope, SourceLocation, Value,
@@ -210,9 +210,11 @@ fn encode_compound(value: &Value, heap: &mut BTreeMap<u64, Json>) -> Json {
         }
         Content::Dict(entries) => {
             let mut arr = vec![json!("DICT")];
-            arr.extend(entries.iter().map(|(k, v)| {
-                json!([encode_value(k, heap), encode_value(v, heap)])
-            }));
+            arr.extend(
+                entries
+                    .iter()
+                    .map(|(k, v)| json!([encode_value(k, heap), encode_value(v, heap)])),
+            );
             Json::Array(arr)
         }
         Content::Struct(fields) => {
@@ -302,7 +304,10 @@ pub fn recording_from_trace(trace: &Json, file: &str) -> Result<Recording, Strin
                 }
             }
         }
-        let event = entry.get("event").and_then(Json::as_str).unwrap_or("step_line");
+        let event = entry
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or("step_line");
         let reason = match event {
             "call" => PauseReason::FunctionCall {
                 function: frame.name().to_owned(),
@@ -569,10 +574,7 @@ mod tests {
             if t.get_current_frame().unwrap().name() == "f" {
                 saw_f = true;
                 let x = t.get_variable("x").unwrap().unwrap();
-                assert_eq!(
-                    state::render_value(x.value().deref_fully()),
-                    "21"
-                );
+                assert_eq!(state::render_value(x.value().deref_fully()), "21");
             }
             t.step().unwrap();
         }

@@ -113,6 +113,21 @@ impl PauseReason {
         !matches!(self, PauseReason::Exited(_) | PauseReason::NotStarted)
     }
 
+    /// Stable short name of the variant, without its payload — used as a
+    /// span tag in observability output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PauseReason::NotStarted => "NotStarted",
+            PauseReason::Started => "Started",
+            PauseReason::Breakpoint { .. } => "Breakpoint",
+            PauseReason::Watchpoint { .. } => "Watchpoint",
+            PauseReason::FunctionCall { .. } => "FunctionCall",
+            PauseReason::FunctionReturn { .. } => "FunctionReturn",
+            PauseReason::Step => "Step",
+            PauseReason::Exited(_) => "Exited",
+        }
+    }
+
     /// Whether this reason reports a tracked-function event.
     pub fn is_function_event(&self) -> bool {
         matches!(

@@ -183,7 +183,11 @@ impl Value {
 
     /// Creates a primitive value.
     pub fn primitive(p: Prim, language_type: impl Into<String>) -> Self {
-        Value::build(AbstractType::Primitive, Content::Primitive(p), language_type)
+        Value::build(
+            AbstractType::Primitive,
+            Content::Primitive(p),
+            language_type,
+        )
     }
 
     /// Creates a reference to `target`.
@@ -359,7 +363,10 @@ mod tests {
             AbstractType::Primitive
         );
         assert_eq!(Value::none("NoneType").abstract_type(), AbstractType::None);
-        assert_eq!(Value::invalid("int*").abstract_type(), AbstractType::Invalid);
+        assert_eq!(
+            Value::invalid("int*").abstract_type(),
+            AbstractType::Invalid
+        );
         assert_eq!(
             Value::function("main", "function").abstract_type(),
             AbstractType::Function

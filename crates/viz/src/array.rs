@@ -84,11 +84,12 @@ impl ArrayView {
         let mut row = String::new();
         let mut positions = Vec::new();
         for (i, cell) in self.cells.iter().enumerate() {
-            let highlighted = self
-                .highlight
-                .as_ref()
-                .is_some_and(|r| r.contains(&i));
-            let (l, r) = if highlighted { ('▌', '▐') } else { ('|', '|') };
+            let highlighted = self.highlight.as_ref().is_some_and(|r| r.contains(&i));
+            let (l, r) = if highlighted {
+                ('▌', '▐')
+            } else {
+                ('|', '|')
+            };
             positions.push(row.chars().count() + 1 + width / 2);
             let _ = write!(row, "{l}{cell:^width$}{r}");
         }
@@ -115,20 +116,14 @@ impl ArrayView {
         const CELL_H: f64 = 34.0;
         const X0: f64 = 20.0;
         let mut y0 = 20.0;
-        let mut doc = SvgDoc::new(
-            X0 * 2.0 + CELL_W * self.cells.len().max(1) as f64,
-            110.0,
-        );
+        let mut doc = SvgDoc::new(X0 * 2.0 + CELL_W * self.cells.len().max(1) as f64, 110.0);
         if let Some(t) = &self.title {
             doc.text(X0, y0, 13.0, "start", "black", t);
             y0 += 16.0;
         }
         for (i, cell) in self.cells.iter().enumerate() {
             let x = X0 + i as f64 * CELL_W;
-            let highlighted = self
-                .highlight
-                .as_ref()
-                .is_some_and(|r| r.contains(&i));
+            let highlighted = self.highlight.as_ref().is_some_and(|r| r.contains(&i));
             let fill = if highlighted { "#b9cdb9" } else { "#f2f2f2" };
             doc.rect(x, y0, CELL_W, CELL_H, fill, "#333");
             doc.text(

@@ -45,7 +45,8 @@ impl MemView {
         for (i, chunk) in bytes.chunks(4).enumerate() {
             let mut word = [0u8; 4];
             word[..chunk.len()].copy_from_slice(chunk);
-            self.words.push((base + i as u64 * 4, u32::from_le_bytes(word)));
+            self.words
+                .push((base + i as u64 * 4, u32::from_le_bytes(word)));
         }
         self
     }
@@ -85,7 +86,11 @@ impl MemView {
                 } else {
                     ""
                 };
-                let _ = writeln!(out, "  {addr:#08x}: {word:#010x} ({}){marker}", *word as i32);
+                let _ = writeln!(
+                    out,
+                    "  {addr:#08x}: {word:#010x} ({}){marker}",
+                    *word as i32
+                );
             }
         }
         out
@@ -126,7 +131,14 @@ impl MemView {
             doc.rect(280.0, ry - 11.0, 250.0, ROW, "#f4faf4", stroke);
             doc.text(286.0, ry, 10.0, "start", "#252", &format!("{addr:#08x}"));
             doc.text(380.0, ry, 10.0, "start", "black", &format!("{word:#010x}"));
-            doc.text(480.0, ry, 10.0, "start", "#555", &(*word as i32).to_string());
+            doc.text(
+                480.0,
+                ry,
+                10.0,
+                "start",
+                "#555",
+                &(*word as i32).to_string(),
+            );
         }
         doc.finish()
     }

@@ -54,8 +54,16 @@ impl SourceView {
         }
         for (i, line) in source.lines().enumerate() {
             let n = (i + 1) as u32;
-            let cur = if Some(n) == self.current_line { "=>" } else { "  " };
-            let bp = if self.breakpoints.contains(&n) { "●" } else { " " };
+            let cur = if Some(n) == self.current_line {
+                "=>"
+            } else {
+                "  "
+            };
+            let bp = if self.breakpoints.contains(&n) {
+                "●"
+            } else {
+                " "
+            };
             let _ = writeln!(out, "{cur}{bp}{n:>3} | {line}");
         }
         out

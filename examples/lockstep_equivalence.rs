@@ -29,9 +29,7 @@ return a;
 /// detection when `BUGGY` is substituted in.
 fn py_gcd(buggy: bool) -> String {
     let restore = if buggy { "a = b" } else { "a = t" };
-    format!(
-        "a = 252\nb = 105\nwhile b != 0:\n    t = b\n    b = a % b\n    {restore}\ndone = a\n"
-    )
+    format!("a = 252\nb = 105\nwhile b != 0:\n    t = b\n    b = a % b\n    {restore}\ndone = a\n")
 }
 
 /// Collects the change sequence of `variable` during a full run.
@@ -71,10 +69,7 @@ fn compare(label: &str, c_seq: &[String], py_seq: &[String]) {
             c_seq.len(),
             py.len()
         ),
-        None => println!(
-            "{label}: equivalent ({} state changes match)",
-            c_seq.len()
-        ),
+        None => println!("{label}: equivalent ({} state changes match)", c_seq.len()),
     }
 }
 

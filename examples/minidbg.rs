@@ -17,7 +17,8 @@
 //!
 //! Commands: `s`tep, `n`ext, `f`inish, `c`ontinue, `b <line>`,
 //! `bf <func> [maxdepth]`, `t <func>` (track), `w <var>` (watch),
-//! `p <var>` (print), `bt` (backtrace), `l`ist, `regs`, `o`utput, `q`uit.
+//! `p <var>` (print), `bt` (backtrace), `l`ist, `regs`, `o`utput,
+//! `stats` (session metrics), `q`uit.
 
 use easytracker::{init_tracker, PauseReason, Tracker};
 use std::io::{self, BufRead, Write};
@@ -136,8 +137,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 print!("{}", t.get_output().unwrap_or_default());
                 None
             }
+            ["stats"] => {
+                let snap = t.stats();
+                if snap.is_empty() {
+                    println!("no metrics recorded yet");
+                } else {
+                    print!("{}", snap.render_table());
+                }
+                None
+            }
             other => {
-                println!("unknown command {other:?} — s n f c b bf t w p bt l regs o q");
+                println!("unknown command {other:?} — s n f c b bf t w p bt l regs o stats q");
                 None
             }
         };

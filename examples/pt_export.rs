@@ -8,7 +8,9 @@
 //! Run with: `cargo run --example pt_export`
 
 use easytracker::{PauseReason, PyTracker, Recording, ReplayTracker, Tracker};
-use pttrace::{recording_from_trace, trace_from_recording, trace_size, trace_with_options, ExportOptions};
+use pttrace::{
+    recording_from_trace, trace_from_recording, trace_size, trace_with_options, ExportOptions,
+};
 
 const PROG: &str = "\
 def scale(v, k):
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Full trace (what a naive exporter would ship to the PT front end).
     let full = trace_from_recording(&recording);
     let full_size = trace_size(&full);
-    std::fs::write(out_dir.join("fig10.full.json"), serde_json::to_string_pretty(&full)?)?;
+    std::fs::write(
+        out_dir.join("fig10.full.json"),
+        serde_json::to_string_pretty(&full)?,
+    )?;
 
     // Partial trace: only the module-level view of the interesting vars
     // (the paper: "focus on interesting parts ... reduce the trace by a

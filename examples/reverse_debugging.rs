@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut moves = 0;
     loop {
         match t.resume_back()? {
-            PauseReason::Watchpoint { variable, old, new, .. } => {
+            PauseReason::Watchpoint {
+                variable, old, new, ..
+            } => {
                 moves += 1;
                 let line = t.current_line().unwrap_or(0);
                 // Note the reversed reading: going backwards, `new` is the
@@ -80,6 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
     }
-    println!("\n{moves} bound changes replayed in reverse — the `hi = mid - 1` branch drops the answer.");
+    println!(
+        "\n{moves} bound changes replayed in reverse — the `hi = mid - 1` branch drops the answer."
+    );
     Ok(())
 }

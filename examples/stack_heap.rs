@@ -37,7 +37,11 @@ return 0;
 }
 ";
 
-fn run_tool(file: &str, source: &str, opts: &StackDiagramOptions) -> Result<usize, Box<dyn std::error::Error>> {
+fn run_tool(
+    file: &str,
+    source: &str,
+    opts: &StackDiagramOptions,
+) -> Result<usize, Box<dyn std::error::Error>> {
     let out_dir = std::path::Path::new("target/easytracker-out");
     std::fs::create_dir_all(out_dir)?;
     let mut tracker = init_tracker(file, source)?;

@@ -1,0 +1,104 @@
+//! Profiling a debugging session (paper Fig. 8, §V): run the recursion
+//! workload under both the machine-interface tracker (MiniC behind
+//! serialized commands on a separate thread) and the in-process Python
+//! tracker, with every layer reporting into one shared `obs` registry.
+//!
+//! Produces:
+//!
+//! * `profile.trace.json` — a Chrome trace-event profile of every control
+//!   call and MI roundtrip; open it in `chrome://tracing`, Perfetto
+//!   (<https://ui.perfetto.dev>), or Speedscope;
+//! * a stats table on stdout — per-control-call latency histograms,
+//!   inspection counters, MI byte/frame accounting, and VM execution
+//!   counters — the numbers behind the paper's §V overhead discussion.
+//!
+//! Run with: `cargo run --example tracing_profile`
+
+use easytracker::{init_tracker_with_registry, PauseReason};
+
+const C_PROG: &str = "\
+int fib(int n) {
+if (n < 2) { return n; }
+return fib(n - 1) + fib(n - 2);
+}
+int main() {
+int r = fib(8);
+printf(\"fib(8) = %d\\n\", r);
+return r;
+}
+";
+
+const PY_PROG: &str = "\
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+r = fib(8)
+print('fib(8) =', r)
+";
+
+/// The Fig. 8 session: track the recursive function, resume across every
+/// call/return boundary, snapshot the state at each pause.
+fn profile_one(
+    session: &obs::Session,
+    file: &str,
+    source: &str,
+) -> Result<(u32, u32), easytracker::TrackerError> {
+    let mut tracker = init_tracker_with_registry(file, source, session.registry())?;
+    tracker.start()?;
+    tracker.track_function("fib", None)?;
+    let (mut calls, mut returns) = (0, 0);
+    loop {
+        match tracker.resume()? {
+            PauseReason::FunctionCall { .. } => {
+                calls += 1;
+                // Inspect at every pause, like a real visualization tool:
+                // this is the traffic the byte counters account for.
+                let state = tracker.get_state()?;
+                debug_assert_eq!(state.frame.name(), "fib");
+            }
+            PauseReason::FunctionReturn { .. } => returns += 1,
+            PauseReason::Exited(_) => break,
+            _ => {}
+        }
+    }
+    tracker.get_output()?;
+    tracker.terminate();
+    Ok((calls, returns))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One session, two trackers: their spans and counters aggregate into
+    // a single profile, distinguished by metric names and thread ids.
+    let session = obs::Session::new();
+
+    let (c_calls, c_returns) = profile_one(&session, "fib.c", C_PROG)?;
+    println!("MiTracker  (fib.c):  {c_calls} calls, {c_returns} returns observed");
+
+    let (py_calls, py_returns) = profile_one(&session, "fib.py", PY_PROG)?;
+    println!("PyTracker  (fib.py): {py_calls} calls, {py_returns} returns observed");
+
+    let snap = session.snapshot();
+    println!("\n{}", snap.render_table());
+
+    println!(
+        "control calls: {} spans | MI roundtrips: {} | MI bytes: {} sent / {} received",
+        snap.histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with("tracker.control."))
+            .map(|(_, h)| h.count)
+            .sum::<u64>(),
+        snap.counter("mi.client.frames_sent"),
+        snap.counter("mi.client.bytes_sent"),
+        snap.counter("mi.client.bytes_received"),
+    );
+
+    let path = std::path::Path::new("profile.trace.json");
+    session.write_chrome_trace(path)?;
+    println!(
+        "\nwrote {} trace events to {} — open in chrome://tracing or https://ui.perfetto.dev",
+        session.trace_len(),
+        path.display()
+    );
+    Ok(())
+}

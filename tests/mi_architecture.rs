@@ -15,15 +15,14 @@ fn c_session(src: &str) -> Session {
 
 #[test]
 fn commands_and_state_cross_as_bytes() {
-    let mut session = c_session(
-        "int main() {\nint xs[3] = {7, 8, 9};\nint* p = xs;\nreturn p[1];\n}",
-    );
+    let mut session =
+        c_session("int main() {\nint xs[3] = {7, 8, 9};\nint* p = xs;\nreturn p[1];\n}");
     session.client.call(Command::Start).unwrap();
     session.client.call(Command::Step).unwrap();
     session.client.call(Command::Step).unwrap();
-    let before = session.client.transport().bytes_received;
+    let before = session.client.transport().counters().bytes_received;
     let resp = session.client.call(Command::GetState).unwrap();
-    let after = session.client.transport().bytes_received;
+    let after = session.client.transport().counters().bytes_received;
     let Response::State(st) = resp else {
         panic!("expected state");
     };
@@ -104,11 +103,9 @@ fn per_command_traffic_is_bounded() {
     // A control command's frames are small; only state snapshots are big.
     let mut session = c_session("int main() {\nint x = 0;\nx = 1;\nreturn x;\n}");
     session.client.call(Command::Start).unwrap();
-    let before = session.client.transport().bytes_sent
-        + session.client.transport().bytes_received;
+    let before = session.client.transport().counters().bytes_total();
     session.client.call(Command::Step).unwrap();
-    let after = session.client.transport().bytes_sent
-        + session.client.transport().bytes_received;
+    let after = session.client.transport().counters().bytes_total();
     assert!(after - before < 200, "step traffic: {}", after - before);
     session.shutdown();
 }

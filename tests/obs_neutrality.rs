@@ -1,0 +1,130 @@
+//! Observability must be observation only: wiring a registry (with or
+//! without sinks) through a tracker must not change a single bit of the
+//! abstract state the tool sees, and the no-sink configuration must stay
+//! cheap enough to leave on everywhere.
+
+use easytracker::{init_tracker, init_tracker_with_registry, PauseReason, Tracker};
+
+const C_PROG: &str = "int square(int x) {\nreturn x * x;\n}\nint main() {\nint s = 0;\nfor (int i = 1; i <= 3; i++) {\ns += square(i);\n}\nreturn s;\n}";
+
+const PY_PROG: &str =
+    "def square(x):\n    return x * x\ns = 0\nfor i in [1, 2, 3]:\n    s = s + square(i)\n";
+
+/// Runs the same control script on a tracker and returns everything a tool
+/// could observe, serialized: pause reasons, full state snapshots, output
+/// and the exit code.
+fn observe(tracker: &mut dyn Tracker) -> Vec<String> {
+    let mut log = Vec::new();
+    let r = tracker.start().unwrap();
+    log.push(format!("start: {r}"));
+    tracker.track_function("square", None).unwrap();
+    loop {
+        let r = tracker.resume().unwrap();
+        log.push(format!("resume: {r}"));
+        if matches!(r, PauseReason::Exited(_)) {
+            break;
+        }
+        let state = tracker.get_state().unwrap();
+        log.push(serde_json::to_string(&state).unwrap());
+        if let Some(v) = tracker.get_variable("s").unwrap() {
+            log.push(serde_json::to_string(&v).unwrap());
+        }
+    }
+    log.push(format!("exit: {:?}", tracker.get_exit_code()));
+    log.push(format!("output: {:?}", tracker.get_output().unwrap()));
+    tracker.terminate();
+    log
+}
+
+fn run_plain(file: &str, source: &str) -> Vec<String> {
+    observe(&mut *init_tracker(file, source).unwrap())
+}
+
+fn run_with(file: &str, source: &str, session: &obs::Session) -> Vec<String> {
+    observe(&mut *init_tracker_with_registry(file, source, session.registry()).unwrap())
+}
+
+#[test]
+fn c_states_identical_with_and_without_obs() {
+    let plain = run_plain("n.c", C_PROG);
+    let sinkless = run_with("n.c", C_PROG, &obs::Session::without_sinks());
+    let full = obs::Session::new();
+    let traced = run_with("n.c", C_PROG, &full);
+    assert_eq!(plain, sinkless);
+    assert_eq!(plain, traced);
+    // ... and the instrumented run really did instrument.
+    let snap = full.snapshot();
+    assert!(snap.histogram("tracker.control.Resume").is_some());
+    assert!(snap.counter("mi.client.bytes_sent") > 0);
+    assert!(full.trace_len() > 0);
+}
+
+#[test]
+fn py_states_identical_with_and_without_obs() {
+    let plain = run_plain("n.py", PY_PROG);
+    let sinkless = run_with("n.py", PY_PROG, &obs::Session::without_sinks());
+    let full = obs::Session::new();
+    let traced = run_with("n.py", PY_PROG, &full);
+    assert_eq!(plain, sinkless);
+    assert_eq!(plain, traced);
+    let snap = full.snapshot();
+    assert!(snap.histogram("tracker.control.Resume").is_some());
+    assert!(snap.counter("vm.minipy.trace_hooks") > 0);
+}
+
+#[test]
+fn asm_tracker_reports_through_the_same_registry() {
+    // A subset of the quickstart fib program: enough to verify the asm
+    // MI engine publishes its VM stats like the minic engine does.
+    let asm = "main:\n    li a0, 3\n    addi a0, a0, 4\n    li a7, 93\n    ecall\n";
+    let session = obs::Session::new();
+    let mut t = init_tracker_with_registry("n.s", asm, session.registry()).unwrap();
+    t.start().unwrap();
+    while t.get_exit_code().is_none() {
+        t.step().unwrap();
+    }
+    t.terminate();
+    let snap = session.snapshot();
+    assert!(snap.counter("vm.miniasm.instret") > 0);
+    assert!(snap.histogram("tracker.control.Step").is_some());
+    assert!(snap.counter("mi.client.bytes_sent") > 0);
+    assert!(snap.counter_prefix_sum("mi.server.cmd.") > 0);
+}
+
+#[test]
+fn replay_states_identical_with_and_without_obs() {
+    let mut live = init_tracker("n.c", C_PROG).unwrap();
+    let rec = easytracker::Recording::capture(&mut *live).unwrap();
+    live.terminate();
+    let json = rec.to_json().unwrap();
+    let plain = run_plain("n.json", &json);
+    let traced = run_with("n.json", &json, &obs::Session::new());
+    assert_eq!(plain, traced);
+}
+
+#[test]
+fn sinkless_instrumentation_overhead_is_bounded() {
+    // A sinkless registry only bumps atomics and one histogram bucket per
+    // span; 10k spans must finish in well under a second even on a busy
+    // CI box. This is the "leave it on in production" guarantee.
+    let session = obs::Session::without_sinks();
+    let reg = session.registry();
+    let start = std::time::Instant::now();
+    for _ in 0..10_000 {
+        let mut span = reg.span("tracker.control.Step");
+        span.tag("pause_reason", "Step");
+        span.finish();
+        reg.inc("tracker.inspect.GetState");
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(1),
+        "10k sinkless spans took {elapsed:?}"
+    );
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("tracker.inspect.GetState"), 10_000);
+    assert_eq!(
+        snap.histogram("tracker.control.Step").unwrap().count,
+        10_000
+    );
+}

@@ -53,12 +53,9 @@ fn arb_expr() -> impl Strategy<Value = E> {
     let leaf = (-50i32..50).prop_map(E::Lit);
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
             inner.prop_map(|a| E::Neg(Box::new(a))),
         ]
     })
@@ -67,9 +64,8 @@ fn arb_expr() -> impl Strategy<Value = E> {
 fn run_minic(expr: &str) -> i64 {
     // Compute in `long` and take a residue so any i32 exit-code concerns
     // disappear: return ((v % 1000) + 1000) % 1000.
-    let src = format!(
-        "int main() {{ long v = {expr}; return (int)(((v % 1000) + 1000) % 1000); }}"
-    );
+    let src =
+        format!("int main() {{ long v = {expr}; return (int)(((v % 1000) + 1000) % 1000); }}");
     let program = minic::compile("prop.c", &src).expect("compiles");
     minic::vm::Vm::new(&program)
         .run_to_completion()
@@ -125,8 +121,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     ];
     leaf.prop_recursive(3, 32, 4, |inner| {
         prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4)
-                .prop_map(|items| Value::list(items, "list")),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(|items| Value::list(items, "list")),
             prop::collection::vec((inner.clone(), inner.clone()), 0..3)
                 .prop_map(|entries| Value::dict(entries, "dict")),
             prop::collection::vec(("[a-z]{1,6}", inner.clone()), 0..3)

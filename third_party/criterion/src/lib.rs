@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness:
+//! a warm-up pass, then `sample_size` timed samples, reporting the
+//! fastest sample per iteration (minimum is the conventional
+//! low-noise point estimate for micro-benchmarks).
+
+// Vendored stand-in: keep clippy focused on first-party code.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.to_string(), sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function_name {
+            Some(name) => write!(f, "{}/{}", name, self.parameter),
+            None => f.write_str(&self.parameter),
+        }
+    }
+}
+
+/// Timing context passed to the benchmark closure.
+pub struct Bencher {
+    /// Best (minimum) per-iteration time over the samples so far.
+    best: Option<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let per_iter = start.elapsed() / self.iters_per_sample as u32;
+        self.best = Some(match self.best {
+            Some(prev) => prev.min(per_iter),
+            None => per_iter,
+        });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warm-up sample sizes the sample iteration count so one sample
+    // stays around a few milliseconds.
+    let mut bencher = Bencher {
+        best: None,
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    let warm = bencher.best.unwrap_or(Duration::from_micros(1));
+    let target = Duration::from_millis(5);
+    let iters = (target.as_nanos() / warm.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+    let mut best = warm;
+    for _ in 0..sample_size {
+        let mut sample = Bencher {
+            best: None,
+            iters_per_sample: iters,
+        };
+        f(&mut sample);
+        if let Some(t) = sample.best {
+            best = best.min(t);
+        }
+    }
+    eprintln!("  {label}: {best:?}/iter (min of {sample_size} samples x {iters} iters)");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with --test; just exit.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, n| b.iter(|| n * n));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+    }
+}

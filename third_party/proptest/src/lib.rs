@@ -1,0 +1,583 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the strategy combinator API this workspace
+//! uses: `Just`, `any::<T>()`, numeric range strategies, regex-subset
+//! string strategies (single character class with `{m,n}` repetition),
+//! tuples of strategies, weighted unions (`prop_oneof!`), `prop_map`,
+//! `prop_recursive`, `boxed()`, `collection::vec`, and the `proptest!`
+//! test-harness macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking: a failing case panics with the generated inputs
+//!   visible in the assertion message;
+//! - deterministic generation: the RNG is seeded from the test's module
+//!   path and name, so runs are reproducible;
+//! - `prop_assume!` rejects the current case without drawing a
+//!   replacement, so heavy filtering reduces the effective case count.
+
+// Vendored stand-in: keep clippy focused on first-party code.
+#![allow(clippy::all)]
+#![allow(dead_code)]
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator. Good enough statistical
+    /// quality for test-input generation, trivially reproducible.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Seeds from a test name so every test gets an independent,
+        /// stable stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Modulo bias is negligible for the small bounds tests use.
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Mirror of proptest's run configuration; only `cases` matters here.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for producing values of `Self::Value` from an RNG.
+    ///
+    /// Unlike the real crate there is no value tree / shrinking; a
+    /// strategy is just a generation function plus combinators.
+    pub trait Strategy: 'static {
+        type Value: 'static;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized,
+            O: 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps an inner strategy into a deeper one. The
+        /// result expands to at most `depth` nested levels; the size
+        /// hints only influence how often deeper branches are taken.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            R: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                let shallow = leaf.clone();
+                current = BoxedStrategy::from_fn(move |rng| {
+                    // Bias toward recursion; depth is still hard-capped
+                    // because each level bottoms out in `leaf`.
+                    if rng.below(4) == 0 {
+                        shallow.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            current
+        }
+    }
+
+    /// Cloneable, type-erased strategy handle.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T: 'static> BoxedStrategy<T> {
+        pub fn from_fn<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+
+        fn boxed(self) -> BoxedStrategy<T> {
+            self
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between same-valued strategies; built by
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T: 'static> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
+
+    // ---- numeric ranges ---------------------------------------------------
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // ---- regex-subset string strategies -----------------------------------
+
+    /// `&'static str` literals act as regex strategies. Supported shape:
+    /// one character class with an optional `{m,n}` repetition, e.g.
+    /// `"[a-z]{1,8}"` or `"[ -~\n]{0,200}"`. Classes may contain ranges,
+    /// plain characters, and `\n`/`\t`/`\\` escapes.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (ranges, min, max) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                    .expect("class range stays within valid chars");
+                out.push(c);
+            }
+            out
+        }
+    }
+
+    /// Parses `[class]{m,n}` into (char ranges, min len, max len).
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<(char, char)>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (class, tail) = (&rest[..close], &rest[close + 1..]);
+
+        let mut chars: Vec<char> = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            if c == '\\' {
+                match it.next()? {
+                    'n' => chars.push('\n'),
+                    't' => chars.push('\t'),
+                    'r' => chars.push('\r'),
+                    other => chars.push(other),
+                }
+            } else {
+                chars.push(c);
+            }
+        }
+
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        if ranges.is_empty() {
+            return None;
+        }
+
+        if tail.is_empty() {
+            return Some((ranges, 1, 1));
+        }
+        let reps = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match reps.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if hi < lo {
+            return None;
+        }
+        Some((ranges, lo, hi))
+    }
+
+    // ---- tuples of strategies ---------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident / $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy, for `any::<T>()`.
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced; avoids NaN surprises in comparisons.
+            (rng.unit_f64() - 0.5) * 2e18
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+        BoxedStrategy::from_fn(A::arbitrary_value)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for vectors whose length is drawn uniformly from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>> {
+        assert!(size.start < size.end, "empty vec size range");
+        BoxedStrategy::from_fn(move |rng| {
+            let span = (size.end - size.start) as u64;
+            let len = size.start + rng.below(span) as usize;
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Unweighted arm order must come first: `3 => strat` fails the
+/// unweighted `$item:expr` match at the `=>` token and falls through to
+/// the weighted rule, mirroring the real crate's macro.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $item),+]
+    };
+    ($($weight:expr => $item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight, $crate::strategy::Strategy::boxed($item))),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Each test runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                // The closure returns false when `prop_assume!` rejects
+                // the case; assertions panic as in any #[test].
+                let __accepted = (move || -> bool { $body true })();
+                let _ = __accepted;
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Rejects the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            let u = (1u64..256).generate(&mut rng);
+            assert!((1..256).contains(&u));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = crate::test_runner::TestRng::from_seed(11);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ -~\n]{0,20}".generate(&mut rng);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        let hits = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(hits > 800, "expected ~900 true picks, got {hits}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_draws_and_assumes(v in 0i32..100, tag in "[ab]{1,1}") {
+            prop_assume!(v != 13);
+            prop_assert!(v < 100);
+            prop_assert_ne!(v, 13);
+            prop_assert_eq!(tag.len(), 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(n in nested()) {
+            prop_assert!(depth(&n) <= 4);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(i32),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    fn nested() -> impl Strategy<Value = Tree> {
+        let leaf = (-10i32..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 3, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        })
+    }
+}
