@@ -1,0 +1,130 @@
+//! Deterministic MI fault injection.
+//!
+//! [`FaultTransport`] wraps any [`Transport`] and mangles selected
+//! received frames: truncation, byte corruption, duplication, or a
+//! mid-command EOF. The conformance contract it checks (see
+//! `tests/fault_injection.rs`) is that every injected fault surfaces as a
+//! *typed* error — [`MiError`] on the client side, a typed
+//! `Response::Error` on the server side — never a panic, a hang, or a
+//! silently desynchronized session, and that re-issuing the failed
+//! command succeeds.
+
+use mi::transport::{Transport, TransportCounters};
+use mi::MiError;
+
+/// What to do to a received frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Cut the frame's payload in half.
+    Truncate,
+    /// Flip the bits of the payload's middle byte.
+    Corrupt,
+    /// Deliver the frame, then deliver it again on the next receive.
+    Duplicate,
+    /// Report EOF for this receive; the frame is delivered (stale) on the
+    /// next receive, as if the peer resent its buffer on reconnect.
+    Eof,
+}
+
+impl FaultKind {
+    /// Every kind, for exhaustive test loops.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Truncate,
+        FaultKind::Corrupt,
+        FaultKind::Duplicate,
+        FaultKind::Eof,
+    ];
+
+    /// Stable lowercase name, used in obs counter keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Eof => "eof",
+        }
+    }
+}
+
+/// A transport proxy injecting a deterministic fault plan.
+///
+/// The plan is a list of `(receive_index, kind)` pairs; receive indices
+/// are 1-based and count calls to [`Transport::recv`]. Each injection
+/// increments `conformance.fault.injected.<kind>` in the registry.
+pub struct FaultTransport<T> {
+    inner: T,
+    plan: Vec<(usize, FaultKind)>,
+    recv_count: usize,
+    queued: Option<Vec<u8>>,
+    registry: obs::Registry,
+}
+
+impl<T> FaultTransport<T> {
+    /// Wraps `inner` with the given fault plan, counting into `registry`.
+    pub fn new(inner: T, plan: Vec<(usize, FaultKind)>, registry: obs::Registry) -> Self {
+        FaultTransport {
+            inner,
+            plan,
+            recv_count: 0,
+            queued: None,
+            registry,
+        }
+    }
+
+    /// Convenience: a single fault at receive number `at`.
+    pub fn single(inner: T, at: usize, kind: FaultKind, registry: obs::Registry) -> Self {
+        Self::new(inner, vec![(at, kind)], registry)
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, MiError> {
+        if let Some(frame) = self.queued.take() {
+            return Ok(frame);
+        }
+        self.recv_count += 1;
+        let fault = self
+            .plan
+            .iter()
+            .find(|(at, _)| *at == self.recv_count)
+            .map(|(_, k)| *k);
+        let Some(kind) = fault else {
+            return self.inner.recv();
+        };
+        self.registry
+            .inc(&format!("conformance.fault.injected.{}", kind.name()));
+        match kind {
+            FaultKind::Truncate => {
+                let mut frame = self.inner.recv()?;
+                frame.truncate(frame.len() / 2);
+                Ok(frame)
+            }
+            FaultKind::Corrupt => {
+                let mut frame = self.inner.recv()?;
+                let mid = frame.len() / 2;
+                if let Some(b) = frame.get_mut(mid) {
+                    *b ^= 0xFF;
+                }
+                Ok(frame)
+            }
+            FaultKind::Duplicate => {
+                let frame = self.inner.recv()?;
+                self.queued = Some(frame.clone());
+                Ok(frame)
+            }
+            FaultKind::Eof => {
+                let frame = self.inner.recv()?;
+                self.queued = Some(frame);
+                Err(MiError::Disconnected)
+            }
+        }
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.inner.counters()
+    }
+}

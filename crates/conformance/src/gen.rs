@@ -1,0 +1,756 @@
+//! Seed-driven program generators.
+//!
+//! One shared AST renders to *semantically equivalent* MiniC and MiniPy
+//! sources: the same nested calls, bounded loops, heap allocation and
+//! pointer writes, frees, and prints. Identical-source runs (one program
+//! under two tracker deployments) compare full serialized state; the
+//! cross-language pair compares printed output plus the final residue.
+//!
+//! Semantics notes that make the equivalence sound:
+//!
+//! * all arithmetic is `long` on the C side — both VMs then wrap at
+//!   64 bits, so overflow agrees;
+//! * generated expressions use only `+ - *` (C's `%` truncates, Python's
+//!   floors — the epilogue spells the truncating normalization out on the
+//!   Python side, mirroring `tests/properties.rs`);
+//! * every loop has a dedicated counter with a literal bound, so every
+//!   program terminates;
+//! * `free` is generated at most once, at the top level, and no heap
+//!   access is generated after it.
+//!
+//! MiniAsm gets its own generator ([`gen_asm`]): the shared AST's heap
+//! and value-passing conventions have no direct register-level analogue.
+
+use crate::rng::Rng;
+
+/// Scalar variables `v0..v3`, initialized to `i + 1`.
+pub const NVARS: usize = 4;
+/// Heap slots `h0[0]..h0[3]`, zero-initialized.
+pub const HEAP_LEN: usize = 4;
+
+/// Binary operators shared by every target language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl Op {
+    fn text(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+        }
+    }
+}
+
+/// Expressions. `Param` appears only in function bodies; `Load` only in
+/// the main body while the heap block is live.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i64),
+    /// `v{i}`.
+    Var(usize),
+    /// The enclosing function's parameter `p`.
+    Param,
+    /// `h0[{slot}]`.
+    Load(usize),
+    /// Binary operation.
+    Bin(Op, Box<Expr>, Box<Expr>),
+}
+
+/// Comparison in `if`/loop guards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `a < b`
+    Lt(Expr, Expr),
+    /// `a == b`
+    Eq(Expr, Expr),
+    /// `a != b`
+    Ne(Expr, Expr),
+}
+
+/// Statements of the main body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `v{i} = e`
+    Assign(usize, Expr),
+    /// `h0[{slot}] = e` — a pointer write on the C side.
+    Store(usize, Expr),
+    /// Release the heap block. Top level only; never followed by heap
+    /// access. C renders `free(h0)`, Python drops the binding.
+    Free,
+    /// `v{target} = f{func}(arg)`
+    Call {
+        /// Variable receiving the result.
+        target: usize,
+        /// Callee index into [`Program::funcs`].
+        func: usize,
+        /// Argument expression.
+        arg: Expr,
+    },
+    /// Print the value followed by a newline (`printf("%ld\n", e)` /
+    /// `print(e)`).
+    Print(Expr),
+    /// Two-armed conditional.
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `k{id} = 0; while (k{id} < bound) { body; k{id} += 1 }`.
+    Loop {
+        /// Unique counter id; the renderers declare `k{id}`.
+        id: usize,
+        /// Literal iteration count, `1..=3`.
+        bound: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A generated function `f{id}(p)`. When `callee` is set the body is
+/// `return f{callee}(inner) + expr;` — that is how call nesting arises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function index; the rendered name is `f{id}`.
+    pub id: usize,
+    /// Nested callee, always a higher index (no recursion).
+    pub callee: Option<usize>,
+    /// Expression over `Param` and literals.
+    pub expr: Expr,
+    /// Argument forwarded to `callee` (unused without one).
+    pub inner: Expr,
+}
+
+/// A whole generated program, renderable to MiniC and MiniPy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Function definitions, `f0` first.
+    pub funcs: Vec<FuncDef>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+struct Ctx {
+    heap_live: bool,
+    nfuncs: usize,
+    next_loop: usize,
+}
+
+/// Generates the shared-AST program for `seed`, deterministically.
+pub fn gen_program(seed: u64) -> Program {
+    let mut rng = Rng::new(seed);
+    let nfuncs = rng.range(1, 4) as usize;
+    let funcs = (0..nfuncs)
+        .map(|id| FuncDef {
+            id,
+            callee: (id + 1 < nfuncs && rng.chance(70)).then_some(id + 1),
+            expr: gen_fn_expr(&mut rng, 2),
+            inner: gen_fn_expr(&mut rng, 1),
+        })
+        .collect();
+    let mut ctx = Ctx {
+        heap_live: true,
+        nfuncs,
+        next_loop: 0,
+    };
+    let mut body = gen_stmts(&mut rng, &mut ctx, 2, true);
+    // Guarantee at least one call and one observable print per program.
+    body.push(Stmt::Call {
+        target: rng.below(NVARS as u64) as usize,
+        func: 0,
+        arg: gen_expr(&mut rng, &ctx, 1),
+    });
+    body.push(Stmt::Print(Expr::Var(rng.below(NVARS as u64) as usize)));
+    Program { funcs, body }
+}
+
+/// Expression over `Param` and literals only (function bodies).
+fn gen_fn_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(40) {
+        return if rng.chance(50) {
+            Expr::Param
+        } else {
+            Expr::Lit(rng.range(-9, 10))
+        };
+    }
+    let op = *pick_op(rng);
+    Expr::Bin(
+        op,
+        Box::new(gen_fn_expr(rng, depth - 1)),
+        Box::new(gen_fn_expr(rng, depth - 1)),
+    )
+}
+
+fn pick_op(rng: &mut Rng) -> &'static Op {
+    match rng.below(3) {
+        0 => &Op::Add,
+        1 => &Op::Sub,
+        _ => &Op::Mul,
+    }
+}
+
+fn gen_expr(rng: &mut Rng, ctx: &Ctx, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(35) {
+        return match rng.below(if ctx.heap_live { 3 } else { 2 }) {
+            0 => Expr::Lit(rng.range(-9, 10)),
+            1 => Expr::Var(rng.below(NVARS as u64) as usize),
+            _ => Expr::Load(rng.below(HEAP_LEN as u64) as usize),
+        };
+    }
+    let op = *pick_op(rng);
+    Expr::Bin(
+        op,
+        Box::new(gen_expr(rng, ctx, depth - 1)),
+        Box::new(gen_expr(rng, ctx, depth - 1)),
+    )
+}
+
+fn gen_cond(rng: &mut Rng, ctx: &Ctx) -> Cond {
+    let a = gen_expr(rng, ctx, 1);
+    let b = gen_expr(rng, ctx, 1);
+    match rng.below(3) {
+        0 => Cond::Lt(a, b),
+        1 => Cond::Eq(a, b),
+        _ => Cond::Ne(a, b),
+    }
+}
+
+fn gen_stmts(rng: &mut Rng, ctx: &mut Ctx, depth: u32, top: bool) -> Vec<Stmt> {
+    let n = rng.range(2, 5);
+    (0..n).map(|_| gen_stmt(rng, ctx, depth, top)).collect()
+}
+
+fn gen_stmt(rng: &mut Rng, ctx: &mut Ctx, depth: u32, top: bool) -> Stmt {
+    loop {
+        match rng.below(12) {
+            0..=3 => {
+                return Stmt::Assign(rng.below(NVARS as u64) as usize, gen_expr(rng, ctx, 2));
+            }
+            4..=5 if ctx.heap_live => {
+                return Stmt::Store(rng.below(HEAP_LEN as u64) as usize, gen_expr(rng, ctx, 2));
+            }
+            6 => {
+                return Stmt::Call {
+                    target: rng.below(NVARS as u64) as usize,
+                    func: rng.below(ctx.nfuncs as u64) as usize,
+                    arg: gen_expr(rng, ctx, 1),
+                };
+            }
+            7 => return Stmt::Print(gen_expr(rng, ctx, 1)),
+            8 if top && ctx.heap_live && rng.chance(30) => {
+                ctx.heap_live = false;
+                return Stmt::Free;
+            }
+            9 if depth > 0 => {
+                let c = gen_cond(rng, ctx);
+                let a = gen_stmts(rng, ctx, depth - 1, false);
+                let b = gen_stmts(rng, ctx, depth - 1, false);
+                return Stmt::If(c, a, b);
+            }
+            10..=11 if depth > 0 => {
+                let id = ctx.next_loop;
+                ctx.next_loop += 1;
+                let bound = rng.range(1, 4);
+                let body = gen_stmts(rng, ctx, depth - 1, false);
+                return Stmt::Loop { id, bound, body };
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST walks shared by the renderers.
+// ---------------------------------------------------------------------------
+
+/// Every loop-counter id in the program, for prologue declarations.
+pub fn loop_ids(body: &[Stmt]) -> Vec<usize> {
+    let mut out = Vec::new();
+    collect_loop_ids(body, &mut out);
+    out.sort_unstable();
+    out
+}
+
+fn collect_loop_ids(body: &[Stmt], out: &mut Vec<usize>) {
+    for s in body {
+        match s {
+            Stmt::Loop { id, body, .. } => {
+                out.push(*id);
+                collect_loop_ids(body, out);
+            }
+            Stmt::If(_, a, b) => {
+                collect_loop_ids(a, out);
+                collect_loop_ids(b, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the program releases its heap block (top level by invariant).
+pub fn frees_heap(body: &[Stmt]) -> bool {
+    body.iter().any(|s| matches!(s, Stmt::Free))
+}
+
+// ---------------------------------------------------------------------------
+// MiniC rendering.
+// ---------------------------------------------------------------------------
+
+fn c_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => format!("({v})"),
+        Expr::Var(i) => format!("v{i}"),
+        Expr::Param => "p".into(),
+        Expr::Load(s) => format!("h0[{s}]"),
+        Expr::Bin(op, a, b) => format!("({} {} {})", c_expr(a), op.text(), c_expr(b)),
+    }
+}
+
+fn c_cond(c: &Cond) -> String {
+    match c {
+        Cond::Lt(a, b) => format!("{} < {}", c_expr(a), c_expr(b)),
+        Cond::Eq(a, b) => format!("{} == {}", c_expr(a), c_expr(b)),
+        Cond::Ne(a, b) => format!("{} != {}", c_expr(a), c_expr(b)),
+    }
+}
+
+fn c_stmts(body: &[Stmt], out: &mut String, pad: usize) {
+    let p = "    ".repeat(pad);
+    for s in body {
+        match s {
+            Stmt::Assign(v, e) => out.push_str(&format!("{p}v{v} = {};\n", c_expr(e))),
+            Stmt::Store(slot, e) => out.push_str(&format!("{p}h0[{slot}] = {};\n", c_expr(e))),
+            Stmt::Free => out.push_str(&format!("{p}free(h0);\n")),
+            Stmt::Call { target, func, arg } => {
+                out.push_str(&format!("{p}v{target} = f{func}({});\n", c_expr(arg)));
+            }
+            Stmt::Print(e) => {
+                out.push_str(&format!("{p}printf(\"%ld\\n\", {});\n", c_expr(e)));
+            }
+            Stmt::If(c, a, b) => {
+                out.push_str(&format!("{p}if ({}) {{\n", c_cond(c)));
+                c_stmts(a, out, pad + 1);
+                out.push_str(&format!("{p}}} else {{\n"));
+                c_stmts(b, out, pad + 1);
+                out.push_str(&format!("{p}}}\n"));
+            }
+            Stmt::Loop { id, bound, body } => {
+                out.push_str(&format!("{p}k{id} = 0;\n"));
+                out.push_str(&format!("{p}while (k{id} < {bound}) {{\n"));
+                c_stmts(body, out, pad + 1);
+                out.push_str(&format!("{p}    k{id} = k{id} + 1;\n"));
+                out.push_str(&format!("{p}}}\n"));
+            }
+        }
+    }
+}
+
+/// Renders the program as MiniC. The exit code equals the final residue,
+/// which is also the last printed line.
+pub fn render_c(program: &Program) -> String {
+    let mut out = String::new();
+    for f in program.funcs.iter().rev() {
+        out.push_str(&format!("long f{}(long p) {{\n", f.id));
+        match f.callee {
+            Some(j) => out.push_str(&format!(
+                "return f{j}({}) + {};\n",
+                c_expr(&f.inner),
+                c_expr(&f.expr)
+            )),
+            None => out.push_str(&format!("return {};\n", c_expr(&f.expr))),
+        }
+        out.push_str("}\n");
+    }
+    out.push_str("int main() {\n");
+    for v in 0..NVARS {
+        out.push_str(&format!("long v{v} = {};\n", v + 1));
+    }
+    for k in loop_ids(&program.body) {
+        out.push_str(&format!("long k{k} = 0;\n"));
+    }
+    out.push_str(&format!("long* h0 = malloc({});\n", HEAP_LEN * 8));
+    for s in 0..HEAP_LEN {
+        out.push_str(&format!("h0[{s}] = 0;\n"));
+    }
+    c_stmts(&program.body, &mut out, 0);
+    let freed = frees_heap(&program.body);
+    out.push_str("long hh = 0;\n");
+    for v in 0..NVARS {
+        out.push_str(&format!("hh = hh * 31 + (v{v} % 1000);\n"));
+    }
+    if !freed {
+        for s in 0..HEAP_LEN {
+            out.push_str(&format!("hh = hh * 31 + (h0[{s}] % 1000);\n"));
+        }
+        out.push_str("free(h0);\n");
+    }
+    out.push_str("long res = ((hh % 1000) + 1000) % 1000;\n");
+    out.push_str("printf(\"%ld\\n\", res);\n");
+    out.push_str("return (int)res;\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// MiniPy rendering.
+// ---------------------------------------------------------------------------
+
+fn py_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => format!("({v})"),
+        Expr::Var(i) => format!("v{i}"),
+        Expr::Param => "p".into(),
+        Expr::Load(s) => format!("h0[{s}]"),
+        Expr::Bin(op, a, b) => format!("({} {} {})", py_expr(a), op.text(), py_expr(b)),
+    }
+}
+
+fn py_cond(c: &Cond) -> String {
+    match c {
+        Cond::Lt(a, b) => format!("{} < {}", py_expr(a), py_expr(b)),
+        Cond::Eq(a, b) => format!("{} == {}", py_expr(a), py_expr(b)),
+        Cond::Ne(a, b) => format!("{} != {}", py_expr(a), py_expr(b)),
+    }
+}
+
+fn py_stmts(body: &[Stmt], out: &mut String, pad: usize) {
+    let p = "    ".repeat(pad);
+    for s in body {
+        match s {
+            Stmt::Assign(v, e) => out.push_str(&format!("{p}v{v} = {}\n", py_expr(e))),
+            Stmt::Store(slot, e) => out.push_str(&format!("{p}h0[{slot}] = {}\n", py_expr(e))),
+            // Python has no free; rebinding mirrors "the block is gone"
+            // closely enough (no later statement touches h0 by invariant).
+            Stmt::Free => out.push_str(&format!("{p}h0 = 0\n")),
+            Stmt::Call { target, func, arg } => {
+                out.push_str(&format!("{p}v{target} = f{func}({})\n", py_expr(arg)));
+            }
+            Stmt::Print(e) => out.push_str(&format!("{p}print({})\n", py_expr(e))),
+            Stmt::If(c, a, b) => {
+                out.push_str(&format!("{p}if {}:\n", py_cond(c)));
+                py_stmts(a, out, pad + 1);
+                out.push_str(&format!("{p}else:\n"));
+                py_stmts(b, out, pad + 1);
+            }
+            Stmt::Loop { id, bound, body } => {
+                out.push_str(&format!("{p}k{id} = 0\n"));
+                out.push_str(&format!("{p}while k{id} < {bound}:\n"));
+                py_stmts(body, out, pad + 1);
+                out.push_str(&format!("{p}    k{id} = k{id} + 1\n"));
+            }
+        }
+    }
+}
+
+/// Renders the program as MiniPy; prints the same lines as the C
+/// rendering, ending with the same residue.
+pub fn render_py(program: &Program) -> String {
+    let mut out = String::new();
+    for f in program.funcs.iter().rev() {
+        out.push_str(&format!("def f{}(p):\n", f.id));
+        match f.callee {
+            Some(j) => out.push_str(&format!(
+                "    return f{j}({}) + {}\n",
+                py_expr(&f.inner),
+                py_expr(&f.expr)
+            )),
+            None => out.push_str(&format!("    return {}\n", py_expr(&f.expr))),
+        }
+    }
+    for v in 0..NVARS {
+        out.push_str(&format!("v{v} = {}\n", v + 1));
+    }
+    for k in loop_ids(&program.body) {
+        out.push_str(&format!("k{k} = 0\n"));
+    }
+    out.push_str(&format!("h0 = [{}]\n", ["0"; HEAP_LEN].join(", ")));
+    py_stmts(&program.body, &mut out, 0);
+    let freed = frees_heap(&program.body);
+    out.push_str("hh = 0\n");
+    let term = |t: String, out: &mut String| {
+        // Match C's truncating `%` on possibly-negative values (Python's
+        // `%` floors).
+        out.push_str(&format!("if {t} >= 0:\n    mm = {t} % 1000\n"));
+        out.push_str(&format!("else:\n    mm = 0 - ((0 - {t}) % 1000)\n"));
+        out.push_str("hh = hh * 31 + mm\n");
+    };
+    for v in 0..NVARS {
+        term(format!("v{v}"), &mut out);
+    }
+    if !freed {
+        for s in 0..HEAP_LEN {
+            term(format!("h0[{s}]"), &mut out);
+        }
+    }
+    out.push_str("res = (hh % 1000 + 1000) % 1000\n");
+    out.push_str("print(res)\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// MiniAsm generation and rendering.
+// ---------------------------------------------------------------------------
+
+/// One instruction-level item of a generated assembly program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmItem {
+    /// `s{d} = s{a} op s{b}`
+    Op3 {
+        /// Operator.
+        op: Op,
+        /// Destination saved register index.
+        d: usize,
+        /// Left operand register index.
+        a: usize,
+        /// Right operand register index.
+        b: usize,
+    },
+    /// `addi s{d}, s{d}, imm`
+    AddI {
+        /// Register index.
+        d: usize,
+        /// Immediate, kept within ±63.
+        imm: i64,
+    },
+    /// `li s{d}, imm`
+    Li {
+        /// Register index.
+        d: usize,
+        /// Immediate.
+        imm: i64,
+    },
+    /// A counted loop over straight-line items (never nested; uses
+    /// `t0`/`t1`).
+    Loop {
+        /// Literal iteration count, `1..=3`; the body runs at least once.
+        bound: i64,
+        /// Straight-line body ([`AsmItem::Op3`]/[`AsmItem::AddI`]/
+        /// [`AsmItem::Li`] only).
+        body: Vec<AsmItem>,
+    },
+    /// `s{d} = fn{func}(s{d})` via the a0 calling convention.
+    Call {
+        /// Function index.
+        func: usize,
+        /// Register passed and overwritten.
+        d: usize,
+    },
+}
+
+/// A generated assembly program: leaf functions plus a main item list.
+/// Exits with code `s0 & 63`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmSpec {
+    /// Leaf functions as `(op, imm)` applied to `a0`.
+    pub funcs: Vec<(Op, i64)>,
+    /// Main body.
+    pub items: Vec<AsmItem>,
+}
+
+/// Number of saved registers the generator uses (`s0..s3`).
+pub const NSREGS: usize = 4;
+
+/// Generates a RISC-V program for `seed`, deterministically.
+pub fn gen_asm(seed: u64) -> AsmSpec {
+    // Offset the stream so the asm program is not correlated with the
+    // shared-AST program for the same seed.
+    let mut rng = Rng::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let nfuncs = rng.range(1, 3) as usize;
+    let funcs = (0..nfuncs)
+        .map(|_| (*pick_op(&mut rng), rng.range(1, 8)))
+        .collect();
+    let n = rng.range(3, 7);
+    let mut items = Vec::new();
+    for _ in 0..n {
+        items.push(gen_asm_item(&mut rng, nfuncs, true));
+    }
+    // Guarantee at least one call so function tracking has a target.
+    items.push(AsmItem::Call {
+        func: 0,
+        d: rng.below(NSREGS as u64) as usize,
+    });
+    AsmSpec { funcs, items }
+}
+
+fn gen_asm_item(rng: &mut Rng, nfuncs: usize, allow_struct: bool) -> AsmItem {
+    match rng.below(if allow_struct { 6 } else { 4 }) {
+        0 => AsmItem::Li {
+            d: rng.below(NSREGS as u64) as usize,
+            imm: rng.range(-9, 10),
+        },
+        1 => AsmItem::AddI {
+            d: rng.below(NSREGS as u64) as usize,
+            imm: rng.range(-9, 10),
+        },
+        2 | 3 => AsmItem::Op3 {
+            op: *pick_op(rng),
+            d: rng.below(NSREGS as u64) as usize,
+            a: rng.below(NSREGS as u64) as usize,
+            b: rng.below(NSREGS as u64) as usize,
+        },
+        4 => AsmItem::Call {
+            func: rng.below(nfuncs as u64) as usize,
+            d: rng.below(NSREGS as u64) as usize,
+        },
+        _ => {
+            let bound = rng.range(1, 4);
+            let n = rng.range(1, 4);
+            let body = (0..n).map(|_| gen_asm_item(rng, nfuncs, false)).collect();
+            AsmItem::Loop { bound, body }
+        }
+    }
+}
+
+fn asm_items(items: &[AsmItem], out: &mut String, next_label: &mut usize) {
+    for item in items {
+        match item {
+            AsmItem::Li { d, imm } => out.push_str(&format!("    li s{d}, {imm}\n")),
+            AsmItem::AddI { d, imm } => out.push_str(&format!("    addi s{d}, s{d}, {imm}\n")),
+            AsmItem::Op3 { op, d, a, b } => {
+                let m = match op {
+                    Op::Add => "add",
+                    Op::Sub => "sub",
+                    Op::Mul => "mul",
+                };
+                out.push_str(&format!("    {m} s{d}, s{a}, s{b}\n"));
+            }
+            AsmItem::Loop { bound, body } => {
+                let l = *next_label;
+                *next_label += 1;
+                out.push_str("    li t0, 0\n");
+                out.push_str(&format!("    li t1, {bound}\n"));
+                out.push_str(&format!("loop{l}:\n"));
+                asm_items(body, out, next_label);
+                out.push_str("    addi t0, t0, 1\n");
+                out.push_str(&format!("    blt t0, t1, loop{l}\n"));
+            }
+            AsmItem::Call { func, d } => {
+                out.push_str(&format!("    mv a0, s{d}\n"));
+                out.push_str(&format!("    call fn{func}\n"));
+                out.push_str(&format!("    mv s{d}, a0\n"));
+            }
+        }
+    }
+}
+
+/// Renders the spec as RISC-V assembly accepted by `miniasm`.
+pub fn render_asm(spec: &AsmSpec) -> String {
+    let mut out = String::from("main:\n");
+    for d in 0..NSREGS {
+        out.push_str(&format!("    li s{d}, {}\n", d + 1));
+    }
+    let mut next_label = 0usize;
+    asm_items(&spec.items, &mut out, &mut next_label);
+    out.push_str("    andi a0, s0, 63\n");
+    out.push_str("    li a7, 93\n");
+    out.push_str("    ecall\n");
+    for (i, (op, imm)) in spec.funcs.iter().enumerate() {
+        out.push_str(&format!("fn{i}:\n"));
+        match op {
+            Op::Add => out.push_str(&format!("    addi a0, a0, {imm}\n")),
+            Op::Sub => out.push_str(&format!("    addi a0, a0, {}\n", -imm)),
+            Op::Mul => {
+                out.push_str(&format!("    li t2, {imm}\n"));
+                out.push_str("    mul a0, a0, t2\n");
+            }
+        }
+        out.push_str("    ret\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(gen_program(seed), gen_program(seed));
+            assert_eq!(gen_asm(seed), gen_asm(seed));
+            assert_eq!(render_c(&gen_program(seed)), render_c(&gen_program(seed)));
+        }
+        assert_ne!(gen_program(1), gen_program(2));
+    }
+
+    #[test]
+    fn generated_c_compiles_and_runs() {
+        for seed in 0..40 {
+            let src = render_c(&gen_program(seed));
+            let program =
+                minic::compile("gen.c", &src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let code = minic::vm::Vm::new(&program)
+                .run_to_completion()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert!((0..1000).contains(&code), "seed {seed}: exit {code}");
+        }
+    }
+
+    #[test]
+    fn generated_py_parses_and_runs() {
+        for seed in 0..40 {
+            let src = render_py(&gen_program(seed));
+            let module =
+                minipy::parser::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let mut interp = minipy::Interp::new(module);
+            interp.set_max_steps(Some(2_000_000));
+            interp
+                .run(&mut minipy::NullTracer)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generated_asm_assembles() {
+        for seed in 0..40 {
+            let src = render_asm(&gen_asm(seed));
+            miniasm::asm::assemble("gen.s", &src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn free_is_top_level_and_final_for_the_heap() {
+        fn heap_used(body: &[Stmt]) -> bool {
+            fn expr_uses(e: &Expr) -> bool {
+                match e {
+                    Expr::Load(_) => true,
+                    Expr::Bin(_, a, b) => expr_uses(a) || expr_uses(b),
+                    _ => false,
+                }
+            }
+            body.iter().any(|s| match s {
+                Stmt::Store(..) => true,
+                Stmt::Assign(_, e) | Stmt::Print(e) => expr_uses(e),
+                Stmt::Call { arg, .. } => expr_uses(arg),
+                Stmt::If(c, a, b) => {
+                    let cond_uses = match c {
+                        Cond::Lt(x, y) | Cond::Eq(x, y) | Cond::Ne(x, y) => {
+                            expr_uses(x) || expr_uses(y)
+                        }
+                    };
+                    cond_uses || heap_used(a) || heap_used(b)
+                }
+                Stmt::Loop { body, .. } => heap_used(body),
+                Stmt::Free => false,
+            })
+        }
+        for seed in 0..200 {
+            let p = gen_program(seed);
+            if let Some(pos) = p.body.iter().position(|s| matches!(s, Stmt::Free)) {
+                assert!(
+                    !heap_used(&p.body[pos + 1..]),
+                    "seed {seed}: heap access after free"
+                );
+                assert_eq!(
+                    p.body.iter().filter(|s| matches!(s, Stmt::Free)).count(),
+                    1,
+                    "seed {seed}: double free"
+                );
+            }
+        }
+    }
+}

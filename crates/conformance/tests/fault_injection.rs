@@ -1,0 +1,194 @@
+//! MI fault-injection conformance.
+//!
+//! Every [`FaultKind`] is driven through a real client/server pair at two
+//! levels: the raw MI [`Client`], and a full [`MiTracker`] speaking
+//! through the faulty port. The contract at both levels is the same —
+//! each injected fault surfaces as a *typed* error (or is transparently
+//! absorbed by the sequence-numbered envelope), never a panic, a hang,
+//! or a silent desync, and re-issuing the failed command succeeds.
+
+use conformance::gen;
+use conformance::{FaultKind, FaultTransport};
+use easytracker::{MiTracker, Tracker, TrackerError};
+use mi::minic_engine::MinicEngine;
+use mi::protocol::{Command, Response};
+use mi::transport::{duplex, ChannelTransport};
+use mi::{Client, MiError, Server};
+
+fn spawn_engine(src: &str, endpoint: ChannelTransport) -> std::thread::JoinHandle<()> {
+    let program = minic::compile("fault.c", src).expect("generated C compiles");
+    std::thread::spawn(move || Server::new(MinicEngine::new(&program), endpoint).serve())
+}
+
+fn source() -> String {
+    gen::render_c(&gen::gen_program(0))
+}
+
+/// Each fault kind at the raw client: typed error or transparent
+/// absorption, recovery on re-issue, and the injection counted.
+#[test]
+fn every_fault_kind_is_typed_and_recoverable_at_the_client() {
+    for kind in FaultKind::ALL {
+        let reg = obs::Registry::new();
+        let (a, b) = duplex();
+        let handle = spawn_engine(&source(), b);
+        // Fault the response to the *second* command, so the session is
+        // already warm when the wire misbehaves.
+        let mut client =
+            Client::with_registry(FaultTransport::single(a, 2, kind, reg.clone()), reg.clone());
+        client.call(Command::Start).expect("clean start");
+
+        match kind {
+            FaultKind::Truncate | FaultKind::Corrupt => match client.call(Command::GetExitCode) {
+                Err(MiError::Codec(_)) => {}
+                other => panic!(
+                    "{}: expected a typed codec error, got {other:?}",
+                    kind.name()
+                ),
+            },
+            FaultKind::Eof => match client.call(Command::GetExitCode) {
+                Err(MiError::Disconnected) => {}
+                other => panic!("{}: expected Disconnected, got {other:?}", kind.name()),
+            },
+            FaultKind::Duplicate => {
+                // The duplicate is absorbed: the first answer is correct...
+                match client.call(Command::GetExitCode) {
+                    Ok(Response::ExitCode(None)) => {}
+                    other => panic!("{}: expected the real answer, got {other:?}", kind.name()),
+                }
+            }
+        }
+
+        // ...and in every case the re-issued (or next) command succeeds:
+        // the envelope discards whatever stale frame the fault left behind.
+        match client.call(Command::GetExitCode) {
+            Ok(Response::ExitCode(None)) => {}
+            other => panic!("{}: recovery call failed: {other:?}", kind.name()),
+        }
+
+        let _ = client.call(Command::Terminate);
+        handle.join().expect("engine thread lives");
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(&format!("conformance.fault.injected.{}", kind.name())),
+            1,
+            "{}: injection not counted",
+            kind.name()
+        );
+        if matches!(kind, FaultKind::Duplicate | FaultKind::Eof) {
+            assert_eq!(
+                snap.counter("mi.client.stale_frames"),
+                1,
+                "{}: stale frame not discarded by sequence number",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Each fault kind through the full tracker API: [`TrackerError`]
+/// surfaces (or the fault is absorbed), and afterwards the tracker still
+/// drives the program to completion with the right output.
+#[test]
+fn every_fault_kind_is_recoverable_at_the_tracker() {
+    let src = source();
+    // Reference run over a clean channel for the expected output.
+    let mut clean = MiTracker::load_c("fault.c", &src).expect("load");
+    clean.start().expect("start");
+    let mut reason = clean.resume().expect("resume");
+    while reason.is_alive() {
+        reason = clean.resume().expect("resume");
+    }
+    let expected_output = clean.get_output().expect("output");
+    let expected_exit = clean.get_exit_code().expect("exit");
+    clean.terminate();
+    assert!(!expected_output.is_empty());
+
+    for kind in FaultKind::ALL {
+        let reg = obs::Registry::new();
+        let (a, b) = duplex();
+        let handle = spawn_engine(&src, b);
+        let port =
+            Client::with_registry(FaultTransport::single(a, 2, kind, reg.clone()), reg.clone());
+        let mut tracker = MiTracker::from_port_with_registry(Box::new(port), reg.clone());
+        tracker.start().expect("clean start");
+
+        // The faulted call: get_state is the second command on the wire.
+        let first = tracker.get_state();
+        match kind {
+            FaultKind::Duplicate => {
+                first.unwrap_or_else(|e| panic!("{}: absorbed fault errored: {e}", kind.name()));
+            }
+            _ => match first {
+                Err(TrackerError::Protocol(_)) => {}
+                other => panic!(
+                    "{}: expected a typed protocol error through the tracker, got {other:?}",
+                    kind.name()
+                ),
+            },
+        }
+
+        // Recovery: the same inspection re-issued, then run to completion.
+        let state = tracker.get_state().expect("re-issued inspection succeeds");
+        assert_eq!(state.frame.name(), "main");
+        let mut reason = tracker.resume().expect("resume after fault");
+        while reason.is_alive() {
+            reason = tracker.resume().expect("resume");
+        }
+        assert_eq!(tracker.get_output().expect("output"), expected_output);
+        assert_eq!(tracker.get_exit_code().expect("exit"), expected_exit);
+        tracker.terminate();
+        handle.join().expect("engine thread lives");
+
+        assert_eq!(
+            reg.snapshot()
+                .counter(&format!("conformance.fault.injected.{}", kind.name())),
+            1,
+            "{}: injection not counted",
+            kind.name()
+        );
+    }
+}
+
+/// A plan with several faults in one session: every one is counted and
+/// the session survives them all.
+#[test]
+fn a_multi_fault_plan_is_survived_and_fully_counted() {
+    let reg = obs::Registry::new();
+    let (a, b) = duplex();
+    let handle = spawn_engine(&source(), b);
+    let plan = vec![
+        (2, FaultKind::Truncate),
+        (4, FaultKind::Duplicate),
+        (6, FaultKind::Eof),
+        (8, FaultKind::Corrupt),
+    ];
+    let mut client = Client::with_registry(FaultTransport::new(a, plan, reg.clone()), reg.clone());
+    client.call(Command::Start).expect("clean start");
+    // Issue enough commands to trip every planned fault; each recv index
+    // not in the plan must deliver the real answer.
+    let mut typed_errors = 0;
+    for _ in 0..10 {
+        match client.call(Command::GetExitCode) {
+            Ok(Response::ExitCode(None)) => {}
+            Err(MiError::Codec(_) | MiError::Disconnected) => typed_errors += 1,
+            other => panic!("untyped outcome under the fault plan: {other:?}"),
+        }
+    }
+    let _ = client.call(Command::Terminate);
+    handle.join().expect("engine thread lives");
+
+    let snap = reg.snapshot();
+    for kind in FaultKind::ALL {
+        assert_eq!(
+            snap.counter(&format!("conformance.fault.injected.{}", kind.name())),
+            1,
+            "{} missing from the counter set",
+            kind.name()
+        );
+    }
+    // Truncate, Eof and Corrupt produce one typed error each; Duplicate
+    // is absorbed.
+    assert_eq!(typed_errors, 3);
+}

@@ -9,14 +9,65 @@
 
 use crate::{ControlPointId, LowLevel, Result, Tracker, TrackerError};
 use mi::protocol::{Command, Response};
-use mi::transport::Transport as _;
-use mi::Session;
+use mi::transport::{StreamTransport, Transport as _};
+use mi::{CommandPort, Session};
 use state::{Frame, PauseReason, ProgramState, Variable};
+use std::path::{Path, PathBuf};
+
+/// Where the engine on the other side of the MI boundary lives.
+///
+/// The tracker code above this enum is identical for every variant —
+/// that is the conformance suite's central claim, so the boundary is an
+/// explicit seam rather than a hard-coded thread spawn.
+enum Backend {
+    /// Engine on an in-process thread over channel transports (the
+    /// default, what `spawn_minic`/`spawn_asm` build).
+    Session(Session),
+    /// Any [`CommandPort`]: a client over a custom transport, e.g. the
+    /// conformance suite's fault-injection proxy.
+    Port(Box<dyn CommandPort>),
+    /// Engine in a separate `mi-server` OS process over real pipes (the
+    /// paper's `gdb --interpreter=mi` deployment, made literal).
+    Process {
+        port: Box<dyn CommandPort>,
+        child: std::process::Child,
+        /// Temp dir holding the shipped source; removed on terminate.
+        scratch: Option<PathBuf>,
+    },
+}
+
+impl Backend {
+    fn call(&mut self, command: Command) -> std::result::Result<Response, mi::MiError> {
+        match self {
+            Backend::Session(s) => s.client.call(command),
+            Backend::Port(p) => p.call(command),
+            Backend::Process { port, .. } => port.call(command),
+        }
+    }
+
+    fn counters(&self) -> mi::transport::TransportCounters {
+        match self {
+            Backend::Session(s) => s.client.transport().counters(),
+            Backend::Port(p) => p.counters(),
+            Backend::Process { port, .. } => port.counters(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Session(_) => f.write_str("Backend::Session"),
+            Backend::Port(_) => f.write_str("Backend::Port"),
+            Backend::Process { .. } => f.write_str("Backend::Process"),
+        }
+    }
+}
 
 /// Tracker for MiniC and RISC-V inferiors behind the MI boundary.
 #[derive(Debug)]
 pub struct MiTracker {
-    session: Option<Session>,
+    backend: Option<Backend>,
     last_reason: PauseReason,
     started: bool,
     obs: obs::Registry,
@@ -41,12 +92,10 @@ impl MiTracker {
     pub fn load_c_with_registry(file: &str, source: &str, registry: obs::Registry) -> Result<Self> {
         let program =
             minic::compile(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
-        Ok(MiTracker {
-            session: Some(mi::spawn_minic_with_registry(&program, registry.clone())),
-            last_reason: PauseReason::NotStarted,
-            started: false,
-            obs: registry,
-        })
+        Ok(Self::with_backend(
+            Backend::Session(mi::spawn_minic_with_registry(&program, registry.clone())),
+            registry,
+        ))
     }
 
     /// Assembles RISC-V source and attaches an engine to it.
@@ -70,12 +119,101 @@ impl MiTracker {
     ) -> Result<Self> {
         let program =
             miniasm::asm::assemble(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
-        Ok(MiTracker {
-            session: Some(mi::spawn_asm_with_registry(&program, registry.clone())),
+        Ok(Self::with_backend(
+            Backend::Session(mi::spawn_asm_with_registry(&program, registry.clone())),
+            registry,
+        ))
+    }
+
+    fn with_backend(backend: Backend, registry: obs::Registry) -> Self {
+        MiTracker {
+            backend: Some(backend),
             last_reason: PauseReason::NotStarted,
             started: false,
             obs: registry,
-        })
+        }
+    }
+
+    /// Attaches the tracker to an already-connected [`CommandPort`] —
+    /// any client over any transport. The conformance suite uses this to
+    /// interpose a fault-injection proxy between tracker and engine.
+    pub fn from_port(port: Box<dyn CommandPort>) -> Self {
+        Self::from_port_with_registry(port, obs::Registry::new())
+    }
+
+    /// Like [`MiTracker::from_port`], reporting into `registry`.
+    pub fn from_port_with_registry(port: Box<dyn CommandPort>, registry: obs::Registry) -> Self {
+        Self::with_backend(Backend::Port(port), registry)
+    }
+
+    /// Spawns `mi-server` (at `server_bin`) as a real child process for a
+    /// MiniC program and connects over its stdio pipes — the paper's
+    /// `gdb --interpreter=mi` deployment shape.
+    ///
+    /// The source is shipped via a temporary file; `file` is passed as
+    /// the logical name so reported source locations match an in-process
+    /// run byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] if the scratch file cannot be
+    /// written or the server process cannot be spawned.
+    pub fn load_c_process(server_bin: &Path, file: &str, source: &str) -> Result<Self> {
+        Self::load_process(server_bin, file, source, "prog.c")
+    }
+
+    /// Like [`MiTracker::load_c_process`], for RISC-V assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] on scratch-file or spawn failure.
+    pub fn load_asm_process(server_bin: &Path, file: &str, source: &str) -> Result<Self> {
+        Self::load_process(server_bin, file, source, "prog.s")
+    }
+
+    fn load_process(
+        server_bin: &Path,
+        file: &str,
+        source: &str,
+        scratch_name: &str,
+    ) -> Result<Self> {
+        use std::io::Write as _;
+        use std::process::{Command as Proc, Stdio};
+
+        let load = |e: &dyn std::fmt::Display| TrackerError::Load(e.to_string());
+        // A private scratch dir per tracker: pid + a process-wide counter
+        // keeps concurrent trackers (and concurrent test binaries) apart.
+        static SCRATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SCRATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("easytracker-mi-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| load(&e))?;
+        let path = dir.join(scratch_name);
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(source.as_bytes()))
+            .map_err(|e| load(&e))?;
+
+        let mut child = Proc::new(server_bin)
+            .arg(&path)
+            .arg(file)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                let _ = std::fs::remove_dir_all(&dir);
+                load(&e)
+            })?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let port = Box::new(mi::Client::new(StreamTransport::new(stdout, stdin)));
+        Ok(Self::with_backend(
+            Backend::Process {
+                port,
+                child,
+                scratch: Some(dir),
+            },
+            obs::Registry::new(),
+        ))
     }
 
     /// The registry this tracker reports into.
@@ -84,11 +222,11 @@ impl MiTracker {
     }
 
     fn call(&mut self, command: Command) -> Result<Response> {
-        let session = self
-            .session
+        let backend = self
+            .backend
             .as_mut()
             .ok_or_else(|| TrackerError::Engine("tracker already terminated".into()))?;
-        let resp = session.client.call(command)?;
+        let resp = backend.call(command)?;
         if let Response::Error { message } = resp {
             return Err(TrackerError::Engine(message));
         }
@@ -128,9 +266,9 @@ impl MiTracker {
 
     /// Bytes shipped across the MI boundary so far (bench metric).
     pub fn bytes_transferred(&self) -> u64 {
-        self.session
+        self.backend
             .as_ref()
-            .map(|s| s.client.transport().counters().bytes_total())
+            .map(|b| b.counters().bytes_total())
             .unwrap_or(0)
     }
 }
@@ -192,8 +330,41 @@ impl Tracker for MiTracker {
     }
 
     fn terminate(&mut self) {
-        if let Some(session) = self.session.take() {
-            session.shutdown();
+        match self.backend.take() {
+            Some(Backend::Session(session)) => session.shutdown(),
+            Some(Backend::Port(mut port)) => {
+                let _ = port.call(Command::Terminate);
+            }
+            Some(Backend::Process {
+                mut port,
+                mut child,
+                scratch,
+            }) => {
+                let _ = port.call(Command::Terminate);
+                // Dropping the port closes the child's stdin, which its
+                // serve loop reads as EOF; give it a bounded grace
+                // period before resorting to a kill.
+                drop(port);
+                let mut exited = false;
+                for _ in 0..100 {
+                    match child.try_wait() {
+                        Ok(Some(_)) => {
+                            exited = true;
+                            break;
+                        }
+                        Ok(None) => std::thread::sleep(std::time::Duration::from_millis(20)),
+                        Err(_) => break,
+                    }
+                }
+                if !exited {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                if let Some(dir) = scratch {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+            None => {}
         }
     }
 

@@ -165,9 +165,6 @@ impl ControlTracer {
     fn decide(&mut self, event: &TraceEvent, ctx: &TraceCtx<'_>) -> Option<PauseReason> {
         match event {
             TraceEvent::Line { line } => {
-                if let Some(reason) = self.check_watches(ctx) {
-                    return Some(reason);
-                }
                 {
                     let shared = self.shared.lock().expect("tracker poisoned");
                     if let Some(cp) = shared
@@ -276,6 +273,20 @@ impl Tracer for ControlTracer {
                 .output
                 .push_str(text);
             return TraceAction::Continue;
+        }
+        // One Line event can carry several triggers (a store on the
+        // previous line trips a watchpoint *and* this line holds a
+        // breakpoint). Deliver each as its own pause, like the MiniC
+        // engine where watch checks ride separate store events; dropping
+        // the rest of the event on the first pause would silently eat
+        // breakpoints.
+        if matches!(event, TraceEvent::Line { .. }) {
+            if let Some(reason) = self.check_watches(ctx) {
+                let act = self.pause(reason, ctx);
+                if !matches!(act, TraceAction::Continue) {
+                    return act;
+                }
+            }
         }
         match self.decide(event, ctx) {
             Some(reason) => self.pause(reason, ctx),

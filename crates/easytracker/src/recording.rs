@@ -197,6 +197,11 @@ impl ReplayTracker {
         })
     }
 
+    /// Number of frames named `function` anywhere on the stack at `state`.
+    fn occurrences(state: &ProgramState, function: &str) -> usize {
+        state.frame.chain().filter(|f| f.name() == function).count()
+    }
+
     fn lookup_in(&self, state: &ProgramState, name: &str) -> Option<Variable> {
         let (frame_filter, var) = match name.split_once("::") {
             Some((f, v)) => (Some(f), v),
@@ -224,16 +229,17 @@ impl ReplayTracker {
     /// Pause reason triggered at step `i` (coming from step `i - 1`), if
     /// any control point with phase rank `>= min_rank` matches. Ranks
     /// order the triggers that can coexist on one recorded step (a
-    /// one-line function's entry and exit share a step): watch(0), line
-    /// breakpoint(1), function breakpoint(2), tracked call(3), tracked
-    /// return(4). Re-examining the current step with a higher `min_rank`
-    /// lets `resume` deliver both events of such a step, like the live
-    /// trackers do.
+    /// one-line function's entry and exit share a step) and mirror the
+    /// live engines' event order — frame-entry events fire before the
+    /// line's own checks, returns at the end of the step: function
+    /// breakpoint(0), tracked call(1), watch(2), line breakpoint(3),
+    /// tracked return(4). Re-examining the current step with a higher
+    /// `min_rank` lets `resume` deliver every event of such a step, like
+    /// the live trackers do.
     fn trigger_at_ranked(&self, i: usize, min_rank: u8) -> Option<(u8, PauseReason)> {
         let cur = self.state_at(i);
         let prev = i.checked_sub(1).map(|p| self.state_at(p));
         let cur_depth = cur.stack_depth();
-        let prev_depth = prev.map(|p| p.stack_depth()).unwrap_or(cur_depth);
         let mut best: Option<(u8, PauseReason)> = None;
         let mut consider = |rank: u8, reason: PauseReason| {
             if rank >= min_rank && best.as_ref().is_none_or(|(r, _)| rank < *r) {
@@ -259,9 +265,14 @@ impl ReplayTracker {
                         .lookup_in(cur, variable)
                         .map(|v| state::render_value(v.value().deref_fully()));
                     if let Some(new_val) = &new {
-                        if old.is_some() && old != new {
+                        // A variable springing into existence counts as a
+                        // modification (`old` stays `None`), matching the
+                        // live Python tracker; MiniC locals are visible
+                        // (zero-initialized) from frame entry, so for C
+                        // this branch only ever fires on value changes.
+                        if old != new {
                             consider(
-                                0,
+                                2,
                                 PauseReason::Watchpoint {
                                     id: cp.id,
                                     variable: variable.clone(),
@@ -275,7 +286,7 @@ impl ReplayTracker {
                 CpKind::LineBp(l) => {
                     if self.line_at(i) == *l {
                         consider(
-                            1,
+                            3,
                             PauseReason::Breakpoint {
                                 id: cp.id,
                                 location: cur.frame.location().clone(),
@@ -285,12 +296,14 @@ impl ReplayTracker {
                 }
                 CpKind::FuncBp { function, maxdepth } => {
                     let depth0 = (cur_depth - 1) as u32;
-                    if cur_depth > prev_depth
+                    let entered = Self::occurrences(cur, function)
+                        > prev.map(|p| Self::occurrences(p, function)).unwrap_or(0);
+                    if entered
                         && cur.frame.name() == function
                         && maxdepth.is_none_or(|m| depth0 <= m)
                     {
                         consider(
-                            2,
+                            0,
                             PauseReason::Breakpoint {
                                 id: cp.id,
                                 location: cur.frame.location().clone(),
@@ -299,30 +312,58 @@ impl ReplayTracker {
                     }
                 }
                 CpKind::Track { function, maxdepth } => {
-                    let depth0 = (cur_depth - 1) as u32;
-                    let depth_ok = maxdepth.is_none_or(|m| depth0 <= m);
-                    if cur_depth > prev_depth && cur.frame.name() == function && depth_ok {
-                        consider(
-                            3,
-                            PauseReason::FunctionCall {
-                                function: function.clone(),
-                                depth: depth0,
-                            },
-                        );
+                    // Count frames named `function` across the whole stack,
+                    // not just the innermost one: when a tracked function's
+                    // last executed line is itself a call, the pop back to
+                    // its caller happens while a *callee* is the innermost
+                    // recorded frame, so a top-of-stack check would miss
+                    // the return entirely.
+                    let cur_occ = Self::occurrences(cur, function);
+                    let prev_occ = prev.map(|p| Self::occurrences(p, function)).unwrap_or(0);
+                    if cur_occ > prev_occ && cur.frame.name() == function {
+                        let depth0 = (cur_depth - 1) as u32;
+                        if maxdepth.is_none_or(|m| depth0 <= m) {
+                            consider(
+                                1,
+                                PauseReason::FunctionCall {
+                                    function: function.clone(),
+                                    depth: depth0,
+                                },
+                            );
+                        }
                     }
-                    let leaves = match self.recording.steps.get(i + 1) {
-                        Some(next) => next.state.stack_depth() < cur_depth,
-                        None => cur_depth > 1,
+                    let returning = match self.recording.steps.get(i + 1) {
+                        Some(next) => cur_occ > Self::occurrences(&next.state, function),
+                        // Program exit pops every frame at once; the
+                        // outermost frame's teardown is not a tracked
+                        // return, so only deeper occurrences count.
+                        None => cur
+                            .frame
+                            .chain()
+                            .enumerate()
+                            .any(|(k, f)| f.name() == function && cur_depth - k > 1),
                     };
-                    if leaves && cur.frame.name() == function && depth_ok {
-                        consider(
-                            4,
-                            PauseReason::FunctionReturn {
-                                function: function.clone(),
-                                depth: depth0,
-                                return_value: None,
-                            },
-                        );
+                    if returning {
+                        // Report the innermost occurrence: that is the
+                        // frame popped last, hence the return observed at
+                        // this step boundary.
+                        let depth0 = cur
+                            .frame
+                            .chain()
+                            .enumerate()
+                            .find(|(_, f)| f.name() == function)
+                            .map(|(k, _)| (cur_depth - 1 - k) as u32)
+                            .unwrap_or(0);
+                        if maxdepth.is_none_or(|m| depth0 <= m) {
+                            consider(
+                                4,
+                                PauseReason::FunctionReturn {
+                                    function: function.clone(),
+                                    depth: depth0,
+                                    return_value: None,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -912,5 +953,80 @@ mod reverse_tests {
         let mut t = ReplayTracker::new(recording());
         assert!(matches!(t.step_back(), Err(TrackerError::NotStarted)));
         assert!(matches!(t.resume_back(), Err(TrackerError::NotStarted)));
+    }
+
+    // ---- degenerate recordings (conformance satellite) -------------------
+
+    fn empty_recording(exit_code: i64) -> Recording {
+        Recording {
+            file: "empty.c".into(),
+            source: String::new(),
+            steps: Vec::new(),
+            exit_code,
+        }
+    }
+
+    #[test]
+    fn empty_recording_starts_straight_into_exited() {
+        let mut t = ReplayTracker::new(empty_recording(7));
+        assert_eq!(t.pause_reason(), PauseReason::NotStarted);
+        let r = t.start().unwrap();
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Exited(7)));
+        // Every control and inspection call keeps answering, no panics.
+        assert!(matches!(t.step().unwrap(), PauseReason::Exited(_)));
+        assert!(matches!(t.resume().unwrap(), PauseReason::Exited(_)));
+        assert!(matches!(t.next().unwrap(), PauseReason::Exited(_)));
+        assert_eq!(t.get_output().unwrap(), "");
+        assert_eq!(t.get_exit_code().unwrap(), 7);
+        let st = t.get_state().unwrap();
+        assert!(matches!(st.reason, PauseReason::Exited(_)));
+        assert_eq!(st.frame.name(), "<module>");
+    }
+
+    #[test]
+    fn empty_recording_with_crash_code_reports_crashed() {
+        let mut t = ReplayTracker::new(empty_recording(-1));
+        let r = t.start().unwrap();
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Crashed));
+    }
+
+    #[test]
+    fn single_step_recording_walks_start_to_exit() {
+        let full = recording();
+        let single = Recording {
+            file: full.file.clone(),
+            source: full.source.clone(),
+            steps: vec![full.steps[0].clone()],
+            exit_code: full.exit_code,
+        };
+        let mut t = ReplayTracker::new(single);
+        assert_eq!(t.start().unwrap(), PauseReason::Started);
+        let line = t.get_state().unwrap().frame.location().line();
+        assert_eq!(t.current_line().unwrap(), line);
+        // The one recorded step is also the last: stepping exits.
+        assert!(matches!(t.step().unwrap(), PauseReason::Exited(_)));
+        assert_eq!(t.get_exit_code().unwrap(), full.exit_code);
+        // And it replays backwards too.
+        assert_eq!(t.step_back().unwrap(), PauseReason::Step);
+        assert_eq!(t.current_line().unwrap(), line);
+    }
+
+    #[test]
+    fn single_step_recording_tolerates_control_points() {
+        let full = recording();
+        let single = Recording {
+            file: full.file.clone(),
+            source: full.source.clone(),
+            steps: vec![full.steps[0].clone()],
+            exit_code: full.exit_code,
+        };
+        let mut t = ReplayTracker::new(single);
+        t.start().unwrap();
+        // Control points on things the one-step recording never reaches
+        // must not fire or wedge the replay.
+        t.break_before_func("square", None).unwrap();
+        t.track_function("square", None).unwrap();
+        t.watch("s").unwrap();
+        assert!(matches!(t.resume().unwrap(), PauseReason::Exited(_)));
     }
 }

@@ -6,9 +6,15 @@
 //! OS pipes, exactly as its GDB tracker runs `gdb --interpreter=mi`.
 //!
 //! ```text
-//! mi-server prog.c     # MiniC engine
-//! mi-server prog.s     # RISC-V engine
+//! mi-server prog.c          # MiniC engine
+//! mi-server prog.s          # RISC-V engine
+//! mi-server /tmp/x.c p.c    # read /tmp/x.c, report locations as `p.c`
 //! ```
+//!
+//! The optional second argument is the *logical* file name used in
+//! reported source locations. Trackers that ship a program via a
+//! temporary file pass the original name here so state snapshots are
+//! byte-identical to an in-process run of the same program.
 
 use mi::transport::StreamTransport;
 use mi::{asm_engine::AsmEngine, minic_engine::MinicEngine, Server};
@@ -17,9 +23,10 @@ use std::io::{stdin, stdout, Read};
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: mi-server <program.c|program.s|->");
+        eprintln!("usage: mi-server <program.c|program.s> [logical-name]");
         std::process::exit(2);
     };
+    let logical = args.next();
     // `-` reads the program from a leading source block on stdin is not
     // supported (frames own stdin); require a file path.
     let source = match std::fs::read_to_string(&path) {
@@ -29,9 +36,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let name = logical.as_deref().unwrap_or(&path);
     let transport = StreamTransport::new(LockedStdin, stdout());
-    if path.ends_with(".s") || path.ends_with(".asm") {
-        let program = match miniasm::asm::assemble(&path, &source) {
+    if name.ends_with(".s") || name.ends_with(".asm") {
+        let program = match miniasm::asm::assemble(name, &source) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("mi-server: {e}");
@@ -40,7 +48,7 @@ fn main() {
         };
         Server::new(AsmEngine::new(&program), transport).serve();
     } else {
-        let program = match minic::compile(&path, &source) {
+        let program = match minic::compile(name, &source) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("mi-server: {e}");

@@ -42,8 +42,9 @@ pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use protocol::{Command, Response};
-pub use server::{Client, Engine, Server};
+pub use protocol::{Command, CommandFrame, Response, ResponseFrame};
+pub use server::{Client, CommandPort, Engine, Server};
+pub use transport::MAX_FRAME_LEN;
 
 use std::fmt;
 use std::thread::JoinHandle;

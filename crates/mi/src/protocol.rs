@@ -114,6 +114,34 @@ impl Command {
     }
 }
 
+/// The sequence-numbered wire envelope for a [`Command`].
+///
+/// [`crate::Client`] wraps every command in one of these; the server
+/// echoes the `seq` back in the matching [`ResponseFrame`]. Sequence
+/// numbers are what make the boundary robust against frame-level faults:
+/// after a duplicated frame or a response lost mid-command, the client
+/// can tell stale responses from the one it is waiting for and discard
+/// them instead of silently desynchronizing. Servers keep accepting bare
+/// [`Command`] frames from older peers and then answer with bare
+/// [`Response`] frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandFrame {
+    /// Client-assigned sequence number, strictly increasing per session.
+    pub seq: u64,
+    /// The command itself.
+    pub cmd: Command,
+}
+
+/// The sequence-numbered wire envelope for a [`Response`]; `seq` echoes
+/// the triggering [`CommandFrame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    /// Sequence number of the command this responds to.
+    pub seq: u64,
+    /// The response itself.
+    pub resp: Response,
+}
+
 /// A response from the engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -183,6 +211,31 @@ mod tests {
             let back: Command = serde_json::from_str(&json).unwrap();
             assert_eq!(c, back);
         }
+    }
+
+    #[test]
+    fn envelopes_roundtrip_and_stay_distinguishable_from_bare_frames() {
+        let cf = CommandFrame {
+            seq: 7,
+            cmd: Command::Step,
+        };
+        let json = serde_json::to_string(&cf).unwrap();
+        let back: CommandFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(cf, back);
+        // An envelope never decodes as a bare command, and vice versa, so
+        // the server can accept both wire forms unambiguously.
+        assert!(serde_json::from_str::<Command>(&json).is_err());
+        let bare = serde_json::to_string(&Command::Step).unwrap();
+        assert!(serde_json::from_str::<CommandFrame>(&bare).is_err());
+
+        let rf = ResponseFrame {
+            seq: 7,
+            resp: Response::Paused(PauseReason::Step),
+        };
+        let json = serde_json::to_string(&rf).unwrap();
+        let back: ResponseFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(rf, back);
+        assert!(serde_json::from_str::<Response>(&json).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The MI server (engine side) and client (tracker side).
 
-use crate::protocol::{Command, Response};
-use crate::transport::Transport;
+use crate::protocol::{Command, CommandFrame, Response, ResponseFrame};
+use crate::transport::{Transport, TransportCounters};
 use crate::MiError;
 
 /// A debugger engine: executes one command against its inferior.
@@ -41,47 +41,95 @@ impl<E: Engine, T: Transport> Server<E, T> {
     }
 
     /// Serves until `Terminate` arrives or the peer disconnects.
+    ///
+    /// The loop accepts both wire forms: sequence-numbered
+    /// [`CommandFrame`]s (answered with a [`ResponseFrame`] echoing the
+    /// `seq`) and bare [`Command`]s from older peers (answered bare).
+    /// Malformed frames — undecodable commands as well as transport-level
+    /// codec failures like a corrupted length prefix — are answered with
+    /// a bare [`Response::Error`] and the server keeps serving; only a
+    /// real disconnect ends the loop.
     pub fn serve(&mut self) {
         loop {
-            let Ok(frame) = self.transport.recv() else {
-                return;
+            let frame = match self.transport.recv() {
+                Ok(frame) => frame,
+                Err(MiError::Codec(m)) => {
+                    // Framing-level garbage: the bytes never reached the
+                    // command decoder. Report and keep the session alive.
+                    self.count_malformed();
+                    let resp = Response::Error {
+                        message: format!("unreadable frame: {m}"),
+                    };
+                    if self.reply_bare(&resp).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
             };
-            let response = match serde_json::from_slice::<Command>(&frame) {
+            let (seq, decoded) = match serde_json::from_slice::<CommandFrame>(&frame) {
+                Ok(cf) => (Some(cf.seq), Ok(cf.cmd)),
+                Err(_) => (
+                    None,
+                    serde_json::from_slice::<Command>(&frame).map_err(|e| e.to_string()),
+                ),
+            };
+            match decoded {
                 Ok(cmd) => {
                     if let Some(reg) = &self.registry {
                         reg.inc(&format!("mi.server.cmd.{}", cmd.kind()));
                     }
                     let stop = cmd == Command::Terminate;
                     let resp = self.engine.handle(cmd);
-                    let bytes = serde_json::to_vec(&resp).expect("responses always serialize");
+                    let bytes = match seq {
+                        Some(seq) => serde_json::to_vec(&ResponseFrame { seq, resp }),
+                        None => serde_json::to_vec(&resp),
+                    }
+                    .expect("responses always serialize");
                     let _ = self.transport.send(&bytes);
                     if stop {
                         return;
                     }
-                    continue;
                 }
                 Err(e) => {
-                    if let Some(reg) = &self.registry {
-                        reg.inc("mi.server.cmd.Malformed");
-                    }
-                    Response::Error {
+                    self.count_malformed();
+                    let resp = Response::Error {
                         message: format!("malformed command: {e}"),
+                    };
+                    if self.reply_bare(&resp).is_err() {
+                        return;
                     }
                 }
-            };
-            let bytes = serde_json::to_vec(&response).expect("responses always serialize");
-            if self.transport.send(&bytes).is_err() {
-                return;
             }
         }
+    }
+
+    fn count_malformed(&self) {
+        if let Some(reg) = &self.registry {
+            reg.inc("mi.server.cmd.Malformed");
+        }
+    }
+
+    fn reply_bare(&mut self, resp: &Response) -> Result<(), MiError> {
+        let bytes = serde_json::to_vec(resp).expect("responses always serialize");
+        self.transport.send(&bytes)
     }
 }
 
 /// Tracker-side stub: sends a command, waits for the response.
+///
+/// Commands are wrapped in sequence-numbered [`CommandFrame`]s. While
+/// waiting for a response the client discards [`ResponseFrame`]s whose
+/// `seq` is older than the command in flight — those are duplicated or
+/// stale frames left over from a transport fault — so one faulty frame
+/// never silently desynchronizes the whole session. Bare [`Response`]
+/// frames (from servers predating the envelope) are accepted as-is.
 #[derive(Debug)]
 pub struct Client<T> {
     transport: T,
     registry: Option<obs::Registry>,
+    next_seq: u64,
+    envelope: bool,
 }
 
 impl<T: Transport> Client<T> {
@@ -90,18 +138,32 @@ impl<T: Transport> Client<T> {
         Client {
             transport,
             registry: None,
+            next_seq: 0,
+            envelope: true,
         }
     }
 
     /// Like [`Client::new`], but every roundtrip is timed into a
     /// `mi.client.roundtrip.<kind>` histogram and the transport's byte
     /// counters are mirrored into `mi.client.bytes_{sent,received}`
-    /// gauges in `registry`.
+    /// gauges in `registry`. Discarded stale frames bump
+    /// `mi.client.stale_frames`.
     pub fn with_registry(transport: T, registry: obs::Registry) -> Self {
-        Client {
-            transport,
-            registry: Some(registry),
-        }
+        let mut c = Client::new(transport);
+        c.registry = Some(registry);
+        c
+    }
+
+    /// Creates a client speaking the legacy bare-frame wire form (no
+    /// sequence numbers). Only useful against pre-envelope servers — a
+    /// bare client cannot tell a duplicated response frame from the one
+    /// it is waiting for, which is exactly the silent-desync failure the
+    /// envelope exists to prevent. The conformance suite keeps this mode
+    /// alive to demonstrate that failure.
+    pub fn new_bare(transport: T) -> Self {
+        let mut c = Client::new(transport);
+        c.envelope = false;
+        c
     }
 
     /// Sends `command` and blocks for the engine's response.
@@ -109,17 +171,53 @@ impl<T: Transport> Client<T> {
     /// # Errors
     ///
     /// Transport failures surface as [`MiError`]; engine-level failures
-    /// come back as [`Response::Error`].
+    /// come back as [`Response::Error`]. After an error the session
+    /// stays usable: re-issuing a command allocates a fresh sequence
+    /// number and any late response to the failed command is discarded.
     pub fn call(&mut self, command: Command) -> Result<Response, MiError> {
         let span = self
             .registry
             .as_ref()
             .map(|reg| reg.span(format!("mi.client.roundtrip.{}", command.kind())));
-        let bytes = serde_json::to_vec(&command).map_err(|e| MiError::Codec(e.to_string()))?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = if self.envelope {
+            serde_json::to_vec(&CommandFrame { seq, cmd: command })
+        } else {
+            serde_json::to_vec(&command)
+        }
+        .map_err(|e| MiError::Codec(e.to_string()))?;
         self.transport.send(&bytes)?;
-        let frame = self.transport.recv()?;
-        let resp: Response =
-            serde_json::from_slice(&frame).map_err(|e| MiError::Codec(e.to_string()))?;
+        let resp = loop {
+            let frame = self.transport.recv()?;
+            if self.envelope {
+                if let Ok(rf) = serde_json::from_slice::<ResponseFrame>(&frame) {
+                    match rf.seq.cmp(&seq) {
+                        std::cmp::Ordering::Equal => break rf.resp,
+                        std::cmp::Ordering::Less => {
+                            // Duplicate or stale frame from an earlier
+                            // command (possibly one whose reply we never
+                            // saw because of a fault): drop it and keep
+                            // waiting for ours.
+                            if let Some(reg) = &self.registry {
+                                reg.inc("mi.client.stale_frames");
+                            }
+                            continue;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            return Err(MiError::Codec(format!(
+                                "response seq {} is ahead of the command in flight ({seq})",
+                                rf.seq
+                            )));
+                        }
+                    }
+                }
+            }
+            // Bare response: a legacy server, or this server reporting a
+            // frame it could not attribute to a sequence number.
+            break serde_json::from_slice::<Response>(&frame)
+                .map_err(|e| MiError::Codec(e.to_string()))?;
+        };
         drop(span);
         if let Some(reg) = &self.registry {
             let c = self.transport.counters();
@@ -134,6 +232,33 @@ impl<T: Transport> Client<T> {
     /// Access to the underlying transport (byte counters for benches).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+}
+
+/// An object-safe handle to "somewhere commands can be sent": any
+/// [`Client`], over any [`Transport`]. Trackers hold one of these so the
+/// same tracker code drives an engine thread over in-process channels, a
+/// fault-injection proxy, or an `mi-server` child process over real
+/// pipes.
+pub trait CommandPort: Send {
+    /// Sends one command and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`MiError`].
+    fn call(&mut self, command: Command) -> Result<Response, MiError>;
+
+    /// Traffic shipped through the underlying transport so far.
+    fn counters(&self) -> TransportCounters;
+}
+
+impl<T: Transport + Send> CommandPort for Client<T> {
+    fn call(&mut self, command: Command) -> Result<Response, MiError> {
+        Client::call(self, command)
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.transport.counters()
     }
 }
 

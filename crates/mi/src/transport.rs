@@ -9,6 +9,14 @@
 use crate::MiError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+/// Upper bound on a single frame's payload size, in bytes.
+///
+/// A corrupted length prefix (or a peer gone haywire) must not make the
+/// receiver trust an absurd header and attempt a multi-gigabyte read:
+/// both transports reject frames whose claimed or actual size exceeds
+/// this cap with a typed [`MiError::Codec`] instead.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
 /// Traffic accounting every transport keeps, regardless of medium.
 ///
 /// `bytes_*` include framing overhead (length prefixes, newline
@@ -62,6 +70,12 @@ pub struct ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(MiError::Codec(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                frame.len()
+            )));
+        }
         // Length-prefix framing: mimic a real byte stream even though the
         // channel already preserves message boundaries.
         let mut wire = Vec::with_capacity(frame.len() + 4);
@@ -80,7 +94,14 @@ impl Transport for ChannelTransport {
             return Err(MiError::Codec("short frame".into()));
         }
         let len = u32::from_le_bytes(wire[..4].try_into().expect("4 bytes")) as usize;
-        if wire.len() != len + 4 {
+        if len > MAX_FRAME_LEN {
+            // A corrupted header claiming a huge body must be refused
+            // before any size arithmetic trusts it.
+            return Err(MiError::Codec(format!(
+                "frame header claims {len} bytes, beyond the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        if wire.len() - 4 != len {
             return Err(MiError::Codec(format!(
                 "frame length mismatch: header {len}, body {}",
                 wire.len() - 4
@@ -186,6 +207,33 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_header_length_prefix_rejected_not_trusted() {
+        // A flipped bit in the length prefix can claim gigabytes; recv
+        // must refuse the header instead of trusting its arithmetic.
+        let (a, mut b) = duplex();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"tiny");
+        a.tx.send(wire).unwrap();
+        match b.recv() {
+            Err(MiError::Codec(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("expected codec error, got {other:?}"),
+        }
+        // The endpoint survives for well-formed successors.
+        let mut a = a;
+        a.send(b"ok").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ok");
+    }
+
+    #[test]
+    fn oversized_send_rejected() {
+        let (mut a, _b) = duplex();
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(a.send(&huge), Err(MiError::Codec(_))));
+        assert_eq!(a.counters().frames_sent, 0);
+    }
+
+    #[test]
     fn order_preserved() {
         let (mut a, mut b) = duplex();
         for i in 0..10u8 {
@@ -225,6 +273,12 @@ impl<R: std::io::Read, W: std::io::Write> Transport for StreamTransport<R, W> {
         if frame.contains(&b'\n') {
             return Err(MiError::Codec("frame contains a newline".into()));
         }
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(MiError::Codec(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                frame.len()
+            )));
+        }
         self.writer
             .write_all(frame)
             .and_then(|()| self.writer.write_all(b"\n"))
@@ -236,17 +290,36 @@ impl<R: std::io::Read, W: std::io::Write> Transport for StreamTransport<R, W> {
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, MiError> {
-        use std::io::BufRead as _;
-        let mut line = String::new();
-        match self.reader.read_line(&mut line) {
+        use std::io::{BufRead as _, Read as _};
+        // Raw bytes, not `read_line`: corrupted (non-UTF-8) traffic must
+        // surface as a codec error on this frame, not kill the stream.
+        // The `take` bounds how much one frame may buffer, so a peer that
+        // stops sending newlines cannot balloon memory.
+        let mut line = Vec::new();
+        let mut limited = (&mut self.reader).take(MAX_FRAME_LEN as u64 + 1);
+        match limited.read_until(b'\n', &mut line) {
             Ok(0) => Err(MiError::Disconnected),
             Ok(n) => {
                 self.counters.bytes_received += n as u64;
                 self.counters.frames_received += 1;
-                while line.ends_with('\n') || line.ends_with('\r') {
+                if line.len() > MAX_FRAME_LEN {
+                    return Err(MiError::Codec(format!(
+                        "frame exceeds the {MAX_FRAME_LEN}-byte cap"
+                    )));
+                }
+                if line.last() != Some(&b'\n') {
+                    // The stream ended (or a fault cut it) in the middle
+                    // of a frame. Treating the fragment as a complete
+                    // frame would hand garbage to the codec; report the
+                    // truncation itself.
+                    return Err(MiError::Codec(
+                        "mid-frame EOF: stream ended before the frame delimiter".into(),
+                    ));
+                }
+                while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
                     line.pop();
                 }
-                Ok(line.into_bytes())
+                Ok(line)
             }
             Err(_) => Err(MiError::Disconnected),
         }
@@ -294,6 +367,30 @@ mod stream_tests {
         // Counters measure the wire, CR and LF included.
         assert_eq!(t.counters().bytes_received, wire.len() as u64);
         assert_eq!(t.counters().frames_received, 2);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_a_codec_error_not_a_frame() {
+        // The stream dies after half a frame: the fragment must not be
+        // handed to the codec as if it were complete.
+        let wire = b"{\"a\":1}\n{\"b\":";
+        let mut t = StreamTransport::new(&wire[..], std::io::sink());
+        assert_eq!(t.recv().unwrap(), b"{\"a\":1}");
+        match t.recv() {
+            Err(MiError::Codec(msg)) => assert!(msg.contains("mid-frame EOF"), "{msg}"),
+            other => panic!("expected codec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_frames_pass_through_as_bytes() {
+        // Corruption often produces invalid UTF-8. The transport is a
+        // byte pipe: it must deliver the bytes (the codec above reports
+        // the JSON error), not misreport a disconnect.
+        let wire = b"\xff\xfe\x00garbage\nok\n";
+        let mut t = StreamTransport::new(&wire[..], std::io::sink());
+        assert_eq!(t.recv().unwrap(), b"\xff\xfe\x00garbage");
+        assert_eq!(t.recv().unwrap(), b"ok");
     }
 
     #[test]

@@ -371,25 +371,40 @@ impl Interp {
                     self.exec_block(orelse, tracer)
                 }
             }
-            StmtKind::While { test, body } => loop {
-                self.frames.last_mut().expect("frame").line = s.line;
-                self.emit(tracer, TraceEvent::Line { line: s.line })?;
-                let t = self.eval(test, tracer)?;
-                if !self.heap.get(t).is_truthy() {
-                    return Ok(Flow::Normal);
+            StmtKind::While { test, body } => {
+                // The statement-level emit above already announced the
+                // header; re-announce it only on back edges, so one
+                // header evaluation is exactly one Line event (a line
+                // breakpoint on the header fires once per iteration, as
+                // in the MiniC VM).
+                let mut first = true;
+                loop {
+                    self.frames.last_mut().expect("frame").line = s.line;
+                    if !std::mem::take(&mut first) {
+                        self.emit(tracer, TraceEvent::Line { line: s.line })?;
+                    }
+                    let t = self.eval(test, tracer)?;
+                    if !self.heap.get(t).is_truthy() {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.exec_block(body, tracer)? {
+                        Flow::Break => return Ok(Flow::Normal),
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
                 }
-                match self.exec_block(body, tracer)? {
-                    Flow::Break => return Ok(Flow::Normal),
-                    Flow::Return(v) => return Ok(Flow::Return(v)),
-                    Flow::Normal | Flow::Continue => {}
-                }
-            },
+            }
             StmtKind::For { target, iter, body } => {
                 let it = self.eval(iter, tracer)?;
                 let items = self.iterate(it, s.line)?;
+                // As with `while`, the first iteration's header event was
+                // already emitted by the statement-level hook.
+                let mut first = true;
                 for item in items {
                     self.frames.last_mut().expect("frame").line = s.line;
-                    self.emit(tracer, TraceEvent::Line { line: s.line })?;
+                    if !std::mem::take(&mut first) {
+                        self.emit(tracer, TraceEvent::Line { line: s.line })?;
+                    }
                     self.assign(target, item, s.line, tracer)?;
                     match self.exec_block(body, tracer)? {
                         Flow::Break => return Ok(Flow::Normal),

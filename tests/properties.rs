@@ -498,3 +498,78 @@ proptest! {
         let _ = minic::compile("soup.c", &src);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Record/replay reason coverage over the conformance generators.
+//
+// The proptest above (`replay_preserves_step_structure`) checks plain
+// stepping; these deterministic runs drive the richer control-point
+// scenario from the conformance crate — line breakpoint, watchpoint,
+// tracked function with `finish`, `next` — and require that the live and
+// replayed reason sequences agree and that, across the seed set, every
+// PauseReason variant a run can produce is actually exercised.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replay_reason_sequences_cover_every_pause_variant() {
+    let driver = conformance::Driver::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for seed in 0..8 {
+        let (divergences, live_tags) = driver.check_control_points_c(seed);
+        assert!(
+            divergences.is_empty(),
+            "C seed {seed}: {}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        seen.extend(live_tags);
+        let (divergences, live_tags) = driver.check_control_points_py(seed);
+        assert!(
+            divergences.is_empty(),
+            "Py seed {seed}: {}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        seen.extend(live_tags);
+    }
+    for variant in [
+        "Started",
+        "Breakpoint",
+        "Watchpoint",
+        "FunctionCall",
+        "FunctionReturn",
+        "Step",
+        "Exited",
+    ] {
+        assert!(
+            seen.contains(variant),
+            "reason {variant} never exercised by the control-point scenario \
+             (seen: {seen:?})"
+        );
+    }
+}
+
+/// The remaining variant: a tracker that has not started reports
+/// `NotStarted`, live and replayed alike.
+#[test]
+fn not_started_matches_between_live_and_replay() {
+    use easytracker::Tracker;
+    let src = conformance::gen::render_c(&conformance::gen::gen_program(1));
+    let mut live = easytracker::MiTracker::load_c("gen.c", &src).expect("load");
+    assert_eq!(live.pause_reason().tag(), "NotStarted");
+    let recording = {
+        let mut t = easytracker::MiTracker::load_c("gen.c", &src).expect("load");
+        let r = easytracker::Recording::capture(&mut t).expect("capture");
+        t.terminate();
+        r
+    };
+    let replay = easytracker::ReplayTracker::new(recording);
+    assert_eq!(replay.pause_reason().tag(), "NotStarted");
+    live.terminate();
+}
