@@ -16,10 +16,16 @@
 //! the shrinker (see [`crate::shrink`]) can re-run them on reduced
 //! candidates.
 
-use crate::gen;
-use easytracker::{MiTracker, PyTracker, Recording, ReplayTracker, Tracker, TrackerError};
+use crate::fault::{chaos_wrapper, counting_wrapper, ChaosFault, ChaosPlan, ChaosState};
+use crate::{gen, rng::Rng};
+use easytracker::{
+    MiTracker, ProgramSpec, PyTracker, Recording, ReplayTracker, Supervision, Tracker, TrackerError,
+};
 use state::PauseReason;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One observed disagreement between two legs of a differential run.
 #[derive(Debug, Clone)]
@@ -451,6 +457,213 @@ impl Driver {
         }
         (div, live_tags)
     }
+
+    /// The chaos differential: one seeded liveness fault (a boundary
+    /// hang or an engine crash) is injected at a seeded call index into a
+    /// supervised control-point session, and the session must either
+    /// recover to the *exact* fault-free behaviour — same pause-reason
+    /// sequence, same output, same exit code — or degrade explicitly.
+    /// Silent divergence is the only failure.
+    pub fn check_chaos_c(&self, seed: u64) -> (Vec<Divergence>, ChaosOutcome) {
+        const PAIR: &str = "c_chaos_vs_reference";
+        self.pair(PAIR);
+        let program = gen::gen_program(seed);
+        let c_src = gen::render_c(&program);
+        self.registry.inc("conformance.programs_generated");
+
+        // Which lines actually execute, for a valid breakpoint.
+        let rec = {
+            let mut t = match MiTracker::load_c("gen.c", &c_src) {
+                Ok(t) => t,
+                Err(e) => {
+                    return (
+                        self.error(PAIR, seed, "load failed", &e),
+                        ChaosOutcome::Clean,
+                    )
+                }
+            };
+            match Recording::capture(&mut t) {
+                Ok(r) => r,
+                Err(e) => {
+                    return (
+                        self.error(PAIR, seed, "capture failed", &e),
+                        ChaosOutcome::Clean,
+                    )
+                }
+            }
+        };
+        let lines: Vec<u32> = rec
+            .steps
+            .iter()
+            .map(|s| s.state.frame.location().line())
+            .collect();
+        if lines.is_empty() {
+            return (
+                self.error(PAIR, seed, "empty recording", &"no steps"),
+                ChaosOutcome::Clean,
+            );
+        }
+        let bp_line = lines[lines.len() / 2];
+
+        // Reference leg: the fault-free behaviour, counting port calls so
+        // the schedule below is guaranteed to land inside the run.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut reference = match MiTracker::load_spec(
+            ProgramSpec::c("gen.c", &c_src),
+            obs::Registry::new(),
+            Supervision::default(),
+            Some(counting_wrapper(Arc::clone(&calls))),
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                return (
+                    self.error(PAIR, seed, "reference load failed", &e),
+                    ChaosOutcome::Clean,
+                )
+            }
+        };
+        let reference_run = run_chaos_scenario(&mut reference, bp_line);
+        reference.terminate();
+        let reference_run = match reference_run {
+            Ok(r) => r,
+            Err(e) => {
+                return (
+                    self.error(PAIR, seed, "reference run failed", &e),
+                    ChaosOutcome::Clean,
+                )
+            }
+        };
+        let total = calls.load(Ordering::SeqCst).max(1);
+
+        // Seeded schedule: where the session is killed, and how.
+        let mut rng = Rng::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let at_call = 1 + rng.below(total as u64) as usize;
+        let fault = if rng.chance(50) {
+            ChaosFault::Crash
+        } else {
+            ChaosFault::Hang
+        };
+
+        let state = ChaosState::new();
+        let mut chaos = match MiTracker::load_spec(
+            ProgramSpec::c("gen.c", &c_src),
+            self.registry.clone(),
+            chaos_supervision(),
+            Some(chaos_wrapper(
+                ChaosPlan { at_call, fault },
+                Arc::clone(&state),
+                self.registry.clone(),
+            )),
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                return (
+                    self.error(PAIR, seed, "chaos load failed", &e),
+                    ChaosOutcome::Clean,
+                )
+            }
+        };
+        let chaos_run = run_chaos_scenario(&mut chaos, bp_line);
+        chaos.terminate();
+        match chaos_run {
+            Ok(run) => {
+                let mut div = Vec::new();
+                if run.tags != reference_run.tags {
+                    div.push(Divergence {
+                        pair: PAIR.to_owned(),
+                        seed,
+                        detail: format!(
+                            "reason sequences differ after {fault:?}@{at_call}:\nreference: {:?}\nchaos:     {:?}",
+                            reference_run.tags, run.tags
+                        ),
+                    });
+                }
+                if run.output != reference_run.output {
+                    div.push(Divergence {
+                        pair: PAIR.to_owned(),
+                        seed,
+                        detail: format!(
+                            "output differs after {fault:?}@{at_call}: {:?} vs {:?}",
+                            reference_run.output, run.output
+                        ),
+                    });
+                }
+                if run.exit != reference_run.exit {
+                    div.push(Divergence {
+                        pair: PAIR.to_owned(),
+                        seed,
+                        detail: format!(
+                            "exit codes differ after {fault:?}@{at_call}: {:?} vs {:?}",
+                            reference_run.exit, run.exit
+                        ),
+                    });
+                }
+                self.count_divergences(&div);
+                let outcome = if state.fired() {
+                    ChaosOutcome::Recovered
+                } else {
+                    ChaosOutcome::Clean
+                };
+                (div, outcome)
+            }
+            Err(TrackerError::SessionDegraded(_)) => {
+                // An explicit refusal is a legal outcome; a wrong answer
+                // is not.
+                self.registry.inc("conformance.chaos.degraded");
+                (Vec::new(), ChaosOutcome::Degraded)
+            }
+            Err(e) => (
+                self.error(
+                    PAIR,
+                    seed,
+                    &format!("chaos run failed untyped after {fault:?}@{at_call}"),
+                    &e,
+                ),
+                ChaosOutcome::Degraded,
+            ),
+        }
+    }
+}
+
+/// How the chaos leg of [`Driver::check_chaos_c`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The scheduled fault never fired (or a leg failed before it could).
+    Clean,
+    /// The fault fired and the session recovered to the reference
+    /// behaviour.
+    Recovered,
+    /// The fault fired and the session degraded explicitly.
+    Degraded,
+}
+
+/// What one chaos leg observed.
+struct ScenarioRun {
+    tags: Vec<String>,
+    output: String,
+    exit: Option<i64>,
+}
+
+/// Supervision tuned for chaos sweeps: deadlines short enough that a
+/// hang costs milliseconds, budgets small enough that a storm degrades
+/// fast — the sweep stays bounded.
+fn chaos_supervision() -> Supervision {
+    Supervision {
+        deadline: Some(Duration::from_millis(150)),
+        ping_deadline: Duration::from_millis(50),
+        max_retries: 1,
+        max_respawns: 3,
+        backoff_base: Duration::from_micros(50),
+        backoff_cap: Duration::from_millis(2),
+        jitter_seed: 0x0c4a_05ca_0501,
+    }
+}
+
+fn run_chaos_scenario(t: &mut MiTracker, bp_line: u32) -> Result<ScenarioRun, TrackerError> {
+    let tags = drive_with_control_points(t, bp_line)?;
+    let output = t.get_output()?;
+    let exit = t.get_exit_code();
+    Ok(ScenarioRun { tags, output, exit })
 }
 
 /// Drives a tracker through a fixed reason-directed scenario and returns

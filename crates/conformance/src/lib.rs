@@ -14,8 +14,10 @@
 //! * [`diff`] — the lockstep differential driver comparing serialized
 //!   state snapshots at every pause point, reason sequences under live
 //!   control points, output, and exit codes;
-//! * [`fault`] — a deterministic fault-injection transport for the MI
-//!   boundary (truncated, corrupted, duplicated frames; mid-command EOF);
+//! * [`fault`] — deterministic fault injection for the MI boundary: wire
+//!   faults (truncated, corrupted, duplicated frames; mid-command EOF)
+//!   and liveness faults (hangs, stalls, engine crashes) plus seeded
+//!   chaos schedules that kill a supervised session at an arbitrary call;
 //! * [`shrink`] — a delta-debugging reducer over the generator AST, and
 //!   the committed reproducer corpus under `tests/corpus/`.
 //!
@@ -28,8 +30,11 @@ pub mod gen;
 pub mod rng;
 pub mod shrink;
 
-pub use diff::{Divergence, Driver};
-pub use fault::{FaultKind, FaultTransport};
+pub use diff::{ChaosOutcome, Divergence, Driver};
+pub use fault::{
+    chaos_wrapper, counting_wrapper, dead_wrapper, ChaosFault, ChaosPlan, ChaosState, FaultKind,
+    FaultTransport,
+};
 pub use shrink::{shrink, CheckKind, CorpusEntry};
 
 use std::path::PathBuf;

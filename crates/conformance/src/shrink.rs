@@ -9,13 +9,18 @@
 //! by `tests/corpus_replay.rs`.
 
 use crate::diff::Driver;
-use crate::fault::{FaultKind, FaultTransport};
+use crate::fault::{
+    chaos_wrapper, dead_wrapper, ChaosFault, ChaosPlan, ChaosState, FaultKind, FaultTransport,
+};
 use crate::gen::{self, Expr, Program, Stmt};
+use easytracker::{MiTracker, ProgramSpec, Supervision, Tracker, TrackerError};
 use mi::protocol::{Command, Response};
 use mi::transport::{duplex, ChannelTransport};
 use mi::{minic_engine::MinicEngine, Client, MiError, Server};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 // ---------------------------------------------------------------------------
 // The reducer.
@@ -271,6 +276,13 @@ pub enum CheckKind {
     /// A truncated MI response frame yields a typed codec error on `c`
     /// and the re-issued command succeeds.
     TruncateFaultRecovery,
+    /// An engine crash mid-session on `c` is survived transparently: the
+    /// supervised tracker respawns, re-establishes state, and produces a
+    /// trace identical to the fault-free run.
+    ChaosCrashRecovery,
+    /// An engine that dies on every incarnation exhausts the respawn
+    /// budget on `c` and degrades explicitly instead of looping forever.
+    RespawnStormDegraded,
 }
 
 /// A minimized, committed reproducer. `seed` records the generator seed
@@ -364,7 +376,107 @@ pub fn run_entry(entry: &CorpusEntry) -> Result<(), String> {
         )),
         CheckKind::DuplicateFaultRecovery => duplicate_fault_recovery(need(&entry.c, "C", entry)?),
         CheckKind::TruncateFaultRecovery => truncate_fault_recovery(need(&entry.c, "C", entry)?),
+        CheckKind::ChaosCrashRecovery => chaos_crash_recovery(need(&entry.c, "C", entry)?),
+        CheckKind::RespawnStormDegraded => respawn_storm_degraded(need(&entry.c, "C", entry)?),
     }
+}
+
+/// Supervision for corpus chaos replays: generous deadline (crashes do
+/// not hang), tiny backoff, a small respawn budget.
+fn corpus_supervision() -> Supervision {
+    Supervision {
+        deadline: Some(Duration::from_secs(10)),
+        ping_deadline: Duration::from_millis(200),
+        max_retries: 1,
+        max_respawns: 2,
+        backoff_base: Duration::from_micros(50),
+        backoff_cap: Duration::from_millis(2),
+        jitter_seed: 0xc0fe_efac_e5ca_1e01,
+    }
+}
+
+/// The crash-recovery reproducer: the engine dies at a fixed port call
+/// and the supervised session must still produce the fault-free trace.
+fn chaos_crash_recovery(src: &str) -> Result<(), String> {
+    let driver = Driver::new();
+    let mut reference =
+        MiTracker::load_c("corpus.c", src).map_err(|e| format!("reference load: {e}"))?;
+    let want = driver
+        .step_trace(&mut reference)
+        .map_err(|e| format!("reference run: {e}"))?;
+    reference.terminate();
+
+    let reg = obs::Registry::new();
+    let state = ChaosState::new();
+    let mut chaos = MiTracker::load_spec(
+        ProgramSpec::c("corpus.c", src),
+        reg.clone(),
+        corpus_supervision(),
+        Some(chaos_wrapper(
+            ChaosPlan {
+                at_call: 4,
+                fault: ChaosFault::Crash,
+            },
+            Arc::clone(&state),
+            reg.clone(),
+        )),
+    )
+    .map_err(|e| format!("chaos load: {e}"))?;
+    let got = driver
+        .step_trace(&mut chaos)
+        .map_err(|e| format!("chaos run: {e}"))?;
+    chaos.terminate();
+    if !state.fired() {
+        return Err("crash never fired; scenario too short for call 4".into());
+    }
+    if got != want {
+        return Err(format!(
+            "trace after recovery differs from the fault-free run:\n\
+             reference: {} steps, output {:?}, exit {:?}\n\
+             chaos:     {} steps, output {:?}, exit {:?}",
+            want.steps.len(),
+            want.output,
+            want.exit,
+            got.steps.len(),
+            got.output,
+            got.exit,
+        ));
+    }
+    let snap = reg.snapshot();
+    if snap.counter("mi.respawns") < 1 {
+        return Err("recovery happened without counting mi.respawns".into());
+    }
+    Ok(())
+}
+
+/// The respawn-storm reproducer: every incarnation is dead on arrival, so
+/// the session must exhaust its budget and degrade with a typed error.
+fn respawn_storm_degraded(src: &str) -> Result<(), String> {
+    let reg = obs::Registry::new();
+    let cfg = corpus_supervision();
+    let budget = cfg.max_respawns;
+    let mut t = MiTracker::load_spec(
+        ProgramSpec::c("corpus.c", src),
+        reg.clone(),
+        cfg,
+        Some(dead_wrapper()),
+    )
+    .map_err(|e| format!("load: {e}"))?;
+    match t.start() {
+        Err(TrackerError::SessionDegraded(_)) => {}
+        other => return Err(format!("expected SessionDegraded, got {other:?}")),
+    }
+    if t.respawns() != budget {
+        return Err(format!(
+            "expected exactly {budget} respawn attempts, saw {}",
+            t.respawns()
+        ));
+    }
+    if reg.snapshot().counter("mi.respawns") != u64::from(budget) {
+        return Err("mi.respawns does not match the attempts made".into());
+    }
+    t.terminate();
+    Ok(())
 }
 
 fn spawn_minic_engine(
@@ -373,7 +485,7 @@ fn spawn_minic_engine(
 ) -> Result<std::thread::JoinHandle<()>, String> {
     let program = minic::compile("corpus.c", src).map_err(|e| e.to_string())?;
     Ok(std::thread::spawn(move || {
-        Server::new(MinicEngine::new(&program), endpoint).serve();
+        let _ = Server::new(MinicEngine::new(&program), endpoint).serve();
     }))
 }
 
@@ -476,6 +588,8 @@ pub fn shrink_to_entry(
             | CheckKind::CrossLanguageOutput
             | CheckKind::DuplicateFaultRecovery
             | CheckKind::TruncateFaultRecovery
+            | CheckKind::ChaosCrashRecovery
+            | CheckKind::RespawnStormDegraded
     );
     let needs_py = matches!(
         check,

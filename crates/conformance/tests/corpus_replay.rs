@@ -83,18 +83,19 @@ const SPECS: &[(&str, u64, CheckKind)] = &[
         3,
         CheckKind::CrossLanguageOutput,
     ),
+    ("engine-crash-recovery", 1, CheckKind::ChaosCrashRecovery),
+    ("respawn-storm-degrades", 1, CheckKind::RespawnStormDegraded),
 ];
 
 fn rederive(name: &str, seed: u64, check: CheckKind) -> conformance::CorpusEntry {
     let mut fails: Box<dyn FnMut(&gen::Program) -> bool> = match check {
-        // The wire-fault scenarios reproduce with any program the
-        // generator emits; shrinking keeps only what the scenario needs
-        // to exchange a handful of frames.
-        CheckKind::DuplicateFaultRecovery => Box::new(move |p: &gen::Program| {
-            let entry = probe_entry(seed, check, p);
-            run_entry(&entry).is_ok()
-        }),
-        CheckKind::TruncateFaultRecovery => Box::new(move |p: &gen::Program| {
+        // The wire-fault and supervision scenarios reproduce with any
+        // program the generator emits; shrinking keeps only what the
+        // scenario needs to exchange a handful of frames.
+        CheckKind::DuplicateFaultRecovery
+        | CheckKind::TruncateFaultRecovery
+        | CheckKind::ChaosCrashRecovery
+        | CheckKind::RespawnStormDegraded => Box::new(move |p: &gen::Program| {
             let entry = probe_entry(seed, check, p);
             run_entry(&entry).is_ok()
         }),
@@ -129,6 +130,16 @@ fn rederive(name: &str, seed: u64, check: CheckKind) -> conformance::CorpusEntry
         CheckKind::CrossLanguageOutput => {
             "C/Py output equivalence on a program printing a negative value: \
              pins the truncating-modulo normalization in the Py rendering."
+        }
+        CheckKind::ChaosCrashRecovery => {
+            "An engine crash at port call 4 is survived transparently: the \
+             supervisor respawns, replays the session manifest, and the trace \
+             matches the fault-free run step for step."
+        }
+        CheckKind::RespawnStormDegraded => {
+            "An engine dead on every incarnation exhausts the respawn budget \
+             and degrades with a typed SessionDegraded error instead of \
+             retrying forever."
         }
         _ => unreachable!(),
     };

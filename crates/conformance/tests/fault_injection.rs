@@ -3,9 +3,13 @@
 //! Every [`FaultKind`] is driven through a real client/server pair at two
 //! levels: the raw MI [`Client`], and a full [`MiTracker`] speaking
 //! through the faulty port. The contract at both levels is the same —
-//! each injected fault surfaces as a *typed* error (or is transparently
-//! absorbed by the sequence-numbered envelope), never a panic, a hang,
-//! or a silent desync, and re-issuing the failed command succeeds.
+//! each injected wire fault surfaces as a *typed* error (or is
+//! transparently absorbed by the sequence-numbered envelope), never a
+//! panic, a hang, or a silent desync, and re-issuing the failed command
+//! succeeds. Liveness faults (hang, stall, crash) have their own
+//! contract: a hang expires the caller's deadline as [`MiError::Timeout`],
+//! a stall merely delays the answer, and a crash is a permanent
+//! [`MiError::Disconnected`].
 
 use conformance::gen;
 use conformance::{FaultKind, FaultTransport};
@@ -14,21 +18,24 @@ use mi::minic_engine::MinicEngine;
 use mi::protocol::{Command, Response};
 use mi::transport::{duplex, ChannelTransport};
 use mi::{Client, MiError, Server};
+use std::time::{Duration, Instant};
 
 fn spawn_engine(src: &str, endpoint: ChannelTransport) -> std::thread::JoinHandle<()> {
     let program = minic::compile("fault.c", src).expect("generated C compiles");
-    std::thread::spawn(move || Server::new(MinicEngine::new(&program), endpoint).serve())
+    std::thread::spawn(move || {
+        let _ = Server::new(MinicEngine::new(&program), endpoint).serve();
+    })
 }
 
 fn source() -> String {
     gen::render_c(&gen::gen_program(0))
 }
 
-/// Each fault kind at the raw client: typed error or transparent
+/// Each wire-fault kind at the raw client: typed error or transparent
 /// absorption, recovery on re-issue, and the injection counted.
 #[test]
 fn every_fault_kind_is_typed_and_recoverable_at_the_client() {
-    for kind in FaultKind::ALL {
+    for kind in FaultKind::WIRE {
         let reg = obs::Registry::new();
         let (a, b) = duplex();
         let handle = spawn_engine(&source(), b);
@@ -57,6 +64,7 @@ fn every_fault_kind_is_typed_and_recoverable_at_the_client() {
                     other => panic!("{}: expected the real answer, got {other:?}", kind.name()),
                 }
             }
+            other => unreachable!("{} is not a wire fault", other.name()),
         }
 
         // ...and in every case the re-issued (or next) command succeeds:
@@ -87,7 +95,7 @@ fn every_fault_kind_is_typed_and_recoverable_at_the_client() {
     }
 }
 
-/// Each fault kind through the full tracker API: [`TrackerError`]
+/// Each wire-fault kind through the full tracker API: [`TrackerError`]
 /// surfaces (or the fault is absorbed), and afterwards the tracker still
 /// drives the program to completion with the right output.
 #[test]
@@ -105,7 +113,7 @@ fn every_fault_kind_is_recoverable_at_the_tracker() {
     clean.terminate();
     assert!(!expected_output.is_empty());
 
-    for kind in FaultKind::ALL {
+    for kind in FaultKind::WIRE {
         let reg = obs::Registry::new();
         let (a, b) = duplex();
         let handle = spawn_engine(&src, b);
@@ -180,7 +188,7 @@ fn a_multi_fault_plan_is_survived_and_fully_counted() {
     handle.join().expect("engine thread lives");
 
     let snap = reg.snapshot();
-    for kind in FaultKind::ALL {
+    for kind in FaultKind::WIRE {
         assert_eq!(
             snap.counter(&format!("conformance.fault.injected.{}", kind.name())),
             1,
@@ -191,4 +199,102 @@ fn a_multi_fault_plan_is_survived_and_fully_counted() {
     // Truncate, Eof and Corrupt produce one typed error each; Duplicate
     // is absorbed.
     assert_eq!(typed_errors, 3);
+}
+
+/// A hung boundary expires the caller's deadline as a typed
+/// [`MiError::Timeout`] — the call never blocks past the deadline — and
+/// because the hang does not consume the in-flight frame, the envelope
+/// discards it as stale and the re-issued command succeeds.
+#[test]
+fn hang_faults_expire_the_deadline_and_recover_on_reissue() {
+    let reg = obs::Registry::new();
+    let (a, b) = duplex();
+    let handle = spawn_engine(&source(), b);
+    let mut client = Client::with_registry(
+        FaultTransport::single(a, 2, FaultKind::Hang, reg.clone()),
+        reg.clone(),
+    );
+    client.call(Command::Start).expect("clean start");
+
+    let deadline = Duration::from_millis(200);
+    let begin = Instant::now();
+    match client.call_deadline(Command::GetExitCode, Some(deadline)) {
+        Err(MiError::Timeout) => {}
+        other => panic!("expected Timeout from the hang, got {other:?}"),
+    }
+    let elapsed = begin.elapsed();
+    assert!(
+        elapsed >= deadline - Duration::from_millis(10),
+        "returned well before the deadline: {elapsed:?}"
+    );
+    assert!(
+        elapsed < deadline * 10,
+        "blocked far past the deadline: {elapsed:?}"
+    );
+
+    // The answer to the timed-out command is still in the pipe; the
+    // sequence number lets the next call discard it and take its own.
+    match client.call(Command::GetExitCode) {
+        Ok(Response::ExitCode(None)) => {}
+        other => panic!("re-issue after the hang failed: {other:?}"),
+    }
+    let _ = client.call(Command::Terminate);
+    handle.join().expect("engine thread lives");
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("conformance.fault.injected.hang"), 1);
+    assert_eq!(snap.counter("mi.client.stale_frames"), 1);
+}
+
+/// A stalled boundary delays the answer but still delivers it: a
+/// generous deadline absorbs the stall with no error at all.
+#[test]
+fn stall_faults_delay_but_deliver() {
+    let reg = obs::Registry::new();
+    let (a, b) = duplex();
+    let handle = spawn_engine(&source(), b);
+    let mut client = Client::with_registry(
+        FaultTransport::single(a, 2, FaultKind::Stall, reg.clone()),
+        reg.clone(),
+    );
+    client.call(Command::Start).expect("clean start");
+    match client.call_deadline(Command::GetExitCode, Some(Duration::from_secs(10))) {
+        Ok(Response::ExitCode(None)) => {}
+        other => panic!("stall should only delay, got {other:?}"),
+    }
+    let _ = client.call(Command::Terminate);
+    handle.join().expect("engine thread lives");
+    assert_eq!(
+        reg.snapshot().counter("conformance.fault.injected.stall"),
+        1
+    );
+}
+
+/// A crashed boundary is a permanent, typed [`MiError::Disconnected`]:
+/// the first call fails and so does every later one — recovery at this
+/// level is impossible by design; it is the supervisor's job.
+#[test]
+fn crash_faults_are_permanent_disconnects() {
+    let reg = obs::Registry::new();
+    let (a, b) = duplex();
+    let handle = spawn_engine(&source(), b);
+    let mut client = Client::with_registry(
+        FaultTransport::single(a, 2, FaultKind::Crash, reg.clone()),
+        reg.clone(),
+    );
+    client.call(Command::Start).expect("clean start");
+    match client.call(Command::GetExitCode) {
+        Err(MiError::Disconnected) => {}
+        other => panic!("expected Disconnected from the crash, got {other:?}"),
+    }
+    match client.call(Command::GetExitCode) {
+        Err(MiError::Disconnected) => {}
+        other => panic!("a crash must be permanent, got {other:?}"),
+    }
+    drop(client);
+    handle.join().expect("engine thread lives");
+    assert_eq!(
+        reg.snapshot().counter("conformance.fault.injected.crash"),
+        1
+    );
 }

@@ -57,7 +57,7 @@ pub mod mi_tracker;
 pub mod py_tracker;
 pub mod recording;
 
-pub use mi_tracker::MiTracker;
+pub use mi_tracker::{MiTracker, PortWrapper, ProgramSpec, SessionHealth, Supervision};
 pub use py_tracker::PyTracker;
 pub use recording::{RecordedStep, Recording, ReplayTracker};
 
@@ -85,6 +85,12 @@ pub enum TrackerError {
     NotStarted,
     /// The operation is not supported by this tracker.
     Unsupported(String),
+    /// The supervised session lost its engine and could not re-establish
+    /// an equivalent one (respawn budget exhausted, or the re-established
+    /// state diverged from the journal). The tracker stays alive but
+    /// refuses further engine traffic rather than answering from a state
+    /// it cannot vouch for.
+    SessionDegraded(String),
 }
 
 impl fmt::Display for TrackerError {
@@ -95,6 +101,7 @@ impl fmt::Display for TrackerError {
             TrackerError::Engine(m) => write!(f, "{m}"),
             TrackerError::NotStarted => write!(f, "inferior not started"),
             TrackerError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            TrackerError::SessionDegraded(m) => write!(f, "session degraded: {m}"),
         }
     }
 }

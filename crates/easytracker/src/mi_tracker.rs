@@ -6,71 +6,258 @@
 //! subprocess. All state crossing the boundary is serialized and
 //! deserialized, so this tracker pays the real marshalling cost the
 //! benchmarks measure.
+//!
+//! # Supervision
+//!
+//! A real debugger backend can die or wedge at any moment; a tracker
+//! that hangs or panics with it is useless for building tools. This
+//! tracker therefore *supervises* its session:
+//!
+//! * every MI call runs under a deadline (via
+//!   [`mi::SupervisedClient`]), with bounded retries for idempotent
+//!   commands — no call blocks forever against a wedged boundary;
+//! * sessions loaded from source keep a declarative **manifest**: the
+//!   program spec plus a journal of every successful control command
+//!   (with its observed [`PauseReason`]) and every armed/disarmed
+//!   control point;
+//! * when the engine is lost (child killed, thread wedged, pipe broken)
+//!   the tracker respawns it from the spec, re-arms every control point,
+//!   and deterministically fast-forwards the fresh engine through the
+//!   journal, verifying that ids and pause reasons match the original
+//!   run step by step;
+//! * when re-establishment is impossible — the respawn budget runs out,
+//!   or the replayed run diverges from the journal — the session
+//!   *degrades*: it stays alive, keeps its last known state, and answers
+//!   every further engine request with
+//!   [`TrackerError::SessionDegraded`] instead of guessing.
+//!
+//! Recovery is observable: `mi.respawns`, `mi.retries`,
+//! `mi.heartbeat_misses` counters and the `mi.supervisor.recovery`
+//! latency histogram all land in the tracker's [`obs::Registry`].
 
 use crate::{ControlPointId, LowLevel, Result, Tracker, TrackerError};
 use mi::protocol::{Command, Response};
-use mi::transport::{StreamTransport, Transport as _};
-use mi::{CommandPort, Session};
+use mi::supervise::jittered_backoff;
+use mi::transport::PumpedTransport;
+use mi::{CommandPort, MiError, SupervisePolicy, SupervisedClient};
 use state::{Frame, PauseReason, ProgramState, Variable};
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// Where the engine on the other side of the MI boundary lives.
-///
-/// The tracker code above this enum is identical for every variant —
-/// that is the conformance suite's central claim, so the boundary is an
-/// explicit seam rather than a hard-coded thread spawn.
-enum Backend {
-    /// Engine on an in-process thread over channel transports (the
-    /// default, what `spawn_minic`/`spawn_asm` build).
-    Session(Session),
-    /// Any [`CommandPort`]: a client over a custom transport, e.g. the
-    /// conformance suite's fault-injection proxy.
-    Port(Box<dyn CommandPort>),
-    /// Engine in a separate `mi-server` OS process over real pipes (the
-    /// paper's `gdb --interpreter=mi` deployment, made literal).
-    Process {
-        port: Box<dyn CommandPort>,
-        child: std::process::Child,
-        /// Temp dir holding the shipped source; removed on terminate.
-        scratch: Option<PathBuf>,
+/// A hook interposed between the supervisor and the raw engine port,
+/// applied at the initial spawn *and at every respawn*. The conformance
+/// suite uses this to inject chaos faults that survive recovery (the
+/// closure captures shared state, so a schedule can fire once across the
+/// whole supervised session).
+pub type PortWrapper = Box<dyn FnMut(Box<dyn CommandPort>) -> Box<dyn CommandPort> + Send>;
+
+/// Supervision knobs for an [`MiTracker`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Per-command roundtrip deadline (`None` = unbounded).
+    pub deadline: Option<Duration>,
+    /// Deadline for [`MiTracker::heartbeat`] probes.
+    pub ping_deadline: Duration,
+    /// Command-level retries for idempotent commands (see
+    /// [`Command::is_idempotent`]).
+    pub max_retries: u32,
+    /// Total engine respawns allowed over the session's lifetime; when
+    /// exhausted the session degrades instead of looping.
+    pub max_respawns: u32,
+    /// Backoff before the first retry/respawn; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter (fixed so test runs are reproducible).
+    pub jitter_seed: u64,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            deadline: Some(Duration::from_secs(30)),
+            ping_deadline: Duration::from_secs(1),
+            max_retries: 2,
+            max_respawns: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+            jitter_seed: 0x00e5_7a6e_5eed_0001,
+        }
+    }
+}
+
+impl Supervision {
+    /// A configuration that changes nothing: no deadline, no retries, no
+    /// respawns. What [`MiTracker::from_port`] uses, since an opaque port
+    /// has no spec to respawn from.
+    pub fn passthrough() -> Self {
+        Supervision {
+            deadline: None,
+            max_retries: 0,
+            max_respawns: 0,
+            ..Supervision::default()
+        }
+    }
+
+    fn policy(&self) -> SupervisePolicy {
+        SupervisePolicy {
+            deadline: self.deadline,
+            ping_deadline: self.ping_deadline,
+            max_retries: self.max_retries,
+            backoff_base: self.backoff_base,
+            backoff_cap: self.backoff_cap,
+            jitter_seed: self.jitter_seed,
+        }
+    }
+}
+
+/// Whether the supervised session can still vouch for its answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionHealth {
+    /// Everything the tracker reports reflects a live, journal-consistent
+    /// engine (possibly a respawned one).
+    Healthy,
+    /// The engine was lost and could not be re-established; engine
+    /// requests now fail with [`TrackerError::SessionDegraded`].
+    Degraded {
+        /// Why recovery gave up.
+        reason: String,
     },
 }
 
-impl Backend {
-    fn call(&mut self, command: Command) -> std::result::Result<Response, mi::MiError> {
-        match self {
-            Backend::Session(s) => s.client.call(command),
-            Backend::Port(p) => p.call(command),
-            Backend::Process { port, .. } => port.call(command),
+/// Inferior language of a [`ProgramSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lang {
+    C,
+    Asm,
+}
+
+/// Where the engine runs.
+#[derive(Debug, Clone)]
+enum Deploy {
+    /// Engine thread in this process, channel transport.
+    InProcess,
+    /// `mi-server` child process over stdio pipes.
+    Process { server_bin: PathBuf },
+}
+
+/// The declarative half of the session manifest: everything needed to
+/// build an equivalent fresh engine. Cheap to clone; the journal (the
+/// imperative half) lives on the tracker.
+#[derive(Debug, Clone)]
+pub struct ProgramSpec {
+    file: String,
+    source: String,
+    lang: Lang,
+    deploy: Deploy,
+}
+
+impl ProgramSpec {
+    /// A MiniC program, engine on an in-process thread.
+    pub fn c(file: &str, source: &str) -> Self {
+        ProgramSpec {
+            file: file.to_owned(),
+            source: source.to_owned(),
+            lang: Lang::C,
+            deploy: Deploy::InProcess,
         }
     }
 
-    fn counters(&self) -> mi::transport::TransportCounters {
-        match self {
-            Backend::Session(s) => s.client.transport().counters(),
-            Backend::Port(p) => p.counters(),
-            Backend::Process { port, .. } => port.counters(),
+    /// A RISC-V assembly program, engine on an in-process thread.
+    pub fn asm(file: &str, source: &str) -> Self {
+        ProgramSpec {
+            file: file.to_owned(),
+            source: source.to_owned(),
+            lang: Lang::Asm,
+            deploy: Deploy::InProcess,
         }
+    }
+
+    /// Moves the engine into an `mi-server` child process at `server_bin`
+    /// (the paper's `gdb --interpreter=mi` deployment shape).
+    pub fn via_server(mut self, server_bin: &Path) -> Self {
+        self.deploy = Deploy::Process {
+            server_bin: server_bin.to_owned(),
+        };
+        self
     }
 }
 
-impl std::fmt::Debug for Backend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Backend::Session(_) => f.write_str("Backend::Session"),
-            Backend::Port(_) => f.write_str("Backend::Port"),
-            Backend::Process { .. } => f.write_str("Backend::Process"),
-        }
-    }
+/// One replayable step of the session journal.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    /// A control command and the pause it produced.
+    Control { cmd: Command, reason: PauseReason },
+    /// A control point armed, and the id the engine assigned.
+    Arm { cmd: Command, id: ControlPointId },
+    /// A control point removed.
+    Disarm { id: ControlPointId },
+}
+
+/// How the engine behind the port is owned (for teardown and liveness
+/// classification).
+enum EngineKind {
+    /// In-process engine thread (what `spawn_minic`/`spawn_asm` build).
+    Thread {
+        handle: Option<std::thread::JoinHandle<()>>,
+    },
+    /// `mi-server` child process.
+    Child {
+        child: std::process::Child,
+        /// Rolling tail of the child's stderr, drained by a thread.
+        stderr: Arc<Mutex<String>>,
+        /// Temp dir holding the shipped source; removed on teardown.
+        scratch: Option<PathBuf>,
+    },
+    /// An opaque port from [`MiTracker::from_port`]; nothing to tear
+    /// down or respawn.
+    External,
+}
+
+/// A live connection: supervised port plus engine ownership.
+struct Backend {
+    port: SupervisedClient<Box<dyn CommandPort>>,
+    engine: EngineKind,
+}
+
+/// Replay verdicts recovery has to tell apart: a lost engine is worth
+/// another respawn, a diverging one is not (deterministic engines would
+/// diverge again).
+enum ReplayOutcome {
+    Diverged(String),
+    Lost,
 }
 
 /// Tracker for MiniC and RISC-V inferiors behind the MI boundary.
-#[derive(Debug)]
 pub struct MiTracker {
     backend: Option<Backend>,
+    spec: Option<ProgramSpec>,
+    wrapper: Option<PortWrapper>,
+    cfg: Supervision,
+    journal: Vec<JournalEntry>,
+    /// Output already handed to the user via `get_output`.
+    drained: String,
+    /// Output recovered during replay that the user has not drained yet.
+    pending_output: String,
+    health: SessionHealth,
+    respawns_used: u32,
+    rng: u64,
     last_reason: PauseReason,
     started: bool,
     obs: obs::Registry,
+}
+
+impl std::fmt::Debug for MiTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiTracker")
+            .field("live", &self.backend.is_some())
+            .field("health", &self.health)
+            .field("journal_len", &self.journal.len())
+            .field("respawns_used", &self.respawns_used)
+            .finish()
+    }
 }
 
 impl MiTracker {
@@ -90,12 +277,12 @@ impl MiTracker {
     ///
     /// Returns [`TrackerError::Load`] for compile errors.
     pub fn load_c_with_registry(file: &str, source: &str, registry: obs::Registry) -> Result<Self> {
-        let program =
-            minic::compile(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
-        Ok(Self::with_backend(
-            Backend::Session(mi::spawn_minic_with_registry(&program, registry.clone())),
+        Self::load_spec(
+            ProgramSpec::c(file, source),
             registry,
-        ))
+            Supervision::default(),
+            None,
+        )
     }
 
     /// Assembles RISC-V source and attaches an engine to it.
@@ -117,33 +304,81 @@ impl MiTracker {
         source: &str,
         registry: obs::Registry,
     ) -> Result<Self> {
-        let program =
-            miniasm::asm::assemble(file, source).map_err(|e| TrackerError::Load(e.to_string()))?;
-        Ok(Self::with_backend(
-            Backend::Session(mi::spawn_asm_with_registry(&program, registry.clone())),
+        Self::load_spec(
+            ProgramSpec::asm(file, source),
             registry,
-        ))
+            Supervision::default(),
+            None,
+        )
     }
 
-    fn with_backend(backend: Backend, registry: obs::Registry) -> Self {
-        MiTracker {
+    /// The fully general supervised constructor: builds (and on failure
+    /// rebuilds) the engine from `spec`, supervised per `cfg`, with
+    /// `wrapper` interposed between supervisor and engine port at every
+    /// (re)spawn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] when the program does not
+    /// compile/assemble or the server process cannot be spawned.
+    pub fn load_spec(
+        spec: ProgramSpec,
+        registry: obs::Registry,
+        cfg: Supervision,
+        mut wrapper: Option<PortWrapper>,
+    ) -> Result<Self> {
+        let backend = Self::build_backend(&spec, &registry, &cfg, wrapper.as_mut())?;
+        Ok(MiTracker {
             backend: Some(backend),
+            spec: Some(spec),
+            wrapper,
+            cfg,
+            journal: Vec::new(),
+            drained: String::new(),
+            pending_output: String::new(),
+            health: SessionHealth::Healthy,
+            respawns_used: 0,
+            rng: cfg.jitter_seed | 1,
             last_reason: PauseReason::NotStarted,
             started: false,
             obs: registry,
-        }
+        })
     }
 
     /// Attaches the tracker to an already-connected [`CommandPort`] —
     /// any client over any transport. The conformance suite uses this to
     /// interpose a fault-injection proxy between tracker and engine.
+    ///
+    /// Opaque ports carry no program spec, so there is nothing to
+    /// respawn from: supervision is passthrough (no deadline, no retry)
+    /// and every transport fault surfaces directly, exactly as an
+    /// unsupervised session would report it.
     pub fn from_port(port: Box<dyn CommandPort>) -> Self {
         Self::from_port_with_registry(port, obs::Registry::new())
     }
 
     /// Like [`MiTracker::from_port`], reporting into `registry`.
     pub fn from_port_with_registry(port: Box<dyn CommandPort>, registry: obs::Registry) -> Self {
-        Self::with_backend(Backend::Port(port), registry)
+        let cfg = Supervision::passthrough();
+        let port = SupervisedClient::with_registry(port, cfg.policy(), registry.clone());
+        MiTracker {
+            backend: Some(Backend {
+                port,
+                engine: EngineKind::External,
+            }),
+            spec: None,
+            wrapper: None,
+            cfg,
+            journal: Vec::new(),
+            drained: String::new(),
+            pending_output: String::new(),
+            health: SessionHealth::Healthy,
+            respawns_used: 0,
+            rng: cfg.jitter_seed | 1,
+            last_reason: PauseReason::NotStarted,
+            started: false,
+            obs: registry,
+        }
     }
 
     /// Spawns `mi-server` (at `server_bin`) as a real child process for a
@@ -159,7 +394,12 @@ impl MiTracker {
     /// Returns [`TrackerError::Load`] if the scratch file cannot be
     /// written or the server process cannot be spawned.
     pub fn load_c_process(server_bin: &Path, file: &str, source: &str) -> Result<Self> {
-        Self::load_process(server_bin, file, source, "prog.c")
+        Self::load_spec(
+            ProgramSpec::c(file, source).via_server(server_bin),
+            obs::Registry::new(),
+            Supervision::default(),
+            None,
+        )
     }
 
     /// Like [`MiTracker::load_c_process`], for RISC-V assembly.
@@ -168,36 +408,77 @@ impl MiTracker {
     ///
     /// Returns [`TrackerError::Load`] on scratch-file or spawn failure.
     pub fn load_asm_process(server_bin: &Path, file: &str, source: &str) -> Result<Self> {
-        Self::load_process(server_bin, file, source, "prog.s")
+        Self::load_spec(
+            ProgramSpec::asm(file, source).via_server(server_bin),
+            obs::Registry::new(),
+            Supervision::default(),
+            None,
+        )
     }
 
-    fn load_process(
+    fn build_backend(
+        spec: &ProgramSpec,
+        registry: &obs::Registry,
+        cfg: &Supervision,
+        wrapper: Option<&mut PortWrapper>,
+    ) -> Result<Backend> {
+        let (base, engine): (Box<dyn CommandPort>, EngineKind) = match &spec.deploy {
+            Deploy::InProcess => {
+                let session = match spec.lang {
+                    Lang::C => {
+                        let program = minic::compile(&spec.file, &spec.source)
+                            .map_err(|e| TrackerError::Load(e.to_string()))?;
+                        mi::spawn_minic_with_registry(&program, registry.clone())
+                    }
+                    Lang::Asm => {
+                        let program = miniasm::asm::assemble(&spec.file, &spec.source)
+                            .map_err(|e| TrackerError::Load(e.to_string()))?;
+                        mi::spawn_asm_with_registry(&program, registry.clone())
+                    }
+                };
+                let (client, handle) = session.into_parts();
+                (Box::new(client), EngineKind::Thread { handle })
+            }
+            Deploy::Process { server_bin } => Self::spawn_server(server_bin, spec, registry)?,
+        };
+        let port = match wrapper {
+            Some(w) => w(base),
+            None => base,
+        };
+        let port = SupervisedClient::with_registry(port, cfg.policy(), registry.clone());
+        Ok(Backend { port, engine })
+    }
+
+    fn spawn_server(
         server_bin: &Path,
-        file: &str,
-        source: &str,
-        scratch_name: &str,
-    ) -> Result<Self> {
+        spec: &ProgramSpec,
+        registry: &obs::Registry,
+    ) -> Result<(Box<dyn CommandPort>, EngineKind)> {
         use std::io::Write as _;
         use std::process::{Command as Proc, Stdio};
 
         let load = |e: &dyn std::fmt::Display| TrackerError::Load(e.to_string());
-        // A private scratch dir per tracker: pid + a process-wide counter
+        // A private scratch dir per spawn: pid + a process-wide counter
         // keeps concurrent trackers (and concurrent test binaries) apart.
         static SCRATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let seq = SCRATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let dir = std::env::temp_dir().join(format!("easytracker-mi-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir).map_err(|e| load(&e))?;
+        let scratch_name = match spec.lang {
+            Lang::C => "prog.c",
+            Lang::Asm => "prog.s",
+        };
         let path = dir.join(scratch_name);
         std::fs::File::create(&path)
-            .and_then(|mut f| f.write_all(source.as_bytes()))
+            .and_then(|mut f| f.write_all(spec.source.as_bytes()))
             .map_err(|e| load(&e))?;
 
         let mut child = Proc::new(server_bin)
             .arg(&path)
-            .arg(file)
+            .arg(&spec.file)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .stderr(Stdio::null())
+            .stderr(Stdio::piped())
             .spawn()
             .map_err(|e| {
                 let _ = std::fs::remove_dir_all(&dir);
@@ -205,14 +486,19 @@ impl MiTracker {
             })?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
-        let port = Box::new(mi::Client::new(StreamTransport::new(stdout, stdin)));
-        Ok(Self::with_backend(
-            Backend::Process {
-                port,
+        let stderr = tail_stderr(child.stderr.take().expect("piped stderr"));
+        // A pumped transport so receives can honor deadlines: the reader
+        // thread blocks on the pipe, the tracker blocks on a channel.
+        let transport = PumpedTransport::spawn(stdout, stdin);
+        let port: Box<dyn CommandPort> =
+            Box::new(mi::Client::with_registry(transport, registry.clone()));
+        Ok((
+            port,
+            EngineKind::Child {
                 child,
+                stderr,
                 scratch: Some(dir),
             },
-            obs::Registry::new(),
         ))
     }
 
@@ -221,16 +507,247 @@ impl MiTracker {
         &self.obs
     }
 
-    fn call(&mut self, command: Command) -> Result<Response> {
+    /// The active supervision configuration.
+    pub fn supervision(&self) -> Supervision {
+        self.cfg
+    }
+
+    /// Replaces the supervision configuration (deadlines, retry and
+    /// respawn budgets) for all subsequent calls.
+    pub fn set_supervision(&mut self, cfg: Supervision) {
+        self.cfg = cfg;
+        self.rng = cfg.jitter_seed | 1;
+        if let Some(b) = &mut self.backend {
+            b.port.set_policy(cfg.policy());
+        }
+    }
+
+    /// Whether the session can still vouch for its answers.
+    pub fn health(&self) -> &SessionHealth {
+        &self.health
+    }
+
+    /// Engine respawns performed so far.
+    pub fn respawns(&self) -> u32 {
+        self.respawns_used
+    }
+
+    /// OS pid of the `mi-server` child, for process-deployed sessions.
+    /// Fault-injection tests use this to kill the engine out from under
+    /// the tracker.
+    pub fn engine_pid(&self) -> Option<u32> {
+        match &self.backend {
+            Some(Backend {
+                engine: EngineKind::Child { child, .. },
+                ..
+            }) => Some(child.id()),
+            _ => None,
+        }
+    }
+
+    /// One bounded liveness probe of the MI boundary (`Ping`/`Pong`,
+    /// answered by the serve loop without touching the engine). A miss
+    /// bumps the `mi.heartbeat_misses` counter.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Protocol`] describing the miss; also fails on
+    /// degraded or terminated sessions.
+    pub fn heartbeat(&mut self) -> Result<()> {
+        if let SessionHealth::Degraded { reason } = &self.health {
+            return Err(TrackerError::SessionDegraded(reason.clone()));
+        }
         let backend = self
             .backend
             .as_mut()
             .ok_or_else(|| TrackerError::Engine("tracker already terminated".into()))?;
-        let resp = backend.call(command)?;
-        if let Response::Error { message } = resp {
-            return Err(TrackerError::Engine(message));
+        backend.port.ping().map_err(Into::into)
+    }
+
+    fn call(&mut self, command: Command) -> Result<Response> {
+        if let SessionHealth::Degraded { reason } = &self.health {
+            return Err(TrackerError::SessionDegraded(reason.clone()));
         }
-        Ok(resp)
+        loop {
+            let backend = self
+                .backend
+                .as_mut()
+                .ok_or_else(|| TrackerError::Engine("tracker already terminated".into()))?;
+            match backend.port.call(command.clone()) {
+                Ok(Response::Error { message }) => return Err(TrackerError::Engine(message)),
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    let e = classify_failure(e, &mut backend.engine);
+                    let recoverable = self.spec.is_some()
+                        && matches!(
+                            e,
+                            MiError::Timeout | MiError::Disconnected | MiError::EngineDied { .. }
+                        );
+                    if !recoverable {
+                        return Err(e.into());
+                    }
+                    // Respawn, replay the journal, then re-issue the
+                    // failed command against the re-established state.
+                    // The loop is bounded: every pass through recover()
+                    // consumes respawn budget, which never resets.
+                    self.recover(&e)?;
+                }
+            }
+        }
+    }
+
+    /// Re-establishes a live, journal-consistent engine after `trigger`,
+    /// or degrades the session.
+    fn recover(&mut self, trigger: &MiError) -> Result<()> {
+        let spec = self.spec.clone().expect("recover requires a program spec");
+        // A timeout may be a wedged boundary or merely a slow engine:
+        // probe once so the miss is visible in metrics before teardown.
+        if matches!(trigger, MiError::Timeout) {
+            if let Some(b) = &mut self.backend {
+                let _ = b.port.ping();
+            }
+        }
+        let started_at = Instant::now();
+        loop {
+            if self.respawns_used >= self.cfg.max_respawns {
+                return Err(self.degrade(format!(
+                    "engine lost ({trigger}) and respawn budget ({}) exhausted",
+                    self.cfg.max_respawns
+                )));
+            }
+            let attempt = self.respawns_used;
+            self.respawns_used += 1;
+            self.obs.inc("mi.respawns");
+            self.teardown_backend();
+            let sleep = jittered_backoff(
+                self.cfg.backoff_base,
+                self.cfg.backoff_cap,
+                attempt,
+                &mut self.rng,
+            );
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+            match Self::build_backend(&spec, &self.obs, &self.cfg, self.wrapper.as_mut()) {
+                Ok(b) => self.backend = Some(b),
+                // The program compiled when the session was loaded, so a
+                // rebuild failure here is spawn-level and possibly
+                // transient: spend another attempt on it.
+                Err(_) => continue,
+            }
+            match self.replay_journal() {
+                Ok(()) => {
+                    self.obs
+                        .record_duration("mi.supervisor.recovery", started_at.elapsed());
+                    return Ok(());
+                }
+                Err(ReplayOutcome::Diverged(msg)) => {
+                    // Deterministic engines would diverge identically on
+                    // the next attempt; respawning again cannot help.
+                    return Err(self.degrade(format!(
+                        "re-established engine diverged from the session journal: {msg}"
+                    )));
+                }
+                Err(ReplayOutcome::Lost) => continue,
+            }
+        }
+    }
+
+    /// Fast-forwards a freshly spawned engine through the journal,
+    /// verifying every assigned id and pause reason, then reconciles the
+    /// output stream against what the user has already drained.
+    fn replay_journal(&mut self) -> std::result::Result<(), ReplayOutcome> {
+        let backend = self.backend.as_mut().expect("replay needs a live backend");
+        for entry in &self.journal {
+            match entry {
+                JournalEntry::Control { cmd, reason } => match backend.port.call(cmd.clone()) {
+                    Ok(Response::Paused(r)) if r == *reason => {}
+                    Ok(other) => {
+                        return Err(ReplayOutcome::Diverged(format!(
+                            "replaying `{}` expected pause `{reason}`, got {other:?}",
+                            cmd.kind()
+                        )))
+                    }
+                    Err(_) => return Err(ReplayOutcome::Lost),
+                },
+                JournalEntry::Arm { cmd, id } => match backend.port.call(cmd.clone()) {
+                    Ok(Response::Created { id: got }) if got == *id => {}
+                    Ok(other) => {
+                        return Err(ReplayOutcome::Diverged(format!(
+                            "re-arming `{}` expected control point {id}, got {other:?}",
+                            cmd.kind()
+                        )))
+                    }
+                    Err(_) => return Err(ReplayOutcome::Lost),
+                },
+                JournalEntry::Disarm { id } => {
+                    match backend.port.call(Command::Delete { id: *id }) {
+                        Ok(Response::Ok) => {}
+                        Ok(other) => {
+                            return Err(ReplayOutcome::Diverged(format!(
+                                "re-deleting control point {id} got {other:?}"
+                            )))
+                        }
+                        Err(_) => return Err(ReplayOutcome::Lost),
+                    }
+                }
+            }
+        }
+        // The fresh engine re-produced all output since program start;
+        // what the user already saw must be a prefix of it. The rest is
+        // held pending for the next `get_output`.
+        match backend.port.call(Command::GetOutput) {
+            Ok(Response::Output(full)) => match full.strip_prefix(self.drained.as_str()) {
+                Some(rest) => {
+                    self.pending_output = rest.to_owned();
+                    Ok(())
+                }
+                None => Err(ReplayOutcome::Diverged(
+                    "replayed output does not extend the output already delivered".into(),
+                )),
+            },
+            Ok(other) => Err(ReplayOutcome::Diverged(format!(
+                "output reconciliation got {other:?}"
+            ))),
+            Err(_) => Err(ReplayOutcome::Lost),
+        }
+    }
+
+    /// Marks the session unusable and releases the engine.
+    fn degrade(&mut self, reason: String) -> TrackerError {
+        self.teardown_backend();
+        self.health = SessionHealth::Degraded {
+            reason: reason.clone(),
+        };
+        TrackerError::SessionDegraded(reason)
+    }
+
+    /// Non-graceful teardown: no Terminate handshake, just release.
+    fn teardown_backend(&mut self) {
+        let Some(Backend { port, engine }) = self.backend.take() else {
+            return;
+        };
+        // Dropping the port disconnects the transport: an in-process
+        // serve loop exits on it, a child reads EOF on stdin.
+        drop(port);
+        match engine {
+            EngineKind::Thread { handle } => {
+                // The serve loop exits promptly on disconnect; detaching
+                // instead of joining keeps teardown bounded even when the
+                // thread is wedged mid-fault.
+                drop(handle);
+            }
+            EngineKind::Child {
+                mut child, scratch, ..
+            } => {
+                let _ = child.kill();
+                let _ = child.wait();
+                if let Some(dir) = scratch {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+            EngineKind::External => {}
+        }
     }
 
     fn inspect(&mut self, command: Command) -> Result<Response> {
@@ -241,10 +758,16 @@ impl MiTracker {
     fn control(&mut self, command: Command) -> Result<PauseReason> {
         let mut span = self.obs.span(format!("tracker.control.{}", command.kind()));
         span.category("tracker");
-        match self.call(command)? {
+        match self.call(command.clone())? {
             Response::Paused(reason) => {
                 span.tag("pause_reason", reason.tag());
                 self.last_reason = reason.clone();
+                if self.spec.is_some() {
+                    self.journal.push(JournalEntry::Control {
+                        cmd: command,
+                        reason: reason.clone(),
+                    });
+                }
                 Ok(reason)
             }
             other => Err(TrackerError::Protocol(format!(
@@ -256,8 +779,13 @@ impl MiTracker {
     fn created(&mut self, command: Command) -> Result<ControlPointId> {
         self.obs
             .inc(&format!("tracker.control_point.{}", command.kind()));
-        match self.call(command)? {
-            Response::Created { id } => Ok(id),
+        match self.call(command.clone())? {
+            Response::Created { id } => {
+                if self.spec.is_some() {
+                    self.journal.push(JournalEntry::Arm { cmd: command, id });
+                }
+                Ok(id)
+            }
             other => Err(TrackerError::Protocol(format!(
                 "expected creation report, got {other:?}"
             ))),
@@ -268,8 +796,58 @@ impl MiTracker {
     pub fn bytes_transferred(&self) -> u64 {
         self.backend
             .as_ref()
-            .map(|b| b.counters().bytes_total())
+            .map(|b| b.port.counters().bytes_total())
             .unwrap_or(0)
+    }
+}
+
+/// Drains a child's stderr on a thread into a rolling tail, so engine
+/// diagnostics survive the child and can be attached to
+/// [`MiError::EngineDied`].
+fn tail_stderr(mut stderr: std::process::ChildStderr) -> Arc<Mutex<String>> {
+    const TAIL_CAP: usize = 8 * 1024;
+    let tail = Arc::new(Mutex::new(String::new()));
+    let sink = Arc::clone(&tail);
+    let _ = std::thread::Builder::new()
+        .name("mi-stderr-tail".into())
+        .spawn(move || {
+            let mut buf = [0u8; 1024];
+            loop {
+                match stderr.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        let mut tail = sink.lock().unwrap();
+                        tail.push_str(&String::from_utf8_lossy(&buf[..n]));
+                        if tail.len() > TAIL_CAP {
+                            let mut cut = tail.len() - TAIL_CAP;
+                            while !tail.is_char_boundary(cut) {
+                                cut += 1;
+                            }
+                            tail.drain(..cut);
+                        }
+                    }
+                }
+            }
+        });
+    tail
+}
+
+/// Upgrades a bare transport failure to [`MiError::EngineDied`] when the
+/// child process is confirmed gone, attaching its exit status and stderr
+/// tail.
+fn classify_failure(e: MiError, engine: &mut EngineKind) -> MiError {
+    let EngineKind::Child { child, stderr, .. } = engine else {
+        return e;
+    };
+    if !matches!(e, MiError::Disconnected | MiError::Timeout) {
+        return e;
+    }
+    match child.try_wait() {
+        Ok(Some(status)) => MiError::EngineDied {
+            exit: status.code(),
+            stderr: stderr.lock().unwrap().clone(),
+        },
+        _ => e,
     }
 }
 
@@ -326,25 +904,32 @@ impl Tracker for MiTracker {
 
     fn remove(&mut self, id: ControlPointId) -> Result<()> {
         self.call(Command::Delete { id })?;
+        if self.spec.is_some() {
+            self.journal.push(JournalEntry::Disarm { id });
+        }
         Ok(())
     }
 
     fn terminate(&mut self) {
-        match self.backend.take() {
-            Some(Backend::Session(session)) => session.shutdown(),
-            Some(Backend::Port(mut port)) => {
-                let _ = port.call(Command::Terminate);
+        let Some(Backend { mut port, engine }) = self.backend.take() else {
+            return;
+        };
+        // Bounded farewell: a wedged engine must not block terminate.
+        let _ = port.call_deadline(Command::Terminate, Some(Duration::from_secs(2)));
+        drop(port);
+        match engine {
+            EngineKind::Thread { handle } => {
+                // Disconnect (from the port drop) ends the serve loop
+                // even when Terminate itself was swallowed by a fault.
+                if let Some(h) = handle {
+                    let _ = h.join();
+                }
             }
-            Some(Backend::Process {
-                mut port,
-                mut child,
-                scratch,
-            }) => {
-                let _ = port.call(Command::Terminate);
-                // Dropping the port closes the child's stdin, which its
-                // serve loop reads as EOF; give it a bounded grace
-                // period before resorting to a kill.
-                drop(port);
+            EngineKind::Child {
+                mut child, scratch, ..
+            } => {
+                // Closing stdin is EOF for the child's serve loop; give
+                // it a bounded grace period before resorting to a kill.
                 let mut exited = false;
                 for _ in 0..100 {
                     match child.try_wait() {
@@ -352,7 +937,7 @@ impl Tracker for MiTracker {
                             exited = true;
                             break;
                         }
-                        Ok(None) => std::thread::sleep(std::time::Duration::from_millis(20)),
+                        Ok(None) => std::thread::sleep(Duration::from_millis(20)),
                         Err(_) => break,
                     }
                 }
@@ -364,7 +949,7 @@ impl Tracker for MiTracker {
                     let _ = std::fs::remove_dir_all(dir);
                 }
             }
-            None => {}
+            EngineKind::External => {}
         }
     }
 
@@ -414,7 +999,15 @@ impl Tracker for MiTracker {
 
     fn get_output(&mut self) -> Result<String> {
         match self.inspect(Command::GetOutput)? {
-            Response::Output(o) => Ok(o),
+            Response::Output(o) => {
+                // Output recovered during a respawn is delivered first;
+                // `drained` tracks the full stream the user has seen so
+                // reconciliation after the *next* crash has a baseline.
+                let mut out = std::mem::take(&mut self.pending_output);
+                out.push_str(&o);
+                self.drained.push_str(&out);
+                Ok(out)
+            }
             other => Err(TrackerError::Protocol(format!(
                 "expected output, got {other:?}"
             ))),
@@ -478,6 +1071,7 @@ impl Drop for MiTracker {
 mod tests {
     use super::*;
     use state::{Content, ExitStatus, Prim};
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     const C_PROG: &str = "int square(int x) {\nreturn x * x;\n}\nint main() {\nint s = 0;\nfor (int i = 1; i <= 3; i++) {\ns += square(i);\n}\nreturn s;\n}";
 
@@ -571,5 +1165,214 @@ mod tests {
         let addr = g.value().address().unwrap();
         let bytes = t.low_level().unwrap().read_memory(addr, 4).unwrap();
         assert_eq!(bytes, 7i32.to_le_bytes());
+    }
+
+    /// A port wrapper that reports Disconnected exactly once, at the
+    /// `fail_at`-th call of the whole session (shared across respawns).
+    struct FailOnce {
+        inner: Box<dyn CommandPort>,
+        state: Arc<FailOnceState>,
+    }
+
+    struct FailOnceState {
+        calls: std::sync::atomic::AtomicUsize,
+        fail_at: usize,
+        fired: AtomicBool,
+    }
+
+    impl FailOnce {
+        fn should_fail(&self) -> bool {
+            let n = self.state.calls.fetch_add(1, Ordering::SeqCst) + 1;
+            n == self.state.fail_at && !self.state.fired.swap(true, Ordering::SeqCst)
+        }
+    }
+
+    impl CommandPort for FailOnce {
+        fn call(&mut self, command: Command) -> std::result::Result<Response, MiError> {
+            if self.should_fail() {
+                return Err(MiError::Disconnected);
+            }
+            self.inner.call(command)
+        }
+
+        fn call_deadline(
+            &mut self,
+            command: Command,
+            deadline: Option<Duration>,
+        ) -> std::result::Result<Response, MiError> {
+            if self.should_fail() {
+                return Err(MiError::Disconnected);
+            }
+            self.inner.call_deadline(command, deadline)
+        }
+
+        fn counters(&self) -> mi::transport::TransportCounters {
+            self.inner.counters()
+        }
+    }
+
+    fn fail_once_wrapper(fail_at: usize) -> (PortWrapper, Arc<FailOnceState>) {
+        let state = Arc::new(FailOnceState {
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            fail_at,
+            fired: AtomicBool::new(false),
+        });
+        let s = Arc::clone(&state);
+        let wrapper: PortWrapper = Box::new(move |inner| {
+            Box::new(FailOnce {
+                inner,
+                state: Arc::clone(&s),
+            })
+        });
+        (wrapper, state)
+    }
+
+    fn fast_supervision() -> Supervision {
+        Supervision {
+            deadline: Some(Duration::from_secs(5)),
+            ping_deadline: Duration::from_millis(100),
+            max_retries: 1,
+            max_respawns: 2,
+            backoff_base: Duration::from_micros(10),
+            backoff_cap: Duration::from_micros(100),
+            jitter_seed: 11,
+        }
+    }
+
+    #[test]
+    fn session_recovers_transparently_from_a_lost_engine() {
+        let reg = obs::Registry::new();
+        let (wrapper, state) = fail_once_wrapper(6);
+        let mut t = MiTracker::load_spec(
+            ProgramSpec::c("p.c", C_PROG),
+            reg.clone(),
+            fast_supervision(),
+            Some(wrapper),
+        )
+        .unwrap();
+        t.start().unwrap();
+        t.track_function("square", None).unwrap();
+        let mut calls = 0;
+        loop {
+            match t.resume().unwrap() {
+                PauseReason::FunctionCall { .. } => calls += 1,
+                PauseReason::FunctionReturn { .. } => {}
+                PauseReason::Exited(ExitStatus::Exited(code)) => {
+                    assert_eq!(code, 14);
+                    break;
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(calls, 3, "recovered run sees the same events");
+        assert!(state.fired.load(Ordering::SeqCst), "the fault really fired");
+        assert_eq!(*t.health(), SessionHealth::Healthy);
+        assert_eq!(t.respawns(), 1);
+        assert_eq!(reg.snapshot().counter("mi.respawns"), 1);
+        assert!(
+            reg.snapshot().histogram("mi.supervisor.recovery").is_some(),
+            "recovery latency was recorded"
+        );
+    }
+
+    /// A wrapper whose port fails every call: recovery can never replay,
+    /// so the session must burn its respawn budget and degrade — without
+    /// hanging or panicking.
+    #[test]
+    fn respawn_storm_is_capped_and_degrades() {
+        struct Dead;
+        impl CommandPort for Dead {
+            fn call(&mut self, _: Command) -> std::result::Result<Response, MiError> {
+                Err(MiError::Disconnected)
+            }
+            fn counters(&self) -> mi::transport::TransportCounters {
+                mi::transport::TransportCounters::default()
+            }
+        }
+        let reg = obs::Registry::new();
+        let wrapper: PortWrapper = Box::new(|inner| {
+            drop(inner);
+            Box::new(Dead)
+        });
+        let cfg = fast_supervision();
+        let mut t = MiTracker::load_spec(
+            ProgramSpec::c("p.c", C_PROG),
+            reg.clone(),
+            cfg,
+            Some(wrapper),
+        )
+        .unwrap();
+        let err = t.start().unwrap_err();
+        assert!(matches!(err, TrackerError::SessionDegraded(_)), "{err:?}");
+        assert!(matches!(t.health(), SessionHealth::Degraded { .. }));
+        assert_eq!(t.respawns(), cfg.max_respawns);
+        assert_eq!(
+            reg.snapshot().counter("mi.respawns"),
+            u64::from(cfg.max_respawns)
+        );
+        // Degraded is sticky: further calls fail fast, no new respawns.
+        assert!(matches!(t.resume(), Err(TrackerError::SessionDegraded(_))));
+        assert_eq!(t.respawns(), cfg.max_respawns);
+    }
+
+    #[test]
+    fn output_is_reconciled_across_a_respawn() {
+        let prog = "int main() {\nputs(\"one\");\nputs(\"two\");\nputs(\"three\");\nreturn 0;\n}";
+        // Reference: which call index does what, without faults.
+        let (wrapper, _) = fail_once_wrapper(usize::MAX);
+        let mut r = MiTracker::load_spec(
+            ProgramSpec::c("p.c", prog),
+            obs::Registry::new(),
+            fast_supervision(),
+            Some(wrapper),
+        )
+        .unwrap();
+        r.start().unwrap();
+        r.step().unwrap();
+        r.step().unwrap();
+        let first = r.get_output().unwrap();
+        while r.get_exit_code().is_none() {
+            if r.step().is_err() {
+                break;
+            }
+        }
+        let rest = r.get_output().unwrap();
+        let full_reference = format!("{first}{rest}");
+
+        // Faulty run: drain some output, lose the engine, drain the rest.
+        let (wrapper, state) = fail_once_wrapper(8);
+        let mut t = MiTracker::load_spec(
+            ProgramSpec::c("p.c", prog),
+            obs::Registry::new(),
+            fast_supervision(),
+            Some(wrapper),
+        )
+        .unwrap();
+        t.start().unwrap();
+        t.step().unwrap();
+        t.step().unwrap();
+        let mut seen = t.get_output().unwrap();
+        while t.get_exit_code().is_none() {
+            if t.step().is_err() {
+                break;
+            }
+        }
+        seen.push_str(&t.get_output().unwrap());
+        assert!(state.fired.load(Ordering::SeqCst), "the fault really fired");
+        assert_eq!(*t.health(), SessionHealth::Healthy);
+        assert_eq!(
+            seen, full_reference,
+            "no output lost or duplicated across the respawn"
+        );
+    }
+
+    #[test]
+    fn heartbeat_probes_the_boundary() {
+        let reg = obs::Registry::new();
+        let mut t = MiTracker::load_c_with_registry("p.c", C_PROG, reg.clone()).unwrap();
+        t.heartbeat().unwrap();
+        assert_eq!(reg.snapshot().counter("mi.heartbeat_misses"), 0);
+        t.terminate();
+        assert!(t.heartbeat().is_err());
     }
 }

@@ -576,6 +576,9 @@ impl Engine for AsmEngine {
                 text: self.cpu.program().source.clone(),
             },
             Command::GetBreakableLines => Response::Lines(self.cpu.program().breakable_lines()),
+            // The serve loop normally answers Ping itself; answering here
+            // too keeps `handle` total for engines driven directly.
+            Command::Ping => Response::Pong,
             Command::Terminate => Response::Ok,
         }
     }

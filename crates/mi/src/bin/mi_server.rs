@@ -38,7 +38,7 @@ fn main() {
     };
     let name = logical.as_deref().unwrap_or(&path);
     let transport = StreamTransport::new(LockedStdin, stdout());
-    if name.ends_with(".s") || name.ends_with(".asm") {
+    let end = if name.ends_with(".s") || name.ends_with(".asm") {
         let program = match miniasm::asm::assemble(name, &source) {
             Ok(p) => p,
             Err(e) => {
@@ -46,7 +46,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        Server::new(AsmEngine::new(&program), transport).serve();
+        Server::new(AsmEngine::new(&program), transport).serve()
     } else {
         let program = match minic::compile(name, &source) {
             Ok(p) => p,
@@ -55,7 +55,14 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        Server::new(MinicEngine::new(&program), transport).serve();
+        Server::new(MinicEngine::new(&program), transport).serve()
+    };
+    // Never end silently on a broken boundary: a supervisor watching this
+    // process must be able to tell "session finished" (exit 0) from "the
+    // transport failed mid-session" (exit 3 + diagnostic).
+    if let Err(e) = end {
+        eprintln!("mi-server: transport failure: {e}");
+        std::process::exit(3);
     }
 }
 

@@ -40,32 +40,58 @@ pub mod asm_engine;
 pub mod minic_engine;
 pub mod protocol;
 pub mod server;
+pub mod supervise;
 pub mod transport;
 
 pub use protocol::{Command, CommandFrame, Response, ResponseFrame};
-pub use server::{Client, CommandPort, Engine, Server};
+pub use server::{Client, CommandPort, Engine, ServeEnd, Server};
+pub use supervise::{SupervisePolicy, SupervisedClient};
 pub use transport::MAX_FRAME_LEN;
 
 use std::fmt;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Errors at the MI layer (transport failures, protocol violations).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MiError {
     /// The peer hung up.
     Disconnected,
+    /// No response arrived within the caller's deadline. The session
+    /// itself may still be alive: the sequence-numbered envelope lets a
+    /// later call discard whatever late answer eventually lands.
+    Timeout,
     /// A frame failed to encode/decode.
     Codec(String),
     /// The engine reported an error.
     Engine(String),
+    /// The engine *process* is gone: the supervisor confirmed the child
+    /// exited (as opposed to a transport hiccup).
+    EngineDied {
+        /// The child's exit code, when the OS reported one.
+        exit: Option<i32>,
+        /// Whatever the child wrote to stderr before dying.
+        stderr: String,
+    },
 }
 
 impl fmt::Display for MiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MiError::Disconnected => write!(f, "machine-interface peer disconnected"),
+            MiError::Timeout => write!(f, "machine-interface call exceeded its deadline"),
             MiError::Codec(m) => write!(f, "machine-interface codec error: {m}"),
             MiError::Engine(m) => write!(f, "engine error: {m}"),
+            MiError::EngineDied { exit, stderr } => {
+                match exit {
+                    Some(code) => write!(f, "engine process died (exit code {code})")?,
+                    None => write!(f, "engine process died (killed by signal)")?,
+                }
+                if !stderr.trim().is_empty() {
+                    write!(f, "; stderr: {}", stderr.trim())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -88,21 +114,41 @@ impl fmt::Debug for Session {
 }
 
 impl Session {
-    /// Sends `Terminate` (best effort) and joins the server thread.
+    /// Sends `Terminate` (best effort, bounded) and joins the server
+    /// thread — but only when Terminate was acknowledged; a wedged engine
+    /// is detached instead of blocking the caller forever.
     pub fn shutdown(mut self) {
-        let _ = self.client.call(Command::Terminate);
+        let acked = self
+            .client
+            .call_deadline(Command::Terminate, Some(Duration::from_secs(2)))
+            .is_ok();
         if let Some(h) = self.handle.take() {
-            let _ = h.join();
+            if acked {
+                let _ = h.join();
+            }
         }
+    }
+
+    /// Splits the session into its client stub and server thread handle,
+    /// skipping the Drop-side Terminate. The supervisor uses this to own
+    /// the two halves separately (the client goes behind a [`CommandPort`]
+    /// chain, the handle into the backend bookkeeping).
+    pub fn into_parts(mut self) -> (Client<transport::ChannelTransport>, Option<JoinHandle<()>>) {
+        let handle = self.handle.take();
+        let (dummy, _gone) = transport::duplex();
+        let client = std::mem::replace(&mut self.client, Client::new(dummy));
+        (client, handle)
     }
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
         // Destructors must not fail or block indefinitely: fire Terminate
-        // and detach if the user did not call `shutdown`.
+        // (bounded) and detach if the user did not call `shutdown`.
         if self.handle.take().is_some() {
-            let _ = self.client.call(Command::Terminate);
+            let _ = self
+                .client
+                .call_deadline(Command::Terminate, Some(Duration::from_secs(2)));
         }
     }
 }
@@ -135,7 +181,7 @@ fn spawn_minic_inner(program: &minic::Program, registry: Option<obs::Registry>) 
                 Some(reg) => Server::with_registry(engine, b, reg),
                 None => Server::new(engine, b),
             };
-            server.serve();
+            let _ = server.serve();
         })
         .expect("spawn engine thread");
     let client = match registry {
@@ -176,7 +222,7 @@ fn spawn_asm_inner(program: &miniasm::asm::AsmProgram, registry: Option<obs::Reg
                 Some(reg) => Server::with_registry(engine, b, reg),
                 None => Server::new(engine, b),
             };
-            server.serve();
+            let _ = server.serve();
         })
         .expect("spawn engine thread");
     let client = match registry {

@@ -539,6 +539,9 @@ impl Engine for MinicEngine {
             Command::GetBreakableLines => {
                 Response::Lines(self.vm.program().breakable_lines().into_iter().collect())
             }
+            // The serve loop normally answers Ping itself; answering here
+            // too keeps `handle` total for engines driven directly.
+            Command::Ping => Response::Pong,
             Command::Terminate => Response::Ok,
         }
     }

@@ -80,6 +80,10 @@ pub enum Command {
     GetSource,
     /// Fetch the lines valid as breakpoint targets.
     GetBreakableLines,
+    /// Liveness probe: the serve loop answers [`Response::Pong`] without
+    /// involving the engine, so a healthy-but-busy boundary and a wedged
+    /// one are distinguishable. Supervisors use it as a heartbeat.
+    Ping,
     /// Stop the inferior and shut the engine down.
     Terminate,
 }
@@ -109,8 +113,33 @@ impl Command {
             Command::GetExitCode => "GetExitCode",
             Command::GetSource => "GetSource",
             Command::GetBreakableLines => "GetBreakableLines",
+            Command::Ping => "Ping",
             Command::Terminate => "Terminate",
         }
+    }
+
+    /// Whether re-issuing this command after a lost or timed-out response
+    /// cannot change the inferior's state. The supervision layer only
+    /// auto-retries idempotent commands; everything else surfaces the
+    /// error (or triggers a full respawn) instead.
+    ///
+    /// `GetOutput` is deliberately *not* idempotent: it drains the output
+    /// buffer, so a retry whose first attempt actually reached the engine
+    /// would silently lose output.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Command::GetState
+                | Command::GetGlobals
+                | Command::GetVariable { .. }
+                | Command::GetRegisters
+                | Command::ReadMemory { .. }
+                | Command::GetExitCode
+                | Command::GetSource
+                | Command::GetBreakableLines
+                | Command::Ping
+                | Command::Terminate
+        )
     }
 }
 
@@ -177,6 +206,8 @@ pub enum Response {
     },
     /// Lines that can hold a breakpoint.
     Lines(Vec<u32>),
+    /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
+    Pong,
     /// The command failed.
     Error {
         /// Human-readable description.

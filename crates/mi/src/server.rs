@@ -3,6 +3,21 @@
 use crate::protocol::{Command, CommandFrame, Response, ResponseFrame};
 use crate::transport::{Transport, TransportCounters};
 use crate::MiError;
+use std::time::{Duration, Instant};
+
+/// How a serve loop ended *normally*. Abnormal ends (the transport
+/// failing mid-session in a way that is neither a codec hiccup nor a
+/// peer hang-up) are the `Err` side of [`Server::serve`] — the
+/// `mi-server` binary exits nonzero on those so a supervisor can tell a
+/// crashed boundary from a finished session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEnd {
+    /// A `Terminate` command was served.
+    Terminated,
+    /// The peer closed its end of the transport (EOF / disconnect) —
+    /// the normal end when a tracker simply drops its client.
+    PeerClosed,
+}
 
 /// A debugger engine: executes one command against its inferior.
 pub trait Engine {
@@ -47,25 +62,38 @@ impl<E: Engine, T: Transport> Server<E, T> {
     /// `seq`) and bare [`Command`]s from older peers (answered bare).
     /// Malformed frames — undecodable commands as well as transport-level
     /// codec failures like a corrupted length prefix — are answered with
-    /// a bare [`Response::Error`] and the server keeps serving; only a
-    /// real disconnect ends the loop.
-    pub fn serve(&mut self) {
+    /// a bare [`Response::Error`] and the server keeps serving.
+    /// [`Command::Ping`] is answered [`Response::Pong`] by the loop
+    /// itself, without involving the engine, so the probe measures the
+    /// boundary's liveness rather than the engine's.
+    ///
+    /// # Errors
+    ///
+    /// `Ok` for the two normal session ends (see [`ServeEnd`]); `Err`
+    /// when the transport failed in a way the loop could not report back
+    /// to the peer — a send failure, or a non-codec receive failure that
+    /// is not a plain disconnect. The `mi-server` binary turns `Err` into
+    /// a nonzero exit with a stderr diagnostic.
+    pub fn serve(&mut self) -> Result<ServeEnd, MiError> {
         loop {
             let frame = match self.transport.recv() {
                 Ok(frame) => frame,
                 Err(MiError::Codec(m)) => {
                     // Framing-level garbage: the bytes never reached the
-                    // command decoder. Report and keep the session alive.
+                    // command decoder. Report and keep the session alive;
+                    // if even the report cannot be sent, the boundary is
+                    // gone and the caller must know.
                     self.count_malformed();
                     let resp = Response::Error {
                         message: format!("unreadable frame: {m}"),
                     };
-                    if self.reply_bare(&resp).is_err() {
-                        return;
+                    if let Some(end) = self.reply_bare(&resp)? {
+                        return Ok(end);
                     }
                     continue;
                 }
-                Err(_) => return,
+                Err(MiError::Disconnected) => return Ok(ServeEnd::PeerClosed),
+                Err(e) => return Err(e),
             };
             let (seq, decoded) = match serde_json::from_slice::<CommandFrame>(&frame) {
                 Ok(cf) => (Some(cf.seq), Ok(cf.cmd)),
@@ -80,15 +108,25 @@ impl<E: Engine, T: Transport> Server<E, T> {
                         reg.inc(&format!("mi.server.cmd.{}", cmd.kind()));
                     }
                     let stop = cmd == Command::Terminate;
-                    let resp = self.engine.handle(cmd);
+                    let resp = if cmd == Command::Ping {
+                        Response::Pong
+                    } else {
+                        self.engine.handle(cmd)
+                    };
                     let bytes = match seq {
                         Some(seq) => serde_json::to_vec(&ResponseFrame { seq, resp }),
                         None => serde_json::to_vec(&resp),
                     }
                     .expect("responses always serialize");
-                    let _ = self.transport.send(&bytes);
                     if stop {
-                        return;
+                        // The peer may already be gone when Terminate was
+                        // a best-effort farewell; that is still a normal
+                        // end.
+                        let _ = self.transport.send(&bytes);
+                        return Ok(ServeEnd::Terminated);
+                    }
+                    if let Some(end) = self.ship(&bytes)? {
+                        return Ok(end);
                     }
                 }
                 Err(e) => {
@@ -96,8 +134,8 @@ impl<E: Engine, T: Transport> Server<E, T> {
                     let resp = Response::Error {
                         message: format!("malformed command: {e}"),
                     };
-                    if self.reply_bare(&resp).is_err() {
-                        return;
+                    if let Some(end) = self.reply_bare(&resp)? {
+                        return Ok(end);
                     }
                 }
             }
@@ -110,9 +148,19 @@ impl<E: Engine, T: Transport> Server<E, T> {
         }
     }
 
-    fn reply_bare(&mut self, resp: &Response) -> Result<(), MiError> {
+    fn reply_bare(&mut self, resp: &Response) -> Result<Option<ServeEnd>, MiError> {
         let bytes = serde_json::to_vec(resp).expect("responses always serialize");
-        self.transport.send(&bytes)
+        self.ship(&bytes)
+    }
+
+    /// Sends a reply; a peer that hung up while we were answering is a
+    /// normal session end, any other send failure is abnormal.
+    fn ship(&mut self, bytes: &[u8]) -> Result<Option<ServeEnd>, MiError> {
+        match self.transport.send(bytes) {
+            Ok(()) => Ok(None),
+            Err(MiError::Disconnected) => Ok(Some(ServeEnd::PeerClosed)),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -175,6 +223,27 @@ impl<T: Transport> Client<T> {
     /// stays usable: re-issuing a command allocates a fresh sequence
     /// number and any late response to the failed command is discarded.
     pub fn call(&mut self, command: Command) -> Result<Response, MiError> {
+        self.call_deadline(command, None)
+    }
+
+    /// Like [`Client::call`], but gives up with [`MiError::Timeout`] once
+    /// `deadline` has elapsed without the matching response arriving.
+    ///
+    /// The deadline covers the whole roundtrip, including any stale
+    /// frames discarded along the way. On timeout nothing is torn down:
+    /// the command may still reach the engine and its late response will
+    /// be discarded as stale by the next call, so retrying an idempotent
+    /// command after a timeout is safe.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Timeout`] when the deadline expires; otherwise as
+    /// [`Client::call`].
+    pub fn call_deadline(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
         let span = self
             .registry
             .as_ref()
@@ -188,8 +257,15 @@ impl<T: Transport> Client<T> {
         }
         .map_err(|e| MiError::Codec(e.to_string()))?;
         self.transport.send(&bytes)?;
+        let start = Instant::now();
         let resp = loop {
-            let frame = self.transport.recv()?;
+            let frame = match deadline {
+                None => self.transport.recv()?,
+                Some(d) => {
+                    let remaining = d.checked_sub(start.elapsed()).ok_or(MiError::Timeout)?;
+                    self.transport.recv_deadline(remaining)?
+                }
+            };
             if self.envelope {
                 if let Ok(rf) = serde_json::from_slice::<ResponseFrame>(&frame) {
                     match rf.seq.cmp(&seq) {
@@ -248,6 +324,23 @@ pub trait CommandPort: Send {
     /// Transport failures surface as [`MiError`].
     fn call(&mut self, command: Command) -> Result<Response, MiError>;
 
+    /// Like [`CommandPort::call`] but bounded: gives up with
+    /// [`MiError::Timeout`] once `deadline` elapses. The default simply
+    /// delegates to `call` (unbounded) so simple ports keep working;
+    /// real clients override it.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Timeout`] on deadline expiry; otherwise as `call`.
+    fn call_deadline(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        let _ = deadline;
+        self.call(command)
+    }
+
     /// Traffic shipped through the underlying transport so far.
     fn counters(&self) -> TransportCounters;
 }
@@ -257,8 +350,34 @@ impl<T: Transport + Send> CommandPort for Client<T> {
         Client::call(self, command)
     }
 
+    fn call_deadline(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        Client::call_deadline(self, command, deadline)
+    }
+
     fn counters(&self) -> TransportCounters {
         self.transport.counters()
+    }
+}
+
+impl<P: CommandPort + ?Sized> CommandPort for Box<P> {
+    fn call(&mut self, command: Command) -> Result<Response, MiError> {
+        (**self).call(command)
+    }
+
+    fn call_deadline(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        (**self).call_deadline(command, deadline)
+    }
+
+    fn counters(&self) -> TransportCounters {
+        (**self).counters()
     }
 }
 
@@ -285,9 +404,7 @@ mod tests {
     #[test]
     fn request_response_over_thread() {
         let (a, b) = duplex();
-        let handle = std::thread::spawn(move || {
-            Server::new(Echo, b).serve();
-        });
+        let handle = std::thread::spawn(move || Server::new(Echo, b).serve());
         let mut client = Client::new(a);
         assert_eq!(
             client.call(Command::GetOutput).unwrap(),
@@ -298,7 +415,27 @@ mod tests {
             Response::Error { .. }
         ));
         assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
-        handle.join().unwrap();
+        assert_eq!(handle.join().unwrap().unwrap(), ServeEnd::Terminated);
+    }
+
+    #[test]
+    fn ping_answered_by_serve_loop_without_engine() {
+        // Echo's handle() would answer Error for Ping; Pong proves the
+        // serve loop intercepted it.
+        let (a, b) = duplex();
+        let handle = std::thread::spawn(move || Server::new(Echo, b).serve());
+        let mut client = Client::new(a);
+        assert_eq!(client.call(Command::Ping).unwrap(), Response::Pong);
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        assert_eq!(handle.join().unwrap().unwrap(), ServeEnd::Terminated);
+    }
+
+    #[test]
+    fn dropped_client_ends_serve_with_peer_closed() {
+        let (a, b) = duplex();
+        let handle = std::thread::spawn(move || Server::new(Echo, b).serve());
+        drop(a);
+        assert_eq!(handle.join().unwrap().unwrap(), ServeEnd::PeerClosed);
     }
 
     #[test]
@@ -310,7 +447,7 @@ mod tests {
         let (mut a, b) = duplex();
         let server_reg = reg.clone();
         let handle = std::thread::spawn(move || {
-            Server::with_registry(Echo, b, server_reg).serve();
+            let _ = Server::with_registry(Echo, b, server_reg).serve();
         });
         a.send(br#"{"SelfDestruct":{"countdown":3}}"#).unwrap();
         let resp: Response = serde_json::from_slice(&a.recv().unwrap()).unwrap();
@@ -337,7 +474,7 @@ mod tests {
         let (mut a, b) = duplex();
         let server_reg = reg.clone();
         let handle = std::thread::spawn(move || {
-            Server::with_registry(Echo, b, server_reg).serve();
+            let _ = Server::with_registry(Echo, b, server_reg).serve();
         });
         // Three flavours of garbage: truncated JSON, binary noise, valid
         // JSON of the wrong shape.
@@ -360,7 +497,7 @@ mod tests {
     fn server_survives_malformed_frames() {
         let (mut a, b) = duplex();
         let handle = std::thread::spawn(move || {
-            Server::new(Echo, b).serve();
+            let _ = Server::new(Echo, b).serve();
         });
         a.send(b"not json").unwrap();
         let resp: Response = serde_json::from_slice(&a.recv().unwrap()).unwrap();

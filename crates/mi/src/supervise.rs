@@ -1,0 +1,321 @@
+//! Client-side supervision of a machine-interface session.
+//!
+//! [`SupervisedClient`] wraps any [`CommandPort`] and adds the two
+//! command-level robustness behaviours every supervisor needs:
+//!
+//! * **deadlines** — every call goes through
+//!   [`CommandPort::call_deadline`] with the policy's per-command
+//!   deadline, so no call blocks forever against a wedged engine;
+//! * **bounded retries** — idempotent commands (see
+//!   [`Command::is_idempotent`]) that fail with a timeout or a codec
+//!   error are retried up to `max_retries` times with jittered
+//!   exponential backoff. Sequence-numbered envelopes make the retry
+//!   safe: a late response to the timed-out attempt is discarded as a
+//!   stale frame by the next attempt.
+//!
+//! What this layer deliberately does *not* do is respawn a dead engine —
+//! that needs the session manifest (program, control points, position),
+//! which lives in the tracker. `easytracker`'s `MiTracker` composes its
+//! recovery logic on top of this client.
+
+use crate::protocol::{Command, Response};
+use crate::server::CommandPort;
+use crate::transport::TransportCounters;
+use crate::MiError;
+use std::time::Duration;
+
+/// Knobs for [`SupervisedClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisePolicy {
+    /// Per-command roundtrip deadline. `None` means unbounded (the
+    /// wrapped port's plain `call` behaviour).
+    pub deadline: Option<Duration>,
+    /// Deadline for [`SupervisedClient::ping`] heartbeats — usually much
+    /// shorter than `deadline`, since `Ping` never touches the engine.
+    pub ping_deadline: Duration,
+    /// Extra attempts after the first failure, for idempotent commands
+    /// only. `0` disables retrying.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter; fixed so test runs are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        SupervisePolicy {
+            deadline: Some(Duration::from_secs(30)),
+            ping_deadline: Duration::from_secs(1),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0x5eed_cafe_f00d_0001,
+        }
+    }
+}
+
+/// Jittered exponential backoff: `base * 2^attempt`, capped at `cap`,
+/// then scaled by a factor in `[0.5, 1.0)` drawn from `rng` (an xorshift
+/// state advanced in place). Jitter keeps a fleet of retrying clients
+/// from hammering a recovering engine in lockstep.
+pub fn jittered_backoff(base: Duration, cap: Duration, attempt: u32, rng: &mut u64) -> Duration {
+    let exp = base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+    let full = exp.min(cap);
+    // xorshift64
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    let frac = 0.5 + (x >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+    full.mul_f64(frac)
+}
+
+/// A [`CommandPort`] wrapper enforcing deadlines and retrying idempotent
+/// commands, per a [`SupervisePolicy`]. See the module docs.
+pub struct SupervisedClient<P> {
+    inner: P,
+    policy: SupervisePolicy,
+    rng: u64,
+    registry: Option<obs::Registry>,
+}
+
+impl<P: CommandPort> SupervisedClient<P> {
+    /// Wraps `inner` with the given policy.
+    pub fn new(inner: P, policy: SupervisePolicy) -> Self {
+        let rng = policy.jitter_seed | 1;
+        SupervisedClient {
+            inner,
+            policy,
+            rng,
+            registry: None,
+        }
+    }
+
+    /// Like [`SupervisedClient::new`], but retries bump `mi.retries` and
+    /// failed heartbeats bump `mi.heartbeat_misses` in `registry`.
+    pub fn with_registry(inner: P, policy: SupervisePolicy, registry: obs::Registry) -> Self {
+        let mut s = SupervisedClient::new(inner, policy);
+        s.registry = Some(registry);
+        s
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SupervisePolicy {
+        self.policy
+    }
+
+    /// Replaces the policy (also reseeds the backoff jitter).
+    pub fn set_policy(&mut self, policy: SupervisePolicy) {
+        self.rng = policy.jitter_seed | 1;
+        self.policy = policy;
+    }
+
+    /// Unwraps the inner port.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Heartbeat: one `Ping` roundtrip under the (short) ping deadline.
+    /// The serve loop answers without involving the engine, so this
+    /// probes the boundary — transport plus serve thread — not inferior
+    /// progress. A miss bumps `mi.heartbeat_misses`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the roundtrip failed with, [`MiError::Timeout`] included.
+    /// An unexpected (non-`Pong`) answer is a codec error.
+    pub fn ping(&mut self) -> Result<(), MiError> {
+        let deadline = Some(self.policy.ping_deadline);
+        let res = match self.inner.call_deadline(Command::Ping, deadline) {
+            Ok(Response::Pong) => Ok(()),
+            Ok(other) => Err(MiError::Codec(format!(
+                "heartbeat expected Pong, got {other:?}"
+            ))),
+            Err(e) => Err(e),
+        };
+        if res.is_err() {
+            if let Some(reg) = &self.registry {
+                reg.inc("mi.heartbeat_misses");
+            }
+        }
+        res
+    }
+
+    fn call_supervised(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        let deadline = deadline.or(self.policy.deadline);
+        let retriable = command.is_idempotent();
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.call_deadline(command.clone(), deadline) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // Only faults where the command may simply have been
+                    // lost in transit are worth re-sending; a dead or
+                    // disconnected engine needs a respawn, not a retry.
+                    let transient = matches!(e, MiError::Timeout | MiError::Codec(_));
+                    if !retriable || !transient || attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    if let Some(reg) = &self.registry {
+                        reg.inc("mi.retries");
+                    }
+                    let sleep = jittered_backoff(
+                        self.policy.backoff_base,
+                        self.policy.backoff_cap,
+                        attempt,
+                        &mut self.rng,
+                    );
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<P: CommandPort> CommandPort for SupervisedClient<P> {
+    fn call(&mut self, command: Command) -> Result<Response, MiError> {
+        self.call_supervised(command, None)
+    }
+
+    fn call_deadline(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        self.call_supervised(command, deadline)
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted port: each entry is the outcome of one call.
+    struct Scripted {
+        outcomes: Vec<Result<Response, MiError>>,
+        calls: Vec<Command>,
+    }
+
+    impl Scripted {
+        fn new(mut outcomes: Vec<Result<Response, MiError>>) -> Self {
+            outcomes.reverse();
+            Scripted {
+                outcomes,
+                calls: Vec::new(),
+            }
+        }
+    }
+
+    impl CommandPort for Scripted {
+        fn call(&mut self, command: Command) -> Result<Response, MiError> {
+            self.calls.push(command);
+            self.outcomes.pop().expect("script exhausted")
+        }
+
+        fn counters(&self) -> TransportCounters {
+            TransportCounters::default()
+        }
+    }
+
+    fn fast_policy() -> SupervisePolicy {
+        SupervisePolicy {
+            deadline: Some(Duration::from_millis(200)),
+            ping_deadline: Duration::from_millis(50),
+            max_retries: 2,
+            backoff_base: Duration::from_micros(1),
+            backoff_cap: Duration::from_micros(10),
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn idempotent_timeouts_are_retried_and_counted() {
+        let reg = obs::Registry::new();
+        let port = Scripted::new(vec![
+            Err(MiError::Timeout),
+            Err(MiError::Timeout),
+            Ok(Response::ExitCode(Some(0))),
+        ]);
+        let mut sup = SupervisedClient::with_registry(port, fast_policy(), reg.clone());
+        assert_eq!(
+            sup.call(Command::GetExitCode).unwrap(),
+            Response::ExitCode(Some(0))
+        );
+        assert_eq!(reg.snapshot().counter("mi.retries"), 2);
+        assert_eq!(sup.into_inner().calls.len(), 3);
+    }
+
+    #[test]
+    fn non_idempotent_commands_never_retry() {
+        let reg = obs::Registry::new();
+        let port = Scripted::new(vec![Err(MiError::Timeout)]);
+        let mut sup = SupervisedClient::with_registry(port, fast_policy(), reg.clone());
+        assert!(matches!(sup.call(Command::Step), Err(MiError::Timeout)));
+        assert_eq!(reg.snapshot().counter("mi.retries"), 0);
+        assert_eq!(sup.into_inner().calls.len(), 1);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let port = Scripted::new(vec![
+            Err(MiError::Timeout),
+            Err(MiError::Timeout),
+            Err(MiError::Timeout),
+        ]);
+        let mut sup = SupervisedClient::new(port, fast_policy());
+        assert!(matches!(sup.call(Command::GetState), Err(MiError::Timeout)));
+        // 1 initial + max_retries(2) attempts, then give up.
+        assert_eq!(sup.into_inner().calls.len(), 3);
+    }
+
+    #[test]
+    fn disconnects_are_not_retried() {
+        let port = Scripted::new(vec![Err(MiError::Disconnected)]);
+        let mut sup = SupervisedClient::new(port, fast_policy());
+        assert!(matches!(
+            sup.call(Command::GetState),
+            Err(MiError::Disconnected)
+        ));
+        assert_eq!(sup.into_inner().calls.len(), 1);
+    }
+
+    #[test]
+    fn heartbeat_miss_is_counted() {
+        let reg = obs::Registry::new();
+        let port = Scripted::new(vec![Err(MiError::Timeout), Ok(Response::Pong)]);
+        let mut sup = SupervisedClient::with_registry(port, fast_policy(), reg.clone());
+        assert!(matches!(sup.ping(), Err(MiError::Timeout)));
+        assert!(sup.ping().is_ok());
+        assert_eq!(reg.snapshot().counter("mi.heartbeat_misses"), 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_deterministically() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(40);
+        let mut rng1 = 42u64;
+        let mut rng2 = 42u64;
+        for attempt in 0..10 {
+            let a = jittered_backoff(base, cap, attempt, &mut rng1);
+            let b = jittered_backoff(base, cap, attempt, &mut rng2);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert!(a <= cap);
+            assert!(a >= base / 2);
+        }
+    }
+}

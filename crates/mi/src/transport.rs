@@ -7,7 +7,8 @@
 //! is re-parsed by the receiver, so nothing structural can sneak across.
 
 use crate::MiError;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 /// Upper bound on a single frame's payload size, in bytes.
 ///
@@ -56,6 +57,23 @@ pub trait Transport {
     /// [`MiError::Disconnected`] when the peer is gone.
     fn recv(&mut self) -> Result<Vec<u8>, MiError>;
 
+    /// Receives one frame, waiting at most `deadline`.
+    ///
+    /// The default implementation ignores the deadline and blocks — a
+    /// transport that cannot interrupt its read (e.g. a borrowed byte
+    /// stream) keeps its old behaviour. Deadline-capable transports
+    /// ([`ChannelTransport`], [`PumpedTransport`]) override this; they
+    /// are what the supervision layer builds on.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Timeout`] when the deadline expires with no frame;
+    /// [`MiError::Disconnected`] when the peer is gone.
+    fn recv_deadline(&mut self, deadline: Duration) -> Result<Vec<u8>, MiError> {
+        let _ = deadline;
+        self.recv()
+    }
+
     /// Traffic shipped through this endpoint so far.
     fn counters(&self) -> TransportCounters;
 }
@@ -88,6 +106,24 @@ impl Transport for ChannelTransport {
 
     fn recv(&mut self) -> Result<Vec<u8>, MiError> {
         let wire = self.rx.recv().map_err(|_| MiError::Disconnected)?;
+        self.decode_wire(wire)
+    }
+
+    fn recv_deadline(&mut self, deadline: Duration) -> Result<Vec<u8>, MiError> {
+        let wire = self.rx.recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => MiError::Timeout,
+            RecvTimeoutError::Disconnected => MiError::Disconnected,
+        })?;
+        self.decode_wire(wire)
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+}
+
+impl ChannelTransport {
+    fn decode_wire(&mut self, wire: Vec<u8>) -> Result<Vec<u8>, MiError> {
         self.counters.bytes_received += wire.len() as u64;
         self.counters.frames_received += 1;
         if wire.len() < 4 {
@@ -108,10 +144,6 @@ impl Transport for ChannelTransport {
             )));
         }
         Ok(wire[4..].to_vec())
-    }
-
-    fn counters(&self) -> TransportCounters {
-        self.counters
     }
 }
 
@@ -234,6 +266,25 @@ mod tests {
     }
 
     #[test]
+    fn channel_recv_deadline_times_out_then_delivers() {
+        let (mut a, mut b) = duplex();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            a.recv_deadline(Duration::from_millis(20)),
+            Err(MiError::Timeout)
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // The timeout consumed nothing: a frame sent afterwards arrives.
+        b.send(b"late").unwrap();
+        assert_eq!(a.recv_deadline(Duration::from_secs(5)).unwrap(), b"late");
+        drop(b);
+        assert_eq!(
+            a.recv_deadline(Duration::from_millis(20)),
+            Err(MiError::Disconnected)
+        );
+    }
+
+    #[test]
     fn order_preserved() {
         let (mut a, mut b) = duplex();
         for i in 0..10u8 {
@@ -268,61 +319,159 @@ impl<R: std::io::Read, W: std::io::Write> StreamTransport<R, W> {
     }
 }
 
+/// Writes one newline-delimited frame, returning the wire bytes written.
+/// Shared by [`StreamTransport`] and [`PumpedTransport`].
+fn write_newline_frame<W: std::io::Write>(writer: &mut W, frame: &[u8]) -> Result<u64, MiError> {
+    if frame.contains(&b'\n') {
+        return Err(MiError::Codec("frame contains a newline".into()));
+    }
+    if frame.len() > MAX_FRAME_LEN {
+        return Err(MiError::Codec(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            frame.len()
+        )));
+    }
+    writer
+        .write_all(frame)
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|_| MiError::Disconnected)?;
+    Ok(frame.len() as u64 + 1)
+}
+
+/// Reads one newline-delimited frame, returning the wire bytes consumed
+/// alongside the decoded payload (or error). Shared by
+/// [`StreamTransport`] and [`PumpedTransport`]'s reader thread.
+fn read_newline_frame<R: std::io::Read>(
+    reader: &mut std::io::BufReader<R>,
+) -> (u64, Result<Vec<u8>, MiError>) {
+    use std::io::{BufRead as _, Read as _};
+    // Raw bytes, not `read_line`: corrupted (non-UTF-8) traffic must
+    // surface as a codec error on this frame, not kill the stream.
+    // The `take` bounds how much one frame may buffer, so a peer that
+    // stops sending newlines cannot balloon memory.
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_FRAME_LEN as u64 + 1);
+    match limited.read_until(b'\n', &mut line) {
+        Ok(0) => (0, Err(MiError::Disconnected)),
+        Ok(n) => {
+            let result = if line.len() > MAX_FRAME_LEN {
+                Err(MiError::Codec(format!(
+                    "frame exceeds the {MAX_FRAME_LEN}-byte cap"
+                )))
+            } else if line.last() != Some(&b'\n') {
+                // The stream ended (or a fault cut it) in the middle
+                // of a frame. Treating the fragment as a complete
+                // frame would hand garbage to the codec; report the
+                // truncation itself.
+                Err(MiError::Codec(
+                    "mid-frame EOF: stream ended before the frame delimiter".into(),
+                ))
+            } else {
+                while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                    line.pop();
+                }
+                Ok(line)
+            };
+            (n as u64, result)
+        }
+        Err(_) => (0, Err(MiError::Disconnected)),
+    }
+}
+
 impl<R: std::io::Read, W: std::io::Write> Transport for StreamTransport<R, W> {
     fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
-        if frame.contains(&b'\n') {
-            return Err(MiError::Codec("frame contains a newline".into()));
-        }
-        if frame.len() > MAX_FRAME_LEN {
-            return Err(MiError::Codec(format!(
-                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
-                frame.len()
-            )));
-        }
-        self.writer
-            .write_all(frame)
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|_| MiError::Disconnected)?;
-        self.counters.bytes_sent += frame.len() as u64 + 1;
+        let wire = write_newline_frame(&mut self.writer, frame)?;
+        self.counters.bytes_sent += wire;
         self.counters.frames_sent += 1;
         Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, MiError> {
-        use std::io::{BufRead as _, Read as _};
-        // Raw bytes, not `read_line`: corrupted (non-UTF-8) traffic must
-        // surface as a codec error on this frame, not kill the stream.
-        // The `take` bounds how much one frame may buffer, so a peer that
-        // stops sending newlines cannot balloon memory.
-        let mut line = Vec::new();
-        let mut limited = (&mut self.reader).take(MAX_FRAME_LEN as u64 + 1);
-        match limited.read_until(b'\n', &mut line) {
-            Ok(0) => Err(MiError::Disconnected),
-            Ok(n) => {
-                self.counters.bytes_received += n as u64;
-                self.counters.frames_received += 1;
-                if line.len() > MAX_FRAME_LEN {
-                    return Err(MiError::Codec(format!(
-                        "frame exceeds the {MAX_FRAME_LEN}-byte cap"
-                    )));
-                }
-                if line.last() != Some(&b'\n') {
-                    // The stream ended (or a fault cut it) in the middle
-                    // of a frame. Treating the fragment as a complete
-                    // frame would hand garbage to the codec; report the
-                    // truncation itself.
-                    return Err(MiError::Codec(
-                        "mid-frame EOF: stream ended before the frame delimiter".into(),
-                    ));
-                }
-                while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
-                    line.pop();
-                }
-                Ok(line)
-            }
-            Err(_) => Err(MiError::Disconnected),
+        let (n, result) = read_newline_frame(&mut self.reader);
+        if n > 0 {
+            self.counters.bytes_received += n;
+            self.counters.frames_received += 1;
         }
+        result
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+}
+
+/// A [`StreamTransport`] whose *receive* side runs on a dedicated reader
+/// thread: the thread blocks on the byte stream and forwards complete
+/// frames through an in-process channel, so `recv_deadline` can give up
+/// waiting without abandoning a half-read frame. This is the transport
+/// the supervised process backend uses — a wedged or killed `mi-server`
+/// child surfaces as [`MiError::Timeout`] / [`MiError::Disconnected`]
+/// within the deadline instead of blocking the tracker forever.
+///
+/// The reader thread exits on EOF or stream error; it holds only the
+/// reader half, so dropping the transport (closing the writer) lets a
+/// well-behaved peer close the stream and the thread unwind.
+#[derive(Debug)]
+pub struct PumpedTransport<W> {
+    frames: Receiver<(u64, Result<Vec<u8>, MiError>)>,
+    writer: W,
+    counters: TransportCounters,
+}
+
+impl<W: std::io::Write> PumpedTransport<W> {
+    /// Spawns the reader thread over `reader` and wraps `writer`.
+    pub fn spawn<R: std::io::Read + Send + 'static>(reader: R, writer: W) -> Self {
+        let (tx, rx) = unbounded();
+        std::thread::Builder::new()
+            .name("mi-recv-pump".into())
+            .spawn(move || {
+                let mut reader = std::io::BufReader::new(reader);
+                loop {
+                    let (n, result) = read_newline_frame(&mut reader);
+                    let stop = matches!(result, Err(MiError::Disconnected));
+                    if tx.send((n, result)).is_err() || stop {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn mi receive pump");
+        PumpedTransport {
+            frames: rx,
+            writer,
+            counters: TransportCounters::default(),
+        }
+    }
+
+    fn account(&mut self, item: (u64, Result<Vec<u8>, MiError>)) -> Result<Vec<u8>, MiError> {
+        let (n, result) = item;
+        if n > 0 {
+            self.counters.bytes_received += n;
+            self.counters.frames_received += 1;
+        }
+        result
+    }
+}
+
+impl<W: std::io::Write + Send> Transport for PumpedTransport<W> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
+        let wire = write_newline_frame(&mut self.writer, frame)?;
+        self.counters.bytes_sent += wire;
+        self.counters.frames_sent += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, MiError> {
+        let item = self.frames.recv().map_err(|_| MiError::Disconnected)?;
+        self.account(item)
+    }
+
+    fn recv_deadline(&mut self, deadline: Duration) -> Result<Vec<u8>, MiError> {
+        let item = self.frames.recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => MiError::Timeout,
+            RecvTimeoutError::Disconnected => MiError::Disconnected,
+        })?;
+        self.account(item)
     }
 
     fn counters(&self) -> TransportCounters {
@@ -406,5 +555,93 @@ mod stream_tests {
         t.recv().unwrap();
         assert_eq!(t.counters().bytes_received, 8);
         assert_eq!(t.counters().frames_received, 1);
+    }
+}
+
+#[cfg(test)]
+mod pumped_tests {
+    use super::*;
+    use std::io::Read;
+
+    /// A byte stream fed through a channel: `read` blocks until bytes
+    /// arrive and reports EOF when the sender is dropped — the test
+    /// stand-in for a child process's stdout pipe.
+    struct ChanReader {
+        rx: Receiver<Vec<u8>>,
+        buf: Vec<u8>,
+    }
+
+    impl ChanReader {
+        fn pair() -> (Sender<Vec<u8>>, ChanReader) {
+            let (tx, rx) = unbounded();
+            (
+                tx,
+                ChanReader {
+                    rx,
+                    buf: Vec::new(),
+                },
+            )
+        }
+    }
+
+    impl Read for ChanReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            while self.buf.is_empty() {
+                match self.rx.recv() {
+                    Ok(bytes) => self.buf = bytes,
+                    Err(_) => return Ok(0),
+                }
+            }
+            let n = out.len().min(self.buf.len());
+            out[..n].copy_from_slice(&self.buf[..n]);
+            self.buf.drain(..n);
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_is_a_timeout_not_a_hang() {
+        let (tx, reader) = ChanReader::pair();
+        let mut t = PumpedTransport::spawn(reader, std::io::sink());
+        let start = std::time::Instant::now();
+        assert_eq!(
+            t.recv_deadline(Duration::from_millis(50)),
+            Err(MiError::Timeout)
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // A frame arriving after the timeout is delivered, not lost.
+        tx.send(b"{\"late\":1}\n".to_vec()).unwrap();
+        assert_eq!(
+            t.recv_deadline(Duration::from_secs(5)).unwrap(),
+            b"{\"late\":1}"
+        );
+        drop(tx);
+        assert_eq!(t.recv(), Err(MiError::Disconnected));
+    }
+
+    #[test]
+    fn pumped_frames_and_counters_match_stream_semantics() {
+        let (tx, reader) = ChanReader::pair();
+        let mut t = PumpedTransport::spawn(reader, Vec::new());
+        tx.send(b"{\"a\":1}\r\n".to_vec()).unwrap();
+        assert_eq!(t.recv().unwrap(), b"{\"a\":1}");
+        assert_eq!(t.counters().frames_received, 1);
+        assert_eq!(t.counters().bytes_received, 9); // CR and LF included
+        t.send(b"{\"b\":2}").unwrap();
+        assert_eq!(t.counters().bytes_sent, 8);
+        assert_eq!(t.counters().frames_sent, 1);
+    }
+
+    #[test]
+    fn mid_frame_eof_surfaces_then_disconnect() {
+        let (tx, reader) = ChanReader::pair();
+        let mut t = PumpedTransport::spawn(reader, std::io::sink());
+        tx.send(b"{\"cut".to_vec()).unwrap();
+        drop(tx);
+        match t.recv() {
+            Err(MiError::Codec(msg)) => assert!(msg.contains("mid-frame EOF"), "{msg}"),
+            other => panic!("expected codec error, got {other:?}"),
+        }
+        assert_eq!(t.recv(), Err(MiError::Disconnected));
     }
 }

@@ -101,7 +101,7 @@ const PROG: &str = "int main() {\nint x = 1;\nx = x + 1;\nreturn x;\n}";
 fn spawn_engine<T: Transport + Send + 'static>(endpoint: T) -> std::thread::JoinHandle<()> {
     let program = minic::compile("f.c", PROG).unwrap();
     std::thread::spawn(move || {
-        Server::new(MinicEngine::new(&program), endpoint).serve();
+        let _ = Server::new(MinicEngine::new(&program), endpoint).serve();
     })
 }
 

@@ -162,12 +162,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         print_position(t.as_mut(), &source);
                     }
                 }
-                Err(e) => println!("error: {e}"),
+                Err(e) => report_failure(&e),
             }
         }
     }
     t.terminate();
     Ok(())
+}
+
+/// Execution-command failures carry the most context (a dead engine's
+/// exit code and captured stderr ride along in the message); a degraded
+/// session additionally means no further engine command can succeed, so
+/// say that once instead of letting the user rediscover it per command.
+fn report_failure(e: &easytracker::TrackerError) {
+    println!("error: {e}");
+    if matches!(e, easytracker::TrackerError::SessionDegraded(_)) {
+        println!("the engine session is gone for good; `q` to exit");
+    }
 }
 
 fn report_created(r: easytracker::Result<u64>) {

@@ -69,7 +69,7 @@ fn malformed_bytes_do_not_kill_the_engine() {
     let (mut a, b) = duplex();
     let engine = mi::minic_engine::MinicEngine::new(&program);
     let handle = std::thread::spawn(move || {
-        Server::new(engine, b).serve();
+        let _ = Server::new(engine, b).serve();
     });
     // Garbage frame -> error response, engine alive.
     a.send(b"\x00garbage\xff").unwrap();
@@ -92,7 +92,7 @@ fn disconnect_shuts_the_server_down() {
     let (a, b) = duplex();
     let engine = mi::minic_engine::MinicEngine::new(&program);
     let handle = std::thread::spawn(move || {
-        Server::new(engine, b).serve();
+        let _ = Server::new(engine, b).serve();
     });
     drop(a); // tracker goes away
     handle.join().unwrap(); // server notices and exits
