@@ -1,0 +1,287 @@
+//! Control-flow graph construction over flat MiniC bytecode.
+//!
+//! Each compiled function occupies a contiguous code range
+//! `[entry, next_entry)`. Basic blocks are delimited by the classic leader
+//! rules: the range start, every jump target, and every op following a jump
+//! or return. Alongside the graph the builder records, for every op, the
+//! source line in effect (from the preceding [`Op::Line`] marker), which is
+//! what lets the checker anchor diagnostics to lines.
+
+use minic::bytecode::{Op, Program};
+use std::collections::BTreeSet;
+
+/// One basic block: a maximal straight-line op range.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First op index (absolute, into `Program::code`).
+    pub start: usize,
+    /// One past the last op index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct FuncCfg {
+    /// Index into `Program::functions`.
+    pub func_index: usize,
+    /// The function's name.
+    pub name: String,
+    /// Code range `[start, end)` the function occupies.
+    pub range: (usize, usize),
+    /// Basic blocks; block 0 is the entry block.
+    pub blocks: Vec<Block>,
+    /// For each op in `range`, the id of the block containing it.
+    block_of: Vec<usize>,
+    /// For each op in `range`, the source line in effect.
+    line_of: Vec<u32>,
+}
+
+impl FuncCfg {
+    /// The block containing absolute op index `op`.
+    pub fn block_of(&self, op: usize) -> usize {
+        self.block_of[op - self.range.0]
+    }
+
+    /// The source line in effect at absolute op index `op`.
+    pub fn line_of(&self, op: usize) -> u32 {
+        self.line_of[op - self.range.0]
+    }
+
+    /// Number of basic blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the function has no blocks (never the case for compiled code).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order — the
+    /// canonical iteration order for forward dataflow. Unreachable blocks
+    /// (e.g. the implicit trailing return after an explicit `return`) are
+    /// omitted; analyses treat them as bottom.
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack = vec![(0usize, 0usize)];
+        visited[0] = true;
+        while let Some((b, i)) = stack.pop() {
+            if i < self.blocks[b].succs.len() {
+                stack.push((b, i + 1));
+                let s = self.blocks[b].succs[i];
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Builds one [`FuncCfg`] per function of `program`, in function-table order.
+pub fn build_cfgs(program: &Program) -> Vec<FuncCfg> {
+    // Function ranges: entries sorted; each function runs to the next entry.
+    let mut entries: Vec<usize> = program.functions.iter().map(|f| f.entry).collect();
+    entries.sort_unstable();
+    program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(idx, f)| {
+            let start = f.entry;
+            let end = entries
+                .iter()
+                .find(|&&e| e > start)
+                .copied()
+                .unwrap_or(program.code.len());
+            build_func_cfg(program, idx, start, end)
+        })
+        .collect()
+}
+
+fn build_func_cfg(program: &Program, func_index: usize, start: usize, end: usize) -> FuncCfg {
+    let code = &program.code[start..end];
+    let meta = &program.functions[func_index];
+
+    // Leaders.
+    let mut leaders = BTreeSet::new();
+    leaders.insert(start);
+    for (i, op) in code.iter().enumerate() {
+        let at = start + i;
+        match op {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                if (start..end).contains(t) {
+                    leaders.insert(*t);
+                }
+                if at + 1 < end {
+                    leaders.insert(at + 1);
+                }
+            }
+            Op::Ret(_) if at + 1 < end => {
+                leaders.insert(at + 1);
+            }
+            _ => {}
+        }
+    }
+
+    let starts: Vec<usize> = leaders.iter().copied().collect();
+    let mut blocks: Vec<Block> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Block {
+            start: s,
+            end: starts.get(i + 1).copied().unwrap_or(end),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        })
+        .collect();
+
+    let mut block_of = vec![0usize; end - start];
+    for (id, b) in blocks.iter().enumerate() {
+        for op in b.start..b.end {
+            block_of[op - start] = id;
+        }
+    }
+
+    // Successor edges from each block's terminating op.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (id, b) in blocks.iter().enumerate() {
+        if b.start == b.end {
+            continue;
+        }
+        let last = &program.code[b.end - 1];
+        match last {
+            Op::Jump(t) => {
+                if (start..end).contains(t) {
+                    edges.push((id, block_of[t - start]));
+                }
+            }
+            Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                if (start..end).contains(t) {
+                    edges.push((id, block_of[t - start]));
+                }
+                if b.end < end {
+                    edges.push((id, block_of[b.end - start]));
+                }
+            }
+            Op::Ret(_) => {}
+            _ => {
+                if b.end < end {
+                    edges.push((id, block_of[b.end - start]));
+                }
+            }
+        }
+    }
+    for (from, to) in edges {
+        if !blocks[from].succs.contains(&to) {
+            blocks[from].succs.push(to);
+        }
+        if !blocks[to].preds.contains(&from) {
+            blocks[to].preds.push(from);
+        }
+    }
+
+    // Per-op source line from the Line markers, seeded with the header line.
+    let mut line_of = vec![0u32; end - start];
+    let mut cur = meta.line;
+    for (i, op) in code.iter().enumerate() {
+        if let Op::Line(n) = op {
+            cur = *n;
+        }
+        line_of[i] = cur;
+    }
+
+    FuncCfg {
+        func_index,
+        name: meta.name.clone(),
+        range: (start, end),
+        blocks,
+        block_of,
+        line_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(src: &str) -> Vec<FuncCfg> {
+        let program = minic::compile("t.c", src).expect("fixture compiles");
+        build_cfgs(&program)
+    }
+
+    #[test]
+    fn straight_line_is_one_block_per_ret() {
+        let cfgs = cfg_of("int main() { int x = 1; return x; }");
+        let main = &cfgs[0];
+        assert_eq!(main.name, "main");
+        // The explicit return plus the implicit trailing return each end a
+        // block; no block has a branch.
+        assert!(main.blocks.iter().all(|b| b.succs.len() <= 1));
+    }
+
+    #[test]
+    fn if_else_diamond_has_join_block() {
+        let cfgs = cfg_of("int main() { int x = 0; if (x) { x = 1; } else { x = 2; } return x; }");
+        let main = &cfgs[0];
+        // Some block must have two successors (the branch) and some block two
+        // predecessors (the join).
+        assert!(main.blocks.iter().any(|b| b.succs.len() == 2));
+        assert!(main.blocks.iter().any(|b| b.preds.len() == 2));
+    }
+
+    #[test]
+    fn loop_creates_back_edge() {
+        let cfgs = cfg_of("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }");
+        let main = &cfgs[0];
+        let back_edge = main
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(id, b)| b.succs.iter().any(|&s| s <= id));
+        assert!(back_edge, "while loop must produce a back edge");
+    }
+
+    #[test]
+    fn ranges_partition_the_code() {
+        let cfgs =
+            cfg_of("int add(int a, int b) { return a + b; }\nint main() { return add(1, 2); }");
+        assert_eq!(cfgs.len(), 2);
+        let mut ranges: Vec<_> = cfgs.iter().map(|c| c.range).collect();
+        ranges.sort_unstable();
+        assert_eq!(
+            ranges[0].1, ranges[1].0,
+            "function ranges must be contiguous"
+        );
+    }
+
+    #[test]
+    fn line_tracking_follows_markers() {
+        let cfgs = cfg_of("int main() {\n  int x = 1;\n  return x;\n}");
+        let main = &cfgs[0];
+        let (start, end) = main.range;
+        let lines: BTreeSet<u32> = (start..end).map(|op| main.line_of(op)).collect();
+        assert!(lines.contains(&2) && lines.contains(&3));
+    }
+
+    #[test]
+    fn reverse_post_order_starts_at_entry() {
+        let cfgs = cfg_of("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }");
+        let rpo = cfgs[0].reverse_post_order();
+        assert_eq!(rpo[0], 0);
+        assert!(rpo.len() <= cfgs[0].len());
+        // Every reachable block appears exactly once.
+        let unique: BTreeSet<_> = rpo.iter().collect();
+        assert_eq!(unique.len(), rpo.len());
+    }
+}

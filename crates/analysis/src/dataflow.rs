@@ -1,0 +1,384 @@
+//! The dataflow engine: bit-set worklist solvers for the classic analyses
+//! the checker composes — dominators, reaching definitions, live variables,
+//! and the "may be overwritten before read" analysis behind dead-store
+//! detection.
+//!
+//! All solvers operate on a [`crate::cfg::FuncCfg`] plus per-block gen/kill
+//! (or use/def) sets supplied by the caller, so they are independent of how
+//! accesses were discovered.
+
+use crate::cfg::FuncCfg;
+
+/// A fixed-width bit set over `0..len` used as the dataflow fact domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` elements.
+    pub fn empty(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over a universe of `len` elements.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts element `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes element `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether element `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Iterates over the present elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// Immediate dominators, one per block (`None` for the entry block and for
+/// unreachable blocks). Computed with the Cooper–Harvey–Kennedy iterative
+/// scheme over reverse post-order.
+pub fn dominators(cfg: &FuncCfg) -> Vec<Option<usize>> {
+    let rpo = cfg.reverse_post_order();
+    let mut order = vec![usize::MAX; cfg.len()];
+    for (i, &b) in rpo.iter().enumerate() {
+        order[b] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; cfg.len()];
+    idom[0] = Some(0); // sentinel: entry "dominated by itself" during iteration
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new = None;
+            for &p in &cfg.blocks[b].preds {
+                if idom[p].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new = Some(match new {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, cur, p),
+                });
+            }
+            if let Some(n) = new {
+                if idom[b] != Some(n) {
+                    idom[b] = Some(n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom[0] = None; // the entry has no immediate dominator
+    idom
+}
+
+fn intersect(idom: &[Option<usize>], order: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order[a] > order[b] {
+            a = idom[a].expect("processed block has an idom");
+        }
+        while order[b] > order[a] {
+            b = idom[b].expect("processed block has an idom");
+        }
+    }
+    a
+}
+
+/// Whether block `a` dominates block `b` under the `idom` tree.
+pub fn dominates(idom: &[Option<usize>], a: usize, b: usize) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur] {
+            Some(next) if next != cur => cur = next,
+            _ => return false,
+        }
+    }
+}
+
+/// Forward may-analysis: which definition sites reach each block entry.
+///
+/// `ndefs` is the size of the definition universe; `gen`/`kill` give, per
+/// block, the definitions generated in the block (downward-exposed) and the
+/// definitions killed by it. Returns the in-set per block.
+pub fn reaching_definitions(
+    cfg: &FuncCfg,
+    ndefs: usize,
+    gen: &[BitSet],
+    kill: &[BitSet],
+    entry_in: &BitSet,
+) -> Vec<BitSet> {
+    let rpo = cfg.reverse_post_order();
+    let mut ins = vec![BitSet::empty(ndefs); cfg.len()];
+    let mut outs = vec![BitSet::empty(ndefs); cfg.len()];
+    ins[0] = entry_in.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            if b != 0 {
+                let mut new_in = BitSet::empty(ndefs);
+                for &p in &cfg.blocks[b].preds {
+                    new_in.union_with(&outs[p]);
+                }
+                if new_in != ins[b] {
+                    ins[b] = new_in;
+                }
+            }
+            let mut out = ins[b].clone();
+            out.subtract(&kill[b]);
+            out.union_with(&gen[b]);
+            if out != outs[b] {
+                outs[b] = out;
+                changed = true;
+            }
+        }
+    }
+    ins
+}
+
+/// Backward may-analysis: which variables are live out of each block.
+///
+/// `nvars` is the variable universe; `use_` holds the upward-exposed uses,
+/// `def` the variables defined (assigned) in the block before any use.
+/// Returns the live-out set per block.
+pub fn liveness(cfg: &FuncCfg, nvars: usize, use_: &[BitSet], def: &[BitSet]) -> Vec<BitSet> {
+    let mut live_in = vec![BitSet::empty(nvars); cfg.len()];
+    let mut live_out = vec![BitSet::empty(nvars); cfg.len()];
+    let rpo = cfg.reverse_post_order();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().rev() {
+            let mut out = BitSet::empty(nvars);
+            for &s in &cfg.blocks[b].succs {
+                out.union_with(&live_in[s]);
+            }
+            let mut inn = out.clone();
+            inn.subtract(&def[b]);
+            inn.union_with(&use_[b]);
+            if out != live_out[b] {
+                live_out[b] = out;
+                changed = true;
+            }
+            if inn != live_in[b] {
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    live_out
+}
+
+/// Backward may-analysis for dead stores: variable `v` is in the result at a
+/// block entry when **some** path starting there touches `v` with a write
+/// before any read (so a store just before that point *may* be overwritten
+/// unobserved). `first_write`/`first_read` give, per block, the variables
+/// whose first access inside the block is a write resp. a read.
+///
+/// This is deliberately a *may* variant (union join) rather than the
+/// must-dead complement of liveness: the runtime sanitizer traps whenever
+/// the concrete path overwrites an unread store, so the static answer has
+/// to cover every such path, not just paths that all agree.
+pub fn may_overwrite(
+    cfg: &FuncCfg,
+    nvars: usize,
+    first_write: &[BitSet],
+    first_read: &[BitSet],
+) -> Vec<BitSet> {
+    let mut ow_in = vec![BitSet::empty(nvars); cfg.len()];
+    let mut ow_out = vec![BitSet::empty(nvars); cfg.len()];
+    let rpo = cfg.reverse_post_order();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().rev() {
+            let mut out = BitSet::empty(nvars);
+            for &s in &cfg.blocks[b].succs {
+                out.union_with(&ow_in[s]);
+            }
+            // Transfer: first-write vars are overwritten here; first-read
+            // vars are observed here; everything else passes through.
+            let mut inn = out.clone();
+            inn.subtract(&first_read[b]);
+            inn.union_with(&first_write[b]);
+            if out != ow_out[b] {
+                ow_out[b] = out;
+                changed = true;
+            }
+            if inn != ow_in[b] {
+                ow_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    ow_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfgs;
+
+    fn main_cfg(src: &str) -> FuncCfg {
+        let program = minic::compile("t.c", src).expect("fixture compiles");
+        build_cfgs(&program)
+            .into_iter()
+            .find(|c| c.name == "main")
+            .unwrap()
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut a = BitSet::empty(70);
+        a.insert(0);
+        a.insert(69);
+        assert!(a.contains(0) && a.contains(69) && !a.contains(33));
+        let mut b = BitSet::empty(70);
+        b.insert(33);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 33, 69]);
+        a.subtract(&b);
+        assert!(!a.contains(33));
+        let full = BitSet::full(70);
+        assert_eq!(full.iter().count(), 70);
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let cfg = main_cfg("int main() { int i = 0; while (i < 9) { i = i + 1; } return i; }");
+        let idom = dominators(&cfg);
+        for b in cfg.reverse_post_order() {
+            assert!(dominates(&idom, 0, b), "entry must dominate block {b}");
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let cfg = main_cfg("int main() { int x = 0; if (x) { x = 1; } else { x = 2; } return x; }");
+        let idom = dominators(&cfg);
+        let branch = (0..cfg.len())
+            .find(|&b| cfg.blocks[b].succs.len() == 2)
+            .expect("branch block");
+        let join = (0..cfg.len())
+            .find(|&b| cfg.blocks[b].preds.len() == 2)
+            .expect("join block");
+        // The join's immediate dominator chain reaches the branch without
+        // passing through either arm.
+        assert!(dominates(&idom, branch, join));
+        for &arm in &cfg.blocks[branch].succs {
+            if arm != join {
+                assert!(
+                    !dominates(&idom, arm, join),
+                    "arm {arm} must not dominate join"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reaching_definitions_joins_both_arms() {
+        // Two defs of the same variable in the two arms: both reach the join.
+        let cfg = main_cfg("int main() { int x = 0; if (x) { x = 1; } else { x = 2; } return x; }");
+        // Build a tiny universe by hand: def 0 in one arm, def 1 in the other.
+        let branch = (0..cfg.len())
+            .find(|&b| cfg.blocks[b].succs.len() == 2)
+            .unwrap();
+        let join = (0..cfg.len())
+            .find(|&b| cfg.blocks[b].preds.len() == 2)
+            .unwrap();
+        let arms: Vec<usize> = cfg.blocks[branch].succs.clone();
+        let mut gen = vec![BitSet::empty(2); cfg.len()];
+        let kill = vec![BitSet::empty(2); cfg.len()];
+        gen[arms[0]].insert(0);
+        gen[arms[1]].insert(1);
+        let ins = reaching_definitions(&cfg, 2, &gen, &kill, &BitSet::empty(2));
+        assert!(ins[join].contains(0) && ins[join].contains(1));
+    }
+
+    #[test]
+    fn liveness_flows_backward_through_loop() {
+        let cfg = main_cfg("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }");
+        // One variable (id 0) read in the loop header: it must be live out of
+        // the entry block.
+        let header = (0..cfg.len())
+            .find(|&b| cfg.blocks[b].succs.len() == 2)
+            .expect("loop header");
+        let mut use_ = vec![BitSet::empty(1); cfg.len()];
+        let def = vec![BitSet::empty(1); cfg.len()];
+        use_[header].insert(0);
+        let live_out = liveness(&cfg, 1, &use_, &def);
+        assert!(
+            live_out[0].contains(0),
+            "var used in loop header is live out of entry"
+        );
+    }
+
+    #[test]
+    fn may_overwrite_unions_paths() {
+        // One arm overwrites before reading, the other reads first: the
+        // may-overwrite answer at the branch must include the variable.
+        let cfg =
+            main_cfg("int main() { int x = 0; if (x) { x = 1; } else { x = x + 2; } return x; }");
+        let branch = (0..cfg.len())
+            .find(|&b| cfg.blocks[b].succs.len() == 2)
+            .unwrap();
+        let arms: Vec<usize> = cfg.blocks[branch].succs.clone();
+        let mut fw = vec![BitSet::empty(1); cfg.len()];
+        let mut fr = vec![BitSet::empty(1); cfg.len()];
+        fw[arms[0]].insert(0);
+        fr[arms[1]].insert(0);
+        let ow = may_overwrite(&cfg, 1, &fw, &fr);
+        assert!(ow[branch].contains(0), "overwrite on one path is enough");
+    }
+}

@@ -1,0 +1,772 @@
+//! Abstract interpretation over the bytecode's operand stack.
+//!
+//! MiniC bytecode addresses locals through `LocalAddr` followed (possibly
+//! much later) by `Load`/`Store`, so knowing *which* slot an access touches
+//! requires simulating the operand stack symbolically. The interpreter runs
+//! each function's CFG to a fixpoint over a small abstract domain and then
+//! replays the stable facts once to
+//!
+//! 1. resolve every `Load`/`Store`/`IncDec` to the scalar local slot it
+//!    touches (the [`FuncSummary::accesses`] table the bit-set dataflow
+//!    passes consume),
+//! 2. compute which slots *escape* (their address flows somewhere the
+//!    analysis cannot follow),
+//! 3. emit the heap diagnostics — use-after-free, double-free,
+//!    out-of-bounds, leak — that need pointer provenance.
+//!
+//! The domain is deliberately tiny: known integer constants (for pointer
+//! arithmetic with literal indices), exact local-slot addresses, and heap
+//! pointers tagged with their allocation site and, when known, byte offset.
+//! Everything else is `Top`. Structured codegen guarantees matching stack
+//! heights at join points; if a function ever violates that, the
+//! interpreter bails out and reports nothing for it.
+
+use crate::cfg::FuncCfg;
+use minic::bytecode::{MemTy, Op, Program};
+use minic::typecheck::Intrinsic;
+use minic::types::Type;
+use state::{Diagnostic, DiagnosticKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One tracked scalar local slot of a function.
+#[derive(Debug, Clone)]
+pub struct SlotInfo {
+    /// The variable's source name.
+    pub name: String,
+    /// Byte offset from the frame base.
+    pub offset: u64,
+    /// Size of the scalar in bytes.
+    pub size: u64,
+    /// Whether the slot is a parameter (parameters are born initialized).
+    pub is_param: bool,
+}
+
+/// How an op touches a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The op loads from the slot.
+    Read,
+    /// The op stores to the slot.
+    Write,
+    /// The op does both (`IncDec`).
+    ReadWrite,
+}
+
+/// One heap allocation site (a `malloc`/`calloc`/`realloc` op).
+#[derive(Debug, Clone)]
+pub struct SiteInfo {
+    /// Absolute op index of the allocating intrinsic.
+    pub op: usize,
+    /// Source line of the allocation.
+    pub line: u32,
+    /// Block size in bytes, when the argument folds to a constant.
+    pub size: Option<u64>,
+    /// Whether the pointer escapes the function (returned, passed to a
+    /// call, or stored to untracked memory) — escaped sites are exempt
+    /// from leak reporting.
+    pub escaped: bool,
+}
+
+/// Everything the abstract interpreter learned about one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncSummary {
+    /// Tracked scalar slots, in frame-layout order.
+    pub slots: Vec<SlotInfo>,
+    /// Op index → (slot index, access kind) for resolved local accesses.
+    pub accesses: BTreeMap<usize, (usize, AccessKind)>,
+    /// Indices of slots whose address escapes; excluded from the
+    /// uninitialized-read and dead-store analyses.
+    pub escaped: BTreeSet<usize>,
+    /// Heap allocation sites of the function.
+    pub sites: Vec<SiteInfo>,
+    /// Heap diagnostics (use-after-free, double-free, out-of-bounds, leak).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether the interpreter bailed out (stack-height mismatch); all
+    /// tables are empty then.
+    pub bailed: bool,
+}
+
+/// Abstract value on the simulated operand stack / in tracked slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AVal {
+    /// Known integer constant.
+    Const(i64),
+    /// Exact address of tracked slot `i` (frame base + its offset).
+    Slot(usize),
+    /// Pointer derived from heap site `s`, at a known byte offset when
+    /// `off` is `Some`.
+    Heap { site: usize, off: Option<i64> },
+    /// Anything else.
+    Top,
+}
+
+impl AVal {
+    fn join(a: AVal, b: AVal) -> AVal {
+        match (a, b) {
+            (x, y) if x == y => x,
+            (AVal::Heap { site: s1, .. }, AVal::Heap { site: s2, .. }) if s1 == s2 => AVal::Heap {
+                site: s1,
+                off: None,
+            },
+            _ => AVal::Top,
+        }
+    }
+}
+
+/// Per-site heap state as a may-bitmask (join is bitwise or).
+const H_NOT: u8 = 1; // may be not-yet-allocated
+const H_ALLOC: u8 = 2; // may be allocated and live
+const H_FREED: u8 = 4; // may be freed
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fact {
+    stack: Vec<AVal>,
+    /// Abstract value *stored in* each tracked slot.
+    vals: Vec<AVal>,
+    /// May-state per allocation site.
+    heap: Vec<u8>,
+}
+
+impl Fact {
+    fn join(mut self, other: &Fact) -> Option<Fact> {
+        if self.stack.len() != other.stack.len() {
+            return None;
+        }
+        for (a, b) in self.stack.iter_mut().zip(&other.stack) {
+            *a = AVal::join(*a, *b);
+        }
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            *a = AVal::join(*a, *b);
+        }
+        for (a, b) in self.heap.iter_mut().zip(&other.heap) {
+            *a |= *b;
+        }
+        Some(self)
+    }
+}
+
+/// Builds the tracked-slot table for a function: scalar locals only, keyed
+/// by exact frame offset.
+pub fn slot_table(program: &Program, func_index: usize) -> Vec<SlotInfo> {
+    program.functions[func_index]
+        .locals
+        .iter()
+        .filter(|l| l.ty.is_scalar())
+        .map(|l| SlotInfo {
+            name: l.name.clone(),
+            offset: l.offset,
+            size: l.ty.scalar_size(),
+            is_param: l.is_param,
+        })
+        .collect()
+}
+
+/// Runs the abstract interpreter over one function.
+pub fn interpret(program: &Program, cfg: &FuncCfg) -> FuncSummary {
+    let slots = slot_table(program, cfg.func_index);
+    let by_offset: BTreeMap<u64, usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.offset, i))
+        .collect();
+
+    // Allocation sites: allocating intrinsics in this function's range.
+    let (start, end) = cfg.range;
+    let mut sites = Vec::new();
+    let mut site_of_op = BTreeMap::new();
+    for op in start..end {
+        if let Op::Intrinsic(Intrinsic::Malloc | Intrinsic::Calloc | Intrinsic::Realloc, _) =
+            program.code[op]
+        {
+            site_of_op.insert(op, sites.len());
+            sites.push(SiteInfo {
+                op,
+                line: cfg.line_of(op),
+                size: None,
+                escaped: false,
+            });
+        }
+    }
+
+    let entry_fact = Fact {
+        stack: Vec::new(),
+        vals: vec![AVal::Top; slots.len()],
+        heap: vec![H_NOT; sites.len()],
+    };
+
+    let mut summary = FuncSummary {
+        slots,
+        sites,
+        ..FuncSummary::default()
+    };
+
+    // Fixpoint over block in-facts. Escapes and site sizes only grow, so
+    // they are accumulated across iterations.
+    let rpo = cfg.reverse_post_order();
+    let mut ins: Vec<Option<Fact>> = vec![None; cfg.len()];
+    ins[0] = Some(entry_fact);
+    let mut changed = true;
+    let mut ctx = Ctx {
+        program,
+        cfg,
+        by_offset: &by_offset,
+        site_of_op: &site_of_op,
+        summary: &mut summary,
+        emit: false,
+        seen: BTreeSet::new(),
+    };
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let Some(fact) = ins[b].clone() else { continue };
+            let out = match ctx.transfer_block(b, fact) {
+                Some(out) => out,
+                None => {
+                    return bail(ctx.summary);
+                }
+            };
+            for &s in &cfg.blocks[b].succs {
+                let joined = match &ins[s] {
+                    None => Some(out.clone()),
+                    Some(cur) => match out.clone().join(cur) {
+                        None => return bail(ctx.summary),
+                        Some(j) => Some(j),
+                    },
+                };
+                if joined != ins[s] {
+                    ins[s] = joined;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Emit pass over the stable facts: fill the access table and report
+    // heap diagnostics, deduplicated by (kind, line).
+    ctx.emit = true;
+    for &b in &rpo {
+        if let Some(fact) = ins[b].clone() {
+            if ctx.transfer_block(b, fact).is_none() {
+                return bail(ctx.summary);
+            }
+        }
+    }
+    summary
+}
+
+fn bail(summary: &mut FuncSummary) -> FuncSummary {
+    FuncSummary {
+        bailed: true,
+        slots: std::mem::take(&mut summary.slots),
+        ..FuncSummary::default()
+    }
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    cfg: &'a FuncCfg,
+    by_offset: &'a BTreeMap<u64, usize>,
+    site_of_op: &'a BTreeMap<usize, usize>,
+    summary: &'a mut FuncSummary,
+    emit: bool,
+    seen: BTreeSet<(DiagnosticKind, u32)>,
+}
+
+impl Ctx<'_> {
+    fn report(&mut self, kind: DiagnosticKind, line: u32, message: String) {
+        if self.emit && self.seen.insert((kind, line)) {
+            self.summary.diagnostics.push(Diagnostic::new(
+                kind,
+                line,
+                self.cfg.name.clone(),
+                message,
+            ));
+        }
+    }
+
+    fn escape_slot(&mut self, v: AVal) {
+        if let AVal::Slot(i) = v {
+            self.summary.escaped.insert(i);
+        }
+    }
+
+    fn escape_site(&mut self, v: AVal) {
+        if let AVal::Heap { site, .. } = v {
+            self.summary.sites[site].escaped = true;
+        }
+    }
+
+    /// Marks a popped value as flowing somewhere opaque: local addresses
+    /// and heap pointers both escape.
+    fn escape_value(&mut self, v: AVal) {
+        self.escape_slot(v);
+        self.escape_site(v);
+    }
+
+    fn record_access(&mut self, op: usize, slot: usize, kind: AccessKind) {
+        if self.emit {
+            self.summary.accesses.insert(op, (slot, kind));
+        }
+    }
+
+    /// Checks a memory access through abstract address `addr`, reporting
+    /// use-after-free and out-of-bounds against the heap state.
+    fn check_heap_access(&mut self, fact: &Fact, addr: AVal, size: u64, line: u32, what: &str) {
+        let AVal::Heap { site, off } = addr else {
+            return;
+        };
+        let info = &self.summary.sites[site];
+        if fact.heap[site] & H_FREED != 0 {
+            self.report(
+                DiagnosticKind::UseAfterFree,
+                line,
+                format!(
+                    "{what} through pointer into block freed earlier (allocated at line {})",
+                    info.line
+                ),
+            );
+            return;
+        }
+        if let (Some(o), Some(block)) = (off, info.size) {
+            if o < 0 || (o as u64).saturating_add(size) > block {
+                self.report(
+                    DiagnosticKind::OutOfBounds,
+                    line,
+                    format!(
+                        "{what} at byte offset {o} of a {block}-byte block (allocated at line {})",
+                        info.line
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Abstractly executes one block, returning the out-fact, or `None` on
+    /// a stack-height violation.
+    fn transfer_block(&mut self, b: usize, mut fact: Fact) -> Option<Fact> {
+        let block = &self.cfg.blocks[b];
+        for at in block.start..block.end {
+            if !self.step_op(at, &mut fact)? {
+                break; // Ret: rest of block (if any) is dead
+            }
+        }
+        Some(fact)
+    }
+
+    /// Executes one op; returns `Some(false)` when the op ends the function
+    /// (return), `None` on stack underflow (malformed code).
+    fn step_op(&mut self, at: usize, fact: &mut Fact) -> Option<bool> {
+        use Op::*;
+        let line = self.cfg.line_of(at);
+        let pop = |fact: &mut Fact| fact.stack.pop();
+        match self.program.code[at] {
+            Line(_) | Nop => {}
+            PushI(v) => fact.stack.push(AVal::Const(v)),
+            PushF(_) | PushP(_) => fact.stack.push(AVal::Top),
+            LocalAddr(off) => {
+                let v = match self.by_offset.get(&off) {
+                    Some(&i) => AVal::Slot(i),
+                    // Interior of an aggregate (array/struct): untracked.
+                    None => AVal::Top,
+                };
+                fact.stack.push(v);
+            }
+            Load(mt) => {
+                let addr = pop(fact)?;
+                let loaded = match addr {
+                    AVal::Slot(i) => {
+                        self.record_access(at, i, AccessKind::Read);
+                        fact.vals[i]
+                    }
+                    _ => {
+                        self.check_heap_access(fact, addr, mt.size(), line, "load");
+                        AVal::Top
+                    }
+                };
+                fact.stack.push(loaded);
+            }
+            Store(mt) => {
+                let value = pop(fact)?;
+                let addr = pop(fact)?;
+                match addr {
+                    AVal::Slot(i) => {
+                        self.record_access(at, i, AccessKind::Write);
+                        fact.vals[i] = value;
+                        // Storing a local's address or a heap pointer into a
+                        // *tracked* slot keeps it visible to the analysis —
+                        // no escape.
+                    }
+                    _ => {
+                        self.check_heap_access(fact, addr, mt.size(), line, "store");
+                        // The stored value flows into memory the analysis
+                        // does not model.
+                        self.escape_value(value);
+                    }
+                }
+                fact.stack.push(value);
+            }
+            MemCopy(size) => {
+                let src = pop(fact)?;
+                let dst = pop(fact)?;
+                self.check_heap_access(fact, src, size, line, "copy-read");
+                self.check_heap_access(fact, dst, size, line, "copy-write");
+                self.escape_slot(src);
+            }
+            IArith(op) => {
+                let b = pop(fact)?;
+                let a = pop(fact)?;
+                self.escape_value(a);
+                self.escape_value(b);
+                fact.stack.push(fold_iarith(op, a, b));
+            }
+            FArith(_) | ICmp(_) | FCmp(_) | PtrDiff(_) => {
+                // Comparisons and float arithmetic neither move pointers nor
+                // leak addresses into memory.
+                pop(fact)?;
+                pop(fact)?;
+                fact.stack.push(AVal::Top);
+            }
+            Neg(_) | Not | BitNot | I2F | F2I | F2F32 => {
+                pop(fact)?;
+                fact.stack.push(AVal::Top);
+            }
+            TruncI(mt) => {
+                let v = pop(fact)?;
+                fact.stack.push(match v {
+                    AVal::Const(c) => AVal::Const(match mt {
+                        MemTy::I8 => c as i8 as i64,
+                        MemTy::I32 => c as i32 as i64,
+                        _ => c,
+                    }),
+                    _ => AVal::Top,
+                });
+            }
+            I2P => {
+                let v = pop(fact)?;
+                fact.stack.push(match v {
+                    AVal::Const(0) => AVal::Const(0),
+                    _ => AVal::Top,
+                });
+            }
+            P2I => {
+                let v = pop(fact)?;
+                self.escape_value(v);
+                fact.stack.push(AVal::Top);
+            }
+            PtrAdd(elem) => {
+                let idx = pop(fact)?;
+                let p = pop(fact)?;
+                fact.stack.push(self.ptr_step(p, idx, elem as i64));
+            }
+            PtrSub(elem) => {
+                let idx = pop(fact)?;
+                let p = pop(fact)?;
+                fact.stack.push(self.ptr_step(p, idx, -(elem as i64)));
+            }
+            Jump(_) => {}
+            JumpIfZero(_) | JumpIfNotZero(_) => {
+                pop(fact)?;
+            }
+            Dup => {
+                let v = *fact.stack.last()?;
+                fact.stack.push(v);
+            }
+            Pop => {
+                pop(fact)?;
+            }
+            Call(idx) => {
+                let callee = &self.program.functions[idx];
+                for _ in 0..callee.nparams {
+                    let v = pop(fact)?;
+                    // The callee may store, free or retain the pointer.
+                    self.escape_value(v);
+                    if let AVal::Heap { site, .. } = v {
+                        fact.heap[site] |= H_FREED | H_ALLOC;
+                    }
+                }
+                if callee.ret != Type::Void {
+                    fact.stack.push(AVal::Top);
+                }
+            }
+            Ret(has_value) => {
+                if has_value {
+                    let v = pop(fact)?;
+                    self.escape_value(v);
+                }
+                // Leak check: any site still (possibly) live at this return
+                // that never escaped is unreclaimable.
+                for s in 0..fact.heap.len() {
+                    if fact.heap[s] & H_ALLOC != 0 && !self.summary.sites[s].escaped {
+                        let alloc_line = self.summary.sites[s].line;
+                        self.report(
+                            DiagnosticKind::Leak,
+                            alloc_line,
+                            format!("heap block allocated here is never freed (function returns at line {line})"),
+                        );
+                    }
+                }
+                return Some(false);
+            }
+            IncDec { memty, .. } => {
+                let addr = pop(fact)?;
+                match addr {
+                    AVal::Slot(i) => {
+                        self.record_access(at, i, AccessKind::ReadWrite);
+                        fact.vals[i] = AVal::Top;
+                    }
+                    _ => {
+                        self.check_heap_access(fact, addr, memty.size(), line, "update");
+                    }
+                }
+                fact.stack.push(AVal::Top);
+            }
+            Intrinsic(intr, argc) => {
+                self.step_intrinsic(at, intr, argc as usize, fact, line)?;
+            }
+        }
+        Some(true)
+    }
+
+    fn ptr_step(&mut self, p: AVal, idx: AVal, elem: i64) -> AVal {
+        match (p, idx) {
+            (AVal::Heap { site, off }, AVal::Const(i)) => AVal::Heap {
+                site,
+                off: off.map(|o| o + i.wrapping_mul(elem)),
+            },
+            (AVal::Heap { site, .. }, _) => AVal::Heap { site, off: None },
+            _ => {
+                // Arithmetic on a local's address (or an unknown pointer):
+                // the result is untrackable and the slot must be treated as
+                // exposed.
+                self.escape_value(p);
+                AVal::Top
+            }
+        }
+    }
+
+    fn step_intrinsic(
+        &mut self,
+        at: usize,
+        intr: Intrinsic,
+        argc: usize,
+        fact: &mut Fact,
+        line: u32,
+    ) -> Option<()> {
+        let mut args = Vec::with_capacity(argc);
+        for _ in 0..argc {
+            args.push(fact.stack.pop()?);
+        }
+        args.reverse();
+        match intr {
+            Intrinsic::Malloc | Intrinsic::Calloc | Intrinsic::Realloc => {
+                let site = self.site_of_op[&at];
+                let size = match intr {
+                    Intrinsic::Malloc => match args[0] {
+                        AVal::Const(n) if n >= 0 => Some(n as u64),
+                        _ => None,
+                    },
+                    Intrinsic::Calloc => match (args[0], args[1]) {
+                        (AVal::Const(n), AVal::Const(sz)) if n >= 0 && sz >= 0 => {
+                            Some((n as u64).saturating_mul(sz as u64))
+                        }
+                        _ => None,
+                    },
+                    Intrinsic::Realloc => {
+                        // The old block is released (its pointer dangles).
+                        if let AVal::Heap { site: old, .. } = args[0] {
+                            fact.heap[old] = (fact.heap[old] & !H_ALLOC) | H_FREED;
+                        }
+                        match args[1] {
+                            AVal::Const(n) if n >= 0 => Some(n as u64),
+                            _ => None,
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                // The site's size is a per-site constant: conflicting sizes
+                // collapse to unknown.
+                let info = &mut self.summary.sites[site];
+                info.size = match (info.size, size) {
+                    (None, s) => s,
+                    (Some(a), Some(b)) if a == b => Some(a),
+                    _ => None,
+                };
+                fact.heap[site] = H_ALLOC;
+                fact.stack.push(AVal::Heap { site, off: Some(0) });
+            }
+            Intrinsic::Free => {
+                match args[0] {
+                    AVal::Heap { site, .. } => {
+                        if fact.heap[site] & H_FREED != 0 {
+                            let alloc_line = self.summary.sites[site].line;
+                            self.report(
+                                DiagnosticKind::DoubleFree,
+                                line,
+                                format!("block allocated at line {alloc_line} may already be freed here"),
+                            );
+                        }
+                        fact.heap[site] = H_FREED;
+                    }
+                    AVal::Const(0) => {} // free(NULL) is a no-op
+                    other => self.escape_value(other),
+                }
+            }
+            Intrinsic::Printf | Intrinsic::Puts | Intrinsic::Putchar => {
+                // Output intrinsics read their arguments but neither retain
+                // nor free them; a dangling pointer argument is still a use.
+                for &a in &args {
+                    if let AVal::Heap { site, .. } = a {
+                        if fact.heap[site] & H_FREED != 0 {
+                            let alloc_line = self.summary.sites[site].line;
+                            self.report(
+                                DiagnosticKind::UseAfterFree,
+                                line,
+                                format!(
+                                    "freed block (allocated at line {alloc_line}) passed to output"
+                                ),
+                            );
+                        }
+                    }
+                    self.escape_slot(a);
+                }
+                fact.stack.push(AVal::Top);
+            }
+        }
+        Some(())
+    }
+}
+
+fn fold_iarith(op: minic::ast::BinOp, a: AVal, b: AVal) -> AVal {
+    use minic::ast::BinOp;
+    let (AVal::Const(x), AVal::Const(y)) = (a, b) else {
+        return AVal::Top;
+    };
+    match op {
+        BinOp::Add => AVal::Const(x.wrapping_add(y)),
+        BinOp::Sub => AVal::Const(x.wrapping_sub(y)),
+        BinOp::Mul => AVal::Const(x.wrapping_mul(y)),
+        BinOp::Div if y != 0 => AVal::Const(x.wrapping_div(y)),
+        BinOp::Rem if y != 0 => AVal::Const(x.wrapping_rem(y)),
+        _ => AVal::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfgs;
+
+    fn summarize(src: &str) -> FuncSummary {
+        let program = minic::compile("t.c", src).expect("fixture compiles");
+        let cfgs = build_cfgs(&program);
+        let main = cfgs.iter().find(|c| c.name == "main").unwrap();
+        interpret(&program, main)
+    }
+
+    fn kinds(s: &FuncSummary) -> Vec<DiagnosticKind> {
+        s.diagnostics.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_is_quiet() {
+        let s = summarize(
+            "int main() { long* p = malloc(16); p[0] = 4; long v = p[0]; free(p); return (int)v; }",
+        );
+        assert!(s.diagnostics.is_empty(), "got {:?}", s.diagnostics);
+        assert!(!s.bailed);
+    }
+
+    #[test]
+    fn use_after_free_via_alias() {
+        let s = summarize(
+            "int main() { long* p = malloc(16); long* q = p; free(q); return (int)p[0]; }",
+        );
+        assert!(
+            kinds(&s).contains(&DiagnosticKind::UseAfterFree),
+            "{:?}",
+            s.diagnostics
+        );
+    }
+
+    #[test]
+    fn double_free_reported_once() {
+        let s = summarize("int main() { long* p = malloc(16); free(p); free(p); return 0; }");
+        let dfs: Vec<_> = s
+            .diagnostics
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::DoubleFree)
+            .collect();
+        assert_eq!(dfs.len(), 1, "{:?}", s.diagnostics);
+    }
+
+    #[test]
+    fn constant_out_of_bounds_index() {
+        let s = summarize("int main() { long* p = malloc(16); p[3] = 1; free(p); return 0; }");
+        assert!(
+            kinds(&s).contains(&DiagnosticKind::OutOfBounds),
+            "{:?}",
+            s.diagnostics
+        );
+    }
+
+    #[test]
+    fn leaked_block_reported_at_alloc_line() {
+        let s = summarize("int main() {\n  long* p = malloc(16);\n  return 0;\n}");
+        let leak = s
+            .diagnostics
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::Leak)
+            .expect("leak diagnostic");
+        assert_eq!(leak.span, 2);
+    }
+
+    #[test]
+    fn conditional_free_is_may_double_free() {
+        let s = summarize(
+            "int main() { long c = 0; long* p = malloc(16); if (c) { free(p); } free(p); return 0; }",
+        );
+        let k = kinds(&s);
+        assert!(
+            k.contains(&DiagnosticKind::DoubleFree),
+            "{:?}",
+            s.diagnostics
+        );
+    }
+
+    #[test]
+    fn escaped_pointer_suppresses_leak() {
+        let s = summarize(
+            "int sink(long* p) { return (int)p[0]; }\nint main() { long* p = malloc(16); p[0] = 1; return sink(p); }",
+        );
+        assert!(
+            !kinds(&s).contains(&DiagnosticKind::Leak),
+            "{:?}",
+            s.diagnostics
+        );
+    }
+
+    #[test]
+    fn address_taken_slot_escapes() {
+        let s = summarize(
+            "int use(long* p) { return (int)p[0]; }\nint main() { long x = 1; int r = use(&x); return r; }",
+        );
+        let xi = s.slots.iter().position(|sl| sl.name == "x").unwrap();
+        assert!(s.escaped.contains(&xi));
+    }
+
+    #[test]
+    fn access_table_resolves_slots() {
+        let s = summarize("int main() { long a = 1; long b = a; return (int)b; }");
+        let reads = s
+            .accesses
+            .values()
+            .filter(|(_, k)| *k == AccessKind::Read)
+            .count();
+        let writes = s
+            .accesses
+            .values()
+            .filter(|(_, k)| *k == AccessKind::Write)
+            .count();
+        assert!(reads >= 2 && writes >= 2, "reads={reads} writes={writes}");
+    }
+}

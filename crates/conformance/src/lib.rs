@@ -18,6 +18,9 @@
 //!   faults (truncated, corrupted, duplicated frames; mid-command EOF)
 //!   and liveness faults (hangs, stalls, engine crashes) plus seeded
 //!   chaos schedules that kill a supervised session at an arbitrary call;
+//! * [`sanitize`] — seed-driven memory-*unsafe* MiniC programs and the
+//!   static ⊇ runtime superset oracle tying the `analysis` crate's
+//!   findings to the VM sanitizer's traps;
 //! * [`shrink`] — a delta-debugging reducer over the generator AST, and
 //!   the committed reproducer corpus under `tests/corpus/`.
 //!
@@ -28,6 +31,7 @@ pub mod diff;
 pub mod fault;
 pub mod gen;
 pub mod rng;
+pub mod sanitize;
 pub mod shrink;
 
 pub use diff::{ChaosOutcome, Divergence, Driver};
@@ -35,6 +39,7 @@ pub use fault::{
     chaos_wrapper, counting_wrapper, dead_wrapper, ChaosFault, ChaosPlan, ChaosState, FaultKind,
     FaultTransport,
 };
+pub use sanitize::{gen_unsafe_c, superset_oracle, OracleReport};
 pub use shrink::{shrink, CheckKind, CorpusEntry};
 
 use std::path::PathBuf;

@@ -283,6 +283,14 @@ pub enum CheckKind {
     /// An engine that dies on every incarnation exhausts the respawn
     /// budget on `c` and degrades explicitly instead of looping forever.
     RespawnStormDegraded,
+    /// On a generated memory-unsafe `c` program, the static analysis
+    /// covers every runtime sanitizer trap at the same
+    /// `(kind, function, line)`, and at least one trap actually fires.
+    StaticCoversSanitizer,
+    /// On a generated memory-safe `c` program, running under the
+    /// sanitizer is behaviour-neutral: identical output and exit code to
+    /// the plain VM.
+    SanitizerNeutralOutput,
 }
 
 /// A minimized, committed reproducer. `seed` records the generator seed
@@ -378,7 +386,56 @@ pub fn run_entry(entry: &CorpusEntry) -> Result<(), String> {
         CheckKind::TruncateFaultRecovery => truncate_fault_recovery(need(&entry.c, "C", entry)?),
         CheckKind::ChaosCrashRecovery => chaos_crash_recovery(need(&entry.c, "C", entry)?),
         CheckKind::RespawnStormDegraded => respawn_storm_degraded(need(&entry.c, "C", entry)?),
+        CheckKind::StaticCoversSanitizer => static_covers_sanitizer(need(&entry.c, "C", entry)?),
+        CheckKind::SanitizerNeutralOutput => sanitizer_neutral_output(need(&entry.c, "C", entry)?),
     }
+}
+
+/// The superset-oracle reproducer: the static findings must cover every
+/// runtime trap, and at least one trap must actually fire so the entry
+/// keeps exercising the sanitizer path.
+fn static_covers_sanitizer(src: &str) -> Result<(), String> {
+    let report = crate::sanitize::superset_oracle("corpus.c", src)?;
+    if !report.holds() {
+        return Err(format!(
+            "runtime traps escaped the static findings: {:#?}",
+            report.violations
+        ));
+    }
+    if report.runtime_traps.is_empty() {
+        return Err("no runtime traps fired; the entry no longer exercises the sanitizer".into());
+    }
+    Ok(())
+}
+
+/// The behaviour-neutrality reproducer: on a safe program the sanitized
+/// VM must print the same output and exit with the same code as the
+/// plain one (traps are observations, never behaviour changes).
+fn sanitizer_neutral_output(src: &str) -> Result<(), String> {
+    let program = minic::compile("corpus.c", src).map_err(|e| e.to_string())?;
+    let mut plain = minic::vm::Vm::new(&program);
+    let plain_exit = plain
+        .run_to_completion()
+        .map_err(|e| format!("plain run: {e}"))?;
+    let mut sanitized = minic::vm::Vm::new(&program);
+    sanitized.set_sanitizer(true);
+    let sanitized_exit = loop {
+        match sanitized.step() {
+            Ok(minic::Event::Exited(code)) => break code,
+            Ok(_) => {}
+            Err(e) => return Err(format!("sanitized run faulted: {e}")),
+        }
+    };
+    if plain.output() != sanitized.output() || plain_exit != sanitized_exit {
+        return Err(format!(
+            "sanitizer changed behaviour:\n\
+             plain:     exit {plain_exit}, output {:?}\n\
+             sanitized: exit {sanitized_exit}, output {:?}",
+            plain.output(),
+            sanitized.output(),
+        ));
+    }
+    Ok(())
 }
 
 /// Supervision for corpus chaos replays: generous deadline (crashes do

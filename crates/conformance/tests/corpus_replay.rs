@@ -85,9 +85,55 @@ const SPECS: &[(&str, u64, CheckKind)] = &[
     ),
     ("engine-crash-recovery", 1, CheckKind::ChaosCrashRecovery),
     ("respawn-storm-degrades", 1, CheckKind::RespawnStormDegraded),
+    (
+        "static-superset-of-sanitizer",
+        7,
+        CheckKind::StaticCoversSanitizer,
+    ),
+    (
+        "sanitizer-neutral-execution",
+        3,
+        CheckKind::SanitizerNeutralOutput,
+    ),
 ];
 
 fn rederive(name: &str, seed: u64, check: CheckKind) -> conformance::CorpusEntry {
+    // The sanitizer entries are not shrinker outputs: their programs come
+    // straight from the dedicated generators, so re-derivation is direct
+    // construction from the seed.
+    match check {
+        CheckKind::StaticCoversSanitizer => {
+            return conformance::CorpusEntry {
+                name: name.to_owned(),
+                note: "On this generated memory-unsafe program, every runtime \
+                       sanitizer trap is covered by a static finding at the same \
+                       (kind, function, line), and at least one trap fires — pins \
+                       the static-superset-of-runtime containment relation."
+                    .into(),
+                seed,
+                check,
+                c: Some(conformance::gen_unsafe_c(seed)),
+                py: None,
+                asm: None,
+            }
+        }
+        CheckKind::SanitizerNeutralOutput => {
+            return conformance::CorpusEntry {
+                name: name.to_owned(),
+                note: "On this generated memory-safe program, the sanitized VM \
+                       prints the same output and exits with the same code as the \
+                       plain VM — pins that sanitizer traps are observations, \
+                       never behaviour changes."
+                    .into(),
+                seed,
+                check,
+                c: Some(gen::render_c(&gen::gen_program(seed))),
+                py: None,
+                asm: None,
+            }
+        }
+        _ => {}
+    }
     let mut fails: Box<dyn FnMut(&gen::Program) -> bool> = match check {
         // The wire-fault and supervision scenarios reproduce with any
         // program the generator emits; shrinking keeps only what the

@@ -62,8 +62,8 @@ pub use py_tracker::PyTracker;
 pub use recording::{RecordedStep, Recording, ReplayTracker};
 
 pub use state::{
-    AbstractType, Content, ExitStatus, Frame, Location, PauseReason, Prim, ProgramState, Scope,
-    SourceLocation, Value, Variable,
+    AbstractType, Content, Diagnostic, DiagnosticKind, ExitStatus, Frame, Location, PauseReason,
+    Prim, ProgramState, Scope, Severity, SourceLocation, Value, Variable,
 };
 
 use std::fmt;
@@ -277,6 +277,39 @@ pub trait Tracker {
     /// `get_value_at_gdb`); `None` for trackers without one.
     fn low_level(&mut self) -> Option<&mut dyn LowLevel> {
         None
+    }
+
+    // ---- analysis ---------------------------------------------------------
+
+    /// Runs the static memory-safety analysis over the loaded program and
+    /// returns its findings. Purely compile-time: valid before `start`,
+    /// and the inferior does not run. The default fails for trackers
+    /// whose language has no analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Unsupported`] by default; MI trackers also fail
+    /// when the engine is unreachable.
+    fn diagnostics(&mut self) -> Result<Vec<Diagnostic>> {
+        Err(TrackerError::Unsupported(
+            "static diagnostics are not available for this tracker".into(),
+        ))
+    }
+
+    /// Switches the runtime memory sanitizer on or off. Must be called
+    /// before `start`; sanitized runs pause with
+    /// [`PauseReason::Sanitizer`] at every memory-safety trap. The
+    /// default fails for trackers without a sanitizer.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Unsupported`] by default; MI trackers also fail
+    /// after `start` or when the engine is unreachable.
+    fn set_sanitizer(&mut self, on: bool) -> Result<()> {
+        let _ = on;
+        Err(TrackerError::Unsupported(
+            "sanitized execution is not available for this tracker".into(),
+        ))
     }
 
     // ---- observability ----------------------------------------------------

@@ -194,6 +194,11 @@ enum JournalEntry {
     Arm { cmd: Command, id: ControlPointId },
     /// A control point removed.
     Disarm { id: ControlPointId },
+    /// A configuration command acknowledged with `Ok` (sanitizer mode).
+    /// Replayed in order so a respawned engine runs in the same mode —
+    /// sanitized runs pause at traps, and a fresh engine that skipped
+    /// the sanitizer would diverge at the first one.
+    Config { cmd: Command },
 }
 
 /// How the engine behind the port is owned (for teardown and liveness
@@ -691,6 +696,16 @@ impl MiTracker {
                         Err(_) => return Err(ReplayOutcome::Lost),
                     }
                 }
+                JournalEntry::Config { cmd } => match backend.port.call(cmd.clone()) {
+                    Ok(Response::Ok) => {}
+                    Ok(other) => {
+                        return Err(ReplayOutcome::Diverged(format!(
+                            "replaying `{}` expected Ok, got {other:?}",
+                            cmd.kind()
+                        )))
+                    }
+                    Err(_) => return Err(ReplayOutcome::Lost),
+                },
             }
         }
         // The fresh engine re-produced all output since program start;
@@ -1036,6 +1051,30 @@ impl Tracker for MiTracker {
         Some(self)
     }
 
+    fn diagnostics(&mut self) -> Result<Vec<state::Diagnostic>> {
+        match self.inspect(Command::Analyze)? {
+            Response::Diagnostics(diags) => Ok(diags),
+            other => Err(TrackerError::Protocol(format!(
+                "expected diagnostics, got {other:?}"
+            ))),
+        }
+    }
+
+    fn set_sanitizer(&mut self, on: bool) -> Result<()> {
+        let cmd = Command::SetSanitizer { on };
+        match self.call(cmd.clone())? {
+            Response::Ok => {
+                if self.spec.is_some() {
+                    self.journal.push(JournalEntry::Config { cmd });
+                }
+                Ok(())
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
     fn stats(&self) -> obs::Snapshot {
         self.obs.snapshot()
     }
@@ -1364,6 +1403,83 @@ mod tests {
             seen, full_reference,
             "no output lost or duplicated across the respawn"
         );
+    }
+
+    const UNSAFE_PROG: &str =
+        "int main() {\nint* p = malloc(4);\n*p = 7;\nfree(p);\nint x = *p;\nreturn x;\n}";
+
+    #[test]
+    fn diagnostics_cross_the_boundary_without_running() {
+        let mut t = MiTracker::load_c("p.c", UNSAFE_PROG).unwrap();
+        let diags = t.diagnostics().unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == state::DiagnosticKind::UseAfterFree && d.span == 5));
+        assert_eq!(t.get_exit_code(), None, "analysis never ran the inferior");
+        // The inferior is still startable afterwards.
+        assert_eq!(t.start().unwrap(), PauseReason::Started);
+    }
+
+    #[test]
+    fn sanitized_session_pauses_at_traps() {
+        let mut t = MiTracker::load_c("p.c", UNSAFE_PROG).unwrap();
+        t.set_sanitizer(true).unwrap();
+        t.start().unwrap();
+        match t.resume().unwrap() {
+            PauseReason::Sanitizer { diagnostic } => {
+                assert_eq!(diagnostic.kind, state::DiagnosticKind::UseAfterFree);
+                assert_eq!(diagnostic.span, 5);
+                // The paused frame is inspectable like any other pause.
+                assert_eq!(t.get_current_frame().unwrap().name(), "main");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(
+            t.resume().unwrap(),
+            PauseReason::Exited(ExitStatus::Exited(7)),
+            "traps are observations, not faults"
+        );
+    }
+
+    #[test]
+    fn sanitizer_must_precede_start() {
+        let mut t = MiTracker::load_c("p.c", UNSAFE_PROG).unwrap();
+        t.start().unwrap();
+        assert!(matches!(
+            t.set_sanitizer(true),
+            Err(TrackerError::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn sanitizer_mode_survives_an_engine_respawn() {
+        // Call 3 is the first `resume`: the engine is lost mid-run, after
+        // the sanitizer was armed and the inferior started.
+        let (wrapper, state) = fail_once_wrapper(3);
+        let mut t = MiTracker::load_spec(
+            ProgramSpec::c("p.c", UNSAFE_PROG),
+            obs::Registry::new(),
+            fast_supervision(),
+            Some(wrapper),
+        )
+        .unwrap();
+        t.set_sanitizer(true).unwrap();
+        t.start().unwrap();
+        let mut traps = Vec::new();
+        loop {
+            match t.resume().unwrap() {
+                PauseReason::Sanitizer { diagnostic } => traps.push(diagnostic.kind),
+                PauseReason::Exited(ExitStatus::Exited(code)) => {
+                    assert_eq!(code, 7);
+                    break;
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(state.fired.load(Ordering::SeqCst), "the fault really fired");
+        assert_eq!(*t.health(), SessionHealth::Healthy);
+        assert_eq!(t.respawns(), 1);
+        assert_eq!(traps, vec![state::DiagnosticKind::UseAfterFree]);
     }
 
     #[test]

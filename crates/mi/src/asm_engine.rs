@@ -576,6 +576,14 @@ impl Engine for AsmEngine {
                 text: self.cpu.program().source.clone(),
             },
             Command::GetBreakableLines => Response::Lines(self.cpu.program().breakable_lines()),
+            // The dataflow analysis and the sanitizer are defined over
+            // MiniC bytecode; assembly programs have neither.
+            Command::Analyze => Response::Error {
+                message: "static analysis is not supported for assembly programs".into(),
+            },
+            Command::SetSanitizer { .. } => Response::Error {
+                message: "sanitizer mode is not supported for assembly programs".into(),
+            },
             // The serve loop normally answers Ping itself; answering here
             // too keeps `handle` total for engines driven directly.
             Command::Ping => Response::Pong,

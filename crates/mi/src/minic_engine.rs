@@ -341,6 +341,12 @@ impl MinicEngine {
                     }
                 }
                 Event::Output(_) => {}
+                Event::SanitizerTrap(diagnostic) => {
+                    if let Some(reg) = &self.registry {
+                        reg.add("sanitizer.traps", 1);
+                    }
+                    return PauseReason::Sanitizer { diagnostic };
+                }
                 Event::Exited(code) => {
                     return PauseReason::Exited(ExitStatus::Exited(code));
                 }
@@ -538,6 +544,22 @@ impl Engine for MinicEngine {
             },
             Command::GetBreakableLines => {
                 Response::Lines(self.vm.program().breakable_lines().into_iter().collect())
+            }
+            Command::Analyze => {
+                let diags = match &self.registry {
+                    Some(reg) => analysis::analyze_with_registry(self.vm.program(), reg),
+                    None => analysis::analyze(self.vm.program()),
+                };
+                Response::Diagnostics(diags)
+            }
+            Command::SetSanitizer { on } => {
+                if self.started {
+                    return Response::Error {
+                        message: "sanitizer mode must be set before start".into(),
+                    };
+                }
+                self.vm.set_sanitizer(on);
+                Response::Ok
             }
             // The serve loop normally answers Ping itself; answering here
             // too keeps `handle` total for engines driven directly.
@@ -844,6 +866,110 @@ mod tests {
             Response::Registers(regs) => {
                 assert!(regs.iter().any(|r| r.name() == "sp"));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod sanitizer_tests {
+    use super::*;
+    use minic::compile;
+    use state::DiagnosticKind;
+
+    const UAF: &str =
+        "int main() {\nint* p = malloc(4);\n*p = 7;\nfree(p);\nint x = *p;\nreturn x;\n}";
+
+    fn engine(src: &str) -> MinicEngine {
+        MinicEngine::new(&compile("t.c", src).unwrap())
+    }
+
+    fn paused(r: Response) -> PauseReason {
+        match r {
+            Response::Paused(p) => p,
+            other => panic!("expected Paused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_trap_pauses_with_the_diagnostic() {
+        let mut e = engine(UAF);
+        assert_eq!(e.handle(Command::SetSanitizer { on: true }), Response::Ok);
+        e.handle(Command::Start);
+        match paused(e.handle(Command::Resume)) {
+            PauseReason::Sanitizer { diagnostic } => {
+                assert_eq!(diagnostic.kind, DiagnosticKind::UseAfterFree);
+                assert_eq!(diagnostic.span, 5);
+                assert_eq!(diagnostic.function, "main");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // The trap is an observation, not a fault: the inferior still
+        // runs to completion (quarantined memory retains its value).
+        let r = paused(e.handle(Command::Resume));
+        assert_eq!(r, PauseReason::Exited(ExitStatus::Exited(7)));
+    }
+
+    #[test]
+    fn state_is_inspectable_at_a_sanitizer_pause() {
+        let mut e = engine(UAF);
+        e.handle(Command::SetSanitizer { on: true });
+        e.handle(Command::Start);
+        paused(e.handle(Command::Resume)); // the UAF trap
+        match e.handle(Command::GetState) {
+            Response::State(st) => {
+                assert_eq!(st.frame.name(), "main");
+                assert!(matches!(st.reason, PauseReason::Sanitizer { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_traps_counter_is_published() {
+        let reg = obs::Registry::new();
+        let mut e = engine(UAF);
+        e.set_registry(reg.clone());
+        e.handle(Command::SetSanitizer { on: true });
+        e.handle(Command::Start);
+        loop {
+            if let PauseReason::Exited(_) = paused(e.handle(Command::Resume)) {
+                break;
+            }
+        }
+        assert_eq!(reg.snapshot().counter("sanitizer.traps"), 1);
+    }
+
+    #[test]
+    fn set_sanitizer_rejected_after_start() {
+        let mut e = engine(UAF);
+        e.handle(Command::Start);
+        assert!(matches!(
+            e.handle(Command::SetSanitizer { on: true }),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn analyze_reports_without_running() {
+        let mut e = engine(UAF);
+        // No Start: the analysis is compile-time only.
+        match e.handle(Command::Analyze) {
+            Response::Diagnostics(diags) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.kind == DiagnosticKind::UseAfterFree && d.span == 5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(e.handle(Command::GetExitCode), Response::ExitCode(None));
+    }
+
+    #[test]
+    fn analyze_is_clean_on_a_safe_program() {
+        let mut e = engine("int main() {\nint x = 1;\nreturn x;\n}");
+        match e.handle(Command::Analyze) {
+            Response::Diagnostics(diags) => assert!(diags.is_empty(), "{diags:?}"),
             other => panic!("unexpected {other:?}"),
         }
     }

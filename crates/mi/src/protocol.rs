@@ -5,7 +5,7 @@
 //! pickled objects crossing the GDB pipe.
 
 use serde::{Deserialize, Serialize};
-use state::{PauseReason, ProgramState, Variable};
+use state::{Diagnostic, PauseReason, ProgramState, Variable};
 
 /// A command from the tracker to the engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,6 +80,18 @@ pub enum Command {
     GetSource,
     /// Fetch the lines valid as breakpoint targets.
     GetBreakableLines,
+    /// Run the static memory-safety analysis over the loaded program and
+    /// return its diagnostics. Purely compile-time: the inferior does not
+    /// run (and need not have started).
+    Analyze,
+    /// Switch the runtime memory sanitizer on or off. Must be issued
+    /// before `Start`: shadow state is built as frames are pushed, so
+    /// toggling mid-run would miss already-live frames.
+    SetSanitizer {
+        /// `true` enables sanitized execution (redzones, quarantine,
+        /// shadow init bits); `false` restores plain execution.
+        on: bool,
+    },
     /// Liveness probe: the serve loop answers [`Response::Pong`] without
     /// involving the engine, so a healthy-but-busy boundary and a wedged
     /// one are distinguishable. Supervisors use it as a heartbeat.
@@ -113,6 +125,8 @@ impl Command {
             Command::GetExitCode => "GetExitCode",
             Command::GetSource => "GetSource",
             Command::GetBreakableLines => "GetBreakableLines",
+            Command::Analyze => "Analyze",
+            Command::SetSanitizer { .. } => "SetSanitizer",
             Command::Ping => "Ping",
             Command::Terminate => "Terminate",
         }
@@ -125,7 +139,9 @@ impl Command {
     ///
     /// `GetOutput` is deliberately *not* idempotent: it drains the output
     /// buffer, so a retry whose first attempt actually reached the engine
-    /// would silently lose output.
+    /// would silently lose output. `Analyze` never touches the inferior,
+    /// and `SetSanitizer` converges (setting the same mode twice is a
+    /// no-op), so both retry safely.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -137,6 +153,8 @@ impl Command {
                 | Command::GetExitCode
                 | Command::GetSource
                 | Command::GetBreakableLines
+                | Command::Analyze
+                | Command::SetSanitizer { .. }
                 | Command::Ping
                 | Command::Terminate
         )
@@ -206,6 +224,8 @@ pub enum Response {
     },
     /// Lines that can hold a breakpoint.
     Lines(Vec<u32>),
+    /// Static-analysis findings for [`Command::Analyze`].
+    Diagnostics(Vec<Diagnostic>),
     /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
     Pong,
     /// The command failed.

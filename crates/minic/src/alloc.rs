@@ -15,6 +15,9 @@ use std::fmt;
 /// Allocation granularity; every block address is a multiple of this.
 pub const ALIGN: u64 = 16;
 
+/// Bytes of guard zone on each side of a block in sanitize mode.
+pub const REDZONE: u64 = 16;
+
 /// A heap block, live or freed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Block {
@@ -24,6 +27,11 @@ pub struct Block {
     pub size: u64,
     /// Whether the block is still allocated.
     pub live: bool,
+    /// Allocation serial number. Every successful `malloc`/`calloc`/
+    /// `realloc` gets a fresh epoch, so a handle that remembers
+    /// `(addr, epoch)` can detect that its block was freed and the address
+    /// recycled for an unrelated allocation.
+    pub epoch: u64,
 }
 
 impl Block {
@@ -87,6 +95,12 @@ pub struct Allocator {
     total_allocs: u64,
     /// Count of successful `free`s of real blocks (for stats/benches).
     total_frees: u64,
+    /// Next allocation epoch (monotonically increasing serial).
+    next_epoch: u64,
+    /// Sanitize mode: blocks get [`REDZONE`] guard bytes on both sides and
+    /// freed blocks are quarantined (never recycled), so out-of-bounds and
+    /// use-after-free accesses land in classifiable memory.
+    sanitize: bool,
 }
 
 impl Default for Allocator {
@@ -105,7 +119,24 @@ impl Allocator {
             live_bytes: 0,
             total_allocs: 0,
             total_frees: 0,
+            next_epoch: 1,
+            sanitize: false,
         }
+    }
+
+    /// Switches the allocator into sanitize mode (guard zones + quarantine).
+    /// Must be called before the first allocation.
+    pub fn set_sanitize(&mut self, on: bool) {
+        debug_assert!(
+            self.blocks.is_empty(),
+            "sanitize mode must be set before the first allocation"
+        );
+        self.sanitize = on;
+    }
+
+    /// Whether sanitize mode is active.
+    pub fn sanitize(&self) -> bool {
+        self.sanitize
     }
 
     /// Allocates `size` bytes (zero-size allocations get a unique 1-byte
@@ -115,6 +146,9 @@ impl Allocator {
     ///
     /// Returns [`AllocError::OutOfMemory`] when the arena is exhausted.
     pub fn malloc(&mut self, mem: &mut Memory, size: u64) -> Result<u64, AllocError> {
+        if self.sanitize {
+            return self.malloc_sanitized(mem, size);
+        }
         let want = crate::types::round_up(size.max(1), ALIGN);
         // First fit in the free list.
         let addr = if let Some(i) = self.free.iter().position(|&(_, s)| s >= want) {
@@ -153,8 +187,38 @@ impl Allocator {
                 addr,
                 size,
                 live: true,
+                epoch: self.next_epoch,
             },
         );
+        self.next_epoch += 1;
+        self.live_bytes += size;
+        self.total_allocs += 1;
+        Ok(addr)
+    }
+
+    /// Sanitize-mode allocation: bump allocation only (freed ranges are
+    /// quarantined, never recycled) with [`REDZONE`] guard bytes on both
+    /// sides of the usable range. Guard bytes and quarantined blocks stay
+    /// mapped, so stray accesses complete benignly and can be classified by
+    /// [`Allocator::block_near`] instead of crashing the VM.
+    fn malloc_sanitized(&mut self, mem: &mut Memory, size: u64) -> Result<u64, AllocError> {
+        let want = crate::types::round_up(size.max(1), ALIGN) + 2 * REDZONE;
+        if self.brk + want > HEAP_SIZE {
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
+        let addr = HEAP_BASE + self.brk + REDZONE;
+        self.brk += want;
+        mem.ensure_heap(self.brk);
+        self.blocks.insert(
+            addr,
+            Block {
+                addr,
+                size,
+                live: true,
+                epoch: self.next_epoch,
+            },
+        );
+        self.next_epoch += 1;
         self.live_bytes += size;
         self.total_allocs += 1;
         Ok(addr)
@@ -193,8 +257,13 @@ impl Allocator {
                 b.live = false;
                 self.live_bytes -= b.size;
                 self.total_frees += 1;
-                let span = crate::types::round_up(b.size.max(1), ALIGN);
-                Allocator::insert_free(&mut self.free, addr, span);
+                // Sanitize mode quarantines the range forever: the block
+                // record survives, so later accesses classify as
+                // use-after-free instead of silently hitting recycled data.
+                if !self.sanitize {
+                    let span = crate::types::round_up(b.size.max(1), ALIGN);
+                    Allocator::insert_free(&mut self.free, addr, span);
+                }
                 Ok(())
             }
             Some(_) => Err(AllocError::DoubleFree { addr }),
@@ -252,6 +321,23 @@ impl Allocator {
     /// Whether `addr` points into a live heap block.
     pub fn is_live(&self, addr: u64) -> bool {
         self.block_containing(addr).is_some_and(|b| b.live)
+    }
+
+    /// The block whose *padded* range (body plus [`REDZONE`] guard bytes on
+    /// each side) contains `addr`. Used by the runtime sanitizer to classify
+    /// near-miss accesses: inside the body of a freed block or in a guard
+    /// zone. Only meaningful in sanitize mode, where padded ranges are
+    /// disjoint by construction.
+    pub fn block_near(&self, addr: u64) -> Option<Block> {
+        self.blocks
+            .range(..=addr.saturating_add(REDZONE))
+            .next_back()
+            .map(|(_, b)| *b)
+            .filter(|b| {
+                let lo = b.addr.saturating_sub(REDZONE);
+                let hi = b.addr + crate::types::round_up(b.size.max(1), ALIGN) + REDZONE;
+                addr >= lo && addr < hi
+            })
     }
 
     /// Iterates over live blocks in address order.
@@ -405,5 +491,46 @@ mod tests {
         let p1 = a.malloc(&mut m, 0).unwrap();
         let p2 = a.malloc(&mut m, 0).unwrap();
         assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn epochs_distinguish_recycled_addresses() {
+        let (mut a, mut m) = setup();
+        let p1 = a.malloc(&mut m, 32).unwrap();
+        let e1 = a.block_containing(p1).unwrap().epoch;
+        a.free(p1).unwrap();
+        let p2 = a.malloc(&mut m, 32).unwrap();
+        assert_eq!(p2, p1, "default mode recycles the range");
+        let e2 = a.block_containing(p2).unwrap().epoch;
+        assert_ne!(e1, e2, "recycled block must carry a fresh epoch");
+    }
+
+    #[test]
+    fn sanitize_mode_never_recycles() {
+        let (mut a, mut m) = setup();
+        a.set_sanitize(true);
+        let p1 = a.malloc(&mut m, 32).unwrap();
+        a.free(p1).unwrap();
+        let p2 = a.malloc(&mut m, 32).unwrap();
+        assert_ne!(p2, p1, "quarantine keeps freed ranges out of circulation");
+        let b = a.block_containing(p1).unwrap();
+        assert!(!b.live, "freed block record survives for classification");
+    }
+
+    #[test]
+    fn sanitize_mode_block_near_classifies_redzones() {
+        let (mut a, mut m) = setup();
+        a.set_sanitize(true);
+        let p = a.malloc(&mut m, 20).unwrap();
+        // One past the end: inside the trailing guard zone.
+        let near = a.block_near(p + 20).unwrap();
+        assert_eq!(near.addr, p);
+        // Just before the start: inside the leading guard zone.
+        let near = a.block_near(p - 1).unwrap();
+        assert_eq!(near.addr, p);
+        // Blocks are spaced so padded ranges stay disjoint.
+        let q = a.malloc(&mut m, 8).unwrap();
+        assert!(q >= p + 20 + 2 * REDZONE);
+        assert_eq!(a.block_near(q - 1).unwrap().addr, q);
     }
 }

@@ -72,9 +72,7 @@ pub fn current_frame_with(vm: &Vm, opts: InspectOptions) -> Frame {
                 continue;
             }
             let addr = fi.base + local.offset;
-            let value = read_value(vm, addr, &local.ty, opts)
-                .with_location(Location::Stack)
-                .with_address(addr);
+            let value = place_value(read_value(vm, addr, &local.ty, opts), Location::Stack, addr);
             let scope = if local.is_param {
                 Scope::Parameter
             } else {
@@ -101,12 +99,24 @@ pub fn global_variables_with(vm: &Vm, opts: InspectOptions) -> Vec<Variable> {
         .globals
         .iter()
         .map(|g| {
-            let value = read_value(vm, g.addr, &g.ty, opts)
-                .with_location(Location::Global)
-                .with_address(g.addr);
+            let value = place_value(
+                read_value(vm, g.addr, &g.ty, opts),
+                Location::Global,
+                g.addr,
+            );
             Variable::new(g.name.clone(), Scope::Global, value)
         })
         .collect()
+}
+
+/// Stamps a variable's value with the location/address of its storage —
+/// except for dangling heap pointers, whose `Heap` location and freed
+/// target address are the signal renderers use to print `<dangling>`.
+fn place_value(v: Value, location: Location, addr: u64) -> Value {
+    if v.abstract_type() == state::AbstractType::Invalid && v.location() == Location::Heap {
+        return v;
+    }
+    v.with_location(location).with_address(addr)
 }
 
 /// Reads a typed value from memory into the abstract representation.
@@ -155,6 +165,93 @@ pub enum PointerClass {
     Valid(Location),
     /// Dangling, freed or out-of-range.
     Invalid,
+}
+
+/// A stable reference to one heap block, pinned to its allocation epoch.
+///
+/// The allocator recycles freed ranges, so a bare address can silently come
+/// to denote a *different* block than the one a tool captured earlier. A
+/// handle remembers the allocation epoch alongside the address and
+/// [`read_block`] refuses to read once the block was freed or its range
+/// recycled — the stale read becomes an explicit error instead of bytes
+/// from an unrelated allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    addr: u64,
+    size: u64,
+    epoch: u64,
+}
+
+impl BlockHandle {
+    /// The block's base address at capture time.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The block's requested size at capture time.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+/// Why [`read_block`] refused to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleHandle {
+    /// The block was freed (and possibly quarantined) since capture.
+    Freed,
+    /// The range was recycled: a different block now occupies the address.
+    Recycled,
+    /// No block record exists at the address any more.
+    Gone,
+}
+
+impl std::fmt::Display for StaleHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaleHandle::Freed => write!(f, "block was freed after the handle was taken"),
+            StaleHandle::Recycled => {
+                write!(f, "block range was recycled by a later allocation")
+            }
+            StaleHandle::Gone => write!(f, "no heap block exists at the handle's address"),
+        }
+    }
+}
+
+impl std::error::Error for StaleHandle {}
+
+/// Captures a handle to the live heap block containing `addr`.
+pub fn block_handle(vm: &Vm, addr: u64) -> Option<BlockHandle> {
+    vm.allocator()
+        .block_containing(addr)
+        .filter(|b| b.live)
+        .map(|b| BlockHandle {
+            addr: b.addr,
+            size: b.size,
+            epoch: b.epoch,
+        })
+}
+
+/// Reads the full contents of the block behind `handle`.
+///
+/// # Errors
+///
+/// Returns [`StaleHandle`] when the block was freed, its range recycled by
+/// a later allocation (epoch mismatch), or no record remains.
+pub fn read_block(vm: &Vm, handle: &BlockHandle) -> Result<Vec<u8>, StaleHandle> {
+    let block = vm
+        .allocator()
+        .block_containing(handle.addr)
+        .ok_or(StaleHandle::Gone)?;
+    if block.addr != handle.addr || block.epoch != handle.epoch {
+        return Err(StaleHandle::Recycled);
+    }
+    if !block.live {
+        return Err(StaleHandle::Freed);
+    }
+    vm.memory()
+        .read_bytes(handle.addr, handle.size.max(1))
+        .map(<[u8]>::to_vec)
+        .map_err(|_| StaleHandle::Gone)
 }
 
 fn value_at(
@@ -241,6 +338,14 @@ fn pointer_value(
     let class = classify_target(vm, target);
     let location = match class {
         PointerClass::Valid(loc) => loc,
+        // A dangling pointer into the heap (freed block) keeps its heap
+        // location and address so renderers can say "<dangling>" rather
+        // than a generic "<invalid>".
+        PointerClass::Invalid if Memory::segment_of(target) == Some(Segment::Heap) => {
+            return Value::invalid(lt)
+                .with_location(Location::Heap)
+                .with_address(target);
+        }
         PointerClass::Null | PointerClass::Invalid => return Value::invalid(lt),
     };
     // The paper treats `char*` as a PRIMITIVE whose content is the string.
@@ -382,6 +487,69 @@ mod tests {
         let f = current_frame(&vm);
         let p = f.variable("p").unwrap().value();
         assert_eq!(p.abstract_type(), AbstractType::Invalid);
+        // Heap danglers keep their location + address so renderers can
+        // print "<dangling>" and diagrams can cross out the arrow.
+        assert_eq!(p.location(), Location::Heap);
+        assert!(p.address().is_some());
+        assert_eq!(state::render_value(p), "<dangling>");
+    }
+
+    #[test]
+    fn stale_block_handles_are_rejected() {
+        // free() then a same-size malloc() recycles the address; a handle
+        // captured before the free must refuse to read the impostor block.
+        let src = "int main() {\nlong* p = malloc(8);\np[0] = 42;\nfree(p);\n\
+                   long* q = malloc(8);\nq[0] = 99;\nreturn 0;\n}";
+        let p = compile("t.c", src).unwrap();
+        let mut vm = Vm::new(&p);
+        let mut handle = None;
+        loop {
+            match vm.step().unwrap() {
+                Event::Line(4) => {
+                    // p[0] written, not yet freed: capture the handle.
+                    let f = current_frame(&vm);
+                    let addr = f.variable("p").unwrap().value().address().unwrap();
+                    let target = vm.memory().read_ptr(addr).unwrap();
+                    let h = block_handle(&vm, target).expect("block is live");
+                    assert_eq!(read_block(&vm, &h).unwrap()[0], 42);
+                    handle = Some(h);
+                }
+                Event::Line(6) => {
+                    // q now occupies p's old range (first-fit reuse).
+                    let h = handle.expect("handle captured at line 4");
+                    assert_eq!(read_block(&vm, &h), Err(StaleHandle::Recycled));
+                    return;
+                }
+                Event::Exited(_) => panic!("missed the capture lines"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn freed_block_handle_reports_freed() {
+        let src = "int main() {\nlong* p = malloc(8);\np[0] = 7;\nfree(p);\nreturn 0;\n}";
+        let p = compile("t.c", src).unwrap();
+        let mut vm = Vm::new(&p);
+        let mut handle = None;
+        loop {
+            match vm.step().unwrap() {
+                Event::Line(4) => {
+                    let f = current_frame(&vm);
+                    let addr = f.variable("p").unwrap().value().address().unwrap();
+                    let target = vm.memory().read_ptr(addr).unwrap();
+                    handle = Some(block_handle(&vm, target).unwrap());
+                }
+                Event::Line(5) => {
+                    let h = handle.expect("handle captured at line 4");
+                    // Freed, range not yet recycled: record survives.
+                    assert_eq!(read_block(&vm, &h), Err(StaleHandle::Freed));
+                    return;
+                }
+                Event::Exited(_) => panic!("missed the capture lines"),
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod inspect;
 pub mod lexer;
 pub mod mem;
 pub mod parser;
+mod sanitizer;
 pub mod typecheck;
 pub mod types;
 pub mod vm;

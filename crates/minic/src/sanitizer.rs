@@ -1,0 +1,371 @@
+//! Runtime shadow state for the VM's sanitizer mode.
+//!
+//! The static checker in the `analysis` crate reports what *may* go wrong;
+//! this module is its runtime counterpart, converting those may-findings
+//! into precise traps on the concrete execution path. The VM (with
+//! [`crate::vm::Vm::set_sanitizer`] on) consults this state on every load,
+//! store and allocation intrinsic:
+//!
+//! - a shadow init bit per scalar stack slot catches uninitialized reads;
+//! - per-slot last-store tracking catches stores overwritten before any
+//!   read (the runtime form of a dead store);
+//! - the quarantining allocator (see [`crate::alloc`]) keeps freed blocks
+//!   and guard zones mapped, so stray heap accesses classify as
+//!   use-after-free or out-of-bounds instead of crashing;
+//! - live blocks remaining at exit become leak reports anchored at their
+//!   allocation site.
+//!
+//! Traps are *observations, not faults*: the offending operation has
+//! already completed benignly when the trap is queued, and the program can
+//! be resumed. By design the set of runtime traps on any execution is a
+//! subset of the static checker's findings for the same program, with one
+//! documented asymmetry: the static checker drops a slot from uninit/dead-
+//! store checking if its address escapes *anywhere* in the function
+//! (flow-insensitive), while the runtime only knows about escapes that have
+//! already happened. Programs that read a slot before its address escapes
+//! can therefore trap at runtime without a static finding.
+
+use crate::alloc::Allocator;
+use crate::bytecode::FuncMeta;
+use crate::mem::{Memory, Segment};
+use crate::vm::RtVal;
+use state::{Diagnostic, DiagnosticKind};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Shadow bookkeeping for one scalar stack slot.
+#[derive(Debug, Clone)]
+struct SlotShadow {
+    name: String,
+    /// Offset of the slot within its frame.
+    offset: u64,
+    /// Size of the scalar in bytes.
+    size: u64,
+    /// Whether the slot has been written (parameters start initialized).
+    init: bool,
+    /// Whether the slot's address has been observed escaping (stored
+    /// somewhere or passed to a call/intrinsic). Escaped slots are exempt
+    /// from uninit and dead-store checking, mirroring the static checker.
+    escaped: bool,
+    /// Line of the last store not yet followed by a read, for dead-store
+    /// detection. Parameter binding does not count as a store.
+    last_store: Option<u32>,
+}
+
+/// Shadow state for one activation record.
+#[derive(Debug, Clone)]
+struct FrameShadow {
+    base: u64,
+    frame_size: u64,
+    function: String,
+    slots: Vec<SlotShadow>,
+}
+
+/// Where a heap block was allocated, for leak and use-after-free messages.
+#[derive(Debug, Clone)]
+struct AllocSite {
+    line: u32,
+    function: String,
+}
+
+/// The sanitizer's full shadow state. Owned by the VM when sanitizer mode
+/// is on; all methods are called from the VM's exec hooks.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Sanitizer {
+    frames: Vec<FrameShadow>,
+    /// Allocation site per block base address.
+    sites: BTreeMap<u64, AllocSite>,
+    /// Dedupe set: one trap per (kind, function, line).
+    seen: HashSet<(DiagnosticKind, String, u32)>,
+    /// Traps queued for delivery (drained one per [`crate::vm::Vm::step`]).
+    pending: VecDeque<Diagnostic>,
+    /// Total traps raised (post-dedupe).
+    traps: u64,
+}
+
+impl Sanitizer {
+    pub(crate) fn new() -> Self {
+        Sanitizer::default()
+    }
+
+    /// Number of traps raised so far.
+    pub(crate) fn traps(&self) -> u64 {
+        self.traps
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    pub(crate) fn pop_pending(&mut self) -> Option<Diagnostic> {
+        self.pending.pop_front()
+    }
+
+    /// Registers the shadow frame for a function entry. Parameters are
+    /// already bound by the caller and start initialized.
+    pub(crate) fn push_frame(&mut self, meta: &FuncMeta, base: u64) {
+        let slots = meta
+            .locals
+            .iter()
+            .filter(|l| l.ty.is_scalar())
+            .map(|l| SlotShadow {
+                name: l.name.clone(),
+                offset: l.offset,
+                size: crate::bytecode::MemTy::from_type(&l.ty).size(),
+                init: l.is_param,
+                escaped: false,
+                last_store: None,
+            })
+            .collect();
+        self.frames.push(FrameShadow {
+            base,
+            frame_size: meta.frame_size,
+            function: meta.name.clone(),
+            slots,
+        });
+    }
+
+    pub(crate) fn pop_frame(&mut self) {
+        self.frames.pop();
+    }
+
+    fn report(&mut self, kind: DiagnosticKind, line: u32, function: &str, message: String) {
+        if self.seen.insert((kind, function.to_owned(), line)) {
+            self.traps += 1;
+            self.pending
+                .push_back(Diagnostic::new(kind, line, function.to_owned(), message));
+        }
+    }
+
+    /// The tracked slot exactly matching a scalar access at `addr`, if any.
+    /// Looks in the innermost frame whose range contains the address.
+    fn slot_at(&mut self, addr: u64, size: u64) -> Option<(usize, usize)> {
+        let (fi, frame) = self
+            .frames
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, f)| addr >= f.base && addr < f.base + f.frame_size)?;
+        let si = frame
+            .slots
+            .iter()
+            .position(|s| frame.base + s.offset == addr && s.size == size)?;
+        Some((fi, si))
+    }
+
+    /// A scalar load from `addr` completed. Checks uninit reads and heap
+    /// classification, and marks the slot's pending store as read.
+    pub(crate) fn on_read(&mut self, addr: u64, size: u64, alloc: &Allocator, line: u32) {
+        if let Some((fi, si)) = self.slot_at(addr, size) {
+            let slot = &mut self.frames[fi].slots[si];
+            slot.last_store = None;
+            if !slot.init && !slot.escaped {
+                let name = slot.name.clone();
+                let function = self.frames[fi].function.clone();
+                self.report(
+                    DiagnosticKind::UninitRead,
+                    line,
+                    &function,
+                    format!("`{name}` is read before initialization"),
+                );
+            }
+            return;
+        }
+        self.check_heap(addr, size, alloc, line, "read");
+    }
+
+    /// A scalar store to `addr` completed. Checks dead stores and heap
+    /// classification, and marks the slot initialized.
+    pub(crate) fn on_write(&mut self, addr: u64, size: u64, alloc: &Allocator, line: u32) {
+        if let Some((fi, si)) = self.slot_at(addr, size) {
+            let slot = &mut self.frames[fi].slots[si];
+            slot.init = true;
+            let prev = slot.last_store.replace(line);
+            if slot.escaped {
+                return;
+            }
+            if let Some(prev) = prev {
+                let name = self.frames[fi].slots[si].name.clone();
+                let function = self.frames[fi].function.clone();
+                self.report(
+                    DiagnosticKind::DeadStore,
+                    prev,
+                    &function,
+                    format!("value stored to `{name}` is overwritten before it is read"),
+                );
+            }
+            return;
+        }
+        // Untracked destination: conservatively initialize any slot the
+        // write overlaps (partial/aliased writes never trap).
+        self.touch_overlap(addr, size);
+        self.check_heap(addr, size, alloc, line, "write");
+    }
+
+    /// A `MemCopy` completed: classify both ranges, conservatively
+    /// initialize overlapped slots, never trap on stack effects.
+    pub(crate) fn on_memcopy(
+        &mut self,
+        dst: u64,
+        src: u64,
+        size: u64,
+        alloc: &Allocator,
+        line: u32,
+    ) {
+        self.touch_overlap(dst, size);
+        self.check_heap(src, size, alloc, line, "read");
+        self.check_heap(dst, size, alloc, line, "write");
+    }
+
+    /// Marks every tracked slot overlapping `[addr, addr+size)` as
+    /// initialized with no pending store (opaque write).
+    fn touch_overlap(&mut self, addr: u64, size: u64) {
+        for frame in &mut self.frames {
+            if addr >= frame.base + frame.frame_size || addr + size <= frame.base {
+                continue;
+            }
+            for slot in &mut frame.slots {
+                let lo = frame.base + slot.offset;
+                if addr < lo + slot.size && addr + size > lo {
+                    slot.init = true;
+                    slot.last_store = None;
+                }
+            }
+        }
+    }
+
+    /// A value flowed somewhere opaque (stored, passed as an argument). If
+    /// it is a pointer into a tracked stack slot's frame, that slot is
+    /// permanently exempted from uninit/dead-store checking.
+    pub(crate) fn escape(&mut self, v: RtVal) {
+        let RtVal::Ptr(p) = v else { return };
+        if Memory::segment_of(p) != Some(Segment::Stack) {
+            return;
+        }
+        for frame in &mut self.frames {
+            if p < frame.base || p >= frame.base + frame.frame_size {
+                continue;
+            }
+            for slot in &mut frame.slots {
+                let lo = frame.base + slot.offset;
+                if p >= lo && p < lo + slot.size {
+                    slot.escaped = true;
+                    slot.init = true;
+                    slot.last_store = None;
+                }
+            }
+        }
+    }
+
+    /// Records the allocation site of a fresh block.
+    pub(crate) fn record_alloc(&mut self, addr: u64, line: u32) {
+        let function = self
+            .frames
+            .last()
+            .map(|f| f.function.clone())
+            .unwrap_or_default();
+        self.sites.insert(addr, AllocSite { line, function });
+    }
+
+    /// `free` was called on an already-freed block (the allocator reported
+    /// a double free): raise the trap; the VM treats the free as a no-op.
+    pub(crate) fn on_double_free(&mut self, addr: u64, line: u32) {
+        let function = self
+            .frames
+            .last()
+            .map(|f| f.function.clone())
+            .unwrap_or_default();
+        let alloc_line = self.sites.get(&addr).map(|s| s.line).unwrap_or(0);
+        self.report(
+            DiagnosticKind::DoubleFree,
+            line,
+            &function,
+            format!("block allocated at line {alloc_line} freed twice"),
+        );
+    }
+
+    /// A pointer argument was passed to an output intrinsic; a pointer into
+    /// a freed block is still a use of that block.
+    pub(crate) fn check_intrinsic_arg(&mut self, v: RtVal, alloc: &Allocator, line: u32) {
+        self.escape(v);
+        let RtVal::Ptr(p) = v else { return };
+        if Memory::segment_of(p) != Some(Segment::Heap) {
+            return;
+        }
+        if let Some(b) = alloc.block_near(p) {
+            if !b.live {
+                let function = self
+                    .frames
+                    .last()
+                    .map(|f| f.function.clone())
+                    .unwrap_or_default();
+                let alloc_line = self.sites.get(&b.addr).map(|s| s.line).unwrap_or(0);
+                self.report(
+                    DiagnosticKind::UseAfterFree,
+                    line,
+                    &function,
+                    format!("freed block (allocated at line {alloc_line}) passed to output"),
+                );
+            }
+        }
+    }
+
+    /// Classifies a heap access against the quarantining allocator:
+    /// touching a freed block is use-after-free; touching a guard zone or
+    /// running past the end of a live block is out-of-bounds. Accesses the
+    /// allocator cannot attribute to any block are left to the plain memory
+    /// checks.
+    fn check_heap(&mut self, addr: u64, size: u64, alloc: &Allocator, line: u32, what: &str) {
+        if Memory::segment_of(addr) != Some(Segment::Heap) {
+            return;
+        }
+        let Some(b) = alloc.block_near(addr) else {
+            return;
+        };
+        let function = self
+            .frames
+            .last()
+            .map(|f| f.function.clone())
+            .unwrap_or_default();
+        let alloc_line = self.sites.get(&b.addr).map(|s| s.line).unwrap_or(0);
+        if !b.live {
+            self.report(
+                DiagnosticKind::UseAfterFree,
+                line,
+                &function,
+                format!("{what} through pointer into block freed earlier (allocated at line {alloc_line})"),
+            );
+        } else if addr < b.addr || addr + size > b.addr + b.size {
+            let off = addr as i64 - b.addr as i64;
+            self.report(
+                DiagnosticKind::OutOfBounds,
+                line,
+                &function,
+                format!(
+                    "{what} at byte offset {off} of a {}-byte block (allocated at line {alloc_line})",
+                    b.size
+                ),
+            );
+        }
+    }
+
+    /// Program exit: every live block that was allocated under the
+    /// sanitizer leaks, reported at its allocation site.
+    pub(crate) fn leak_check(&mut self, alloc: &Allocator) {
+        let leaks: Vec<(u32, String, u64)> = alloc
+            .live_blocks()
+            .filter_map(|b| {
+                self.sites
+                    .get(&b.addr)
+                    .map(|s| (s.line, s.function.clone(), b.size))
+            })
+            .collect();
+        for (line, function, size) in leaks {
+            self.report(
+                DiagnosticKind::Leak,
+                line,
+                &function,
+                format!("{size}-byte heap block allocated here is never freed"),
+            );
+        }
+    }
+}

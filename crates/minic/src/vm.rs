@@ -13,12 +13,15 @@
 //! returning frame is still intact so locals remain inspectable (the
 //! paper's `retq`-breakpoint trick).
 
-use crate::alloc::Allocator;
+use crate::alloc::{AllocError, Allocator};
 use crate::ast::BinOp;
 use crate::bytecode::{MemTy, Op, Program};
 use crate::mem::{Memory, GLOBAL_BASE, STACK_BASE, STACK_TOP};
+use crate::sanitizer::Sanitizer;
 use crate::typecheck::Intrinsic;
 use crate::Error;
+use state::Diagnostic;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -94,6 +97,10 @@ pub enum Event {
     },
     /// The program printed something.
     Output(String),
+    /// The sanitizer observed a memory-safety violation (only in sanitizer
+    /// mode, see [`Vm::set_sanitizer`]). The offending operation already
+    /// completed benignly; the program remains alive and resumable.
+    SanitizerTrap(Diagnostic),
     /// The program terminated with this exit code.
     Exited(i64),
 }
@@ -127,6 +134,10 @@ pub struct Vm {
     output: String,
     exited: Option<i64>,
     ops_executed: u64,
+    /// Shadow state when sanitizer mode is on (see [`Vm::set_sanitizer`]).
+    san: Option<Box<Sanitizer>>,
+    /// Events displaced by a sanitizer trap, delivered on later steps.
+    san_deferred: VecDeque<Event>,
 }
 
 impl Vm {
@@ -165,7 +176,42 @@ impl Vm {
             output: String::new(),
             exited: None,
             ops_executed: 0,
+            san: None,
+            san_deferred: VecDeque::new(),
         }
+    }
+
+    /// Enables or disables sanitizer mode: the allocator adds guard zones
+    /// and quarantines freed blocks, and every load/store/allocation is
+    /// checked against shadow state. Violations surface as
+    /// [`Event::SanitizerTrap`] instead of errors — the program stays alive.
+    /// Must be called before the first [`Vm::step`]; toggling mid-run is
+    /// unsupported.
+    pub fn set_sanitizer(&mut self, on: bool) {
+        if on == self.san.is_some() {
+            return;
+        }
+        if on {
+            self.alloc.set_sanitize(true);
+            let mut s = Box::new(Sanitizer::new());
+            for fi in &self.frames {
+                s.push_frame(&self.program.functions[fi.function], fi.base);
+            }
+            self.san = Some(s);
+        } else {
+            self.san = None;
+            self.alloc.set_sanitize(false);
+        }
+    }
+
+    /// Whether sanitizer mode is on.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.san.is_some()
+    }
+
+    /// Sanitizer traps raised so far (0 with the sanitizer off).
+    pub fn sanitizer_traps(&self) -> u64 {
+        self.san.as_deref().map(Sanitizer::traps).unwrap_or(0)
     }
 
     /// Enables or disables [`Event::Store`] reporting. The engine turns this
@@ -272,20 +318,49 @@ impl Vm {
     /// misuse, division by zero or stack overflow; the VM is dead
     /// afterwards.
     pub fn step(&mut self) -> Result<Event, Error> {
+        // Sanitizer traps queued by earlier ops drain first, then any event
+        // they displaced — so traps are observed before the triggering op's
+        // own event, and before the final `Exited`.
+        if let Some(d) = self.san.as_deref_mut().and_then(Sanitizer::pop_pending) {
+            return Ok(Event::SanitizerTrap(d));
+        }
+        if let Some(ev) = self.san_deferred.pop_front() {
+            return Ok(ev);
+        }
         if let Some(code) = self.exited {
             return Ok(Event::Exited(code));
         }
         if self.pending_return {
             if let Some(ev) = self.finish_return()? {
-                return Ok(ev);
+                return Ok(self.gate(ev));
             }
         }
         loop {
             let op = self.program.code[self.pc];
             self.ops_executed += 1;
             if let Some(event) = self.exec(op)? {
-                return Ok(event);
+                return Ok(self.gate(event));
             }
+            if self.san.as_deref().is_some_and(Sanitizer::has_pending) {
+                let d = self
+                    .san
+                    .as_deref_mut()
+                    .and_then(Sanitizer::pop_pending)
+                    .expect("pending trap just observed");
+                return Ok(Event::SanitizerTrap(d));
+            }
+        }
+    }
+
+    /// Delivers `ev`, unless a sanitizer trap is pending — then the trap
+    /// goes first and `ev` is deferred to a later step.
+    fn gate(&mut self, ev: Event) -> Event {
+        match self.san.as_deref_mut().and_then(Sanitizer::pop_pending) {
+            Some(d) => {
+                self.san_deferred.push_back(ev);
+                Event::SanitizerTrap(d)
+            }
+            None => ev,
         }
     }
 
@@ -309,6 +384,12 @@ impl Vm {
         let value = if has_value { Some(self.pop()) } else { None };
         let frame = self.frames.pop().expect("returning frame exists");
         self.stack.truncate(frame.stack_mark);
+        if let Some(s) = self.san.as_deref_mut() {
+            s.pop_frame();
+            if self.frames.is_empty() {
+                s.leak_check(&self.alloc);
+            }
+        }
         if self.frames.is_empty() {
             let code = match value {
                 Some(RtVal::Int(v)) => v,
@@ -345,12 +426,15 @@ impl Vm {
                 let addr = self.pop_ptr();
                 let v = self.load(addr, mt)?;
                 self.stack.push(v);
+                self.san_read(addr, mt.size());
             }
             Store(mt) => {
                 let value = self.pop();
                 let addr = self.pop_ptr();
                 self.store(addr, mt, value)?;
                 self.stack.push(value);
+                self.san_escape(value);
+                self.san_write(addr, mt.size());
                 if self.store_events {
                     self.pc += 1;
                     return Ok(Some(Event::Store {
@@ -365,6 +449,11 @@ impl Vm {
                 self.mem
                     .copy(dst, src, size)
                     .map_err(|e| self.err(e.to_string()))?;
+                if self.san.is_some() {
+                    let line = self.cur_line();
+                    let san = self.san.as_deref_mut().expect("checked above");
+                    san.on_memcopy(dst, src, size, &self.alloc, line);
+                }
                 if self.store_events {
                     self.pc += 1;
                     return Ok(Some(Event::Store { addr: dst, size }));
@@ -532,6 +621,11 @@ impl Vm {
                 };
                 self.store(addr, memty, new)?;
                 self.stack.push(if prefix { new } else { old });
+                // Read-then-write for the shadow state: the read clears any
+                // pending dead-store candidate, the write starts a new one.
+                self.san_read(addr, memty.size());
+                self.san_escape(new);
+                self.san_write(addr, memty.size());
                 if self.store_events {
                     self.pc += 1;
                     return Ok(Some(Event::Store {
@@ -626,6 +720,50 @@ impl Vm {
         r.map_err(|e| self.err(e.to_string()))
     }
 
+    fn cur_line(&self) -> u32 {
+        self.frames.last().map(|f| f.line).unwrap_or(0)
+    }
+
+    fn san_read(&mut self, addr: u64, size: u64) {
+        if self.san.is_some() {
+            let line = self.cur_line();
+            let san = self.san.as_deref_mut().expect("checked above");
+            san.on_read(addr, size, &self.alloc, line);
+        }
+    }
+
+    fn san_write(&mut self, addr: u64, size: u64) {
+        if self.san.is_some() {
+            let line = self.cur_line();
+            let san = self.san.as_deref_mut().expect("checked above");
+            san.on_write(addr, size, &self.alloc, line);
+        }
+    }
+
+    fn san_escape(&mut self, v: RtVal) {
+        if let Some(s) = self.san.as_deref_mut() {
+            s.escape(v);
+        }
+    }
+
+    fn san_record_alloc(&mut self, addr: u64) {
+        if self.san.is_some() {
+            let line = self.cur_line();
+            let san = self.san.as_deref_mut().expect("checked above");
+            san.record_alloc(addr, line);
+        }
+    }
+
+    fn san_check_output_args(&mut self, args: &[RtVal]) {
+        if self.san.is_some() {
+            let line = self.cur_line();
+            let san = self.san.as_deref_mut().expect("checked above");
+            for &a in args {
+                san.check_intrinsic_arg(a, &self.alloc, line);
+            }
+        }
+    }
+
     fn do_call(&mut self, idx: usize) -> Result<Event, Error> {
         let callee = &self.program.functions[idx];
         let cur_base = self.current_frame().base;
@@ -642,6 +780,8 @@ impl Vm {
             let mt = MemTy::from_type(&slot.ty);
             let offset = slot.offset;
             let v = self.pop();
+            // A stack pointer passed as an argument escapes its slot.
+            self.san_escape(v);
             self.store(base + offset, mt, v)?;
         }
         self.frames.push(FrameInfo {
@@ -651,6 +791,9 @@ impl Vm {
             return_pc: self.pc + 1,
             stack_mark: self.stack.len(),
         });
+        if let Some(s) = self.san.as_deref_mut() {
+            s.push_frame(&self.program.functions[idx], base);
+        }
         self.pc = entry;
         Ok(Event::Call {
             function: idx,
@@ -671,6 +814,7 @@ impl Vm {
                     .alloc
                     .malloc(&mut self.mem, size)
                     .map_err(|e| self.err(e.to_string()))?;
+                self.san_record_alloc(p);
                 self.stack.push(RtVal::Ptr(p));
                 None
             }
@@ -680,6 +824,7 @@ impl Vm {
                     .alloc
                     .calloc(&mut self.mem, n, sz)
                     .map_err(|e| self.err(e.to_string()))?;
+                self.san_record_alloc(p);
                 self.stack.push(RtVal::Ptr(p));
                 None
             }
@@ -690,15 +835,27 @@ impl Vm {
                     .alloc
                     .realloc(&mut self.mem, ptr, size)
                     .map_err(|e| self.err(e.to_string()))?;
+                self.san_record_alloc(p);
                 self.stack.push(RtVal::Ptr(p));
                 None
             }
             Intrinsic::Free => {
                 let ptr = ptr_arg(&args[0]);
-                self.alloc.free(ptr).map_err(|e| self.err(e.to_string()))?;
+                match self.alloc.free(ptr) {
+                    Ok(()) => {}
+                    // In sanitizer mode a double free is a trap, not a VM
+                    // error: the free is a no-op and the program continues.
+                    Err(AllocError::DoubleFree { addr }) if self.san.is_some() => {
+                        let line = self.cur_line();
+                        let san = self.san.as_deref_mut().expect("checked above");
+                        san.on_double_free(addr, line);
+                    }
+                    Err(e) => return Err(self.err(e.to_string())),
+                }
                 None
             }
             Intrinsic::Printf => {
+                self.san_check_output_args(&args);
                 let fmt_ptr = ptr_arg(&args[0]);
                 let fmt = self
                     .mem
@@ -710,6 +867,7 @@ impl Vm {
                 Some(Event::Output(text))
             }
             Intrinsic::Puts => {
+                self.san_check_output_args(&args);
                 let ptr = ptr_arg(&args[0]);
                 let mut s = self
                     .mem
@@ -1176,5 +1334,159 @@ mod tests {
             run("int main() { int a[3] = {1, 2, 3}; a[1] *= 10; a[2] += a[1]; return a[2]; }"),
             23
         );
+    }
+
+    mod sanitizer {
+        use super::*;
+        use state::DiagnosticKind;
+
+        /// Runs with the sanitizer on, collecting traps and the exit code.
+        fn san_run(src: &str) -> (Vec<Diagnostic>, i64) {
+            let p = compile("t.c", src).unwrap();
+            let mut vm = Vm::new(&p);
+            vm.set_sanitizer(true);
+            let mut traps = Vec::new();
+            loop {
+                match vm.step().unwrap() {
+                    Event::SanitizerTrap(d) => traps.push(d),
+                    Event::Exited(code) => return (traps, code),
+                    _ => {}
+                }
+            }
+        }
+
+        #[test]
+        fn uninit_read_traps_at_the_reading_line() {
+            let (traps, _) = san_run("int main() {\nint x;\nint y = x + 1;\nreturn y - y;\n}");
+            assert_eq!(traps.len(), 1);
+            assert_eq!(traps[0].kind, DiagnosticKind::UninitRead);
+            assert_eq!(traps[0].span, 3);
+            assert_eq!(traps[0].function, "main");
+        }
+
+        #[test]
+        fn use_after_free_traps_and_program_survives() {
+            let (traps, code) = san_run(
+                "int main() {\nlong* p = malloc(8);\np[0] = 1;\nfree(p);\n\
+                 long v = p[0];\nreturn (int)v;\n}",
+            );
+            assert_eq!(traps.len(), 1);
+            assert_eq!(traps[0].kind, DiagnosticKind::UseAfterFree);
+            assert_eq!(traps[0].span, 5);
+            // Quarantined memory still holds the old value; the program ran on.
+            assert_eq!(code, 1);
+        }
+
+        #[test]
+        fn double_free_is_a_trap_not_an_error() {
+            let (traps, code) =
+                san_run("int main() {\nint* p = malloc(4);\nfree(p);\nfree(p);\nreturn 7;\n}");
+            assert_eq!(traps.len(), 1);
+            assert_eq!(traps[0].kind, DiagnosticKind::DoubleFree);
+            assert_eq!(traps[0].span, 4);
+            assert_eq!(code, 7, "the second free is a no-op");
+        }
+
+        #[test]
+        fn out_of_bounds_store_lands_in_the_redzone() {
+            let (traps, _) = san_run(
+                "int main() {\nint* p = malloc(5 * sizeof(int));\np[5] = 1;\nfree(p);\nreturn 0;\n}",
+            );
+            assert_eq!(traps.len(), 1);
+            assert_eq!(traps[0].kind, DiagnosticKind::OutOfBounds);
+            assert_eq!(traps[0].span, 3);
+        }
+
+        #[test]
+        fn dead_store_traps_with_the_first_stores_span() {
+            let (traps, code) = san_run("int main() {\nint x = 1;\nx = 2;\nreturn x;\n}");
+            assert_eq!(traps.len(), 1);
+            assert_eq!(traps[0].kind, DiagnosticKind::DeadStore);
+            assert_eq!(traps[0].span, 2, "span is the overwritten store");
+            assert_eq!(code, 2);
+        }
+
+        #[test]
+        fn leak_traps_before_exit() {
+            let p = compile("t.c", "int main() {\nint* p = malloc(8);\nreturn 0;\n}").unwrap();
+            let mut vm = Vm::new(&p);
+            vm.set_sanitizer(true);
+            let mut saw_leak = false;
+            loop {
+                match vm.step().unwrap() {
+                    Event::SanitizerTrap(d) => {
+                        assert_eq!(d.kind, DiagnosticKind::Leak);
+                        assert_eq!(d.span, 2, "leak is anchored at the allocation site");
+                        assert!(!saw_leak, "one leak, once");
+                        saw_leak = true;
+                    }
+                    Event::Exited(0) => break,
+                    _ => {}
+                }
+            }
+            assert!(saw_leak);
+            // Exited stays idempotent after the trap drain.
+            assert_eq!(vm.step().unwrap(), Event::Exited(0));
+            assert_eq!(vm.sanitizer_traps(), 1);
+        }
+
+        #[test]
+        fn escaped_slots_are_exempt() {
+            let (traps, code) =
+                san_run("int main() {\nint x;\nint* p = &x;\n*p = 5;\nint y = x;\nreturn y;\n}");
+            assert_eq!(traps, vec![], "escaped slot must not trap");
+            assert_eq!(code, 5);
+        }
+
+        #[test]
+        fn parameters_count_as_initialized() {
+            let (traps, code) =
+                san_run("int f(int a) {\nreturn a + 1;\n}\nint main() {\nreturn f(3);\n}");
+            assert_eq!(traps, vec![]);
+            assert_eq!(code, 4);
+        }
+
+        #[test]
+        fn trap_is_delivered_before_the_ops_own_event() {
+            let src = "int main() {\nchar* s = malloc(4);\ns[0] = 'h';\ns[1] = 0;\n\
+                       free(s);\nputs(s);\nreturn 0;\n}";
+            let p = compile("t.c", src).unwrap();
+            let mut vm = Vm::new(&p);
+            vm.set_sanitizer(true);
+            let mut order = Vec::new();
+            loop {
+                match vm.step().unwrap() {
+                    Event::SanitizerTrap(d) => order.push(format!("trap:{}", d.kind.name())),
+                    Event::Output(_) => order.push("output".to_owned()),
+                    Event::Exited(_) => break,
+                    _ => {}
+                }
+            }
+            assert_eq!(order, ["trap:use-after-free", "output"]);
+        }
+
+        #[test]
+        fn traps_dedupe_within_a_loop() {
+            let (traps, _) = san_run(
+                "int main() {\nint* p = malloc(4);\nfree(p);\nint s = 0;\n\
+                 for (int i = 0; i < 5; i++) {\ns += p[0];\n}\nreturn s - s;\n}",
+            );
+            let uaf: Vec<_> = traps
+                .iter()
+                .filter(|d| d.kind == DiagnosticKind::UseAfterFree)
+                .collect();
+            assert_eq!(uaf.len(), 1, "same (kind, function, line) reports once");
+        }
+
+        #[test]
+        fn sanitizer_off_keeps_seed_semantics() {
+            // Without the sanitizer, double free stays a hard VM error.
+            let p = compile(
+                "t.c",
+                "int main() { int* p = malloc(4); free(p); free(p); return 0; }",
+            )
+            .unwrap();
+            assert!(Vm::new(&p).run_to_completion().is_err());
+        }
     }
 }

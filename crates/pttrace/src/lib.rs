@@ -162,7 +162,12 @@ fn encode_value(value: &Value, heap: &mut BTreeMap<u64, Json>) -> Json {
         },
         Content::Nothing => {
             if value.abstract_type() == AbstractType::Invalid {
-                json!("<invalid>")
+                // Keep the dangling/invalid distinction `state::render` draws.
+                if value.location() == state::Location::Heap {
+                    json!("<dangling>")
+                } else {
+                    json!("<invalid>")
+                }
             } else {
                 Json::Null
             }
@@ -379,6 +384,9 @@ fn decode_value(v: &Json, heap: &Map<String, Json>, visiting: &mut Vec<u64>) -> 
             }
         }
         Json::String(s) if s == "<invalid>" => Value::invalid("pointer"),
+        Json::String(s) if s == "<dangling>" => {
+            Value::invalid("pointer").with_location(state::Location::Heap)
+        }
         Json::String(s) => Value::primitive(Prim::Str(s.clone()), "str"),
         Json::Array(arr) => decode_tagged(arr, heap, visiting),
         Json::Object(_) => Value::none("unknown"),

@@ -1,0 +1,210 @@
+//! Structured memory-safety diagnostics.
+//!
+//! The static analysis in `crates/analysis` and the MiniC VM's runtime
+//! sanitizer both report findings as [`Diagnostic`] values: a kind, the
+//! source line it anchors to, the enclosing function, and a severity.
+//! Because the type lives in `state` it can cross the machine-interface
+//! boundary exactly like a [`crate::ProgramState`] snapshot, and a
+//! trap-with-diagnostic pause surfaces as
+//! [`crate::PauseReason::Sanitizer`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of memory-safety defect a [`Diagnostic`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DiagnosticKind {
+    /// A scalar local is read on some path before any write reaches it.
+    UninitRead,
+    /// A heap pointer is dereferenced after the block it points into was
+    /// freed.
+    UseAfterFree,
+    /// A heap block is freed twice.
+    DoubleFree,
+    /// Pointer arithmetic or indexing escapes the bounds of the block the
+    /// pointer was derived from.
+    OutOfBounds,
+    /// A store whose value can never be observed: it is overwritten (or the
+    /// variable dies) before any read.
+    DeadStore,
+    /// A heap block is still reachable-from-nowhere live at program exit.
+    Leak,
+}
+
+impl DiagnosticKind {
+    /// All kinds, in severity-then-declaration order. Handy for exhaustive
+    /// fixture coverage checks.
+    pub const ALL: [DiagnosticKind; 6] = [
+        DiagnosticKind::UninitRead,
+        DiagnosticKind::UseAfterFree,
+        DiagnosticKind::DoubleFree,
+        DiagnosticKind::OutOfBounds,
+        DiagnosticKind::DeadStore,
+        DiagnosticKind::Leak,
+    ];
+
+    /// Stable lowercase name, used in CLI output and metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiagnosticKind::UninitRead => "uninit-read",
+            DiagnosticKind::UseAfterFree => "use-after-free",
+            DiagnosticKind::DoubleFree => "double-free",
+            DiagnosticKind::OutOfBounds => "out-of-bounds",
+            DiagnosticKind::DeadStore => "dead-store",
+            DiagnosticKind::Leak => "leak",
+        }
+    }
+
+    /// The severity this kind defaults to when reported by the analyses in
+    /// this repository.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            DiagnosticKind::UseAfterFree
+            | DiagnosticKind::DoubleFree
+            | DiagnosticKind::OutOfBounds => Severity::Error,
+            DiagnosticKind::UninitRead | DiagnosticKind::Leak => Severity::Warning,
+            DiagnosticKind::DeadStore => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Stylistic or performance finding; the program's behaviour is defined.
+    Note,
+    /// Likely bug on some path; behaviour may still be defined.
+    Warning,
+    /// Undefined behaviour if the flagged operation executes.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory-safety finding, produced statically by the dataflow checker
+/// or dynamically by the VM sanitizer.
+///
+/// # Examples
+///
+/// ```
+/// use state::{Diagnostic, DiagnosticKind};
+/// let d = Diagnostic::new(DiagnosticKind::DoubleFree, 7, "main", "block freed twice");
+/// assert_eq!(d.to_string(), "error: double-free at main:7: block freed twice");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The defect class.
+    pub kind: DiagnosticKind,
+    /// 1-based source line the finding anchors to.
+    pub span: u32,
+    /// Name of the enclosing function.
+    pub function: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the kind's default severity.
+    pub fn new(
+        kind: DiagnosticKind,
+        span: u32,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            kind,
+            span,
+            function: function.into(),
+            severity: kind.default_severity(),
+            message: message.into(),
+        }
+    }
+
+    /// Overrides the severity.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// The dedupe key: two findings with the same key describe the same
+    /// defect site.
+    pub fn key(&self) -> (DiagnosticKind, String, u32) {
+        (self.kind, self.function.clone(), self.span)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} at {}:{}: {}",
+            self.severity, self.kind, self.function, self.span, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<_> = DiagnosticKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "uninit-read",
+                "use-after-free",
+                "double-free",
+                "out-of-bounds",
+                "dead-store",
+                "leak"
+            ]
+        );
+    }
+
+    #[test]
+    fn default_severities() {
+        assert_eq!(
+            DiagnosticKind::DoubleFree.default_severity(),
+            Severity::Error
+        );
+        assert_eq!(DiagnosticKind::Leak.default_severity(), Severity::Warning);
+        assert_eq!(DiagnosticKind::DeadStore.default_severity(), Severity::Note);
+    }
+
+    #[test]
+    fn diagnostic_display_and_roundtrip() {
+        let d = Diagnostic::new(DiagnosticKind::UseAfterFree, 12, "f", "read of freed block");
+        assert_eq!(
+            d.to_string(),
+            "error: use-after-free at f:12: read of freed block"
+        );
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn severity_ordering_supports_max() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+}

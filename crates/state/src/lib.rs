@@ -29,10 +29,12 @@
 //! assert_eq!(v, back);
 //! ```
 
+mod diag;
 mod pause;
 mod render;
 mod value;
 
+pub use diag::{Diagnostic, DiagnosticKind, Severity};
 pub use pause::{ExitStatus, PauseReason, SourceLocation};
 pub use render::render_value;
 pub use value::{AbstractType, Content, Location, Prim, Value};

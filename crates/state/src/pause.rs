@@ -1,5 +1,6 @@
 //! Pause reasons and source locations reported by the control interface.
 
+use crate::diag::Diagnostic;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -103,6 +104,14 @@ pub enum PauseReason {
     },
     /// A `step`, `next` or `finish` command completed.
     Step,
+    /// The runtime sanitizer trapped on a memory-safety violation. The
+    /// offending operation has already completed (benignly, against
+    /// quarantined or shadow-tracked memory), so the inferior is still
+    /// alive and resumable.
+    Sanitizer {
+        /// What the sanitizer detected.
+        diagnostic: Diagnostic,
+    },
     /// The inferior terminated.
     Exited(ExitStatus),
 }
@@ -124,6 +133,7 @@ impl PauseReason {
             PauseReason::FunctionCall { .. } => "FunctionCall",
             PauseReason::FunctionReturn { .. } => "FunctionReturn",
             PauseReason::Step => "Step",
+            PauseReason::Sanitizer { .. } => "Sanitizer",
             PauseReason::Exited(_) => "Exited",
         }
     }
@@ -163,6 +173,7 @@ impl fmt::Display for PauseReason {
                 None => write!(f, "return {function} (depth {depth})"),
             },
             PauseReason::Step => write!(f, "step"),
+            PauseReason::Sanitizer { diagnostic } => write!(f, "sanitizer: {diagnostic}"),
             PauseReason::Exited(ExitStatus::Exited(c)) => write!(f, "exited ({c})"),
             PauseReason::Exited(ExitStatus::Crashed) => write!(f, "crashed"),
         }
@@ -178,6 +189,15 @@ mod tests {
         assert!(!PauseReason::NotStarted.is_alive());
         assert!(PauseReason::Started.is_alive());
         assert!(PauseReason::Step.is_alive());
+        assert!(PauseReason::Sanitizer {
+            diagnostic: crate::Diagnostic::new(
+                crate::DiagnosticKind::DoubleFree,
+                3,
+                "main",
+                "freed twice"
+            ),
+        }
+        .is_alive());
         assert!(!PauseReason::Exited(ExitStatus::Exited(0)).is_alive());
         assert!(!PauseReason::Exited(ExitStatus::Crashed).is_alive());
     }
@@ -234,6 +254,14 @@ mod tests {
                 variable: "g".into(),
                 old: None,
                 new: "[1, 2]".into(),
+            },
+            PauseReason::Sanitizer {
+                diagnostic: crate::Diagnostic::new(
+                    crate::DiagnosticKind::UseAfterFree,
+                    9,
+                    "main",
+                    "load from freed block",
+                ),
             },
         ];
         for r in reasons {

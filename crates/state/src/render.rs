@@ -72,7 +72,15 @@ fn render_into(out: &mut String, value: &Value) {
         }
         Content::Nothing => {
             if value.abstract_type() == crate::AbstractType::Invalid {
-                out.push_str("<invalid>");
+                // An invalid pointer that still carries a heap location is a
+                // *dangling* pointer: it targets a block that has been freed.
+                // Wild or null pointers have no meaningful location and stay
+                // plain `<invalid>`.
+                if value.location() == crate::Location::Heap {
+                    out.push_str("<dangling>");
+                } else {
+                    out.push_str("<invalid>");
+                }
             } else {
                 out.push_str("None");
             }
@@ -127,6 +135,14 @@ mod tests {
         assert_eq!(render_value(&Value::function("f", "function")), "<fn f>");
         assert_eq!(render_value(&Value::none("NoneType")), "None");
         assert_eq!(render_value(&Value::invalid("int*")), "<invalid>");
+    }
+
+    #[test]
+    fn renders_dangling_heap_pointers() {
+        let d = Value::invalid("int*")
+            .with_location(crate::Location::Heap)
+            .with_address(0x10_0040);
+        assert_eq!(render_value(&d), "<dangling>");
     }
 
     #[test]

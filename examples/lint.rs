@@ -1,0 +1,72 @@
+//! `lint`: the static memory-safety checker as a command-line tool.
+//!
+//! Compiles one or more MiniC source files and prints every finding of
+//! the `analysis` crate in a compiler-style format, sorted by file and
+//! line. The process exits non-zero iff any finding is an error, so the
+//! tool slots into CI as a gate.
+//!
+//! Run with: `cargo run --example lint -- tests/fixtures/*.mc`
+//! (no arguments lints a built-in demo program).
+
+use state::Severity;
+use std::process::ExitCode;
+
+const DEMO: &str = "\
+int main() {
+int* p = malloc(4);
+*p = 7;
+free(p);
+int x = *p;
+return x;
+}
+";
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut total = 0usize;
+    let mut errors = 0usize;
+
+    let lint_one = |name: &str, source: &str, total: &mut usize, errors: &mut usize| {
+        let program = match minic::compile(name, source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: compile error: {e}");
+                *errors += 1;
+                return;
+            }
+        };
+        for d in analysis::analyze(&program) {
+            println!("{name}:{}: {d}", d.span);
+            *total += 1;
+            if d.severity == Severity::Error {
+                *errors += 1;
+            }
+        }
+    };
+
+    if files.is_empty() {
+        println!("(no files given; linting the built-in demo)");
+        lint_one("demo.mc", DEMO, &mut total, &mut errors);
+    } else {
+        for file in &files {
+            match std::fs::read_to_string(file) {
+                Ok(source) => lint_one(file, &source, &mut total, &mut errors),
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "{total} finding{} ({errors} error{})",
+        if total == 1 { "" } else { "s" },
+        if errors == 1 { "" } else { "s" },
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,231 @@
+//! Golden-fixture coverage for the static analysis and the VM sanitizer.
+//!
+//! Each committed fixture under `tests/fixtures/` pins the exact
+//! `(kind, line)` diagnostics the static checker reports *and* the exact
+//! trap sequence the runtime sanitizer raises, so every diagnostic kind
+//! is demonstrated both ways at a predicted source span. The fixtures
+//! also pin the two relations the stack is built on: static findings
+//! contain runtime traps, and sanitized execution is behaviour-neutral.
+
+use state::DiagnosticKind;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+struct Golden {
+    file: &'static str,
+    /// Exact `(kind, line)` set the static checker reports in `main`.
+    statics: &'static [(DiagnosticKind, u32)],
+    /// Exact `(kind, line)` sequence of runtime sanitizer traps.
+    traps: &'static [(DiagnosticKind, u32)],
+    /// Exit code of the sanitized run (traps never abort execution).
+    exit: i64,
+}
+
+use DiagnosticKind::{DeadStore, DoubleFree, Leak, OutOfBounds, UninitRead, UseAfterFree};
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        file: "uninit_read.mc",
+        statics: &[(UninitRead, 3)],
+        traps: &[(UninitRead, 3)],
+        exit: 0,
+    },
+    Golden {
+        file: "use_after_free_read.mc",
+        statics: &[(UseAfterFree, 5)],
+        traps: &[(UseAfterFree, 5)],
+        exit: 7,
+    },
+    Golden {
+        file: "use_after_free_write.mc",
+        statics: &[(UseAfterFree, 6)],
+        traps: &[(UseAfterFree, 6)],
+        exit: 0,
+    },
+    Golden {
+        file: "double_free.mc",
+        statics: &[(DoubleFree, 4)],
+        traps: &[(DoubleFree, 4)],
+        exit: 0,
+    },
+    Golden {
+        file: "out_of_bounds_read.mc",
+        statics: &[(OutOfBounds, 4)],
+        traps: &[(OutOfBounds, 4)],
+        exit: 0,
+    },
+    Golden {
+        file: "out_of_bounds_write.mc",
+        statics: &[(OutOfBounds, 4)],
+        traps: &[(OutOfBounds, 4)],
+        exit: 0,
+    },
+    Golden {
+        file: "dead_store.mc",
+        // Both sides attribute a dead store to the *overwritten* store's
+        // line — the defect is storing a value nobody will read.
+        statics: &[(DeadStore, 2)],
+        traps: &[(DeadStore, 2)],
+        exit: 0,
+    },
+    Golden {
+        file: "leak.mc",
+        // Leaks are attributed to the allocation site.
+        statics: &[(Leak, 2)],
+        traps: &[(Leak, 2)],
+        exit: 0,
+    },
+    Golden {
+        // The double free sits on a branch the concrete run skips: the
+        // may-analysis reports it, the runtime never traps. Containment
+        // is one-directional by design.
+        file: "branch_divergence.mc",
+        statics: &[(DoubleFree, 7)],
+        traps: &[],
+        exit: 0,
+    },
+    Golden {
+        file: "mixed.mc",
+        statics: &[(UninitRead, 3), (DoubleFree, 6), (Leak, 7)],
+        traps: &[(UninitRead, 3), (DoubleFree, 6), (Leak, 7)],
+        exit: 0,
+    },
+    Golden {
+        file: "clean.mc",
+        statics: &[],
+        traps: &[],
+        exit: 0,
+    },
+];
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn compile(name: &str) -> minic::Program {
+    minic::compile(name, &fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Runs `program` under the sanitizer to completion, returning the trap
+/// sequence and the exit code.
+fn sanitized_run(name: &str, program: &minic::Program) -> (Vec<state::Diagnostic>, i64) {
+    let mut vm = minic::vm::Vm::new(program);
+    vm.set_sanitizer(true);
+    let mut traps = Vec::new();
+    let exit = loop {
+        match vm.step() {
+            Ok(minic::Event::SanitizerTrap(d)) => traps.push(d),
+            Ok(minic::Event::Exited(code)) => break code,
+            Ok(_) => {}
+            Err(e) => panic!("{name}: sanitized run faulted: {e}"),
+        }
+    };
+    (traps, exit)
+}
+
+#[test]
+fn fixtures_match_their_golden_diagnostics() {
+    for g in GOLDENS {
+        let program = compile(g.file);
+
+        let statics: Vec<(DiagnosticKind, u32)> = analysis::analyze(&program)
+            .iter()
+            .map(|d| {
+                assert_eq!(d.function, "main", "{}: {d:?}", g.file);
+                (d.kind, d.span)
+            })
+            .collect();
+        let want: HashSet<_> = g.statics.iter().copied().collect();
+        let got: HashSet<_> = statics.iter().copied().collect();
+        assert_eq!(got, want, "{}: static findings drifted", g.file);
+        assert_eq!(statics.len(), g.statics.len(), "{}: duplicates", g.file);
+
+        let (traps, exit) = sanitized_run(g.file, &program);
+        let got_traps: Vec<(DiagnosticKind, u32)> =
+            traps.iter().map(|d| (d.kind, d.span)).collect();
+        assert_eq!(got_traps, g.traps, "{}: trap sequence drifted", g.file);
+        assert_eq!(exit, g.exit, "{}: sanitized exit code drifted", g.file);
+
+        // The containment relation, on the goldens themselves: every
+        // runtime trap is a static finding at the same place.
+        for t in &got_traps {
+            assert!(
+                want.contains(t),
+                "{}: runtime trap {t:?} has no static finding",
+                g.file
+            );
+        }
+    }
+}
+
+#[test]
+fn every_diagnostic_kind_is_demonstrated_both_ways() {
+    let static_kinds: HashSet<DiagnosticKind> = GOLDENS
+        .iter()
+        .flat_map(|g| g.statics.iter().map(|(k, _)| *k))
+        .collect();
+    let trap_kinds: HashSet<DiagnosticKind> = GOLDENS
+        .iter()
+        .flat_map(|g| g.traps.iter().map(|(k, _)| *k))
+        .collect();
+    for kind in DiagnosticKind::ALL {
+        assert!(
+            static_kinds.contains(&kind),
+            "no static golden for {kind:?}"
+        );
+        assert!(trap_kinds.contains(&kind), "no runtime golden for {kind:?}");
+    }
+}
+
+/// On every fixture the plain VM completes, the sanitized VM must print
+/// the same output and exit with the same code: traps are observations,
+/// never behaviour changes. Where the plain VM *faults* (its allocator
+/// rejects double frees and some wild accesses outright), the sanitized
+/// VM must still run to a normal exit — that containment is what makes
+/// sanitized sessions steppable past the defect.
+#[test]
+fn sanitized_execution_is_behaviour_neutral() {
+    let mut plain_completed = 0;
+    let mut plain_faulted = 0;
+    for g in GOLDENS {
+        let program = compile(g.file);
+        let mut plain = minic::vm::Vm::new(&program);
+        let plain_result = plain.run_to_completion();
+
+        let mut sanitized = minic::vm::Vm::new(&program);
+        sanitized.set_sanitizer(true);
+        let san_exit = loop {
+            match sanitized.step() {
+                Ok(minic::Event::Exited(code)) => break code,
+                Ok(_) => {}
+                Err(e) => panic!("{}: sanitized run faulted: {e}", g.file),
+            }
+        };
+
+        match plain_result {
+            Ok(plain_exit) => {
+                plain_completed += 1;
+                assert_eq!(plain_exit, san_exit, "{}: exit codes differ", g.file);
+                assert_eq!(
+                    plain.output(),
+                    sanitized.output(),
+                    "{}: outputs differ",
+                    g.file
+                );
+            }
+            Err(_) => plain_faulted += 1,
+        }
+    }
+    // The roster must keep exercising both halves of the claim.
+    assert!(
+        plain_completed >= 7,
+        "only {plain_completed} plain-clean fixtures"
+    );
+    assert!(
+        plain_faulted >= 2,
+        "only {plain_faulted} plain-faulting fixtures"
+    );
+}
