@@ -61,6 +61,9 @@ pub struct Trace {
 /// `conformance.pair.<name>` counters.
 pub struct Driver {
     registry: obs::Registry,
+    /// Tracker-side trace ring so a failing chaos check can write the
+    /// two-lane merged trace next to its flight dump.
+    trace: Arc<obs::ExportSink>,
     max_steps: usize,
 }
 
@@ -78,8 +81,11 @@ impl Driver {
 
     /// A driver reporting into `registry`.
     pub fn with_registry(registry: obs::Registry) -> Self {
+        let trace = Arc::new(obs::ExportSink::new(8192));
+        registry.add_sink(trace.clone());
         Driver {
             registry,
+            trace,
             max_steps: 20_000,
         }
     }
@@ -106,6 +112,25 @@ impl Driver {
         div.extend(self.diff_asm_vs_replay(seed, &asm));
         self.count_divergences(&div);
         div
+    }
+
+    /// Best-effort companion to a flight dump: drain whatever telemetry
+    /// the session can still produce and write the two-lane merged
+    /// trace next to the dump, so the CI artifact trail carries the
+    /// timeline as well as the post-mortem.
+    fn write_merged_next_to(
+        &self,
+        chaos: &mut MiTracker,
+        dump: Option<&std::path::Path>,
+    ) -> Option<std::path::PathBuf> {
+        let dump = dump?;
+        // A degraded session refuses the drain; merge what was already
+        // collected in that case.
+        let _ = chaos.drain_telemetry();
+        let (tracker_events, _, _) = self.trace.since(0);
+        let path = dump.with_extension("trace.json");
+        chaos.write_merged_trace(&path, &tracker_events).ok()?;
+        Some(path)
     }
 
     fn count_divergences(&self, div: &[Divergence]) {
@@ -564,8 +589,10 @@ impl Driver {
             }
         };
         let chaos_run = run_chaos_scenario(&mut chaos, bp_line);
-        chaos.terminate();
-        match chaos_run {
+        // A failed check is a post-mortem moment even though the session
+        // object is still alive: attach the flight dump *before*
+        // terminate discards the child and its stderr tail.
+        let result = match chaos_run {
             Ok(run) => {
                 let mut div = Vec::new();
                 if run.tags != reference_run.tags {
@@ -599,6 +626,12 @@ impl Driver {
                     });
                 }
                 self.count_divergences(&div);
+                if !div.is_empty() {
+                    let dump = chaos.dump_flight(&format!("chaos divergence: {fault:?}@{at_call}"));
+                    attach_artifact(&mut div, "flight dump", dump.as_deref());
+                    let trace = self.write_merged_next_to(&mut chaos, dump.as_deref());
+                    attach_artifact(&mut div, "merged trace", trace.as_deref());
+                }
                 let outcome = if state.fired() {
                     ChaosOutcome::Recovered
                 } else {
@@ -608,20 +641,27 @@ impl Driver {
             }
             Err(TrackerError::SessionDegraded(_)) => {
                 // An explicit refusal is a legal outcome; a wrong answer
-                // is not.
+                // is not. Degrading already wrote its own post-mortem
+                // (see `MiTracker`), so nothing extra to attach here.
                 self.registry.inc("conformance.chaos.degraded");
                 (Vec::new(), ChaosOutcome::Degraded)
             }
-            Err(e) => (
-                self.error(
+            Err(e) => {
+                let mut div = self.error(
                     PAIR,
                     seed,
                     &format!("chaos run failed untyped after {fault:?}@{at_call}"),
                     &e,
-                ),
-                ChaosOutcome::Degraded,
-            ),
-        }
+                );
+                let dump = chaos.dump_flight(&format!("chaos run failed: {fault:?}@{at_call}"));
+                attach_artifact(&mut div, "flight dump", dump.as_deref());
+                let trace = self.write_merged_next_to(&mut chaos, dump.as_deref());
+                attach_artifact(&mut div, "merged trace", trace.as_deref());
+                (div, ChaosOutcome::Degraded)
+            }
+        };
+        chaos.terminate();
+        result
     }
 }
 
@@ -635,6 +675,16 @@ pub enum ChaosOutcome {
     Recovered,
     /// The fault fired and the session degraded explicitly.
     Degraded,
+}
+
+/// Points every divergence at a post-mortem artifact written for it
+/// (the flight dump, the merged trace), so a failing chaos report names
+/// the files to pull.
+fn attach_artifact(div: &mut [Divergence], label: &str, path: Option<&std::path::Path>) {
+    let Some(path) = path else { return };
+    for d in div {
+        d.detail.push_str(&format!("\n{label}: {}", path.display()));
+    }
 }
 
 /// What one chaos leg observed.

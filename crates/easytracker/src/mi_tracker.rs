@@ -34,6 +34,28 @@
 //! Recovery is observable: `mi.respawns`, `mi.retries`,
 //! `mi.heartbeat_misses` counters and the `mi.supervisor.recovery`
 //! latency histogram all land in the tracker's [`obs::Registry`].
+//!
+//! # Telemetry plane
+//!
+//! A process-deployed engine hosts its *own* registry; this tracker
+//! bridges it:
+//!
+//! * every outgoing [`CommandFrame`](mi::protocol::CommandFrame) carries
+//!   the tracker's current trace context, so engine-side spans nest
+//!   under the tracker control span that caused them;
+//! * [`MiTracker::drain_telemetry`] pulls the engine's counters, gauges,
+//!   histograms, and trace events over `Command::Telemetry` (idempotent:
+//!   cumulative stats plus an absolute event cursor), mirroring stats as
+//!   `engine.*` gauges and accumulating events for
+//!   [`MiTracker::write_merged_trace`];
+//! * [`MiTracker::sync_clock`] estimates the engine↔tracker clock offset
+//!   from `Ping` roundtrips so merged traces share one timeline;
+//! * an always-on [`obs::FlightRecorder`] ring captures commands,
+//!   responses, pauses, traps, retries, and respawns; on engine death or
+//!   session degradation a structured [`obs::FlightDump`] post-mortem is
+//!   written (to `EASYTRACKER_DUMP_DIR` or the system temp dir),
+//!   including the engine's own last-gasp ring recovered from its
+//!   captured stderr tail.
 
 use crate::{ControlPointId, LowLevel, Result, Tracker, TrackerError};
 use mi::protocol::{Command, Response};
@@ -252,6 +274,19 @@ pub struct MiTracker {
     last_reason: PauseReason,
     started: bool,
     obs: obs::Registry,
+    /// Always-on ring of the session's last moments (see module docs).
+    flight: obs::FlightRecorder,
+    /// Engine↔tracker clock offset estimator, fed by `Ping` roundtrips.
+    clock: obs::ClockSync,
+    /// Engine-side trace events accumulated across telemetry drains.
+    engine_events: Vec<obs::TraceEvent>,
+    /// Export-ring cursor for the next telemetry drain; reset to zero
+    /// when a respawned engine starts a fresh event stream.
+    telemetry_since: u64,
+    /// Where post-mortem dumps go; `None` = `EASYTRACKER_DUMP_DIR` or
+    /// the system temp dir.
+    dump_dir: Option<PathBuf>,
+    last_dump: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for MiTracker {
@@ -332,7 +367,9 @@ impl MiTracker {
         cfg: Supervision,
         mut wrapper: Option<PortWrapper>,
     ) -> Result<Self> {
-        let backend = Self::build_backend(&spec, &registry, &cfg, wrapper.as_mut())?;
+        let flight = obs::FlightRecorder::new(256);
+        let mut backend = Self::build_backend(&spec, &registry, &cfg, wrapper.as_mut())?;
+        backend.port.set_flight_recorder(flight.clone());
         Ok(MiTracker {
             backend: Some(backend),
             spec: Some(spec),
@@ -347,6 +384,12 @@ impl MiTracker {
             last_reason: PauseReason::NotStarted,
             started: false,
             obs: registry,
+            flight,
+            clock: obs::ClockSync::new(),
+            engine_events: Vec::new(),
+            telemetry_since: 0,
+            dump_dir: None,
+            last_dump: None,
         })
     }
 
@@ -365,7 +408,9 @@ impl MiTracker {
     /// Like [`MiTracker::from_port`], reporting into `registry`.
     pub fn from_port_with_registry(port: Box<dyn CommandPort>, registry: obs::Registry) -> Self {
         let cfg = Supervision::passthrough();
-        let port = SupervisedClient::with_registry(port, cfg.policy(), registry.clone());
+        let flight = obs::FlightRecorder::new(256);
+        let mut port = SupervisedClient::with_registry(port, cfg.policy(), registry.clone());
+        port.set_flight_recorder(flight.clone());
         MiTracker {
             backend: Some(Backend {
                 port,
@@ -383,6 +428,12 @@ impl MiTracker {
             last_reason: PauseReason::NotStarted,
             started: false,
             obs: registry,
+            flight,
+            clock: obs::ClockSync::new(),
+            engine_events: Vec::new(),
+            telemetry_since: 0,
+            dump_dir: None,
+            last_dump: None,
         }
     }
 
@@ -573,22 +624,35 @@ impl MiTracker {
         if let SessionHealth::Degraded { reason } = &self.health {
             return Err(TrackerError::SessionDegraded(reason.clone()));
         }
+        self.flight.record("cmd", command.kind());
         loop {
             let backend = self
                 .backend
                 .as_mut()
                 .ok_or_else(|| TrackerError::Engine("tracker already terminated".into()))?;
             match backend.port.call(command.clone()) {
-                Ok(Response::Error { message }) => return Err(TrackerError::Engine(message)),
-                Ok(resp) => return Ok(resp),
+                Ok(Response::Error { message }) => {
+                    self.flight.record("resp", format!("Error: {message}"));
+                    return Err(TrackerError::Engine(message));
+                }
+                Ok(resp) => {
+                    self.flight.record("resp", resp.summary());
+                    return Ok(resp);
+                }
                 Err(e) => {
                     let e = classify_failure(e, &mut backend.engine);
+                    self.flight
+                        .record("fault", format!("{} failed: {e}", command.kind()));
                     let recoverable = self.spec.is_some()
                         && matches!(
                             e,
                             MiError::Timeout | MiError::Disconnected | MiError::EngineDied { .. }
                         );
                     if !recoverable {
+                        if let MiError::EngineDied { stderr, .. } = &e {
+                            let tail = stderr.clone();
+                            self.dump_flight_with(&e.to_string(), Some(tail));
+                        }
                         return Err(e.into());
                     }
                     // Respawn, replay the journal, then re-issue the
@@ -605,6 +669,12 @@ impl MiTracker {
     /// or degrades the session.
     fn recover(&mut self, trigger: &MiError) -> Result<()> {
         let spec = self.spec.clone().expect("recover requires a program spec");
+        // The dead engine's stderr tail (with its last-gasp flight ring,
+        // if any) must be captured before teardown discards the child.
+        let dead_stderr = match trigger {
+            MiError::EngineDied { stderr, .. } => Some(stderr.clone()),
+            _ => self.engine_stderr_tail(),
+        };
         // A timeout may be a wedged boundary or merely a slow engine:
         // probe once so the miss is visible in metrics before teardown.
         if matches!(trigger, MiError::Timeout) {
@@ -615,14 +685,21 @@ impl MiTracker {
         let started_at = Instant::now();
         loop {
             if self.respawns_used >= self.cfg.max_respawns {
-                return Err(self.degrade(format!(
-                    "engine lost ({trigger}) and respawn budget ({}) exhausted",
-                    self.cfg.max_respawns
-                )));
+                return Err(self.degrade(
+                    format!(
+                        "engine lost ({trigger}) and respawn budget ({}) exhausted",
+                        self.cfg.max_respawns
+                    ),
+                    dead_stderr.clone(),
+                ));
             }
             let attempt = self.respawns_used;
             self.respawns_used += 1;
             self.obs.inc("mi.respawns");
+            self.flight.record(
+                "respawn",
+                format!("attempt {} after {trigger}", attempt + 1),
+            );
             self.teardown_backend();
             let sleep = jittered_backoff(
                 self.cfg.backoff_base,
@@ -634,7 +711,10 @@ impl MiTracker {
                 std::thread::sleep(sleep);
             }
             match Self::build_backend(&spec, &self.obs, &self.cfg, self.wrapper.as_mut()) {
-                Ok(b) => self.backend = Some(b),
+                Ok(mut b) => {
+                    b.port.set_flight_recorder(self.flight.clone());
+                    self.backend = Some(b);
+                }
                 // The program compiled when the session was loaded, so a
                 // rebuild failure here is spawn-level and possibly
                 // transient: spend another attempt on it.
@@ -642,16 +722,25 @@ impl MiTracker {
             }
             match self.replay_journal() {
                 Ok(()) => {
+                    // The fresh engine starts a fresh export ring and
+                    // fresh cumulative stats; rewinding the drain cursor
+                    // keeps `Command::Telemetry` journal-safe (mirrored
+                    // stats use set semantics, so nothing double-counts).
+                    self.telemetry_since = 0;
                     self.obs
                         .record_duration("mi.supervisor.recovery", started_at.elapsed());
+                    // The session survived, but an engine still died:
+                    // leave a post-mortem of the death behind.
+                    self.dump_flight_with(&format!("recovered: {trigger}"), dead_stderr.clone());
                     return Ok(());
                 }
                 Err(ReplayOutcome::Diverged(msg)) => {
                     // Deterministic engines would diverge identically on
                     // the next attempt; respawning again cannot help.
-                    return Err(self.degrade(format!(
-                        "re-established engine diverged from the session journal: {msg}"
-                    )));
+                    return Err(self.degrade(
+                        format!("re-established engine diverged from the session journal: {msg}"),
+                        dead_stderr.clone(),
+                    ));
                 }
                 Err(ReplayOutcome::Lost) => continue,
             }
@@ -728,13 +817,30 @@ impl MiTracker {
         }
     }
 
-    /// Marks the session unusable and releases the engine.
-    fn degrade(&mut self, reason: String) -> TrackerError {
+    /// Marks the session unusable and releases the engine, leaving a
+    /// post-mortem flight dump behind. `engine_stderr` is the stderr
+    /// tail of the engine whose loss started the failure (the current
+    /// backend, if any, is a later respawn).
+    fn degrade(&mut self, reason: String, engine_stderr: Option<String>) -> TrackerError {
+        let engine_stderr = engine_stderr.or_else(|| self.engine_stderr_tail());
         self.teardown_backend();
         self.health = SessionHealth::Degraded {
             reason: reason.clone(),
         };
+        self.flight.record("degrade", reason.as_str());
+        self.dump_flight_with(&format!("SessionDegraded: {reason}"), engine_stderr);
         TrackerError::SessionDegraded(reason)
+    }
+
+    /// The current child engine's captured stderr tail, if any.
+    fn engine_stderr_tail(&self) -> Option<String> {
+        match &self.backend {
+            Some(Backend {
+                engine: EngineKind::Child { stderr, .. },
+                ..
+            }) => Some(stderr.lock().unwrap().clone()),
+            _ => None,
+        }
     }
 
     /// Non-graceful teardown: no Terminate handshake, just release.
@@ -776,6 +882,10 @@ impl MiTracker {
         match self.call(command.clone())? {
             Response::Paused(reason) => {
                 span.tag("pause_reason", reason.tag());
+                if let PauseReason::Sanitizer { diagnostic } = &reason {
+                    self.flight.record("trap", format!("{diagnostic:?}"));
+                }
+                self.flight.record("pause", reason.to_string());
                 self.last_reason = reason.clone();
                 if self.spec.is_some() {
                     self.journal.push(JournalEntry::Control {
@@ -813,6 +923,159 @@ impl MiTracker {
             .as_ref()
             .map(|b| b.port.counters().bytes_total())
             .unwrap_or(0)
+    }
+
+    /// This session's flight recorder (shared with the supervised port,
+    /// so retries and heartbeat misses land in the same ring).
+    pub fn flight_recorder(&self) -> &obs::FlightRecorder {
+        &self.flight
+    }
+
+    /// Overrides where post-mortem flight dumps are written. Default:
+    /// `EASYTRACKER_DUMP_DIR`, falling back to the system temp dir.
+    pub fn set_dump_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.dump_dir = Some(dir.into());
+    }
+
+    /// The most recent post-mortem dump written by this session.
+    pub fn last_flight_dump(&self) -> Option<&Path> {
+        self.last_dump.as_deref()
+    }
+
+    /// Writes a post-mortem flight dump now (chaos/conformance harnesses
+    /// call this when a *check* fails even though the session itself is
+    /// healthy). Returns the dump path, or `None` if writing failed.
+    pub fn dump_flight(&mut self, reason: &str) -> Option<PathBuf> {
+        let stderr = self.engine_stderr_tail();
+        self.dump_flight_with(reason, stderr)
+    }
+
+    fn dump_flight_with(&mut self, reason: &str, engine_stderr: Option<String>) -> Option<PathBuf> {
+        let stderr = engine_stderr.unwrap_or_default();
+        let log = self.flight.log();
+        let dump = obs::FlightDump {
+            side: "tracker".into(),
+            reason: reason.into(),
+            last_command: log
+                .last_of("cmd")
+                .map(|e| e.detail.clone())
+                .unwrap_or_default(),
+            last_pause: self.last_reason.to_string(),
+            respawns: u64::from(self.respawns_used),
+            log,
+            engine_log: obs::extract_last_gasp(&stderr),
+            engine_stderr: stderr,
+        };
+        let dir = self
+            .dump_dir
+            .clone()
+            .or_else(|| std::env::var_os("EASYTRACKER_DUMP_DIR").map(PathBuf::from))
+            .unwrap_or_else(std::env::temp_dir);
+        match dump.write_to_dir(&dir) {
+            Ok(path) => {
+                self.obs.inc("mi.flight_dumps");
+                self.last_dump = Some(path.clone());
+                Some(path)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Estimates the engine↔tracker clock offset from `rounds` Ping
+    /// roundtrips (the tightest roundtrip wins; see [`obs::ClockSync`]).
+    /// Returns the estimate, also available via
+    /// [`MiTracker::clock_offset_us`].
+    ///
+    /// # Errors
+    ///
+    /// Fails as any engine call does (degraded session, lost engine).
+    pub fn sync_clock(&mut self, rounds: u32) -> Result<Option<i64>> {
+        for _ in 0..rounds.max(1) {
+            let send = self.obs.now_us();
+            match self.call(Command::Ping)? {
+                Response::Pong { now_us } => {
+                    let recv = self.obs.now_us();
+                    self.clock.sample(send, recv, now_us);
+                }
+                other => {
+                    return Err(TrackerError::Protocol(format!(
+                        "expected Pong, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(self.clock.offset_us())
+    }
+
+    /// `engine_clock − tracker_clock` in microseconds, once
+    /// [`MiTracker::sync_clock`] or a telemetry drain has sampled it.
+    pub fn clock_offset_us(&self) -> Option<i64> {
+        self.clock.offset_us()
+    }
+
+    /// Drains engine-side telemetry over `Command::Telemetry`: mirrors
+    /// the engine's cumulative counters and gauges into this tracker's
+    /// registry as `engine.*` gauges (set semantics — re-delivery after
+    /// a supervised retry or respawn cannot double-count) and appends
+    /// new engine trace events for [`MiTracker::write_merged_trace`].
+    /// Also feeds the clock-offset estimator. Returns the raw frame.
+    ///
+    /// In-process sessions share the tracker's registry, so their frames
+    /// echo it back; the drain stays well-defined but is only
+    /// interesting for process-deployed engines.
+    ///
+    /// # Errors
+    ///
+    /// Fails as any engine call does (degraded session, lost engine).
+    pub fn drain_telemetry(&mut self) -> Result<obs::TelemetryFrame> {
+        let send = self.obs.now_us();
+        let since = self.telemetry_since;
+        match self.call(Command::Telemetry { since })? {
+            Response::Telemetry(frame) => {
+                let recv = self.obs.now_us();
+                let frame = *frame;
+                self.clock.sample(send, recv, frame.now_us);
+                self.telemetry_since = frame.next_event;
+                if frame.lost_events > 0 {
+                    self.obs.add("mi.telemetry.lost_events", frame.lost_events);
+                }
+                self.engine_events.extend(frame.events.iter().cloned());
+                for (name, v) in frame.counters.iter().chain(frame.gauges.iter()) {
+                    self.obs.set_gauge(&format!("engine.{name}"), *v);
+                }
+                Ok(frame)
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected telemetry frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Engine-side trace events drained so far (engine-clock timestamps;
+    /// [`MiTracker::write_merged_trace`] re-stamps them).
+    pub fn engine_trace_events(&self) -> &[obs::TraceEvent] {
+        &self.engine_events
+    }
+
+    /// Writes one Chrome trace with two process lanes — `tracker_events`
+    /// (from a [`obs::ChromeTraceSink`] attached to this tracker's
+    /// registry) and the drained engine events shifted onto the tracker
+    /// timeline by the estimated clock offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing `path`.
+    pub fn write_merged_trace(
+        &self,
+        path: &Path,
+        tracker_events: &[obs::TraceEvent],
+    ) -> std::io::Result<()> {
+        obs::save_merged_trace(
+            path,
+            tracker_events,
+            &self.engine_events,
+            self.clock.offset_us().unwrap_or(0),
+        )
     }
 }
 

@@ -365,7 +365,7 @@ impl PyTracker {
                 let mut interp = Interp::new(module);
                 interp.set_max_depth(500);
                 let run_outcome = interp.run(&mut tracer);
-                inferior_reg.set("vm.minipy.steps", interp.steps());
+                inferior_reg.set_gauge("vm.minipy.steps", interp.steps());
                 let (reason, exit) = match run_outcome {
                     Ok(outcome) => (
                         PauseReason::Exited(ExitStatus::Exited(outcome.exit_code)),

@@ -118,8 +118,9 @@ impl AsmEngine {
         let Some(reg) = &self.registry else {
             return;
         };
-        reg.set("vm.miniasm.instret", self.cpu.instret());
-        reg.set("vm.miniasm.shadow_depth", self.shadow.len() as u64);
+        // Absolute readings: gauges, so merged snapshots never double-add.
+        reg.set_gauge("vm.miniasm.instret", self.cpu.instret());
+        reg.set_gauge("vm.miniasm.shadow_depth", self.shadow.len() as u64);
     }
 
     /// Read access to the CPU.
@@ -320,7 +321,18 @@ impl AsmEngine {
                 message: "inferior not started (call start first)".into(),
             };
         }
+        // Times the CPU burst this control command caused; joins the
+        // tracker's trace when the command frame carried a context.
+        let span = self.registry.as_ref().map(|reg| {
+            let mut span = reg.span("vm.miniasm.exec");
+            span.category("vm");
+            span
+        });
         let reason = self.run(mode);
+        if let Some(mut span) = span {
+            span.tag("pause_reason", reason.to_string());
+            span.finish();
+        }
         self.last_reason = reason.clone();
         self.publish_stats();
         Response::Paused(reason)
@@ -584,9 +596,20 @@ impl Engine for AsmEngine {
             Command::SetSanitizer { .. } => Response::Error {
                 message: "sanitizer mode is not supported for assembly programs".into(),
             },
-            // The serve loop normally answers Ping itself; answering here
-            // too keeps `handle` total for engines driven directly.
-            Command::Ping => Response::Pong,
+            // The serve loop normally answers Ping and Telemetry itself;
+            // answering here too keeps `handle` total for engines driven
+            // directly.
+            Command::Ping => Response::Pong {
+                now_us: self.registry.as_ref().map_or(0, obs::Registry::now_us),
+            },
+            Command::Telemetry { since } => {
+                // No export ring at this layer: metrics only.
+                let frame = match &self.registry {
+                    Some(reg) => obs::telemetry::collect_frame(reg, None, since),
+                    None => obs::TelemetryFrame::default(),
+                };
+                Response::Telemetry(Box::new(frame))
+            }
             Command::Terminate => Response::Ok,
         }
     }

@@ -15,6 +15,14 @@
 //! reported source locations. Trackers that ship a program via a
 //! temporary file pass the original name here so state snapshots are
 //! byte-identical to an in-process run of the same program.
+//!
+//! The server hosts its own [`obs::Registry`]: engine/VM spans and stats
+//! accumulate here (tagged with trace contexts propagated in command
+//! frames) and drain back to the tracker over `Command::Telemetry`. It
+//! also keeps an always-on flight recorder of served commands; on an
+//! abnormal end — transport failure or panic — the recorder's ring is
+//! printed as one marked stderr line, which the tracker's stderr tail
+//! capture carries into the post-mortem dump.
 
 use mi::transport::StreamTransport;
 use mi::{asm_engine::AsmEngine, minic_engine::MinicEngine, Server};
@@ -36,6 +44,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let registry = obs::Registry::new();
+    let flight = obs::FlightRecorder::new(256);
+    // A panicking engine must still get its last gasp out: the default
+    // hook prints the panic, ours prepends the flight ring.
+    let hook_flight = flight.clone();
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        eprintln!("{}", hook_flight.last_gasp_line());
+        default_hook(info);
+    }));
     let name = logical.as_deref().unwrap_or(&path);
     let transport = StreamTransport::new(LockedStdin, stdout());
     let end = if name.ends_with(".s") || name.ends_with(".asm") {
@@ -46,7 +64,11 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        Server::new(AsmEngine::new(&program), transport).serve()
+        let mut engine = AsmEngine::new(&program);
+        engine.set_registry(registry.clone());
+        let mut server = Server::with_telemetry(engine, transport, registry);
+        server.set_flight_recorder(flight.clone());
+        server.serve()
     } else {
         let program = match minic::compile(name, &source) {
             Ok(p) => p,
@@ -55,12 +77,18 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        Server::new(MinicEngine::new(&program), transport).serve()
+        let mut engine = MinicEngine::new(&program);
+        engine.set_registry(registry.clone());
+        let mut server = Server::with_telemetry(engine, transport, registry);
+        server.set_flight_recorder(flight.clone());
+        server.serve()
     };
     // Never end silently on a broken boundary: a supervisor watching this
     // process must be able to tell "session finished" (exit 0) from "the
-    // transport failed mid-session" (exit 3 + diagnostic).
+    // transport failed mid-session" (exit 3 + diagnostic). The last-gasp
+    // line rides the same stderr capture into the tracker's post-mortem.
     if let Err(e) = end {
+        eprintln!("{}", flight.last_gasp_line());
         eprintln!("mi-server: transport failure: {e}");
         std::process::exit(3);
     }

@@ -117,12 +117,15 @@ impl MinicEngine {
         let Some(reg) = &self.registry else {
             return;
         };
-        reg.set("vm.minic.ops", self.vm.ops_executed());
-        reg.set("vm.minic.events", self.events_seen);
+        // Absolute readings of cumulative VM totals: gauges, not
+        // counters, so a merged cross-process snapshot never adds two
+        // reports of the same total.
+        reg.set_gauge("vm.minic.ops", self.vm.ops_executed());
+        reg.set_gauge("vm.minic.events", self.events_seen);
         let alloc = self.vm.allocator();
-        reg.set("vm.minic.heap.allocs", alloc.total_allocs());
-        reg.set("vm.minic.heap.frees", alloc.total_frees());
-        reg.set("vm.minic.heap.live_bytes", alloc.live_bytes());
+        reg.set_gauge("vm.minic.heap.allocs", alloc.total_allocs());
+        reg.set_gauge("vm.minic.heap.frees", alloc.total_frees());
+        reg.set_gauge("vm.minic.heap.live_bytes", alloc.live_bytes());
     }
 
     fn alloc_id(&mut self) -> u64 {
@@ -360,7 +363,18 @@ impl MinicEngine {
                 message: "inferior not started (call start first)".into(),
             };
         }
+        // Times the VM burst this control command caused; joins the
+        // tracker's trace when the command frame carried a context.
+        let span = self.registry.as_ref().map(|reg| {
+            let mut span = reg.span("vm.minic.exec");
+            span.category("vm");
+            span
+        });
         let reason = self.run(mode);
+        if let Some(mut span) = span {
+            span.tag("pause_reason", reason.to_string());
+            span.finish();
+        }
         self.last_reason = reason.clone();
         self.publish_stats();
         Response::Paused(reason)
@@ -561,9 +575,20 @@ impl Engine for MinicEngine {
                 self.vm.set_sanitizer(on);
                 Response::Ok
             }
-            // The serve loop normally answers Ping itself; answering here
-            // too keeps `handle` total for engines driven directly.
-            Command::Ping => Response::Pong,
+            // The serve loop normally answers Ping and Telemetry itself;
+            // answering here too keeps `handle` total for engines driven
+            // directly.
+            Command::Ping => Response::Pong {
+                now_us: self.registry.as_ref().map_or(0, obs::Registry::now_us),
+            },
+            Command::Telemetry { since } => {
+                // No export ring at this layer: metrics only.
+                let frame = match &self.registry {
+                    Some(reg) => obs::telemetry::collect_frame(reg, None, since),
+                    None => obs::TelemetryFrame::default(),
+                };
+                Response::Telemetry(Box::new(frame))
+            }
             Command::Terminate => Response::Ok,
         }
     }

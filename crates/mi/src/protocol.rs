@@ -92,9 +92,20 @@ pub enum Command {
         /// shadow init bits); `false` restores plain execution.
         on: bool,
     },
+    /// Drain engine-side telemetry: cumulative counters, gauges, and
+    /// histograms from the engine's registry, plus trace events with
+    /// absolute index `>= since`. Served by the boundary (like `Ping`),
+    /// not the engine, and read-only: the cursor lives client-side, so
+    /// re-issuing the same drain returns the same frame — safe for the
+    /// supervision layer to retry.
+    Telemetry {
+        /// Absolute event-index cursor; events before it are skipped.
+        since: u64,
+    },
     /// Liveness probe: the serve loop answers [`Response::Pong`] without
     /// involving the engine, so a healthy-but-busy boundary and a wedged
-    /// one are distinguishable. Supervisors use it as a heartbeat.
+    /// one are distinguishable. Supervisors use it as a heartbeat; the
+    /// echoed engine clock also feeds tracker↔engine clock alignment.
     Ping,
     /// Stop the inferior and shut the engine down.
     Terminate,
@@ -127,6 +138,7 @@ impl Command {
             Command::GetBreakableLines => "GetBreakableLines",
             Command::Analyze => "Analyze",
             Command::SetSanitizer { .. } => "SetSanitizer",
+            Command::Telemetry { .. } => "Telemetry",
             Command::Ping => "Ping",
             Command::Terminate => "Terminate",
         }
@@ -141,7 +153,9 @@ impl Command {
     /// buffer, so a retry whose first attempt actually reached the engine
     /// would silently lose output. `Analyze` never touches the inferior,
     /// and `SetSanitizer` converges (setting the same mode twice is a
-    /// no-op), so both retry safely.
+    /// no-op), so both retry safely. `Telemetry` is read-only — the
+    /// drain cursor is carried *in* the command, not kept server-side —
+    /// so the same request always returns the same frame.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -155,6 +169,7 @@ impl Command {
                 | Command::GetBreakableLines
                 | Command::Analyze
                 | Command::SetSanitizer { .. }
+                | Command::Telemetry { .. }
                 | Command::Ping
                 | Command::Terminate
         )
@@ -177,6 +192,13 @@ pub struct CommandFrame {
     pub seq: u64,
     /// The command itself.
     pub cmd: Command,
+    /// Trace context of the tracker-side span this command was sent
+    /// under, if any: the engine tags the spans it opens while handling
+    /// the command as children of this one, so both processes merge
+    /// into a single trace. Absent on the wire (`null`) for peers and
+    /// sessions that do not trace — older frames without the field
+    /// decode as `None`.
+    pub trace: Option<obs::TraceContext>,
 }
 
 /// The sequence-numbered wire envelope for a [`Response`]; `seq` echoes
@@ -226,13 +248,46 @@ pub enum Response {
     Lines(Vec<u32>),
     /// Static-analysis findings for [`Command::Analyze`].
     Diagnostics(Vec<Diagnostic>),
+    /// One telemetry drain for [`Command::Telemetry`].
+    Telemetry(Box<obs::TelemetryFrame>),
     /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
-    Pong,
+    Pong {
+        /// The responder's monotonic clock (microseconds since its
+        /// registry epoch; 0 when it has none). Together with the local
+        /// send/receive times this estimates the cross-process clock
+        /// offset used to merge traces.
+        now_us: u64,
+    },
     /// The command failed.
     Error {
         /// Human-readable description.
         message: String,
     },
+}
+
+impl Response {
+    /// Short single-line form for flight-recorder entries: the variant
+    /// name plus the few fields cheap enough to keep in a bounded ring.
+    pub fn summary(&self) -> String {
+        match self {
+            Response::Ok => "Ok".into(),
+            Response::Paused(reason) => format!("Paused({reason})"),
+            Response::Created { id } => format!("Created({id})"),
+            Response::State(_) => "State".into(),
+            Response::Globals(v) => format!("Globals({})", v.len()),
+            Response::Variable(v) => format!("Variable({})", v.is_some()),
+            Response::Registers(v) => format!("Registers({})", v.len()),
+            Response::Memory(b) => format!("Memory({}B)", b.len()),
+            Response::Output(s) => format!("Output({}B)", s.len()),
+            Response::ExitCode(c) => format!("ExitCode({c:?})"),
+            Response::Source { file, .. } => format!("Source({file})"),
+            Response::Lines(v) => format!("Lines({})", v.len()),
+            Response::Diagnostics(v) => format!("Diagnostics({})", v.len()),
+            Response::Telemetry(f) => format!("Telemetry({} events)", f.events.len()),
+            Response::Pong { now_us } => format!("Pong({now_us})"),
+            Response::Error { message } => format!("Error({message})"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +324,7 @@ mod tests {
         let cf = CommandFrame {
             seq: 7,
             cmd: Command::Step,
+            trace: None,
         };
         let json = serde_json::to_string(&cf).unwrap();
         let back: CommandFrame = serde_json::from_str(&json).unwrap();
@@ -287,6 +343,41 @@ mod tests {
         let back: ResponseFrame = serde_json::from_str(&json).unwrap();
         assert_eq!(rf, back);
         assert!(serde_json::from_str::<Response>(&json).is_err());
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope_and_stays_optional() {
+        let cf = CommandFrame {
+            seq: 3,
+            cmd: Command::Resume,
+            trace: Some(obs::TraceContext {
+                trace_id: 0xAB,
+                span_id: 0xCD,
+            }),
+        };
+        let json = serde_json::to_string(&cf).unwrap();
+        let back: CommandFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(cf, back);
+        // Frames from peers predating the field decode with trace: None.
+        let legacy = r#"{"seq":3,"cmd":"Resume"}"#;
+        let back: CommandFrame = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.seq, 3);
+        assert_eq!(back.trace, None);
+    }
+
+    #[test]
+    fn telemetry_is_idempotent_and_named() {
+        let cmd = Command::Telemetry { since: 40 };
+        assert!(cmd.is_idempotent());
+        assert_eq!(cmd.kind(), "Telemetry");
+        let json = serde_json::to_string(&cmd).unwrap();
+        let back: Command = serde_json::from_str(&json).unwrap();
+        assert_eq!(cmd, back);
+        let resp = Response::Telemetry(Box::default());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+        assert_eq!(back.summary(), "Telemetry(0 events)");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::protocol::{Command, CommandFrame, Response, ResponseFrame};
 use crate::transport::{Transport, TransportCounters};
 use crate::MiError;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How a serve loop ended *normally*. Abnormal ends (the transport
@@ -27,11 +28,16 @@ pub trait Engine {
 }
 
 /// Pumps commands from a transport into an engine until `Terminate`.
-#[derive(Debug)]
 pub struct Server<E, T> {
     engine: E,
     transport: T,
     registry: Option<obs::Registry>,
+    /// Export ring answering `Command::Telemetry` event drains. Only
+    /// attached by [`Server::with_telemetry`]: when client and server
+    /// share one in-process registry there is nothing to drain, and an
+    /// export ring would duplicate every event into the drain.
+    export: Option<Arc<obs::ExportSink>>,
+    flight: Option<obs::FlightRecorder>,
 }
 
 impl<E: Engine, T: Transport> Server<E, T> {
@@ -41,6 +47,8 @@ impl<E: Engine, T: Transport> Server<E, T> {
             engine,
             transport,
             registry: None,
+            export: None,
+            flight: None,
         }
     }
 
@@ -52,7 +60,32 @@ impl<E: Engine, T: Transport> Server<E, T> {
             engine,
             transport,
             registry: Some(registry),
+            export: None,
+            flight: None,
         }
+    }
+
+    /// Like [`Server::with_registry`], but also attaches an export ring
+    /// to the registry so `Command::Telemetry` can drain trace events
+    /// (not just metrics) back over the wire. Used by the out-of-process
+    /// `mi-server`, whose registry the tracker cannot see directly.
+    pub fn with_telemetry(engine: E, transport: T, registry: obs::Registry) -> Self {
+        let export = Arc::new(obs::ExportSink::new(4096));
+        registry.add_sink(export.clone());
+        Server {
+            engine,
+            transport,
+            registry: Some(registry),
+            export: Some(export),
+            flight: None,
+        }
+    }
+
+    /// Attaches the engine-side flight recorder: every served command
+    /// and response summary lands in its bounded ring, so a post-mortem
+    /// of a dead engine can name what it was doing last.
+    pub fn set_flight_recorder(&mut self, flight: obs::FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// Serves until `Terminate` arrives or the peer disconnects.
@@ -95,9 +128,10 @@ impl<E: Engine, T: Transport> Server<E, T> {
                 Err(MiError::Disconnected) => return Ok(ServeEnd::PeerClosed),
                 Err(e) => return Err(e),
             };
-            let (seq, decoded) = match serde_json::from_slice::<CommandFrame>(&frame) {
-                Ok(cf) => (Some(cf.seq), Ok(cf.cmd)),
+            let (seq, trace, decoded) = match serde_json::from_slice::<CommandFrame>(&frame) {
+                Ok(cf) => (Some(cf.seq), cf.trace, Ok(cf.cmd)),
                 Err(_) => (
+                    None,
                     None,
                     serde_json::from_slice::<Command>(&frame).map_err(|e| e.to_string()),
                 ),
@@ -107,12 +141,27 @@ impl<E: Engine, T: Transport> Server<E, T> {
                     if let Some(reg) = &self.registry {
                         reg.inc(&format!("mi.server.cmd.{}", cmd.kind()));
                     }
+                    if let Some(flight) = &self.flight {
+                        flight.record("cmd", cmd.kind());
+                    }
                     let stop = cmd == Command::Terminate;
-                    let resp = if cmd == Command::Ping {
-                        Response::Pong
-                    } else {
-                        self.engine.handle(cmd)
+                    let resp = match cmd {
+                        Command::Ping => Response::Pong {
+                            now_us: self.registry.as_ref().map_or(0, obs::Registry::now_us),
+                        },
+                        Command::Telemetry { since } => self.drain_telemetry(since),
+                        cmd => {
+                            // Spans the engine opens while handling this
+                            // command join the caller's trace.
+                            obs::set_remote_context(trace);
+                            let resp = self.engine.handle(cmd);
+                            obs::set_remote_context(None);
+                            resp
+                        }
                     };
+                    if let Some(flight) = &self.flight {
+                        flight.record("resp", resp.summary());
+                    }
                     let bytes = match seq {
                         Some(seq) => serde_json::to_vec(&ResponseFrame { seq, resp }),
                         None => serde_json::to_vec(&resp),
@@ -140,6 +189,22 @@ impl<E: Engine, T: Transport> Server<E, T> {
                 }
             }
         }
+    }
+
+    /// Answers a telemetry drain from the server's own registry; a
+    /// registry-less server answers an empty frame rather than erroring,
+    /// so tracing stays strictly optional.
+    fn drain_telemetry(&self, since: u64) -> Response {
+        let frame = match &self.registry {
+            Some(reg) => obs::telemetry::collect_frame(reg, self.export.as_deref(), since),
+            // Echo the cursor back unchanged so a registry-less server
+            // never rewinds the client's drain position.
+            None => obs::TelemetryFrame {
+                next_event: since,
+                ..obs::TelemetryFrame::default()
+            },
+        };
+        Response::Telemetry(Box::new(frame))
     }
 
     fn count_malformed(&self) {
@@ -248,10 +313,17 @@ impl<T: Transport> Client<T> {
             .registry
             .as_ref()
             .map(|reg| reg.span(format!("mi.client.roundtrip.{}", command.kind())));
+        // Stamp the roundtrip span's context onto the frame: engine-side
+        // spans caused by this command become its (remote) children.
+        let trace = span.as_ref().map(obs::Span::context);
         let seq = self.next_seq;
         self.next_seq += 1;
         let bytes = if self.envelope {
-            serde_json::to_vec(&CommandFrame { seq, cmd: command })
+            serde_json::to_vec(&CommandFrame {
+                seq,
+                cmd: command,
+                trace,
+            })
         } else {
             serde_json::to_vec(&command)
         }
@@ -297,10 +369,10 @@ impl<T: Transport> Client<T> {
         drop(span);
         if let Some(reg) = &self.registry {
             let c = self.transport.counters();
-            reg.set("mi.client.bytes_sent", c.bytes_sent);
-            reg.set("mi.client.bytes_received", c.bytes_received);
-            reg.set("mi.client.frames_sent", c.frames_sent);
-            reg.set("mi.client.frames_received", c.frames_received);
+            reg.set_gauge("mi.client.bytes_sent", c.bytes_sent);
+            reg.set_gauge("mi.client.bytes_received", c.bytes_received);
+            reg.set_gauge("mi.client.frames_sent", c.frames_sent);
+            reg.set_gauge("mi.client.frames_received", c.frames_received);
         }
         Ok(resp)
     }
@@ -425,9 +497,89 @@ mod tests {
         let (a, b) = duplex();
         let handle = std::thread::spawn(move || Server::new(Echo, b).serve());
         let mut client = Client::new(a);
-        assert_eq!(client.call(Command::Ping).unwrap(), Response::Pong);
+        assert!(matches!(
+            client.call(Command::Ping).unwrap(),
+            Response::Pong { .. }
+        ));
         assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
         assert_eq!(handle.join().unwrap().unwrap(), ServeEnd::Terminated);
+    }
+
+    #[test]
+    fn telemetry_drains_idempotently_from_the_server_registry() {
+        let reg = obs::Registry::new();
+        let (a, b) = duplex();
+        let server_reg = reg.clone();
+        let handle = std::thread::spawn(move || {
+            let mut server = Server::with_telemetry(Echo, b, server_reg);
+            server.serve()
+        });
+        let mut client = Client::new(a);
+        // Generate some server-side telemetry: spans land in the export
+        // ring, the command counter accumulates.
+        assert_eq!(
+            client.call(Command::GetOutput).unwrap(),
+            Response::Output("echo".into())
+        );
+        reg.span("vm.fake.exec").finish();
+        let drain = |client: &mut Client<_>, since| match client
+            .call(Command::Telemetry { since })
+            .unwrap()
+        {
+            Response::Telemetry(frame) => *frame,
+            other => panic!("expected Telemetry, got {other:?}"),
+        };
+        let first = drain(&mut client, 0);
+        assert!(first.counters.contains_key("mi.server.cmd.GetOutput"));
+        assert!(first.events.iter().any(|e| e.name == "vm.fake.exec"));
+        assert!(first.now_us > 0 || first.next_event > 0);
+        // Same cursor → same frame (retry safety); new cursor → empty.
+        let again = drain(&mut client, 0);
+        assert_eq!(again.events.len(), first.events.len());
+        assert_eq!(again.next_event, first.next_event);
+        let rest = drain(&mut client, first.next_event);
+        assert!(rest.events.iter().all(|e| e.name != "vm.fake.exec"));
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn telemetry_without_a_registry_answers_an_empty_frame() {
+        let (a, b) = duplex();
+        let handle = std::thread::spawn(move || Server::new(Echo, b).serve());
+        let mut client = Client::new(a);
+        match client.call(Command::Telemetry { since: 9 }).unwrap() {
+            Response::Telemetry(frame) => {
+                assert!(frame.counters.is_empty());
+                assert!(frame.events.is_empty());
+                assert_eq!(frame.next_event, 9);
+            }
+            other => panic!("expected Telemetry, got {other:?}"),
+        }
+        assert_eq!(client.call(Command::Terminate).unwrap(), Response::Ok);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn server_flight_recorder_captures_commands_and_responses() {
+        let flight = obs::FlightRecorder::new(16);
+        let (a, b) = duplex();
+        let server_flight = flight.clone();
+        let handle = std::thread::spawn(move || {
+            let mut server = Server::new(Echo, b);
+            server.set_flight_recorder(server_flight);
+            server.serve()
+        });
+        let mut client = Client::new(a);
+        client.call(Command::GetOutput).unwrap();
+        client.call(Command::Terminate).unwrap();
+        handle.join().unwrap().unwrap();
+        let log = flight.log();
+        assert_eq!(log.last_of("cmd").unwrap().detail, "Terminate");
+        assert!(log
+            .entries
+            .iter()
+            .any(|e| e.kind == "resp" && e.detail.contains("Output")));
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub struct SupervisedClient<P> {
     policy: SupervisePolicy,
     rng: u64,
     registry: Option<obs::Registry>,
+    flight: Option<obs::FlightRecorder>,
 }
 
 impl<P: CommandPort> SupervisedClient<P> {
@@ -92,7 +93,15 @@ impl<P: CommandPort> SupervisedClient<P> {
             policy,
             rng,
             registry: None,
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder: retries and heartbeat misses land in
+    /// its ring, so a post-mortem shows the supervision churn that
+    /// preceded a failure.
+    pub fn set_flight_recorder(&mut self, flight: obs::FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// Like [`SupervisedClient::new`], but retries bump `mi.retries` and
@@ -131,7 +140,7 @@ impl<P: CommandPort> SupervisedClient<P> {
     pub fn ping(&mut self) -> Result<(), MiError> {
         let deadline = Some(self.policy.ping_deadline);
         let res = match self.inner.call_deadline(Command::Ping, deadline) {
-            Ok(Response::Pong) => Ok(()),
+            Ok(Response::Pong { .. }) => Ok(()),
             Ok(other) => Err(MiError::Codec(format!(
                 "heartbeat expected Pong, got {other:?}"
             ))),
@@ -140,6 +149,9 @@ impl<P: CommandPort> SupervisedClient<P> {
         if res.is_err() {
             if let Some(reg) = &self.registry {
                 reg.inc("mi.heartbeat_misses");
+            }
+            if let Some(flight) = &self.flight {
+                flight.record("heartbeat-miss", "ping deadline expired");
             }
         }
         res
@@ -166,6 +178,9 @@ impl<P: CommandPort> SupervisedClient<P> {
                     }
                     if let Some(reg) = &self.registry {
                         reg.inc("mi.retries");
+                    }
+                    if let Some(flight) = &self.flight {
+                        flight.record("retry", format!("{} after {e:?}", command.kind()));
                     }
                     let sleep = jittered_backoff(
                         self.policy.backoff_base,
@@ -297,7 +312,10 @@ mod tests {
     #[test]
     fn heartbeat_miss_is_counted() {
         let reg = obs::Registry::new();
-        let port = Scripted::new(vec![Err(MiError::Timeout), Ok(Response::Pong)]);
+        let port = Scripted::new(vec![
+            Err(MiError::Timeout),
+            Ok(Response::Pong { now_us: 12 }),
+        ]);
         let mut sup = SupervisedClient::with_registry(port, fast_policy(), reg.clone());
         assert!(matches!(sup.ping(), Err(MiError::Timeout)));
         assert!(sup.ping().is_ok());

@@ -92,6 +92,24 @@ impl Histogram {
         }
     }
 
+    /// Raw bucket counts; bucket `i` holds values in `[2^(i-1), 2^i)`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Reconstructs a histogram from wire-transported parts. Extra
+    /// buckets are ignored, missing ones are zero.
+    pub fn from_raw(count: u64, sum: u64, max: u64, buckets: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        for (slot, b) in h.buckets.iter_mut().zip(buckets.iter()) {
+            *slot = *b;
+        }
+        h
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;

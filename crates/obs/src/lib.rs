@@ -17,20 +17,29 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+pub mod flight;
 pub mod hist;
 pub mod session;
 pub mod sink;
+pub mod telemetry;
 
+pub use flight::{
+    extract_last_gasp, FlightDump, FlightEntry, FlightLog, FlightRecorder, STDERR_MARKER,
+};
 pub use hist::{HistStats, Histogram};
 pub use session::Session;
-pub use sink::{ChromeTraceSink, JsonLinesSink, RingSink, Sink, TraceEvent};
+pub use sink::{ChromeTraceSink, ExportSink, JsonLinesSink, RingSink, Sink, TraceEvent};
+pub use telemetry::{
+    collect_frame, merge_chrome_trace, save_merged_trace, ClockSync, TelemetryFrame, WireHistogram,
+    ENGINE_PID, TRACKER_PID,
+};
 
 /// A monotonically increasing event counter, cheap to clone and bump
 /// from any thread.
@@ -48,8 +57,25 @@ impl Counter {
         self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Overwrites the value; used for gauge-style absolute readings
-    /// (e.g. "VM executed N ops total").
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// An absolute reading, overwritten on every report (e.g. "VM executed
+/// N ops total", "live heap bytes").
+///
+/// Gauges are deliberately a distinct type from [`Counter`]: a counter
+/// only ever accumulates increments, so snapshot deltas and merged
+/// cross-process metrics can sum counters freely, while a gauge's latest
+/// value replaces the previous one and must never be added twice.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the reading.
     pub fn set(&self, v: u64) {
         self.cell.store(v, Ordering::Relaxed);
     }
@@ -62,8 +88,12 @@ impl Counter {
 struct RegistryInner {
     epoch: Instant,
     counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     sinks: Mutex<Vec<Arc<dyn Sink>>>,
+    /// Lock-free mirror of `sinks.len()`, so the span hot path can skip
+    /// trace-event construction entirely when nothing is listening.
+    sink_count: AtomicUsize,
     tids: Mutex<HashMap<ThreadId, u64>>,
 }
 
@@ -99,8 +129,10 @@ impl Registry {
             inner: Arc::new(RegistryInner {
                 epoch: Instant::now(),
                 counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 sinks: Mutex::new(Vec::new()),
+                sink_count: AtomicUsize::new(0),
                 tids: Mutex::new(HashMap::new()),
             }),
         }
@@ -119,7 +151,16 @@ impl Registry {
     }
 
     pub fn add_sink(&self, sink: Arc<dyn Sink>) {
-        self.inner.sinks.lock().unwrap().push(sink);
+        let mut sinks = self.inner.sinks.lock().unwrap();
+        sinks.push(sink);
+        self.inner.sink_count.store(sinks.len(), Ordering::Release);
+    }
+
+    /// Whether any sink is attached. Spans consult this before paying
+    /// for trace-event construction, so a detached registry costs only
+    /// the histogram update.
+    pub fn has_sinks(&self) -> bool {
+        self.inner.sink_count.load(Ordering::Acquire) != 0
     }
 
     /// Microseconds since this registry was created.
@@ -156,8 +197,23 @@ impl Registry {
         self.counter(name).add(n);
     }
 
-    pub fn set(&self, name: &str, v: u64) {
-        self.counter(name).set(v);
+    // ---- gauges -----------------------------------------------------------
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use. Gauges hold absolute readings; see [`Gauge`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.lock().unwrap();
+        gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+            .clone()
+    }
+
+    /// Overwrites the gauge reading under `name`.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
     }
 
     // ---- histograms -------------------------------------------------------
@@ -180,19 +236,44 @@ impl Registry {
     /// Opens a span. Dropping (or [`Span::finish`]ing) it records the
     /// elapsed time into the histogram of the same name and emits a
     /// complete (`ph: "X"`) trace event to every sink.
+    ///
+    /// Every span carries a [`TraceContext`]: a process-unique span id
+    /// and the trace id it belongs to. The trace id is inherited from
+    /// the enclosing span on this thread, or — when the thread has no
+    /// open span but a remote context was installed with
+    /// [`set_remote_context`] (the MI server does this from the frame
+    /// envelope) — from the remote caller, making the new span a child
+    /// of a span in another process. A span with neither starts a new
+    /// trace rooted at itself.
     pub fn span(&self, name: impl Into<String>) -> Span {
         let name = name.into();
-        let parent = SPAN_STACK.with(|stack| {
+        let span_id = next_span_id();
+        let (trace_id, parent) = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let parent = stack.last().cloned();
-            stack.push(name.clone());
-            parent
+            let link = match stack.last() {
+                Some(frame) => (
+                    frame.trace_id,
+                    Parent::Local(frame.name.clone(), frame.span_id),
+                ),
+                None => match remote_context() {
+                    Some(ctx) => (ctx.trace_id, Parent::Remote(ctx.span_id)),
+                    None => (span_id, Parent::Root),
+                },
+            };
+            stack.push(StackFrame {
+                name: name.clone(),
+                trace_id: link.0,
+                span_id,
+            });
+            link
         });
         Span {
             registry: self.clone(),
             name,
             cat: "span".into(),
             parent,
+            trace_id,
+            span_id,
             start: Instant::now(),
             start_us: self.now_us(),
             args: Vec::new(),
@@ -200,8 +281,23 @@ impl Registry {
         }
     }
 
+    /// The context of the innermost span open on the calling thread, if
+    /// any — what a cross-process caller should stamp onto an outgoing
+    /// frame so remote spans join this trace.
+    pub fn current_context(&self) -> Option<TraceContext> {
+        SPAN_STACK.with(|stack| {
+            stack.borrow().last().map(|f| TraceContext {
+                trace_id: f.trace_id,
+                span_id: f.span_id,
+            })
+        })
+    }
+
     /// Emits an instant (`ph: "i"`) event.
     pub fn instant(&self, name: &str, args: &[(&str, &str)]) {
+        if !self.has_sinks() {
+            return;
+        }
         self.emit(TraceEvent {
             name: name.to_string(),
             cat: "instant".into(),
@@ -220,6 +316,9 @@ impl Registry {
     /// Emits a counter (`ph: "C"`) sample so the trace viewer can chart
     /// the series over time.
     pub fn counter_sample(&self, name: &str, value: u64) {
+        if !self.has_sinks() {
+            return;
+        }
         self.emit(TraceEvent {
             name: name.to_string(),
             cat: "counter".into(),
@@ -234,8 +333,14 @@ impl Registry {
 
     fn emit(&self, event: TraceEvent) {
         let sinks = self.inner.sinks.lock().unwrap();
-        for sink in sinks.iter() {
-            sink.record(&event);
+        // Fan out by reference to all but the last sink, then hand the
+        // event over by value: with one sink attached (the common case)
+        // no clone happens at all.
+        if let Some((last, rest)) = sinks.split_last() {
+            for sink in rest {
+                sink.record(&event);
+            }
+            last.record_owned(event);
         }
     }
 
@@ -258,6 +363,14 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
         let histograms = self
             .inner
             .histograms
@@ -268,15 +381,76 @@ impl Registry {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
+
+    /// Full-fidelity copies of every histogram (all buckets, not just
+    /// the summary stats) — what the telemetry drain ships over the
+    /// wire so the tracker side can merge distributions losslessly.
+    pub fn export_histograms(&self) -> BTreeMap<String, Histogram> {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// The cross-process identity of a span: which trace it belongs to and
+/// which span it is. Stamped onto MI command frames so engine-side
+/// spans can link back to the tracker-side span that caused them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+/// Process-unique span id: the process id in the high 32 bits, a
+/// monotonic sequence in the low 32. Two processes merging into one
+/// trace therefore never collide.
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+    ((std::process::id() as u64) << 32) | (seq & 0xffff_ffff)
+}
+
+struct StackFrame {
+    name: String,
+    trace_id: u64,
+    span_id: u64,
+}
+
+enum Parent {
+    Root,
+    Local(String, u64),
+    Remote(u64),
 }
 
 thread_local! {
-    /// Names of the spans currently open on this thread, innermost
-    /// last; used to tag children with their parent span.
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Spans currently open on this thread, innermost last; used to tag
+    /// children with their parent span and propagate the trace id.
+    static SPAN_STACK: RefCell<Vec<StackFrame>> = const { RefCell::new(Vec::new()) };
+
+    /// Trace context received from another process, adopted by root
+    /// spans opened on this thread while it is set.
+    static REMOTE_CTX: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+}
+
+/// Installs (or clears) the remote trace context for the calling
+/// thread. The MI server sets this from the command frame's `trace`
+/// field before dispatching to the engine and clears it after, so VM
+/// spans opened while handling the command join the caller's trace.
+pub fn set_remote_context(ctx: Option<TraceContext>) {
+    REMOTE_CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The remote trace context currently installed on this thread.
+pub fn remote_context() -> Option<TraceContext> {
+    REMOTE_CTX.with(|c| *c.borrow())
 }
 
 /// An open timed region. Ends on drop or explicit [`Span::finish`].
@@ -284,7 +458,9 @@ pub struct Span {
     registry: Registry,
     name: String,
     cat: String,
-    parent: Option<String>,
+    parent: Parent,
+    trace_id: u64,
+    span_id: u64,
     start: Instant,
     start_us: u64,
     args: Vec<(String, String)>,
@@ -307,6 +483,15 @@ impl Span {
         self.close();
     }
 
+    /// This span's cross-process identity, e.g. to stamp onto frames
+    /// sent while it is open.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+        }
+    }
+
     fn close(&mut self) {
         if self.finished {
             return;
@@ -314,15 +499,27 @@ impl Span {
         self.finished = true;
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            if stack.last() == Some(&self.name) {
+            if stack.last().is_some_and(|f| f.span_id == self.span_id) {
                 stack.pop();
             }
         });
         let elapsed = self.start.elapsed();
         self.registry.record_duration(&self.name, elapsed);
+        if !self.registry.has_sinks() {
+            return;
+        }
         let mut args = std::mem::take(&mut self.args);
-        if let Some(parent) = self.parent.take() {
-            args.push(("parent".into(), parent));
+        args.push(("trace_id".into(), self.trace_id.to_string()));
+        args.push(("span_id".into(), self.span_id.to_string()));
+        match std::mem::replace(&mut self.parent, Parent::Root) {
+            Parent::Local(name, span) => {
+                args.push(("parent".into(), name));
+                args.push(("parent_span".into(), span.to_string()));
+            }
+            Parent::Remote(span) => {
+                args.push(("parent_span".into(), span.to_string()));
+            }
+            Parent::Root => {}
         }
         let tid = self.registry.tid();
         self.registry.emit(TraceEvent {
@@ -348,17 +545,23 @@ impl Drop for Span {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
     pub histograms: BTreeMap<String, HistStats>,
 }
 
 impl Snapshot {
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// Counter value, or 0 when the counter never fired.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge reading, or 0 when the gauge was never set.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Sum of all counters whose name starts with `prefix`.
@@ -374,13 +577,23 @@ impl Snapshot {
         self.histograms.get(name)
     }
 
-    /// Renders a fixed-width, two-section stats table.
+    /// Renders a fixed-width, three-section stats table.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         if !self.counters.is_empty() {
             out.push_str(&format!("{:<44} {:>12}\n", "counter", "value"));
             out.push_str(&format!("{:-<44} {:->12}\n", "", ""));
             for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<44} {value:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<44} {:>12}\n", "gauge", "value"));
+            out.push_str(&format!("{:-<44} {:->12}\n", "", ""));
+            for (name, value) in &self.gauges {
                 out.push_str(&format!("{name:<44} {value:>12}\n"));
             }
         }
@@ -484,5 +697,67 @@ mod tests {
         reg.add("vm.ops", 100);
         let snap = reg.snapshot();
         assert_eq!(snap.counter_prefix_sum("mi.server.cmd."), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_live_apart_from_counters() {
+        let reg = Registry::new();
+        reg.set_gauge("vm.ops", 10);
+        reg.set_gauge("vm.ops", 7); // absolute reading: replaces, never adds
+        reg.inc("vm.ops"); // same name as a counter is a distinct series
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("vm.ops"), 7);
+        assert_eq!(snap.counter("vm.ops"), 1);
+        let table = snap.render_table();
+        assert!(table.contains("gauge"));
+    }
+
+    #[test]
+    fn spans_carry_trace_context_and_children_inherit_it() {
+        let reg = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        reg.add_sink(ring.clone());
+        let outer = reg.span("outer");
+        let outer_ctx = outer.context();
+        assert_eq!(reg.current_context(), Some(outer_ctx));
+        let inner = reg.span("inner");
+        let inner_ctx = inner.context();
+        assert_eq!(inner_ctx.trace_id, outer_ctx.trace_id);
+        assert_ne!(inner_ctx.span_id, outer_ctx.span_id);
+        inner.finish();
+        outer.finish();
+        assert_eq!(reg.current_context(), None);
+        let events = ring.events();
+        let find = |e: &TraceEvent, k: &str| -> String {
+            e.args
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            find(&events[0], "parent_span"),
+            outer_ctx.span_id.to_string()
+        );
+        assert_eq!(find(&events[0], "trace_id"), outer_ctx.trace_id.to_string());
+        // A root span starts a trace rooted at itself.
+        assert_eq!(outer_ctx.trace_id, outer_ctx.span_id);
+    }
+
+    #[test]
+    fn remote_context_adopts_root_spans_until_cleared() {
+        let reg = Registry::new();
+        let remote = TraceContext {
+            trace_id: 777,
+            span_id: 42,
+        };
+        set_remote_context(Some(remote));
+        let span = reg.span("vm.exec");
+        assert_eq!(span.context().trace_id, 777);
+        span.finish();
+        set_remote_context(None);
+        let span = reg.span("vm.exec");
+        assert_ne!(span.context().trace_id, 777);
+        span.finish();
     }
 }

@@ -11,14 +11,16 @@ use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
 /// One trace event in (a subset of) the Chrome trace-event format.
 ///
 /// `ph` is the phase: `'X'` complete span, `'i'` instant, `'C'` counter
 /// sample. Timestamps and durations are microseconds relative to the
-/// owning registry's epoch.
-#[derive(Clone, Debug)]
+/// owning registry's epoch. Serializable so the telemetry drain can
+/// ship engine-side events over the MI wire.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     pub name: String,
     pub cat: String,
@@ -64,6 +66,13 @@ impl TraceEvent {
 pub trait Sink: Send + Sync {
     fn record(&self, event: &TraceEvent);
 
+    /// Takes ownership of the event. The registry routes the last (or
+    /// only) attached sink through here, so buffering sinks can store
+    /// the event without cloning its strings.
+    fn record_owned(&self, event: TraceEvent) {
+        self.record(&event);
+    }
+
     fn flush(&self) -> io::Result<()> {
         Ok(())
     }
@@ -99,11 +108,84 @@ impl RingSink {
 
 impl Sink for RingSink {
     fn record(&self, event: &TraceEvent) {
+        self.record_owned(event.clone());
+    }
+
+    fn record_owned(&self, event: TraceEvent) {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.capacity {
             buf.pop_front();
         }
-        buf.push_back(event.clone());
+        buf.push_back(event);
+    }
+}
+
+/// Bounded buffer of events addressed by an *absolute* index, so a
+/// remote reader can drain incrementally and idempotently: asking for
+/// "everything since index N" twice returns the same events, which is
+/// what makes `Command::Telemetry` safe to retry over a flaky MI pipe.
+pub struct ExportSink {
+    capacity: usize,
+    inner: Mutex<ExportBuf>,
+}
+
+struct ExportBuf {
+    /// Absolute index of the oldest retained event.
+    base: u64,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl ExportSink {
+    pub fn new(capacity: usize) -> Self {
+        ExportSink {
+            capacity: capacity.max(1),
+            inner: Mutex::new(ExportBuf {
+                base: 0,
+                buf: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Absolute index one past the newest event.
+    pub fn next_index(&self) -> u64 {
+        let b = self.inner.lock().unwrap();
+        b.base + b.buf.len() as u64
+    }
+
+    /// Events with absolute index `>= since`, oldest first. Returns
+    /// `(events, next_index, lost)` where `next_index` is the cursor to
+    /// pass on the next call and `lost` counts events in
+    /// `[since, next_index)` that had already been evicted.
+    pub fn since(&self, since: u64) -> (Vec<TraceEvent>, u64, u64) {
+        let b = self.inner.lock().unwrap();
+        let end = b.base + b.buf.len() as u64;
+        let start = since.max(b.base);
+        let events = if start >= end {
+            Vec::new()
+        } else {
+            b.buf
+                .iter()
+                .skip((start - b.base) as usize)
+                .cloned()
+                .collect()
+        };
+        let lost = b.base.saturating_sub(since);
+        (events, end, lost)
+    }
+}
+
+impl Sink for ExportSink {
+    fn record(&self, event: &TraceEvent) {
+        self.record_owned(event.clone());
+    }
+
+    fn record_owned(&self, event: TraceEvent) {
+        let mut b = self.inner.lock().unwrap();
+        if b.buf.len() == self.capacity {
+            b.buf.pop_front();
+            b.base += 1;
+        }
+        b.buf.push_back(event);
     }
 }
 
@@ -153,6 +235,12 @@ impl ChromeTraceSink {
         self.len() == 0
     }
 
+    /// Copies out the collected events, e.g. to merge with another
+    /// process's lane via [`crate::telemetry::merge_chrome_trace`].
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
     /// Serializes the collected profile into `w`.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let events = self.events.lock().unwrap();
@@ -173,7 +261,11 @@ impl ChromeTraceSink {
 
 impl Sink for ChromeTraceSink {
     fn record(&self, event: &TraceEvent) {
-        self.events.lock().unwrap().push(event.clone());
+        self.record_owned(event.clone());
+    }
+
+    fn record_owned(&self, event: TraceEvent) {
+        self.events.lock().unwrap().push(event);
     }
 }
 
@@ -232,6 +324,40 @@ mod tests {
         assert_eq!(events[0]["name"], "span");
         assert_eq!(events[0]["ph"], "X");
         assert_eq!(events[0]["dur"], 3u64);
+    }
+
+    #[test]
+    fn export_sink_drains_idempotently_by_absolute_index() {
+        let sink = ExportSink::new(3);
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            sink.record(&ev(name, i as u64));
+        }
+        // "a" (index 0) was evicted; the window is [1, 4).
+        let (events, next, lost) = sink.since(0);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["b", "c", "d"]);
+        assert_eq!(next, 4);
+        assert_eq!(lost, 1);
+        // Same cursor, same answer — retry-safe.
+        let (again, next2, _) = sink.since(0);
+        assert_eq!(again.len(), events.len());
+        assert_eq!(next2, next);
+        // Advancing the cursor yields nothing new.
+        let (rest, next3, lost3) = sink.since(next);
+        assert!(rest.is_empty());
+        assert_eq!(next3, next);
+        assert_eq!(lost3, 0);
+    }
+
+    #[test]
+    fn trace_events_roundtrip_through_serde() {
+        let e = ev("wire", 9);
+        let text = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.name, "wire");
+        assert_eq!(back.ph, 'X');
+        assert_eq!(back.ts_us, 9);
+        assert_eq!(back.args, e.args);
     }
 
     #[test]

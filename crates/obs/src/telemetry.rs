@@ -1,0 +1,325 @@
+//! Cross-process telemetry: the wire form of a registry drain, the
+//! tracker↔engine monotonic-clock offset estimator, and the two-lane
+//! Chrome-trace merge.
+//!
+//! The MI engine runs in its own process with its own [`Registry`],
+//! whose epoch (and therefore every `ts_us`) is meaningless to the
+//! tracker. Three pieces bridge the gap:
+//!
+//! * [`TelemetryFrame`] — everything one `Command::Telemetry` drain
+//!   ships back: cumulative counters/gauges, full histograms, and the
+//!   trace events newer than the client-held cursor. Because counters
+//!   and histograms are *cumulative* and events are addressed by an
+//!   absolute index ([`crate::ExportSink`]), draining is idempotent: a
+//!   supervised retry of the same drain returns the same frame.
+//! * [`ClockSync`] — estimates `engine_clock − tracker_clock` from Ping
+//!   roundtrips, keeping the sample with the smallest RTT (the midpoint
+//!   assumption errs by at most RTT/2, so the tightest roundtrip wins).
+//! * [`merge_chrome_trace`] — re-stamps engine events onto the tracker
+//!   timeline and emits one document with two process lanes, so a
+//!   `tracker.control.Resume` span visually contains the
+//!   `vm.minic.exec` span it caused.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use crate::sink::ExportSink;
+use crate::{Histogram, Registry, TraceEvent};
+
+/// Chrome-trace process lane for tracker-side events.
+pub const TRACKER_PID: u64 = 1;
+/// Chrome-trace process lane for engine-side events after the merge.
+pub const ENGINE_PID: u64 = 2;
+
+/// A [`Histogram`] in wire form: fixed arrays don't serialize through
+/// the vendored serde, so buckets travel as a `Vec` (trailing zero
+/// buckets trimmed to keep frames small).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl WireHistogram {
+    pub fn from_histogram(h: &Histogram) -> WireHistogram {
+        let mut buckets: Vec<u64> = h.bucket_counts().to_vec();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        WireHistogram {
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            buckets,
+        }
+    }
+
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram::from_raw(self.count, self.sum, self.max, &self.buckets)
+    }
+}
+
+/// One drain's worth of engine-side telemetry.
+///
+/// `counters`, `gauges`, and `histograms` are cumulative totals as of
+/// `now_us` (engine clock); the receiver mirrors them with *set*
+/// semantics, never addition, so re-delivery cannot double-count.
+/// `events` are the trace events with absolute index in
+/// `[requested since, next_event)`; `lost_events` counts those already
+/// evicted from the bounded export ring.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryFrame {
+    /// Engine-clock microseconds at collection time.
+    pub now_us: u64,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, WireHistogram>,
+    /// Cursor to request on the next drain.
+    pub next_event: u64,
+    /// Events evicted before the requested cursor could read them.
+    pub lost_events: u64,
+    pub events: Vec<TraceEvent>,
+}
+
+/// Collects a frame from `reg` (and the export ring, when one is
+/// attached) for a drain request with cursor `since`.
+pub fn collect_frame(reg: &Registry, export: Option<&ExportSink>, since: u64) -> TelemetryFrame {
+    let snap = reg.snapshot();
+    let histograms = reg
+        .export_histograms()
+        .iter()
+        .map(|(k, v)| (k.clone(), WireHistogram::from_histogram(v)))
+        .collect();
+    let (events, next_event, lost_events) = match export {
+        Some(sink) => sink.since(since),
+        None => (Vec::new(), since, 0),
+    };
+    TelemetryFrame {
+        now_us: reg.now_us(),
+        counters: snap.counters,
+        gauges: snap.gauges,
+        histograms,
+        next_event,
+        lost_events,
+        events,
+    }
+}
+
+/// Estimates the offset between a remote monotonic clock and the local
+/// one from request/response roundtrips, keeping the minimum-RTT
+/// sample. All timestamps are microseconds since the respective
+/// registry epochs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClockSync {
+    best_rtt_us: Option<u64>,
+    offset_us: i64,
+}
+
+impl ClockSync {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one roundtrip: the local clock just before sending, just
+    /// after receiving, and the remote clock read while handling the
+    /// request. Assumes the remote read happened at the local midpoint,
+    /// which errs by at most RTT/2 — so only the tightest roundtrip is
+    /// retained.
+    pub fn sample(&mut self, local_send_us: u64, local_recv_us: u64, remote_us: u64) {
+        let rtt = local_recv_us.saturating_sub(local_send_us);
+        if self.best_rtt_us.is_some_and(|best| rtt >= best) {
+            return;
+        }
+        let midpoint = (local_send_us + local_recv_us) / 2;
+        self.best_rtt_us = Some(rtt);
+        self.offset_us = remote_us as i64 - midpoint as i64;
+    }
+
+    /// `remote_clock − local_clock`, or `None` before the first sample.
+    pub fn offset_us(&self) -> Option<i64> {
+        self.best_rtt_us.map(|_| self.offset_us)
+    }
+
+    /// RTT of the retained (best) sample.
+    pub fn rtt_us(&self) -> Option<u64> {
+        self.best_rtt_us
+    }
+
+    /// Maps a remote timestamp onto the local timeline (saturating at
+    /// zero — events from before the local epoch clamp to it).
+    pub fn remote_to_local(&self, remote_us: u64) -> u64 {
+        (remote_us as i64 - self.offset_us).max(0) as u64
+    }
+}
+
+/// Merges tracker- and engine-side events into one Chrome trace-event
+/// document with two named process lanes. Engine timestamps are shifted
+/// onto the tracker timeline by `offset_us` (= engine − tracker, as
+/// estimated by [`ClockSync`]).
+pub fn merge_chrome_trace(
+    tracker_events: &[TraceEvent],
+    engine_events: &[TraceEvent],
+    offset_us: i64,
+) -> Value {
+    let sync = ClockSync {
+        best_rtt_us: Some(0),
+        offset_us,
+    };
+    let mut list: Vec<Value> = Vec::with_capacity(tracker_events.len() + engine_events.len() + 2);
+    for (pid, label) in [(TRACKER_PID, "tracker"), (ENGINE_PID, "engine")] {
+        list.push(json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }));
+    }
+    for e in tracker_events {
+        let mut e = e.clone();
+        e.pid = TRACKER_PID;
+        list.push(e.to_json());
+    }
+    for e in engine_events {
+        let mut e = e.clone();
+        e.pid = ENGINE_PID;
+        e.ts_us = sync.remote_to_local(e.ts_us);
+        list.push(e.to_json());
+    }
+    json!({
+        "traceEvents": list,
+        "displayTimeUnit": "ms",
+    })
+}
+
+/// Writes a merged trace document to `path`.
+pub fn save_merged_trace(
+    path: &Path,
+    tracker_events: &[TraceEvent],
+    engine_events: &[TraceEvent],
+    offset_us: i64,
+) -> io::Result<()> {
+    let doc = merge_chrome_trace(tracker_events, engine_events, offset_us);
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "{doc}")?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sink;
+
+    fn ev(name: &str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "span".into(),
+            ph: 'X',
+            ts_us: ts,
+            dur_us: dur,
+            pid: 1,
+            tid: 1,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn wire_histograms_roundtrip_losslessly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 900, 70_000] {
+            h.record(v);
+        }
+        let wire = WireHistogram::from_histogram(&h);
+        let text = serde_json::to_string(&wire).unwrap();
+        let back: WireHistogram = serde_json::from_str(&text).unwrap();
+        let h2 = back.to_histogram();
+        assert_eq!(h2.count(), h.count());
+        assert_eq!(h2.sum(), h.sum());
+        assert_eq!(h2.max(), h.max());
+        assert_eq!(h2.stats(), h.stats());
+        assert_eq!(h2.quantile(0.5), h.quantile(0.5));
+    }
+
+    #[test]
+    fn collect_frame_is_idempotent_for_a_fixed_cursor() {
+        let reg = Registry::new();
+        let export = ExportSink::new(16);
+        reg.add("engine.calls", 3);
+        reg.set_gauge("vm.ops", 40);
+        reg.record_value("vm.lat", 512);
+        export.record(&ev("vm.exec", 5, 2));
+        export.record(&ev("vm.exec", 9, 1));
+        let a = collect_frame(&reg, Some(&export), 0);
+        let b = collect_frame(&reg, Some(&export), 0);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.gauges, b.gauges);
+        assert_eq!(a.next_event, b.next_event);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(b.events.len(), 2);
+        assert_eq!(a.counters["engine.calls"], 3);
+        assert_eq!(a.gauges["vm.ops"], 40);
+        // Resuming from the returned cursor yields nothing new.
+        let c = collect_frame(&reg, Some(&export), a.next_event);
+        assert!(c.events.is_empty());
+        assert_eq!(c.next_event, a.next_event);
+        // Frames serialize over the vendored serde.
+        let text = serde_json::to_string(&a).unwrap();
+        let back: TelemetryFrame = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.counters, a.counters);
+        assert_eq!(back.events.len(), a.events.len());
+    }
+
+    #[test]
+    fn clock_sync_keeps_the_tightest_roundtrip() {
+        let mut sync = ClockSync::new();
+        // Wide roundtrip: local [100, 300], remote says 5200.
+        sync.sample(100, 300, 5200);
+        assert_eq!(sync.offset_us(), Some(5000));
+        assert_eq!(sync.rtt_us(), Some(200));
+        // Tighter roundtrip wins: local [400, 420], remote 5411.
+        sync.sample(400, 420, 5411);
+        assert_eq!(sync.offset_us(), Some(5001));
+        assert_eq!(sync.rtt_us(), Some(20));
+        // A looser one afterwards is ignored.
+        sync.sample(500, 900, 9999);
+        assert_eq!(sync.offset_us(), Some(5001));
+        // Remote → local mapping undoes the offset.
+        assert_eq!(sync.remote_to_local(5411), 410);
+        // Pre-epoch clamps instead of wrapping.
+        assert_eq!(sync.remote_to_local(0), 0);
+    }
+
+    #[test]
+    fn merged_trace_has_two_named_lanes_with_aligned_times() {
+        let tracker = [ev("tracker.control.Resume", 1000, 600)];
+        // Engine clock runs 50_000us ahead: the exec span at engine
+        // time 51_200 really happened at tracker time 1_200.
+        let engine = [ev("vm.minic.exec", 51_200, 300)];
+        let doc = merge_chrome_trace(&tracker, &engine, 50_000);
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 4); // 2 metadata + 2 spans
+        let meta: Vec<&Value> = events.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 2);
+        assert!(meta.iter().any(|e| e["args"]["name"] == "tracker"));
+        assert!(meta.iter().any(|e| e["args"]["name"] == "engine"));
+        let exec = events
+            .iter()
+            .find(|e| e["name"] == "vm.minic.exec")
+            .unwrap();
+        assert_eq!(exec["pid"], ENGINE_PID);
+        assert_eq!(exec["ts"], 1_200u64);
+        let ctrl = events
+            .iter()
+            .find(|e| e["name"] == "tracker.control.Resume")
+            .unwrap();
+        assert_eq!(ctrl["pid"], TRACKER_PID);
+        // The control span [1000, 1600] contains the exec span [1200, 1500].
+        assert!(ctrl["ts"].as_u64().unwrap() <= exec["ts"].as_u64().unwrap());
+    }
+}

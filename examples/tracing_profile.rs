@@ -88,9 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(k, _)| k.starts_with("tracker.control."))
             .map(|(_, h)| h.count)
             .sum::<u64>(),
-        snap.counter("mi.client.frames_sent"),
-        snap.counter("mi.client.bytes_sent"),
-        snap.counter("mi.client.bytes_received"),
+        snap.gauge("mi.client.frames_sent"),
+        snap.gauge("mi.client.bytes_sent"),
+        snap.gauge("mi.client.bytes_received"),
     );
 
     let path = std::path::Path::new("profile.trace.json");

@@ -3,7 +3,7 @@
 //! abstract state the tool sees, and the no-sink configuration must stay
 //! cheap enough to leave on everywhere.
 
-use easytracker::{init_tracker, init_tracker_with_registry, PauseReason, Tracker};
+use easytracker::{init_tracker, init_tracker_with_registry, MiTracker, PauseReason, Tracker};
 
 const C_PROG: &str = "int square(int x) {\nreturn x * x;\n}\nint main() {\nint s = 0;\nfor (int i = 1; i <= 3; i++) {\ns += square(i);\n}\nreturn s;\n}";
 
@@ -55,7 +55,7 @@ fn c_states_identical_with_and_without_obs() {
     // ... and the instrumented run really did instrument.
     let snap = full.snapshot();
     assert!(snap.histogram("tracker.control.Resume").is_some());
-    assert!(snap.counter("mi.client.bytes_sent") > 0);
+    assert!(snap.gauge("mi.client.bytes_sent") > 0);
     assert!(full.trace_len() > 0);
 }
 
@@ -85,10 +85,79 @@ fn asm_tracker_reports_through_the_same_registry() {
     }
     t.terminate();
     let snap = session.snapshot();
-    assert!(snap.counter("vm.miniasm.instret") > 0);
+    assert!(snap.gauge("vm.miniasm.instret") > 0);
     assert!(snap.histogram("tracker.control.Step").is_some());
-    assert!(snap.counter("mi.client.bytes_sent") > 0);
+    assert!(snap.gauge("mi.client.bytes_sent") > 0);
     assert!(snap.counter_prefix_sum("mi.server.cmd.") > 0);
+}
+
+/// The [`observe`] script over an [`MiTracker`], optionally draining
+/// engine telemetry between every control step. The drain results are
+/// deliberately *not* part of the observation — only what a tool sees.
+fn observe_mi(tracker: &mut MiTracker, drain: bool) -> Vec<String> {
+    let mut log = Vec::new();
+    let r = tracker.start().unwrap();
+    log.push(format!("start: {r}"));
+    if drain {
+        tracker.drain_telemetry().unwrap();
+    }
+    tracker.track_function("square", None).unwrap();
+    loop {
+        if drain {
+            tracker.drain_telemetry().unwrap();
+        }
+        let r = tracker.resume().unwrap();
+        log.push(format!("resume: {r}"));
+        if matches!(r, PauseReason::Exited(_)) {
+            break;
+        }
+        let state = tracker.get_state().unwrap();
+        log.push(serde_json::to_string(&state).unwrap());
+        if let Some(v) = tracker.get_variable("s").unwrap() {
+            log.push(serde_json::to_string(&v).unwrap());
+        }
+        if drain {
+            tracker.drain_telemetry().unwrap();
+        }
+    }
+    log.push(format!("exit: {:?}", tracker.get_exit_code()));
+    log.push(format!("output: {:?}", tracker.get_output().unwrap()));
+    tracker.terminate();
+    log
+}
+
+/// Engine-side neutrality: draining `Command::Telemetry` mid-session —
+/// against a real `mi-server` child with its own registry — must not
+/// perturb VM state, pause order, or serialized snapshots, lockstep
+/// against an undrained run of the same program.
+#[test]
+fn telemetry_drains_do_not_perturb_the_session() {
+    let Some(server) = conformance::mi_server_bin() else {
+        panic!("mi_server binary not found or buildable");
+    };
+    let spec = || easytracker::ProgramSpec::c("n.c", C_PROG).via_server(&server);
+    let load = |reg: obs::Registry| {
+        MiTracker::load_spec(spec(), reg, easytracker::Supervision::default(), None).unwrap()
+    };
+    let undrained = observe_mi(&mut load(obs::Registry::new()), false);
+    let reg = obs::Registry::new();
+    let mut t = load(reg.clone());
+    let drained = observe_mi(&mut t, true);
+    assert_eq!(undrained, drained);
+    // ... and the drains really pulled engine-side telemetry across.
+    let snap = reg.snapshot();
+    assert!(snap.gauge("engine.vm.minic.ops") > 0);
+    assert!(snap.gauge("engine.mi.server.cmd.Resume") > 0);
+}
+
+/// The same lockstep over the in-process channel, where engine and
+/// tracker share one registry: the drain must still be a no-op for the
+/// session.
+#[test]
+fn in_process_telemetry_drains_are_neutral_too() {
+    let undrained = observe_mi(&mut MiTracker::load_c("n.c", C_PROG).unwrap(), false);
+    let drained = observe_mi(&mut MiTracker::load_c("n.c", C_PROG).unwrap(), true);
+    assert_eq!(undrained, drained);
 }
 
 #[test]

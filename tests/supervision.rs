@@ -99,6 +99,116 @@ fn sigkill_mid_session_is_survived_by_one_respawn() {
     );
 }
 
+/// Every engine death leaves a post-mortem: after a SIGKILL (even one
+/// the supervisor survives), a flight-recorder dump must exist on disk
+/// naming the command that hit the dead engine, the last observed pause
+/// reason, and the respawn count.
+#[test]
+fn sigkill_leaves_a_flight_recorder_dump() {
+    let Some(server) = conformance::mi_server_bin() else {
+        panic!("mi_server binary not found or buildable");
+    };
+    let dumps = std::env::temp_dir().join(format!("easytracker-dump-test-{}", std::process::id()));
+    let reg = obs::Registry::new();
+    let mut t = MiTracker::load_spec(
+        ProgramSpec::c("sup.c", PROGRAM).via_server(&server),
+        reg.clone(),
+        fast_supervision(),
+        None,
+    )
+    .expect("process-deployed load");
+    t.set_dump_dir(&dumps);
+    t.start().expect("start");
+    t.step().expect("one clean step");
+    let last_pause = format!("{}", t.pause_reason());
+
+    let pid = t.engine_pid().expect("pid");
+    signal(pid, "-KILL");
+    std::thread::sleep(Duration::from_millis(100));
+    t.resume().expect("resume across the kill");
+
+    let path = t
+        .last_flight_dump()
+        .expect("a post-mortem dump was written")
+        .to_path_buf();
+    let text = std::fs::read_to_string(&path).expect("dump is readable");
+    let dump = obs::FlightDump::from_json(&text).expect("dump parses");
+    assert_eq!(dump.side, "tracker");
+    assert_eq!(
+        dump.last_command, "Resume",
+        "the dump names the command that hit the dead engine"
+    );
+    assert_eq!(dump.last_pause, last_pause, "the last pause before death");
+    assert_eq!(dump.respawns, 1, "the dump names the respawn count");
+    assert!(dump.log.last_of("respawn").is_some());
+    assert!(dump.log.last_of("fault").is_some());
+    assert_eq!(reg.snapshot().counter("mi.flight_dumps"), 1);
+    t.terminate();
+    let _ = std::fs::remove_dir_all(dumps);
+}
+
+/// `Command::Telemetry` is journal-safe: a drain before an engine death
+/// and a drain after recovery mirror the engine's counters with *set*
+/// semantics onto a rewound cursor, so a killed-and-replayed session
+/// ends with exactly the same mirrored values as a fault-free one.
+#[test]
+fn telemetry_drains_stay_journal_safe_across_a_respawn() {
+    let Some(server) = conformance::mi_server_bin() else {
+        panic!("mi_server binary not found or buildable");
+    };
+    let run_to_exit = |t: &mut MiTracker| {
+        let mut reason = t.resume().expect("resume");
+        while reason.is_alive() {
+            reason = t.resume().expect("resume");
+        }
+    };
+
+    // Fault-free reference: what the engine-side counters look like at
+    // program exit.
+    let ref_reg = obs::Registry::new();
+    let mut r = MiTracker::load_spec(
+        ProgramSpec::c("sup.c", PROGRAM).via_server(&server),
+        ref_reg.clone(),
+        fast_supervision(),
+        None,
+    )
+    .expect("load");
+    r.start().expect("start");
+    run_to_exit(&mut r);
+    r.drain_telemetry().expect("drain");
+    r.terminate();
+    let want_ops = ref_reg.snapshot().gauge("engine.vm.minic.ops");
+    assert!(want_ops > 0, "the reference run mirrored engine stats");
+
+    // Faulty run: drain mid-session, lose the engine, recover, drain
+    // again at exit.
+    let reg = obs::Registry::new();
+    let mut t = MiTracker::load_spec(
+        ProgramSpec::c("sup.c", PROGRAM).via_server(&server),
+        reg.clone(),
+        fast_supervision(),
+        None,
+    )
+    .expect("load");
+    t.start().expect("start");
+    t.step().expect("step");
+    t.drain_telemetry().expect("mid-session drain");
+    assert!(reg.snapshot().gauge("engine.vm.minic.ops") > 0);
+
+    let pid = t.engine_pid().expect("pid");
+    signal(pid, "-KILL");
+    std::thread::sleep(Duration::from_millis(100));
+    run_to_exit(&mut t);
+    assert_eq!(t.respawns(), 1);
+    t.drain_telemetry().expect("post-recovery drain");
+    assert_eq!(
+        reg.snapshot().gauge("engine.vm.minic.ops"),
+        want_ops,
+        "mirrored engine counters neither lost nor double-counted across the respawn"
+    );
+    t.terminate();
+}
+
 /// SIGSTOP stall: the stalled engine expires the per-command deadline —
 /// the call returns within a bound instead of blocking forever — then the
 /// heartbeat confirms the boundary is wedged and a respawn repairs it.
