@@ -1,0 +1,298 @@
+//! Overhead bench for the in-engine profiling plane: the canonical
+//! tracked-fib session (track a recursive function, resume across every
+//! call/return pause, inspect the state at each call) over a real
+//! `mi-server` child (falling back to the in-process channel when the
+//! server binary is unavailable), in four configurations:
+//!
+//! * `plain`    — profiler never armed: the baseline;
+//! * `disabled` — `SetProfile(Off)` issued before start, so the command
+//!   path runs but every hook stays on the `None` fast path;
+//! * `counting` — exact per-line/per-function counting armed;
+//! * `sampling` — deterministic sampling armed (period 64).
+//!
+//! Each configuration runs `WARMUP + REPEATS` times round-robin; the
+//! *minimum* wall time scores the overhead gates (the repeatable cost),
+//! and every scored repeat also lands in an [`obs::Histogram`] so the
+//! reported p50/p95/p99 come from the shared quantile implementation
+//! rather than hand-rolled index math. The profile itself is drained
+//! *outside* the timed region: the gates measure in-engine hook cost,
+//! not the one extra drain roundtrip.
+//!
+//! Also profiles the conformance seed mix (counting mode over generated
+//! MiniC programs) and reports its top-10 hot functions by self units —
+//! the numbers quoted in `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release -p bench --bin bench_profile`
+//! CI gate:  `... --bin bench_profile -- --check` exits nonzero when
+//! `disabled` costs more than 2% over `plain`, `counting` more than
+//! 15%, or counting and sampling disagree on the top-3 hot functions.
+
+use easytracker::{MiTracker, PauseReason, ProgramSpec, Supervision, Tracker};
+use obs::{Histogram, ProfileMode, ProfileReport};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const WARMUP: u32 = 2;
+const REPEATS: u32 = 7;
+const SAMPLE_PERIOD: u64 = 64;
+const WORKLOAD: &str = "c_fib(13), track fib + inspect each call";
+const DISABLED_BUDGET_PCT: f64 = 2.0;
+const COUNTING_BUDGET_PCT: f64 = 15.0;
+const SEED_MIX: std::ops::Range<u64> = 1..9;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    Plain,
+    Disabled,
+    Counting,
+    Sampling,
+}
+
+impl Config {
+    const ALL: [Config; 4] = [
+        Config::Plain,
+        Config::Disabled,
+        Config::Counting,
+        Config::Sampling,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Config::Plain => "plain",
+            Config::Disabled => "disabled",
+            Config::Counting => "counting",
+            Config::Sampling => "sampling",
+        }
+    }
+}
+
+fn load(server: Option<&std::path::Path>, src: &str) -> MiTracker {
+    let spec = match server {
+        Some(bin) => ProgramSpec::c("bench.c", src).via_server(bin),
+        None => ProgramSpec::c("bench.c", src),
+    };
+    MiTracker::load_spec(spec, obs::Registry::new(), Supervision::default(), None)
+        .expect("workload compiles")
+}
+
+fn run_once(server: Option<&std::path::Path>, cfg: Config) -> (Duration, u64, ProfileReport) {
+    let mut t = load(server, &bench::c_fib(13));
+    match cfg {
+        Config::Plain => {}
+        Config::Disabled => t.set_profile(ProfileMode::Off, 0).expect("disarm"),
+        Config::Counting => t.set_profile(ProfileMode::Counting, 0).expect("arm"),
+        Config::Sampling => t
+            .set_profile(ProfileMode::Sampling, SAMPLE_PERIOD)
+            .expect("arm"),
+    }
+    let begin = Instant::now();
+    t.start().expect("start");
+    t.track_function("fib", None).expect("track");
+    let mut pauses = 0u64;
+    loop {
+        match t.resume().expect("resume") {
+            PauseReason::Exited(_) => break,
+            PauseReason::FunctionCall { .. } => {
+                // Inspect at every call, like a visualization frontend.
+                let state = t.get_state().expect("state");
+                debug_assert_eq!(state.frame.name(), "fib");
+                pauses += 1;
+            }
+            _ => pauses += 1,
+        }
+    }
+    let elapsed = begin.elapsed();
+    let report = match cfg {
+        Config::Counting | Config::Sampling => t.profile().expect("profile"),
+        _ => ProfileReport::default(),
+    };
+    t.terminate();
+    (elapsed, pauses, report)
+}
+
+struct Measured {
+    best: Duration,
+    hist: Histogram,
+    report: ProfileReport,
+}
+
+/// Runs all four configurations round-robin (so slow drift in machine
+/// load hits each configuration equally). Warmup rounds run but do not
+/// score; every scored repeat is recorded.
+fn measure(server: Option<&std::path::Path>) -> ([Measured; 4], u64) {
+    let mut out = [(); 4].map(|()| Measured {
+        best: Duration::MAX,
+        hist: Histogram::new(),
+        report: ProfileReport::default(),
+    });
+    let mut pauses = 0;
+    for rep in 0..(WARMUP + REPEATS) {
+        for (i, cfg) in Config::ALL.into_iter().enumerate() {
+            let (elapsed, n, report) = run_once(server, cfg);
+            pauses = n;
+            if rep >= WARMUP {
+                out[i].hist.record(elapsed.as_nanos() as u64);
+                if elapsed < out[i].best {
+                    out[i].best = elapsed;
+                }
+                out[i].report = report;
+            }
+        }
+    }
+    (out, pauses)
+}
+
+fn overhead_pct(base: Duration, variant: Duration) -> f64 {
+    if base.is_zero() {
+        return 0.0;
+    }
+    (variant.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+}
+
+fn top_self_names(report: &ProfileReport, n: usize) -> Vec<String> {
+    report
+        .top_self(n)
+        .iter()
+        .map(|(name, _)| (*name).to_owned())
+        .collect()
+}
+
+/// Profiles the conformance seed mix under counting mode and merges the
+/// per-seed reports into one self-units ranking.
+fn seed_mix_top10(server: Option<&std::path::Path>) -> Vec<(String, u64)> {
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for seed in SEED_MIX {
+        let program = conformance::gen::gen_program(seed);
+        let src = conformance::gen::render_c(&program);
+        let mut t = load(server, &src);
+        t.set_profile(ProfileMode::Counting, 0).expect("arm");
+        t.start().expect("start");
+        while t.resume().expect("resume").is_alive() {}
+        let report = t.profile().expect("profile");
+        t.terminate();
+        for f in &report.functions {
+            *merged.entry(format!("seed{seed}:{}", f.name)).or_default() += f.self_units;
+        }
+    }
+    let mut ranked: Vec<(String, u64)> = merged.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(10);
+    ranked
+}
+
+fn main() {
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => {
+                eprintln!("bench_profile: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = conformance::mi_server_bin();
+    let deployment = if server.is_some() {
+        "mi-server child process"
+    } else {
+        "in-process channel"
+    };
+    eprintln!("bench_profile: {WORKLOAD} over {deployment}");
+
+    let (measured, pauses) = measure(server.as_deref());
+    let [plain, disabled, counting, sampling] = &measured;
+
+    let disabled_pct = overhead_pct(plain.best, disabled.best);
+    let counting_pct = overhead_pct(plain.best, counting.best);
+    let sampling_pct = overhead_pct(plain.best, sampling.best);
+    let top_counting = top_self_names(&counting.report, 3);
+    let top_sampling = top_self_names(&sampling.report, 3);
+    let rankings_agree = top_counting == top_sampling;
+
+    let pcts = [0.0, disabled_pct, counting_pct, sampling_pct];
+    for ((cfg, m), pct) in Config::ALL.into_iter().zip(&measured).zip(pcts) {
+        let s = m.hist.stats();
+        println!(
+            "{:<9} min {:>9}us ({pct:+.2}%) | p50 {:>9}us p95 {:>9}us p99 {:>9}us",
+            cfg.name(),
+            m.best.as_micros(),
+            s.p50 / 1_000,
+            s.p95 / 1_000,
+            s.p99 / 1_000,
+        );
+    }
+    println!(
+        "top-3 by self units — counting: {top_counting:?}, sampling: {top_sampling:?} ({})",
+        if rankings_agree { "agree" } else { "disagree" }
+    );
+
+    let mix = seed_mix_top10(server.as_deref());
+    println!("conformance seed mix, top-10 hot functions (self units):");
+    for (name, units) in &mix {
+        println!("  {name:<24} {units:>10}");
+    }
+
+    let per_config = |m: &Measured| {
+        let s = m.hist.stats();
+        json!({
+            "min_us": m.best.as_micros() as u64,
+            "p50_us": s.p50 / 1_000,
+            "p95_us": s.p95 / 1_000,
+            "p99_us": s.p99 / 1_000,
+        })
+    };
+    let doc = json!({
+        "workload": WORKLOAD,
+        "deployment": deployment,
+        "pauses": pauses,
+        "repeats": REPEATS as u64,
+        "sample_period": SAMPLE_PERIOD,
+        "plain": per_config(plain),
+        "disabled": per_config(disabled),
+        "counting": per_config(counting),
+        "sampling": per_config(sampling),
+        "disabled_overhead_pct": format!("{disabled_pct:.2}"),
+        "counting_overhead_pct": format!("{counting_pct:.2}"),
+        "sampling_overhead_pct": format!("{sampling_pct:.2}"),
+        "top3_counting": top_counting,
+        "top3_sampling": top_sampling,
+        "top3_agree": rankings_agree,
+        "seed_mix_top10": mix
+            .iter()
+            .map(|(name, units)| json!({"function": name, "self_units": units}))
+            .collect::<Vec<_>>(),
+    });
+    std::fs::write("BENCH_profile.json", format!("{doc}\n")).expect("write BENCH_profile.json");
+    println!("wrote BENCH_profile.json");
+
+    if check {
+        let mut failed = false;
+        if disabled_pct > DISABLED_BUDGET_PCT {
+            eprintln!(
+                "bench_profile: disabled-profiler overhead {disabled_pct:.2}% exceeds \
+                 budget {DISABLED_BUDGET_PCT}%"
+            );
+            failed = true;
+        }
+        if counting_pct > COUNTING_BUDGET_PCT {
+            eprintln!(
+                "bench_profile: counting-profiler overhead {counting_pct:.2}% exceeds \
+                 budget {COUNTING_BUDGET_PCT}%"
+            );
+            failed = true;
+        }
+        if !rankings_agree {
+            eprintln!("bench_profile: counting and sampling disagree on the top-3 hot functions");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "profiler overhead within budget (disabled {disabled_pct:.2}% ≤ \
+             {DISABLED_BUDGET_PCT}%, counting {counting_pct:.2}% ≤ {COUNTING_BUDGET_PCT}%)"
+        );
+    }
+}

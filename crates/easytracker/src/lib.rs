@@ -312,6 +312,38 @@ pub trait Tracker {
         ))
     }
 
+    /// Arms or disarms the in-engine profiler. `Counting` attributes
+    /// every VM step exactly; `Sampling` attributes on a
+    /// seeded-deterministic interval clock with mean `period` steps, so
+    /// the same mode and period always produce the same profile. Must be
+    /// called before `start`. The default fails for trackers without a
+    /// profiler.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Unsupported`] by default; MI trackers also fail
+    /// after `start` or when the engine is unreachable.
+    fn set_profile(&mut self, mode: obs::ProfileMode, period: u64) -> Result<()> {
+        let _ = (mode, period);
+        Err(TrackerError::Unsupported(
+            "profiling is not available for this tracker".into(),
+        ))
+    }
+
+    /// Drains the collected profile: cumulative over the whole run so
+    /// far, idempotent, and safe to call repeatedly while the inferior
+    /// is paused. The default fails for trackers without a profiler.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Unsupported`] by default; MI trackers also fail
+    /// when the engine is unreachable.
+    fn profile(&mut self) -> Result<obs::ProfileReport> {
+        Err(TrackerError::Unsupported(
+            "profiling is not available for this tracker".into(),
+        ))
+    }
+
     // ---- observability ----------------------------------------------------
 
     /// Point-in-time view of this tracker's metrics: control-call latency

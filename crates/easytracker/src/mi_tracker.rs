@@ -283,6 +283,9 @@ pub struct MiTracker {
     /// Export-ring cursor for the next telemetry drain; reset to zero
     /// when a respawned engine starts a fresh event stream.
     telemetry_since: u64,
+    /// Unit cursor of the last profile drain; reset to zero when a
+    /// respawned engine restarts the profile.
+    profile_since: u64,
     /// Where post-mortem dumps go; `None` = `EASYTRACKER_DUMP_DIR` or
     /// the system temp dir.
     dump_dir: Option<PathBuf>,
@@ -388,6 +391,7 @@ impl MiTracker {
             clock: obs::ClockSync::new(),
             engine_events: Vec::new(),
             telemetry_since: 0,
+            profile_since: 0,
             dump_dir: None,
             last_dump: None,
         })
@@ -432,6 +436,7 @@ impl MiTracker {
             clock: obs::ClockSync::new(),
             engine_events: Vec::new(),
             telemetry_since: 0,
+            profile_since: 0,
             dump_dir: None,
             last_dump: None,
         }
@@ -727,6 +732,9 @@ impl MiTracker {
                     // keeps `Command::Telemetry` journal-safe (mirrored
                     // stats use set semantics, so nothing double-counts).
                     self.telemetry_since = 0;
+                    // Same for the profile: the replayed engine rebuilt
+                    // it from unit zero.
+                    self.profile_since = 0;
                     self.obs
                         .record_duration("mi.supervisor.recovery", started_at.elapsed());
                     // The session survived, but an engine still died:
@@ -1334,6 +1342,42 @@ impl Tracker for MiTracker {
             }
             other => Err(TrackerError::Protocol(format!(
                 "expected acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
+    fn set_profile(&mut self, mode: obs::ProfileMode, period: u64) -> Result<()> {
+        let cmd = Command::SetProfile { mode, period };
+        match self.call(cmd.clone())? {
+            Response::Ok => {
+                if self.spec.is_some() {
+                    self.journal.push(JournalEntry::Config { cmd });
+                }
+                self.profile_since = 0;
+                Ok(())
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
+    fn profile(&mut self) -> Result<obs::ProfileReport> {
+        let since = self.profile_since;
+        match self.inspect(Command::ProfileReport { since })? {
+            Response::Profile(report) => {
+                let report = *report;
+                if report.units < since {
+                    // A report behind our cursor means the engine
+                    // restarted its profile without us noticing a
+                    // recovery; count it, it should not happen.
+                    self.obs.inc("mi.profile.rewinds");
+                }
+                self.profile_since = report.next;
+                Ok(report)
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected profile report, got {other:?}"
             ))),
         }
     }

@@ -103,6 +103,11 @@ struct ControlTracer {
     /// Live count of trace-hook invocations (`vm.minipy.trace_hooks`);
     /// a cheap atomic bump per event, readable from the tool thread.
     hook_counter: obs::Counter,
+    /// In-process profiler cell, shared with the tool thread. `None`
+    /// until [`PyTracker::set_profile`] arms it; the tool only locks it
+    /// while the inferior is paused, so the per-event lock is
+    /// uncontended.
+    prof: Arc<Mutex<Option<obs::Profiler>>>,
 }
 
 impl ControlTracer {
@@ -266,6 +271,21 @@ impl ControlTracer {
 impl Tracer for ControlTracer {
     fn trace(&mut self, event: &TraceEvent, ctx: &TraceCtx<'_>) -> TraceAction {
         self.hook_counter.inc();
+        if let Some(p) = self.prof.lock().expect("profiler poisoned").as_mut() {
+            match event {
+                // A line event is the MiniPy step unit.
+                TraceEvent::Line { line } => {
+                    p.tick();
+                    p.line(*line);
+                }
+                TraceEvent::Call { function, .. } => {
+                    let id = p.intern(function);
+                    p.enter(id);
+                }
+                TraceEvent::Return { .. } => p.exit(),
+                TraceEvent::Output { .. } => {}
+            }
+        }
         if let TraceEvent::Output { text } = event {
             self.shared
                 .lock()
@@ -312,6 +332,7 @@ pub struct PyTracker {
     source: String,
     breakable: Vec<u32>,
     obs: obs::Registry,
+    prof: Arc<Mutex<Option<obs::Profiler>>>,
 }
 
 impl PyTracker {
@@ -342,6 +363,8 @@ impl PyTracker {
         let tracer_shared = Arc::clone(&shared);
         let file_name = file.to_owned();
         let inferior_reg = registry.clone();
+        let prof = Arc::new(Mutex::new(None));
+        let tracer_prof = Arc::clone(&prof);
         let handle = std::thread::Builder::new()
             .name("easytracker-py-inferior".into())
             // MiniPy frames cost deep Rust recursion; give the inferior a
@@ -361,6 +384,7 @@ impl PyTracker {
                     finish_fired: false,
                     file: file_name.clone(),
                     hook_counter: inferior_reg.counter("vm.minipy.trace_hooks"),
+                    prof: tracer_prof,
                 };
                 let mut interp = Interp::new(module);
                 interp.set_max_depth(500);
@@ -424,6 +448,7 @@ impl PyTracker {
             source: source.to_owned(),
             breakable,
             obs: registry,
+            prof,
         })
     }
 
@@ -674,6 +699,36 @@ impl Tracker for PyTracker {
     fn breakable_lines(&mut self) -> Result<Vec<u32>> {
         self.count_inspect("GetBreakableLines");
         Ok(self.breakable.clone())
+    }
+
+    fn set_profile(&mut self, mode: obs::ProfileMode, period: u64) -> Result<()> {
+        if self.started {
+            return Err(TrackerError::Engine(
+                "profiling must be armed before start".into(),
+            ));
+        }
+        let mut slot = self.prof.lock().expect("profiler poisoned");
+        if mode == obs::ProfileMode::Off {
+            *slot = None;
+        } else {
+            let mut p = obs::Profiler::new(mode, period);
+            // The module frame is live from the first statement but never
+            // raises a Call event; seed it like the VMs seed `main`.
+            let id = p.intern("<module>");
+            p.enter(id);
+            *slot = Some(p);
+        }
+        Ok(())
+    }
+
+    fn profile(&mut self) -> Result<obs::ProfileReport> {
+        Ok(self
+            .prof
+            .lock()
+            .expect("profiler poisoned")
+            .as_ref()
+            .map(obs::Profiler::report)
+            .unwrap_or_default())
     }
 
     fn stats(&self) -> obs::Snapshot {

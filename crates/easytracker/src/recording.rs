@@ -129,6 +129,9 @@ pub struct ReplayTracker {
     /// (`u8::MAX` when the step was reached by plain stepping).
     rank_done: u8,
     obs: obs::Registry,
+    /// Armed profile configuration; the report is derived on demand from
+    /// the recorded snapshots, so there is no live profiler to carry.
+    prof: Option<(obs::ProfileMode, u64)>,
 }
 
 impl ReplayTracker {
@@ -150,6 +153,7 @@ impl ReplayTracker {
             output_cursor: 0,
             rank_done: u8::MAX,
             obs: registry,
+            prof: None,
         }
     }
 
@@ -710,6 +714,52 @@ impl Tracker for ReplayTracker {
         lines.sort_unstable();
         lines.dedup();
         Ok(lines)
+    }
+
+    fn set_profile(&mut self, mode: obs::ProfileMode, period: u64) -> Result<()> {
+        // A recording can be (re)profiled at any position: the report is
+        // derived, not collected, so there is no before-start constraint.
+        self.prof = (mode != obs::ProfileMode::Off).then_some((mode, period));
+        Ok(())
+    }
+
+    fn profile(&mut self) -> Result<obs::ProfileReport> {
+        let Some((mode, period)) = self.prof else {
+            return Ok(obs::ProfileReport::default());
+        };
+        let upto = match self.idx {
+            Some(i) => (i + 1).min(self.recording.steps.len()),
+            None => 0,
+        };
+        // Re-drive a live profiler from the recorded stacks: each
+        // recorded step is one line unit attributed to its innermost
+        // frame. Calls are recovered from stack growth between steps, so
+        // back-to-back calls of one function collapsing onto the same
+        // stack shape count once — line-granular recordings cannot tell
+        // them apart.
+        let mut p = obs::Profiler::new(mode, period);
+        let mut stack: Vec<String> = Vec::new();
+        for step in &self.recording.steps[..upto] {
+            let mut chain: Vec<String> = step
+                .state
+                .frame
+                .chain()
+                .map(|f| f.name().to_owned())
+                .collect();
+            chain.reverse(); // outermost first
+            let common = stack.iter().zip(&chain).take_while(|(a, b)| a == b).count();
+            for _ in common..stack.len() {
+                p.exit();
+            }
+            for name in &chain[common..] {
+                let id = p.intern(name);
+                p.enter(id);
+            }
+            stack = chain;
+            p.line(step.state.frame.location().line());
+            p.tick();
+        }
+        Ok(p.report())
     }
 
     fn stats(&self) -> obs::Snapshot {

@@ -82,6 +82,21 @@ pub struct AsmEngine {
     crashed: Option<String>,
     crash_reported: bool,
     registry: Option<obs::Registry>,
+    /// In-engine profiler; lives here (not in the CPU) because function
+    /// identity comes from the shadow call stack.
+    prof: Option<Box<obs::Profiler>>,
+}
+
+/// Coarse instruction class for per-class retirement counts.
+fn inst_class(inst: &Inst) -> &'static str {
+    match inst {
+        Inst::R { .. } | Inst::I { .. } | Inst::Lui { .. } | Inst::Auipc { .. } => "alu",
+        Inst::Load { .. } => "load",
+        Inst::Store { .. } => "store",
+        Inst::Branch { .. } => "branch",
+        Inst::Jal { .. } | Inst::Jalr { .. } => "jump",
+        Inst::Ecall => "ecall",
+    }
 }
 
 impl AsmEngine {
@@ -105,6 +120,7 @@ impl AsmEngine {
             crashed: None,
             crash_reported: false,
             registry: None,
+            prof: None,
         }
     }
 
@@ -279,6 +295,13 @@ impl AsmEngine {
                     return PauseReason::Exited(ExitStatus::Crashed);
                 }
             };
+            // Retired-instruction hooks, before the control transfer is
+            // applied: a `jal` is charged to its caller.
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.tick();
+                p.line(info.line);
+                p.inst_class(inst_class(&info.inst));
+            }
             if let Some(code) = info.exit {
                 return PauseReason::Exited(ExitStatus::Exited(code));
             }
@@ -290,6 +313,10 @@ impl AsmEngine {
                         .label_at(target)
                         .unwrap_or("<anonymous>")
                         .to_owned();
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        let id = p.intern(&name);
+                        p.enter(id);
+                    }
                     self.shadow.push(ShadowFrame {
                         name,
                         call_line: info.line,
@@ -298,6 +325,9 @@ impl AsmEngine {
                 Some(Control::Return) => {
                     if self.shadow.len() > 1 {
                         self.shadow.pop();
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.exit();
+                        }
                     }
                     if let Mode::Finish { depth } = mode {
                         if self.shadow.len() < depth {
@@ -596,6 +626,32 @@ impl Engine for AsmEngine {
             Command::SetSanitizer { .. } => Response::Error {
                 message: "sanitizer mode is not supported for assembly programs".into(),
             },
+            Command::SetProfile { mode, period } => {
+                if self.started && mode != obs::ProfileMode::Off {
+                    return Response::Error {
+                        message: "profiling must be armed before start".into(),
+                    };
+                }
+                if mode == obs::ProfileMode::Off {
+                    self.prof = None;
+                } else {
+                    let mut p = Box::new(obs::Profiler::new(mode, period));
+                    // Frames alive at arm time (the entry label) enter the
+                    // profile now, like the MiniC VM's seeding.
+                    for sf in &self.shadow {
+                        let id = p.intern(&sf.name);
+                        p.enter(id);
+                    }
+                    self.prof = Some(p);
+                }
+                Response::Ok
+            }
+            Command::ProfileReport { .. } => Response::Profile(Box::new(
+                self.prof
+                    .as_deref()
+                    .map(obs::Profiler::report)
+                    .unwrap_or_default(),
+            )),
             // The serve loop normally answers Ping and Telemetry itself;
             // answering here too keeps `handle` total for engines driven
             // directly.

@@ -575,6 +575,16 @@ impl Engine for MinicEngine {
                 self.vm.set_sanitizer(on);
                 Response::Ok
             }
+            Command::SetProfile { mode, period } => {
+                if self.started && mode != obs::ProfileMode::Off {
+                    return Response::Error {
+                        message: "profiling must be armed before start".into(),
+                    };
+                }
+                self.vm.set_profile(mode, period);
+                Response::Ok
+            }
+            Command::ProfileReport { .. } => Response::Profile(Box::new(self.vm.profile_report())),
             // The serve loop normally answers Ping and Telemetry itself;
             // answering here too keeps `handle` total for engines driven
             // directly.

@@ -102,6 +102,27 @@ pub enum Command {
         /// Absolute event-index cursor; events before it are skipped.
         since: u64,
     },
+    /// Arm or disarm the in-engine profiler. Journaled as configuration,
+    /// like `SetSanitizer`, so a respawned engine re-arms before replay;
+    /// re-issuing the same mode and period converges (the profile simply
+    /// restarts empty), so retries are safe.
+    SetProfile {
+        /// `Off` disarms; `Counting` attributes every step exactly;
+        /// `Sampling` attributes on a deterministic interval clock.
+        mode: obs::ProfileMode,
+        /// Mean sampling interval in VM step units (ignored when not
+        /// sampling; clamped to ≥ 1).
+        period: u64,
+    },
+    /// Drain the collected profile. Cumulative with *set* semantics and
+    /// journal-free, like `Telemetry`: the report always covers the whole
+    /// run so far, the client keeps the cursor, and re-issuing the same
+    /// drain returns the same report — safe to retry.
+    ProfileReport {
+        /// The client's last-seen unit cursor, echoed back so the client
+        /// can detect a respawned (rewound) engine and reset.
+        since: u64,
+    },
     /// Liveness probe: the serve loop answers [`Response::Pong`] without
     /// involving the engine, so a healthy-but-busy boundary and a wedged
     /// one are distinguishable. Supervisors use it as a heartbeat; the
@@ -139,6 +160,8 @@ impl Command {
             Command::Analyze => "Analyze",
             Command::SetSanitizer { .. } => "SetSanitizer",
             Command::Telemetry { .. } => "Telemetry",
+            Command::SetProfile { .. } => "SetProfile",
+            Command::ProfileReport { .. } => "ProfileReport",
             Command::Ping => "Ping",
             Command::Terminate => "Terminate",
         }
@@ -155,7 +178,9 @@ impl Command {
     /// and `SetSanitizer` converges (setting the same mode twice is a
     /// no-op), so both retry safely. `Telemetry` is read-only — the
     /// drain cursor is carried *in* the command, not kept server-side —
-    /// so the same request always returns the same frame.
+    /// so the same request always returns the same frame. `SetProfile`
+    /// converges like `SetSanitizer`, and `ProfileReport` is a
+    /// cursor-in-command read like `Telemetry`.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -170,6 +195,8 @@ impl Command {
                 | Command::Analyze
                 | Command::SetSanitizer { .. }
                 | Command::Telemetry { .. }
+                | Command::SetProfile { .. }
+                | Command::ProfileReport { .. }
                 | Command::Ping
                 | Command::Terminate
         )
@@ -250,6 +277,8 @@ pub enum Response {
     Diagnostics(Vec<Diagnostic>),
     /// One telemetry drain for [`Command::Telemetry`].
     Telemetry(Box<obs::TelemetryFrame>),
+    /// One profile drain for [`Command::ProfileReport`].
+    Profile(Box<obs::ProfileReport>),
     /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
     Pong {
         /// The responder's monotonic clock (microseconds since its
@@ -284,6 +313,7 @@ impl Response {
             Response::Lines(v) => format!("Lines({})", v.len()),
             Response::Diagnostics(v) => format!("Diagnostics({})", v.len()),
             Response::Telemetry(f) => format!("Telemetry({} events)", f.events.len()),
+            Response::Profile(r) => format!("Profile({}, {} units)", r.mode.name(), r.units),
             Response::Pong { now_us } => format!("Pong({now_us})"),
             Response::Error { message } => format!("Error({message})"),
         }
@@ -378,6 +408,29 @@ mod tests {
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
         assert_eq!(back.summary(), "Telemetry(0 events)");
+    }
+
+    #[test]
+    fn profile_commands_are_idempotent_and_roundtrip() {
+        let arm = Command::SetProfile {
+            mode: obs::ProfileMode::Sampling,
+            period: 64,
+        };
+        assert!(arm.is_idempotent());
+        assert_eq!(arm.kind(), "SetProfile");
+        let drain = Command::ProfileReport { since: 12 };
+        assert!(drain.is_idempotent());
+        assert_eq!(drain.kind(), "ProfileReport");
+        for cmd in [arm, drain] {
+            let json = serde_json::to_string(&cmd).unwrap();
+            let back: Command = serde_json::from_str(&json).unwrap();
+            assert_eq!(cmd, back);
+        }
+        let resp = Response::Profile(Box::default());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+        assert_eq!(back.summary(), "Profile(off, 0 units)");
     }
 
     #[test]

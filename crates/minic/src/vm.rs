@@ -138,6 +138,10 @@ pub struct Vm {
     san: Option<Box<Sanitizer>>,
     /// Events displaced by a sanitizer trap, delivered on later steps.
     san_deferred: VecDeque<Event>,
+    /// In-engine profiler when profiling is armed (see [`Vm::set_profile`]).
+    prof: Option<Box<obs::Profiler>>,
+    /// Function index → profiler intern id, filled when profiling is armed.
+    prof_ids: Vec<u32>,
 }
 
 impl Vm {
@@ -178,6 +182,8 @@ impl Vm {
             ops_executed: 0,
             san: None,
             san_deferred: VecDeque::new(),
+            prof: None,
+            prof_ids: Vec::new(),
         }
     }
 
@@ -212,6 +218,47 @@ impl Vm {
     /// Sanitizer traps raised so far (0 with the sanitizer off).
     pub fn sanitizer_traps(&self) -> u64 {
         self.san.as_deref().map(Sanitizer::traps).unwrap_or(0)
+    }
+
+    /// Arms or disarms the in-engine profiler. Counting mode attributes
+    /// every executed op, line marker, call, and allocation exactly;
+    /// sampling mode attributes ops on a seeded-deterministic interval
+    /// clock driven by the op counter, so the same mode and period always
+    /// produce the same profile. Like the sanitizer, arm before the first
+    /// [`Vm::step`]; re-arming replaces the collected profile.
+    pub fn set_profile(&mut self, mode: obs::ProfileMode, period: u64) {
+        if mode == obs::ProfileMode::Off {
+            self.prof = None;
+            self.prof_ids.clear();
+            return;
+        }
+        let mut p = Box::new(obs::Profiler::new(mode, period));
+        self.prof_ids = self
+            .program
+            .functions
+            .iter()
+            .map(|f| p.intern(&f.name))
+            .collect();
+        // Frames alive at arm time (at least `main`, pushed by the
+        // constructor, which never goes through `do_call`) enter the
+        // profile now, mirroring the sanitizer's shadow-stack seeding.
+        for fi in &self.frames {
+            p.enter(self.prof_ids[fi.function]);
+        }
+        self.prof = Some(p);
+    }
+
+    /// Whether profiling is armed.
+    pub fn profile_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Snapshot of the collected profile (empty when profiling is off).
+    pub fn profile_report(&self) -> obs::ProfileReport {
+        self.prof
+            .as_deref()
+            .map(obs::Profiler::report)
+            .unwrap_or_default()
     }
 
     /// Enables or disables [`Event::Store`] reporting. The engine turns this
@@ -338,6 +385,9 @@ impl Vm {
         loop {
             let op = self.program.code[self.pc];
             self.ops_executed += 1;
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.tick();
+            }
             if let Some(event) = self.exec(op)? {
                 return Ok(self.gate(event));
             }
@@ -390,6 +440,9 @@ impl Vm {
                 s.leak_check(&self.alloc);
             }
         }
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.exit();
+        }
         if self.frames.is_empty() {
             let code = match value {
                 Some(RtVal::Int(v)) => v,
@@ -412,6 +465,9 @@ impl Vm {
         match op {
             Line(n) => {
                 self.frames.last_mut().expect("running frame").line = n;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.line(n);
+                }
                 self.pc += 1;
                 return Ok(Some(Event::Line(n)));
             }
@@ -754,6 +810,14 @@ impl Vm {
         }
     }
 
+    fn prof_alloc(&mut self, bytes: u64) {
+        if self.prof.is_some() {
+            let line = self.cur_line();
+            let p = self.prof.as_deref_mut().expect("checked above");
+            p.alloc(line, bytes);
+        }
+    }
+
     fn san_check_output_args(&mut self, args: &[RtVal]) {
         if self.san.is_some() {
             let line = self.cur_line();
@@ -794,6 +858,9 @@ impl Vm {
         if let Some(s) = self.san.as_deref_mut() {
             s.push_frame(&self.program.functions[idx], base);
         }
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.enter(self.prof_ids[idx]);
+        }
         self.pc = entry;
         Ok(Event::Call {
             function: idx,
@@ -815,6 +882,7 @@ impl Vm {
                     .malloc(&mut self.mem, size)
                     .map_err(|e| self.err(e.to_string()))?;
                 self.san_record_alloc(p);
+                self.prof_alloc(size);
                 self.stack.push(RtVal::Ptr(p));
                 None
             }
@@ -825,6 +893,7 @@ impl Vm {
                     .calloc(&mut self.mem, n, sz)
                     .map_err(|e| self.err(e.to_string()))?;
                 self.san_record_alloc(p);
+                self.prof_alloc(n.saturating_mul(sz));
                 self.stack.push(RtVal::Ptr(p));
                 None
             }
@@ -836,6 +905,7 @@ impl Vm {
                     .realloc(&mut self.mem, ptr, size)
                     .map_err(|e| self.err(e.to_string()))?;
                 self.san_record_alloc(p);
+                self.prof_alloc(size);
                 self.stack.push(RtVal::Ptr(p));
                 None
             }

@@ -88,6 +88,7 @@ impl Histogram {
             mean: self.mean(),
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             max: self.max,
         }
     }
@@ -130,6 +131,7 @@ pub struct HistStats {
     pub mean: u64,
     pub p50: u64,
     pub p95: u64,
+    pub p99: u64,
     pub max: u64,
 }
 
@@ -160,6 +162,10 @@ mod tests {
         assert!((500..1024).contains(&p50), "p50 = {p50}");
         assert!(h.quantile(1.0) >= h.quantile(0.5));
         assert_eq!(h.quantile(1.0), 1000);
+        // The tail quantiles are ordered and within-2x of the truth.
+        let s = h.stats();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!((990..=1000).contains(&s.p99), "p99 = {}", s.p99);
     }
 
     #[test]

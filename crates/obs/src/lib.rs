@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 pub mod flight;
 pub mod hist;
+pub mod profile;
 pub mod session;
 pub mod sink;
 pub mod telemetry;
@@ -34,6 +35,9 @@ pub use flight::{
     extract_last_gasp, FlightDump, FlightEntry, FlightLog, FlightRecorder, STDERR_MARKER,
 };
 pub use hist::{HistStats, Histogram};
+pub use profile::{
+    AllocSiteProfile, FuncProfile, LineProfile, ProfileMode, ProfileReport, Profiler, StackProfile,
+};
 pub use session::Session;
 pub use sink::{ChromeTraceSink, ExportSink, JsonLinesSink, RingSink, Sink, TraceEvent};
 pub use telemetry::{
@@ -602,17 +606,17 @@ impl Snapshot {
                 out.push('\n');
             }
             out.push_str(&format!(
-                "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
-                "histogram (ns)", "count", "mean", "p50", "p95", "max"
+                "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram (ns)", "count", "mean", "p50", "p95", "p99", "max"
             ));
             out.push_str(&format!(
-                "{:-<44} {:->8} {:->10} {:->10} {:->10} {:->10}\n",
-                "", "", "", "", "", ""
+                "{:-<44} {:->8} {:->10} {:->10} {:->10} {:->10} {:->10}\n",
+                "", "", "", "", "", "", ""
             ));
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
-                    name, h.count, h.mean, h.p50, h.p95, h.max
+                    "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
                 ));
             }
         }

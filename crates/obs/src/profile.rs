@@ -1,0 +1,606 @@
+//! The in-engine profiling plane: a counting + sampling profiler for
+//! the VMs, measuring where the *inferior* program spends its execution
+//! — per-function self/total step units, per-line hit counts,
+//! allocation-site bytes, instruction-class counts, and collapsed call
+//! stacks for flamegraphs.
+//!
+//! # Determinism model
+//!
+//! The profiler has no wall clock. Its unit of cost is the VM's own
+//! step count — one executed opcode (MiniC), one traced statement
+//! (MiniPy), one retired instruction (MiniAsm) — delivered through
+//! [`Profiler::tick`]. The sampling clock is a seeded LCG over those
+//! units, so the same program under the same `{mode, period, seed}`
+//! configuration produces a bit-identical profile on every run: the
+//! conformance suite asserts this, and it is what makes profiles usable
+//! as regression artifacts and as seed data for tier-promotion
+//! decisions.
+//!
+//! # Modes
+//!
+//! * [`ProfileMode::Off`] — every hook is behind an `Option` check in
+//!   the VMs; disabled cost is one untaken branch per step.
+//! * [`ProfileMode::Counting`] — exact attribution: every tick charges
+//!   one unit to the current function, line, and call path.
+//! * [`ProfileMode::Sampling`] — the seeded clock fires every ~`period`
+//!   units; the elapsed units since the previous sample are charged to
+//!   the call stack captured at the sample point. Call counts,
+//!   allocation sites, and instruction classes stay exact in this mode
+//!   (those hooks are rare); only the per-step attribution is sampled.
+//!
+//! # Cursor semantics
+//!
+//! A [`ProfileReport`] is *cumulative*, like the counters of a
+//! [`crate::TelemetryFrame`]: draining it twice returns the same (or a
+//! grown) report, and receivers mirror it with set semantics, so a
+//! supervised retry or a re-delivered frame cannot double-count. The
+//! drain request still carries a `since` cursor — the `units` value of
+//! the previous report — echoed back as [`ProfileReport::next`]; a
+//! report whose `units` is *smaller* than the cursor the client sent
+//! reveals a respawned engine (fresh profile), which the tracker
+//! handles by rewinding its cursor to zero, exactly like the telemetry
+//! event cursor.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Default seed for the sampling clock. Fixed (not configurable over
+/// the wire) so two runs of the same program with the same period are
+/// comparable sample for sample.
+pub const DEFAULT_SEED: u64 = 0x5eed_00d5_ca1e_d001;
+
+/// What the profiler measures, if anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileMode {
+    /// No measurement; hooks reduce to one untaken branch per step.
+    #[default]
+    Off,
+    /// Exact per-step attribution.
+    Counting,
+    /// Seeded-deterministic sampling every ~`period` step units.
+    Sampling,
+}
+
+impl ProfileMode {
+    /// Short lowercase name (`off`/`counting`/`sampling`), used in
+    /// command summaries and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileMode::Off => "off",
+            ProfileMode::Counting => "counting",
+            ProfileMode::Sampling => "sampling",
+        }
+    }
+}
+
+/// Per-function bookkeeping (intern-table index order).
+#[derive(Clone, Debug, Default)]
+struct FuncStat {
+    calls: u64,
+    self_units: u64,
+    total_units: u64,
+    /// How many occurrences of this function are on the stack right
+    /// now; `total_units` only accumulates when the *outermost*
+    /// occurrence exits, so recursion is not double-counted.
+    live: u32,
+    /// `units` at the outermost entry.
+    entry_units: u64,
+}
+
+/// One function's row of a [`ProfileReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncProfile {
+    pub name: String,
+    /// Times the function was entered.
+    pub calls: u64,
+    /// Step units attributed to the function itself.
+    pub self_units: u64,
+    /// Step units spent with the function anywhere on the stack
+    /// (recursion counted once).
+    pub total_units: u64,
+}
+
+/// One source line's row of a [`ProfileReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineProfile {
+    /// 1-based source line.
+    pub line: u32,
+    /// Step units attributed to the line (exact hits in counting mode,
+    /// sampled elapsed units in sampling mode).
+    pub units: u64,
+}
+
+/// One allocation site's row of a [`ProfileReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocSiteProfile {
+    /// 1-based source line of the allocation call.
+    pub line: u32,
+    /// Allocations performed at this site.
+    pub count: u64,
+    /// Total bytes requested at this site.
+    pub bytes: u64,
+}
+
+/// One call path's row of a [`ProfileReport`]: a root-first stack and
+/// the step units charged to it — exactly one line of a flamegraph
+/// `.folded` file.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackProfile {
+    /// Function names, outermost first.
+    pub frames: Vec<String>,
+    /// Step units charged while this exact stack was current.
+    pub units: u64,
+}
+
+/// A cumulative profile drain (see the module docs for cursor and
+/// idempotency semantics). Serde-safe: every collection is a `Vec` or
+/// a `BTreeMap` with scalar keys, so frames travel over the vendored
+/// serde unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    pub mode: ProfileMode,
+    /// Sampling period in step units (0 in counting/off modes).
+    pub period: u64,
+    /// Seed of the sampling clock.
+    pub seed: u64,
+    /// Total step units executed so far; also the cursor to send as
+    /// `since` on the next drain.
+    pub units: u64,
+    /// Samples taken so far (sampling mode).
+    pub samples: u64,
+    /// Cursor echo: the `units` value, for respawn detection.
+    pub next: u64,
+    /// Per-function rows, sorted by descending `self_units`.
+    pub functions: Vec<FuncProfile>,
+    /// Per-line unit counts, sorted by line.
+    pub lines: Vec<LineProfile>,
+    /// Allocation sites, sorted by line.
+    pub alloc_sites: Vec<AllocSiteProfile>,
+    /// Instruction-class counts (assembly engines).
+    pub inst_classes: BTreeMap<String, u64>,
+    /// Collapsed call stacks, sorted root-first lexicographically.
+    pub stacks: Vec<StackProfile>,
+}
+
+impl ProfileReport {
+    /// The top `n` functions by self units: `(name, self_units)`.
+    /// `functions` is already sorted, so this is a prefix.
+    pub fn top_self(&self, n: usize) -> Vec<(&str, u64)> {
+        self.functions
+            .iter()
+            .take(n)
+            .map(|f| (f.name.as_str(), f.self_units))
+            .collect()
+    }
+
+    /// Units attributed to `line`, zero when the line never appeared.
+    pub fn line_units(&self, line: u32) -> u64 {
+        self.lines
+            .iter()
+            .find(|l| l.line == line)
+            .map_or(0, |l| l.units)
+    }
+
+    /// The per-line counts in the plain form the heatmap renderer
+    /// takes: `(line, units)` pairs sorted by line.
+    pub fn line_counts(&self) -> Vec<(u32, u64)> {
+        self.lines.iter().map(|l| (l.line, l.units)).collect()
+    }
+
+    /// The collapsed stacks in the plain form the flamegraph renderer
+    /// takes: `(frames, units)` with non-zero units only.
+    pub fn folded_stacks(&self) -> Vec<(Vec<String>, u64)> {
+        self.stacks
+            .iter()
+            .filter(|s| s.units > 0 && !s.frames.is_empty())
+            .map(|s| (s.frames.clone(), s.units))
+            .collect()
+    }
+
+    /// Whether any measurement landed in this report.
+    pub fn is_empty(&self) -> bool {
+        self.units == 0 && self.functions.is_empty() && self.inst_classes.is_empty()
+    }
+}
+
+/// The in-engine profiler. One per VM; never shared across threads
+/// (the VMs own it behind an `Option<Box<_>>`, mirroring the sanitizer).
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    mode: ProfileMode,
+    period: u64,
+    seed: u64,
+    rng: u64,
+    /// Ticks until the next sample (sampling mode).
+    countdown: u64,
+    units: u64,
+    samples: u64,
+    /// `units` at the previous sample, for elapsed-unit attribution.
+    last_sample_units: u64,
+    /// Intern table: function id → name.
+    names: Vec<String>,
+    name_idx: HashMap<String, u32>,
+    funcs: Vec<FuncStat>,
+    /// Current call stack, outermost first, as intern ids.
+    stack: Vec<u32>,
+    /// Unique call paths and the units charged to each.
+    paths: Vec<(Vec<u32>, u64)>,
+    path_idx: HashMap<Vec<u32>, usize>,
+    /// Index into `paths` for the current stack.
+    cur_path: usize,
+    /// Most recent source line, for sampled line attribution.
+    cur_line: u32,
+    lines: BTreeMap<u32, u64>,
+    /// line → (count, bytes).
+    allocs: BTreeMap<u32, (u64, u64)>,
+    inst: BTreeMap<&'static str, u64>,
+}
+
+impl Profiler {
+    /// Creates a profiler in `mode`. `period` is the mean sampling
+    /// interval in step units (clamped to ≥ 1; ignored outside
+    /// sampling mode).
+    pub fn new(mode: ProfileMode, period: u64) -> Self {
+        Self::with_seed(mode, period, DEFAULT_SEED)
+    }
+
+    /// Like [`Profiler::new`] with an explicit sampling-clock seed.
+    pub fn with_seed(mode: ProfileMode, period: u64, seed: u64) -> Self {
+        let period = period.max(1);
+        let mut p = Profiler {
+            mode,
+            period,
+            seed,
+            rng: seed | 1,
+            countdown: 0,
+            units: 0,
+            samples: 0,
+            last_sample_units: 0,
+            names: Vec::new(),
+            name_idx: HashMap::new(),
+            funcs: Vec::new(),
+            stack: Vec::new(),
+            paths: vec![(Vec::new(), 0)],
+            path_idx: HashMap::from([(Vec::new(), 0)]),
+            cur_path: 0,
+            cur_line: 0,
+            lines: BTreeMap::new(),
+            allocs: BTreeMap::new(),
+            inst: BTreeMap::new(),
+        };
+        p.countdown = p.next_interval();
+        p
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> ProfileMode {
+        self.mode
+    }
+
+    /// Whether ticks currently measure anything.
+    pub fn is_active(&self) -> bool {
+        self.mode != ProfileMode::Off
+    }
+
+    /// Seeded LCG step; interval drawn from `[period/2, 3*period/2)`
+    /// so samples decorrelate from loop periods while the mean stays
+    /// at `period`.
+    fn next_interval(&mut self) -> u64 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter = (self.rng >> 33) % self.period;
+        (self.period / 2).max(1) + jitter
+    }
+
+    /// Interns a function name, returning its stable id. VMs resolve
+    /// their function indices to ids once (at arm time or first call),
+    /// so the hot hooks are integer-only.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_idx.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.name_idx.insert(name.to_owned(), id);
+        self.funcs.push(FuncStat::default());
+        id
+    }
+
+    /// Function entry: pushes `id`, counts the call, opens the
+    /// total-units window on the outermost occurrence.
+    pub fn enter(&mut self, id: u32) {
+        let f = &mut self.funcs[id as usize];
+        f.calls += 1;
+        if f.live == 0 {
+            f.entry_units = self.units;
+        }
+        f.live += 1;
+        self.stack.push(id);
+        self.switch_path();
+    }
+
+    /// Function exit: pops the innermost frame and closes its
+    /// total-units window when the outermost occurrence leaves.
+    pub fn exit(&mut self) {
+        let Some(id) = self.stack.pop() else {
+            return;
+        };
+        let units = self.units;
+        let f = &mut self.funcs[id as usize];
+        f.live = f.live.saturating_sub(1);
+        if f.live == 0 {
+            f.total_units += units - f.entry_units;
+        }
+        self.switch_path();
+    }
+
+    /// Re-resolves `cur_path` after a stack change.
+    fn switch_path(&mut self) {
+        if let Some(&i) = self.path_idx.get(&self.stack) {
+            self.cur_path = i;
+            return;
+        }
+        let i = self.paths.len();
+        self.paths.push((self.stack.clone(), 0));
+        self.path_idx.insert(self.stack.clone(), i);
+        self.cur_path = i;
+    }
+
+    /// Line-marker hit: remembers the line (for sampled attribution)
+    /// and, in counting mode, charges a hit to it.
+    pub fn line(&mut self, line: u32) {
+        self.cur_line = line;
+        if self.mode == ProfileMode::Counting {
+            *self.lines.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    /// One step unit executed. The only per-step hook; everything else
+    /// fires at much coarser events.
+    pub fn tick(&mut self) {
+        self.units += 1;
+        match self.mode {
+            ProfileMode::Off => {}
+            ProfileMode::Counting => {
+                self.paths[self.cur_path].1 += 1;
+                if let Some(&top) = self.stack.last() {
+                    self.funcs[top as usize].self_units += 1;
+                }
+            }
+            ProfileMode::Sampling => {
+                self.countdown -= 1;
+                if self.countdown == 0 {
+                    self.sample();
+                    self.countdown = self.next_interval();
+                }
+            }
+        }
+    }
+
+    /// Takes one sample: charges the units elapsed since the previous
+    /// sample to the current stack, function, and line.
+    fn sample(&mut self) {
+        let elapsed = self.units - self.last_sample_units;
+        self.last_sample_units = self.units;
+        self.samples += 1;
+        self.paths[self.cur_path].1 += elapsed;
+        if let Some(&top) = self.stack.last() {
+            self.funcs[top as usize].self_units += elapsed;
+        }
+        if self.cur_line != 0 {
+            *self.lines.entry(self.cur_line).or_insert(0) += elapsed;
+        }
+    }
+
+    /// Allocation-site hook: exact in both modes (allocations are rare
+    /// next to steps).
+    pub fn alloc(&mut self, line: u32, bytes: u64) {
+        let e = self.allocs.entry(line).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    }
+
+    /// Instruction-class hook (assembly engines): exact in both modes.
+    pub fn inst_class(&mut self, class: &'static str) {
+        *self.inst.entry(class).or_insert(0) += 1;
+    }
+
+    /// Builds the cumulative wire report. Functions still on the stack
+    /// get their running total-units window included, so a paused
+    /// program reports sensible totals mid-run.
+    pub fn report(&self) -> ProfileReport {
+        let mut functions: Vec<FuncProfile> = self
+            .names
+            .iter()
+            .zip(&self.funcs)
+            .map(|(name, f)| FuncProfile {
+                name: name.clone(),
+                calls: f.calls,
+                self_units: f.self_units,
+                total_units: f.total_units
+                    + if f.live > 0 {
+                        self.units - f.entry_units
+                    } else {
+                        0
+                    },
+            })
+            .collect();
+        functions.sort_by(|a, b| {
+            b.self_units
+                .cmp(&a.self_units)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let mut stacks: Vec<StackProfile> = self
+            .paths
+            .iter()
+            .filter(|(frames, units)| *units > 0 && !frames.is_empty())
+            .map(|(frames, units)| StackProfile {
+                frames: frames
+                    .iter()
+                    .map(|&id| self.names[id as usize].clone())
+                    .collect(),
+                units: *units,
+            })
+            .collect();
+        stacks.sort_by(|a, b| a.frames.cmp(&b.frames));
+        ProfileReport {
+            mode: self.mode,
+            period: if self.mode == ProfileMode::Sampling {
+                self.period
+            } else {
+                0
+            },
+            seed: self.seed,
+            units: self.units,
+            samples: self.samples,
+            next: self.units,
+            functions,
+            lines: self
+                .lines
+                .iter()
+                .map(|(&line, &units)| LineProfile { line, units })
+                .collect(),
+            alloc_sites: self
+                .allocs
+                .iter()
+                .map(|(&line, &(count, bytes))| AllocSiteProfile { line, count, bytes })
+                .collect(),
+            inst_classes: self.inst.iter().map(|(&k, &v)| (k.to_owned(), v)).collect(),
+            stacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates `main` calling `work` twice, 10 units each, with 5
+    /// units of `main`'s own work in between.
+    fn run(p: &mut Profiler) {
+        let main = p.intern("main");
+        let work = p.intern("work");
+        p.enter(main);
+        for line in [1u32, 2, 3, 4, 5] {
+            p.line(line);
+            p.tick();
+        }
+        for _ in 0..2 {
+            p.enter(work);
+            for _ in 0..10 {
+                p.line(7);
+                p.tick();
+            }
+            p.exit();
+        }
+        p.alloc(7, 64);
+        p.exit();
+    }
+
+    #[test]
+    fn counting_attributes_exactly() {
+        let mut p = Profiler::new(ProfileMode::Counting, 0);
+        run(&mut p);
+        let r = p.report();
+        assert_eq!(r.units, 25);
+        let main = r.functions.iter().find(|f| f.name == "main").unwrap();
+        let work = r.functions.iter().find(|f| f.name == "work").unwrap();
+        assert_eq!((main.calls, main.self_units, main.total_units), (1, 5, 25));
+        assert_eq!((work.calls, work.self_units, work.total_units), (2, 20, 20));
+        // Hottest by self units first.
+        assert_eq!(r.top_self(1), vec![("work", 20)]);
+        assert_eq!(r.line_units(7), 20);
+        assert_eq!(
+            r.alloc_sites,
+            vec![AllocSiteProfile {
+                line: 7,
+                count: 1,
+                bytes: 64
+            }]
+        );
+        let folded = r.folded_stacks();
+        assert!(folded.contains(&(vec!["main".into()], 5)));
+        assert!(folded.contains(&(vec!["main".into(), "work".into()], 20)));
+    }
+
+    #[test]
+    fn recursion_counts_total_once() {
+        let mut p = Profiler::new(ProfileMode::Counting, 0);
+        let f = p.intern("f");
+        p.enter(f);
+        p.tick();
+        p.enter(f);
+        p.tick();
+        p.exit();
+        p.tick();
+        p.exit();
+        let r = p.report();
+        let row = &r.functions[0];
+        assert_eq!(row.calls, 2);
+        assert_eq!(row.self_units, 3);
+        assert_eq!(row.total_units, 3, "recursive frames counted once");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_conserves_units() {
+        let run_once = || {
+            let mut p = Profiler::new(ProfileMode::Sampling, 4);
+            run(&mut p);
+            p.report()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same seed + period → identical profile");
+        assert!(a.samples > 0);
+        // Sampled attribution never invents units: everything charged
+        // is bounded by the units actually executed.
+        let charged: u64 = a.stacks.iter().map(|s| s.units).sum();
+        assert!(charged <= a.units);
+        assert_eq!(a.next, a.units);
+    }
+
+    #[test]
+    fn different_period_changes_the_sample_schedule() {
+        let mut a = Profiler::new(ProfileMode::Sampling, 2);
+        let mut b = Profiler::new(ProfileMode::Sampling, 16);
+        run(&mut a);
+        run(&mut b);
+        assert!(a.report().samples > b.report().samples);
+    }
+
+    #[test]
+    fn off_mode_measures_nothing() {
+        let mut p = Profiler::new(ProfileMode::Off, 0);
+        run(&mut p);
+        let r = p.report();
+        assert_eq!(r.units, 25, "the unit clock still advances");
+        assert!(r.functions.iter().all(|f| f.self_units == 0));
+        assert!(r.lines.is_empty());
+        assert!(r.stacks.is_empty());
+    }
+
+    #[test]
+    fn reports_roundtrip_over_serde() {
+        let mut p = Profiler::new(ProfileMode::Counting, 0);
+        p.inst_class("alu");
+        p.inst_class("alu");
+        p.inst_class("branch");
+        run(&mut p);
+        let r = p.report();
+        let text = serde_json::to_string(&r).unwrap();
+        let back: ProfileReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.inst_classes["alu"], 2);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let mut p = Profiler::new(ProfileMode::Counting, 0);
+        p.exit();
+        p.tick();
+        assert_eq!(p.report().units, 1);
+    }
+}

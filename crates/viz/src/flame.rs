@@ -1,0 +1,228 @@
+//! Flamegraph renderers over collapsed call stacks.
+//!
+//! Input is the profiler's path table — `(frames, units)` pairs with
+//! frames outermost first — kept as plain data so this crate stays
+//! dependency-free. Three outputs: the standard semicolon-separated
+//! `.folded` format (consumable by any flamegraph tool), an indented
+//! text tree for terminals, and a self-contained SVG icicle graph.
+
+use crate::svg::SvgDoc;
+use std::fmt::Write as _;
+
+/// Renders collapsed stacks in the flamegraph `.folded` format: one
+/// `outer;inner;leaf units` line per unique stack, sorted, zero-unit
+/// stacks skipped.
+///
+/// # Examples
+///
+/// ```
+/// let stacks = vec![
+///     (vec!["main".to_string(), "fib".to_string()], 10),
+///     (vec!["main".to_string()], 2),
+/// ];
+/// let folded = viz::flame::render_folded(&stacks);
+/// assert_eq!(folded, "main 2\nmain;fib 10\n");
+/// ```
+pub fn render_folded(stacks: &[(Vec<String>, u64)]) -> String {
+    let mut lines: Vec<String> = stacks
+        .iter()
+        .filter(|(frames, units)| *units > 0 && !frames.is_empty())
+        .map(|(frames, units)| format!("{} {units}", frames.join(";")))
+        .collect();
+    lines.sort();
+    let mut out = String::new();
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+/// One merged node of the flame tree.
+#[derive(Debug, Default)]
+struct Node {
+    /// Units attributed to exactly this stack (self units).
+    own: u64,
+    /// Children in first-seen order.
+    children: Vec<(String, Node)>,
+}
+
+impl Node {
+    fn child(&mut self, name: &str) -> &mut Node {
+        if let Some(i) = self.children.iter().position(|(n, _)| n == name) {
+            return &mut self.children[i].1;
+        }
+        self.children.push((name.to_owned(), Node::default()));
+        &mut self.children.last_mut().expect("just pushed").1
+    }
+
+    fn insert(&mut self, frames: &[String], units: u64) {
+        match frames.split_first() {
+            None => self.own += units,
+            Some((head, rest)) => self.child(head).insert(rest, units),
+        }
+    }
+
+    /// Own units plus everything below.
+    fn total(&self) -> u64 {
+        self.own + self.children.iter().map(|(_, c)| c.total()).sum::<u64>()
+    }
+
+    fn sort(&mut self) {
+        self.children
+            .sort_by(|(an, a), (bn, b)| b.total().cmp(&a.total()).then_with(|| an.cmp(bn)));
+        for (_, c) in &mut self.children {
+            c.sort();
+        }
+    }
+}
+
+fn build(stacks: &[(Vec<String>, u64)]) -> Node {
+    let mut root = Node::default();
+    for (frames, units) in stacks {
+        if *units > 0 && !frames.is_empty() {
+            root.insert(frames, *units);
+        }
+    }
+    root.sort();
+    root
+}
+
+/// Renders the merged flame tree as indented text, hottest subtree
+/// first, with per-node total units and a percent-of-run column.
+pub fn render_text(stacks: &[(Vec<String>, u64)]) -> String {
+    fn walk(node: &Node, name: &str, depth: usize, grand: u64, out: &mut String) {
+        let total = node.total();
+        let pct = if grand == 0 {
+            0.0
+        } else {
+            100.0 * total as f64 / grand as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {pct:>5.1}%  {}{name}",
+            total,
+            "  ".repeat(depth)
+        );
+        for (child_name, child) in &node.children {
+            walk(child, child_name, depth + 1, grand, out);
+        }
+    }
+    let root = build(stacks);
+    let grand = root.total();
+    let mut out = String::new();
+    for (name, node) in &root.children {
+        walk(node, name, 0, grand, &mut out);
+    }
+    out
+}
+
+/// Renders an SVG icicle flamegraph: roots on top, callees below,
+/// width proportional to total units.
+pub fn render_svg(stacks: &[(Vec<String>, u64)]) -> String {
+    const WIDTH: f64 = 720.0;
+    const ROW: f64 = 18.0;
+    const PALETTE: [&str; 5] = ["#e4572e", "#f3a712", "#a8c686", "#669bbc", "#9b5de5"];
+
+    fn depth_of(node: &Node) -> usize {
+        1 + node
+            .children
+            .iter()
+            .map(|(_, c)| depth_of(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn draw(doc: &mut SvgDoc, node: &Node, name: &str, x: f64, y: f64, w: f64, color: usize) {
+        doc.rect(
+            x,
+            y,
+            w.max(1.0),
+            ROW - 2.0,
+            PALETTE[color % PALETTE.len()],
+            "white",
+        );
+        if w > 40.0 {
+            let label = format!("{name} ({})", node.total());
+            doc.text(x + 4.0, y + ROW - 7.0, 10.0, "start", "black", &label);
+        }
+        let total = node.total();
+        if total == 0 {
+            return;
+        }
+        // Children left to right; the own-units share stays unlabelled.
+        let mut cx = x;
+        for (i, (child_name, child)) in node.children.iter().enumerate() {
+            let cw = w * child.total() as f64 / total as f64;
+            draw(doc, child, child_name, cx, y + ROW, cw, color + i + 1);
+            cx += cw;
+        }
+    }
+
+    let root = build(stacks);
+    let grand = root.total();
+    let rows = depth_of(&root).max(1);
+    let mut doc = SvgDoc::new(WIDTH + 20.0, rows as f64 * ROW + 20.0);
+    if grand > 0 {
+        let mut cx = 10.0;
+        for (i, (name, node)) in root.children.iter().enumerate() {
+            let w = WIDTH * node.total() as f64 / grand as f64;
+            draw(&mut doc, node, name, cx, 10.0, w, i);
+            cx += w;
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stacks() -> Vec<(Vec<String>, u64)> {
+        let s = |names: &[&str]| names.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        vec![
+            (s(&["main"]), 5),
+            (s(&["main", "fib"]), 20),
+            (s(&["main", "fib", "fib"]), 40),
+            (s(&["main", "init"]), 2),
+            (s(&["dead"]), 0),
+        ]
+    }
+
+    #[test]
+    fn folded_is_sorted_and_skips_zero_stacks() {
+        let folded = render_folded(&stacks());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            ["main 5", "main;fib 20", "main;fib;fib 40", "main;init 2"]
+        );
+    }
+
+    #[test]
+    fn text_tree_merges_and_orders_by_heat() {
+        let text = render_text(&stacks());
+        let main_at = text.find("main").unwrap();
+        let fib_at = text.find("fib").unwrap();
+        let init_at = text.find("init").unwrap();
+        assert!(main_at < fib_at && fib_at < init_at, "{text}");
+        // main's total merges all its stacks: 5 + 20 + 40 + 2.
+        assert!(text.contains("67"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn svg_nests_callees_under_callers() {
+        let svg = render_svg(&stacks());
+        assert!(svg.contains("main (67)"));
+        assert!(svg.contains("fib (60)"));
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn empty_input_renders_empty_outputs() {
+        assert_eq!(render_folded(&[]), "");
+        assert_eq!(render_text(&[]), "");
+        assert!(render_svg(&[]).starts_with("<svg"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-line heatmaps: source listings annotated with profile units.
+//!
+//! Input is plain `(line, units)` data from a profile report; rendering
+//! follows the [`crate::source`] listing idiom so tools can show the
+//! heatmap where they showed the plain listing.
+
+use crate::svg::SvgDoc;
+use std::fmt::Write as _;
+
+/// Options for heatmap rendering.
+#[derive(Debug, Clone, Default)]
+pub struct HeatmapView {
+    /// Title (usually the file name).
+    pub title: Option<String>,
+    /// Label for the unit column (e.g. `"ops"`, `"hits"`).
+    pub unit: Option<String>,
+}
+
+impl HeatmapView {
+    /// Sets the title (builder style).
+    #[must_use]
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Sets the unit-column label (builder style).
+    #[must_use]
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = Some(unit.into());
+        self
+    }
+
+    /// Renders an annotated listing: a unit count and a heat bar in
+    /// front of every line that has one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let text = viz::heatmap::HeatmapView::default()
+    ///     .render_text("a = 1\nb = 2", &[(2, 10)]);
+    /// assert!(text.contains("10"));
+    /// assert!(text.contains("| b = 2"));
+    /// ```
+    pub fn render_text(&self, source: &str, lines: &[(u32, u64)]) -> String {
+        const BAR: usize = 8;
+        let hottest = lines.iter().map(|&(_, u)| u).max().unwrap_or(0);
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let unit = self.unit.as_deref().unwrap_or("units");
+            let _ = writeln!(out, "── {t} ({unit}) ──");
+        }
+        for (i, line) in source.lines().enumerate() {
+            let n = (i + 1) as u32;
+            let units = lines
+                .iter()
+                .find(|&&(l, _)| l == n)
+                .map(|&(_, u)| u)
+                .unwrap_or(0);
+            if units == 0 {
+                let _ = writeln!(out, "{:>10} {} {n:>3} | {line}", "", " ".repeat(BAR));
+            } else {
+                let filled = ((units * BAR as u64).div_ceil(hottest.max(1)) as usize).min(BAR);
+                let bar = format!("{}{}", "▇".repeat(filled), " ".repeat(BAR - filled));
+                let _ = writeln!(out, "{units:>10} {bar} {n:>3} | {line}");
+            }
+        }
+        out
+    }
+
+    /// Renders the listing as SVG with heat-shaded line backgrounds.
+    pub fn render_svg(&self, source: &str, lines: &[(u32, u64)]) -> String {
+        const ROW: f64 = 15.0;
+        let hottest = lines.iter().map(|&(_, u)| u).max().unwrap_or(0);
+        let src_lines: Vec<&str> = source.lines().collect();
+        let mut doc = SvgDoc::new(520.0, 30.0 + src_lines.len() as f64 * ROW);
+        let mut y = 18.0;
+        if let Some(t) = &self.title {
+            doc.text(14.0, y, 12.0, "start", "black", t);
+            y += 18.0;
+        }
+        for (i, line) in src_lines.iter().enumerate() {
+            let n = (i + 1) as u32;
+            let ly = y + i as f64 * ROW;
+            let units = lines
+                .iter()
+                .find(|&&(l, _)| l == n)
+                .map(|&(_, u)| u)
+                .unwrap_or(0);
+            if units > 0 && hottest > 0 {
+                // Heat ramps white → red with intensity.
+                let heat = units as f64 / hottest as f64;
+                let chan = (255.0 - heat * 120.0) as u32;
+                let fill = format!("#ff{chan:02x}{chan:02x}");
+                doc.rect(10.0, ly - 11.0, 500.0, ROW, &fill, "none");
+                doc.text(118.0, ly, 9.0, "end", "#822", &units.to_string());
+            }
+            doc.text(130.0, ly, 10.0, "start", "#999", &format!("{n:>3}"));
+            doc.text(158.0, ly, 10.0, "start", "black", line);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int main() {\nint x = 1;\nreturn x;\n}";
+
+    #[test]
+    fn text_annotates_hot_lines_and_leaves_cold_ones_blank() {
+        let text = HeatmapView::default()
+            .with_title("t.c")
+            .with_unit("ops")
+            .render_text(SRC, &[(2, 40), (3, 10)]);
+        assert!(text.contains("── t.c (ops) ──"));
+        assert!(text.contains("40"), "{text}");
+        assert!(text.contains("| int x = 1;"));
+        // Line 1 has no units: no count in front of it.
+        let first = text.lines().nth(1).unwrap();
+        assert!(first.trim_start().starts_with("1 | int main"), "{first}");
+        // The hottest line has the longest bar.
+        let hot_bars = |l: &str| l.chars().filter(|&c| c == '▇').count();
+        let l2 = text.lines().nth(2).unwrap();
+        let l3 = text.lines().nth(3).unwrap();
+        assert!(hot_bars(l2) > hot_bars(l3), "{text}");
+    }
+
+    #[test]
+    fn svg_shades_by_heat() {
+        let svg = HeatmapView::default().render_svg(SRC, &[(2, 40), (3, 10)]);
+        // The hottest line gets the strongest shade.
+        assert!(svg.contains("#ff8787"), "{svg}");
+        assert!(svg.contains("int x = 1;"));
+    }
+
+    #[test]
+    fn empty_profile_renders_plain_listing() {
+        let text = HeatmapView::default().render_text(SRC, &[]);
+        assert_eq!(text.lines().count(), 4);
+        assert!(!text.contains('▇'));
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`calltree`] — the recursive-call tree of Fig. 8 (live/returned
 //!   nodes, return-value back edges), as DOT and as layered SVG;
 //! * [`memview`] — the registers + raw memory viewer of Fig. 7;
-//! * [`source`] — source listings with a current-line marker.
+//! * [`source`] — source listings with a current-line marker;
+//! * [`flame`] — collapsed-stack (`.folded`) and flamegraph renderers
+//!   over profile data;
+//! * [`heatmap`] — per-line heatmap listings over profile data.
 //!
 //! Every renderer also offers a plain-text mode so tools can run in
 //! terminals and tests can assert on output cheaply.
@@ -21,6 +24,8 @@
 pub mod array;
 pub mod calltree;
 pub mod dot;
+pub mod flame;
+pub mod heatmap;
 pub mod memview;
 pub mod source;
 pub mod stack;

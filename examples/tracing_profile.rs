@@ -1,7 +1,10 @@
 //! Profiling a debugging session (paper Fig. 8, §V): run the recursion
 //! workload under both the machine-interface tracker (MiniC behind
 //! serialized commands on a separate thread) and the in-process Python
-//! tracker, with every layer reporting into one shared `obs` registry.
+//! tracker, with every layer reporting into one shared `obs` registry —
+//! and the in-engine profiling plane armed, so where the *inferior*
+//! spends its time comes from [`easytracker::Tracker::profile`] instead
+//! of ad-hoc timing around the control loop.
 //!
 //! Produces:
 //!
@@ -10,7 +13,9 @@
 //!   (<https://ui.perfetto.dev>), or Speedscope;
 //! * a stats table on stdout — per-control-call latency histograms,
 //!   inspection counters, MI byte/frame accounting, and VM execution
-//!   counters — the numbers behind the paper's §V overhead discussion.
+//!   counters — the numbers behind the paper's §V overhead discussion;
+//! * a hot-function summary per tracker, drained from the in-engine
+//!   counting profiler.
 //!
 //! Run with: `cargo run --example tracing_profile`
 
@@ -38,13 +43,16 @@ print('fib(8) =', r)
 ";
 
 /// The Fig. 8 session: track the recursive function, resume across every
-/// call/return boundary, snapshot the state at each pause.
+/// call/return boundary, snapshot the state at each pause. The counting
+/// profiler rides along in the engine, so the drained report attributes
+/// the inferior's own work exactly.
 fn profile_one(
     session: &obs::Session,
     file: &str,
     source: &str,
-) -> Result<(u32, u32), easytracker::TrackerError> {
+) -> Result<(u32, u32, obs::ProfileReport), easytracker::TrackerError> {
     let mut tracker = init_tracker_with_registry(file, source, session.registry())?;
+    tracker.set_profile(obs::ProfileMode::Counting, 0)?;
     tracker.start()?;
     tracker.track_function("fib", None)?;
     let (mut calls, mut returns) = (0, 0);
@@ -63,8 +71,18 @@ fn profile_one(
         }
     }
     tracker.get_output()?;
+    let report = tracker.profile()?;
     tracker.terminate();
-    Ok((calls, returns))
+    Ok((calls, returns, report))
+}
+
+fn hot_summary(report: &obs::ProfileReport) -> String {
+    report
+        .top_self(3)
+        .iter()
+        .map(|(name, units)| format!("{name} {units}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -72,11 +90,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a single profile, distinguished by metric names and thread ids.
     let session = obs::Session::new();
 
-    let (c_calls, c_returns) = profile_one(&session, "fib.c", C_PROG)?;
+    let (c_calls, c_returns, c_report) = profile_one(&session, "fib.c", C_PROG)?;
     println!("MiTracker  (fib.c):  {c_calls} calls, {c_returns} returns observed");
+    println!("  hot functions (self ops): {}", hot_summary(&c_report));
 
-    let (py_calls, py_returns) = profile_one(&session, "fib.py", PY_PROG)?;
+    let (py_calls, py_returns, py_report) = profile_one(&session, "fib.py", PY_PROG)?;
     println!("PyTracker  (fib.py): {py_calls} calls, {py_returns} returns observed");
+    println!("  hot functions (self lines): {}", hot_summary(&py_report));
 
     let snap = session.snapshot();
     println!("\n{}", snap.render_table());

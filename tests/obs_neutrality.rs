@@ -12,8 +12,9 @@ const PY_PROG: &str =
 
 /// Runs the same control script on a tracker and returns everything a tool
 /// could observe, serialized: pause reasons, full state snapshots, output
-/// and the exit code.
-fn observe(tracker: &mut dyn Tracker) -> Vec<String> {
+/// and the exit code. Does not terminate, so callers can drain diagnostics
+/// (like a profile) after the fact.
+fn run_script(tracker: &mut dyn Tracker) -> Vec<String> {
     let mut log = Vec::new();
     let r = tracker.start().unwrap();
     log.push(format!("start: {r}"));
@@ -32,8 +33,27 @@ fn observe(tracker: &mut dyn Tracker) -> Vec<String> {
     }
     log.push(format!("exit: {:?}", tracker.get_exit_code()));
     log.push(format!("output: {:?}", tracker.get_output().unwrap()));
+    log
+}
+
+fn observe(tracker: &mut dyn Tracker) -> Vec<String> {
+    let log = run_script(tracker);
     tracker.terminate();
     log
+}
+
+/// [`run_script`] with the in-engine profiler armed before start; returns
+/// the observation log plus the drained profile.
+fn observe_profiled(
+    tracker: &mut dyn Tracker,
+    mode: obs::ProfileMode,
+    period: u64,
+) -> (Vec<String>, obs::ProfileReport) {
+    tracker.set_profile(mode, period).unwrap();
+    let log = run_script(tracker);
+    let report = tracker.profile().unwrap();
+    tracker.terminate();
+    (log, report)
 }
 
 fn run_plain(file: &str, source: &str) -> Vec<String> {
@@ -169,6 +189,63 @@ fn replay_states_identical_with_and_without_obs() {
     let plain = run_plain("n.json", &json);
     let traced = run_with("n.json", &json, &obs::Session::new());
     assert_eq!(plain, traced);
+}
+
+/// The profiling plane is observation only: arming the counting profiler
+/// must not change a single bit of what the control script observes — on
+/// the MiniC tracker, the MiniPy tracker, *and* a replay of the same
+/// session — while still producing a real profile.
+#[test]
+fn profiling_is_behavior_neutral_across_trackers() {
+    for (file, source) in [("n.c", C_PROG), ("n.py", PY_PROG)] {
+        let plain = run_plain(file, source);
+        let mut t = init_tracker(file, source).unwrap();
+        let (profiled, report) = observe_profiled(&mut *t, obs::ProfileMode::Counting, 0);
+        assert_eq!(plain, profiled, "profiler perturbed the {file} session");
+        assert!(!report.is_empty(), "{file} profile came back empty");
+        let square = report
+            .functions
+            .iter()
+            .find(|f| f.name == "square")
+            .expect("square profiled");
+        assert_eq!(square.calls, 3, "{file}");
+    }
+
+    // Replay: the derived profile must ride along without perturbing the
+    // replayed observation either.
+    let mut live = init_tracker("n.c", C_PROG).unwrap();
+    let rec = easytracker::Recording::capture(&mut *live).unwrap();
+    live.terminate();
+    let json = rec.to_json().unwrap();
+    let plain = run_plain("n.json", &json);
+    let mut t = init_tracker("n.json", &json).unwrap();
+    let (profiled, report) = observe_profiled(&mut *t, obs::ProfileMode::Counting, 0);
+    assert_eq!(plain, profiled, "profiler perturbed the replay session");
+    assert!(report.functions.iter().any(|f| f.name == "square"));
+}
+
+/// Sampling runs on a deterministic unit clock seeded from a fixed
+/// constant: two runs of the same program with the same period must
+/// produce bit-identical profiles — and still observe the same session.
+#[test]
+fn sampling_profiles_are_deterministic() {
+    for (file, source) in [("n.c", C_PROG), ("n.py", PY_PROG)] {
+        let plain = run_plain(file, source);
+        let run = || {
+            let mut t = init_tracker(file, source).unwrap();
+            observe_profiled(&mut *t, obs::ProfileMode::Sampling, 4)
+        };
+        let (log_a, rep_a) = run();
+        let (log_b, rep_b) = run();
+        assert_eq!(plain, log_a, "sampling perturbed the {file} session");
+        assert_eq!(log_a, log_b);
+        assert_eq!(
+            serde_json::to_string(&rep_a).unwrap(),
+            serde_json::to_string(&rep_b).unwrap(),
+            "sampling profile not reproducible for {file}"
+        );
+        assert!(rep_a.samples > 0, "{file} took no samples");
+    }
 }
 
 #[test]

@@ -209,6 +209,59 @@ fn telemetry_drains_stay_journal_safe_across_a_respawn() {
     t.terminate();
 }
 
+/// A respawned engine re-arms the profiler from the journal: `SetProfile`
+/// is journaled as configuration and replayed before `Start`, so the
+/// re-executed session profiles from unit zero and the drained report at
+/// exit matches a fault-free run exactly.
+#[test]
+fn respawned_sessions_rearm_the_profiler_from_the_journal() {
+    let Some(server) = conformance::mi_server_bin() else {
+        panic!("mi_server binary not found or buildable");
+    };
+    let run_to_exit = |t: &mut MiTracker| {
+        let mut reason = t.resume().expect("resume");
+        while reason.is_alive() {
+            reason = t.resume().expect("resume");
+        }
+    };
+    let script = |t: &mut MiTracker, kill: bool| -> obs::ProfileReport {
+        t.set_profile(obs::ProfileMode::Counting, 0)
+            .expect("arm profiler");
+        t.start().expect("start");
+        t.step().expect("step");
+        if kill {
+            let pid = t.engine_pid().expect("pid");
+            signal(pid, "-KILL");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        run_to_exit(t);
+        let report = t.profile().expect("profile");
+        t.terminate();
+        report
+    };
+    let load = || {
+        MiTracker::load_spec(
+            ProgramSpec::c("sup.c", PROGRAM).via_server(&server),
+            obs::Registry::new(),
+            fast_supervision(),
+            None,
+        )
+        .expect("load")
+    };
+
+    let reference = script(&mut load(), false);
+    assert!(!reference.is_empty(), "reference run produced a profile");
+
+    let mut t = load();
+    let recovered = script(&mut t, true);
+    assert_eq!(t.respawns(), 1, "the kill forced exactly one respawn");
+    assert_eq!(
+        serde_json::to_string(&recovered).expect("serialize"),
+        serde_json::to_string(&reference).expect("serialize"),
+        "the respawned engine re-armed the profiler and re-counted the session"
+    );
+}
+
 /// SIGSTOP stall: the stalled engine expires the per-command deadline —
 /// the call returns within a bound instead of blocking forever — then the
 /// heartbeat confirms the boundary is wedged and a respawn repairs it.
