@@ -1,0 +1,298 @@
+//! Multi-session load bench: hundreds-to-thousands of concurrent
+//! supervised sessions through ONE `mi-server --host` process.
+//!
+//! Each session is a full [`MiTracker`] (supervision, journal, flight
+//! recorder) deployed via [`ProgramSpec::via_host`], driven through a
+//! realistic teaching-tool script: a mix of stepping, state inspection,
+//! and breakpoint/function-tracking work, over programs produced by the
+//! conformance generators plus the fixed fib workload. A small pool of
+//! driver threads advances its sessions round-robin, one command per
+//! pass — so at any instant the host holds *all* sessions open (mostly
+//! parked) while a bounded number of commands are in flight, exactly
+//! the shape of a classroom of debugger frontends sharing one backend.
+//!
+//! Reported (to stdout and `BENCH_sessions.json`):
+//!
+//! * p50/p95/p99 pause latency (control commands: start/step/resume),
+//!   via [`obs::Histogram::quantile`] over per-driver histograms merged
+//!   at the end;
+//! * command throughput (all commands / drive wall time);
+//! * sessions per host worker core.
+//!
+//! Run with: `cargo run --release -p bench --bin bench_sessions`
+//! CI gate:  `... --bin bench_sessions -- --sessions 64 --check 500`
+//! exits nonzero when p99 pause latency exceeds 500ms.
+
+use easytracker::{MiTracker, PauseReason, ProgramSpec, Supervision, Tracker};
+use mi::{HostHandle, SessionHost};
+use obs::Histogram;
+use serde_json::json;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One session's script kind: the step/inspect/breakpoint mixes the
+/// conformance suite drives, assigned round-robin across sessions.
+enum Script {
+    /// Step through a generated program, inspecting every 4th pause.
+    StepInspect,
+    /// Line breakpoint + resume-to-pause + inspect at each hit.
+    Breakpoint,
+    /// Track a recursive function, inspect the frame at each call.
+    TrackCalls,
+}
+
+/// One live session under load: its tracker, its script, and how many
+/// commands it has left. Done sessions stay open (parked in the host)
+/// until the measured phase ends — the point is concurrent *sessions*,
+/// not concurrent commands.
+struct LoadSession {
+    tracker: MiTracker,
+    script: Script,
+    ops_left: u32,
+    step: u64,
+    exited: bool,
+}
+
+impl LoadSession {
+    fn open(host: &HostHandle, index: usize, ops: u32) -> Self {
+        let script = match index % 3 {
+            0 => Script::StepInspect,
+            1 => Script::Breakpoint,
+            _ => Script::TrackCalls,
+        };
+        let (file, source) = match script {
+            // Generated programs give the stepper mix real diversity;
+            // a handful of seeds is plenty (the host compiles each).
+            Script::StepInspect => {
+                let program = conformance::gen::gen_program(0x5e55 + (index % 8) as u64);
+                (
+                    format!("gen{}.c", index % 8),
+                    conformance::gen::render_c(&program),
+                )
+            }
+            Script::Breakpoint | Script::TrackCalls => ("fib.c".to_owned(), bench::c_fib(6)),
+        };
+        let spec = ProgramSpec::c(&file, &source).via_host(host);
+        let tracker =
+            MiTracker::load_spec(spec, obs::Registry::new(), Supervision::default(), None)
+                .expect("workload compiles");
+        LoadSession {
+            tracker,
+            script,
+            ops_left: ops,
+            step: 0,
+            exited: false,
+        }
+    }
+
+    /// Arms the script's control points and starts the inferior. Pause
+    /// latencies land in `hist` (nanoseconds).
+    fn begin(&mut self, hist: &mut Histogram) {
+        match self.script {
+            Script::StepInspect => {}
+            Script::Breakpoint => {
+                self.tracker.break_before_func("fib", None).expect("break");
+            }
+            Script::TrackCalls => {
+                self.tracker.track_function("fib", None).expect("track");
+            }
+        }
+        let t0 = Instant::now();
+        let reason = self.tracker.start().expect("start");
+        hist.record(t0.elapsed().as_nanos() as u64);
+        if matches!(reason, PauseReason::Exited(_)) {
+            self.exited = true;
+        }
+    }
+
+    /// Advances the session by one command; returns false once the
+    /// script is exhausted or the inferior exited. Control-command
+    /// latency goes to `hist`; inspection commands count toward
+    /// throughput but not pause latency.
+    fn advance(&mut self, hist: &mut Histogram, commands: &mut u64) -> bool {
+        if self.exited || self.ops_left == 0 {
+            return false;
+        }
+        self.ops_left -= 1;
+        self.step += 1;
+        *commands += 1;
+        let inspect = self.step.is_multiple_of(4);
+        let t0 = Instant::now();
+        let reason = match self.script {
+            Script::StepInspect => self.tracker.step(),
+            Script::Breakpoint | Script::TrackCalls => self.tracker.resume(),
+        }
+        .expect("control command");
+        hist.record(t0.elapsed().as_nanos() as u64);
+        if matches!(reason, PauseReason::Exited(_)) {
+            self.exited = true;
+            return false;
+        }
+        if inspect {
+            *commands += 1;
+            let state = self.tracker.get_state().expect("inspect");
+            std::hint::black_box(state.frame.name());
+        }
+        true
+    }
+}
+
+struct DriveResult {
+    hist: Histogram,
+    commands: u64,
+}
+
+/// Drives `chunk` round-robin until every session's script is done.
+fn drive(mut chunk: Vec<LoadSession>) -> DriveResult {
+    let mut hist = Histogram::new();
+    let mut commands = 0u64;
+    for s in &mut chunk {
+        commands += 1;
+        s.begin(&mut hist);
+    }
+    let mut live = true;
+    while live {
+        live = false;
+        for s in &mut chunk {
+            if s.advance(&mut hist, &mut commands) {
+                live = true;
+            }
+        }
+    }
+    // Scripts are done, sessions stay open: close them only after the
+    // measured phase (the caller terminates via drop order below).
+    for s in &mut chunk {
+        s.tracker.terminate();
+    }
+    DriveResult { hist, commands }
+}
+
+fn main() {
+    let mut sessions = 1000usize;
+    let mut workers = 4usize;
+    let mut drivers = 8usize;
+    let mut ops = 12u32;
+    let mut check: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} takes a number"))
+        };
+        match arg.as_str() {
+            "--sessions" => sessions = num("--sessions") as usize,
+            "--workers" => workers = num("--workers") as usize,
+            "--drivers" => drivers = num("--drivers") as usize,
+            "--ops" => ops = num("--ops") as u32,
+            "--check" => check = Some(num("--check")),
+            other => {
+                eprintln!("bench_sessions: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    drivers = drivers.clamp(1, sessions.max(1));
+
+    // One host process for everything; in-process host as the fallback
+    // so the bench still runs where the server binary is not built.
+    let server = conformance::mi_server_bin();
+    let (host, deployment, _local) = match &server {
+        Some(bin) => (
+            HostHandle::spawn_process(bin, workers).expect("spawn host"),
+            "mi-server --host child process",
+            None,
+        ),
+        None => {
+            let local = SessionHost::new(workers);
+            (
+                HostHandle::connect_in_process(&local),
+                "in-process host",
+                Some(local),
+            )
+        }
+    };
+    eprintln!(
+        "bench_sessions: {sessions} sessions x {ops} ops, {workers} host workers, \
+         {drivers} drivers, over {deployment}"
+    );
+
+    // Phase 1: open every session (compile + session-table insert).
+    let open_begin = Instant::now();
+    let mut all: Vec<LoadSession> = (0..sessions)
+        .map(|i| LoadSession::open(&host, i, ops))
+        .collect();
+    let open_elapsed = open_begin.elapsed();
+    eprintln!(
+        "bench_sessions: {sessions} sessions open in {}ms",
+        open_elapsed.as_millis()
+    );
+
+    // Phase 2: drive them all concurrently from the driver pool.
+    let mut chunks: Vec<Vec<LoadSession>> = Vec::new();
+    for _ in 0..drivers {
+        chunks.push(Vec::new());
+    }
+    for (i, s) in all.drain(..).enumerate() {
+        chunks[i % drivers].push(s);
+    }
+    let results: Mutex<Vec<DriveResult>> = Mutex::new(Vec::new());
+    let drive_begin = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(|| {
+                let r = drive(chunk);
+                results.lock().expect("results").push(r);
+            });
+        }
+    });
+    let drive_elapsed = drive_begin.elapsed();
+
+    let mut pause = Histogram::new();
+    let mut commands = 0u64;
+    for r in results.into_inner().expect("results") {
+        pause.merge(&r.hist);
+        commands += r.commands;
+    }
+    let p50_us = pause.quantile(0.50) / 1_000;
+    let p95_us = pause.quantile(0.95) / 1_000;
+    let p99_us = pause.quantile(0.99) / 1_000;
+    let throughput = commands as f64 / drive_elapsed.as_secs_f64();
+    let sessions_per_core = sessions as f64 / workers as f64;
+
+    let doc = json!({
+        "workload": "step/inspect/breakpoint teaching-tool mix (conformance-generated + fib)",
+        "deployment": deployment,
+        "sessions": sessions,
+        "ops_per_session": ops,
+        "host_workers": workers,
+        "driver_threads": drivers,
+        "open_ms": open_elapsed.as_millis() as u64,
+        "drive_ms": drive_elapsed.as_millis() as u64,
+        "commands": commands,
+        "commands_per_sec": format!("{throughput:.0}"),
+        "pause_count": pause.count(),
+        "pause_p50_us": p50_us,
+        "pause_p95_us": p95_us,
+        "pause_p99_us": p99_us,
+        "pause_max_us": pause.max() / 1_000,
+        "sessions_per_core": format!("{sessions_per_core:.1}"),
+    });
+    std::fs::write("BENCH_sessions.json", format!("{doc}\n")).expect("write BENCH_sessions.json");
+    println!(
+        "{sessions} sessions | pause p50 {p50_us}us p95 {p95_us}us p99 {p99_us}us | \
+         {throughput:.0} cmd/s | {sessions_per_core:.1} sessions/core"
+    );
+    println!("wrote BENCH_sessions.json");
+
+    if let Some(budget_ms) = check {
+        let p99_ms = p99_us / 1_000;
+        if p99_ms > budget_ms {
+            eprintln!(
+                "bench_sessions: p99 pause latency {p99_ms}ms exceeds the {budget_ms}ms budget"
+            );
+            std::process::exit(1);
+        }
+        println!("p99 pause latency {p99_ms}ms within the {budget_ms}ms budget");
+    }
+}

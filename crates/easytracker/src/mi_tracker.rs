@@ -61,7 +61,7 @@ use crate::{ControlPointId, LowLevel, Result, Tracker, TrackerError};
 use mi::protocol::{Command, Response};
 use mi::supervise::jittered_backoff;
 use mi::transport::PumpedTransport;
-use mi::{CommandPort, MiError, SupervisePolicy, SupervisedClient};
+use mi::{CommandPort, HostHandle, MiError, SupervisePolicy, SupervisedClient};
 use state::{Frame, PauseReason, ProgramState, Variable};
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
@@ -163,6 +163,9 @@ enum Deploy {
     InProcess,
     /// `mi-server` child process over stdio pipes.
     Process { server_bin: PathBuf },
+    /// One session inside a shared multi-session host (`mi-server
+    /// --host`): many trackers multiplex over one engine process.
+    Host { host: HostHandle },
 }
 
 /// The declarative half of the session manifest: everything needed to
@@ -205,6 +208,16 @@ impl ProgramSpec {
         };
         self
     }
+
+    /// Moves the engine into a session of the shared multi-session
+    /// `host`: the tracker opens (and on recovery re-opens) one session
+    /// inside the host child instead of owning a dedicated process. The
+    /// handle is cheap to clone, so any number of specs can share one
+    /// host.
+    pub fn via_host(mut self, host: &HostHandle) -> Self {
+        self.deploy = Deploy::Host { host: host.clone() };
+        self
+    }
 }
 
 /// One replayable step of the session journal.
@@ -238,6 +251,10 @@ enum EngineKind {
         /// Temp dir holding the shipped source; removed on teardown.
         scratch: Option<PathBuf>,
     },
+    /// One session inside a shared host child. Teardown closes the
+    /// session (never the host — other trackers may be using it);
+    /// liveness classification consults the host process.
+    HostSession { host: HostHandle, session: u64 },
     /// An opaque port from [`MiTracker::from_port`]; nothing to tear
     /// down or respawn.
     External,
@@ -477,6 +494,40 @@ impl MiTracker {
         )
     }
 
+    /// Opens a MiniC session inside a shared multi-session host: the
+    /// tracker shares one `mi-server --host` child with every other
+    /// tracker holding a clone of `host`, instead of owning a dedicated
+    /// process. All supervision semantics carry over — a dead session is
+    /// re-opened inside the host and replayed from the journal; a dead
+    /// host child is respawned and the session re-established in it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] if the program does not compile or
+    /// the host cannot be (re)spawned.
+    pub fn load_c_hosted(host: &HostHandle, file: &str, source: &str) -> Result<Self> {
+        Self::load_spec(
+            ProgramSpec::c(file, source).via_host(host),
+            obs::Registry::new(),
+            Supervision::default(),
+            None,
+        )
+    }
+
+    /// Like [`MiTracker::load_c_hosted`], for RISC-V assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrackerError::Load`] on assembly or host-spawn failure.
+    pub fn load_asm_hosted(host: &HostHandle, file: &str, source: &str) -> Result<Self> {
+        Self::load_spec(
+            ProgramSpec::asm(file, source).via_host(host),
+            obs::Registry::new(),
+            Supervision::default(),
+            None,
+        )
+    }
+
     fn build_backend(
         spec: &ProgramSpec,
         registry: &obs::Registry,
@@ -501,6 +552,24 @@ impl MiTracker {
                 (Box::new(client), EngineKind::Thread { handle })
             }
             Deploy::Process { server_bin } => Self::spawn_server(server_bin, spec, registry)?,
+            Deploy::Host { host } => {
+                // `open_session` respawns a dead host child once before
+                // retrying, so a host crash heals here: every tracker
+                // recovering through build_backend re-establishes its
+                // own session inside the respawned process.
+                let mut handle = host
+                    .open_session(&spec.file, &spec.source, cfg.deadline)
+                    .map_err(|e| TrackerError::Load(e.to_string()))?;
+                handle.set_registry(registry.clone());
+                let session = handle.session_id();
+                (
+                    Box::new(handle),
+                    EngineKind::HostSession {
+                        host: host.clone(),
+                        session,
+                    },
+                )
+            }
         };
         let port = match wrapper {
             Some(w) => w(base),
@@ -602,6 +671,23 @@ impl MiTracker {
                 engine: EngineKind::Child { child, .. },
                 ..
             }) => Some(child.id()),
+            Some(Backend {
+                engine: EngineKind::HostSession { host, .. },
+                ..
+            }) => host.host_pid(),
+            _ => None,
+        }
+    }
+
+    /// The host-assigned session id, for trackers deployed into a shared
+    /// multi-session host. Chaos tests use this to kill one session out
+    /// from under its tracker without touching the host's other tenants.
+    pub fn host_session_id(&self) -> Option<u64> {
+        match &self.backend {
+            Some(Backend {
+                engine: EngineKind::HostSession { session, .. },
+                ..
+            }) => Some(*session),
             _ => None,
         }
     }
@@ -847,6 +933,10 @@ impl MiTracker {
                 engine: EngineKind::Child { stderr, .. },
                 ..
             }) => Some(stderr.lock().unwrap().clone()),
+            Some(Backend {
+                engine: EngineKind::HostSession { host, .. },
+                ..
+            }) => host.engine_died().map(|(_, stderr)| stderr),
             _ => None,
         }
     }
@@ -875,6 +965,9 @@ impl MiTracker {
                     let _ = std::fs::remove_dir_all(dir);
                 }
             }
+            // Close only this tracker's session; the host process (and
+            // every other tenant in it) stays up.
+            EngineKind::HostSession { host, session } => host.close_session(session),
             EngineKind::External => {}
         }
     }
@@ -1122,16 +1215,23 @@ fn tail_stderr(mut stderr: std::process::ChildStderr) -> Arc<Mutex<String>> {
 /// child process is confirmed gone, attaching its exit status and stderr
 /// tail.
 fn classify_failure(e: MiError, engine: &mut EngineKind) -> MiError {
-    let EngineKind::Child { child, stderr, .. } = engine else {
-        return e;
-    };
     if !matches!(e, MiError::Disconnected | MiError::Timeout) {
         return e;
     }
-    match child.try_wait() {
-        Ok(Some(status)) => MiError::EngineDied {
-            exit: status.code(),
-            stderr: stderr.lock().unwrap().clone(),
+    match engine {
+        EngineKind::Child { child, stderr, .. } => match child.try_wait() {
+            Ok(Some(status)) => MiError::EngineDied {
+                exit: status.code(),
+                stderr: stderr.lock().unwrap().clone(),
+            },
+            _ => e,
+        },
+        // Under a shared host the failure may be session-scoped (the
+        // host is fine, only this session ended) or process-scoped; only
+        // a confirmed-dead host child upgrades to EngineDied.
+        EngineKind::HostSession { host, .. } => match host.engine_died() {
+            Some((exit, stderr)) => MiError::EngineDied { exit, stderr },
+            None => e,
         },
         _ => e,
     }
@@ -1235,6 +1335,10 @@ impl Tracker for MiTracker {
                     let _ = std::fs::remove_dir_all(dir);
                 }
             }
+            // The bounded Terminate above already ended the session
+            // server-side; closing releases the client route and (best
+            // effort) the host's slot. The host itself keeps serving.
+            EngineKind::HostSession { host, session } => host.close_session(session),
             EngineKind::External => {}
         }
     }

@@ -667,6 +667,10 @@ impl Engine for AsmEngine {
                 Response::Telemetry(Box::new(frame))
             }
             Command::Terminate => Response::Ok,
+            // Session management is the host's job, not an engine's.
+            Command::OpenSession { .. } | Command::CloseSession { .. } => Response::Error {
+                message: "session commands are handled by the host, not an engine".into(),
+            },
         }
     }
 }

@@ -24,16 +24,20 @@
 //! printed as one marked stderr line, which the tracker's stderr tail
 //! capture carries into the post-mortem dump.
 
-use mi::transport::StreamTransport;
-use mi::{asm_engine::AsmEngine, minic_engine::MinicEngine, Server};
+use mi::transport::{StreamFrameRx, StreamFrameTx, StreamTransport};
+use mi::{asm_engine::AsmEngine, minic_engine::MinicEngine, Server, SessionHost};
 use std::io::{stdin, stdout, Read};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: mi-server <program.c|program.s> [logical-name]");
+        eprintln!("usage: mi-server <program.c|program.s> [logical-name] | mi-server --host [--workers N]");
         std::process::exit(2);
     };
+    if path == "--host" {
+        host_main(args);
+        return;
+    }
     let logical = args.next();
     // `-` reads the program from a leading source block on stdin is not
     // supported (frames own stdin); require a file path.
@@ -92,6 +96,37 @@ fn main() {
         eprintln!("mi-server: transport failure: {e}");
         std::process::exit(3);
     }
+}
+
+/// `mi-server --host [--workers N]`: the multi-session mode. Programs
+/// arrive inside `OpenSession` frames (no filesystem involved), many
+/// sessions multiplex over the one stdio connection, and a worker pool
+/// drives them. Exits 0 when the peer closes stdin — a connection
+/// dying is a *per-session* end under the host, never the exit-3
+/// transport-failure path of the single-session mode.
+fn host_main(mut args: impl Iterator<Item = String>) {
+    let mut workers = 4usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("mi-server: --workers takes a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("mi-server: unknown host option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let host = SessionHost::new(workers);
+    let conn = host.accept(
+        StreamFrameRx::new(LockedStdin),
+        StreamFrameTx::new(stdout()),
+    );
+    conn.join();
+    host.shutdown();
 }
 
 /// `Stdin` is not `Read` by value without locking games; a tiny adapter.

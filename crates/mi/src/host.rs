@@ -1,0 +1,1442 @@
+//! The multi-session MI host: one engine process, many supervised
+//! sessions.
+//!
+//! The paper's deployment shape — one tracker, one `mi-server` child —
+//! caps a machine at tens of concurrent users, because every session
+//! pays a whole OS process. [`SessionHost`] multiplexes instead: a
+//! session table keyed by the `session` id carried in the
+//! sequence-numbered [`CommandFrame`] envelope, an acceptor that takes
+//! any number of client connections, and a small worker pool (N OS
+//! threads driving M sessions via a run queue). A session with no
+//! pending commands is *parked* — a table entry holding its engine, not
+//! a blocked thread — so thousands of idle sessions cost memory only.
+//!
+//! ```text
+//!  conn A ──reader──┐                   ┌─ worker 0 ─┐
+//!  conn B ──reader──┼─► session table ──┤  run queue │──► engines
+//!  conn C ──reader──┘   (parked M)      └─ worker N ─┘
+//! ```
+//!
+//! Per session the host keeps an engine, an [`obs::Registry`] and export
+//! ring of its own (so `Telemetry{since}` and `ProfileReport{since}`
+//! cursors never bleed across sessions), and the last sequence number it
+//! served (so duplicated or stale frames are rejected with typed errors
+//! instead of desynchronizing the stream). Sessions belong to the
+//! connection that opened them; a frame addressing another connection's
+//! session is refused.
+//!
+//! Failure routing is per-session, never host-fatal: a connection whose
+//! transport dies takes down *its* sessions (each ended like a
+//! [`crate::ServeEnd::PeerClosed`] single-session serve) while every
+//! other connection keeps being served. The client side
+//! ([`HostHandle`] / [`SessionHandle`]) preserves the PR 3 supervision
+//! contract: a dead session is reopened *inside* the host by the
+//! tracker's journal replay, and a dead host process is respawned whole,
+//! after which each tracker re-establishes its own session.
+
+use crate::protocol::{Command, CommandFrame, Response, ResponseFrame};
+use crate::server::{CommandPort, Engine};
+use crate::transport::{FrameRx, FrameTx, StreamFrameRx, StreamFrameTx, TransportCounters};
+use crate::MiError;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead as _, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A connection's send half, shared between the acceptor (typed errors)
+/// and every worker serving one of its sessions.
+type SharedTx = Arc<Mutex<Box<dyn FrameTx>>>;
+
+/// One queued command for a parked or running session.
+struct Job {
+    seq: u64,
+    trace: Option<obs::TraceContext>,
+    cmd: Command,
+}
+
+/// The per-session state a worker takes ownership of while serving.
+struct SessionState {
+    engine: Box<dyn Engine + Send>,
+    /// Session-private registry: `mi.server.cmd.*` counters and VM spans
+    /// land here, and *only* this session's `Telemetry` drains read it.
+    registry: obs::Registry,
+    /// Session-private export ring backing event drains. Independent
+    /// rings are what keep `Telemetry{since}` cursors per-session: one
+    /// shared ring would interleave every session's events under one
+    /// index space and bleed reads across drains.
+    export: Arc<obs::ExportSink>,
+}
+
+/// A session-table slot. `state` is `Some` while parked, `None` while a
+/// worker is driving the session.
+struct SessionSlot {
+    conn: u64,
+    tx: SharedTx,
+    queue: VecDeque<Job>,
+    running: bool,
+    /// Close requested (explicitly or by connection death) while a
+    /// worker held the state; the worker removes the slot when done and
+    /// counts the end under this label.
+    closed: Option<&'static str>,
+    /// Highest sequence number accepted so far; lower or equal is a
+    /// duplicate/stale frame and is refused with a typed error.
+    last_seq: Option<u64>,
+    state: Option<Box<SessionState>>,
+}
+
+enum Work {
+    Run(u64),
+    Stop,
+}
+
+/// The run queue feeding the worker pool: a plain FIFO of runnable
+/// session ids, multi-producer (acceptor threads) and multi-consumer
+/// (workers). Fairness comes from FIFO order plus the one-batch-per-
+/// wakeup worker loop: a chatty session goes to the back of the line
+/// after each batch.
+struct RunQueue {
+    q: Mutex<VecDeque<Work>>,
+    cv: std::sync::Condvar,
+}
+
+impl RunQueue {
+    fn new() -> Self {
+        RunQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn push(&self, w: Work) {
+        self.q.lock().expect("run queue").push_back(w);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Work {
+        let mut q = self.q.lock().expect("run queue");
+        loop {
+            if let Some(w) = q.pop_front() {
+                return w;
+            }
+            q = self.cv.wait(q).expect("run queue");
+        }
+    }
+}
+
+struct HostShared {
+    sessions: Mutex<HashMap<u64, SessionSlot>>,
+    run_queue: RunQueue,
+    next_session: AtomicU64,
+    registry: obs::Registry,
+}
+
+/// The session host: session table + acceptor + worker pool.
+pub struct SessionHost {
+    shared: Arc<HostShared>,
+    workers: Vec<JoinHandle<()>>,
+    next_conn: AtomicU64,
+}
+
+/// Handle to one accepted connection; dropping it detaches the reader
+/// thread (which exits on its own when the peer closes).
+pub struct ConnHandle {
+    /// Host-assigned connection id.
+    pub id: u64,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ConnHandle {
+    /// Blocks until the connection's reader thread exits (peer closed
+    /// or transport failed). The `mi-server --host` binary joins its
+    /// stdio connection here.
+    pub fn join(mut self) {
+        if let Some(h) = self.join.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl SessionHost {
+    /// Creates a host with `workers` OS threads and a private registry.
+    pub fn new(workers: usize) -> Self {
+        Self::with_registry(workers, obs::Registry::new())
+    }
+
+    /// Like [`SessionHost::new`], but host-level metrics (session opens
+    /// and ends, rejected frames, malformed traffic) land in `registry`.
+    pub fn with_registry(workers: usize, registry: obs::Registry) -> Self {
+        let shared = Arc::new(HostShared {
+            sessions: Mutex::new(HashMap::new()),
+            run_queue: RunQueue::new(),
+            next_session: AtomicU64::new(1),
+            registry,
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("mi-host-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn host worker")
+            })
+            .collect();
+        SessionHost {
+            shared,
+            workers,
+            next_conn: AtomicU64::new(1),
+        }
+    }
+
+    /// Host-level metrics registry.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.shared.registry
+    }
+
+    /// Number of open sessions across all connections.
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions.lock().expect("session table").len()
+    }
+
+    /// Accepts one client connection: a reader thread pumps its frames
+    /// into the session table until the transport dies or the peer
+    /// closes, at which point the connection's sessions end
+    /// individually and every other connection keeps being served.
+    pub fn accept<R, T>(&self, rx: R, tx: T) -> ConnHandle
+    where
+        R: FrameRx + 'static,
+        T: FrameTx + 'static,
+    {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let shared = self.shared.clone();
+        let shared_tx: SharedTx = Arc::new(Mutex::new(Box::new(tx)));
+        let mut rx: Box<dyn FrameRx> = Box::new(rx);
+        let join = std::thread::Builder::new()
+            .name(format!("mi-host-conn-{id}"))
+            .spawn(move || conn_reader(&shared, id, &mut rx, &shared_tx))
+            .expect("spawn host connection reader");
+        ConnHandle {
+            id,
+            join: Some(join),
+        }
+    }
+
+    /// Stops the worker pool and joins it. Reader threads exit on their
+    /// own when their peers close.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        for _ in &self.workers {
+            self.shared.run_queue.push(Work::Stop);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SessionHost {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Serializes and ships one response frame on a connection. A failed
+/// send means the connection is gone; the caller treats that like a
+/// peer close for whatever session it was serving.
+fn reply(tx: &SharedTx, frame: &ResponseFrame) -> Result<(), MiError> {
+    let bytes = serde_json::to_vec(frame).expect("responses always serialize");
+    tx.lock().expect("connection writer").send(&bytes)
+}
+
+fn typed_error(seq: u64, session: Option<u64>, message: String) -> ResponseFrame {
+    ResponseFrame {
+        seq,
+        resp: Response::Error { message },
+        session,
+    }
+}
+
+/// The typed liveness rejection: the addressed session no longer exists
+/// (or is on its way out). Distinct from [`typed_error`] so the client
+/// can treat it as engine loss — supervision then re-opens the session
+/// and replays its journal — rather than as a command failure.
+fn session_gone(seq: u64, sid: u64) -> ResponseFrame {
+    ResponseFrame {
+        seq,
+        resp: Response::SessionGone { session: sid },
+        session: Some(sid),
+    }
+}
+
+/// One connection's reader loop: decode, route control commands inline,
+/// enqueue session commands, and on transport death end this
+/// connection's sessions — never the host.
+fn conn_reader(shared: &Arc<HostShared>, conn: u64, rx: &mut dyn FrameRx, tx: &SharedTx) {
+    loop {
+        let frame = match rx.recv() {
+            Ok(frame) => frame,
+            Err(MiError::Codec(m)) => {
+                // Framing-level garbage: report on this connection and
+                // keep it alive, like the single-session serve loop.
+                shared.registry.inc("mi.host.malformed");
+                let resp = Response::Error {
+                    message: format!("unreadable frame: {m}"),
+                };
+                let bytes = serde_json::to_vec(&resp).expect("responses always serialize");
+                if tx.lock().expect("connection writer").send(&bytes).is_err() {
+                    break;
+                }
+                continue;
+            }
+            // Disconnected or anything else: the connection is over.
+            Err(_) => break,
+        };
+        let cf = match serde_json::from_slice::<CommandFrame>(&frame) {
+            Ok(cf) => cf,
+            Err(e) => {
+                shared.registry.inc("mi.host.malformed");
+                let resp = Response::Error {
+                    message: format!("malformed command: {e}"),
+                };
+                let bytes = serde_json::to_vec(&resp).expect("responses always serialize");
+                if tx.lock().expect("connection writer").send(&bytes).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let rf = match (cf.session, cf.cmd) {
+            (None, Command::OpenSession { file, source }) => {
+                shared.registry.inc("mi.host.cmd.OpenSession");
+                let resp = open_session(shared, conn, tx, &file, &source);
+                ResponseFrame {
+                    seq: cf.seq,
+                    resp,
+                    session: None,
+                }
+            }
+            (None, Command::CloseSession { session }) => {
+                shared.registry.inc("mi.host.cmd.CloseSession");
+                let resp = close_session(shared, conn, session);
+                ResponseFrame {
+                    seq: cf.seq,
+                    resp,
+                    session: None,
+                }
+            }
+            (None, Command::Ping) => ResponseFrame {
+                seq: cf.seq,
+                resp: Response::Pong {
+                    now_us: shared.registry.now_us(),
+                },
+                session: None,
+            },
+            (None, Command::Telemetry { since }) => ResponseFrame {
+                seq: cf.seq,
+                resp: Response::Telemetry(Box::new(obs::telemetry::collect_frame(
+                    &shared.registry,
+                    None,
+                    since,
+                ))),
+                session: None,
+            },
+            (None, cmd) => {
+                shared.registry.inc("mi.host.rejected.no_session");
+                typed_error(
+                    cf.seq,
+                    None,
+                    format!("{} requires a session id in the envelope", cmd.kind()),
+                )
+            }
+            (Some(_), cmd @ (Command::OpenSession { .. } | Command::CloseSession { .. })) => {
+                shared.registry.inc("mi.host.rejected.control_in_session");
+                typed_error(
+                    cf.seq,
+                    cf.session,
+                    format!(
+                        "{} is a control command; send it with no session id",
+                        cmd.kind()
+                    ),
+                )
+            }
+            (Some(sid), cmd) => {
+                if let Some(rf) = enqueue(shared, conn, sid, cf.seq, cf.trace, cmd) {
+                    rf
+                } else {
+                    continue;
+                }
+            }
+        };
+        if reply(tx, &rf).is_err() {
+            break;
+        }
+    }
+    end_connection_sessions(shared, conn);
+}
+
+/// Compiles a program shipped in `OpenSession` and registers a fresh
+/// session for it. Compilation runs on the acceptor thread — it is the
+/// once-per-session cost, and keeping it off the worker pool means a
+/// giant program cannot stall other sessions' command service.
+fn open_session(
+    shared: &Arc<HostShared>,
+    conn: u64,
+    tx: &SharedTx,
+    file: &str,
+    source: &str,
+) -> Response {
+    let registry = obs::Registry::new();
+    let engine: Box<dyn Engine + Send> = if file.ends_with(".s") || file.ends_with(".asm") {
+        match miniasm::asm::assemble(file, source) {
+            Ok(p) => {
+                let mut e = crate::asm_engine::AsmEngine::new(&p);
+                e.set_registry(registry.clone());
+                Box::new(e)
+            }
+            Err(e) => {
+                return Response::Error {
+                    message: e.to_string(),
+                }
+            }
+        }
+    } else {
+        match minic::compile(file, source) {
+            Ok(p) => {
+                let mut e = crate::minic_engine::MinicEngine::new(&p);
+                e.set_registry(registry.clone());
+                Box::new(e)
+            }
+            Err(e) => {
+                return Response::Error {
+                    message: e.to_string(),
+                }
+            }
+        }
+    };
+    let export = Arc::new(obs::ExportSink::new(1024));
+    registry.add_sink(export.clone());
+    let sid = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let mut table = shared.sessions.lock().expect("session table");
+    table.insert(
+        sid,
+        SessionSlot {
+            conn,
+            tx: tx.clone(),
+            queue: VecDeque::new(),
+            running: false,
+            closed: None,
+            last_seq: None,
+            state: Some(Box::new(SessionState {
+                engine,
+                registry,
+                export,
+            })),
+        },
+    );
+    shared.registry.inc("mi.host.session_open");
+    shared
+        .registry
+        .set_gauge("mi.host.sessions_open", table.len() as u64);
+    Response::SessionOpened { session: sid }
+}
+
+/// Explicit close. Only the owning connection may close a session;
+/// closing an unknown (or already-closed) id is a typed error the
+/// caller can treat as "already done".
+fn close_session(shared: &Arc<HostShared>, conn: u64, sid: u64) -> Response {
+    let mut table = shared.sessions.lock().expect("session table");
+    match table.get_mut(&sid) {
+        None => Response::Error {
+            message: format!("unknown session {sid}"),
+        },
+        Some(slot) if slot.conn != conn => {
+            shared.registry.inc("mi.host.rejected.foreign_session");
+            Response::Error {
+                message: format!("session {sid} belongs to another connection"),
+            }
+        }
+        Some(slot) => {
+            if slot.running {
+                // A worker holds the state; it removes the slot when it
+                // finishes the current batch.
+                slot.closed = Some("closed");
+            } else {
+                table.remove(&sid);
+                finish_session(shared, &table, "closed");
+            }
+            Response::Ok
+        }
+    }
+}
+
+/// Bookkeeping shared by every way a session can end.
+fn finish_session(shared: &HostShared, table: &HashMap<u64, SessionSlot>, how: &str) {
+    shared.registry.inc(&format!("mi.host.session_end.{how}"));
+    shared
+        .registry
+        .set_gauge("mi.host.sessions_open", table.len() as u64);
+}
+
+/// Validates and queues one session command; wakes a worker when the
+/// session is parked. Returns a typed-error frame to ship when the
+/// envelope is rejected.
+fn enqueue(
+    shared: &Arc<HostShared>,
+    conn: u64,
+    sid: u64,
+    seq: u64,
+    trace: Option<obs::TraceContext>,
+    cmd: Command,
+) -> Option<ResponseFrame> {
+    let mut table = shared.sessions.lock().expect("session table");
+    match table.get_mut(&sid) {
+        None => {
+            shared.registry.inc("mi.host.rejected.unknown_session");
+            Some(session_gone(seq, sid))
+        }
+        Some(slot) if slot.conn != conn => {
+            // Session ids are never guessable into someone else's
+            // stream: isolation between connections is structural.
+            shared.registry.inc("mi.host.rejected.foreign_session");
+            Some(typed_error(
+                seq,
+                Some(sid),
+                format!("session {sid} belongs to another connection"),
+            ))
+        }
+        Some(slot) if slot.closed.is_some() => {
+            shared.registry.inc("mi.host.rejected.unknown_session");
+            Some(session_gone(seq, sid))
+        }
+        Some(slot) => {
+            if slot.last_seq.is_some_and(|last| seq <= last) {
+                // A duplicated or replayed frame. Refusing it (rather
+                // than serving it twice) is what keeps one faulty frame
+                // from desynchronizing the rest of the stream: the
+                // client discards this error as stale if its real
+                // command already completed.
+                shared.registry.inc("mi.host.rejected.stale_seq");
+                return Some(typed_error(
+                    seq,
+                    Some(sid),
+                    format!(
+                        "stale or duplicate seq {seq} for session {sid} (last served {})",
+                        slot.last_seq.unwrap_or(0)
+                    ),
+                ));
+            }
+            slot.last_seq = Some(seq);
+            slot.queue.push_back(Job { seq, trace, cmd });
+            if !slot.running && slot.state.is_some() {
+                slot.running = true;
+                shared.run_queue.push(Work::Run(sid));
+            }
+            None
+        }
+    }
+}
+
+/// Ends every session owned by a dead connection — the multi-session
+/// analogue of a single-session serve returning `PeerClosed`. Sessions
+/// currently held by a worker are flagged and removed by that worker;
+/// all other connections are untouched.
+fn end_connection_sessions(shared: &Arc<HostShared>, conn: u64) {
+    let mut table = shared.sessions.lock().expect("session table");
+    let mine: Vec<u64> = table
+        .iter()
+        .filter(|(_, slot)| slot.conn == conn)
+        .map(|(sid, _)| *sid)
+        .collect();
+    for sid in mine {
+        let slot = table.get_mut(&sid).expect("session listed");
+        if slot.running {
+            slot.closed = Some("peer_closed");
+            // The worker counts the end when it drops the state.
+        } else {
+            table.remove(&sid);
+            finish_session(shared, &table, "peer_closed");
+        }
+    }
+}
+
+/// Executes one command against a session's engine, mirroring the
+/// single-session serve loop: `Ping` and `Telemetry` answered at the
+/// boundary from the *session's* registry and export ring, everything
+/// else handed to the engine under the caller's trace context.
+fn serve_one(state: &mut SessionState, trace: Option<obs::TraceContext>, cmd: Command) -> Response {
+    state.registry.inc(&format!("mi.server.cmd.{}", cmd.kind()));
+    match cmd {
+        Command::Ping => Response::Pong {
+            now_us: state.registry.now_us(),
+        },
+        Command::Telemetry { since } => Response::Telemetry(Box::new(
+            obs::telemetry::collect_frame(&state.registry, Some(&state.export), since),
+        )),
+        cmd => {
+            obs::set_remote_context(trace);
+            let resp = state.engine.handle(cmd);
+            obs::set_remote_context(None);
+            resp
+        }
+    }
+}
+
+/// A worker: pop a runnable session, take its state and queued batch,
+/// serve the batch, then park it again (or re-queue it if more commands
+/// arrived meanwhile, or retire it if it ended).
+fn worker_loop(shared: &Arc<HostShared>) {
+    while let Work::Run(sid) = shared.run_queue.pop() {
+        let (mut state, jobs, tx) = {
+            let mut table = shared.sessions.lock().expect("session table");
+            let Some(slot) = table.get_mut(&sid) else {
+                continue;
+            };
+            let Some(state) = slot.state.take() else {
+                slot.running = false;
+                continue;
+            };
+            let jobs: Vec<Job> = slot.queue.drain(..).collect();
+            (state, jobs, slot.tx.clone())
+        };
+        // How the batch ended the session, if it did.
+        let mut ended: Option<&'static str> = None;
+        for job in jobs {
+            let stop = matches!(job.cmd, Command::Terminate);
+            let resp = serve_one(&mut state, job.trace, job.cmd);
+            let shipped = reply(
+                &tx,
+                &ResponseFrame {
+                    seq: job.seq,
+                    resp,
+                    session: Some(sid),
+                },
+            );
+            if stop {
+                ended = Some("terminated");
+                break;
+            }
+            if shipped.is_err() {
+                // This connection is gone; its reader will sweep the
+                // sibling sessions. Ending just this one here keeps the
+                // blast radius at exactly one connection.
+                ended = Some("peer_closed");
+                break;
+            }
+        }
+        let mut table = shared.sessions.lock().expect("session table");
+        let Some(slot) = table.get_mut(&sid) else {
+            continue;
+        };
+        if let Some(how) = ended.or(slot.closed) {
+            // Commands that raced in while we served this batch get a
+            // typed refusal instead of silence.
+            for job in slot.queue.drain(..) {
+                let _ = reply(&tx, &session_gone(job.seq, sid));
+            }
+            table.remove(&sid);
+            finish_session(shared, &table, how);
+        } else if slot.queue.is_empty() {
+            // Park: the engine waits in the table, no thread attached.
+            slot.state = Some(state);
+            slot.running = false;
+        } else {
+            slot.state = Some(state);
+            shared.run_queue.push(Work::Run(sid));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side: HostHandle / SessionHandle
+// ---------------------------------------------------------------------------
+
+/// Where a [`HostHandle`] gets (and re-gets) its host process.
+struct HostSpawnSpec {
+    server_bin: PathBuf,
+    workers: usize,
+}
+
+/// A live host child: the process plus its stderr tail.
+struct ChildInfo {
+    child: Mutex<Child>,
+    pid: u32,
+    stderr_tail: Arc<Mutex<String>>,
+}
+
+/// One live connection to a host (in-process or a child process).
+struct Conn {
+    writer: SharedTx,
+    routes: Arc<Mutex<HashMap<u64, Sender<ResponseFrame>>>>,
+    control_rx: Receiver<ResponseFrame>,
+    dead: Arc<AtomicBool>,
+    child: Option<ChildInfo>,
+}
+
+struct ControlState {
+    conn: Option<Conn>,
+    spawn: Option<HostSpawnSpec>,
+    had_conn: bool,
+    respawns: u64,
+    next_ctl_seq: u64,
+}
+
+struct HostHandleInner {
+    control: Mutex<ControlState>,
+}
+
+/// Client-side handle to a session host, shared by every tracker using
+/// it (`Clone` is cheap). Serializes control traffic (open/close,
+/// respawn) and demultiplexes response frames to per-session mailboxes.
+///
+/// When built by [`HostHandle::spawn_process`] the handle owns the host
+/// child and respawns it after a crash: the next `open_session` from
+/// any tracker starts a fresh host, and every other tracker's own
+/// recovery then re-establishes its session against it — the
+/// whole-process half of the PR 3 recovery matrix.
+#[derive(Clone)]
+pub struct HostHandle {
+    inner: Arc<HostHandleInner>,
+}
+
+impl std::fmt::Debug for HostHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ctl = self.inner.control.lock().expect("host control");
+        f.debug_struct("HostHandle")
+            .field("connected", &ctl.conn.is_some())
+            .field("respawns", &ctl.respawns)
+            .finish()
+    }
+}
+
+/// Builds the client-side plumbing over a connection's two halves: a
+/// demux reader routing response frames by session id, a shared writer,
+/// and a control mailbox for session-less replies.
+fn make_conn(tx: Box<dyn FrameTx>, mut rx: Box<dyn FrameRx>, child: Option<ChildInfo>) -> Conn {
+    let routes: Arc<Mutex<HashMap<u64, Sender<ResponseFrame>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let (control_tx, control_rx) = unbounded();
+    let dead = Arc::new(AtomicBool::new(false));
+    let reader_routes = routes.clone();
+    let reader_dead = dead.clone();
+    std::thread::Builder::new()
+        .name("mi-host-demux".into())
+        .spawn(move || {
+            loop {
+                let frame = match rx.recv() {
+                    Ok(f) => f,
+                    Err(MiError::Codec(_)) => continue,
+                    Err(_) => break,
+                };
+                let Ok(rf) = serde_json::from_slice::<ResponseFrame>(&frame) else {
+                    continue;
+                };
+                match rf.session {
+                    None => {
+                        let _ = control_tx.send(rf);
+                    }
+                    Some(sid) => {
+                        if let Some(mailbox) = reader_routes.lock().expect("routes").get(&sid) {
+                            let _ = mailbox.send(rf);
+                        }
+                    }
+                }
+            }
+            // Dropping every mailbox sender is what turns a dead
+            // connection into MiError::Disconnected at each waiting
+            // SessionHandle — their supervision takes it from there.
+            reader_dead.store(true, Ordering::SeqCst);
+            reader_routes.lock().expect("routes").clear();
+        })
+        .expect("spawn host demux reader");
+    Conn {
+        writer: Arc::new(Mutex::new(tx)),
+        routes,
+        control_rx,
+        dead,
+        child,
+    }
+}
+
+/// Spawns `mi-server --host` and returns the connected conn.
+fn spawn_host_child(spec: &HostSpawnSpec) -> Result<Conn, MiError> {
+    let mut child = std::process::Command::new(&spec.server_bin)
+        .arg("--host")
+        .arg("--workers")
+        .arg(spec.workers.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| MiError::Engine(format!("cannot spawn session host: {e}")))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let pid = child.id();
+    let stderr_tail = Arc::new(Mutex::new(String::new()));
+    let tail = stderr_tail.clone();
+    std::thread::Builder::new()
+        .name("mi-host-stderr-tail".into())
+        .spawn(move || {
+            let reader = BufReader::new(stderr);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                let mut tail = tail.lock().expect("stderr tail");
+                tail.push_str(&line);
+                tail.push('\n');
+                // Keep the tail bounded; post-mortems want the end.
+                if tail.len() > 16 * 1024 {
+                    let cut = tail.len() - 8 * 1024;
+                    tail.drain(..cut);
+                }
+            }
+        })
+        .expect("spawn host stderr tail");
+    Ok(make_conn(
+        Box::new(StreamFrameTx::new(stdin)),
+        Box::new(StreamFrameRx::new(stdout)),
+        Some(ChildInfo {
+            child: Mutex::new(child),
+            pid,
+            stderr_tail,
+        }),
+    ))
+}
+
+impl HostHandle {
+    /// Spawns an `mi-server --host` child over `server_bin` with a
+    /// worker pool of `workers` threads, and keeps respawning it when
+    /// it dies (the next session open after a host death starts a
+    /// fresh child).
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Engine`] when the child cannot be spawned.
+    pub fn spawn_process(server_bin: impl Into<PathBuf>, workers: usize) -> Result<Self, MiError> {
+        let spec = HostSpawnSpec {
+            server_bin: server_bin.into(),
+            workers,
+        };
+        let conn = spawn_host_child(&spec)?;
+        Ok(HostHandle {
+            inner: Arc::new(HostHandleInner {
+                control: Mutex::new(ControlState {
+                    conn: Some(conn),
+                    spawn: Some(spec),
+                    had_conn: true,
+                    respawns: 0,
+                    next_ctl_seq: 0,
+                }),
+            }),
+        })
+    }
+
+    /// Connects to an in-process [`SessionHost`] over a channel pair.
+    /// No respawn is possible in this mode: the host's lifetime is the
+    /// caller's problem.
+    pub fn connect_in_process(host: &SessionHost) -> Self {
+        let (a, b) = crate::transport::duplex();
+        let (btx, brx) = b.split();
+        let _conn = host.accept(brx, btx);
+        let (atx, arx) = a.split();
+        let conn = make_conn(Box::new(atx), Box::new(arx), None);
+        HostHandle {
+            inner: Arc::new(HostHandleInner {
+                control: Mutex::new(ControlState {
+                    conn: Some(conn),
+                    spawn: None,
+                    had_conn: true,
+                    respawns: 0,
+                    next_ctl_seq: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The host child's pid, when this handle owns a process.
+    pub fn host_pid(&self) -> Option<u32> {
+        let ctl = self.inner.control.lock().expect("host control");
+        ctl.conn.as_ref()?.child.as_ref().map(|c| c.pid)
+    }
+
+    /// How many times the host child was respawned after dying.
+    pub fn respawns(&self) -> u64 {
+        self.inner.control.lock().expect("host control").respawns
+    }
+
+    /// When the host *process* is confirmed dead, its exit code and
+    /// stderr tail — the ingredients of a typed
+    /// [`MiError::EngineDied`]. `None` for in-process hosts or while
+    /// the child still runs.
+    pub fn engine_died(&self) -> Option<(Option<i32>, String)> {
+        let ctl = self.inner.control.lock().expect("host control");
+        let child = ctl.conn.as_ref()?.child.as_ref()?;
+        let status = child.child.lock().expect("host child").try_wait().ok()??;
+        let stderr = child.stderr_tail.lock().expect("stderr tail").clone();
+        Some((status.code(), stderr))
+    }
+
+    /// Ensures a live connection, respawning the host child if this
+    /// handle owns one and the previous child died.
+    fn ensure_conn<'c>(&self, ctl: &'c mut ControlState) -> Result<&'c Conn, MiError> {
+        let live = ctl
+            .conn
+            .as_ref()
+            .is_some_and(|c| !c.dead.load(Ordering::SeqCst));
+        if !live {
+            let Some(spec) = &ctl.spawn else {
+                return Err(MiError::Disconnected);
+            };
+            if let Some(old) = ctl.conn.take() {
+                if let Some(info) = &old.child {
+                    // Reap the corpse so respawn storms don't leak
+                    // zombies; kill first in case only the pipe died.
+                    let mut child = info.child.lock().expect("host child");
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+            let conn = spawn_host_child(spec)?;
+            if ctl.had_conn {
+                ctl.respawns += 1;
+            }
+            ctl.had_conn = true;
+            ctl.conn = Some(conn);
+        }
+        Ok(ctl.conn.as_ref().expect("conn just ensured"))
+    }
+
+    /// One control-plane roundtrip (no session id on the envelope).
+    fn control_call(
+        &self,
+        ctl: &mut ControlState,
+        cmd: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        let seq = ctl.next_ctl_seq;
+        ctl.next_ctl_seq += 1;
+        let conn = self.ensure_conn(ctl)?;
+        let bytes = serde_json::to_vec(&CommandFrame {
+            seq,
+            cmd,
+            trace: None,
+            session: None,
+        })
+        .map_err(|e| MiError::Codec(e.to_string()))?;
+        conn.writer.lock().expect("host writer").send(&bytes)?;
+        let start = Instant::now();
+        loop {
+            let rf = match deadline {
+                None => conn.control_rx.recv().map_err(|_| MiError::Disconnected)?,
+                Some(d) => {
+                    let remaining = d.checked_sub(start.elapsed()).ok_or(MiError::Timeout)?;
+                    conn.control_rx
+                        .recv_timeout(remaining)
+                        .map_err(|e| match e {
+                            RecvTimeoutError::Timeout => MiError::Timeout,
+                            RecvTimeoutError::Disconnected => MiError::Disconnected,
+                        })?
+                }
+            };
+            match rf.seq.cmp(&seq) {
+                std::cmp::Ordering::Equal => return Ok(rf.resp),
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Greater => {
+                    return Err(MiError::Codec(format!(
+                        "control response seq {} is ahead of the call in flight ({seq})",
+                        rf.seq
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Opens a session for `source` (named `file`; the extension picks
+    /// the engine) and returns its [`SessionHandle`]. When the host
+    /// child is found dead the handle respawns it once and retries, so
+    /// a tracker recovering from a host crash re-establishes its
+    /// session in a single call.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Engine`] when the program does not compile (or the
+    /// host cannot be spawned); transport errors as usual.
+    pub fn open_session(
+        &self,
+        file: &str,
+        source: &str,
+        deadline: Option<Duration>,
+    ) -> Result<SessionHandle, MiError> {
+        let mut ctl = self.inner.control.lock().expect("host control");
+        let mut attempt = 0;
+        loop {
+            let result = self.control_call(
+                &mut ctl,
+                Command::OpenSession {
+                    file: file.into(),
+                    source: source.into(),
+                },
+                deadline,
+            );
+            match result {
+                Ok(Response::SessionOpened { session }) => {
+                    let conn = ctl.conn.as_ref().expect("live conn after open");
+                    let (mail_tx, mail_rx) = unbounded();
+                    conn.routes.lock().expect("routes").insert(session, mail_tx);
+                    return Ok(SessionHandle {
+                        host: self.clone(),
+                        writer: conn.writer.clone(),
+                        mailbox: mail_rx,
+                        session,
+                        next_seq: 0,
+                        registry: None,
+                        counters: TransportCounters::default(),
+                    });
+                }
+                Ok(Response::Error { message }) => return Err(MiError::Engine(message)),
+                Ok(other) => {
+                    return Err(MiError::Codec(format!(
+                        "unexpected reply to OpenSession: {}",
+                        other.summary()
+                    )))
+                }
+                Err(MiError::Disconnected) if attempt == 0 && ctl.spawn.is_some() => {
+                    // The host died under us: drop the dead conn and go
+                    // again — ensure_conn respawns on the next attempt.
+                    if let Some(conn) = &ctl.conn {
+                        conn.dead.store(true, Ordering::SeqCst);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Closes a session (best effort, bounded): drops its client-side
+    /// route and tells the host to free the slot.
+    pub fn close_session(&self, session: u64) {
+        let mut ctl = self.inner.control.lock().expect("host control");
+        if let Some(conn) = &ctl.conn {
+            conn.routes.lock().expect("routes").remove(&session);
+        }
+        if ctl
+            .conn
+            .as_ref()
+            .is_some_and(|c| !c.dead.load(Ordering::SeqCst))
+        {
+            let _ = self.control_call(
+                &mut ctl,
+                Command::CloseSession { session },
+                Some(Duration::from_secs(2)),
+            );
+        }
+    }
+}
+
+/// A tracker-side port to one session inside a shared host: the
+/// [`CommandPort`] the supervision stack wraps, so `MiTracker` drives a
+/// hosted session with exactly the code it uses for a dedicated child.
+pub struct SessionHandle {
+    host: HostHandle,
+    writer: SharedTx,
+    mailbox: Receiver<ResponseFrame>,
+    session: u64,
+    next_seq: u64,
+    registry: Option<obs::Registry>,
+    counters: TransportCounters,
+}
+
+impl SessionHandle {
+    /// The host-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// The handle to the host this session lives in.
+    pub fn host(&self) -> &HostHandle {
+        &self.host
+    }
+
+    /// Reports roundtrips into `registry` like
+    /// [`crate::Client::with_registry`]: per-kind latency histograms
+    /// plus trace contexts stamped onto outgoing frames.
+    pub fn set_registry(&mut self, registry: obs::Registry) {
+        self.registry = Some(registry);
+    }
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("session", &self.session)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl CommandPort for SessionHandle {
+    fn call(&mut self, command: Command) -> Result<Response, MiError> {
+        self.call_deadline(command, None)
+    }
+
+    fn call_deadline(
+        &mut self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Response, MiError> {
+        let span = self
+            .registry
+            .as_ref()
+            .map(|reg| reg.span(format!("mi.client.roundtrip.{}", command.kind())));
+        let trace = span.as_ref().map(obs::Span::context);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = serde_json::to_vec(&CommandFrame {
+            seq,
+            cmd: command,
+            trace,
+            session: Some(self.session),
+        })
+        .map_err(|e| MiError::Codec(e.to_string()))?;
+        self.writer.lock().expect("host writer").send(&bytes)?;
+        self.counters.bytes_sent += bytes.len() as u64 + 1;
+        self.counters.frames_sent += 1;
+        let start = Instant::now();
+        loop {
+            let rf = match deadline {
+                None => self.mailbox.recv().map_err(|_| MiError::Disconnected)?,
+                Some(d) => {
+                    let remaining = d.checked_sub(start.elapsed()).ok_or(MiError::Timeout)?;
+                    self.mailbox.recv_timeout(remaining).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => MiError::Timeout,
+                        RecvTimeoutError::Disconnected => MiError::Disconnected,
+                    })?
+                }
+            };
+            self.counters.frames_received += 1;
+            match rf.seq.cmp(&seq) {
+                std::cmp::Ordering::Equal => {
+                    // The host swept this session (terminated, closed, or
+                    // its connection died): that is engine loss from the
+                    // tracker's point of view, so report it the way a
+                    // dead dedicated child would report — supervision
+                    // then re-opens the session and replays the journal.
+                    if matches!(rf.resp, Response::SessionGone { .. }) {
+                        if let Some(reg) = &self.registry {
+                            reg.inc("mi.client.session_gone");
+                        }
+                        return Err(MiError::Disconnected);
+                    }
+                    return Ok(rf.resp);
+                }
+                std::cmp::Ordering::Less => {
+                    // Stale reply to an earlier command (its deadline
+                    // expired, or a duplicate was refused): discard,
+                    // exactly like Client's envelope handling.
+                    if let Some(reg) = &self.registry {
+                        reg.inc("mi.client.stale_frames");
+                    }
+                    continue;
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(MiError::Codec(format!(
+                        "response seq {} is ahead of the command in flight ({seq})",
+                        rf.seq
+                    )))
+                }
+            }
+        }
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{duplex, ChannelTransport, Transport as _};
+
+    const PROG: &str = "int main() { int x = 1; x = x + 1; return x; }";
+
+    fn call(h: &mut SessionHandle, cmd: Command) -> Response {
+        h.call(cmd).expect("session call")
+    }
+
+    #[test]
+    fn open_drive_close_one_session() {
+        let host = SessionHost::new(2);
+        let handle = HostHandle::connect_in_process(&host);
+        let mut s = handle.open_session("t.c", PROG, None).unwrap();
+        assert!(matches!(call(&mut s, Command::Start), Response::Paused(_)));
+        assert!(matches!(call(&mut s, Command::Resume), Response::Paused(_)));
+        assert_eq!(
+            call(&mut s, Command::GetExitCode),
+            Response::ExitCode(Some(2))
+        );
+        assert_eq!(host.session_count(), 1);
+        handle.close_session(s.session_id());
+        // The slot may be in a worker's hands when the close lands; the
+        // worker retires it as soon as it finishes the batch.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.session_count() != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(host.session_count(), 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn terminate_ends_only_the_addressed_session() {
+        let host = SessionHost::new(2);
+        let handle = HostHandle::connect_in_process(&host);
+        let mut a = handle.open_session("a.c", PROG, None).unwrap();
+        let mut b = handle.open_session("b.c", PROG, None).unwrap();
+        assert_eq!(call(&mut a, Command::Terminate), Response::Ok);
+        // Session b keeps serving after a terminated.
+        assert!(matches!(call(&mut b, Command::Start), Response::Paused(_)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.session_count() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(host.session_count(), 1);
+        let snap = host.registry().snapshot();
+        assert_eq!(snap.counter("mi.host.session_end.terminated"), 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn sessions_park_without_dedicated_threads() {
+        // Many more sessions than workers: they can only coexist by
+        // parking in the table between commands.
+        let host = SessionHost::new(2);
+        let handle = HostHandle::connect_in_process(&host);
+        let mut sessions: Vec<SessionHandle> = (0..32)
+            .map(|i| handle.open_session(&format!("s{i}.c"), PROG, None).unwrap())
+            .collect();
+        for s in &mut sessions {
+            assert!(matches!(call(s, Command::Start), Response::Paused(_)));
+        }
+        for s in &mut sessions {
+            assert!(matches!(call(s, Command::Resume), Response::Paused(_)));
+            assert_eq!(call(s, Command::GetExitCode), Response::ExitCode(Some(2)));
+        }
+        assert_eq!(host.session_count(), 32);
+        host.shutdown();
+    }
+
+    /// Raw-wire client for envelope-abuse tests: hand-built frames over
+    /// one channel transport.
+    struct RawConn {
+        t: ChannelTransport,
+        seq: u64,
+    }
+
+    impl RawConn {
+        fn connect(host: &SessionHost) -> Self {
+            let (a, b) = duplex();
+            let (btx, brx) = b.split();
+            host.accept(brx, btx);
+            RawConn { t: a, seq: 0 }
+        }
+
+        fn send_frame(&mut self, seq: u64, session: Option<u64>, cmd: Command) {
+            let bytes = serde_json::to_vec(&CommandFrame {
+                seq,
+                cmd,
+                trace: None,
+                session,
+            })
+            .unwrap();
+            self.t.send(&bytes).unwrap();
+        }
+
+        fn roundtrip(&mut self, session: Option<u64>, cmd: Command) -> ResponseFrame {
+            let seq = self.seq;
+            self.seq += 1;
+            self.send_frame(seq, session, cmd);
+            self.recv_frame()
+        }
+
+        fn recv_frame(&mut self) -> ResponseFrame {
+            let bytes = self
+                .t
+                .recv_deadline(Duration::from_secs(10))
+                .expect("host reply");
+            serde_json::from_slice(&bytes).expect("response frame")
+        }
+
+        fn open(&mut self, file: &str) -> u64 {
+            match self
+                .roundtrip(
+                    None,
+                    Command::OpenSession {
+                        file: file.into(),
+                        source: PROG.into(),
+                    },
+                )
+                .resp
+            {
+                Response::SessionOpened { session } => session,
+                other => panic!("expected SessionOpened, got {other:?}"),
+            }
+        }
+    }
+
+    fn expect_error(rf: &ResponseFrame, needle: &str) {
+        match &rf.resp {
+            Response::Error { message } => assert!(message.contains(needle), "{message}"),
+            other => panic!("expected Error containing {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_session_rejected_with_typed_error() {
+        let host = SessionHost::new(1);
+        let mut c = RawConn::connect(&host);
+        let rf = c.roundtrip(Some(999), Command::GetExitCode);
+        assert_eq!(rf.resp, Response::SessionGone { session: 999 });
+        assert_eq!(rf.session, Some(999));
+        assert_eq!(
+            host.registry()
+                .snapshot()
+                .counter("mi.host.rejected.unknown_session"),
+            1
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn duplicate_seq_rejected_without_desync() {
+        let host = SessionHost::new(1);
+        let mut c = RawConn::connect(&host);
+        let sid = c.open("t.c");
+        let rf = c.roundtrip(Some(sid), Command::Start);
+        assert!(matches!(rf.resp, Response::Paused(_)));
+        let start_seq = rf.seq;
+        // Replay the exact same seq: typed refusal, not double service.
+        c.send_frame(start_seq, Some(sid), Command::Start);
+        let dup = c.recv_frame();
+        expect_error(&dup, "stale or duplicate seq");
+        // The stream continues undisturbed at the next seq.
+        let rf = c.roundtrip(Some(sid), Command::GetExitCode);
+        assert_eq!(rf.resp, Response::ExitCode(None));
+        assert_eq!(
+            host.registry()
+                .snapshot()
+                .counter("mi.host.rejected.stale_seq"),
+            1
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn foreign_connection_cannot_reach_a_session() {
+        let host = SessionHost::new(1);
+        let mut owner = RawConn::connect(&host);
+        let sid = owner.open("t.c");
+        let mut intruder = RawConn::connect(&host);
+        let rf = intruder.roundtrip(Some(sid), Command::GetState);
+        expect_error(&rf, "belongs to another connection");
+        // The owner's stream is untouched by the refused frame.
+        let rf = owner.roundtrip(Some(sid), Command::Start);
+        assert!(matches!(rf.resp, Response::Paused(_)));
+        host.shutdown();
+    }
+
+    #[test]
+    fn session_command_without_id_rejected() {
+        let host = SessionHost::new(1);
+        let mut c = RawConn::connect(&host);
+        let rf = c.roundtrip(None, Command::Step);
+        expect_error(&rf, "requires a session id");
+        host.shutdown();
+    }
+
+    #[test]
+    fn dead_connection_ends_its_sessions_and_spares_the_rest() {
+        let host = SessionHost::new(2);
+        let casualty = HostHandle::connect_in_process(&host);
+        let survivor = HostHandle::connect_in_process(&host);
+        let mut dying = casualty.open_session("a.c", PROG, None).unwrap();
+        let mut living = survivor.open_session("b.c", PROG, None).unwrap();
+        assert!(matches!(
+            call(&mut dying, Command::Start),
+            Response::Paused(_)
+        ));
+        assert!(matches!(
+            call(&mut living, Command::Start),
+            Response::Paused(_)
+        ));
+        // Kill the casualty's transport mid-session (handle and session
+        // dropped together: the channel halves close).
+        drop(dying);
+        drop(casualty);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while host.session_count() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(host.session_count(), 1);
+        // The survivor's session is still fully served.
+        assert!(matches!(
+            call(&mut living, Command::Resume),
+            Response::Paused(_)
+        ));
+        assert_eq!(
+            host.registry()
+                .snapshot()
+                .counter("mi.host.session_end.peer_closed"),
+            1
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn compile_error_is_a_typed_open_failure() {
+        let host = SessionHost::new(1);
+        let handle = HostHandle::connect_in_process(&host);
+        let err = handle
+            .open_session("bad.c", "int main( {", None)
+            .unwrap_err();
+        assert!(matches!(err, MiError::Engine(_)), "{err:?}");
+        assert_eq!(host.session_count(), 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn per_session_telemetry_cursors_are_independent() {
+        // Two sessions draining interleaved: each sees its own command
+        // counters and its own event index space, never the sibling's.
+        let host = SessionHost::new(2);
+        let handle = HostHandle::connect_in_process(&host);
+        let mut a = handle.open_session("a.c", PROG, None).unwrap();
+        let mut b = handle.open_session("b.c", PROG, None).unwrap();
+        call(&mut a, Command::Start);
+        call(&mut a, Command::Step);
+        call(&mut a, Command::Step);
+        call(&mut b, Command::Start);
+        let drain = |h: &mut SessionHandle, since| match call(h, Command::Telemetry { since }) {
+            Response::Telemetry(f) => *f,
+            other => panic!("expected Telemetry, got {other:?}"),
+        };
+        let fa = drain(&mut a, 0);
+        let fb = drain(&mut b, 0);
+        assert_eq!(fa.counters.get("mi.server.cmd.Step"), Some(&2));
+        assert!(!fb.counters.contains_key("mi.server.cmd.Step"));
+        assert_eq!(fb.counters.get("mi.server.cmd.Start"), Some(&1));
+        // Interleaved cursor advance: a's cursor must not move b's.
+        let fa2 = drain(&mut a, fa.next_event);
+        let fb2 = drain(&mut b, 0);
+        assert!(fa2.events.is_empty());
+        assert_eq!(fb2.events.len(), fb.events.len());
+        host.shutdown();
+    }
+}

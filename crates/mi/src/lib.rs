@@ -37,12 +37,14 @@
 //! ```
 
 pub mod asm_engine;
+pub mod host;
 pub mod minic_engine;
 pub mod protocol;
 pub mod server;
 pub mod supervise;
 pub mod transport;
 
+pub use host::{HostHandle, SessionHandle, SessionHost};
 pub use protocol::{Command, CommandFrame, Response, ResponseFrame};
 pub use server::{Client, CommandPort, Engine, ServeEnd, Server};
 pub use supervise::{SupervisePolicy, SupervisedClient};

@@ -128,8 +128,32 @@ pub enum Command {
     /// one are distinguishable. Supervisors use it as a heartbeat; the
     /// echoed engine clock also feeds tracker↔engine clock alignment.
     Ping,
-    /// Stop the inferior and shut the engine down.
+    /// Stop the inferior and shut the engine down. Under a session host
+    /// this ends only the addressed session, never the host process.
     Terminate,
+    /// Host-level: compile `source` and open a fresh session for it.
+    ///
+    /// Only a [`crate::host::SessionHost`] answers this (with
+    /// [`Response::SessionOpened`]); the single-session serve loop
+    /// rejects it. Sent with `session: None` in the envelope — it
+    /// *creates* the id later frames will carry. The source text rides
+    /// the command itself, so the host needs no shared filesystem with
+    /// its clients.
+    OpenSession {
+        /// Logical file name; the extension selects the engine
+        /// (`.c` → MiniC, `.s` → MiniAsm).
+        file: String,
+        /// Full program text.
+        source: String,
+    },
+    /// Host-level: tear down one session and free its table slot. The
+    /// target id is a field, not the envelope `session`, so the reply
+    /// routes to the control stream even when the session is already
+    /// gone.
+    CloseSession {
+        /// Id returned by [`Response::SessionOpened`].
+        session: u64,
+    },
 }
 
 impl Command {
@@ -164,6 +188,8 @@ impl Command {
             Command::ProfileReport { .. } => "ProfileReport",
             Command::Ping => "Ping",
             Command::Terminate => "Terminate",
+            Command::OpenSession { .. } => "OpenSession",
+            Command::CloseSession { .. } => "CloseSession",
         }
     }
 
@@ -180,7 +206,10 @@ impl Command {
     /// drain cursor is carried *in* the command, not kept server-side —
     /// so the same request always returns the same frame. `SetProfile`
     /// converges like `SetSanitizer`, and `ProfileReport` is a
-    /// cursor-in-command read like `Telemetry`.
+    /// cursor-in-command read like `Telemetry`. `OpenSession` is *not*
+    /// idempotent — a retry whose first attempt landed would leak a
+    /// session — and `CloseSession` is: closing an already-closed id is
+    /// answered with a typed error the caller treats as done.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -199,6 +228,7 @@ impl Command {
                 | Command::ProfileReport { .. }
                 | Command::Ping
                 | Command::Terminate
+                | Command::CloseSession { .. }
         )
     }
 }
@@ -226,6 +256,12 @@ pub struct CommandFrame {
     /// sessions that do not trace — older frames without the field
     /// decode as `None`.
     pub trace: Option<obs::TraceContext>,
+    /// Session this frame addresses when talking to a
+    /// [`crate::host::SessionHost`]. `None` is the single-session wire
+    /// form unchanged from PR 2 (and the host's control plane:
+    /// `OpenSession`/`CloseSession`/`Ping`/`Telemetry` ride with no
+    /// session); older frames without the field decode as `None`.
+    pub session: Option<u64>,
 }
 
 /// The sequence-numbered wire envelope for a [`Response`]; `seq` echoes
@@ -236,6 +272,11 @@ pub struct ResponseFrame {
     pub seq: u64,
     /// The response itself.
     pub resp: Response,
+    /// Echo of the commanding frame's `session`, so one connection can
+    /// interleave many sessions' responses and the client can demux
+    /// them without inspecting payloads. `None` from single-session
+    /// servers and for host-level (control) replies.
+    pub session: Option<u64>,
 }
 
 /// A response from the engine.
@@ -279,6 +320,24 @@ pub enum Response {
     Telemetry(Box<obs::TelemetryFrame>),
     /// One profile drain for [`Command::ProfileReport`].
     Profile(Box<obs::ProfileReport>),
+    /// Answer to [`Command::OpenSession`]: the session is compiled,
+    /// registered in the host's table, and ready for commands carrying
+    /// this id in their envelope.
+    SessionOpened {
+        /// Host-assigned id, unique for the host's lifetime (never
+        /// recycled, so a stale id is always a typed error rather than
+        /// someone else's session).
+        session: u64,
+    },
+    /// The addressed session no longer exists in the host (terminated,
+    /// closed, or swept after its connection died). A typed liveness
+    /// signal, distinct from [`Response::Error`]: the client maps it to
+    /// engine loss so supervision re-opens the session and replays its
+    /// journal, instead of surfacing a command failure.
+    SessionGone {
+        /// The id the rejected frame addressed.
+        session: u64,
+    },
     /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
     Pong {
         /// The responder's monotonic clock (microseconds since its
@@ -314,6 +373,8 @@ impl Response {
             Response::Diagnostics(v) => format!("Diagnostics({})", v.len()),
             Response::Telemetry(f) => format!("Telemetry({} events)", f.events.len()),
             Response::Profile(r) => format!("Profile({}, {} units)", r.mode.name(), r.units),
+            Response::SessionOpened { session } => format!("SessionOpened({session})"),
+            Response::SessionGone { session } => format!("SessionGone({session})"),
             Response::Pong { now_us } => format!("Pong({now_us})"),
             Response::Error { message } => format!("Error({message})"),
         }
@@ -355,6 +416,7 @@ mod tests {
             seq: 7,
             cmd: Command::Step,
             trace: None,
+            session: None,
         };
         let json = serde_json::to_string(&cf).unwrap();
         let back: CommandFrame = serde_json::from_str(&json).unwrap();
@@ -368,6 +430,7 @@ mod tests {
         let rf = ResponseFrame {
             seq: 7,
             resp: Response::Paused(PauseReason::Step),
+            session: None,
         };
         let json = serde_json::to_string(&rf).unwrap();
         let back: ResponseFrame = serde_json::from_str(&json).unwrap();
@@ -384,6 +447,7 @@ mod tests {
                 trace_id: 0xAB,
                 span_id: 0xCD,
             }),
+            session: None,
         };
         let json = serde_json::to_string(&cf).unwrap();
         let back: CommandFrame = serde_json::from_str(&json).unwrap();
@@ -393,6 +457,56 @@ mod tests {
         let back: CommandFrame = serde_json::from_str(legacy).unwrap();
         assert_eq!(back.seq, 3);
         assert_eq!(back.trace, None);
+    }
+
+    #[test]
+    fn session_rides_the_envelope_and_stays_optional() {
+        let cf = CommandFrame {
+            seq: 11,
+            cmd: Command::Step,
+            trace: None,
+            session: Some(4),
+        };
+        let json = serde_json::to_string(&cf).unwrap();
+        let back: CommandFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(cf, back);
+        // Single-session peers predating the field still interoperate:
+        // their frames decode with session: None on both directions.
+        let legacy_cmd = r#"{"seq":11,"cmd":"Step"}"#;
+        let back: CommandFrame = serde_json::from_str(legacy_cmd).unwrap();
+        assert_eq!(back.session, None);
+        let legacy_resp = r#"{"seq":11,"resp":"Ok"}"#;
+        let back: ResponseFrame = serde_json::from_str(legacy_resp).unwrap();
+        assert_eq!(back.session, None);
+        assert_eq!(back.resp, Response::Ok);
+
+        let rf = ResponseFrame {
+            seq: 11,
+            resp: Response::SessionOpened { session: 4 },
+            session: Some(4),
+        };
+        let json = serde_json::to_string(&rf).unwrap();
+        let back: ResponseFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(rf, back);
+        assert_eq!(back.resp.summary(), "SessionOpened(4)");
+    }
+
+    #[test]
+    fn session_commands_are_named_and_classified() {
+        let open = Command::OpenSession {
+            file: "t.c".into(),
+            source: "int main() { return 0; }".into(),
+        };
+        assert_eq!(open.kind(), "OpenSession");
+        assert!(!open.is_idempotent());
+        let close = Command::CloseSession { session: 9 };
+        assert_eq!(close.kind(), "CloseSession");
+        assert!(close.is_idempotent());
+        for cmd in [open, close] {
+            let json = serde_json::to_string(&cmd).unwrap();
+            let back: Command = serde_json::from_str(&json).unwrap();
+            assert_eq!(cmd, back);
+        }
     }
 
     #[test]

@@ -163,7 +163,11 @@ impl<E: Engine, T: Transport> Server<E, T> {
                         flight.record("resp", resp.summary());
                     }
                     let bytes = match seq {
-                        Some(seq) => serde_json::to_vec(&ResponseFrame { seq, resp }),
+                        Some(seq) => serde_json::to_vec(&ResponseFrame {
+                            seq,
+                            resp,
+                            session: None,
+                        }),
                         None => serde_json::to_vec(&resp),
                     }
                     .expect("responses always serialize");
@@ -323,6 +327,7 @@ impl<T: Transport> Client<T> {
                 seq,
                 cmd: command,
                 trace,
+                session: None,
             })
         } else {
             serde_json::to_vec(&command)

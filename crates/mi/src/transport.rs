@@ -126,24 +126,155 @@ impl ChannelTransport {
     fn decode_wire(&mut self, wire: Vec<u8>) -> Result<Vec<u8>, MiError> {
         self.counters.bytes_received += wire.len() as u64;
         self.counters.frames_received += 1;
-        if wire.len() < 4 {
-            return Err(MiError::Codec("short frame".into()));
-        }
-        let len = u32::from_le_bytes(wire[..4].try_into().expect("4 bytes")) as usize;
-        if len > MAX_FRAME_LEN {
-            // A corrupted header claiming a huge body must be refused
-            // before any size arithmetic trusts it.
+        decode_channel_wire(wire)
+    }
+
+    /// Splits the transport into independently-owned send and receive
+    /// halves, so one side can live on a reader thread while another
+    /// thread writes — the shape a [`crate::host::SessionHost`]
+    /// connection needs. Counters stay with whichever half moved them.
+    pub fn split(self) -> (ChannelFrameTx, ChannelFrameRx) {
+        (
+            ChannelFrameTx { tx: self.tx },
+            ChannelFrameRx { rx: self.rx },
+        )
+    }
+}
+
+/// Validates one length-prefixed channel message and strips the prefix.
+fn decode_channel_wire(wire: Vec<u8>) -> Result<Vec<u8>, MiError> {
+    if wire.len() < 4 {
+        return Err(MiError::Codec("short frame".into()));
+    }
+    let len = u32::from_le_bytes(wire[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        // A corrupted header claiming a huge body must be refused
+        // before any size arithmetic trusts it.
+        return Err(MiError::Codec(format!(
+            "frame header claims {len} bytes, beyond the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    if wire.len() - 4 != len {
+        return Err(MiError::Codec(format!(
+            "frame length mismatch: header {len}, body {}",
+            wire.len() - 4
+        )));
+    }
+    Ok(wire[4..].to_vec())
+}
+
+/// The send half of a connection: one frame out per call.
+///
+/// A [`Transport`] is a single `&mut self` object, which forces send and
+/// receive onto one thread. The session host multiplexes many sessions
+/// over one connection, so it needs the two directions in different
+/// hands: a reader thread blocks on a [`FrameRx`] while worker threads
+/// share the [`FrameTx`] behind a mutex.
+pub trait FrameTx: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Disconnected`] when the peer is gone.
+    fn send(&mut self, frame: &[u8]) -> Result<(), MiError>;
+}
+
+/// The receive half of a connection: one frame in per call, blocking.
+pub trait FrameRx: Send {
+    /// Receives one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Disconnected`] when the peer is gone;
+    /// [`MiError::Codec`] for a frame that arrived but could not be
+    /// framed (the connection stays usable).
+    fn recv(&mut self) -> Result<Vec<u8>, MiError>;
+}
+
+impl<T: FrameTx + ?Sized> FrameTx for Box<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
+        (**self).send(frame)
+    }
+}
+
+impl<T: FrameRx + ?Sized> FrameRx for Box<T> {
+    fn recv(&mut self) -> Result<Vec<u8>, MiError> {
+        (**self).recv()
+    }
+}
+
+/// Send half of a split [`ChannelTransport`].
+#[derive(Debug)]
+pub struct ChannelFrameTx {
+    tx: Sender<Vec<u8>>,
+}
+
+/// Receive half of a split [`ChannelTransport`].
+#[derive(Debug)]
+pub struct ChannelFrameRx {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl FrameTx for ChannelFrameTx {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
+        if frame.len() > MAX_FRAME_LEN {
             return Err(MiError::Codec(format!(
-                "frame header claims {len} bytes, beyond the {MAX_FRAME_LEN}-byte cap"
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                frame.len()
             )));
         }
-        if wire.len() - 4 != len {
-            return Err(MiError::Codec(format!(
-                "frame length mismatch: header {len}, body {}",
-                wire.len() - 4
-            )));
+        let mut wire = Vec::with_capacity(frame.len() + 4);
+        wire.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        wire.extend_from_slice(frame);
+        self.tx.send(wire).map_err(|_| MiError::Disconnected)
+    }
+}
+
+impl FrameRx for ChannelFrameRx {
+    fn recv(&mut self) -> Result<Vec<u8>, MiError> {
+        let wire = self.rx.recv().map_err(|_| MiError::Disconnected)?;
+        decode_channel_wire(wire)
+    }
+}
+
+/// Send half of a newline-delimited byte stream (e.g. a child's stdin).
+#[derive(Debug)]
+pub struct StreamFrameTx<W> {
+    writer: W,
+}
+
+impl<W: std::io::Write + Send> StreamFrameTx<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        StreamFrameTx { writer }
+    }
+}
+
+impl<W: std::io::Write + Send> FrameTx for StreamFrameTx<W> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MiError> {
+        write_newline_frame(&mut self.writer, frame).map(|_| ())
+    }
+}
+
+/// Receive half of a newline-delimited byte stream (e.g. a child's
+/// stdout).
+#[derive(Debug)]
+pub struct StreamFrameRx<R> {
+    reader: std::io::BufReader<R>,
+}
+
+impl<R: std::io::Read + Send> StreamFrameRx<R> {
+    /// Wraps a reader.
+    pub fn new(reader: R) -> Self {
+        StreamFrameRx {
+            reader: std::io::BufReader::new(reader),
         }
-        Ok(wire[4..].to_vec())
+    }
+}
+
+impl<R: std::io::Read + Send> FrameRx for StreamFrameRx<R> {
+    fn recv(&mut self) -> Result<Vec<u8>, MiError> {
+        read_newline_frame(&mut self.reader).1
     }
 }
 
@@ -282,6 +413,30 @@ mod tests {
             a.recv_deadline(Duration::from_millis(20)),
             Err(MiError::Disconnected)
         );
+    }
+
+    #[test]
+    fn split_halves_interoperate_with_a_whole_transport() {
+        let (a, mut b) = duplex();
+        let (mut tx, mut rx) = a.split();
+        tx.send(b"from-half").unwrap();
+        assert_eq!(b.recv().unwrap(), b"from-half");
+        b.send(b"to-half").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"to-half");
+        drop(b);
+        assert_eq!(tx.send(b"x"), Err(MiError::Disconnected));
+        assert_eq!(rx.recv(), Err(MiError::Disconnected));
+    }
+
+    #[test]
+    fn stream_halves_speak_the_stream_wire_format() {
+        let mut wire = Vec::new();
+        StreamFrameTx::new(&mut wire).send(b"{\"a\":1}").unwrap();
+        let mut t = StreamTransport::new(wire.as_slice(), std::io::sink());
+        assert_eq!(t.recv().unwrap(), b"{\"a\":1}");
+        let mut rx = StreamFrameRx::new(&b"{\"b\":2}\n"[..]);
+        assert_eq!(rx.recv().unwrap(), b"{\"b\":2}");
+        assert_eq!(rx.recv(), Err(MiError::Disconnected));
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Property tests of the session envelope: random abuse frames —
+//! unknown and stale session ids, duplicate and replayed sequence
+//! numbers, frames addressed to another connection's session — must be
+//! rejected with *typed* errors that echo the offending seq and session
+//! id, and must never desynchronize an innocent session's stream.
+
+use mi::transport::{duplex, ChannelTransport, Transport as _};
+use mi::{Command, CommandFrame, Response, ResponseFrame, SessionHost};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const PROG: &str = "int main() {\n\
+                    int x = 0;\n\
+                    x = x + 1;\n\
+                    x = x + 2;\n\
+                    x = x + 3;\n\
+                    return x;\n\
+                    }\n";
+
+/// Raw-wire client: hand-built frames over one channel transport, so
+/// the test controls every seq and session id on the wire.
+struct Raw {
+    t: ChannelTransport,
+    seq: u64,
+}
+
+impl Raw {
+    fn connect(host: &SessionHost) -> Self {
+        let (a, b) = duplex();
+        let (btx, brx) = b.split();
+        host.accept(brx, btx);
+        Raw { t: a, seq: 0 }
+    }
+
+    fn send(&mut self, seq: u64, session: Option<u64>, cmd: Command) {
+        let bytes = serde_json::to_vec(&CommandFrame {
+            seq,
+            cmd,
+            trace: None,
+            session,
+        })
+        .expect("frame encodes");
+        self.t.send(&bytes).expect("send");
+    }
+
+    fn recv(&mut self) -> ResponseFrame {
+        let bytes = self
+            .t
+            .recv_deadline(Duration::from_secs(10))
+            .expect("host reply");
+        serde_json::from_slice(&bytes).expect("response frame")
+    }
+
+    /// Sends at the next fresh seq and waits for the matching reply.
+    fn roundtrip(&mut self, session: Option<u64>, cmd: Command) -> ResponseFrame {
+        let seq = self.seq;
+        self.seq += 1;
+        self.send(seq, session, cmd);
+        let rf = self.recv();
+        assert_eq!(rf.seq, seq, "reply must echo the request seq");
+        rf
+    }
+
+    fn open(&mut self, file: &str) -> u64 {
+        match self
+            .roundtrip(
+                None,
+                Command::OpenSession {
+                    file: file.into(),
+                    source: PROG.into(),
+                },
+            )
+            .resp
+        {
+            Response::SessionOpened { session } => session,
+            other => panic!("expected SessionOpened, got {other:?}"),
+        }
+    }
+}
+
+/// One abuse frame to inject between legitimate commands.
+#[derive(Debug, Clone)]
+enum Abuse {
+    /// A session id the host never assigned (ids start at 1 and stay
+    /// tiny here; the offset keeps these unreachable).
+    UnknownSid(u64),
+    /// Replay the seq of the victim's most recent served command.
+    StaleSeq,
+    /// Replay a seq from the victim's deeper past (always ≤ last).
+    AncientSeq(u64),
+    /// Address the *other* connection's session from the victim's
+    /// connection, reusing the victim's own seq numbering.
+    ForeignSid,
+}
+
+fn arb_abuse() -> impl Strategy<Value = Abuse> {
+    prop_oneof![
+        (0u64..1000).prop_map(|x| Abuse::UnknownSid(1_000_000 + x)),
+        Just(Abuse::StaleSeq),
+        (0u64..8).prop_map(Abuse::AncientSeq),
+        Just(Abuse::ForeignSid),
+    ]
+}
+
+/// The victim's expected clean trace: response summaries of the legit
+/// script run against an un-abused host.
+fn clean_trace() -> Vec<String> {
+    let host = SessionHost::new(1);
+    let mut c = Raw::connect(&host);
+    let sid = c.open("v.c");
+    let mut trace = Vec::new();
+    trace.push(c.roundtrip(Some(sid), Command::Start).resp.summary());
+    loop {
+        let s = c.roundtrip(Some(sid), Command::Step).resp.summary();
+        let done = s.contains("exited") || s.contains("crashed");
+        trace.push(s);
+        trace.push(c.roundtrip(Some(sid), Command::GetState).resp.summary());
+        if done {
+            break;
+        }
+    }
+    trace.push(c.roundtrip(Some(sid), Command::GetExitCode).resp.summary());
+    let t = trace;
+    host.shutdown();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Abuse frames interleaved into a live stream each get a typed
+    /// rejection echoing their seq + session id, and the victim's own
+    /// script still produces exactly the clean-run responses.
+    #[test]
+    fn envelope_abuse_is_rejected_typed_and_never_desyncs(
+        abuses in prop::collection::vec(arb_abuse(), 1..10),
+    ) {
+        let oracle = clean_trace();
+        let host = SessionHost::new(2);
+        let mut victim = Raw::connect(&host);
+        let vsid = victim.open("v.c");
+        let mut other = Raw::connect(&host);
+        let osid = other.open("o.c");
+
+        fn abuse_once(
+            victim: &mut Raw,
+            abuse: &Abuse,
+            vsid: u64,
+            osid: u64,
+            last_vseq: u64,
+        ) {
+            match abuse {
+                Abuse::UnknownSid(sid) => {
+                    let rf = victim.roundtrip(Some(*sid), Command::GetExitCode);
+                    prop_assert_eq!(rf.resp, Response::SessionGone { session: *sid });
+                    prop_assert_eq!(rf.session, Some(*sid));
+                }
+                Abuse::StaleSeq | Abuse::AncientSeq(_) => {
+                    // Replay a seq at or below the session's last served
+                    // one: an exact duplicate or a deep replay.
+                    let seq = match abuse {
+                        Abuse::AncientSeq(back) => last_vseq.saturating_sub(*back),
+                        _ => last_vseq,
+                    };
+                    victim.send(seq, Some(vsid), Command::GetExitCode);
+                    let rf = victim.recv();
+                    prop_assert_eq!(rf.seq, seq);
+                    prop_assert_eq!(rf.session, Some(vsid));
+                    match &rf.resp {
+                        Response::Error { message } => {
+                            prop_assert!(
+                                message.contains("stale or duplicate seq"),
+                                "unexpected rejection: {}",
+                                message
+                            );
+                        }
+                        other => prop_assert!(false, "expected typed Error, got {other:?}"),
+                    }
+                }
+                Abuse::ForeignSid => {
+                    let rf = victim.roundtrip(Some(osid), Command::GetState);
+                    prop_assert_eq!(rf.session, Some(osid));
+                    match &rf.resp {
+                        Response::Error { message } => {
+                            prop_assert!(
+                                message.contains("belongs to another connection"),
+                                "unexpected rejection: {}",
+                                message
+                            );
+                        }
+                        other => prop_assert!(false, "expected typed Error, got {other:?}"),
+                    }
+                }
+            }
+        }
+
+        let mut trace = Vec::new();
+        let mut abuses = abuses.iter();
+        // The victim session's most recently served seq (stale replays
+        // must target at-or-below this; the client-side `seq` counter
+        // also advances for abuse frames, which the session never saw).
+        let mut last_vseq = victim.seq;
+        trace.push(victim.roundtrip(Some(vsid), Command::Start).resp.summary());
+        loop {
+            if let Some(abuse) = abuses.next() {
+                abuse_once(&mut victim, abuse, vsid, osid, last_vseq);
+            }
+            last_vseq = victim.seq;
+            let s = victim.roundtrip(Some(vsid), Command::Step).resp.summary();
+            let done = s.contains("exited") || s.contains("crashed");
+            trace.push(s);
+            trace.push(victim.roundtrip(Some(vsid), Command::GetState).resp.summary());
+            if done {
+                break;
+            }
+        }
+        last_vseq = victim.seq;
+        trace.push(
+            victim
+                .roundtrip(Some(vsid), Command::GetExitCode)
+                .resp
+                .summary(),
+        );
+        // Any abuse left over lands after the script, on a still-open
+        // (parked) session.
+        for abuse in abuses {
+            abuse_once(&mut victim, abuse, vsid, osid, last_vseq);
+        }
+        prop_assert_eq!(trace, oracle, "abuse desynchronized the victim's stream");
+
+        // The bystander session on the other connection is untouched
+        // even though its id was used in foreign-sid abuse.
+        let rf = other.roundtrip(Some(osid), Command::Start);
+        prop_assert!(matches!(rf.resp, Response::Paused(_)));
+        prop_assert_eq!(host.session_count(), 2);
+        host.shutdown();
+    }
+}
