@@ -1,0 +1,317 @@
+//! Overload bench: innocent pause latency under adversarial co-tenants.
+//!
+//! The governance question [`bench_sessions`] cannot answer: what does
+//! one classroom tenant pay when its neighbours are hostile? This bench
+//! opens a pool of innocent step/inspect sessions in ONE session host
+//! and, for the whole measured phase, keeps a fleet of abuser threads
+//! hammering the same host — each abuser runs the hot-loop program under
+//! a step budget, takes its typed `ResourceExhausted`, and immediately
+//! re-opens to keep the pressure constant. Fuel-sliced scheduling is
+//! what keeps the innocents responsive; this measures by how much.
+//!
+//! Reported (stdout + `BENCH_overload.json`):
+//!
+//! * innocent p50/p95/p99 pause latency under abuse;
+//! * abuser exhaustion cycles, all of which must be *typed* — one
+//!   untyped abuser failure fails the bench;
+//! * command throughput of the innocent pool.
+//!
+//! Abuser trackers write their post-mortem flight dumps to
+//! `flight-dumps/` so CI can archive them next to the JSON.
+//!
+//! Run with: `cargo run --release -p bench --bin bench_overload`
+//! CI gate:  `... --bin bench_overload -- --sessions 24 --check 500`
+//! exits nonzero when innocent p99 pause latency exceeds 500ms, or when
+//! any abuser was stopped by anything other than a typed verdict.
+
+use easytracker::{MiTracker, PauseReason, ProgramSpec, Supervision, Tracker, TrackerError};
+use mi::{HostHandle, SessionHost};
+use obs::Histogram;
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A loop no step budget used here lets finish.
+const HOT_PROG: &str = "int main() {\n\
+                        int i = 0;\n\
+                        while (i < 2000000000) {\n\
+                        i = i + 1;\n\
+                        }\n\
+                        return i;\n\
+                        }\n";
+
+/// Steps each abuser incarnation burns before its typed stop. Big
+/// enough to span many preemption slices, small enough that abuse
+/// cycles (exhaust → re-open) recur throughout the measured phase.
+const ABUSE_BUDGET: u64 = 2_000_000;
+
+/// One innocent session: step through a generated program, inspect
+/// every 4th pause — the [`bench_sessions`] step/inspect script.
+struct Innocent {
+    tracker: MiTracker,
+    ops_left: u32,
+    step: u64,
+    exited: bool,
+}
+
+impl Innocent {
+    fn open(host: &HostHandle, index: usize, ops: u32) -> Self {
+        let program = conformance::gen::gen_program(0x10ad + (index % 8) as u64);
+        let source = conformance::gen::render_c(&program);
+        let spec = ProgramSpec::c(&format!("gen{}.c", index % 8), &source).via_host(host);
+        let tracker =
+            MiTracker::load_spec(spec, obs::Registry::new(), Supervision::default(), None)
+                .expect("workload compiles");
+        Innocent {
+            tracker,
+            ops_left: ops,
+            step: 0,
+            exited: false,
+        }
+    }
+
+    fn begin(&mut self, hist: &mut Histogram) {
+        let t0 = Instant::now();
+        let reason = self.tracker.start().expect("start");
+        hist.record(t0.elapsed().as_nanos() as u64);
+        if matches!(reason, PauseReason::Exited(_)) {
+            self.exited = true;
+        }
+    }
+
+    fn advance(&mut self, hist: &mut Histogram, commands: &mut u64) -> bool {
+        if self.exited || self.ops_left == 0 {
+            return false;
+        }
+        self.ops_left -= 1;
+        self.step += 1;
+        *commands += 1;
+        let t0 = Instant::now();
+        let reason = self.tracker.step().expect("step under abuse");
+        hist.record(t0.elapsed().as_nanos() as u64);
+        if matches!(reason, PauseReason::Exited(_)) {
+            self.exited = true;
+            return false;
+        }
+        if self.step.is_multiple_of(4) {
+            *commands += 1;
+            let state = self.tracker.get_state().expect("inspect under abuse");
+            std::hint::black_box(state.frame.name());
+        }
+        true
+    }
+}
+
+struct DriveResult {
+    hist: Histogram,
+    commands: u64,
+}
+
+fn drive(mut chunk: Vec<Innocent>) -> DriveResult {
+    let mut hist = Histogram::new();
+    let mut commands = 0u64;
+    for s in &mut chunk {
+        commands += 1;
+        s.begin(&mut hist);
+    }
+    let mut live = true;
+    while live {
+        live = false;
+        for s in &mut chunk {
+            if s.advance(&mut hist, &mut commands) {
+                live = true;
+            }
+        }
+    }
+    for s in &mut chunk {
+        s.tracker.terminate();
+    }
+    DriveResult { hist, commands }
+}
+
+/// One abuser thread: hot loop under a step budget, typed exhaustion,
+/// re-open, repeat until the innocents are done. Returns when `done`.
+fn abuse(host: &HostHandle, done: &AtomicBool, exhaustions: &AtomicU64, untyped: &AtomicU64) {
+    while !done.load(Ordering::Relaxed) {
+        let spec = ProgramSpec::c("hot.c", HOT_PROG).via_host(host);
+        let mut t =
+            match MiTracker::load_spec(spec, obs::Registry::new(), Supervision::default(), None) {
+                Ok(t) => t,
+                Err(_) => {
+                    untyped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+        t.set_dump_dir("flight-dumps");
+        if t.set_limits(Some(ABUSE_BUDGET), None, None, None).is_err() {
+            untyped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let _ = t.start();
+        match t.resume() {
+            Err(TrackerError::ResourceExhausted { .. }) => {
+                exhaustions.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) | Err(_) => {
+                // A hot loop must not pause, exit, or fail untyped
+                // inside its budget.
+                untyped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        t.terminate();
+    }
+}
+
+fn main() {
+    let mut sessions = 24usize;
+    let mut abusers = 4usize;
+    let mut workers = 4usize;
+    let mut drivers = 4usize;
+    let mut ops = 40u32;
+    let mut check: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} takes a number"))
+        };
+        match arg.as_str() {
+            "--sessions" => sessions = num("--sessions") as usize,
+            "--abusers" => abusers = num("--abusers") as usize,
+            "--workers" => workers = num("--workers") as usize,
+            "--drivers" => drivers = num("--drivers") as usize,
+            "--ops" => ops = num("--ops") as u32,
+            "--check" => check = Some(num("--check")),
+            other => {
+                eprintln!("bench_overload: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    drivers = drivers.clamp(1, sessions.max(1));
+    std::fs::create_dir_all("flight-dumps").expect("flight-dumps dir");
+
+    let server = conformance::mi_server_bin();
+    let (host, deployment, _local) = match &server {
+        Some(bin) => (
+            HostHandle::spawn_process(bin, workers).expect("spawn host"),
+            "mi-server --host child process",
+            None,
+        ),
+        None => {
+            let local = SessionHost::new(workers);
+            (
+                HostHandle::connect_in_process(&local),
+                "in-process host",
+                Some(local),
+            )
+        }
+    };
+    eprintln!(
+        "bench_overload: {sessions} innocents x {ops} ops vs {abusers} abusers, \
+         {workers} host workers, {drivers} drivers, over {deployment}"
+    );
+
+    let mut all: Vec<Innocent> = (0..sessions)
+        .map(|i| Innocent::open(&host, i, ops))
+        .collect();
+    let mut chunks: Vec<Vec<Innocent>> = Vec::new();
+    for _ in 0..drivers {
+        chunks.push(Vec::new());
+    }
+    for (i, s) in all.drain(..).enumerate() {
+        chunks[i % drivers].push(s);
+    }
+
+    let done = AtomicBool::new(false);
+    let exhaustions = AtomicU64::new(0);
+    let untyped = AtomicU64::new(0);
+    let results: Mutex<Vec<DriveResult>> = Mutex::new(Vec::new());
+    let drive_begin = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..abusers {
+            scope.spawn(|| abuse(&host, &done, &exhaustions, &untyped));
+        }
+        for chunk in chunks {
+            scope.spawn(|| {
+                let r = drive(chunk);
+                results.lock().expect("results").push(r);
+            });
+        }
+        // Scope waits for the innocents via the results below; the
+        // abusers loop until told the measured phase is over.
+        scope.spawn(|| {
+            loop {
+                let finished = results.lock().expect("results").len();
+                if finished >= drivers {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+    let drive_elapsed = drive_begin.elapsed();
+    let exhaustions = exhaustions.load(Ordering::Relaxed);
+    let untyped = untyped.load(Ordering::Relaxed);
+
+    let mut pause = Histogram::new();
+    let mut commands = 0u64;
+    for r in results.into_inner().expect("results") {
+        pause.merge(&r.hist);
+        commands += r.commands;
+    }
+    let p50_us = pause.quantile(0.50) / 1_000;
+    let p95_us = pause.quantile(0.95) / 1_000;
+    let p99_us = pause.quantile(0.99) / 1_000;
+    let throughput = commands as f64 / drive_elapsed.as_secs_f64();
+
+    let doc = json!({
+        "workload": "innocent step/inspect pool vs hot-loop abuser fleet",
+        "deployment": deployment,
+        "innocent_sessions": sessions,
+        "ops_per_session": ops,
+        "abuser_threads": abusers,
+        "abuse_budget_steps": ABUSE_BUDGET,
+        "host_workers": workers,
+        "driver_threads": drivers,
+        "drive_ms": drive_elapsed.as_millis() as u64,
+        "commands": commands,
+        "commands_per_sec": format!("{throughput:.0}"),
+        "abuser_exhaustions_typed": exhaustions,
+        "abuser_failures_untyped": untyped,
+        "pause_count": pause.count(),
+        "pause_p50_us": p50_us,
+        "pause_p95_us": p95_us,
+        "pause_p99_us": p99_us,
+        "pause_max_us": pause.max() / 1_000,
+    });
+    std::fs::write("BENCH_overload.json", format!("{doc}\n")).expect("write BENCH_overload.json");
+    println!(
+        "{sessions} innocents vs {abusers} abusers | pause p50 {p50_us}us p95 {p95_us}us \
+         p99 {p99_us}us | {throughput:.0} cmd/s | {exhaustions} typed exhaustions"
+    );
+    println!("wrote BENCH_overload.json");
+
+    if untyped > 0 {
+        eprintln!("bench_overload: {untyped} abuser(s) stopped without a typed verdict");
+        std::process::exit(1);
+    }
+    if let Some(budget_ms) = check {
+        if exhaustions == 0 {
+            eprintln!("bench_overload: the abusers never tripped a budget — no overload measured");
+            std::process::exit(1);
+        }
+        let p99_ms = p99_us / 1_000;
+        if p99_ms > budget_ms {
+            eprintln!(
+                "bench_overload: innocent p99 pause latency {p99_ms}ms exceeds the \
+                 {budget_ms}ms budget"
+            );
+            std::process::exit(1);
+        }
+        println!("innocent p99 pause latency {p99_ms}ms within the {budget_ms}ms budget");
+    }
+}

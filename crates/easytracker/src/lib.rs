@@ -91,6 +91,20 @@ pub enum TrackerError {
     /// refuses further engine traffic rather than answering from a state
     /// it cannot vouch for.
     SessionDegraded(String),
+    /// A hard per-session resource budget (`set_limits`) was exceeded.
+    /// Terminal: execution is deterministic, so replaying the journal
+    /// would burn the same budget again — the session is not recovered.
+    /// `which` names the exhausted resource (`steps`, `heap_bytes`,
+    /// `wall_ms`, `queue_depth`).
+    ResourceExhausted {
+        which: String,
+        used: u64,
+        limit: u64,
+    },
+    /// The host shed this request before it touched the engine (session
+    /// cap or queue bound), and the port's bounded backoff retries did
+    /// not get through. Retryable later; nothing executed.
+    Overloaded(String),
 }
 
 impl fmt::Display for TrackerError {
@@ -102,6 +116,10 @@ impl fmt::Display for TrackerError {
             TrackerError::NotStarted => write!(f, "inferior not started"),
             TrackerError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             TrackerError::SessionDegraded(m) => write!(f, "session degraded: {m}"),
+            TrackerError::ResourceExhausted { which, used, limit } => {
+                write!(f, "resource budget exhausted: {which} {used}/{limit}")
+            }
+            TrackerError::Overloaded(m) => write!(f, "host overloaded: {m}"),
         }
     }
 }

@@ -711,6 +711,43 @@ impl MiTracker {
         backend.port.ping().map_err(Into::into)
     }
 
+    /// Sets hard per-session resource budgets (`None` leaves a resource
+    /// unlimited): VM steps and live heap bytes are enforced in-engine,
+    /// wall-clock and command-queue depth by the session host. Exceeding
+    /// any of them surfaces as [`TrackerError::ResourceExhausted`] and
+    /// ends the session. Journaled as configuration, so recovery
+    /// re-applies the budgets before replaying execution.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Protocol`] on an unexpected acknowledgement;
+    /// engine/session errors as usual.
+    pub fn set_limits(
+        &mut self,
+        max_steps: Option<u64>,
+        max_heap_bytes: Option<u64>,
+        max_wall_ms: Option<u64>,
+        max_queue_depth: Option<u64>,
+    ) -> Result<()> {
+        let cmd = Command::SetLimits {
+            max_steps,
+            max_heap_bytes,
+            max_wall_ms,
+            max_queue_depth,
+        };
+        match self.call(cmd.clone())? {
+            Response::Ok => {
+                if self.spec.is_some() {
+                    self.journal.push(JournalEntry::Config { cmd });
+                }
+                Ok(())
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
     fn call(&mut self, command: Command) -> Result<Response> {
         if let SessionHealth::Degraded { reason } = &self.health {
             return Err(TrackerError::SessionDegraded(reason.clone()));
@@ -725,6 +762,32 @@ impl MiTracker {
                 Ok(Response::Error { message }) => {
                     self.flight.record("resp", format!("Error: {message}"));
                     return Err(TrackerError::Engine(message));
+                }
+                Ok(Response::ResourceExhausted { which, used, limit }) => {
+                    // A hard budget tripped. Execution is deterministic,
+                    // so recovery-by-replay would burn the same budget
+                    // again: degrade loudly instead, with the budget
+                    // state in the flight dump for the post-mortem.
+                    self.obs.inc("mi.budget_exhausted");
+                    self.flight
+                        .record("budget", format!("{which} used {used} of {limit}"));
+                    let _ = self.degrade(
+                        format!("resource budget exhausted: {which} {used}/{limit}"),
+                        None,
+                    );
+                    return Err(TrackerError::ResourceExhausted {
+                        which: which.name().into(),
+                        used,
+                        limit,
+                    });
+                }
+                Ok(resp @ (Response::Overloaded { .. } | Response::QueueFull { .. })) => {
+                    // The supervised port already retried with backoff;
+                    // a rejection surviving that is worth reporting, but
+                    // nothing executed — the session is still healthy
+                    // and the caller may simply try again later.
+                    self.flight.record("resp", resp.summary());
+                    return Err(TrackerError::Overloaded(resp.summary()));
                 }
                 Ok(resp) => {
                     self.flight.record("resp", resp.summary());

@@ -10,8 +10,8 @@
 //! Watchable things: registers by name (`a0`, `sp`, ...) and raw memory
 //! ranges written `*0xADDR:LEN`.
 
-use crate::protocol::{Command, Response};
-use crate::server::Engine;
+use crate::protocol::{Command, ResourceKind, Response};
+use crate::server::{Engine, SliceOutcome};
 use miniasm::asm::AsmProgram;
 use miniasm::isa::{decode, parse_reg, reg_name, Inst};
 use miniasm::sim::{Control, Cpu};
@@ -67,6 +67,43 @@ struct ShadowFrame {
     call_line: u32,
 }
 
+/// A control command's in-flight progress, stashed when its slice runs
+/// out of fuel. Unlike MiniC, `first` and `finish_fired` live in the
+/// run loop here, so a yield must carry them across to the resume.
+#[derive(Debug, Clone, Copy)]
+struct SliceState {
+    mode: Mode,
+    /// Pre-execution checks are skipped at the command's first paused
+    /// pc; false once anything has executed.
+    first: bool,
+    /// Set when the `finish` target frame has returned.
+    finish_fired: bool,
+}
+
+impl SliceState {
+    fn fresh(mode: Mode) -> Self {
+        SliceState {
+            mode,
+            first: true,
+            finish_fired: false,
+        }
+    }
+}
+
+/// How one fuel-bounded run burst ended (internal to the engine; the
+/// protocol never sees `OutOfFuel`).
+enum RunOutcome {
+    Paused(PauseReason),
+    /// Fuel ran out mid-command; progress is stashed in `pending_slice`.
+    OutOfFuel,
+    /// A hard budget tripped: terminal, reported typed.
+    Exhausted {
+        which: ResourceKind,
+        used: u64,
+        limit: u64,
+    },
+}
+
 /// The RISC-V engine (see the [module docs](self)).
 #[derive(Debug)]
 pub struct AsmEngine {
@@ -85,6 +122,16 @@ pub struct AsmEngine {
     /// In-engine profiler; lives here (not in the CPU) because function
     /// identity comes from the shadow call stack.
     prof: Option<Box<obs::Profiler>>,
+    /// A control command that yielded on fuel, waiting for
+    /// [`Engine::resume_sliced`].
+    pending_slice: Option<SliceState>,
+    /// Hard step budget ([`Command::SetLimits`] `max_steps`), measured
+    /// against retired instructions. The heap budget does not apply:
+    /// the simulator has no allocator.
+    max_steps: Option<u64>,
+    /// Set once a hard budget trips; terminal — later control commands
+    /// repeat the same typed verdict instead of running the inferior.
+    exhausted: Option<(ResourceKind, u64, u64)>,
 }
 
 /// Coarse instruction class for per-class retirement counts.
@@ -121,6 +168,9 @@ impl AsmEngine {
             crash_reported: false,
             registry: None,
             prof: None,
+            pending_slice: None,
+            max_steps: None,
+            exhausted: None,
         }
     }
 
@@ -203,16 +253,35 @@ impl AsmEngine {
         self.cpu.read_word(self.cpu.pc()).and_then(decode)
     }
 
-    fn run(&mut self, mode: Mode) -> PauseReason {
+    /// Runs the CPU from `slice` until a pause condition is met, the
+    /// slice's `fuel` (in retired instructions) runs out, or a hard
+    /// budget trips. The fuel check sits before the pre-execution
+    /// checks, so each paused pc is inspected exactly once whether or
+    /// not a yield lands on it — slicing stays invisible.
+    fn run(&mut self, slice: SliceState, fuel: Option<u64>) -> RunOutcome {
         if let Some(code) = self.cpu.exit_code() {
-            return PauseReason::Exited(ExitStatus::Exited(code));
+            return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Exited(code)));
         }
         if self.crashed.is_some() {
-            return PauseReason::Exited(ExitStatus::Crashed);
+            return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Crashed));
         }
-        let mut first = true;
-        let mut finish_fired = false;
+        let SliceState {
+            mode,
+            mut first,
+            mut finish_fired,
+        } = slice;
+        let mut spent = 0u64;
         loop {
+            if let Some(f) = fuel {
+                if spent >= f {
+                    self.pending_slice = Some(SliceState {
+                        mode,
+                        first,
+                        finish_fired,
+                    });
+                    return RunOutcome::OutOfFuel;
+                }
+            }
             // ---- pre-execution checks (we are paused *before* pc) ------
             if !first {
                 let pc = self.cpu.pc();
@@ -223,10 +292,10 @@ impl AsmEngine {
                         addr == pc && maxdepth.is_none_or(|m| self.shadow.len() as u32 <= m + 1)
                     }
                 }) {
-                    return PauseReason::Breakpoint {
+                    return RunOutcome::Paused(PauseReason::Breakpoint {
                         id: bp.id,
                         location: self.location(line),
-                    };
+                    });
                 }
                 // Tracked function entry: paused at its first instruction.
                 let depth = (self.shadow.len() - 1) as u32;
@@ -238,10 +307,10 @@ impl AsmEngine {
                     // Only when we *just* entered (previous instruction was
                     // the call) — the shadow top carries the name.
                     if self.shadow.last().map(|f| f.name.as_str()) == Some(t.name.as_str()) {
-                        return PauseReason::FunctionCall {
+                        return RunOutcome::Paused(PauseReason::FunctionCall {
                             function: t.name.clone(),
                             depth,
-                        };
+                        });
                     }
                 }
                 // Tracked function about to return (paper's retq scan).
@@ -260,26 +329,26 @@ impl AsmEngine {
                             .iter()
                             .any(|t| t.name == top.name && t.maxdepth.is_none_or(|m| depth <= m))
                         {
-                            return PauseReason::FunctionReturn {
+                            return RunOutcome::Paused(PauseReason::FunctionReturn {
                                 function: top.name.clone(),
                                 depth,
                                 return_value: Some((self.cpu.reg(10) as i32).to_string()),
-                            };
+                            });
                         }
                     }
                 }
                 if finish_fired {
-                    return PauseReason::Step;
+                    return RunOutcome::Paused(PauseReason::Step);
                 }
                 match mode {
                     Mode::Step { line: from } => {
                         if line != from && line != 0 {
-                            return PauseReason::Step;
+                            return RunOutcome::Paused(PauseReason::Step);
                         }
                     }
                     Mode::Next { line: from, depth } => {
                         if self.shadow.len() <= depth && line != from && line != 0 {
-                            return PauseReason::Step;
+                            return RunOutcome::Paused(PauseReason::Step);
                         }
                     }
                     Mode::Resume | Mode::Finish { .. } => {}
@@ -292,9 +361,20 @@ impl AsmEngine {
                 Ok(i) => i,
                 Err(e) => {
                     self.crashed = Some(e.to_string());
-                    return PauseReason::Exited(ExitStatus::Crashed);
+                    return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Crashed));
                 }
             };
+            spent += 1;
+            if let Some(limit) = self.max_steps {
+                let used = self.cpu.instret();
+                if used > limit {
+                    return RunOutcome::Exhausted {
+                        which: ResourceKind::Steps,
+                        used,
+                        limit,
+                    };
+                }
+            }
             // Retired-instruction hooks, before the control transfer is
             // applied: a `jal` is charged to its caller.
             if let Some(p) = self.prof.as_deref_mut() {
@@ -303,7 +383,7 @@ impl AsmEngine {
                 p.inst_class(inst_class(&info.inst));
             }
             if let Some(code) = info.exit {
-                return PauseReason::Exited(ExitStatus::Exited(code));
+                return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Exited(code)));
             }
             match info.control {
                 Some(Control::Call { target }) => {
@@ -339,18 +419,38 @@ impl AsmEngine {
             }
             if !self.watches.is_empty() {
                 if let Some(reason) = self.check_watches() {
-                    return reason;
+                    return RunOutcome::Paused(reason);
                 }
             }
         }
     }
 
-    fn control(&mut self, mode: Mode) -> Response {
+    /// Starts a *fresh* control command, optionally fuel-bounded.
+    fn control_sliced(&mut self, mode: Mode, fuel: Option<u64>) -> SliceOutcome {
         if !self.started {
-            return Response::Error {
+            return SliceOutcome::Done(Response::Error {
                 message: "inferior not started (call start first)".into(),
-            };
+            });
         }
+        self.burst(SliceState::fresh(mode), fuel)
+    }
+
+    fn control(&mut self, mode: Mode) -> Response {
+        match self.control_sliced(mode, None) {
+            SliceOutcome::Done(resp) => resp,
+            SliceOutcome::Yielded => unreachable!("unfueled run cannot yield"),
+        }
+    }
+
+    /// One fuel-bounded run burst: shared by fresh commands and slice
+    /// resumes. The per-burst span is telemetry only, so slicing stays
+    /// invisible on the protocol.
+    fn burst(&mut self, slice: SliceState, fuel: Option<u64>) -> SliceOutcome {
+        if let Some((which, used, limit)) = self.exhausted {
+            // Terminal: every later control command repeats the verdict.
+            return SliceOutcome::Done(Response::ResourceExhausted { which, used, limit });
+        }
+        self.pending_slice = None;
         // Times the CPU burst this control command caused; joins the
         // tracker's trace when the command frame carried a context.
         let span = self.registry.as_ref().map(|reg| {
@@ -358,14 +458,58 @@ impl AsmEngine {
             span.category("vm");
             span
         });
-        let reason = self.run(mode);
+        let outcome = self.run(slice, fuel);
         if let Some(mut span) = span {
-            span.tag("pause_reason", reason.to_string());
+            let tag = match &outcome {
+                RunOutcome::Paused(reason) => reason.to_string(),
+                RunOutcome::OutOfFuel => "slice".to_owned(),
+                RunOutcome::Exhausted { which, .. } => format!("exhausted:{which}"),
+            };
+            span.tag("pause_reason", tag);
             span.finish();
         }
-        self.last_reason = reason.clone();
         self.publish_stats();
-        Response::Paused(reason)
+        match outcome {
+            RunOutcome::Paused(reason) => {
+                self.last_reason = reason.clone();
+                SliceOutcome::Done(Response::Paused(reason))
+            }
+            RunOutcome::OutOfFuel => SliceOutcome::Yielded,
+            RunOutcome::Exhausted { which, used, limit } => {
+                self.exhausted = Some((which, used, limit));
+                SliceOutcome::Done(Response::ResourceExhausted { which, used, limit })
+            }
+        }
+    }
+
+    /// Maps a control command to its run mode, with the same pre-flight
+    /// checks for the plain and sliced paths. `None` for non-control
+    /// commands (including `Start`, which executes nothing here: the
+    /// CPU is already paused before the entry instruction).
+    fn prepare(&mut self, command: &Command) -> Option<Result<Mode, Response>> {
+        match command {
+            Command::Resume => Some(Ok(Mode::Resume)),
+            Command::Step => {
+                let line = self.cpu.current_line();
+                Some(Ok(Mode::Step { line }))
+            }
+            Command::Next => {
+                let line = self.cpu.current_line();
+                let depth = self.shadow.len();
+                Some(Ok(Mode::Next { line, depth }))
+            }
+            Command::Finish => {
+                let depth = self.shadow.len();
+                Some(if depth <= 1 {
+                    Err(Response::Error {
+                        message: "cannot finish the outermost frame".into(),
+                    })
+                } else {
+                    Ok(Mode::Finish { depth })
+                })
+            }
+            _ => None,
+        }
     }
 
     /// Builds the frame chain from the shadow stack; the innermost frame
@@ -423,6 +567,11 @@ impl AsmEngine {
 
 impl Engine for AsmEngine {
     fn handle(&mut self, command: Command) -> Response {
+        match self.prepare(&command) {
+            Some(Err(resp)) => return resp,
+            Some(Ok(mode)) => return self.control(mode),
+            None => {}
+        }
         match command {
             Command::Start => {
                 if self.started {
@@ -435,24 +584,8 @@ impl Engine for AsmEngine {
                 // Paused before the entry instruction; nothing executed.
                 Response::Paused(PauseReason::Started)
             }
-            Command::Resume => self.control(Mode::Resume),
-            Command::Step => {
-                let line = self.cpu.current_line();
-                self.control(Mode::Step { line })
-            }
-            Command::Next => {
-                let line = self.cpu.current_line();
-                let depth = self.shadow.len();
-                self.control(Mode::Next { line, depth })
-            }
-            Command::Finish => {
-                let depth = self.shadow.len();
-                if depth <= 1 {
-                    return Response::Error {
-                        message: "cannot finish the outermost frame".into(),
-                    };
-                }
-                self.control(Mode::Finish { depth })
+            Command::Resume | Command::Step | Command::Next | Command::Finish => {
+                unreachable!("control commands are routed through prepare")
             }
             Command::SetBreakLine { line } => {
                 let lines = self.cpu.program().breakable_lines();
@@ -667,10 +800,36 @@ impl Engine for AsmEngine {
                 Response::Telemetry(Box::new(frame))
             }
             Command::Terminate => Response::Ok,
+            Command::SetLimits { max_steps, .. } => {
+                // Steps are enforced here against retired instructions;
+                // the heap budget has nothing to bind to (no allocator)
+                // and wall time / queue depth are the host's job.
+                self.max_steps = max_steps;
+                Response::Ok
+            }
             // Session management is the host's job, not an engine's.
             Command::OpenSession { .. } | Command::CloseSession { .. } => Response::Error {
                 message: "session commands are handled by the host, not an engine".into(),
             },
+        }
+    }
+
+    fn handle_sliced(&mut self, command: Command, fuel: u64) -> SliceOutcome {
+        match self.prepare(&command) {
+            Some(Err(resp)) => SliceOutcome::Done(resp),
+            Some(Ok(mode)) => self.control_sliced(mode, Some(fuel)),
+            None => SliceOutcome::Done(self.handle(command)),
+        }
+    }
+
+    fn resume_sliced(&mut self, fuel: u64) -> SliceOutcome {
+        match self.pending_slice {
+            // Resume, not restart: the stashed `first`/`finish_fired`
+            // are the command's progress and survive the yield.
+            Some(slice) => self.burst(slice, Some(fuel)),
+            None => SliceOutcome::Done(Response::Error {
+                message: "no sliced command pending".into(),
+            }),
         }
     }
 }

@@ -28,12 +28,31 @@ use mi::transport::{StreamFrameRx, StreamFrameTx, StreamTransport};
 use mi::{asm_engine::AsmEngine, minic_engine::MinicEngine, Server, SessionHost};
 use std::io::{stdin, stdout, Read};
 
+fn usage() -> String {
+    format!(
+        "usage: mi-server <program.c|program.s> [logical-name]\n       \
+         mi-server --host [--workers N] [--max-sessions N] [--slice-steps N]\n\
+         \n\
+         host options:\n  \
+         --workers N        worker threads driving the run queue (default 4)\n  \
+         --max-sessions N   hard cap on open sessions; opens past it are\n                     \
+         rejected with the retryable Overloaded response\n  \
+         --slice-steps N    fuel per engine slice in VM steps (default {}); 0\n                     \
+         disables preemption (a hot loop then pins a worker)",
+        mi::DEFAULT_SLICE_STEPS
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: mi-server <program.c|program.s> [logical-name] | mi-server --host [--workers N]");
+        eprintln!("{}", usage());
         std::process::exit(2);
     };
+    if path == "--help" || path == "-h" {
+        println!("{}", usage());
+        return;
+    }
     if path == "--host" {
         host_main(args);
         return;
@@ -98,21 +117,34 @@ fn main() {
     }
 }
 
-/// `mi-server --host [--workers N]`: the multi-session mode. Programs
+/// `mi-server --host [--workers N] [--max-sessions N] [--slice-steps N]`:
+/// the multi-session mode. Programs
 /// arrive inside `OpenSession` frames (no filesystem involved), many
 /// sessions multiplex over the one stdio connection, and a worker pool
 /// drives them. Exits 0 when the peer closes stdin — a connection
 /// dying is a *per-session* end under the host, never the exit-3
 /// transport-failure path of the single-session mode.
 fn host_main(mut args: impl Iterator<Item = String>) {
-    let mut workers = 4usize;
+    let mut config = mi::HostConfig::default();
+    let numeric = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        args.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+            eprintln!("mi-server: {flag} takes a non-negative integer");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
-                workers = args.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("mi-server: --workers takes a positive integer");
-                    std::process::exit(2);
-                });
+                config.workers = numeric(&mut args, "--workers").max(1) as usize;
+            }
+            "--max-sessions" => {
+                config.max_sessions = Some(numeric(&mut args, "--max-sessions") as usize);
+            }
+            "--slice-steps" => {
+                // 0 = unsliced: run every control command to its next
+                // pause, the pre-governance behavior.
+                let fuel = numeric(&mut args, "--slice-steps");
+                config.slice_steps = (fuel > 0).then_some(fuel);
             }
             other => {
                 eprintln!("mi-server: unknown host option {other}");
@@ -120,7 +152,7 @@ fn host_main(mut args: impl Iterator<Item = String>) {
             }
         }
     }
-    let host = SessionHost::new(workers);
+    let host = SessionHost::with_config(config, obs::Registry::new());
     let conn = host.accept(
         StreamFrameRx::new(LockedStdin),
         StreamFrameTx::new(stdout()),

@@ -34,8 +34,8 @@
 //! tracker's journal replay, and a dead host process is respawned whole,
 //! after which each tracker re-establishes its own session.
 
-use crate::protocol::{Command, CommandFrame, Response, ResponseFrame};
-use crate::server::{CommandPort, Engine};
+use crate::protocol::{Command, CommandFrame, ResourceKind, Response, ResponseFrame};
+use crate::server::{CommandPort, Engine, SliceOutcome};
 use crate::transport::{FrameRx, FrameTx, StreamFrameRx, StreamFrameTx, TransportCounters};
 use crate::MiError;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -51,6 +51,56 @@ use std::time::{Duration, Instant};
 /// A connection's send half, shared between the acceptor (typed errors)
 /// and every worker serving one of its sessions.
 type SharedTx = Arc<Mutex<Box<dyn FrameTx>>>;
+
+/// Default fuel for one engine slice, in VM steps.
+pub const DEFAULT_SLICE_STEPS: u64 = 50_000;
+
+/// Resource-governance knobs for a [`SessionHost`].
+///
+/// The defaults keep preemption on: a hot-loop tenant costs one time
+/// slice per turn instead of a worker thread forever. Admission limits
+/// (`max_sessions`, `queue_high_water`) default to off because the
+/// right capacity is a deployment decision; the per-session queue bound
+/// defaults on because an unbounded queue is a memory bomb any client
+/// can trigger.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Worker threads driving the run queue.
+    pub workers: usize,
+    /// Hard cap on concurrently open sessions; opens past it are
+    /// rejected with the retryable [`Response::Overloaded`].
+    pub max_sessions: Option<usize>,
+    /// Fuel for one engine slice, in VM steps. `None` disables
+    /// preemption — a control command then runs to its next pause
+    /// uninterrupted and a hot loop pins a worker (the pre-governance
+    /// behavior, kept for A/B measurements).
+    pub slice_steps: Option<u64>,
+    /// Run-queue high-water mark: session commands arriving while at
+    /// least this many sessions are runnable get the retryable
+    /// [`Response::Overloaded`] instead of queueing behind a collapse.
+    pub queue_high_water: Option<usize>,
+    /// Per-session command-queue bound applied when the session has not
+    /// set its own `max_queue_depth` via [`Command::SetLimits`].
+    pub default_queue_depth: u64,
+    /// A session continuously on a worker for longer than this is
+    /// flagged by the watchdog (`mi.host.watchdog_flags`). With slicing
+    /// on, one slice should never take this long — a flag means a stuck
+    /// engine (a bug), not a long program (which yields).
+    pub watchdog_ms: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            workers: 4,
+            max_sessions: None,
+            slice_steps: Some(DEFAULT_SLICE_STEPS),
+            queue_high_water: None,
+            default_queue_depth: 1024,
+            watchdog_ms: 1_000,
+        }
+    }
+}
 
 /// One queued command for a parked or running session.
 struct Job {
@@ -70,6 +120,17 @@ struct SessionState {
     /// shared ring would interleave every session's events under one
     /// index space and bleed reads across drains.
     export: Arc<obs::ExportSink>,
+    /// A control command preempted mid-run: the engine holds the paused
+    /// inferior, this holds the reply routing, and the next slice picks
+    /// both up via [`Engine::resume_sliced`]. Living in the state (not
+    /// the slot) means only the worker holding the session can touch it.
+    in_flight: Option<InFlight>,
+}
+
+/// Reply routing for a command that yielded between slices.
+struct InFlight {
+    seq: u64,
+    trace: Option<obs::TraceContext>,
 }
 
 /// A session-table slot. `state` is `Some` while parked, `None` while a
@@ -87,6 +148,18 @@ struct SessionSlot {
     /// duplicate/stale frame and is refused with a typed error.
     last_seq: Option<u64>,
     state: Option<Box<SessionState>>,
+    /// Host-enforced budgets set by `SetLimits` (wall clock and queue
+    /// depth; steps and heap are the engine's to enforce).
+    max_wall_ms: Option<u64>,
+    max_queue_depth: Option<u64>,
+    /// Engine wall time this session has consumed across all slices.
+    wall_spent: Duration,
+    /// When a worker started the session's current slice; `None` while
+    /// parked or queued. The watchdog reads this.
+    running_since: Option<Instant>,
+    /// The watchdog already flagged the current slice (one flag per
+    /// overdue slice, not one per scan).
+    watchdog_flagged: bool,
 }
 
 enum Work {
@@ -126,6 +199,13 @@ impl RunQueue {
             q = self.cv.wait(q).expect("run queue");
         }
     }
+
+    /// Runnable sessions currently waiting for a worker — the load
+    /// signal behind the `queue_high_water` admission check and the
+    /// `mi.host.run_queue_depth` gauge.
+    fn len(&self) -> usize {
+        self.q.lock().expect("run queue").len()
+    }
 }
 
 struct HostShared {
@@ -133,12 +213,23 @@ struct HostShared {
     run_queue: RunQueue,
     next_session: AtomicU64,
     registry: obs::Registry,
+    config: HostConfig,
+    /// Tells the watchdog thread to exit; workers stop via `Work::Stop`.
+    shutdown: AtomicBool,
 }
 
-/// The session host: session table + acceptor + worker pool.
+impl HostShared {
+    fn queue_depth_gauge(&self) {
+        self.registry
+            .set_gauge("mi.host.run_queue_depth", self.run_queue.len() as u64);
+    }
+}
+
+/// The session host: session table + acceptor + worker pool + watchdog.
 pub struct SessionHost {
     shared: Arc<HostShared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     next_conn: AtomicU64,
 }
 
@@ -162,7 +253,8 @@ impl ConnHandle {
 }
 
 impl SessionHost {
-    /// Creates a host with `workers` OS threads and a private registry.
+    /// Creates a host with `workers` OS threads, default governance
+    /// ([`HostConfig`]) and a private registry.
     pub fn new(workers: usize) -> Self {
         Self::with_registry(workers, obs::Registry::new())
     }
@@ -170,13 +262,27 @@ impl SessionHost {
     /// Like [`SessionHost::new`], but host-level metrics (session opens
     /// and ends, rejected frames, malformed traffic) land in `registry`.
     pub fn with_registry(workers: usize, registry: obs::Registry) -> Self {
+        Self::with_config(
+            HostConfig {
+                workers,
+                ..HostConfig::default()
+            },
+            registry,
+        )
+    }
+
+    /// Full control over the governance knobs: worker count, session
+    /// cap, slice fuel, queue bounds and watchdog threshold.
+    pub fn with_config(config: HostConfig, registry: obs::Registry) -> Self {
         let shared = Arc::new(HostShared {
             sessions: Mutex::new(HashMap::new()),
             run_queue: RunQueue::new(),
             next_session: AtomicU64::new(1),
             registry,
+            config,
+            shutdown: AtomicBool::new(false),
         });
-        let workers = (0..workers.max(1))
+        let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -185,9 +291,17 @@ impl SessionHost {
                     .expect("spawn host worker")
             })
             .collect();
+        let watchdog = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("mi-host-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn host watchdog")
+        };
         SessionHost {
             shared,
             workers,
+            watchdog: Some(watchdog),
             next_conn: AtomicU64::new(1),
         }
     }
@@ -232,10 +346,14 @@ impl SessionHost {
     }
 
     fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         for _ in &self.workers {
             self.shared.run_queue.push(Work::Stop);
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
             let _ = h.join();
         }
     }
@@ -385,6 +503,15 @@ fn conn_reader(shared: &Arc<HostShared>, conn: u64, rx: &mut dyn FrameRx, tx: &S
 /// session for it. Compilation runs on the acceptor thread — it is the
 /// once-per-session cost, and keeping it off the worker pool means a
 /// giant program cannot stall other sessions' command service.
+/// The typed admission rejection for opens past `max_sessions`.
+fn overloaded_open(shared: &HostShared, open: usize, cap: usize) -> Response {
+    shared.registry.inc("mi.host.rejected_overloaded");
+    Response::Overloaded {
+        load: open as u64,
+        limit: cap as u64,
+    }
+}
+
 fn open_session(
     shared: &Arc<HostShared>,
     conn: u64,
@@ -392,6 +519,14 @@ fn open_session(
     file: &str,
     source: &str,
 ) -> Response {
+    // Admission control, checked before compiling so a full host sheds
+    // load at the cheapest possible point.
+    if let Some(cap) = shared.config.max_sessions {
+        let open = shared.sessions.lock().expect("session table").len();
+        if open >= cap {
+            return overloaded_open(shared, open, cap);
+        }
+    }
     let registry = obs::Registry::new();
     let engine: Box<dyn Engine + Send> = if file.ends_with(".s") || file.ends_with(".asm") {
         match miniasm::asm::assemble(file, source) {
@@ -424,6 +559,13 @@ fn open_session(
     registry.add_sink(export.clone());
     let sid = shared.next_session.fetch_add(1, Ordering::Relaxed);
     let mut table = shared.sessions.lock().expect("session table");
+    // Re-check under the lock: concurrent opens race past the early
+    // check, and `max_sessions` is a hard cap.
+    if let Some(cap) = shared.config.max_sessions {
+        if table.len() >= cap {
+            return overloaded_open(shared, table.len(), cap);
+        }
+    }
     table.insert(
         sid,
         SessionSlot {
@@ -437,7 +579,13 @@ fn open_session(
                 engine,
                 registry,
                 export,
+                in_flight: None,
             })),
+            max_wall_ms: None,
+            max_queue_depth: None,
+            wall_spent: Duration::ZERO,
+            running_since: None,
+            watchdog_flagged: false,
         },
     );
     shared.registry.inc("mi.host.session_open");
@@ -532,11 +680,47 @@ fn enqueue(
                     ),
                 ));
             }
+            // Backpressure, per-session depth first: a rejected frame
+            // is not accepted, so it does not advance `last_seq` — the
+            // client retries with a fresh seq after backing off.
+            let depth = slot.queue.len() as u64;
+            let depth_limit = slot
+                .max_queue_depth
+                .unwrap_or(shared.config.default_queue_depth);
+            if depth >= depth_limit {
+                shared.registry.inc("mi.host.rejected_queue_full");
+                return Some(ResponseFrame {
+                    seq,
+                    resp: Response::QueueFull {
+                        depth,
+                        limit: depth_limit,
+                    },
+                    session: Some(sid),
+                });
+            }
+            // Then the global high-water mark: when too many sessions
+            // are already runnable, shed load instead of queueing into
+            // latency collapse.
+            if let Some(hw) = shared.config.queue_high_water {
+                let load = shared.run_queue.len();
+                if load >= hw {
+                    shared.registry.inc("mi.host.rejected_overloaded");
+                    return Some(ResponseFrame {
+                        seq,
+                        resp: Response::Overloaded {
+                            load: load as u64,
+                            limit: hw as u64,
+                        },
+                        session: Some(sid),
+                    });
+                }
+            }
             slot.last_seq = Some(seq);
             slot.queue.push_back(Job { seq, trace, cmd });
             if !slot.running && slot.state.is_some() {
                 slot.running = true;
                 shared.run_queue.push(Work::Run(sid));
+                shared.queue_depth_gauge();
             }
             None
         }
@@ -566,90 +750,240 @@ fn end_connection_sessions(shared: &Arc<HostShared>, conn: u64) {
     }
 }
 
-/// Executes one command against a session's engine, mirroring the
-/// single-session serve loop: `Ping` and `Telemetry` answered at the
-/// boundary from the *session's* registry and export ring, everything
-/// else handed to the engine under the caller's trace context.
-fn serve_one(state: &mut SessionState, trace: Option<obs::TraceContext>, cmd: Command) -> Response {
+/// Executes one command against a session's engine under a fuel bound,
+/// mirroring the single-session serve loop: `Ping` and `Telemetry`
+/// answered at the boundary from the *session's* registry and export
+/// ring, everything else handed to the engine under the caller's trace
+/// context. `fuel: None` means unsliced (run to the next pause).
+fn serve_one(
+    state: &mut SessionState,
+    trace: Option<obs::TraceContext>,
+    cmd: Command,
+    fuel: Option<u64>,
+) -> SliceOutcome {
     state.registry.inc(&format!("mi.server.cmd.{}", cmd.kind()));
     match cmd {
-        Command::Ping => Response::Pong {
+        Command::Ping => SliceOutcome::Done(Response::Pong {
             now_us: state.registry.now_us(),
-        },
-        Command::Telemetry { since } => Response::Telemetry(Box::new(
+        }),
+        Command::Telemetry { since } => SliceOutcome::Done(Response::Telemetry(Box::new(
             obs::telemetry::collect_frame(&state.registry, Some(&state.export), since),
-        )),
+        ))),
         cmd => {
             obs::set_remote_context(trace);
-            let resp = state.engine.handle(cmd);
+            let out = match fuel {
+                Some(fuel) => state.engine.handle_sliced(cmd, fuel),
+                None => SliceOutcome::Done(state.engine.handle(cmd)),
+            };
             obs::set_remote_context(None);
-            resp
+            out
         }
     }
 }
 
-/// A worker: pop a runnable session, take its state and queued batch,
-/// serve the batch, then park it again (or re-queue it if more commands
-/// arrived meanwhile, or retire it if it ended).
+/// A worker: pop a runnable session, serve one bounded slice, repeat.
 fn worker_loop(shared: &Arc<HostShared>) {
-    while let Work::Run(sid) = shared.run_queue.pop() {
-        let (mut state, jobs, tx) = {
-            let mut table = shared.sessions.lock().expect("session table");
-            let Some(slot) = table.get_mut(&sid) else {
-                continue;
-            };
-            let Some(state) = slot.state.take() else {
-                slot.running = false;
-                continue;
-            };
-            let jobs: Vec<Job> = slot.queue.drain(..).collect();
-            (state, jobs, slot.tx.clone())
-        };
-        // How the batch ended the session, if it did.
-        let mut ended: Option<&'static str> = None;
-        for job in jobs {
-            let stop = matches!(job.cmd, Command::Terminate);
-            let resp = serve_one(&mut state, job.trace, job.cmd);
-            let shipped = reply(
-                &tx,
-                &ResponseFrame {
-                    seq: job.seq,
-                    resp,
-                    session: Some(sid),
-                },
-            );
-            if stop {
-                ended = Some("terminated");
-                break;
-            }
-            if shipped.is_err() {
-                // This connection is gone; its reader will sweep the
-                // sibling sessions. Ending just this one here keeps the
-                // blast radius at exactly one connection.
-                ended = Some("peer_closed");
-                break;
-            }
+    loop {
+        let work = shared.run_queue.pop();
+        shared.queue_depth_gauge();
+        match work {
+            Work::Run(sid) => serve_slice(shared, sid),
+            Work::Stop => break,
         }
+    }
+}
+
+/// One bounded service turn for a runnable session: resume a preempted
+/// command or start the next queued one, spend at most one slice of
+/// fuel on it, then put the session back — parked if idle, at the back
+/// of the run queue if it still has work (a hot-loop tenant costs one
+/// time slice per turn, never a worker thread), or retired if it ended.
+fn serve_slice(shared: &Arc<HostShared>, sid: u64) {
+    // Take ownership of the state and pick this turn's unit of work: a
+    // preempted command beats the queue (FIFO within the session).
+    let (mut state, tx, job, wall) = {
         let mut table = shared.sessions.lock().expect("session table");
         let Some(slot) = table.get_mut(&sid) else {
-            continue;
+            return;
         };
-        if let Some(how) = ended.or(slot.closed) {
-            // Commands that raced in while we served this batch get a
-            // typed refusal instead of silence.
-            for job in slot.queue.drain(..) {
-                let _ = reply(&tx, &session_gone(job.seq, sid));
-            }
-            table.remove(&sid);
-            finish_session(shared, &table, how);
-        } else if slot.queue.is_empty() {
-            // Park: the engine waits in the table, no thread attached.
+        let Some(state) = slot.state.take() else {
+            slot.running = false;
+            return;
+        };
+        let job = if state.in_flight.is_some() {
+            None
+        } else {
+            slot.queue.pop_front()
+        };
+        if job.is_none() && state.in_flight.is_none() {
+            // Woken with nothing to do (e.g. the session was closed and
+            // its queue swept between enqueue and here): park again.
             slot.state = Some(state);
             slot.running = false;
-        } else {
-            slot.state = Some(state);
-            shared.run_queue.push(Work::Run(sid));
+            return;
         }
+        slot.running_since = Some(Instant::now());
+        slot.watchdog_flagged = false;
+        let wall = slot.max_wall_ms.map(|ms| (ms, slot.wall_spent));
+        (state, slot.tx.clone(), job, slot_wall(wall))
+    };
+    let fuel = shared.config.slice_steps;
+    let mut ended: Option<&'static str> = None;
+    let slice_started = Instant::now();
+
+    // Run the unit: (reply routing, outcome), or nothing to answer.
+    let served: Option<(InFlight, SliceOutcome)> = if let Some((limit_ms, spent)) = wall {
+        // The wall budget is already spent: whatever comes next —
+        // resumed or fresh — gets the typed verdict instead of more
+        // engine time. Wall exhaustion is terminal like any other
+        // budget, so even a `SetLimits` raising the cap is refused.
+        let inflight = state.in_flight.take().or(job.map(|j| InFlight {
+            seq: j.seq,
+            trace: j.trace,
+        }));
+        inflight.map(|f| {
+            (
+                f,
+                SliceOutcome::Done(Response::ResourceExhausted {
+                    which: ResourceKind::WallMs,
+                    used: spent.as_millis() as u64,
+                    limit: limit_ms,
+                }),
+            )
+        })
+    } else if let Some(inflight) = state.in_flight.take() {
+        // Transparent resume: the protocol stream never saw the yield.
+        obs::set_remote_context(inflight.trace);
+        let out = state.engine.resume_sliced(fuel.unwrap_or(u64::MAX));
+        obs::set_remote_context(None);
+        Some((inflight, out))
+    } else if let Some(Job { seq, trace, cmd }) = job {
+        if matches!(cmd, Command::Terminate) {
+            ended = Some("terminated");
+        }
+        if let Command::SetLimits {
+            max_wall_ms,
+            max_queue_depth,
+            ..
+        } = &cmd
+        {
+            // Wall and queue budgets are host-enforced: they live on
+            // the slot, visible to `enqueue` and to later slices. Step
+            // and heap budgets ride the same command into the engine.
+            let mut table = shared.sessions.lock().expect("session table");
+            if let Some(slot) = table.get_mut(&sid) {
+                slot.max_wall_ms = *max_wall_ms;
+                slot.max_queue_depth = *max_queue_depth;
+            }
+        }
+        Some((
+            InFlight { seq, trace },
+            serve_one(&mut state, trace, cmd, fuel),
+        ))
+    } else {
+        None
+    };
+    let elapsed = slice_started.elapsed();
+
+    let reply_frame = match served {
+        None => None,
+        Some((inflight, SliceOutcome::Yielded)) => {
+            // Out of fuel mid-command: remember the routing and go to
+            // the back of the line. Nothing is shipped — the client is
+            // still waiting on this seq and cannot tell a sliced run
+            // from an unsliced one.
+            shared.registry.inc("mi.host.preemptions");
+            state.in_flight = Some(inflight);
+            None
+        }
+        Some((inflight, SliceOutcome::Done(resp))) => {
+            if matches!(resp, Response::ResourceExhausted { .. }) {
+                shared.registry.inc("mi.host.budget_exhausted");
+                ended = Some("budget_exhausted");
+            }
+            Some(ResponseFrame {
+                seq: inflight.seq,
+                resp,
+                session: Some(sid),
+            })
+        }
+    };
+    if let Some(rf) = &reply_frame {
+        if reply(&tx, rf).is_err() {
+            // This connection is gone; its reader will sweep the
+            // sibling sessions. Ending just this one here keeps the
+            // blast radius at exactly one connection.
+            ended = Some("peer_closed");
+        }
+    }
+
+    // Put the session back.
+    let mut table = shared.sessions.lock().expect("session table");
+    let Some(slot) = table.get_mut(&sid) else {
+        return;
+    };
+    slot.running_since = None;
+    slot.wall_spent += elapsed;
+    if let Some(how) = ended.or(slot.closed) {
+        // The preempted command (if any) and everything still queued
+        // get a typed refusal instead of silence. Bookkeeping first,
+        // refusals after the lock drops: the moment a client sees its
+        // refusal, the end is already counted and the slot gone.
+        let refused: Vec<u64> = state
+            .in_flight
+            .take()
+            .map(|f| f.seq)
+            .into_iter()
+            .chain(slot.queue.drain(..).map(|j| j.seq))
+            .collect();
+        table.remove(&sid);
+        finish_session(shared, &table, how);
+        drop(table);
+        for seq in refused {
+            let _ = reply(&tx, &session_gone(seq, sid));
+        }
+    } else if state.in_flight.is_some() || !slot.queue.is_empty() {
+        // More to do: back of the run queue, other sessions go first.
+        slot.state = Some(state);
+        shared.run_queue.push(Work::Run(sid));
+        shared.queue_depth_gauge();
+    } else {
+        // Park: the engine waits in the table, no thread attached.
+        slot.state = Some(state);
+        slot.running = false;
+    }
+}
+
+/// Collapses the wall budget to `Some` only when already exceeded.
+fn slot_wall(wall: Option<(u64, Duration)>) -> Option<(u64, Duration)> {
+    wall.filter(|(limit_ms, spent)| *spent >= Duration::from_millis(*limit_ms))
+}
+
+/// The watchdog: periodically scans for sessions that have been on a
+/// worker longer than the configured threshold. With slicing on, a
+/// slice should always finish well inside it, so a flag distinguishes a
+/// stuck engine (a bug worth paging on) from a long program (which
+/// yields every slice). Flags are observable as `mi.host.watchdog_flags`
+/// (one per overdue slice) and the `mi.host.watchdog_stuck` gauge.
+fn watchdog_loop(shared: &Arc<HostShared>) {
+    let threshold = Duration::from_millis(shared.config.watchdog_ms.max(1));
+    let tick = Duration::from_millis((shared.config.watchdog_ms / 4).clamp(5, 50));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        let mut stuck = 0u64;
+        {
+            let mut table = shared.sessions.lock().expect("session table");
+            for slot in table.values_mut() {
+                if slot.running_since.is_some_and(|s| s.elapsed() > threshold) {
+                    stuck += 1;
+                    if !slot.watchdog_flagged {
+                        slot.watchdog_flagged = true;
+                        shared.registry.inc("mi.host.watchdog_flags");
+                    }
+                }
+            }
+        }
+        shared.registry.set_gauge("mi.host.watchdog_stuck", stuck);
     }
 }
 
@@ -975,6 +1309,7 @@ impl HostHandle {
     ) -> Result<SessionHandle, MiError> {
         let mut ctl = self.inner.control.lock().expect("host control");
         let mut attempt = 0;
+        let mut overload_attempts = 0u32;
         loop {
             let result = self.control_call(
                 &mut ctl,
@@ -1000,6 +1335,19 @@ impl HostHandle {
                     });
                 }
                 Ok(Response::Error { message }) => return Err(MiError::Engine(message)),
+                Ok(Response::Overloaded { load, limit }) => {
+                    // Admission pressure, not a fault: the host is at
+                    // its session cap. Back off (bounded, exponential)
+                    // and retry — capacity usually frees up as sessions
+                    // close. Past the bound, degrade loudly.
+                    if overload_attempts >= 5 {
+                        return Err(MiError::Engine(format!(
+                            "host overloaded: {load}/{limit} sessions open"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(10u64 << overload_attempts));
+                    overload_attempts += 1;
+                }
                 Ok(other) => {
                     return Err(MiError::Codec(format!(
                         "unexpected reply to OpenSession: {}",
@@ -1409,6 +1757,288 @@ mod tests {
         assert!(matches!(err, MiError::Engine(_)), "{err:?}");
         assert_eq!(host.session_count(), 0);
         host.shutdown();
+    }
+
+    /// 20 source-visible pauses with an inner loop between them: every
+    /// Resume spans well over 100 VM steps, so any slice fuel below
+    /// that must preempt at least once per Resume.
+    const BREAK_PROG: &str = "int main() {\n  int i = 0;\n  int acc = 0;\n  while (i < 20) {\n    int j = 0;\n    while (j < 40) {\n      acc = acc + j;\n      j = j + 1;\n    }\n    i = i + 1;\n  }\n  return acc;\n}\n";
+
+    /// A long-running loop: the hot-loop abuser and budget fodder.
+    const LOOP_PROG: &str = "int main() {\n  int i = 0;\n  while (i < 20000000) {\n    i = i + 1;\n  }\n  return i;\n}\n";
+
+    fn governed(config: HostConfig) -> SessionHost {
+        SessionHost::with_config(config, obs::Registry::new())
+    }
+
+    /// Drives BREAK_PROG to completion and returns every response,
+    /// serialized — the byte-level trace the transparency oracle
+    /// compares across slice settings.
+    fn pause_trace(slice_steps: Option<u64>) -> (Vec<String>, u64) {
+        let host = governed(HostConfig {
+            workers: 2,
+            slice_steps,
+            ..HostConfig::default()
+        });
+        let handle = HostHandle::connect_in_process(&host);
+        let mut s = handle.open_session("b.c", BREAK_PROG, None).unwrap();
+        let mut trace = Vec::new();
+        let record = |r: Response, trace: &mut Vec<String>| {
+            trace.push(serde_json::to_string(&r).unwrap());
+        };
+        record(call(&mut s, Command::Start), &mut trace);
+        record(call(&mut s, Command::SetBreakLine { line: 10 }), &mut trace);
+        loop {
+            let r = call(&mut s, Command::Resume);
+            let done = matches!(r, Response::Paused(state::PauseReason::Exited(_)));
+            record(r, &mut trace);
+            if done {
+                break;
+            }
+        }
+        record(call(&mut s, Command::GetExitCode), &mut trace);
+        let preemptions = host.registry().snapshot().counter("mi.host.preemptions");
+        host.shutdown();
+        (trace, preemptions)
+    }
+
+    #[test]
+    fn sliced_execution_is_pause_for_pause_identical_to_unsliced() {
+        let (unsliced, p0) = pause_trace(None);
+        assert_eq!(p0, 0, "unsliced host must never preempt");
+        for fuel in [1, 7, 50] {
+            let (sliced, preemptions) = pause_trace(Some(fuel));
+            assert_eq!(
+                sliced, unsliced,
+                "slice fuel {fuel} changed the observable pause sequence"
+            );
+            assert!(
+                preemptions > 0,
+                "fuel {fuel} over {} responses never preempted",
+                sliced.len()
+            );
+        }
+    }
+
+    #[test]
+    fn step_budget_exhaustion_is_typed_and_terminal() {
+        let host = governed(HostConfig {
+            workers: 1,
+            ..HostConfig::default()
+        });
+        let handle = HostHandle::connect_in_process(&host);
+        let mut s = handle.open_session("hot.c", LOOP_PROG, None).unwrap();
+        assert_eq!(
+            call(
+                &mut s,
+                Command::SetLimits {
+                    max_steps: Some(10_000),
+                    max_heap_bytes: None,
+                    max_wall_ms: None,
+                    max_queue_depth: None,
+                }
+            ),
+            Response::Ok
+        );
+        assert!(matches!(call(&mut s, Command::Start), Response::Paused(_)));
+        match call(&mut s, Command::Resume) {
+            Response::ResourceExhausted { which, used, limit } => {
+                assert_eq!(which, ResourceKind::Steps);
+                assert_eq!(limit, 10_000);
+                assert!(used >= limit, "used {used} below limit {limit}");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // Terminal: the session is swept, and the next command reports
+        // engine loss (SessionGone → Disconnected), never silence.
+        assert!(matches!(
+            s.call(Command::GetExitCode),
+            Err(MiError::Disconnected)
+        ));
+        let snap = host.registry().snapshot();
+        assert_eq!(snap.counter("mi.host.budget_exhausted"), 1);
+        assert_eq!(snap.counter("mi.host.session_end.budget_exhausted"), 1);
+        assert_eq!(host.session_count(), 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn wall_budget_gates_a_hot_loop() {
+        let host = governed(HostConfig {
+            workers: 1,
+            slice_steps: Some(10_000),
+            ..HostConfig::default()
+        });
+        let handle = HostHandle::connect_in_process(&host);
+        let mut s = handle.open_session("hot.c", LOOP_PROG, None).unwrap();
+        assert!(matches!(call(&mut s, Command::Start), Response::Paused(_)));
+        assert_eq!(
+            call(
+                &mut s,
+                Command::SetLimits {
+                    max_steps: None,
+                    max_heap_bytes: None,
+                    max_wall_ms: Some(30),
+                    max_queue_depth: None,
+                }
+            ),
+            Response::Ok
+        );
+        // The loop body runs for far longer than 30ms of engine time;
+        // the host must cut it off with the typed verdict mid-command.
+        match call(&mut s, Command::Resume) {
+            Response::ResourceExhausted { which, used, limit } => {
+                assert_eq!(which, ResourceKind::WallMs);
+                assert_eq!(limit, 30);
+                assert!(used >= limit);
+            }
+            other => panic!("expected wall ResourceExhausted, got {other:?}"),
+        }
+        assert_eq!(
+            host.registry()
+                .snapshot()
+                .counter("mi.host.budget_exhausted"),
+            1
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_budget_rejects_floods_with_queue_full() {
+        let host = governed(HostConfig {
+            workers: 1,
+            slice_steps: Some(50),
+            ..HostConfig::default()
+        });
+        let mut c = RawConn::connect(&host);
+        let sid = match c
+            .roundtrip(
+                None,
+                Command::OpenSession {
+                    file: "hot.c".into(),
+                    source: LOOP_PROG.into(),
+                },
+            )
+            .resp
+        {
+            Response::SessionOpened { session } => session,
+            other => panic!("expected SessionOpened, got {other:?}"),
+        };
+        assert_eq!(
+            c.roundtrip(
+                Some(sid),
+                Command::SetLimits {
+                    max_steps: None,
+                    max_heap_bytes: None,
+                    max_wall_ms: None,
+                    max_queue_depth: Some(1),
+                }
+            )
+            .resp,
+            Response::Ok
+        );
+        assert!(matches!(
+            c.roundtrip(Some(sid), Command::Start).resp,
+            Response::Paused(_)
+        ));
+        // Resume runs the hot loop in tiny slices: the command stays
+        // in flight, so anything queued behind it never drains.
+        let resume_seq = c.seq;
+        c.seq += 1;
+        c.send_frame(resume_seq, Some(sid), Command::Resume);
+        // Wait for the first preemption: from then on Resume is in
+        // flight with the session's own queue empty, so the depth the
+        // next frames see is deterministic.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while host.registry().snapshot().counter("mi.host.preemptions") == 0 {
+            assert!(Instant::now() < deadline, "hot loop never preempted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let step_seq = c.seq;
+        c.seq += 1;
+        c.send_frame(step_seq, Some(sid), Command::Step); // queued, depth 1
+        let rf = c.roundtrip(Some(sid), Command::Step); // over the budget
+        match rf.resp {
+            Response::QueueFull { depth, limit } => {
+                assert_eq!((depth, limit), (1, 1));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(
+            host.registry()
+                .snapshot()
+                .counter("mi.host.rejected_queue_full"),
+            1
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn opens_past_the_session_cap_get_overloaded() {
+        let host = governed(HostConfig {
+            workers: 1,
+            max_sessions: Some(2),
+            ..HostConfig::default()
+        });
+        let mut c = RawConn::connect(&host);
+        c.open("a.c");
+        c.open("b.c");
+        let rf = c.roundtrip(
+            None,
+            Command::OpenSession {
+                file: "c.c".into(),
+                source: PROG.into(),
+            },
+        );
+        assert_eq!(
+            rf.resp,
+            Response::Overloaded { load: 2, limit: 2 },
+            "third open past max-sessions"
+        );
+        assert_eq!(
+            host.registry()
+                .snapshot()
+                .counter("mi.host.rejected_overloaded"),
+            1
+        );
+        host.shutdown();
+    }
+
+    #[test]
+    fn client_open_retries_overload_then_degrades_loudly() {
+        let host = governed(HostConfig {
+            workers: 1,
+            max_sessions: Some(0),
+            ..HostConfig::default()
+        });
+        let handle = HostHandle::connect_in_process(&host);
+        let err = handle.open_session("t.c", PROG, None).unwrap_err();
+        match err {
+            MiError::Engine(m) => assert!(m.contains("overloaded"), "{m}"),
+            other => panic!("expected typed overload error, got {other:?}"),
+        }
+        host.shutdown();
+    }
+
+    #[test]
+    fn run_queue_high_water_sheds_session_commands() {
+        let host = governed(HostConfig {
+            workers: 1,
+            queue_high_water: Some(0),
+            ..HostConfig::default()
+        });
+        let mut c = RawConn::connect(&host);
+        let sid = c.open("t.c");
+        let rf = c.roundtrip(Some(sid), Command::Start);
+        assert_eq!(rf.resp, Response::Overloaded { load: 0, limit: 0 });
+        let registry = host.registry().clone();
+        host.shutdown();
+        // Workers publish the depth gauge on every wakeup, including
+        // the final Stop — the series must exist after any activity.
+        assert!(registry
+            .snapshot()
+            .gauges
+            .contains_key("mi.host.run_queue_depth"));
     }
 
     #[test]

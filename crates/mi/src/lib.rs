@@ -44,9 +44,9 @@ pub mod server;
 pub mod supervise;
 pub mod transport;
 
-pub use host::{HostHandle, SessionHandle, SessionHost};
-pub use protocol::{Command, CommandFrame, Response, ResponseFrame};
-pub use server::{Client, CommandPort, Engine, ServeEnd, Server};
+pub use host::{HostConfig, HostHandle, SessionHandle, SessionHost, DEFAULT_SLICE_STEPS};
+pub use protocol::{Command, CommandFrame, ResourceKind, Response, ResponseFrame};
+pub use server::{Client, CommandPort, Engine, ServeEnd, Server, SliceOutcome};
 pub use supervise::{SupervisePolicy, SupervisedClient};
 pub use transport::MAX_FRAME_LEN;
 

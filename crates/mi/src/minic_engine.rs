@@ -17,8 +17,8 @@
 //!   measurable;
 //! * **step / next / finish** with GDB's line-change semantics.
 
-use crate::protocol::{Command, Response};
-use crate::server::Engine;
+use crate::protocol::{Command, ResourceKind, Response};
+use crate::server::{Engine, SliceOutcome};
 use minic::inspect::{self, InspectOptions};
 use minic::vm::{Event, Vm};
 use minic::Program;
@@ -61,6 +61,22 @@ enum Mode {
     Finish { depth: usize },
 }
 
+/// How one fuel-bounded run burst ended (internal to the engine; the
+/// protocol never sees `OutOfFuel`).
+enum RunOutcome {
+    /// A real pause condition — what the protocol reports.
+    Paused(PauseReason),
+    /// The slice's fuel ran out mid-command; the mode is stashed in
+    /// `pending_slice` and `resume_sliced` continues it.
+    OutOfFuel,
+    /// A hard budget tripped: terminal, reported typed.
+    Exhausted {
+        which: ResourceKind,
+        used: u64,
+        limit: u64,
+    },
+}
+
 /// The MiniC engine (see the [module docs](self)).
 #[derive(Debug)]
 pub struct MinicEngine {
@@ -79,6 +95,19 @@ pub struct MinicEngine {
     registry: Option<obs::Registry>,
     /// VM events seen by the control loop (published as `vm.minic.events`).
     events_seen: u64,
+    /// A control command that yielded on fuel, waiting for
+    /// [`Engine::resume_sliced`]. `finish_fired` is deliberately *not*
+    /// reset on resume — it is part of the command's progress.
+    pending_slice: Option<Mode>,
+    /// Hard step budget ([`Command::SetLimits`] `max_steps`), measured
+    /// against the VM's cumulative op count.
+    max_steps: Option<u64>,
+    /// Hard live-heap budget (`max_heap_bytes`), measured against the
+    /// allocator's live-byte gauge after every event.
+    max_heap_bytes: Option<u64>,
+    /// Set once a hard budget trips; terminal — later control commands
+    /// repeat the same typed verdict instead of running the inferior.
+    exhausted: Option<(ResourceKind, u64, u64)>,
 }
 
 impl MinicEngine {
@@ -98,6 +127,10 @@ impl MinicEngine {
             finish_fired: false,
             registry: None,
             events_seen: 0,
+            pending_slice: None,
+            max_steps: None,
+            max_heap_bytes: None,
+            exhausted: None,
         }
     }
 
@@ -235,29 +268,59 @@ impl MinicEngine {
         hit
     }
 
-    /// Runs the VM until a pause condition for `mode` is met.
-    fn run(&mut self, mode: Mode) -> PauseReason {
+    /// Runs the VM until a pause condition for `mode` is met, the slice's
+    /// `fuel` (in VM events) runs out, or a hard budget trips. Callers
+    /// starting a *fresh* command must clear `finish_fired` first; a
+    /// slice resume must not (it is the command's progress).
+    fn run(&mut self, mode: Mode, fuel: Option<u64>) -> RunOutcome {
         if let Some(code) = self.vm.exit_code() {
-            return PauseReason::Exited(ExitStatus::Exited(code));
+            return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Exited(code)));
         }
         if self.crashed.is_some() {
-            return PauseReason::Exited(ExitStatus::Crashed);
+            return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Crashed));
         }
-        self.finish_fired = false;
+        let mut spent = 0u64;
         loop {
+            if let Some(f) = fuel {
+                if spent >= f {
+                    self.pending_slice = Some(mode);
+                    return RunOutcome::OutOfFuel;
+                }
+            }
             let event = match self.vm.step() {
                 Ok(ev) => ev,
                 Err(e) => {
                     self.crashed = Some(e.to_string());
-                    return PauseReason::Exited(ExitStatus::Crashed);
+                    return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Crashed));
                 }
             };
+            spent += 1;
             self.events_seen += 1;
+            if let Some(limit) = self.max_steps {
+                let used = self.vm.ops_executed();
+                if used > limit {
+                    return RunOutcome::Exhausted {
+                        which: ResourceKind::Steps,
+                        used,
+                        limit,
+                    };
+                }
+            }
+            if let Some(limit) = self.max_heap_bytes {
+                let used = self.vm.allocator().live_bytes();
+                if used > limit {
+                    return RunOutcome::Exhausted {
+                        which: ResourceKind::HeapBytes,
+                        used,
+                        limit,
+                    };
+                }
+            }
             match event {
                 Event::Line(n) => {
                     if !self.watches.is_empty() {
                         if let Some(reason) = self.check_watches() {
-                            return reason;
+                            return RunOutcome::Paused(reason);
                         }
                     }
                     if let Some(bp) = self
@@ -265,25 +328,25 @@ impl MinicEngine {
                         .iter()
                         .find(|bp| matches!(bp.kind, BpKind::Line(l) if l == n))
                     {
-                        return PauseReason::Breakpoint {
+                        return RunOutcome::Paused(PauseReason::Breakpoint {
                             id: bp.id,
                             location: self.location(n),
-                        };
+                        });
                     }
                     if self.finish_fired {
-                        return PauseReason::Step;
+                        return RunOutcome::Paused(PauseReason::Step);
                     }
                     let depth = self.vm.frames().len();
                     match mode {
-                        Mode::Start => return PauseReason::Started,
+                        Mode::Start => return RunOutcome::Paused(PauseReason::Started),
                         Mode::Step { line, depth: d } => {
                             if n != line || depth != d {
-                                return PauseReason::Step;
+                                return RunOutcome::Paused(PauseReason::Step);
                             }
                         }
                         Mode::Next { line, depth: d } => {
                             if depth < d || (depth == d && n != line) {
-                                return PauseReason::Step;
+                                return RunOutcome::Paused(PauseReason::Step);
                             }
                         }
                         Mode::Resume | Mode::Finish { .. } => {}
@@ -299,20 +362,20 @@ impl MinicEngine {
                         BpKind::Line(_) => false,
                     }) {
                         let line = self.vm.program().functions[function].line;
-                        return PauseReason::Breakpoint {
+                        return RunOutcome::Paused(PauseReason::Breakpoint {
                             id: bp.id,
                             location: self.location(line),
-                        };
+                        });
                     }
                     if self
                         .tracked
                         .iter()
                         .any(|t| t.function == *name && t.maxdepth.is_none_or(|m| depth <= m))
                     {
-                        return PauseReason::FunctionCall {
+                        return RunOutcome::Paused(PauseReason::FunctionCall {
                             function: name.clone(),
                             depth,
-                        };
+                        });
                     }
                 }
                 Event::Return {
@@ -326,11 +389,11 @@ impl MinicEngine {
                         .iter()
                         .any(|t| t.function == name && t.maxdepth.is_none_or(|m| depth <= m))
                     {
-                        return PauseReason::FunctionReturn {
+                        return RunOutcome::Paused(PauseReason::FunctionReturn {
                             function: name,
                             depth,
                             return_value: value.map(|v| v.to_string()),
-                        };
+                        });
                     }
                     if let Mode::Finish { depth: d } = mode {
                         if depth as usize == d {
@@ -340,7 +403,7 @@ impl MinicEngine {
                 }
                 Event::Store { .. } => {
                     if let Some(reason) = self.check_watches() {
-                        return reason;
+                        return RunOutcome::Paused(reason);
                     }
                 }
                 Event::Output(_) => {}
@@ -348,21 +411,45 @@ impl MinicEngine {
                     if let Some(reg) = &self.registry {
                         reg.add("sanitizer.traps", 1);
                     }
-                    return PauseReason::Sanitizer { diagnostic };
+                    return RunOutcome::Paused(PauseReason::Sanitizer { diagnostic });
                 }
                 Event::Exited(code) => {
-                    return PauseReason::Exited(ExitStatus::Exited(code));
+                    return RunOutcome::Paused(PauseReason::Exited(ExitStatus::Exited(code)));
                 }
             }
         }
     }
 
-    fn control(&mut self, mode: Mode) -> Response {
+    /// Starts a *fresh* control command, optionally fuel-bounded.
+    /// Clears per-command progress (`finish_fired`, any stale pending
+    /// slice) before running — the one thing a slice resume must not do.
+    fn control_sliced(&mut self, mode: Mode, fuel: Option<u64>) -> SliceOutcome {
         if !self.started && !matches!(mode, Mode::Start) {
-            return Response::Error {
+            return SliceOutcome::Done(Response::Error {
                 message: "inferior not started (call start first)".into(),
-            };
+            });
         }
+        self.finish_fired = false;
+        self.burst(mode, fuel)
+    }
+
+    fn control(&mut self, mode: Mode) -> Response {
+        match self.control_sliced(mode, None) {
+            SliceOutcome::Done(resp) => resp,
+            SliceOutcome::Yielded => unreachable!("unfueled run cannot yield"),
+        }
+    }
+
+    /// One fuel-bounded run burst: shared by fresh commands and slice
+    /// resumes. The per-burst span is telemetry only, so slicing stays
+    /// invisible on the protocol.
+    fn burst(&mut self, mode: Mode, fuel: Option<u64>) -> SliceOutcome {
+        if let Some((which, used, limit)) = self.exhausted {
+            // Budget exhaustion is terminal: every later control command
+            // repeats the verdict instead of running the inferior.
+            return SliceOutcome::Done(Response::ResourceExhausted { which, used, limit });
+        }
+        self.pending_slice = None;
         // Times the VM burst this control command caused; joins the
         // tracker's trace when the command frame carried a context.
         let span = self.registry.as_ref().map(|reg| {
@@ -370,14 +457,65 @@ impl MinicEngine {
             span.category("vm");
             span
         });
-        let reason = self.run(mode);
+        let outcome = self.run(mode, fuel);
         if let Some(mut span) = span {
-            span.tag("pause_reason", reason.to_string());
+            let tag = match &outcome {
+                RunOutcome::Paused(reason) => reason.to_string(),
+                RunOutcome::OutOfFuel => "slice".to_owned(),
+                RunOutcome::Exhausted { which, .. } => format!("exhausted:{which}"),
+            };
+            span.tag("pause_reason", tag);
             span.finish();
         }
-        self.last_reason = reason.clone();
         self.publish_stats();
-        Response::Paused(reason)
+        match outcome {
+            RunOutcome::Paused(reason) => {
+                self.last_reason = reason.clone();
+                SliceOutcome::Done(Response::Paused(reason))
+            }
+            RunOutcome::OutOfFuel => SliceOutcome::Yielded,
+            RunOutcome::Exhausted { which, used, limit } => {
+                self.exhausted = Some((which, used, limit));
+                SliceOutcome::Done(Response::ResourceExhausted { which, used, limit })
+            }
+        }
+    }
+
+    /// Maps a control command to its run mode, performing the same
+    /// pre-flight checks for the plain and sliced paths. `None` for
+    /// non-control commands.
+    fn prepare(&mut self, command: &Command) -> Option<Result<Mode, Response>> {
+        match command {
+            Command::Start => Some(if self.started {
+                Err(Response::Error {
+                    message: "inferior already started".into(),
+                })
+            } else {
+                self.started = true;
+                Ok(Mode::Start)
+            }),
+            Command::Resume => Some(Ok(Mode::Resume)),
+            Command::Step => {
+                let (line, depth) = self.current_position();
+                Some(Ok(Mode::Step { line, depth }))
+            }
+            Command::Next => {
+                let (line, depth) = self.current_position();
+                Some(Ok(Mode::Next { line, depth }))
+            }
+            Command::Finish => {
+                let (_, depth) = self.current_position();
+                Some(if depth <= 1 {
+                    Err(Response::Error {
+                        message: "cannot finish the outermost frame".into(),
+                    })
+                } else {
+                    // Depth as reported in Return events is 0-based.
+                    Ok(Mode::Finish { depth: depth - 1 })
+                })
+            }
+            _ => None,
+        }
     }
 
     fn current_position(&self) -> (u32, usize) {
@@ -388,34 +526,14 @@ impl MinicEngine {
 
 impl Engine for MinicEngine {
     fn handle(&mut self, command: Command) -> Response {
+        match self.prepare(&command) {
+            Some(Err(resp)) => return resp,
+            Some(Ok(mode)) => return self.control(mode),
+            None => {}
+        }
         match command {
-            Command::Start => {
-                if self.started {
-                    return Response::Error {
-                        message: "inferior already started".into(),
-                    };
-                }
-                self.started = true;
-                self.control(Mode::Start)
-            }
-            Command::Resume => self.control(Mode::Resume),
-            Command::Step => {
-                let (line, depth) = self.current_position();
-                self.control(Mode::Step { line, depth })
-            }
-            Command::Next => {
-                let (line, depth) = self.current_position();
-                self.control(Mode::Next { line, depth })
-            }
-            Command::Finish => {
-                let (_, depth) = self.current_position();
-                if depth <= 1 {
-                    return Response::Error {
-                        message: "cannot finish the outermost frame".into(),
-                    };
-                }
-                // Depth as reported in Return events is 0-based.
-                self.control(Mode::Finish { depth: depth - 1 })
+            Command::Start | Command::Resume | Command::Step | Command::Next | Command::Finish => {
+                unreachable!("control commands are routed through prepare")
             }
             Command::SetBreakLine { line } => {
                 // Like GDB: slide to the next line that really holds code.
@@ -600,10 +718,42 @@ impl Engine for MinicEngine {
                 Response::Telemetry(Box::new(frame))
             }
             Command::Terminate => Response::Ok,
+            Command::SetLimits {
+                max_steps,
+                max_heap_bytes,
+                ..
+            } => {
+                // Steps and heap are enforced in-engine; wall time and
+                // queue depth are the host's job (it applies them as the
+                // command passes through). Converges: re-setting the same
+                // budgets is a no-op, `None` clears.
+                self.max_steps = max_steps;
+                self.max_heap_bytes = max_heap_bytes;
+                Response::Ok
+            }
             // Session management is the host's job, not an engine's.
             Command::OpenSession { .. } | Command::CloseSession { .. } => Response::Error {
                 message: "session commands are handled by the host, not an engine".into(),
             },
+        }
+    }
+
+    fn handle_sliced(&mut self, command: Command, fuel: u64) -> SliceOutcome {
+        match self.prepare(&command) {
+            Some(Err(resp)) => SliceOutcome::Done(resp),
+            Some(Ok(mode)) => self.control_sliced(mode, Some(fuel)),
+            None => SliceOutcome::Done(self.handle(command)),
+        }
+    }
+
+    fn resume_sliced(&mut self, fuel: u64) -> SliceOutcome {
+        match self.pending_slice {
+            // Resume, not restart: `finish_fired` and the stashed mode
+            // are the command's progress and survive the yield.
+            Some(mode) => self.burst(mode, Some(fuel)),
+            None => SliceOutcome::Done(Response::Error {
+                message: "no sliced command pending".into(),
+            }),
         }
     }
 }

@@ -154,6 +154,57 @@ pub enum Command {
         /// Id returned by [`Response::SessionOpened`].
         session: u64,
     },
+    /// Set (or clear) the session's hard resource budgets. Exceeding a
+    /// budget surfaces as the typed [`Response::ResourceExhausted`] and
+    /// ends the session — budgets are quota enforcement, not pause
+    /// conditions. `None` clears that budget; the command converges
+    /// (re-issuing the same limits is a no-op), so it retries safely and
+    /// is journaled as configuration so a respawned session runs under
+    /// the same quota.
+    SetLimits {
+        /// VM steps the inferior may execute, total.
+        max_steps: Option<u64>,
+        /// Live heap bytes the inferior may hold at once (MiniC).
+        max_heap_bytes: Option<u64>,
+        /// Accumulated engine execution wall time, in milliseconds,
+        /// measured by the host across the session's run slices.
+        max_wall_ms: Option<u64>,
+        /// Commands the host will queue for the session at once.
+        /// Exceeding it is the *retryable* [`Response::QueueFull`], not
+        /// a terminal exhaustion.
+        max_queue_depth: Option<u64>,
+    },
+}
+
+/// Which governed resource a budget verdict is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// VM steps executed ([`Command::SetLimits`] `max_steps`).
+    Steps,
+    /// Live heap bytes (`max_heap_bytes`).
+    HeapBytes,
+    /// Accumulated execution wall time in ms (`max_wall_ms`).
+    WallMs,
+    /// Per-session queued commands (`max_queue_depth`).
+    QueueDepth,
+}
+
+impl ResourceKind {
+    /// Stable short name, used in metrics and flight-recorder entries.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Steps => "steps",
+            ResourceKind::HeapBytes => "heap_bytes",
+            ResourceKind::WallMs => "wall_ms",
+            ResourceKind::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl Command {
@@ -190,6 +241,7 @@ impl Command {
             Command::Terminate => "Terminate",
             Command::OpenSession { .. } => "OpenSession",
             Command::CloseSession { .. } => "CloseSession",
+            Command::SetLimits { .. } => "SetLimits",
         }
     }
 
@@ -210,6 +262,8 @@ impl Command {
     /// idempotent — a retry whose first attempt landed would leak a
     /// session — and `CloseSession` is: closing an already-closed id is
     /// answered with a typed error the caller treats as done.
+    /// `SetLimits` converges like `SetSanitizer`: setting the same
+    /// budgets twice is a no-op.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -229,6 +283,7 @@ impl Command {
                 | Command::Ping
                 | Command::Terminate
                 | Command::CloseSession { .. }
+                | Command::SetLimits { .. }
         )
     }
 }
@@ -338,6 +393,39 @@ pub enum Response {
         /// The id the rejected frame addressed.
         session: u64,
     },
+    /// A hard per-session budget ([`Command::SetLimits`]) was exceeded.
+    /// Terminal: the host sweeps the session after shipping this, so the
+    /// client must not retry or replay — a deterministic replay would
+    /// exhaust the same budget again. Distinct from [`Response::Error`]
+    /// so supervisors can tell quota enforcement from command failure.
+    ResourceExhausted {
+        /// Which budget was exceeded.
+        which: ResourceKind,
+        /// Observed usage when the budget tripped.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The host refused admission: session table at `--max-sessions`
+    /// capacity or run queue past its high-water mark. Nothing was
+    /// executed, so retrying after backoff is safe for *any* command —
+    /// the rejection happens before the command touches an engine.
+    Overloaded {
+        /// Current load on the refusing resource (open sessions or
+        /// queued run slots).
+        load: u64,
+        /// The capacity it hit.
+        limit: u64,
+    },
+    /// The session's own command queue is at its `max_queue_depth`.
+    /// Like [`Response::Overloaded`], a pre-execution rejection:
+    /// retryable with backoff, not terminal.
+    QueueFull {
+        /// Commands already queued for the session.
+        depth: u64,
+        /// The configured depth limit.
+        limit: u64,
+    },
     /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
     Pong {
         /// The responder's monotonic clock (microseconds since its
@@ -375,6 +463,11 @@ impl Response {
             Response::Profile(r) => format!("Profile({}, {} units)", r.mode.name(), r.units),
             Response::SessionOpened { session } => format!("SessionOpened({session})"),
             Response::SessionGone { session } => format!("SessionGone({session})"),
+            Response::ResourceExhausted { which, used, limit } => {
+                format!("ResourceExhausted({which} {used}/{limit})")
+            }
+            Response::Overloaded { load, limit } => format!("Overloaded({load}/{limit})"),
+            Response::QueueFull { depth, limit } => format!("QueueFull({depth}/{limit})"),
             Response::Pong { now_us } => format!("Pong({now_us})"),
             Response::Error { message } => format!("Error({message})"),
         }
@@ -545,6 +638,89 @@ mod tests {
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
         assert_eq!(back.summary(), "Profile(off, 0 units)");
+    }
+
+    #[test]
+    fn governance_commands_are_named_classified_and_roundtrip() {
+        let limits = Command::SetLimits {
+            max_steps: Some(10_000),
+            max_heap_bytes: None,
+            max_wall_ms: Some(250),
+            max_queue_depth: Some(8),
+        };
+        assert_eq!(limits.kind(), "SetLimits");
+        assert!(limits.is_idempotent(), "SetLimits converges, retry-safe");
+        let json = serde_json::to_string(&limits).unwrap();
+        let back: Command = serde_json::from_str(&json).unwrap();
+        assert_eq!(limits, back);
+
+        let rs = vec![
+            Response::ResourceExhausted {
+                which: ResourceKind::Steps,
+                used: 10_001,
+                limit: 10_000,
+            },
+            Response::Overloaded {
+                load: 64,
+                limit: 64,
+            },
+            Response::QueueFull { depth: 8, limit: 8 },
+        ];
+        for r in rs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(r, back);
+        }
+        assert_eq!(
+            Response::ResourceExhausted {
+                which: ResourceKind::WallMs,
+                used: 300,
+                limit: 250,
+            }
+            .summary(),
+            "ResourceExhausted(wall_ms 300/250)"
+        );
+        assert_eq!(
+            Response::Overloaded {
+                load: 65,
+                limit: 64
+            }
+            .summary(),
+            "Overloaded(65/64)"
+        );
+        assert_eq!(
+            Response::QueueFull { depth: 9, limit: 8 }.summary(),
+            "QueueFull(9/8)"
+        );
+        for kind in [
+            ResourceKind::Steps,
+            ResourceKind::HeapBytes,
+            ResourceKind::WallMs,
+            ResourceKind::QueueDepth,
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: ResourceKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+        }
+    }
+
+    #[test]
+    fn old_peers_decode_frames_without_limits() {
+        // A frame from a peer predating SetLimits carries none of the
+        // governance vocabulary and must keep decoding unchanged.
+        let legacy_cmd = r#"{"seq":21,"cmd":"Step"}"#;
+        let back: CommandFrame = serde_json::from_str(legacy_cmd).unwrap();
+        assert_eq!(back.cmd, Command::Step);
+        // And a SetLimits encoded by a new peer is explicit JSON an old
+        // reader would reject typed (unknown variant), never misparse.
+        let cmd = Command::SetLimits {
+            max_steps: None,
+            max_heap_bytes: Some(1 << 20),
+            max_wall_ms: None,
+            max_queue_depth: None,
+        };
+        let json = serde_json::to_string(&cmd).unwrap();
+        assert!(json.contains("SetLimits"), "{json}");
     }
 
     #[test]

@@ -20,11 +20,49 @@ pub enum ServeEnd {
     PeerClosed,
 }
 
+/// Outcome of one fuel-bounded slice of a command (see
+/// [`Engine::handle_sliced`]).
+#[derive(Debug)]
+pub enum SliceOutcome {
+    /// The command finished within the slice; this is the response —
+    /// byte-identical to what an unsliced [`Engine::handle`] of the same
+    /// command would have produced.
+    Done(Response),
+    /// The fuel ran out mid-command. Nothing is reported to the peer:
+    /// the caller owns the yield (the session host re-queues the session
+    /// and later calls [`Engine::resume_sliced`]). The inferior's state
+    /// is exactly as if execution had merely progressed — a yield is
+    /// never observable through the protocol.
+    Yielded,
+}
+
 /// A debugger engine: executes one command against its inferior.
 pub trait Engine {
     /// Handles one command. Engines never panic on bad input; they return
     /// [`Response::Error`].
     fn handle(&mut self, command: Command) -> Response;
+
+    /// Handles one command, executing at most `fuel` VM steps before
+    /// yielding. Control commands that would run longer return
+    /// [`SliceOutcome::Yielded`] and are continued by
+    /// [`Engine::resume_sliced`]; non-control commands always complete.
+    /// The default ignores the fuel and completes the command — engines
+    /// that cannot slice (test doubles, single-session servers) stay
+    /// correct, they just cannot be preempted.
+    fn handle_sliced(&mut self, command: Command, fuel: u64) -> SliceOutcome {
+        let _ = fuel;
+        SliceOutcome::Done(self.handle(command))
+    }
+
+    /// Continues the command that last yielded, with a fresh `fuel`
+    /// allowance. Calling it with no yield pending is a caller bug and
+    /// answered with a typed [`Response::Error`].
+    fn resume_sliced(&mut self, fuel: u64) -> SliceOutcome {
+        let _ = fuel;
+        SliceOutcome::Done(Response::Error {
+            message: "no sliced command pending".into(),
+        })
+    }
 }
 
 /// Pumps commands from a transport into an engine until `Terminate`.

@@ -167,6 +167,35 @@ impl<P: CommandPort> SupervisedClient<P> {
         let mut attempt = 0u32;
         loop {
             match self.inner.call_deadline(command.clone(), deadline) {
+                Ok(resp @ (Response::Overloaded { .. } | Response::QueueFull { .. })) => {
+                    // Admission rejections happen *before* the command
+                    // touches the engine, so re-sending is safe for any
+                    // command, idempotent or not. Back off to let the
+                    // host drain; past the retry bound, surface the
+                    // typed rejection for the caller to map.
+                    if attempt >= self.policy.max_retries {
+                        return Ok(resp);
+                    }
+                    if let Some(reg) = &self.registry {
+                        reg.inc("mi.retries");
+                    }
+                    if let Some(flight) = &self.flight {
+                        flight.record(
+                            "backpressure",
+                            format!("{} got {}", command.kind(), resp.summary()),
+                        );
+                    }
+                    let sleep = jittered_backoff(
+                        self.policy.backoff_base,
+                        self.policy.backoff_cap,
+                        attempt,
+                        &mut self.rng,
+                    );
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                    attempt += 1;
+                }
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
                     // Only faults where the command may simply have been

@@ -63,8 +63,14 @@ impl Histogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile sample,
-    /// clamped to the observed maximum. `q` is in `[0, 1]`.
+    /// Estimate of the `q`-quantile sample (`q` in `[0, 1]`), clamped
+    /// to the observed maximum.
+    ///
+    /// The estimate interpolates linearly *within* the power-of-two
+    /// bucket holding the ranked sample. Returning the bucket's upper
+    /// bound instead (as this once did) collapses every tail quantile
+    /// that lands in the same bucket to one value — p95 and p99 both
+    /// reading exactly `2^k` ns was the visible symptom.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -74,8 +80,16 @@ impl Histogram {
         for (i, n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let upper = if i == 0 { 0 } else { 1u64 << i };
-                return upper.min(self.max);
+                if i == 0 {
+                    return 0;
+                }
+                // Rank position inside this bucket, in [1, n]: assume
+                // samples spread evenly over [2^(i-1), 2^i).
+                let lower = 1u64 << (i - 1);
+                let width = lower; // upper - lower for a pow-2 bucket
+                let pos = rank - (seen - n);
+                let est = lower + (width as u128 * pos as u128 / *n as u128) as u64;
+                return est.min(self.max);
             }
         }
         self.max
@@ -166,6 +180,28 @@ mod tests {
         let s = h.stats();
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
         assert!((990..=1000).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn tail_quantiles_in_one_bucket_stay_distinct() {
+        // 1000 samples spread across one power-of-two bucket
+        // [2^19, 2^20): p95 and p99 land in the same bucket, and the
+        // pre-interpolation quantile() reported both as 2^20 = 1048576.
+        let mut h = Histogram::new();
+        for k in 0..1000u64 {
+            h.record((1 << 19) + k * 524);
+        }
+        let s = h.stats();
+        assert!(s.p95 < s.p99, "p95 = {}, p99 = {}", s.p95, s.p99);
+        assert!(s.p99 <= s.max);
+        // Interpolated estimates track the true ranks within ~1%.
+        let true_p95 = (1 << 19) + 949 * 524;
+        assert!(
+            (s.p95 as i64 - true_p95 as i64).unsigned_abs() < (1 << 19) / 64,
+            "p95 = {} vs true {}",
+            s.p95,
+            true_p95
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! id, and must never desynchronize an innocent session's stream.
 
 use mi::transport::{duplex, ChannelTransport, Transport as _};
-use mi::{Command, CommandFrame, Response, ResponseFrame, SessionHost};
+use mi::{Command, CommandFrame, ResourceKind, Response, ResponseFrame, SessionHost};
 use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 const PROG: &str = "int main() {\n\
@@ -234,5 +235,141 @@ proptest! {
         prop_assert!(matches!(rf.resp, Response::Paused(_)));
         prop_assert_eq!(host.session_count(), 2);
         host.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Governance wire compatibility
+// ---------------------------------------------------------------------------
+
+/// Mirror of the pre-governance command vocabulary, as a peer compiled
+/// before `SetLimits` existed would have it. Serde rejects unknown
+/// variants, so a successful decode through this type proves an old
+/// peer reads the frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum LegacyCommand {
+    Start,
+    Resume,
+    Step,
+    GetExitCode,
+    Ping,
+    Telemetry { since: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LegacyCommandFrame {
+    seq: u64,
+    cmd: LegacyCommand,
+    trace: Option<serde_json::Value>,
+    session: Option<u64>,
+}
+
+fn legacy_pairs() -> Vec<(Command, LegacyCommand)> {
+    vec![
+        (Command::Start, LegacyCommand::Start),
+        (Command::Resume, LegacyCommand::Resume),
+        (Command::Step, LegacyCommand::Step),
+        (Command::GetExitCode, LegacyCommand::GetExitCode),
+        (Command::Ping, LegacyCommand::Ping),
+        (
+            Command::Telemetry { since: 7 },
+            LegacyCommand::Telemetry { since: 7 },
+        ),
+    ]
+}
+
+/// The vendored proptest has no `prop::option`; roll one.
+fn arb_opt_u64() -> BoxedStrategy<Option<u64>> {
+    prop_oneof![Just(None), any::<u64>().prop_map(Some)].boxed()
+}
+
+fn arb_limits() -> impl Strategy<Value = Command> {
+    (arb_opt_u64(), arb_opt_u64(), arb_opt_u64(), arb_opt_u64()).prop_map(|(s, h, w, q)| {
+        Command::SetLimits {
+            max_steps: s,
+            max_heap_bytes: h,
+            max_wall_ms: w,
+            max_queue_depth: q,
+        }
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = ResourceKind> {
+    prop_oneof![
+        Just(ResourceKind::Steps),
+        Just(ResourceKind::HeapBytes),
+        Just(ResourceKind::WallMs),
+        Just(ResourceKind::QueueDepth),
+    ]
+}
+
+fn arb_governance_resp() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (arb_kind(), any::<u64>(), any::<u64>()).prop_map(|(which, used, limit)| {
+            Response::ResourceExhausted { which, used, limit }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(load, limit)| Response::Overloaded { load, limit }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(depth, limit)| Response::QueueFull { depth, limit }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SetLimits` commands and the three governance responses survive
+    /// a framed JSON round-trip bit-exactly, any combination of set
+    /// and cleared budgets included.
+    #[test]
+    fn governance_frames_roundtrip(
+        cmd in arb_limits(),
+        resp in arb_governance_resp(),
+        seq in any::<u64>(),
+        session in arb_opt_u64(),
+    ) {
+        let cf = CommandFrame { seq, cmd, trace: None, session };
+        let bytes = serde_json::to_vec(&cf).expect("encode");
+        let back: CommandFrame = serde_json::from_slice(&bytes).expect("decode");
+        prop_assert_eq!(&back, &cf);
+
+        let rf = ResponseFrame { seq, resp, session };
+        let bytes = serde_json::to_vec(&rf).expect("encode");
+        let back: ResponseFrame = serde_json::from_slice(&bytes).expect("decode");
+        prop_assert_eq!(&back, &rf);
+    }
+
+    /// Wire compatibility with peers that predate governance, both
+    /// directions: frames an old peer emits (no limits anywhere)
+    /// decode under the new vocabulary, and governance-free frames the
+    /// new code emits decode under the old vocabulary — adding the
+    /// variants changed nothing about the existing encoding.
+    #[test]
+    fn old_peers_interoperate_with_governance_free_frames(
+        seq in any::<u64>(),
+        session in arb_opt_u64(),
+        pick in 0usize..6,
+    ) {
+        let (new_cmd, legacy_cmd) = legacy_pairs().swap_remove(pick);
+
+        // Old peer encodes → new code decodes.
+        let old_frame = LegacyCommandFrame {
+            seq,
+            cmd: legacy_cmd.clone(),
+            trace: None,
+            session,
+        };
+        let bytes = serde_json::to_vec(&old_frame).expect("legacy encode");
+        let decoded: CommandFrame = serde_json::from_slice(&bytes)
+            .expect("new decoder reads old frames");
+        prop_assert_eq!(&decoded.cmd, &new_cmd);
+        prop_assert_eq!(decoded.seq, seq);
+        prop_assert_eq!(decoded.session, session);
+
+        // New code encodes (no governance used) → old peer decodes.
+        let new_frame = CommandFrame { seq, cmd: new_cmd, trace: None, session };
+        let bytes = serde_json::to_vec(&new_frame).expect("encode");
+        let decoded: LegacyCommandFrame = serde_json::from_slice(&bytes)
+            .expect("old decoder reads governance-free frames");
+        prop_assert_eq!(decoded.cmd, legacy_cmd);
     }
 }
