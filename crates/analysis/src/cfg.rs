@@ -118,19 +118,16 @@ fn build_func_cfg(program: &Program, func_index: usize, start: usize, end: usize
     leaders.insert(start);
     for (i, op) in code.iter().enumerate() {
         let at = start + i;
-        match op {
-            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
-                if (start..end).contains(t) {
-                    leaders.insert(*t);
-                }
-                if at + 1 < end {
-                    leaders.insert(at + 1);
+        let branches = op.jump_target().is_some() || !op.can_fall_through();
+        if branches {
+            if let Some(t) = op.jump_target() {
+                if (start..end).contains(&t) {
+                    leaders.insert(t);
                 }
             }
-            Op::Ret(_) if at + 1 < end => {
+            if at + 1 < end {
                 leaders.insert(at + 1);
             }
-            _ => {}
         }
     }
 
@@ -160,26 +157,13 @@ fn build_func_cfg(program: &Program, func_index: usize, start: usize, end: usize
             continue;
         }
         let last = &program.code[b.end - 1];
-        match last {
-            Op::Jump(t) => {
-                if (start..end).contains(t) {
-                    edges.push((id, block_of[t - start]));
-                }
+        if let Some(t) = last.jump_target() {
+            if (start..end).contains(&t) {
+                edges.push((id, block_of[t - start]));
             }
-            Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
-                if (start..end).contains(t) {
-                    edges.push((id, block_of[t - start]));
-                }
-                if b.end < end {
-                    edges.push((id, block_of[b.end - start]));
-                }
-            }
-            Op::Ret(_) => {}
-            _ => {
-                if b.end < end {
-                    edges.push((id, block_of[b.end - start]));
-                }
-            }
+        }
+        if last.can_fall_through() && b.end < end {
+            edges.push((id, block_of[b.end - start]));
         }
     }
     for (from, to) in edges {

@@ -523,6 +523,26 @@ impl Ctx<'_> {
             Intrinsic(intr, argc) => {
                 self.step_intrinsic(at, intr, argc as usize, fact, line)?;
             }
+            LoadLocal(_, off) => {
+                // Fused LocalAddr+Load: same facts as the two-op sequence.
+                let v = match self.by_offset.get(&off) {
+                    Some(&i) => {
+                        self.record_access(at, i, AccessKind::Read);
+                        fact.vals[i]
+                    }
+                    None => AVal::Top,
+                };
+                fact.stack.push(v);
+            }
+            IArithImm(op, imm) => {
+                let a = pop(fact)?;
+                self.escape_value(a);
+                fact.stack.push(fold_iarith(op, a, AVal::Const(imm)));
+            }
+            ICmpImm(..) => {
+                pop(fact)?;
+                fact.stack.push(AVal::Top);
+            }
         }
         Some(true)
     }

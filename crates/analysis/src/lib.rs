@@ -38,6 +38,8 @@
 pub mod cfg;
 pub mod dataflow;
 pub mod interp;
+pub mod opt;
+pub mod verify;
 
 pub use state::{Diagnostic, DiagnosticKind, Severity};
 

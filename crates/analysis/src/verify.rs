@@ -1,0 +1,734 @@
+//! Bytecode verifier: proves a [`Program`] cannot drive the VM into a
+//! panic before running an op of it.
+//!
+//! The VM trusts codegen completely — its fast paths `expect` a non-empty
+//! operand stack, `unreachable!` on tag confusion, and index the function
+//! table unchecked. That trust is fine for code straight out of
+//! [`minic::compile`], but the optimizer rewrites programs and the MI
+//! surface can load them from untrusted sources, so this module re-proves
+//! the invariants the VM assumes:
+//!
+//! 1. **Structure** — jump targets stay inside the containing function,
+//!    `Call` indices are in bounds, intrinsic argument counts meet each
+//!    intrinsic's minimum, operator payloads respect the VM's partial
+//!    matches (no comparison `BinOp` inside `IArith`, only
+//!    `Add/Sub/Mul/Div` inside `FArith`, integer widths in `TruncI`,
+//!    `IncDec`'s `ptr_step` present exactly for pointer targets), and
+//!    local-slot offsets stay inside the frame.
+//! 2. **Stack discipline** — a worklist meet over each function's CFG
+//!    computes the abstract operand stack (depth + tag per entry) at
+//!    every reachable program point: no underflow, no tag the VM's
+//!    `pop_int`/`pop_float`/`pop_ptr` would fault on, agreeing depths at
+//!    every join, a correctly-tagged return value for the function's
+//!    declared type, and no fall-through past the function's last op.
+//! 3. **Debug metadata** — function entries and frame layouts, global
+//!    addresses inside the globals image, and `Line` markers naming real
+//!    source lines (the breakpoint surface must not advertise lines that
+//!    do not exist).
+//!
+//! The tag lattice is deliberately the VM's, not C's: `pop_ptr` accepts
+//! integers (NULL flows), stores into pointer slots accept integers, and
+//! `ICmp` compares any two scalars — so the verifier tracks
+//! `Int`/`Float`/`Ptr` plus the joins `IntPtr` (integer-or-pointer, fine
+//! wherever a pointer is fine) and `Any`. Strict-integer and strict-float
+//! contexts reject the joined tags: a value that *might* be a pointer at
+//! run time must never reach `pop_int`.
+//!
+//! The pinned soundness direction (enforced by the mutation fuzz in
+//! `tests/verifier_fuzz.rs`): **verifier-accepts ⊆ VM-safe**. A clean
+//! verdict means the VM cannot panic on this code; runtime `Error`s
+//! (division by zero, invalid memory access) remain legal outcomes.
+
+use crate::cfg::{self, FuncCfg};
+use minic::bytecode::{FuncMeta, Kind, MemTy, Op, Out, Program};
+use minic::mem::GLOBAL_BASE;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One verification failure, anchored to an op when the defect has a
+/// program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Containing function, when the defect is inside one.
+    pub function: Option<String>,
+    /// Absolute code index, when the defect is a specific op.
+    pub at: Option<usize>,
+    /// Source line in effect at the defect, 0 when unknown.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, self.at) {
+            (Some(func), Some(at)) => {
+                write!(f, "[{func}@{at} line {}] {}", self.line, self.message)
+            }
+            (Some(func), None) => write!(f, "[{func}] {}", self.message),
+            _ => write!(f, "[program] {}", self.message),
+        }
+    }
+}
+
+/// Abstract tag of one operand-stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    Int,
+    Float,
+    Ptr,
+    /// Integer on some paths, pointer on others (legal wherever the VM
+    /// accepts a pointer — `pop_ptr` takes integer NULLs).
+    IntPtr,
+    /// Joined with a float somewhere: only `Scalar` contexts accept it.
+    Any,
+}
+
+impl Tag {
+    fn join(self, other: Tag) -> Tag {
+        use Tag::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Ptr) | (Ptr, Int) => IntPtr,
+            (IntPtr, Int | Ptr) | (Int | Ptr, IntPtr) => IntPtr,
+            _ => Any,
+        }
+    }
+
+    fn satisfies(self, kind: Kind) -> bool {
+        match kind {
+            Kind::Int => self == Tag::Int,
+            Kind::Float => self == Tag::Float,
+            Kind::PtrOrInt => matches!(self, Tag::Int | Tag::Ptr | Tag::IntPtr),
+            Kind::Scalar => true,
+        }
+    }
+
+    fn of(out: Out) -> Tag {
+        match out {
+            Out::Int => Tag::Int,
+            Out::Float => Tag::Float,
+            Out::Ptr => Tag::Ptr,
+            // Memory re-tags on the way out: integer widths load as Int,
+            // float widths as Float, pointer cells always as Ptr.
+            Out::Mem(MemTy::I8 | MemTy::I32 | MemTy::I64) => Tag::Int,
+            Out::Mem(MemTy::F32 | MemTy::F64) => Tag::Float,
+            Out::Mem(MemTy::P) => Tag::Ptr,
+            Out::Operand(_) => unreachable!("operand-relative tags resolved by caller"),
+        }
+    }
+}
+
+/// Verifies `program` and returns every finding (empty = the VM cannot
+/// panic executing it).
+pub fn verify(program: &Program) -> Vec<Finding> {
+    let mut v = Verifier {
+        program,
+        findings: Vec::new(),
+    };
+    v.check_metadata();
+    let structurally_sound = v.findings.is_empty();
+    for c in cfg::build_cfgs(program) {
+        let before = v.findings.len();
+        v.check_structure(&c);
+        // The abstract run trusts structure (it indexes the function
+        // table and walks jump edges); only run it on sound functions.
+        if structurally_sound && v.findings.len() == before {
+            v.check_stack(&c);
+        }
+    }
+    v.findings
+}
+
+/// [`verify`] as a pass/fail gate: `Err` carries one line per finding.
+pub fn check(program: &Program) -> Result<(), String> {
+    let findings = verify(program);
+    if findings.is_empty() {
+        return Ok(());
+    }
+    let lines: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    Err(lines.join("\n"))
+}
+
+/// Debug-build verification gate: panics on any finding, no-op in release
+/// builds. Engine constructors call this so every program entering a VM is
+/// verified during development and testing without taxing release runs.
+pub fn debug_verify(program: &Program) {
+    if cfg!(debug_assertions) {
+        if let Err(report) = check(program) {
+            panic!(
+                "bytecode verification failed for {}:\n{report}",
+                program.file
+            );
+        }
+    }
+}
+
+struct Verifier<'a> {
+    program: &'a Program,
+    findings: Vec<Finding>,
+}
+
+impl<'a> Verifier<'a> {
+    fn program_finding(&mut self, message: String) {
+        self.findings.push(Finding {
+            function: None,
+            at: None,
+            line: 0,
+            message,
+        });
+    }
+
+    fn func_finding(&mut self, meta: &FuncMeta, message: String) {
+        self.findings.push(Finding {
+            function: Some(meta.name.clone()),
+            at: None,
+            line: meta.line,
+            message,
+        });
+    }
+
+    fn op_finding(&mut self, c: &FuncCfg, at: usize, message: String) {
+        self.findings.push(Finding {
+            function: Some(c.name.clone()),
+            at: Some(at),
+            line: c.line_of(at),
+            message,
+        });
+    }
+
+    /// Program-level debug-metadata well-formedness.
+    fn check_metadata(&mut self) {
+        let p = self.program;
+        if p.functions.is_empty() {
+            self.program_finding("empty function table".into());
+            return;
+        }
+        if p.main_index >= p.functions.len() {
+            self.program_finding(format!(
+                "main_index {} out of bounds ({} functions)",
+                p.main_index,
+                p.functions.len()
+            ));
+        }
+        for g in &p.globals {
+            let size = p.structs.size_of(&g.ty);
+            let end = g.addr.saturating_add(size);
+            if g.addr < GLOBAL_BASE || end > GLOBAL_BASE + p.global_image.len() as u64 {
+                self.program_finding(format!(
+                    "global `{}` at {:#x}..{:#x} outside the globals image",
+                    g.name, g.addr, end
+                ));
+            }
+        }
+        for f in &p.functions {
+            if f.entry >= p.code.len() {
+                self.func_finding(f, format!("entry {} out of bounds", f.entry));
+            }
+            if f.nparams > f.locals.len() {
+                self.func_finding(
+                    f,
+                    format!("{} params but {} local slots", f.nparams, f.locals.len()),
+                );
+            }
+            for slot in &f.locals {
+                let end = slot.offset.saturating_add(p.structs.size_of(&slot.ty));
+                if end > f.frame_size {
+                    self.func_finding(
+                        f,
+                        format!(
+                            "local `{}` at {}..{end} outside frame of {} bytes",
+                            slot.name, slot.offset, f.frame_size
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-op structural checks over every op of the function, reachable
+    /// or not: operator payloads, jump targets, table indices, slot
+    /// bounds, line-marker sanity.
+    fn check_structure(&mut self, c: &FuncCfg) {
+        let p = self.program;
+        let (start, end) = c.range;
+        let meta = &p.functions[c.func_index];
+        let line_count = p.line_count();
+        for at in start..end {
+            let op = p.code[at];
+            match op {
+                Op::Line(n) => {
+                    if n == 0 || n > line_count {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!("line marker {n} outside source (1..={line_count})"),
+                        );
+                    }
+                }
+                Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => {
+                    if !(start..end).contains(&t) {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!("jump target {t} outside function range {start}..{end}"),
+                        );
+                    }
+                }
+                Op::Call(idx) => {
+                    if idx >= p.functions.len() {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!(
+                                "call index {idx} out of bounds ({} functions)",
+                                p.functions.len()
+                            ),
+                        );
+                    }
+                }
+                Op::Intrinsic(intr, argc) => {
+                    let min = Op::intrinsic_min_args(intr);
+                    if argc < min {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!("{intr:?} needs at least {min} arguments, has {argc}"),
+                        );
+                    }
+                }
+                Op::IArith(b) | Op::IArithImm(b, _) => {
+                    if b.is_comparison() || b.is_logical() {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!("{b:?} is not an integer-arithmetic operator"),
+                        );
+                    }
+                }
+                Op::FArith(b) => {
+                    use minic::ast::BinOp::*;
+                    if !matches!(b, Add | Sub | Mul | Div) {
+                        self.op_finding(c, at, format!("{b:?} is not a float-arithmetic operator"));
+                    }
+                }
+                Op::ICmp(b) | Op::ICmpImm(b, _) | Op::FCmp(b) => {
+                    if !b.is_comparison() {
+                        self.op_finding(c, at, format!("{b:?} is not a comparison operator"));
+                    }
+                }
+                Op::TruncI(mt) => {
+                    if !matches!(mt, MemTy::I8 | MemTy::I32 | MemTy::I64) {
+                        self.op_finding(c, at, format!("truncation to non-integer width {mt:?}"));
+                    }
+                }
+                Op::IncDec {
+                    memty, ptr_step, ..
+                } => {
+                    // The VM scales by `ptr_step` exactly when the loaded
+                    // value is a pointer; any other pairing is a panic.
+                    if (memty == MemTy::P) != ptr_step.is_some() {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!("inc/dec of {memty:?} with ptr_step {ptr_step:?}"),
+                        );
+                    }
+                }
+                Op::LocalAddr(off) => {
+                    if off >= meta.frame_size.max(1) {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!(
+                                "local address {off} outside frame of {} bytes",
+                                meta.frame_size
+                            ),
+                        );
+                    }
+                }
+                Op::LoadLocal(mt, off) => {
+                    if off.saturating_add(mt.size()) > meta.frame_size {
+                        self.op_finding(
+                            c,
+                            at,
+                            format!(
+                                "local load {off}..{} outside frame of {} bytes",
+                                off + mt.size(),
+                                meta.frame_size
+                            ),
+                        );
+                    }
+                }
+                Op::MemCopy(_)
+                | Op::PushI(_)
+                | Op::PushF(_)
+                | Op::PushP(_)
+                | Op::Load(_)
+                | Op::Store(_)
+                | Op::Neg(_)
+                | Op::Not
+                | Op::BitNot
+                | Op::I2F
+                | Op::F2I
+                | Op::F2F32
+                | Op::I2P
+                | Op::P2I
+                | Op::PtrAdd(_)
+                | Op::PtrSub(_)
+                | Op::PtrDiff(_)
+                | Op::Dup
+                | Op::Pop
+                | Op::Ret(_)
+                | Op::Nop => {}
+            }
+        }
+    }
+
+    /// Abstract stack-discipline verification: a worklist meet over the
+    /// function's CFG, tracking depth and tags at every reachable point.
+    fn check_stack(&mut self, c: &FuncCfg) {
+        let p = self.program;
+        let meta = &p.functions[c.func_index];
+        let (_, end) = c.range;
+        // In-state per block: `None` = not yet reached.
+        let mut ins: Vec<Option<Vec<Tag>>> = vec![None; c.len()];
+        ins[0] = Some(Vec::new());
+        let mut work: VecDeque<usize> = VecDeque::from([0]);
+        // Bound the number of reports so a deeply broken function does
+        // not flood the output; the worklist still terminates because
+        // joins only widen tags and reported blocks stop propagating.
+        let budget = self.findings.len() + 32;
+
+        while let Some(b) = work.pop_front() {
+            if self.findings.len() >= budget {
+                break;
+            }
+            let Some(mut stack) = ins[b].clone() else {
+                continue;
+            };
+            let block = &c.blocks[b];
+            if block.start == block.end {
+                continue;
+            }
+            let mut poisoned = false;
+            for at in block.start..block.end {
+                let op = p.code[at];
+                if !self.apply(c, meta, at, op, &mut stack) {
+                    poisoned = true;
+                    break;
+                }
+            }
+            if poisoned {
+                continue;
+            }
+            let last = p.code[block.end - 1];
+            if last.can_fall_through() && block.end == end {
+                self.op_finding(
+                    c,
+                    block.end - 1,
+                    "control falls through past the end of the function".into(),
+                );
+                continue;
+            }
+            for &s in &block.succs {
+                let changed = match &ins[s] {
+                    None => {
+                        ins[s] = Some(stack.clone());
+                        true
+                    }
+                    Some(prev) if prev.len() != stack.len() => {
+                        self.op_finding(
+                            c,
+                            c.blocks[s].start,
+                            format!(
+                                "stack depth mismatch at join: {} vs {}",
+                                prev.len(),
+                                stack.len()
+                            ),
+                        );
+                        false
+                    }
+                    Some(prev) => {
+                        let joined: Vec<Tag> =
+                            prev.iter().zip(&stack).map(|(&a, &b)| a.join(b)).collect();
+                        if joined != *prev {
+                            ins[s] = Some(joined);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if changed {
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    /// Applies one op to the abstract stack; returns false (and reports)
+    /// when the op would fault.
+    fn apply(
+        &mut self,
+        c: &FuncCfg,
+        meta: &FuncMeta,
+        at: usize,
+        op: Op,
+        stack: &mut Vec<Tag>,
+    ) -> bool {
+        // `Ret` gets the refined check the generic table cannot express:
+        // value presence and tag must agree with the declared return type.
+        if let Op::Ret(has_value) = op {
+            return self.apply_ret(c, meta, at, has_value, stack);
+        }
+        let fx = op.stack_effect_with(&self.program.functions);
+        if stack.len() < fx.pops.len() {
+            self.op_finding(
+                c,
+                at,
+                format!(
+                    "stack underflow: {op:?} pops {} of {}",
+                    fx.pops.len(),
+                    stack.len()
+                ),
+            );
+            return false;
+        }
+        let mut popped = Vec::with_capacity(fx.pops.len());
+        for (i, &kind) in fx.pops.iter().enumerate() {
+            let tag = stack.pop().expect("depth checked above");
+            if !tag.satisfies(kind) {
+                self.op_finding(
+                    c,
+                    at,
+                    format!("{op:?} operand {i} is {tag:?}, needs {kind:?}"),
+                );
+                return false;
+            }
+            popped.push(tag);
+        }
+        for &out in &fx.pushes {
+            stack.push(match out {
+                Out::Operand(i) => popped[i],
+                other => Tag::of(other),
+            });
+        }
+        true
+    }
+
+    fn apply_ret(
+        &mut self,
+        c: &FuncCfg,
+        meta: &FuncMeta,
+        at: usize,
+        has_value: bool,
+        stack: &mut [Tag],
+    ) -> bool {
+        use minic::types::Type;
+        let wants_value = meta.ret != Type::Void;
+        if has_value != wants_value {
+            self.op_finding(
+                c,
+                at,
+                format!(
+                    "return {} a value from `{}` returning `{}`",
+                    if has_value { "with" } else { "without" },
+                    meta.name,
+                    meta.ret
+                ),
+            );
+            return false;
+        }
+        if !has_value {
+            return true;
+        }
+        let Some(&top) = stack.last() else {
+            self.op_finding(c, at, "return with an empty stack".into());
+            return false;
+        };
+        let kind = match &meta.ret {
+            Type::Float | Type::Double => Kind::Float,
+            Type::Ptr(_) => Kind::PtrOrInt,
+            _ => Kind::Int,
+        };
+        if !top.satisfies(kind) {
+            self.op_finding(
+                c,
+                at,
+                format!(
+                    "return value is {top:?}, `{}` returns `{}`",
+                    meta.name, meta.ret
+                ),
+            );
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::ast::BinOp;
+
+    fn compiled(src: &str) -> Program {
+        minic::compile("t.c", src).expect("fixture compiles")
+    }
+
+    #[test]
+    fn compiled_programs_verify_clean() {
+        let sources = [
+            "int main() { return 0; }",
+            "int main() { long i = 0; long acc = 0; while (i < 10) { acc = acc + i; i = i + 1; } return (int)acc; }",
+            "double f(double x) { return x * 2.0; } int main() { return (int)f(21.0); }",
+            "int main() { long* p = malloc(16); p[0] = 7; long v = p[0]; free(p); return (int)v; }",
+            "int g; int main() { g = 3; return g; }",
+        ];
+        for src in sources {
+            let findings = verify(&compiled(src));
+            assert!(findings.is_empty(), "{src}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn stack_underflow_is_rejected() {
+        let mut p = compiled("int main() { return 1 + 2; }");
+        // Turn the PushI feeding the IArith into a Nop: underflow.
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::PushI(_)))
+            .expect("a push");
+        p.code[at] = Op::Nop;
+        let findings = verify(&p);
+        assert!(
+            findings.iter().any(|f| f.message.contains("underflow")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn tag_confusion_is_rejected() {
+        let mut p = compiled("int main() { return 1 + 2; }");
+        // A float where IArith needs an integer.
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::PushI(_)))
+            .expect("a push");
+        p.code[at] = Op::PushF(1.5);
+        let findings = verify(&p);
+        assert!(
+            findings.iter().any(|f| f.message.contains("needs Int")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn wild_jump_is_rejected() {
+        let mut p = compiled("int main() { long i = 0; while (i < 3) { i = i + 1; } return 0; }");
+        let at = p
+            .code
+            .iter()
+            .position(|op| op.jump_target().is_some())
+            .expect("a jump");
+        *p.code[at].jump_target_mut().unwrap() = p.code.len() + 100;
+        let findings = verify(&p);
+        assert!(
+            findings.iter().any(|f| f.message.contains("jump target")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn bad_call_index_is_rejected() {
+        let mut p = compiled("int f() { return 1; } int main() { return f(); }");
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::Call(_)))
+            .expect("a call");
+        p.code[at] = Op::Call(99);
+        let findings = verify(&p);
+        assert!(
+            findings.iter().any(|f| f.message.contains("call index")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn comparison_inside_iarith_is_rejected() {
+        let mut p = compiled("int main() { return 1 + 2; }");
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::IArith(_)))
+            .expect("an iarith");
+        p.code[at] = Op::IArith(BinOp::Lt);
+        let findings = verify(&p);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("not an integer-arithmetic")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn fall_through_past_function_end_is_rejected() {
+        let mut p = compiled("int main() { return 0; }");
+        // Nop out every Ret: main now runs off its end.
+        for op in &mut p.code {
+            if matches!(op, Op::Ret(_)) {
+                *op = Op::Nop;
+            }
+        }
+        let findings = verify(&p);
+        assert!(
+            findings.iter().any(|f| f.message.contains("falls through")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn bad_line_marker_is_rejected() {
+        let mut p = compiled("int main() { return 0; }");
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::Line(_)))
+            .expect("a line marker");
+        p.code[at] = Op::Line(10_000);
+        let findings = verify(&p);
+        assert!(
+            findings.iter().any(|f| f.message.contains("line marker")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn null_pointer_flows_are_accepted() {
+        // NULL casts and pointer truth tests exercise the joined
+        // integer/pointer flows the VM accepts; the verifier must too.
+        let findings = verify(&compiled(
+            "int main() { long* p = (long*)0; if (p) { return 1; } return 0; }",
+        ));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn findings_render_with_location() {
+        let mut p = compiled("int main() { return 1 + 2; }");
+        let at = p
+            .code
+            .iter()
+            .position(|op| matches!(op, Op::IArith(_)))
+            .expect("an iarith");
+        p.code[at] = Op::IArith(BinOp::Lt);
+        let f = &verify(&p)[0];
+        let s = f.to_string();
+        assert!(s.contains("main@"), "{s}");
+        assert!(check(&p).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Speedup bench for the observation-preserving bytecode optimizer:
+//! the canonical tracked-fib workload executed to completion on a raw
+//! VM with the tracker detached (steady-state dispatch cost, no MI
+//! roundtrips), compiled at -O0 and at -O1.
+//!
+//! Each level runs `WARMUP + REPEATS` times round-robin; the *minimum*
+//! wall time scores the speedup gate (the repeatable cost), and every
+//! scored repeat lands in an [`obs::Histogram`] for the reported
+//! p50/p95/p99. Optimization itself runs once, outside the timed
+//! region — the gate measures execution, not compile time.
+//!
+//! Also sweeps the conformance seed mix through the optimizer and
+//! reports the static op-count reduction plus a lockstep sanity check
+//! (same output, same exit) per seed.
+//!
+//! Run with: `cargo run --release -p bench --bin bench_opt`
+//! CI gate:  `... --bin bench_opt -- --check` exits nonzero when the
+//! -O1 steady-state speedup on tracked-fib falls below 10%, or any
+//! seed-mix program changes behaviour under optimization.
+
+use obs::Histogram;
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+const WARMUP: u32 = 2;
+const REPEATS: u32 = 9;
+const FIB_N: u32 = 24;
+const WORKLOAD: &str = "c_fib(24), raw VM run-to-completion (tracker detached)";
+const SPEEDUP_FLOOR_PCT: f64 = 10.0;
+const SEED_MIX: std::ops::Range<u64> = 1..9;
+
+fn run_once(program: &minic::Program) -> (Duration, i64, u64) {
+    let mut vm = minic::vm::Vm::new(program);
+    let begin = Instant::now();
+    let exit = vm.run_to_completion().expect("workload completes");
+    (begin.elapsed(), exit, vm.ops_executed())
+}
+
+struct Measured {
+    best: Duration,
+    hist: Histogram,
+    exit: i64,
+    ops: u64,
+}
+
+/// Runs both levels round-robin so machine-load drift hits them equally.
+fn measure(programs: &[&minic::Program; 2]) -> [Measured; 2] {
+    let mut out = [(); 2].map(|()| Measured {
+        best: Duration::MAX,
+        hist: Histogram::new(),
+        exit: 0,
+        ops: 0,
+    });
+    for rep in 0..(WARMUP + REPEATS) {
+        for (i, program) in programs.iter().enumerate() {
+            let (elapsed, exit, ops) = run_once(program);
+            if rep >= WARMUP {
+                out[i].hist.record(elapsed.as_nanos() as u64);
+                if elapsed < out[i].best {
+                    out[i].best = elapsed;
+                }
+                out[i].exit = exit;
+                out[i].ops = ops;
+            }
+        }
+    }
+    out
+}
+
+/// The conformance seed mix through the optimizer: static reduction
+/// numbers plus a behaviour check (output + exit identical).
+fn seed_mix(diverged: &mut Vec<String>) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    for seed in SEED_MIX {
+        let program = conformance::gen::gen_program(seed);
+        let src = conformance::gen::render_c(&program);
+        let compiled = minic::compile("gen.c", &src).expect("seed program compiles");
+        let (optimized, report) =
+            analysis::opt::optimize(&compiled, 1).expect("optimizer accepts seed program");
+
+        let mut plain = minic::vm::Vm::new(&compiled);
+        let plain_exit = plain.run_to_completion().expect("plain run");
+        let mut opt = minic::vm::Vm::new(&optimized);
+        let opt_exit = opt.run_to_completion().expect("optimized run");
+        if plain_exit != opt_exit || plain.output() != opt.output() {
+            diverged.push(format!(
+                "seed {seed}: exit {plain_exit} vs {opt_exit}, output {:?} vs {:?}",
+                plain.output(),
+                opt.output()
+            ));
+        }
+        rows.push(json!({
+            "seed": seed,
+            "ops_before": report.ops_before,
+            "ops_after": report.ops_after,
+            "executed_before": plain.ops_executed(),
+            "executed_after": opt.ops_executed(),
+        }));
+    }
+    rows
+}
+
+fn main() {
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => {
+                eprintln!("bench_opt: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("bench_opt: {WORKLOAD}");
+    let src = bench::c_fib(FIB_N);
+    let unopt = minic::compile("bench.c", &src).expect("workload compiles");
+    let (opt, report) = analysis::opt::optimize(&unopt, 1).expect("optimizer accepts workload");
+
+    let [m0, m1] = measure(&[&unopt, &opt]);
+    assert_eq!(m0.exit, m1.exit, "optimized workload changed its answer");
+
+    let speedup_pct = if m0.best.is_zero() {
+        0.0
+    } else {
+        (1.0 - m1.best.as_secs_f64() / m0.best.as_secs_f64()) * 100.0
+    };
+    for (name, m) in [("-O0", &m0), ("-O1", &m1)] {
+        let s = m.hist.stats();
+        println!(
+            "{name} min {:>9}us | p50 {:>9}us p95 {:>9}us p99 {:>9}us | {:>12} ops executed",
+            m.best.as_micros(),
+            s.p50 / 1_000,
+            s.p95 / 1_000,
+            s.p99 / 1_000,
+            m.ops,
+        );
+    }
+    println!(
+        "steady-state speedup {speedup_pct:.2}% | static ops {} -> {} | \
+         folded {} branches {} unreachable {} copies {} fused {}",
+        report.ops_before,
+        report.ops_after,
+        report.folded,
+        report.branches,
+        report.unreachable,
+        report.copies,
+        report.fused,
+    );
+
+    let mut diverged = Vec::new();
+    let mix = seed_mix(&mut diverged);
+    for d in &diverged {
+        eprintln!("bench_opt: seed-mix divergence: {d}");
+    }
+
+    let per_level = |m: &Measured| {
+        let s = m.hist.stats();
+        json!({
+            "min_us": m.best.as_micros() as u64,
+            "p50_us": s.p50 / 1_000,
+            "p95_us": s.p95 / 1_000,
+            "p99_us": s.p99 / 1_000,
+            "ops_executed": m.ops,
+        })
+    };
+    let doc = json!({
+        "workload": WORKLOAD,
+        "repeats": REPEATS as u64,
+        "unoptimized": per_level(&m0),
+        "optimized": per_level(&m1),
+        "speedup_pct": format!("{speedup_pct:.2}"),
+        "static_ops_before": report.ops_before,
+        "static_ops_after": report.ops_after,
+        "folded": report.folded,
+        "branches_simplified": report.branches,
+        "unreachable_removed": report.unreachable,
+        "copies_propagated": report.copies,
+        "fused": report.fused,
+        "seed_mix": mix,
+        "seed_mix_divergences": diverged.len(),
+    });
+    std::fs::write("BENCH_opt.json", format!("{doc}\n")).expect("write BENCH_opt.json");
+    println!("wrote BENCH_opt.json");
+
+    if check {
+        let mut failed = false;
+        if speedup_pct < SPEEDUP_FLOOR_PCT {
+            eprintln!(
+                "bench_opt: -O1 speedup {speedup_pct:.2}% is below the \
+                 {SPEEDUP_FLOOR_PCT}% floor"
+            );
+            failed = true;
+        }
+        if !diverged.is_empty() {
+            eprintln!(
+                "bench_opt: {} seed-mix program(s) changed behaviour under -O1",
+                diverged.len()
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("optimizer gate passed (speedup {speedup_pct:.2}% ≥ {SPEEDUP_FLOOR_PCT}%)");
+    }
+}

@@ -105,6 +105,7 @@ impl Driver {
         self.registry.inc("conformance.programs_generated");
         let mut div = Vec::new();
         div.extend(self.diff_c_vs_replay(seed, &c));
+        div.extend(self.diff_c_opt_vs_unopt(seed, &c));
         div.extend(self.diff_py_vs_replay(seed, &py));
         div.extend(self.diff_c_vs_py(seed, &c, &py));
         let asm = gen::render_asm(&gen::gen_asm(seed));
@@ -226,6 +227,39 @@ impl Driver {
         self.live_vs_replay(PAIR, seed, &|| {
             live().map(|t| Box::new(t) as Box<dyn Tracker>)
         })
+    }
+
+    /// MiniC at -O0 vs the same source optimized at -O1: the bytecode
+    /// optimizer is observation-preserving, so the serialized
+    /// [`state::ProgramState`] at every pause, the pause-reason sequence,
+    /// the output, and the exit code must all be byte-identical.
+    pub fn diff_c_opt_vs_unopt(&self, seed: u64, c_src: &str) -> Vec<Divergence> {
+        const PAIR: &str = "c_unopt_vs_opt";
+        self.pair(PAIR);
+        let mut plain = match MiTracker::load_c("gen.c", c_src) {
+            Ok(t) => t,
+            Err(e) => return self.error(PAIR, seed, "unoptimized load failed", &e),
+        };
+        let mut opt = match MiTracker::load_spec(
+            ProgramSpec::c("gen.c", c_src).opt_level(1),
+            obs::Registry::new(),
+            Supervision::default(),
+            None,
+        ) {
+            Ok(t) => t,
+            Err(e) => return self.error(PAIR, seed, "optimized load failed", &e),
+        };
+        let a = match self.step_trace(&mut plain) {
+            Ok(t) => t,
+            Err(e) => return self.error(PAIR, seed, "unoptimized run failed", &e),
+        };
+        let b = match self.step_trace(&mut opt) {
+            Ok(t) => t,
+            Err(e) => return self.error(PAIR, seed, "optimized run failed", &e),
+        };
+        plain.terminate();
+        opt.terminate();
+        self.compare(PAIR, seed, &a, &b)
     }
 
     /// Live PyTracker vs a replay of its own recording.

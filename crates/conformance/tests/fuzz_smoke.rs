@@ -36,6 +36,7 @@ fn fuzz_quick() {
     assert_eq!(snap.counter("conformance.programs_generated"), 50);
     assert_eq!(snap.counter("conformance.divergences"), 0);
     assert_eq!(snap.counter("conformance.pair.c_channel_vs_replay"), 25);
+    assert_eq!(snap.counter("conformance.pair.c_unopt_vs_opt"), 25);
     assert_eq!(snap.counter("conformance.pair.py_live_vs_replay"), 25);
     assert_eq!(snap.counter("conformance.pair.c_vs_py_output"), 25);
     assert_eq!(snap.counter("conformance.pair.asm_channel_vs_replay"), 25);
@@ -70,6 +71,7 @@ fn fuzz_smoke() {
     assert_eq!(snap.counter("conformance.divergences"), 0);
     for pair in [
         "c_channel_vs_replay",
+        "c_unopt_vs_opt",
         "py_live_vs_replay",
         "c_vs_py_output",
         "asm_channel_vs_replay",

@@ -177,6 +177,10 @@ pub struct ProgramSpec {
     source: String,
     lang: Lang,
     deploy: Deploy,
+    /// MiniC optimization level (0 = off). Part of the manifest so a
+    /// respawned engine is rebuilt at the same level; the optimizer is
+    /// observation-preserving, so journal replay still converges.
+    opt: u8,
 }
 
 impl ProgramSpec {
@@ -187,6 +191,7 @@ impl ProgramSpec {
             source: source.to_owned(),
             lang: Lang::C,
             deploy: Deploy::InProcess,
+            opt: 0,
         }
     }
 
@@ -197,7 +202,18 @@ impl ProgramSpec {
             source: source.to_owned(),
             lang: Lang::Asm,
             deploy: Deploy::InProcess,
+            opt: 0,
         }
+    }
+
+    /// Runs the MiniC program through the observation-preserving
+    /// bytecode optimizer at `level` before execution (0 = off, the
+    /// default). Every debugging observable — pause sequence, variable
+    /// snapshots, output, sanitizer traps — is identical at every level;
+    /// only step counts shrink. Ignored for assembly programs.
+    pub fn opt_level(mut self, level: u8) -> Self {
+        self.opt = level;
+        self
     }
 
     /// Moves the engine into an `mi-server` child process at `server_bin`
@@ -540,7 +556,8 @@ impl MiTracker {
                     Lang::C => {
                         let program = minic::compile(&spec.file, &spec.source)
                             .map_err(|e| TrackerError::Load(e.to_string()))?;
-                        mi::spawn_minic_with_registry(&program, registry.clone())
+                        mi::spawn_minic_opt_with_registry(&program, spec.opt, registry.clone())
+                            .map_err(TrackerError::Load)?
                     }
                     Lang::Asm => {
                         let program = miniasm::asm::assemble(&spec.file, &spec.source)
@@ -558,7 +575,7 @@ impl MiTracker {
                 // recovering through build_backend re-establishes its
                 // own session inside the respawned process.
                 let mut handle = host
-                    .open_session(&spec.file, &spec.source, cfg.deadline)
+                    .open_session_opt(&spec.file, &spec.source, spec.opt, cfg.deadline)
                     .map_err(|e| TrackerError::Load(e.to_string()))?;
                 handle.set_registry(registry.clone());
                 let session = handle.session_id();
@@ -603,9 +620,12 @@ impl MiTracker {
             .and_then(|mut f| f.write_all(spec.source.as_bytes()))
             .map_err(|e| load(&e))?;
 
-        let mut child = Proc::new(server_bin)
-            .arg(&path)
-            .arg(&spec.file)
+        let mut proc = Proc::new(server_bin);
+        proc.arg(&path).arg(&spec.file);
+        if spec.opt > 0 {
+            proc.arg("--opt").arg(spec.opt.to_string());
+        }
+        let mut child = proc
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())

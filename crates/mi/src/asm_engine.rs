@@ -756,6 +756,9 @@ impl Engine for AsmEngine {
             Command::Analyze => Response::Error {
                 message: "static analysis is not supported for assembly programs".into(),
             },
+            Command::Verify => Response::Error {
+                message: "bytecode verification is not supported for assembly programs".into(),
+            },
             Command::SetSanitizer { .. } => Response::Error {
                 message: "sanitizer mode is not supported for assembly programs".into(),
             },

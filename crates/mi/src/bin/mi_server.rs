@@ -30,8 +30,13 @@ use std::io::{stdin, stdout, Read};
 
 fn usage() -> String {
     format!(
-        "usage: mi-server <program.c|program.s> [logical-name]\n       \
+        "usage: mi-server <program.c|program.s> [logical-name] [--opt N]\n       \
          mi-server --host [--workers N] [--max-sessions N] [--slice-steps N]\n\
+         \n\
+         solo options:\n  \
+         --opt N            optimization level for MiniC programs (default 0);\n                     \
+         the optimizer is observation-preserving and verified\n                     \
+         before and after every pass\n\
          \n\
          host options:\n  \
          --workers N        worker threads driving the run queue (default 4)\n  \
@@ -57,7 +62,22 @@ fn main() {
         host_main(args);
         return;
     }
-    let logical = args.next();
+    let mut logical = None;
+    let mut opt: u8 = 0;
+    let mut rest = args;
+    while let Some(arg) = rest.next() {
+        if arg == "--opt" {
+            opt = rest.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                eprintln!("mi-server: --opt takes a small non-negative integer");
+                std::process::exit(2);
+            });
+        } else if logical.is_none() {
+            logical = Some(arg);
+        } else {
+            eprintln!("mi-server: unexpected argument {arg}");
+            std::process::exit(2);
+        }
+    }
     // `-` reads the program from a leading source block on stdin is not
     // supported (frames own stdin); require a file path.
     let source = match std::fs::read_to_string(&path) {
@@ -100,7 +120,13 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let mut engine = MinicEngine::new(&program);
+        let mut engine = match MinicEngine::with_opt(&program, opt) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("mi-server: optimizer rejected the program:\n{e}");
+                std::process::exit(1);
+            }
+        };
         engine.set_registry(registry.clone());
         let mut server = Server::with_telemetry(engine, transport, registry);
         server.set_flight_recorder(flight.clone());

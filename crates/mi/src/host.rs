@@ -431,9 +431,9 @@ fn conn_reader(shared: &Arc<HostShared>, conn: u64, rx: &mut dyn FrameRx, tx: &S
             }
         };
         let rf = match (cf.session, cf.cmd) {
-            (None, Command::OpenSession { file, source }) => {
+            (None, Command::OpenSession { file, source, opt }) => {
                 shared.registry.inc("mi.host.cmd.OpenSession");
-                let resp = open_session(shared, conn, tx, &file, &source);
+                let resp = open_session(shared, conn, tx, &file, &source, opt);
                 ResponseFrame {
                     seq: cf.seq,
                     resp,
@@ -518,6 +518,7 @@ fn open_session(
     tx: &SharedTx,
     file: &str,
     source: &str,
+    opt: u8,
 ) -> Response {
     // Admission control, checked before compiling so a full host sheds
     // load at the cheapest possible point.
@@ -542,17 +543,15 @@ fn open_session(
             }
         }
     } else {
-        match minic::compile(file, source) {
-            Ok(p) => {
-                let mut e = crate::minic_engine::MinicEngine::new(&p);
+        match minic::compile(file, source)
+            .map_err(|e| e.to_string())
+            .and_then(|p| crate::minic_engine::MinicEngine::with_opt(&p, opt))
+        {
+            Ok(mut e) => {
                 e.set_registry(registry.clone());
                 Box::new(e)
             }
-            Err(e) => {
-                return Response::Error {
-                    message: e.to_string(),
-                }
-            }
+            Err(message) => return Response::Error { message },
         }
     };
     let export = Arc::new(obs::ExportSink::new(1024));
@@ -1307,6 +1306,25 @@ impl HostHandle {
         source: &str,
         deadline: Option<Duration>,
     ) -> Result<SessionHandle, MiError> {
+        self.open_session_opt(file, source, 0, deadline)
+    }
+
+    /// [`Self::open_session`] with an optimization level for MiniC
+    /// programs (0 = run the compiler's output unchanged). Optimization
+    /// is observation-preserving, so sessions at different levels are
+    /// indistinguishable through the MI surface.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open_session`]; additionally [`MiError::Engine`] when
+    /// the bytecode verifier rejects the program or a pass's output.
+    pub fn open_session_opt(
+        &self,
+        file: &str,
+        source: &str,
+        opt: u8,
+        deadline: Option<Duration>,
+    ) -> Result<SessionHandle, MiError> {
         let mut ctl = self.inner.control.lock().expect("host control");
         let mut attempt = 0;
         let mut overload_attempts = 0u32;
@@ -1316,6 +1334,7 @@ impl HostHandle {
                 Command::OpenSession {
                     file: file.into(),
                     source: source.into(),
+                    opt,
                 },
                 deadline,
             );
@@ -1629,6 +1648,7 @@ mod tests {
                     Command::OpenSession {
                         file: file.into(),
                         source: PROG.into(),
+                        opt: 0,
                     },
                 )
                 .resp
@@ -1917,6 +1937,7 @@ mod tests {
                 Command::OpenSession {
                     file: "hot.c".into(),
                     source: LOOP_PROG.into(),
+                    opt: 0,
                 },
             )
             .resp
@@ -1988,6 +2009,7 @@ mod tests {
             Command::OpenSession {
                 file: "c.c".into(),
                 source: PROG.into(),
+                opt: 0,
             },
         );
         assert_eq!(

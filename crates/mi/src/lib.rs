@@ -169,9 +169,33 @@ pub fn spawn_minic_with_registry(program: &minic::Program, registry: obs::Regist
     spawn_minic_inner(program, Some(registry))
 }
 
+/// Like [`spawn_minic_with_registry`], running `program` optimized at
+/// `opt` (0 = unchanged). The optimizer is observation-preserving, so the
+/// session behaves identically through the MI surface at every level.
+///
+/// # Errors
+///
+/// Returns the verifier's findings when the program or any optimization
+/// pass's output fails bytecode verification.
+pub fn spawn_minic_opt_with_registry(
+    program: &minic::Program,
+    opt: u8,
+    registry: obs::Registry,
+) -> Result<Session, String> {
+    let engine = minic_engine::MinicEngine::with_opt(program, opt)?;
+    Ok(spawn_minic_engine(engine, Some(registry)))
+}
+
 fn spawn_minic_inner(program: &minic::Program, registry: Option<obs::Registry>) -> Session {
+    spawn_minic_engine(minic_engine::MinicEngine::new(program), registry)
+}
+
+fn spawn_minic_engine(
+    engine: minic_engine::MinicEngine,
+    registry: Option<obs::Registry>,
+) -> Session {
     let (a, b) = transport::duplex();
-    let mut engine = minic_engine::MinicEngine::new(program);
+    let mut engine = engine;
     if let Some(reg) = registry.clone() {
         engine.set_registry(reg);
     }

@@ -108,11 +108,17 @@ pub struct MinicEngine {
     /// Set once a hard budget trips; terminal — later control commands
     /// repeat the same typed verdict instead of running the inferior.
     exhausted: Option<(ResourceKind, u64, u64)>,
+    /// When the VM runs an *optimized* program, the original unoptimized
+    /// one, kept for `Analyze`: static diagnostics are part of the
+    /// observable surface and must not shift when dead code is deleted.
+    /// `None` when the VM's program is the compiler's output unchanged.
+    analysis_program: Option<Box<Program>>,
 }
 
 impl MinicEngine {
     /// Creates an engine with the program loaded but not started.
     pub fn new(program: &Program) -> Self {
+        analysis::verify::debug_verify(program);
         MinicEngine {
             vm: Vm::new(program),
             started: false,
@@ -131,7 +137,28 @@ impl MinicEngine {
             max_steps: None,
             max_heap_bytes: None,
             exhausted: None,
+            analysis_program: None,
         }
+    }
+
+    /// Creates an engine running `program` optimized at `opt` (0 = run it
+    /// unchanged). The optimizer verifies before and after every pass;
+    /// any failure surfaces here instead of producing a VM panic later.
+    /// `Analyze` keeps answering from the unoptimized program, so the
+    /// static-diagnostic surface is identical at every level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's findings when the program (or any pass's
+    /// output) fails verification.
+    pub fn with_opt(program: &Program, opt: u8) -> Result<Self, String> {
+        if opt == 0 {
+            return Ok(Self::new(program));
+        }
+        let (optimized, _report) = analysis::opt::optimize(program, opt)?;
+        let mut engine = Self::new(&optimized);
+        engine.analysis_program = Some(Box::new(program.clone()));
+        Ok(engine)
     }
 
     /// Publishes `vm.minic.*` execution stats into `registry` after every
@@ -678,11 +705,28 @@ impl Engine for MinicEngine {
                 Response::Lines(self.vm.program().breakable_lines().into_iter().collect())
             }
             Command::Analyze => {
+                // Diagnose the program the user wrote, not the one the
+                // optimizer produced: dead-code deletion must not change
+                // the static findings.
+                let program = self
+                    .analysis_program
+                    .as_deref()
+                    .unwrap_or_else(|| self.vm.program());
                 let diags = match &self.registry {
-                    Some(reg) => analysis::analyze_with_registry(self.vm.program(), reg),
-                    None => analysis::analyze(self.vm.program()),
+                    Some(reg) => analysis::analyze_with_registry(program, reg),
+                    None => analysis::analyze(program),
                 };
                 Response::Diagnostics(diags)
+            }
+            Command::Verify => {
+                // The program the VM actually executes — for optimized
+                // sessions this re-checks the optimizer's output on
+                // demand.
+                let findings = analysis::verify::verify(self.vm.program())
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                Response::Verified { findings }
             }
             Command::SetSanitizer { on } => {
                 if self.started {

@@ -84,6 +84,12 @@ pub enum Command {
     /// return its diagnostics. Purely compile-time: the inferior does not
     /// run (and need not have started).
     Analyze,
+    /// Run the bytecode verifier over the loaded program and return its
+    /// findings (empty = the program is well-formed). Like `Analyze`,
+    /// purely static: the inferior does not run. When the engine executes
+    /// an optimized program, the *optimized* bytecode is verified — this
+    /// is the on-demand face of the optimizer's translation validation.
+    Verify,
     /// Switch the runtime memory sanitizer on or off. Must be issued
     /// before `Start`: shadow state is built as frames are pushed, so
     /// toggling mid-run would miss already-live frames.
@@ -145,6 +151,13 @@ pub enum Command {
         file: String,
         /// Full program text.
         source: String,
+        /// Optimization level for MiniC programs (0 = off, the default
+        /// so older peers' frames decode unchanged; ignored by the
+        /// assembly engine). The optimizer is observation-preserving, so
+        /// sessions opened at different levels stay byte-identical
+        /// through the debugging surface.
+        #[serde(default)]
+        opt: u8,
     },
     /// Host-level: tear down one session and free its table slot. The
     /// target id is a field, not the envelope `session`, so the reply
@@ -233,6 +246,7 @@ impl Command {
             Command::GetSource => "GetSource",
             Command::GetBreakableLines => "GetBreakableLines",
             Command::Analyze => "Analyze",
+            Command::Verify => "Verify",
             Command::SetSanitizer { .. } => "SetSanitizer",
             Command::Telemetry { .. } => "Telemetry",
             Command::SetProfile { .. } => "SetProfile",
@@ -276,6 +290,7 @@ impl Command {
                 | Command::GetSource
                 | Command::GetBreakableLines
                 | Command::Analyze
+                | Command::Verify
                 | Command::SetSanitizer { .. }
                 | Command::Telemetry { .. }
                 | Command::SetProfile { .. }
@@ -371,6 +386,12 @@ pub enum Response {
     Lines(Vec<u32>),
     /// Static-analysis findings for [`Command::Analyze`].
     Diagnostics(Vec<Diagnostic>),
+    /// Verifier findings for [`Command::Verify`], one rendered line per
+    /// finding; empty means the loaded bytecode is well-formed.
+    Verified {
+        /// The findings, already formatted with function/op/line anchors.
+        findings: Vec<String>,
+    },
     /// One telemetry drain for [`Command::Telemetry`].
     Telemetry(Box<obs::TelemetryFrame>),
     /// One profile drain for [`Command::ProfileReport`].
@@ -459,6 +480,7 @@ impl Response {
             Response::Source { file, .. } => format!("Source({file})"),
             Response::Lines(v) => format!("Lines({})", v.len()),
             Response::Diagnostics(v) => format!("Diagnostics({})", v.len()),
+            Response::Verified { findings } => format!("Verified({})", findings.len()),
             Response::Telemetry(f) => format!("Telemetry({} events)", f.events.len()),
             Response::Profile(r) => format!("Profile({}, {} units)", r.mode.name(), r.units),
             Response::SessionOpened { session } => format!("SessionOpened({session})"),
@@ -589,6 +611,7 @@ mod tests {
         let open = Command::OpenSession {
             file: "t.c".into(),
             source: "int main() { return 0; }".into(),
+            opt: 0,
         };
         assert_eq!(open.kind(), "OpenSession");
         assert!(!open.is_idempotent());

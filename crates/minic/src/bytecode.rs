@@ -135,6 +135,247 @@ pub enum Op {
     Intrinsic(Intrinsic, u8),
     /// No operation.
     Nop,
+    /// Fused `LocalAddr`+`Load` superinstruction (emitted by the
+    /// optimizer, never by codegen): push the value of the local at the
+    /// given frame offset.
+    LoadLocal(MemTy, u64),
+    /// Fused `PushI`+`IArith` superinstruction: integer arithmetic with
+    /// an immediate right operand.
+    IArithImm(BinOp, i64),
+    /// Fused `PushI`+`ICmp` superinstruction: comparison with an
+    /// immediate right operand; pushes 0/1.
+    ICmpImm(BinOp, i64),
+}
+
+/// Requirement on one popped operand, as the VM's tag discipline defines
+/// it: `Int`/`Float` are strict (any other tag is a VM panic), `PtrOrInt`
+/// admits the integer-zero-as-NULL flows the VM accepts everywhere it
+/// pops a pointer, and `Scalar` admits any tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Must be an integer.
+    Int,
+    /// Must be a float.
+    Float,
+    /// Must be a pointer or an integer (NULL conversions).
+    PtrOrInt,
+    /// Any scalar tag.
+    Scalar,
+}
+
+impl Kind {
+    /// The operand requirement for storing a value with access kind `mt`
+    /// (the VM's `store` accepts integers in pointer slots, nothing else
+    /// cross-tag).
+    pub fn for_store(mt: MemTy) -> Kind {
+        match mt {
+            MemTy::I8 | MemTy::I32 | MemTy::I64 => Kind::Int,
+            MemTy::F32 | MemTy::F64 => Kind::Float,
+            MemTy::P => Kind::PtrOrInt,
+        }
+    }
+}
+
+/// Tag of one pushed result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Out {
+    /// An integer.
+    Int,
+    /// A float.
+    Float,
+    /// A pointer.
+    Ptr,
+    /// The tag a load with this access kind produces.
+    Mem(MemTy),
+    /// The same tag as popped operand `i` (0 = top of stack before the
+    /// op). `Store` re-pushes its value operand; `Dup` pushes its operand
+    /// twice.
+    Operand(usize),
+}
+
+/// The operand-stack effect of one op: what it pops (top of stack first)
+/// and what it pushes (bottom first). This is the single table the
+/// codegen, the VM (as a debug cross-check), the abstract interpreter and
+/// the bytecode verifier all consume; the per-crate match arms it
+/// replaced encoded the same facts four times over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackEffect {
+    /// Operand requirements, top of stack first.
+    pub pops: Vec<Kind>,
+    /// Results pushed, in push order.
+    pub pushes: Vec<Out>,
+}
+
+impl StackEffect {
+    fn new(pops: &[Kind], pushes: &[Out]) -> StackEffect {
+        StackEffect {
+            pops: pops.to_vec(),
+            pushes: pushes.to_vec(),
+        }
+    }
+
+    /// Net change in stack depth.
+    pub fn delta(&self) -> i64 {
+        self.pushes.len() as i64 - self.pops.len() as i64
+    }
+}
+
+impl Op {
+    /// The stack effect of this op, for every op whose effect does not
+    /// depend on the function table. Returns `None` for [`Op::Call`]
+    /// (argument count and result come from the callee's signature); use
+    /// [`Op::stack_effect_with`] to resolve those too.
+    ///
+    /// [`Op::Ret`] is described as popping a `Scalar`; the verifier
+    /// refines the returned value's tag against the containing function's
+    /// declared return type.
+    pub fn stack_effect(&self) -> Option<StackEffect> {
+        use Kind as K;
+        use Op::*;
+        use Out as O;
+        Some(match *self {
+            Line(_) | Jump(_) | Nop | Ret(false) => StackEffect::new(&[], &[]),
+            PushI(_) => StackEffect::new(&[], &[O::Int]),
+            PushF(_) => StackEffect::new(&[], &[O::Float]),
+            PushP(_) | LocalAddr(_) => StackEffect::new(&[], &[O::Ptr]),
+            Load(mt) => StackEffect::new(&[K::PtrOrInt], &[O::Mem(mt)]),
+            LoadLocal(mt, _) => StackEffect::new(&[], &[O::Mem(mt)]),
+            // Pops value then address; pushes the stored value back.
+            Store(mt) => StackEffect::new(&[K::for_store(mt), K::PtrOrInt], &[O::Operand(0)]),
+            MemCopy(_) => StackEffect::new(&[K::PtrOrInt, K::PtrOrInt], &[]),
+            IArith(_) => StackEffect::new(&[K::Int, K::Int], &[O::Int]),
+            IArithImm(_, _) => StackEffect::new(&[K::Int], &[O::Int]),
+            FArith(_) => StackEffect::new(&[K::Float, K::Float], &[O::Float]),
+            ICmp(_) => StackEffect::new(&[K::Scalar, K::Scalar], &[O::Int]),
+            ICmpImm(_, _) => StackEffect::new(&[K::Scalar], &[O::Int]),
+            FCmp(_) => StackEffect::new(&[K::Float, K::Float], &[O::Int]),
+            Neg(true) => StackEffect::new(&[K::Float], &[O::Float]),
+            Neg(false) => StackEffect::new(&[K::Int], &[O::Int]),
+            Not => StackEffect::new(&[K::Scalar], &[O::Int]),
+            BitNot | TruncI(_) => StackEffect::new(&[K::Int], &[O::Int]),
+            I2F => StackEffect::new(&[K::Int], &[O::Float]),
+            F2I => StackEffect::new(&[K::Float], &[O::Int]),
+            F2F32 => StackEffect::new(&[K::Float], &[O::Float]),
+            I2P => StackEffect::new(&[K::Int], &[O::Ptr]),
+            P2I => StackEffect::new(&[K::PtrOrInt], &[O::Int]),
+            // Pop index (strict integer) then pointer.
+            PtrAdd(_) | PtrSub(_) => StackEffect::new(&[K::Int, K::PtrOrInt], &[O::Ptr]),
+            PtrDiff(_) => StackEffect::new(&[K::PtrOrInt, K::PtrOrInt], &[O::Int]),
+            JumpIfZero(_) | JumpIfNotZero(_) | Pop => StackEffect::new(&[K::Scalar], &[]),
+            Dup => StackEffect::new(&[K::Scalar], &[O::Operand(0), O::Operand(0)]),
+            Ret(true) => StackEffect::new(&[K::Scalar], &[]),
+            IncDec { memty, .. } => StackEffect::new(&[K::PtrOrInt], &[O::Mem(memty)]),
+            Intrinsic(intr, argc) => {
+                let pushes: &[Out] = match intr {
+                    crate::typecheck::Intrinsic::Malloc
+                    | crate::typecheck::Intrinsic::Calloc
+                    | crate::typecheck::Intrinsic::Realloc => &[O::Ptr],
+                    crate::typecheck::Intrinsic::Free => &[],
+                    crate::typecheck::Intrinsic::Printf
+                    | crate::typecheck::Intrinsic::Puts
+                    | crate::typecheck::Intrinsic::Putchar => &[O::Int],
+                };
+                StackEffect {
+                    pops: vec![K::Scalar; argc as usize],
+                    pushes: pushes.to_vec(),
+                }
+            }
+            Call(_) => return None,
+        })
+    }
+
+    /// Like [`Op::stack_effect`], resolving [`Op::Call`] against the
+    /// function table: arguments are popped right-to-left with the
+    /// parameter slots' store requirements, and a non-void callee pushes
+    /// one result tagged by its declared return type.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `Call` index is out of bounds — callers validating
+    /// untrusted code must bounds-check first (the verifier does).
+    pub fn stack_effect_with(&self, functions: &[FuncMeta]) -> StackEffect {
+        if let Op::Call(idx) = *self {
+            let callee = &functions[idx];
+            let pops = callee.locals[..callee.nparams]
+                .iter()
+                .rev()
+                .map(|slot| {
+                    if slot.ty.is_scalar() {
+                        Kind::for_store(MemTy::from_type(&slot.ty))
+                    } else {
+                        Kind::Scalar
+                    }
+                })
+                .collect();
+            let pushes = match &callee.ret {
+                Type::Void => vec![],
+                Type::Float | Type::Double => vec![Out::Float],
+                // Pointer results may carry integer NULLs; callers only
+                // use them in pointer-or-int positions, so `Ptr` is the
+                // honest upper bound.
+                Type::Ptr(_) => vec![Out::Ptr],
+                _ => vec![Out::Int],
+            };
+            return StackEffect { pops, pushes };
+        }
+        self.stack_effect()
+            .expect("every non-Call op has a context-free effect")
+    }
+
+    /// The code-index target of a jump op, if this is one.
+    pub fn jump_target(&self) -> Option<usize> {
+        match self {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to a jump op's target (codegen patches forward
+    /// jumps through this).
+    pub fn jump_target_mut(&mut self) -> Option<&mut usize> {
+        match self {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether control can continue to the next op after this one
+    /// executes (false for unconditional jumps and returns).
+    pub fn can_fall_through(&self) -> bool {
+        !matches!(self, Op::Jump(_) | Op::Ret(_))
+    }
+
+    /// Whether this op is an observation barrier: an op at which a
+    /// tracker can pause (or that writes inspectable state), so the
+    /// optimizer must keep it in place and may not move values across it.
+    /// `Line` markers are the stepping/breakpoint hooks; store-like ops
+    /// are the watchpoint hooks; calls, returns and intrinsics emit
+    /// events and run arbitrary effects.
+    pub fn is_observation_barrier(&self) -> bool {
+        matches!(
+            self,
+            Op::Line(_)
+                | Op::Store(_)
+                | Op::MemCopy(_)
+                | Op::IncDec { .. }
+                | Op::Call(_)
+                | Op::Ret(_)
+                | Op::Intrinsic(_, _)
+        )
+    }
+
+    /// The fewest arguments an intrinsic call can carry without the VM
+    /// faulting on a missing argument.
+    pub fn intrinsic_min_args(intr: Intrinsic) -> u8 {
+        match intr {
+            Intrinsic::Calloc | Intrinsic::Realloc => 2,
+            Intrinsic::Malloc
+            | Intrinsic::Free
+            | Intrinsic::Printf
+            | Intrinsic::Puts
+            | Intrinsic::Putchar => 1,
+        }
+    }
 }
 
 /// Metadata of one compiled function.

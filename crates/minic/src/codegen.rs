@@ -144,9 +144,10 @@ impl Gen {
     }
 
     fn patch_jump_to(&mut self, at: usize, target: usize) {
-        match &mut self.code[at] {
-            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNotZero(t) => *t = target,
-            other => unreachable!("patching non-jump {other:?}"),
+        let op = self.code[at];
+        match self.code[at].jump_target_mut() {
+            Some(t) => *t = target,
+            None => unreachable!("patching non-jump {op:?}"),
         }
     }
 

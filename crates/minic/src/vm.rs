@@ -134,6 +134,11 @@ pub struct Vm {
     output: String,
     exited: Option<i64>,
     ops_executed: u64,
+    /// Hard cap on total executed ops; `step` errors once exceeded. Unlike
+    /// the engine's fuel slices (denominated in VM *events*), this bounds
+    /// raw ops, so it also terminates event-free loops — which is what the
+    /// verifier fuzz needs when executing arbitrary accepted mutants.
+    op_budget: Option<u64>,
     /// Shadow state when sanitizer mode is on (see [`Vm::set_sanitizer`]).
     san: Option<Box<Sanitizer>>,
     /// Events displaced by a sanitizer trap, delivered on later steps.
@@ -180,6 +185,7 @@ impl Vm {
             output: String::new(),
             exited: None,
             ops_executed: 0,
+            op_budget: None,
             san: None,
             san_deferred: VecDeque::new(),
             prof: None,
@@ -312,6 +318,13 @@ impl Vm {
         self.ops_executed
     }
 
+    /// Caps total executed ops: once `ops_executed` would exceed the
+    /// budget, `step` returns a runtime error and the VM is dead. `None`
+    /// (the default) removes the cap.
+    pub fn set_op_budget(&mut self, budget: Option<u64>) {
+        self.op_budget = budget;
+    }
+
     /// Current stack pointer (base of the innermost frame); exposed as a
     /// pseudo-register by the low-level inspection API.
     pub fn stack_pointer(&self) -> u64 {
@@ -385,6 +398,9 @@ impl Vm {
         loop {
             let op = self.program.code[self.pc];
             self.ops_executed += 1;
+            if self.op_budget.is_some_and(|b| self.ops_executed > b) {
+                return Err(self.err("op budget exhausted"));
+            }
             if let Some(p) = self.prof.as_deref_mut() {
                 p.tick();
             }
@@ -462,6 +478,11 @@ impl Vm {
 
     fn exec(&mut self, op: Op) -> Result<Option<Event>, Error> {
         use Op::*;
+        // Debug cross-check against the shared stack-effect table: every
+        // op that completes the match (no early event return) must change
+        // the stack by exactly the delta `Op::stack_effect` declares.
+        #[cfg(debug_assertions)]
+        let declared = op.stack_effect().map(|fx| (self.stack.len(), fx.delta()));
         match op {
             Line(n) => {
                 self.frames.last_mut().expect("running frame").line = n;
@@ -693,7 +714,32 @@ impl Vm {
             Intrinsic(intr, argc) => {
                 return self.do_intrinsic(intr, argc as usize);
             }
+            LoadLocal(mt, off) => {
+                let base = self.current_frame().base;
+                let addr = base + off;
+                let v = self.load(addr, mt)?;
+                self.stack.push(v);
+                self.san_read(addr, mt.size());
+            }
+            IArithImm(binop, imm) => {
+                let a = self.pop_int();
+                let v = self.iarith(binop, a, imm)?;
+                self.stack.push(RtVal::Int(v));
+            }
+            ICmpImm(binop, imm) => {
+                let a = self.pop();
+                let r = cmp(binop, &(a.bits() as i64), &imm);
+                self.stack.push(RtVal::Int(r as i64));
+            }
             Nop => {}
+        }
+        #[cfg(debug_assertions)]
+        if let Some((before, delta)) = declared {
+            debug_assert_eq!(
+                self.stack.len() as i64,
+                before as i64 + delta,
+                "stack-effect table out of sync for {op:?}"
+            );
         }
         self.pc += 1;
         Ok(None)

@@ -1,12 +1,22 @@
-//! `lint`: the static memory-safety checker as a command-line tool.
+//! `lint`: the static memory-safety checker and bytecode verifier as a
+//! command-line tool.
 //!
-//! Compiles one or more MiniC source files and prints every finding of
-//! the `analysis` crate in a compiler-style format, sorted by file and
-//! line. The process exits non-zero iff any finding is an error, so the
-//! tool slots into CI as a gate.
+//! Compiles one or more MiniC source files, runs the bytecode verifier
+//! over each compiled program (at -O0 and, with `--opt N`, over the
+//! optimizer's output too — translation validation from the shell), and
+//! prints every finding of the `analysis` crate in a compiler-style
+//! format, sorted by file and line.
 //!
-//! Run with: `cargo run --example lint -- tests/fixtures/*.mc`
-//! (no arguments lints a built-in demo program).
+//! Exit codes distinguish the two failure classes:
+//!
+//! * `2` — a program failed bytecode **verification** (compiler or
+//!   optimizer bug territory: the artifact itself is malformed);
+//! * `1` — verification passed but a **lint** finding of severity
+//!   `Error` was reported (or a file failed to read/compile);
+//! * `0` — everything verified and no error-severity findings.
+//!
+//! Run with: `cargo run --example lint -- [--opt N] tests/fixtures/*.mc`
+//! (no file arguments lints a built-in demo program).
 
 use state::Severity;
 use std::process::ExitCode;
@@ -21,50 +31,94 @@ return x;
 }
 ";
 
-fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    let mut total = 0usize;
-    let mut errors = 0usize;
+#[derive(Default)]
+struct Tally {
+    findings: usize,
+    errors: usize,
+    verify_failures: usize,
+}
 
-    let lint_one = |name: &str, source: &str, total: &mut usize, errors: &mut usize| {
-        let program = match minic::compile(name, source) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{name}: compile error: {e}");
-                *errors += 1;
-                return;
-            }
-        };
-        for d in analysis::analyze(&program) {
-            println!("{name}:{}: {d}", d.span);
-            *total += 1;
-            if d.severity == Severity::Error {
-                *errors += 1;
-            }
+fn lint_one(name: &str, source: &str, opt: u8, tally: &mut Tally) {
+    let program = match minic::compile(name, source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{name}: compile error: {e}");
+            tally.errors += 1;
+            return;
         }
     };
 
+    // Verify the compiled artifact; with --opt also run the optimizer,
+    // whose own verify-after-every-pass either yields a clean program or
+    // a finding list naming the offending pass.
+    let verify_findings = analysis::verify::verify(&program);
+    if !verify_findings.is_empty() {
+        for f in &verify_findings {
+            eprintln!("{name}: verify: {f}");
+        }
+        tally.verify_failures += 1;
+        return;
+    }
+    if opt > 0 {
+        if let Err(e) = analysis::opt::optimize(&program, opt) {
+            eprintln!("{name}: verify (-O{opt}): {e}");
+            tally.verify_failures += 1;
+            return;
+        }
+    }
+
+    for d in analysis::analyze(&program) {
+        println!("{name}:{}: {d}", d.span);
+        tally.findings += 1;
+        if d.severity == Severity::Error {
+            tally.errors += 1;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opt: u8 = 0;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--opt" {
+            opt = args.next().and_then(|w| w.parse().ok()).unwrap_or_else(|| {
+                eprintln!("lint: --opt takes a small non-negative integer");
+                std::process::exit(2);
+            });
+        } else {
+            files.push(arg);
+        }
+    }
+
+    let mut tally = Tally::default();
     if files.is_empty() {
         println!("(no files given; linting the built-in demo)");
-        lint_one("demo.mc", DEMO, &mut total, &mut errors);
+        lint_one("demo.mc", DEMO, opt, &mut tally);
     } else {
         for file in &files {
             match std::fs::read_to_string(file) {
-                Ok(source) => lint_one(file, &source, &mut total, &mut errors),
+                Ok(source) => lint_one(file, &source, opt, &mut tally),
                 Err(e) => {
                     eprintln!("{file}: {e}");
-                    errors += 1;
+                    tally.errors += 1;
                 }
             }
         }
     }
 
     println!(
-        "{total} finding{} ({errors} error{})",
-        if total == 1 { "" } else { "s" },
-        if errors == 1 { "" } else { "s" },
+        "{} finding{} ({} error{}, {} verification failure{})",
+        tally.findings,
+        if tally.findings == 1 { "" } else { "s" },
+        tally.errors,
+        if tally.errors == 1 { "" } else { "s" },
+        tally.verify_failures,
+        if tally.verify_failures == 1 { "" } else { "s" },
     );
-    if errors > 0 {
+    if tally.verify_failures > 0 {
+        ExitCode::from(2)
+    } else if tally.errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -112,6 +112,7 @@ impl Abuser {
             Command::OpenSession {
                 file: "abuse.c".into(),
                 source: source.into(),
+                opt: 0,
             },
         );
         match self.recv().resp {
@@ -246,6 +247,7 @@ fn governed_host_isolates_innocents_from_adversarial_tenants() {
             Command::OpenSession {
                 file: "late.c".into(),
                 source: HOT_PROG.into(),
+                opt: 0,
             },
         );
     }

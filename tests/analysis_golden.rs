@@ -180,6 +180,77 @@ fn every_diagnostic_kind_is_demonstrated_both_ways() {
     }
 }
 
+/// Every golden holds unchanged at -O1: the observation-preserving
+/// optimizer must leave the static findings, the sanitizer trap
+/// sequence, the exit code, and the full pause-state transcript (every
+/// VM event, with store events on) byte-identical to the -O0 run — while
+/// actually shrinking the program, so the pass pipeline is exercised.
+#[test]
+fn optimized_fixtures_match_their_goldens() {
+    for g in GOLDENS {
+        let program = compile(g.file);
+        let (optimized, report) = analysis::opt::optimize(&program, 1)
+            .unwrap_or_else(|e| panic!("{}: optimizer rejected: {e}", g.file));
+        assert!(
+            report.ops_after < report.ops_before,
+            "{}: -O1 did not shrink the program ({} -> {})",
+            g.file,
+            report.ops_before,
+            report.ops_after
+        );
+
+        // Static diagnostics are stable across optimization on every
+        // fixture: folding and DCE never invent or drop a finding here.
+        let statics: HashSet<(DiagnosticKind, u32)> = analysis::analyze(&optimized)
+            .iter()
+            .map(|d| (d.kind, d.span))
+            .collect();
+        let want: HashSet<_> = g.statics.iter().copied().collect();
+        assert_eq!(statics, want, "{}: -O1 static findings drifted", g.file);
+
+        // Same trap sequence and exit under the sanitizer.
+        let (traps, exit) = sanitized_run(g.file, &optimized);
+        let got_traps: Vec<(DiagnosticKind, u32)> =
+            traps.iter().map(|d| (d.kind, d.span)).collect();
+        assert_eq!(got_traps, g.traps, "{}: -O1 trap sequence drifted", g.file);
+        assert_eq!(exit, g.exit, "{}: -O1 sanitized exit drifted", g.file);
+
+        // Full event transcript (the debugger's pause-state stream) at
+        // -O0 and -O1, store events on so writes are observable too.
+        assert_eq!(
+            transcript(g.file, &program),
+            transcript(g.file, &optimized),
+            "{}: -O1 event transcript drifted",
+            g.file
+        );
+        assert_eq!(
+            program.breakable_lines(),
+            optimized.breakable_lines(),
+            "{}: -O1 breakable lines drifted",
+            g.file
+        );
+    }
+}
+
+/// Every debug event the VM emits for `program`, plus output and how the
+/// run ended. A runtime fault (some fixtures double-free the plain
+/// allocator on purpose) is itself an observable: both programs must
+/// fault with the same message at the same point.
+fn transcript(name: &str, program: &minic::Program) -> (Vec<String>, String, String) {
+    let _ = name;
+    let mut vm = minic::vm::Vm::new(program);
+    vm.set_store_events(true);
+    let mut events = Vec::new();
+    let end = loop {
+        match vm.step() {
+            Ok(minic::Event::Exited(code)) => break format!("exit {code}"),
+            Ok(ev) => events.push(format!("{ev:?}")),
+            Err(e) => break format!("fault: {e}"),
+        }
+    };
+    (events, vm.output().to_owned(), end)
+}
+
 /// On every fixture the plain VM completes, the sanitized VM must print
 /// the same output and exit with the same code: traps are observations,
 /// never behaviour changes. Where the plain VM *faults* (its allocator

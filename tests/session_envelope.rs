@@ -69,6 +69,7 @@ impl Raw {
                 Command::OpenSession {
                     file: file.into(),
                     source: PROG.into(),
+                    opt: 0,
                 },
             )
             .resp

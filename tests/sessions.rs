@@ -398,6 +398,7 @@ fn client_death_mid_command_spares_other_connections() {
         mi::Command::OpenSession {
             file: "slow.c".into(),
             source: SLOW.into(),
+            opt: 0,
         },
     );
     let sid = match recv(&mut wire).resp {

@@ -7,9 +7,12 @@
 //! this workspace derives on) and emits implementations of the vendored
 //! `serde::Serialize`/`serde::Deserialize` traits as source text.
 //!
-//! Unsupported shapes (generics, tuple structs, `#[serde(...)]`
-//! attributes) produce a compile error naming the limitation rather than
-//! silently misbehaving.
+//! The only `#[serde(...)]` attribute understood is `#[serde(default)]`
+//! on a named field: a field so marked deserializes to
+//! `Default::default()` when the key is absent, which is how the wire
+//! format stays decodable against older peers. Other unsupported shapes
+//! (generics, tuple structs, other `#[serde(...)]` attributes) produce a
+//! compile error naming the limitation rather than silently misbehaving.
 
 // Vendored stand-in: keep clippy focused on first-party code.
 #![allow(clippy::all)]
@@ -20,7 +23,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
@@ -37,11 +40,19 @@ enum VariantKind {
     Unit,
     /// Tuple variant with this arity.
     Tuple(usize),
-    /// Struct variant with these field names.
-    Struct(Vec<String>),
+    /// Struct variant with these fields.
+    Struct(Vec<Field>),
 }
 
-#[proc_macro_derive(Serialize)]
+/// A named field plus the one attribute this derive understands.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: an absent key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
@@ -49,7 +60,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_deserialize(&item)
@@ -105,9 +116,19 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 
 /// Skips `#[...]` attributes and `pub`/`pub(...)` visibility.
 fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    skip_attrs_and_vis_noting_default(tokens, pos);
+}
+
+/// Like [`skip_attrs_and_vis`], but reports whether one of the skipped
+/// attributes was `#[serde(default)]`.
+fn skip_attrs_and_vis_noting_default(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut saw_default = false;
     loop {
         match tokens.get(*pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    saw_default |= is_serde_default(g.stream());
+                }
                 *pos += 2; // `#` and the bracketed group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -118,8 +139,23 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
                     *pos += 1;
                 }
             }
-            _ => return,
+            _ => return saw_default,
         }
+    }
+}
+
+/// True when the bracketed attribute body is exactly `serde(default)`.
+fn is_serde_default(body: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)]
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            matches!(inner.as_slice(),
+                [TokenTree::Ident(arg)] if arg.to_string() == "default")
+        }
+        _ => false,
     }
 }
 
@@ -136,12 +172,12 @@ fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String>
 /// Parses `name: Type, ...` named fields, returning the names. Types are
 /// skipped with `<`/`>` depth tracking so commas inside generics do not
 /// split fields.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut pos);
+        let default = skip_attrs_and_vis_noting_default(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -167,7 +203,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
             pos += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -239,6 +275,7 @@ fn gen_serialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let mut inserts = String::new();
             for f in fields {
+                let f = &f.name;
                 inserts.push_str(&format!(
                     "__m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
                 ));
@@ -286,9 +323,11 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds = fields.join(", ");
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds = binds.join(", ");
                         let mut inserts = String::new();
                         for f in fields {
+                            let f = &f.name;
                             inserts.push_str(&format!(
                                 "__inner.insert({f:?}.to_string(), \
                                  ::serde::Serialize::to_value({f}));\n"
@@ -318,16 +357,40 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// One `name: value,` initializer inside a generated `from_value`. A
+/// `#[serde(default)]` field falls back to `Default::default()` when the
+/// key is absent (an explicit `null` still goes through `from_value`, so
+/// `Option` fields behave the same either way).
+fn field_init(ctx: &str, f: &Field, map: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match {map}.get({name:?}) {{\n\
+                 ::std::option::Option::Some(__fv) => \
+                     ::serde::Deserialize::from_value(__fv)\
+                     .map_err(|e| e.in_field(concat!({ctx:?}, \".\", {name:?})))?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }},\n"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(\
+                 {map}.get({name:?}).unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| e.in_field(concat!({ctx:?}, \".\", {name:?})))?,\n"
+        )
+    }
+}
+
+fn name_path(name: &str) -> String {
+    name.to_string()
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(\
-                         __m.get({f:?}).unwrap_or(&::serde::Value::Null))\
-                         .map_err(|e| e.in_field(concat!(stringify!({name}), \".\", {f:?})))?,\n"
-                ));
+                inits.push_str(&field_init(&name_path(name), f, "__m"));
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -380,11 +443,7 @@ fn gen_deserialize(item: &Item) -> String {
                     VariantKind::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            inits.push_str(&format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                     __inner.get({f:?})\
-                                         .unwrap_or(&::serde::Value::Null))?,\n"
-                            ));
+                            inits.push_str(&field_init(&format!("{name}::{vn}"), f, "__inner"));
                         }
                         keyed_arms.push_str(&format!(
                             "{vn:?} => {{\n\
