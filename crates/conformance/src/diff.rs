@@ -309,7 +309,115 @@ impl Driver {
             Ok(t) => t,
             Err(e) => return self.error(pair, seed, "replay run failed", &e),
         };
-        self.compare(pair, seed, &live_trace, &replay_trace)
+        let mut div = self.compare(pair, seed, &live_trace, &replay_trace);
+        if div.is_empty() {
+            // The forward lockstep held; now the store-backed extras
+            // must too: a disk round-trip of the trace store stays
+            // byte-identical, random seeks land on the recorded states,
+            // and reverse-stepping walks the exact forward sequence
+            // backwards.
+            div.extend(self.store_roundtrip(pair, seed, &replay, &live_trace));
+            div.extend(self.reverse_walk(pair, seed, &mut replay, &live_trace));
+        }
+        div
+    }
+
+    /// Serializes the replay tracker's store to its on-disk form, loads
+    /// it back, and spot-checks seeks at the ends and middle against the
+    /// live run's serialized states.
+    fn store_roundtrip(
+        &self,
+        pair: &str,
+        seed: u64,
+        replay: &ReplayTracker,
+        fwd: &Trace,
+    ) -> Vec<Divergence> {
+        let store = replay.store();
+        let bytes = store.to_bytes();
+        let back = match trace::Store::from_bytes(&bytes) {
+            Ok(s) => s,
+            Err(e) => return self.error(pair, seed, "trace-store round-trip failed", &e),
+        };
+        let mut div = Vec::new();
+        if back.len() != fwd.steps.len() as u64 {
+            div.push(Divergence {
+                pair: pair.to_owned(),
+                seed,
+                detail: format!(
+                    "reloaded store holds {} pauses, live run had {}",
+                    back.len(),
+                    fwd.steps.len()
+                ),
+            });
+            return div;
+        }
+        let n = back.len();
+        for probe in [0, n / 2, n.saturating_sub(1)] {
+            if probe >= n {
+                continue;
+            }
+            match back.state_bytes_at(probe) {
+                Ok(state_bytes) => {
+                    if state_bytes != fwd.steps[probe as usize].1.as_bytes() {
+                        div.push(Divergence {
+                            pair: pair.to_owned(),
+                            seed,
+                            detail: format!(
+                                "reloaded store state at pause {probe} differs from live"
+                            ),
+                        });
+                    }
+                }
+                Err(e) => {
+                    return self.error(pair, seed, "reloaded store seek failed", &e);
+                }
+            }
+        }
+        div
+    }
+
+    /// Reverse-steps the replay tracker from the last pause to the
+    /// first, requiring the exact forward state sequence backwards
+    /// (pause reasons normalized: walking backwards reports `Step`).
+    fn reverse_walk(
+        &self,
+        pair: &str,
+        seed: u64,
+        replay: &mut ReplayTracker,
+        fwd: &Trace,
+    ) -> Vec<Divergence> {
+        let n = fwd.steps.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if let Err(e) = replay.seek(n as u64 - 1) {
+            return self.error(pair, seed, "seek to last pause failed", &e);
+        }
+        let normalize = |mut st: state::ProgramState| {
+            st.reason = PauseReason::Step;
+            serde_json::to_string(&st).unwrap_or_default()
+        };
+        for i in (0..n - 1).rev() {
+            if let Err(e) = replay.step_back() {
+                return self.error(pair, seed, "reverse step failed", &e);
+            }
+            let got = match replay.get_state() {
+                Ok(st) => normalize(st),
+                Err(e) => return self.error(pair, seed, "reverse-state inspection failed", &e),
+            };
+            let want = match serde_json::from_str::<state::ProgramState>(&fwd.steps[i].1) {
+                Ok(st) => normalize(st),
+                Err(e) => return self.error(pair, seed, "forward state re-decode failed", &e),
+            };
+            if got != want {
+                return vec![Divergence {
+                    pair: pair.to_owned(),
+                    seed,
+                    detail: format!("reverse walk diverges at pause {i}"),
+                }];
+            }
+        }
+        Vec::new()
     }
 
     /// MiTracker over the in-process channel vs MiTracker over a real

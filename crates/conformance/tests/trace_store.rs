@@ -1,0 +1,90 @@
+//! Trace-store lockstep: the store-backed replay path must be
+//! pause-for-pause, state-for-state identical to the live tracker on
+//! generated programs — forward, through a disk round-trip, and walking
+//! the exact forward sequence backwards.
+//!
+//! The per-seed legs live in the differential driver itself
+//! (`Driver::diff_c_vs_replay` / `diff_asm_vs_replay` now append the
+//! store round-trip and reverse-walk checks to every replay pair), so
+//! `trace_quick` runs on every `cargo test` and the `#[ignore]`d
+//! `trace_sweep_200` is the CI trace gate:
+//!
+//! ```text
+//! cargo test -p conformance -- --include-ignored trace_sweep_200
+//! ```
+
+use conformance::gen::{gen_asm, gen_program, render_asm, render_c};
+use conformance::Driver;
+use easytracker::{MiTracker, Recording, ReplayTracker, Tracker};
+
+fn replay_sweep(driver: &Driver, seeds: std::ops::Range<u64>) {
+    let mut failures = Vec::new();
+    for seed in seeds {
+        let c = render_c(&gen_program(seed));
+        for d in driver.diff_c_vs_replay(seed, &c) {
+            failures.push(d.to_string());
+        }
+        let asm = render_asm(&gen_asm(seed));
+        for d in driver.diff_asm_vs_replay(seed, &asm) {
+            failures.push(d.to_string());
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} divergence(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn trace_quick() {
+    replay_sweep(&Driver::new(), 0..10);
+}
+
+/// The CI trace gate: 200 seeds, MiniC and MiniAsm, every pause compared
+/// forward, across a disk round-trip, and in reverse.
+#[test]
+#[ignore = "bounded CI sweep; run with --include-ignored"]
+fn trace_sweep_200() {
+    replay_sweep(&Driver::new(), 0..200);
+}
+
+/// The engine-side recording (`Record` over the MI boundary) and the
+/// client-side capture (`Recording::capture` + fold) observe the same
+/// execution: seeking the engine's store through MI answers states
+/// byte-identical to the capture-built store at every pause.
+#[test]
+fn mi_recording_matches_capture_at_every_pause() {
+    for seed in 0..5u64 {
+        let c = render_c(&gen_program(seed));
+
+        // Engine-side: arm Record, single-step to completion.
+        let mut live = MiTracker::load_c("gen.c", &c).unwrap();
+        live.record(8).unwrap();
+        let mut reason = live.start().unwrap();
+        while reason.is_alive() {
+            reason = live.step().unwrap();
+        }
+        let (pauses, _, _) = live.trace_stats().unwrap();
+
+        // Client-side: capture a fresh run, fold it into a store.
+        let mut fresh = MiTracker::load_c("gen.c", &c).unwrap();
+        let recording = Recording::capture(&mut fresh).unwrap();
+        fresh.terminate();
+        let replay = ReplayTracker::new(recording);
+        assert_eq!(pauses, replay.recorded_pauses(), "seed {seed}");
+
+        for n in 0..pauses {
+            live.seek(n).unwrap();
+            let via_mi = live.get_state().unwrap();
+            let via_store = replay.store().state_at(n).unwrap();
+            assert_eq!(
+                serde_json::to_string(&via_mi).unwrap(),
+                serde_json::to_string(&via_store).unwrap(),
+                "seed {seed} pause {n}"
+            );
+        }
+        live.terminate();
+    }
+}

@@ -768,6 +768,133 @@ impl MiTracker {
         }
     }
 
+    /// Arms engine-side trace recording with the given keyframe cadence.
+    /// Must precede [`Tracker::start`]. Journaled as configuration: a
+    /// respawned engine re-arms before the journal replays, so the
+    /// rebuilt recording covers the same pauses.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Engine`] when already started; protocol errors as
+    /// usual.
+    pub fn record(&mut self, keyframe_every: u32) -> Result<()> {
+        let cmd = Command::Record { keyframe_every };
+        match self.call(cmd.clone())? {
+            Response::Ok => {
+                if self.spec.is_some() {
+                    self.journal.push(JournalEntry::Config { cmd });
+                }
+                Ok(())
+            }
+            other => Err(TrackerError::Protocol(format!(
+                "expected acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Jumps the engine's inspection cursor to recorded pause `pause` —
+    /// O(log n) through the store's keyframe index. Subsequent state
+    /// inspections answer from the recording; any control call snaps
+    /// back to the live position. Returns the recorded pause reason.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Engine`] when nothing is recorded or the pause is
+    /// out of range.
+    pub fn seek(&mut self, pause: u64) -> Result<PauseReason> {
+        match self.call(Command::Seek { pause })? {
+            Response::Paused(reason) => Ok(reason),
+            other => Err(TrackerError::Protocol(format!(
+                "expected pause report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// All recorded writes to `variable` in `[from, to]` (defaults: the
+    /// whole recording), answered from the store's write index without
+    /// replaying.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Engine`] when nothing is recorded.
+    pub fn query_history(
+        &mut self,
+        variable: &str,
+        from: Option<u64>,
+        to: Option<u64>,
+    ) -> Result<Vec<trace::HistoryHit>> {
+        match self.inspect(Command::QueryHistory {
+            variable: variable.into(),
+            from,
+            to,
+            last_only: false,
+        })? {
+            Response::History { hits } => Ok(hits),
+            other => Err(TrackerError::Protocol(format!(
+                "expected history, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The most recent recorded write to `variable` at or before
+    /// `before` (default: end of recording), if any.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Engine`] when nothing is recorded.
+    pub fn last_change(
+        &mut self,
+        variable: &str,
+        before: Option<u64>,
+    ) -> Result<Option<trace::HistoryHit>> {
+        match self.inspect(Command::QueryHistory {
+            variable: variable.into(),
+            from: None,
+            to: before,
+            last_only: true,
+        })? {
+            Response::History { hits } => Ok(hits.into_iter().next()),
+            other => Err(TrackerError::Protocol(format!(
+                "expected history, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Recording statistics: `(pauses, keyframes, serialized_bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Engine`] when nothing is recorded.
+    pub fn trace_stats(&mut self) -> Result<(u64, u64, u64)> {
+        match self.inspect(Command::TraceStats)? {
+            Response::TraceStats {
+                pauses,
+                keyframes,
+                bytes,
+            } => Ok((pauses, keyframes, bytes)),
+            other => Err(TrackerError::Protocol(format!(
+                "expected trace stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Publishes the session's recording on the host's trace shelf under
+    /// `name`, where [`mi::HostHandle::open_replay`] sessions can scrub
+    /// it. Only meaningful for hosted sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`TrackerError::Engine`] when there is no shelf (not hosted) or
+    /// no recording.
+    pub fn publish_trace(&mut self, name: &str) -> Result<()> {
+        match self.call(Command::PublishTrace { name: name.into() })? {
+            Response::Ok => Ok(()),
+            other => Err(TrackerError::Protocol(format!(
+                "expected acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+
     fn call(&mut self, command: Command) -> Result<Response> {
         if let SessionHealth::Degraded { reason } = &self.health {
             return Err(TrackerError::SessionDegraded(reason.clone()));
@@ -1974,6 +2101,72 @@ mod tests {
         assert_eq!(*t.health(), SessionHealth::Healthy);
         assert_eq!(t.respawns(), 1);
         assert_eq!(traps, vec![state::DiagnosticKind::UseAfterFree]);
+    }
+
+    #[test]
+    fn recording_seek_and_history_through_the_boundary() {
+        let mut t = MiTracker::load_c("p.c", C_PROG).unwrap();
+        t.record(8).unwrap();
+        t.start().unwrap();
+        let mut lines = vec![t.current_line().unwrap()];
+        while t.step().unwrap().is_alive() {
+            lines.push(t.current_line().unwrap());
+        }
+        let (pauses, keyframes, bytes) = t.trace_stats().unwrap();
+        assert_eq!(pauses, lines.len() as u64);
+        assert_eq!(keyframes, pauses.div_ceil(8));
+        assert!(bytes > 0);
+        // Seek anywhere: inspections answer from the recording.
+        for n in [0, pauses / 2, pauses - 1] {
+            t.seek(n).unwrap();
+            let frame = t.get_current_frame().unwrap();
+            assert_eq!(frame.location().line(), lines[n as usize]);
+        }
+        // History: `s` accumulates 1, 5, 14; the last write is 14.
+        let hits = t.query_history("main::s", None, None).unwrap();
+        let values: Vec<&str> = hits.iter().map(|h| h.value.as_str()).collect();
+        assert!(values.windows(2).all(|w| w[0] != w[1]), "{values:?}");
+        assert_eq!(values.last(), Some(&"14"));
+        assert_eq!(t.last_change("main::s", None).unwrap().unwrap().value, "14");
+        // Control snaps back to the live (exited) inferior.
+        assert_eq!(t.get_exit_code(), Some(14));
+    }
+
+    #[test]
+    fn record_must_precede_start() {
+        let mut t = MiTracker::load_c("p.c", C_PROG).unwrap();
+        t.start().unwrap();
+        assert!(matches!(t.record(8), Err(TrackerError::Engine(_))));
+    }
+
+    #[test]
+    fn recording_survives_an_engine_respawn() {
+        // Call 4 lands mid-run: the engine is lost after Record armed
+        // and the inferior started. The journal replays Record first,
+        // then the control history, so the rebuilt store covers the
+        // same pauses.
+        let (wrapper, state) = fail_once_wrapper(4);
+        let mut t = MiTracker::load_spec(
+            ProgramSpec::c("p.c", C_PROG),
+            obs::Registry::new(),
+            fast_supervision(),
+            Some(wrapper),
+        )
+        .unwrap();
+        t.record(4).unwrap();
+        t.start().unwrap();
+        let mut steps = 1u64;
+        while t.step().unwrap().is_alive() {
+            steps += 1;
+        }
+        assert!(state.fired.load(Ordering::SeqCst), "the fault really fired");
+        assert_eq!(t.respawns(), 1);
+        let (pauses, _, _) = t.trace_stats().unwrap();
+        assert_eq!(
+            pauses, steps,
+            "recording covers every pause, respawn included"
+        );
+        assert_eq!(t.last_change("main::s", None).unwrap().unwrap().value, "14");
     }
 
     #[test]

@@ -9,10 +9,22 @@
 //! also works offline on recorded runs. Breakpoints, function tracking,
 //! stepping and watchpoints are all re-derived from the recorded
 //! snapshots.
+//!
+//! Since the trace-store rework, `ReplayTracker` no longer materializes
+//! every snapshot in memory: the recording is folded into a compressed,
+//! indexed [`trace::Store`] (keyframes + deltas), states are decoded on
+//! demand through a per-reader segment cache, and random access —
+//! [`ReplayTracker::seek`] — is O(log n) instead of a linear re-drive.
+//! One `Arc<trace::Store>` can back any number of concurrently scrubbing
+//! replay trackers, and history queries ([`ReplayTracker::last_change`],
+//! [`ReplayTracker::writes_in`]) answer from the store's write index
+//! without replaying at all.
 
 use crate::{ControlPointId, Result, Tracker, TrackerError};
 use serde::{Deserialize, Serialize};
 use state::{ExitStatus, Frame, PauseReason, ProgramState, SourceLocation, Variable};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One recorded pause: the full snapshot plus the output produced since
 /// the previous step.
@@ -80,6 +92,18 @@ impl Recording {
         serde_json::to_string(self).map_err(|e| TrackerError::Engine(e.to_string()))
     }
 
+    /// Folds the recording into a compressed, indexed [`trace::Store`]
+    /// with the given keyframe cadence.
+    pub fn to_store(&self, keyframe_every: u32) -> trace::Store {
+        let mut store = trace::Store::new(self.file.clone(), self.source.clone(), keyframe_every);
+        for step in &self.steps {
+            store.push(&step.state, &step.output_delta);
+        }
+        store.set_exit_code(Some(self.exit_code));
+        store.freeze();
+        store
+    }
+
     /// Total number of recorded steps.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -113,10 +137,22 @@ struct ControlPoint {
     kind: CpKind,
 }
 
-/// A tracker that replays a [`Recording`].
+/// Per-watched-variable timeline, derived once from the store when the
+/// watchpoint is armed: the variable's rendered visible value at each
+/// pause, plus a running "most recent visible value at or before each
+/// pause". Together they answer the live trackers' sticky-watch question
+/// ("did the value change against the last step where the variable was
+/// visible?") in O(1) per trigger check instead of a backward scan.
+#[derive(Debug)]
+struct WatchTimeline {
+    visible: Vec<Option<String>>,
+    last: Vec<Option<String>>,
+}
+
+/// A tracker that replays a recorded execution out of a [`trace::Store`].
 #[derive(Debug)]
 pub struct ReplayTracker {
-    recording: Recording,
+    reader: trace::TraceReader,
     /// Index of the current step; `None` before `start`.
     idx: Option<usize>,
     points: Vec<ControlPoint>,
@@ -132,10 +168,12 @@ pub struct ReplayTracker {
     /// Armed profile configuration; the report is derived on demand from
     /// the recorded snapshots, so there is no live profiler to carry.
     prof: Option<(obs::ProfileMode, u64)>,
+    watch_tl: HashMap<String, WatchTimeline>,
 }
 
 impl ReplayTracker {
-    /// Creates a replay tracker over a recording.
+    /// Creates a replay tracker over a recording (folded into an
+    /// in-memory trace store at [`trace::DEFAULT_KEYFRAME_EVERY`]).
     pub fn new(recording: Recording) -> Self {
         Self::with_registry(recording, obs::Registry::new())
     }
@@ -143,8 +181,22 @@ impl ReplayTracker {
     /// Like [`ReplayTracker::new`], with control-call latencies and
     /// inspection counters reported into `registry`.
     pub fn with_registry(recording: Recording, registry: obs::Registry) -> Self {
-        ReplayTracker {
-            recording,
+        let store = recording.to_store(trace::DEFAULT_KEYFRAME_EVERY);
+        Self::from_store_with_registry(Arc::new(store), registry)
+    }
+
+    /// Replays a shared trace store. Many trackers can scrub one
+    /// `Arc<trace::Store>` concurrently; each keeps its own position,
+    /// control points, decoded-segment cache and metrics.
+    pub fn from_store(store: Arc<trace::Store>) -> Self {
+        Self::from_store_with_registry(store, obs::Registry::new())
+    }
+
+    /// Like [`ReplayTracker::from_store`] with an explicit registry.
+    pub fn from_store_with_registry(store: Arc<trace::Store>, registry: obs::Registry) -> Self {
+        let reader = trace::TraceReader::new(store, registry.clone());
+        let t = ReplayTracker {
+            reader,
             idx: None,
             points: Vec::new(),
             next_id: 1,
@@ -154,6 +206,68 @@ impl ReplayTracker {
             rank_done: u8::MAX,
             obs: registry,
             prof: None,
+            watch_tl: HashMap::new(),
+        };
+        t.obs
+            .set_gauge("replay.resident_bytes", t.reader.resident_bytes());
+        t
+    }
+
+    /// Opens a trace file written by [`ReplayTracker::save`] (or
+    /// [`trace::Store::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file is missing, corrupt, or of an unsupported
+    /// format version.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let store = trace::Store::open(path).map_err(TrackerError::Engine)?;
+        Ok(Self::from_store(Arc::new(store)))
+    }
+
+    /// Persists the backing store to `path` and returns the byte count
+    /// (also published as the `trace.bytes_on_disk` gauge).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces I/O errors as [`TrackerError::Engine`].
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<u64> {
+        let n = self
+            .reader
+            .store()
+            .save(path)
+            .map_err(|e| TrackerError::Engine(e.to_string()))?;
+        self.obs.set_gauge("trace.bytes_on_disk", n);
+        Ok(n)
+    }
+
+    /// The shared store backing this tracker.
+    pub fn store(&self) -> &Arc<trace::Store> {
+        self.reader.store()
+    }
+
+    /// Number of recorded pauses.
+    pub fn recorded_pauses(&self) -> u64 {
+        self.reader.store().len()
+    }
+
+    /// Rematerializes the full [`Recording`] from the store (every state
+    /// decoded through the keyframe index). Mostly useful for tools that
+    /// consume recordings, like the `pttrace` timeline.
+    pub fn to_recording(&self) -> Recording {
+        let n = self.len();
+        let store = self.reader.store().clone();
+        let steps = (0..n)
+            .map(|i| RecordedStep {
+                state: (*self.state_at(i)).clone(),
+                output_delta: store.output_range(i as u64, i as u64 + 1).to_string(),
+            })
+            .collect();
+        Recording {
+            file: store.file().to_string(),
+            source: store.source().to_string(),
+            steps,
+            exit_code: self.exit_code(),
         }
     }
 
@@ -180,20 +294,36 @@ impl ReplayTracker {
         self.obs.inc(&format!("tracker.inspect.{kind}"));
     }
 
-    fn state_at(&self, i: usize) -> &ProgramState {
-        &self.recording.steps[i].state
+    fn len(&self) -> usize {
+        self.reader.store().len() as usize
+    }
+
+    fn exit_code(&self) -> i64 {
+        self.reader.store().exit_code().unwrap_or(0)
+    }
+
+    fn state_at(&self, i: usize) -> Arc<ProgramState> {
+        self.reader
+            .state_at(i as u64)
+            .expect("recorded pause decodes (store is checksummed)")
     }
 
     fn depth_at(&self, i: usize) -> usize {
-        self.state_at(i).stack_depth()
+        self.reader
+            .store()
+            .depth_at(i as u64)
+            .expect("recorded pause") as usize
     }
 
     fn line_at(&self, i: usize) -> u32 {
-        self.state_at(i).frame.location().line()
+        self.reader
+            .store()
+            .line_at(i as u64)
+            .expect("recorded pause")
     }
 
     fn exited_reason(&self) -> PauseReason {
-        let code = self.recording.exit_code;
+        let code = self.exit_code();
         PauseReason::Exited(if code == -1 {
             ExitStatus::Crashed
         } else {
@@ -230,6 +360,27 @@ impl ReplayTracker {
         None
     }
 
+    /// Derives the sticky-watch timeline for `variable` in one sequential
+    /// pass over the store (each segment decoded once).
+    fn build_watch_timeline(&self, variable: &str) -> WatchTimeline {
+        let n = self.len();
+        let mut visible = Vec::with_capacity(n);
+        let mut last = Vec::with_capacity(n);
+        let mut sticky: Option<String> = None;
+        for i in 0..n {
+            let st = self.state_at(i);
+            let v = self
+                .lookup_in(&st, variable)
+                .map(|v| state::render_value(v.value().deref_fully()));
+            if v.is_some() {
+                sticky = v.clone();
+            }
+            visible.push(v);
+            last.push(sticky.clone());
+        }
+        WatchTimeline { visible, last }
+    }
+
     /// Pause reason triggered at step `i` (coming from step `i - 1`), if
     /// any control point with phase rank `>= min_rank` matches. Ranks
     /// order the triggers that can coexist on one recorded step (a
@@ -258,16 +409,14 @@ impl ReplayTracker {
                     }
                     // Sticky semantics like the live trackers: compare with
                     // the most recent step where the variable was visible
-                    // (it may have been shadowed by callee frames).
-                    // Render the referenced value (Python bindings are REF
-                    // wrappers; C primitives pass through unchanged).
-                    let old = (0..i).rev().find_map(|j| {
-                        self.lookup_in(self.state_at(j), variable)
-                            .map(|v| state::render_value(v.value().deref_fully()))
-                    });
-                    let new = self
-                        .lookup_in(cur, variable)
-                        .map(|v| state::render_value(v.value().deref_fully()));
+                    // (it may have been shadowed by callee frames). The
+                    // armed timeline holds the rendered, fully-dereferenced
+                    // values, so this is the original backward scan in O(1).
+                    let Some(tl) = self.watch_tl.get(variable) else {
+                        continue;
+                    };
+                    let old = tl.last[i - 1].clone();
+                    let new = tl.visible[i].clone();
                     if let Some(new_val) = &new {
                         // A variable springing into existence counts as a
                         // modification (`old` stays `None`), matching the
@@ -300,8 +449,11 @@ impl ReplayTracker {
                 }
                 CpKind::FuncBp { function, maxdepth } => {
                     let depth0 = (cur_depth - 1) as u32;
-                    let entered = Self::occurrences(cur, function)
-                        > prev.map(|p| Self::occurrences(p, function)).unwrap_or(0);
+                    let entered = Self::occurrences(&cur, function)
+                        > prev
+                            .as_ref()
+                            .map(|p| Self::occurrences(p, function))
+                            .unwrap_or(0);
                     if entered
                         && cur.frame.name() == function
                         && maxdepth.is_none_or(|m| depth0 <= m)
@@ -322,8 +474,11 @@ impl ReplayTracker {
                     // its caller happens while a *callee* is the innermost
                     // recorded frame, so a top-of-stack check would miss
                     // the return entirely.
-                    let cur_occ = Self::occurrences(cur, function);
-                    let prev_occ = prev.map(|p| Self::occurrences(p, function)).unwrap_or(0);
+                    let cur_occ = Self::occurrences(&cur, function);
+                    let prev_occ = prev
+                        .as_ref()
+                        .map(|p| Self::occurrences(p, function))
+                        .unwrap_or(0);
                     if cur_occ > prev_occ && cur.frame.name() == function {
                         let depth0 = (cur_depth - 1) as u32;
                         if maxdepth.is_none_or(|m| depth0 <= m) {
@@ -336,16 +491,16 @@ impl ReplayTracker {
                             );
                         }
                     }
-                    let returning = match self.recording.steps.get(i + 1) {
-                        Some(next) => cur_occ > Self::occurrences(&next.state, function),
+                    let returning = if i + 1 < self.len() {
+                        cur_occ > Self::occurrences(&self.state_at(i + 1), function)
+                    } else {
                         // Program exit pops every frame at once; the
                         // outermost frame's teardown is not a tracked
                         // return, so only deeper occurrences count.
-                        None => cur
-                            .frame
+                        cur.frame
                             .chain()
                             .enumerate()
-                            .any(|(k, f)| f.name() == function && cur_depth - k > 1),
+                            .any(|(k, f)| f.name() == function && cur_depth - k > 1)
                     };
                     if returning {
                         // Report the innermost occurrence: that is the
@@ -378,9 +533,9 @@ impl ReplayTracker {
     /// Advances to step `target` (releasing its output) or to the end.
     fn goto(&mut self, target: usize) -> PauseReason {
         self.rank_done = u8::MAX;
-        if target >= self.recording.steps.len() {
-            self.idx = Some(self.recording.steps.len());
-            self.output_pos = self.recording.steps.len();
+        if target >= self.len() {
+            self.idx = Some(self.len());
+            self.output_pos = self.len();
             self.last_reason = self.exited_reason();
         } else {
             self.idx = Some(target);
@@ -399,7 +554,7 @@ impl ReplayTracker {
         };
         // Later-phase triggers on the *current* step first (a one-line
         // function's entry and exit share one recorded step).
-        if cur < self.recording.steps.len() && self.rank_done < u8::MAX {
+        if cur < self.len() && self.rank_done < u8::MAX {
             if let Some((rank, trigger)) = self.trigger_at_ranked(cur, self.rank_done + 1) {
                 self.rank_done = rank;
                 self.last_reason = trigger.clone();
@@ -407,7 +562,7 @@ impl ReplayTracker {
             }
         }
         let mut i = cur + 1;
-        while i < self.recording.steps.len() {
+        while i < self.len() {
             if let Some((rank, trigger)) = self.trigger_at_ranked(i, 0) {
                 self.goto(i);
                 self.rank_done = rank;
@@ -421,13 +576,36 @@ impl ReplayTracker {
             }
             i += 1;
         }
-        Ok(self.goto(self.recording.steps.len()))
+        let n = self.len();
+        Ok(self.goto(n))
     }
 
-    // ---- reverse execution (paper §V: the RR-tracker future work) --------
+    // ---- time travel (paper §V: the RR-tracker future work) --------------
     //
-    // A recording is a time-travel debugger for free: these methods walk
-    // the recorded steps backwards, honouring the same control points.
+    // The trace store makes the recording a time-travel debugger: these
+    // methods walk the recorded steps backwards (honouring the same
+    // control points) or jump straight to any pause through the keyframe
+    // index.
+
+    /// Jumps directly to pause `pause` — O(log n): the store finds the
+    /// enclosing keyframe and replays at most a segment's worth of
+    /// deltas. A `pause` at or past the end lands on the exited state.
+    ///
+    /// # Errors
+    ///
+    /// Fails before `start`.
+    pub fn seek(&mut self, pause: u64) -> Result<PauseReason> {
+        self.timed_control("Seek", |t| {
+            if t.idx.is_none() {
+                return Err(TrackerError::NotStarted);
+            }
+            let target = usize::try_from(pause).unwrap_or(usize::MAX).min(t.len());
+            let r = t.goto(target);
+            t.obs
+                .set_gauge("replay.resident_bytes", t.reader.resident_bytes());
+            Ok(r)
+        })
+    }
 
     /// Steps one recorded line backwards. At the first step this reports
     /// [`PauseReason::Started`] and stays put.
@@ -444,7 +622,7 @@ impl ReplayTracker {
                 t.last_reason = PauseReason::Started;
                 return Ok(PauseReason::Started);
             }
-            let target = (cur - 1).min(t.recording.steps.len().saturating_sub(1));
+            let target = (cur - 1).min(t.len().saturating_sub(1));
             let r = t.goto(target);
             Ok(r)
         })
@@ -463,7 +641,7 @@ impl ReplayTracker {
                 return Err(TrackerError::NotStarted);
             };
             // From the exited position every recorded step is behind us.
-            let mut i = cur.min(t.recording.steps.len());
+            let mut i = cur.min(t.len());
             while i > 0 {
                 i -= 1;
                 if let Some((rank, trigger)) = t.trigger_at_ranked(i, 0) {
@@ -479,16 +657,32 @@ impl ReplayTracker {
         })
     }
 
+    // ---- history queries (no replay: the store's write index) ------------
+
+    /// The most recent write to `variable` at or before pause `before`
+    /// (default: end of the recording). Bare names match the variable in
+    /// any frame plus globals; `frame::name` qualifies.
+    pub fn last_change(&self, variable: &str, before: Option<u64>) -> Option<trace::HistoryHit> {
+        self.count_inspect("QueryHistory");
+        self.reader.store().last_change(variable, before)
+    }
+
+    /// All writes to `variable` with pause index in `[from, to]`.
+    pub fn writes_in(&self, variable: &str, from: u64, to: u64) -> Vec<trace::HistoryHit> {
+        self.count_inspect("QueryHistory");
+        self.reader.store().writes_in(variable, from, to)
+    }
+
     /// The snapshot at the current position, without counting an
     /// inspection (shared by the public inspection methods).
     fn current_state(&mut self) -> Result<ProgramState> {
         let Some(cur) = self.idx else {
             return Err(TrackerError::NotStarted);
         };
-        if cur >= self.recording.steps.len() {
+        if cur >= self.len() {
             // After the end: synthesize a terminal state on the last frame.
-            if let Some(last) = self.recording.steps.last() {
-                let mut st = last.state.clone();
+            if self.len() > 0 {
+                let mut st = (*self.state_at(self.len() - 1)).clone();
                 st.reason = self.exited_reason();
                 return Ok(st);
             }
@@ -496,13 +690,13 @@ impl ReplayTracker {
                 Frame::new(
                     "<module>",
                     0,
-                    SourceLocation::new(self.recording.file.clone(), 0),
+                    SourceLocation::new(self.reader.store().file().to_string(), 0),
                 ),
                 Vec::new(),
                 self.exited_reason(),
             ));
         }
-        let mut st = self.state_at(cur).clone();
+        let mut st = (*self.state_at(cur)).clone();
         st.reason = self.last_reason.clone();
         Ok(st)
     }
@@ -514,7 +708,7 @@ impl Tracker for ReplayTracker {
             if t.idx.is_some() {
                 return Err(TrackerError::Engine("replay already started".into()));
             }
-            if t.recording.steps.is_empty() {
+            if t.len() == 0 {
                 t.idx = Some(0);
                 t.last_reason = t.exited_reason();
                 return Ok(t.last_reason.clone());
@@ -544,7 +738,7 @@ impl Tracker for ReplayTracker {
             let Some(cur) = t.idx else {
                 return Err(TrackerError::NotStarted);
             };
-            if cur >= t.recording.steps.len() {
+            if cur >= t.len() {
                 return Ok(t.exited_reason());
             }
             let depth = t.depth_at(cur);
@@ -561,7 +755,7 @@ impl Tracker for ReplayTracker {
             let Some(cur) = t.idx else {
                 return Err(TrackerError::NotStarted);
             };
-            if cur >= t.recording.steps.len() {
+            if cur >= t.len() {
                 return Ok(t.exited_reason());
             }
             let depth = t.depth_at(cur);
@@ -578,10 +772,10 @@ impl Tracker for ReplayTracker {
         self.obs.inc("tracker.control_point.SetBreakLine");
         // Slide to the next recorded line, like the live engines.
         let actual = self
-            .recording
-            .steps
-            .iter()
-            .map(|s| s.state.frame.location().line())
+            .reader
+            .store()
+            .breakable_lines()
+            .into_iter()
             .filter(|&l| l >= line)
             .min()
             .ok_or_else(|| {
@@ -630,6 +824,10 @@ impl Tracker for ReplayTracker {
 
     fn watch(&mut self, variable: &str) -> Result<ControlPointId> {
         self.obs.inc("tracker.control_point.Watch");
+        if !self.watch_tl.contains_key(variable) {
+            let tl = self.build_watch_timeline(variable);
+            self.watch_tl.insert(variable.to_owned(), tl);
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.points.push(ControlPoint {
@@ -651,7 +849,7 @@ impl Tracker for ReplayTracker {
     }
 
     fn terminate(&mut self) {
-        self.idx = Some(self.recording.steps.len());
+        self.idx = Some(self.len());
     }
 
     fn pause_reason(&self) -> PauseReason {
@@ -682,38 +880,33 @@ impl Tracker for ReplayTracker {
     fn get_exit_code(&mut self) -> Option<i64> {
         self.count_inspect("GetExitCode");
         match self.idx {
-            Some(i) if i >= self.recording.steps.len() => Some(self.recording.exit_code),
+            Some(i) if i >= self.len() => Some(self.exit_code()),
             _ => None,
         }
     }
 
     fn get_output(&mut self) -> Result<String> {
         self.count_inspect("GetOutput");
-        let upto = self.output_pos.min(self.recording.steps.len());
-        let mut out = String::new();
-        for step in &self.recording.steps[self.output_cursor.min(upto)..upto] {
-            out.push_str(&step.output_delta);
-        }
+        let upto = self.output_pos.min(self.len());
+        let start = self.output_cursor.min(upto);
+        let out = self
+            .reader
+            .store()
+            .output_range(start as u64, upto as u64)
+            .to_string();
         self.output_cursor = upto;
         Ok(out)
     }
 
     fn get_source(&mut self) -> Result<(String, String)> {
         self.count_inspect("GetSource");
-        Ok((self.recording.file.clone(), self.recording.source.clone()))
+        let store = self.reader.store();
+        Ok((store.file().to_string(), store.source().to_string()))
     }
 
     fn breakable_lines(&mut self) -> Result<Vec<u32>> {
         self.count_inspect("GetBreakableLines");
-        let mut lines: Vec<u32> = self
-            .recording
-            .steps
-            .iter()
-            .map(|s| s.state.frame.location().line())
-            .collect();
-        lines.sort_unstable();
-        lines.dedup();
-        Ok(lines)
+        Ok(self.reader.store().breakable_lines())
     }
 
     fn set_profile(&mut self, mode: obs::ProfileMode, period: u64) -> Result<()> {
@@ -728,7 +921,7 @@ impl Tracker for ReplayTracker {
             return Ok(obs::ProfileReport::default());
         };
         let upto = match self.idx {
-            Some(i) => (i + 1).min(self.recording.steps.len()),
+            Some(i) => (i + 1).min(self.len()),
             None => 0,
         };
         // Re-drive a live profiler from the recorded stacks: each
@@ -739,13 +932,9 @@ impl Tracker for ReplayTracker {
         // them apart.
         let mut p = obs::Profiler::new(mode, period);
         let mut stack: Vec<String> = Vec::new();
-        for step in &self.recording.steps[..upto] {
-            let mut chain: Vec<String> = step
-                .state
-                .frame
-                .chain()
-                .map(|f| f.name().to_owned())
-                .collect();
+        for i in 0..upto {
+            let st = self.state_at(i);
+            let mut chain: Vec<String> = st.frame.chain().map(|f| f.name().to_owned()).collect();
             chain.reverse(); // outermost first
             let common = stack.iter().zip(&chain).take_while(|(a, b)| a == b).count();
             for _ in common..stack.len() {
@@ -756,7 +945,7 @@ impl Tracker for ReplayTracker {
                 p.enter(id);
             }
             stack = chain;
-            p.line(step.state.frame.location().line());
+            p.line(st.frame.location().line());
             p.tick();
         }
         Ok(p.report())
@@ -918,6 +1107,124 @@ mod tests {
             Err(TrackerError::Engine(_))
         ));
     }
+
+    // ---- store-backed time travel ----------------------------------------
+
+    #[test]
+    fn seek_jumps_to_any_pause() {
+        let rec = record_c();
+        let n = rec.len();
+        // Capture the expected state at every pause the slow way first.
+        let expected: Vec<ProgramState> = rec.steps.iter().map(|s| s.state.clone()).collect();
+        let mut t = ReplayTracker::new(rec);
+        t.start().unwrap();
+        // Jump around out of order; each landing must be byte-identical to
+        // the recorded snapshot (modulo the pause reason, which seek sets).
+        for &i in &[n - 1, 0, n / 2, 1, n / 3, n - 2] {
+            t.seek(i as u64).unwrap();
+            let got = t.get_state().unwrap();
+            let mut want = expected[i].clone();
+            want.reason = got.reason.clone();
+            assert_eq!(got, want, "seek({i})");
+        }
+        // Seeking past the end lands on exited.
+        assert!(matches!(t.seek(u64::MAX).unwrap(), PauseReason::Exited(_)));
+        assert_eq!(t.get_exit_code(), Some(14));
+        // Seek before start fails.
+        let mut fresh = ReplayTracker::new(record_c());
+        assert!(matches!(fresh.seek(0), Err(TrackerError::NotStarted)));
+    }
+
+    #[test]
+    fn history_queries_answer_without_replay() {
+        let rec = record_c();
+        let mut t = ReplayTracker::new(rec);
+        t.start().unwrap();
+        // `s` accumulates square(1) + square(2) + square(3): its write log
+        // must end at value 14 and be monotonic in pause order.
+        let writes = t.writes_in("s", 0, t.recorded_pauses() - 1);
+        assert!(!writes.is_empty());
+        assert!(writes.windows(2).all(|w| w[0].pause < w[1].pause));
+        assert_eq!(writes.last().unwrap().value, "14");
+        let last = t.last_change("s", None).unwrap();
+        assert_eq!(last.value, "14");
+        // Qualified names work too.
+        assert_eq!(t.last_change("main::s", None).unwrap().pause, last.pause);
+        assert!(t.last_change("main::nosuch", None).is_none());
+    }
+
+    #[test]
+    fn save_open_roundtrip_preserves_replay() {
+        let rec = record_c();
+        let dir = std::env::temp_dir().join(format!(
+            "eztrace-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.trace");
+        let t = ReplayTracker::new(rec.clone());
+        let bytes = t.save(&path).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(t.registry().snapshot().gauge("trace.bytes_on_disk"), bytes);
+
+        let mut back = ReplayTracker::open(&path).unwrap();
+        back.start().unwrap();
+        back.track_function("square", None).unwrap();
+        let mut calls = 0;
+        loop {
+            match back.resume().unwrap() {
+                PauseReason::FunctionCall { .. } => calls += 1,
+                PauseReason::Exited(_) => break,
+                _ => {}
+            }
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(back.get_exit_code(), Some(14));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(ReplayTracker::open(dir.join("missing.trace")).is_err());
+    }
+
+    #[test]
+    fn shared_store_serves_concurrent_scrubbing_readers() {
+        let rec = record_c();
+        let n = rec.len();
+        let store = Arc::new(rec.to_store(8));
+        let mut handles = Vec::new();
+        for r in 0..4u64 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut t = ReplayTracker::from_store(store);
+                t.start().unwrap();
+                for k in 0..n as u64 {
+                    let i = (k * 13 + r) % n as u64;
+                    t.seek(i).unwrap();
+                    let st = t.get_state().unwrap();
+                    assert!(st.frame.location().line() > 0);
+                }
+                // Per-reader metrics exist.
+                let snap = t.registry().snapshot();
+                assert!(snap.counter("trace.keyframe_decodes") > 0);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn resident_bytes_gauge_tracks_store_footprint() {
+        let rec = record_c();
+        let raw_json = rec.to_json().unwrap().len() as u64;
+        let t = ReplayTracker::new(rec);
+        let resident = t.registry().snapshot().gauge("replay.resident_bytes");
+        assert!(resident > 0);
+        assert!(
+            resident < raw_json,
+            "store-backed replay ({resident} B) should undercut the raw \
+             snapshot JSON ({raw_json} B)"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1003,6 +1310,40 @@ mod reverse_tests {
         let mut t = ReplayTracker::new(recording());
         assert!(matches!(t.step_back(), Err(TrackerError::NotStarted)));
         assert!(matches!(t.resume_back(), Err(TrackerError::NotStarted)));
+    }
+
+    #[test]
+    fn reverse_walks_the_exact_forward_sequence() {
+        // Forward trace, then step_back all the way: positions must visit
+        // the same states in exactly reversed order.
+        let mut t = ReplayTracker::new(recording());
+        t.start().unwrap();
+        let mut forward = vec![t.get_state().unwrap()];
+        while t.get_exit_code().is_none() {
+            if t.step().unwrap().is_alive() {
+                forward.push(t.get_state().unwrap());
+            }
+        }
+        // Walk back from the exited position; `Started` means position 0
+        // was already visited (step_back stays put there).
+        let mut backward = Vec::new();
+        loop {
+            let r = t.step_back().unwrap();
+            if r == PauseReason::Started {
+                break;
+            }
+            backward.push(t.get_state().unwrap());
+        }
+        assert_eq!(backward.len(), forward.len());
+        for (i, (f, b)) in forward.iter().rev().zip(backward.iter()).enumerate() {
+            let mut f = f.clone();
+            let mut b = b.clone();
+            // Reasons differ (Step vs Started direction markers); the
+            // frames, variables and locations must be identical.
+            f.reason = PauseReason::Step;
+            b.reason = PauseReason::Step;
+            assert_eq!(f, b, "reverse position {i}");
+        }
     }
 
     // ---- degenerate recordings (conformance satellite) -------------------

@@ -109,6 +109,7 @@ fn main() {
         };
         let mut engine = AsmEngine::new(&program);
         engine.set_registry(registry.clone());
+        let engine = mi::RecordingEngine::new(engine);
         let mut server = Server::with_telemetry(engine, transport, registry);
         server.set_flight_recorder(flight.clone());
         server.serve()
@@ -128,6 +129,7 @@ fn main() {
             }
         };
         engine.set_registry(registry.clone());
+        let engine = mi::RecordingEngine::new(engine);
         let mut server = Server::with_telemetry(engine, transport, registry);
         server.set_flight_recorder(flight.clone());
         server.serve()

@@ -214,6 +214,10 @@ struct HostShared {
     next_session: AtomicU64,
     registry: obs::Registry,
     config: HostConfig,
+    /// Recordings published with `PublishTrace`, shared read-only with
+    /// every replay session `OpenReplay` spawns over them — one store,
+    /// many concurrent scrubbing readers.
+    shelf: crate::record::TraceShelf,
     /// Tells the watchdog thread to exit; workers stop via `Work::Stop`.
     shutdown: AtomicBool,
 }
@@ -280,6 +284,7 @@ impl SessionHost {
             next_session: AtomicU64::new(1),
             registry,
             config,
+            shelf: crate::record::new_shelf(),
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
@@ -449,6 +454,15 @@ fn conn_reader(shared: &Arc<HostShared>, conn: u64, rx: &mut dyn FrameRx, tx: &S
                     session: None,
                 }
             }
+            (None, Command::OpenReplay { name }) => {
+                shared.registry.inc("mi.host.cmd.OpenReplay");
+                let resp = open_replay(shared, conn, tx, &name);
+                ResponseFrame {
+                    seq: cf.seq,
+                    resp,
+                    session: None,
+                }
+            }
             (None, Command::Ping) => ResponseFrame {
                 seq: cf.seq,
                 resp: Response::Pong {
@@ -473,7 +487,12 @@ fn conn_reader(shared: &Arc<HostShared>, conn: u64, rx: &mut dyn FrameRx, tx: &S
                     format!("{} requires a session id in the envelope", cmd.kind()),
                 )
             }
-            (Some(_), cmd @ (Command::OpenSession { .. } | Command::CloseSession { .. })) => {
+            (
+                Some(_),
+                cmd @ (Command::OpenSession { .. }
+                | Command::CloseSession { .. }
+                | Command::OpenReplay { .. }),
+            ) => {
                 shared.registry.inc("mi.host.rejected.control_in_session");
                 typed_error(
                     cf.seq,
@@ -529,12 +548,13 @@ fn open_session(
         }
     }
     let registry = obs::Registry::new();
+    let shelf = Some(shared.shelf.clone());
     let engine: Box<dyn Engine + Send> = if file.ends_with(".s") || file.ends_with(".asm") {
         match miniasm::asm::assemble(file, source) {
             Ok(p) => {
                 let mut e = crate::asm_engine::AsmEngine::new(&p);
                 e.set_registry(registry.clone());
-                Box::new(e)
+                Box::new(crate::record::RecordingEngine::with_shelf(e, shelf))
             }
             Err(e) => {
                 return Response::Error {
@@ -549,11 +569,48 @@ fn open_session(
         {
             Ok(mut e) => {
                 e.set_registry(registry.clone());
-                Box::new(e)
+                Box::new(crate::record::RecordingEngine::with_shelf(e, shelf))
             }
             Err(message) => return Response::Error { message },
         }
     };
+    register_session(shared, conn, tx, engine, registry)
+}
+
+/// Opens a replay session over a recording on the host's trace shelf.
+/// The shared `Arc<trace::Store>` is cloned, never the recording itself:
+/// every replay session scrubs the same bytes with its own cursor,
+/// segment cache, and registry.
+fn open_replay(shared: &Arc<HostShared>, conn: u64, tx: &SharedTx, name: &str) -> Response {
+    if let Some(cap) = shared.config.max_sessions {
+        let open = shared.sessions.lock().expect("session table").len();
+        if open >= cap {
+            return overloaded_open(shared, open, cap);
+        }
+    }
+    let store = match shared.shelf.lock().expect("trace shelf").get(name) {
+        Some(store) => store.clone(),
+        None => {
+            return Response::Error {
+                message: format!("no recording published as {name:?}"),
+            }
+        }
+    };
+    let registry = obs::Registry::new();
+    let engine =
+        crate::record::ReplayEngine::new(store, registry.clone()).with_shelf(shared.shelf.clone());
+    register_session(shared, conn, tx, Box::new(engine), registry)
+}
+
+/// Registers a compiled engine in the session table — the tail shared by
+/// `OpenSession` and `OpenReplay`.
+fn register_session(
+    shared: &Arc<HostShared>,
+    conn: u64,
+    tx: &SharedTx,
+    engine: Box<dyn Engine + Send>,
+    registry: obs::Registry,
+) -> Response {
     let export = Arc::new(obs::ExportSink::new(1024));
     registry.add_sink(export.clone());
     let sid = shared.next_session.fetch_add(1, Ordering::Relaxed);
@@ -1325,19 +1382,47 @@ impl HostHandle {
         opt: u8,
         deadline: Option<Duration>,
     ) -> Result<SessionHandle, MiError> {
+        self.open_via(
+            || Command::OpenSession {
+                file: file.into(),
+                source: source.into(),
+                opt,
+            },
+            deadline,
+        )
+    }
+
+    /// Opens a *replay* session over a recording previously published on
+    /// the host's trace shelf with `Command::PublishTrace`. The handle
+    /// drives the recorded execution exactly like a live session's:
+    /// `Start`/`Step`/`Seek`/inspections, all served from the shared
+    /// store. Any number of replay sessions can scrub one recording
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`MiError::Engine`] when no recording is shelved under `name`;
+    /// transport errors as usual.
+    pub fn open_replay(
+        &self,
+        name: &str,
+        deadline: Option<Duration>,
+    ) -> Result<SessionHandle, MiError> {
+        self.open_via(|| Command::OpenReplay { name: name.into() }, deadline)
+    }
+
+    /// The shared open loop: issue a session-creating control command,
+    /// absorbing overload backpressure and one host respawn.
+    fn open_via(
+        &self,
+        make_cmd: impl Fn() -> Command,
+        deadline: Option<Duration>,
+    ) -> Result<SessionHandle, MiError> {
         let mut ctl = self.inner.control.lock().expect("host control");
         let mut attempt = 0;
         let mut overload_attempts = 0u32;
         loop {
-            let result = self.control_call(
-                &mut ctl,
-                Command::OpenSession {
-                    file: file.into(),
-                    source: source.into(),
-                    opt,
-                },
-                deadline,
-            );
+            let result = self.control_call(&mut ctl, make_cmd(), deadline);
             match result {
                 Ok(Response::SessionOpened { session }) => {
                     let conn = ctl.conn.as_ref().expect("live conn after open");
@@ -1369,7 +1454,7 @@ impl HostHandle {
                 }
                 Ok(other) => {
                     return Err(MiError::Codec(format!(
-                        "unexpected reply to OpenSession: {}",
+                        "unexpected reply to session open: {}",
                         other.summary()
                     )))
                 }
@@ -1577,6 +1662,90 @@ mod tests {
         assert_eq!(host.session_count(), 1);
         let snap = host.registry().snapshot();
         assert_eq!(snap.counter("mi.host.session_end.terminated"), 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn record_once_scrub_many() {
+        // One live session records and publishes; many replay sessions
+        // then scrub the single shelved store concurrently.
+        let prog = "int main() {\nint x = 0;\nx = x + 1;\nx = x + 2;\nx = x + 3;\nreturn x;\n}";
+        let host = SessionHost::new(4);
+        let handle = HostHandle::connect_in_process(&host);
+        let mut live = handle.open_session("t.c", prog, None).unwrap();
+        assert_eq!(
+            call(&mut live, Command::Record { keyframe_every: 4 }),
+            Response::Ok
+        );
+        assert!(matches!(
+            call(&mut live, Command::Start),
+            Response::Paused(_)
+        ));
+        loop {
+            match call(&mut live, Command::Step) {
+                Response::Paused(r) if r.is_alive() => {}
+                Response::Paused(_) => break,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        let pauses = match call(&mut live, Command::TraceStats) {
+            Response::TraceStats { pauses, .. } => pauses,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(pauses >= 5, "{pauses}");
+        assert_eq!(
+            call(&mut live, Command::PublishTrace { name: "run".into() }),
+            Response::Ok
+        );
+        // A missing name is a typed error, not a session.
+        assert!(matches!(
+            handle.open_replay("nope", None),
+            Err(MiError::Engine(_))
+        ));
+        let threads: Vec<_> = (0..4)
+            .map(|r| {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    let mut s = handle.open_replay("run", None).unwrap();
+                    // Each reader scrubs its own path over the shared store.
+                    for i in 0..pauses {
+                        let n = (i * 3 + r) % pauses;
+                        assert!(matches!(
+                            call(&mut s, Command::Seek { pause: n }),
+                            Response::Paused(_)
+                        ));
+                        match call(&mut s, Command::GetState) {
+                            Response::State(st) => {
+                                assert_eq!(st.frame.name(), "main");
+                            }
+                            other => panic!("unexpected: {other:?}"),
+                        }
+                    }
+                    // History answers without any replay.
+                    match call(
+                        &mut s,
+                        Command::QueryHistory {
+                            variable: "x".into(),
+                            from: None,
+                            to: None,
+                            last_only: true,
+                        },
+                    ) {
+                        Response::History { hits } => {
+                            assert_eq!(hits.len(), 1);
+                            assert_eq!(hits[0].value, "6");
+                        }
+                        other => panic!("unexpected: {other:?}"),
+                    }
+                    handle.close_session(s.session_id());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = host.registry().snapshot();
+        assert_eq!(snap.counter("mi.host.cmd.OpenReplay"), 5);
         host.shutdown();
     }
 

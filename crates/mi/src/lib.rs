@@ -40,12 +40,14 @@ pub mod asm_engine;
 pub mod host;
 pub mod minic_engine;
 pub mod protocol;
+pub mod record;
 pub mod server;
 pub mod supervise;
 pub mod transport;
 
 pub use host::{HostConfig, HostHandle, SessionHandle, SessionHost, DEFAULT_SLICE_STEPS};
 pub use protocol::{Command, CommandFrame, ResourceKind, Response, ResponseFrame};
+pub use record::{RecordingEngine, ReplayEngine, TraceShelf};
 pub use server::{Client, CommandPort, Engine, ServeEnd, Server, SliceOutcome};
 pub use supervise::{SupervisePolicy, SupervisedClient};
 pub use transport::MAX_FRAME_LEN;
@@ -199,6 +201,8 @@ fn spawn_minic_engine(
     if let Some(reg) = registry.clone() {
         engine.set_registry(reg);
     }
+    // Every session can record: the wrapper is inert until `Record`.
+    let engine = record::RecordingEngine::new(engine);
     let server_reg = registry.clone();
     let handle = std::thread::Builder::new()
         .name("mi-minic-engine".into())
@@ -240,6 +244,7 @@ fn spawn_asm_inner(program: &miniasm::asm::AsmProgram, registry: Option<obs::Reg
     if let Some(reg) = registry.clone() {
         engine.set_registry(reg);
     }
+    let engine = record::RecordingEngine::new(engine);
     let server_reg = registry.clone();
     let handle = std::thread::Builder::new()
         .name("mi-asm-engine".into())

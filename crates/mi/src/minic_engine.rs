@@ -776,8 +776,20 @@ impl Engine for MinicEngine {
                 Response::Ok
             }
             // Session management is the host's job, not an engine's.
-            Command::OpenSession { .. } | Command::CloseSession { .. } => Response::Error {
+            Command::OpenSession { .. }
+            | Command::CloseSession { .. }
+            | Command::OpenReplay { .. } => Response::Error {
                 message: "session commands are handled by the host, not an engine".into(),
+            },
+            // The trace vocabulary is served by the RecordingEngine
+            // wrapper every spawned session carries, never by a bare
+            // engine.
+            Command::Record { .. }
+            | Command::Seek { .. }
+            | Command::QueryHistory { .. }
+            | Command::TraceStats
+            | Command::PublishTrace { .. } => Response::Error {
+                message: "trace commands are handled by the recording wrapper".into(),
             },
         }
     }

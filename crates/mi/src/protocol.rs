@@ -167,6 +167,63 @@ pub enum Command {
         /// Id returned by [`Response::SessionOpened`].
         session: u64,
     },
+    /// Arm trace recording. Must precede `Start`: the store captures
+    /// every pause from the first line on, so arming mid-run would leave
+    /// a hole at the front of the recording. Journaled as configuration
+    /// (like `SetSanitizer`), so a respawned engine re-arms and the
+    /// journal replay rebuilds an equivalent recording. Re-arming before
+    /// `Start` converges (the empty store is simply re-created), so
+    /// retries are safe.
+    Record {
+        /// Keyframe cadence: one full snapshot per this many pauses
+        /// (deltas in between). 0 is clamped to 1.
+        keyframe_every: u32,
+    },
+    /// Jump the inspection cursor to a recorded pause — O(log n) through
+    /// the store's keyframe index. While seeked, state inspections
+    /// (`GetState`, `GetGlobals`, `GetVariable`) answer from the
+    /// recording; any control command snaps back to the live position.
+    /// Read-only and repeatable, so not journaled: a respawned engine
+    /// comes back at its live position.
+    Seek {
+        /// Recorded pause index (0-based).
+        pause: u64,
+    },
+    /// Query the recording's variable-write index: all writes to
+    /// `variable` in `[from, to]`, or only the most recent one at or
+    /// before `to` when `last_only`. Bare names match the variable in
+    /// any frame plus globals; `frame::var` qualifies. Answered from the
+    /// index by binary search — no replay.
+    QueryHistory {
+        /// Variable name, optionally frame-qualified.
+        variable: String,
+        /// First pause considered (default 0).
+        from: Option<u64>,
+        /// Last pause considered (default: end of recording).
+        to: Option<u64>,
+        /// Return only the latest hit.
+        last_only: bool,
+    },
+    /// Fetch recording statistics: pauses captured, keyframes, and the
+    /// store's serialized size. Read-only.
+    TraceStats,
+    /// Host-level, session-scoped: publish this session's recording
+    /// under `name` on the host's trace shelf, where [`Command::OpenReplay`]
+    /// can find it. Re-publishing the same recording converges.
+    PublishTrace {
+        /// Shelf key for the recording.
+        name: String,
+    },
+    /// Host-level: open a *replay* session over a recording previously
+    /// published with [`Command::PublishTrace`]. Like `OpenSession`, rides
+    /// the control plane (`session: None`) and answers
+    /// [`Response::SessionOpened`]; the new session serves the recorded
+    /// execution (`Start`/`Step`/`Seek`/inspections/`QueryHistory`) from
+    /// the shared store — record once, scrub many.
+    OpenReplay {
+        /// Shelf key the recording was published under.
+        name: String,
+    },
     /// Set (or clear) the session's hard resource budgets. Exceeding a
     /// budget surfaces as the typed [`Response::ResourceExhausted`] and
     /// ends the session — budgets are quota enforcement, not pause
@@ -255,6 +312,12 @@ impl Command {
             Command::Terminate => "Terminate",
             Command::OpenSession { .. } => "OpenSession",
             Command::CloseSession { .. } => "CloseSession",
+            Command::Record { .. } => "Record",
+            Command::Seek { .. } => "Seek",
+            Command::QueryHistory { .. } => "QueryHistory",
+            Command::TraceStats => "TraceStats",
+            Command::PublishTrace { .. } => "PublishTrace",
+            Command::OpenReplay { .. } => "OpenReplay",
             Command::SetLimits { .. } => "SetLimits",
         }
     }
@@ -277,7 +340,14 @@ impl Command {
     /// session — and `CloseSession` is: closing an already-closed id is
     /// answered with a typed error the caller treats as done.
     /// `SetLimits` converges like `SetSanitizer`: setting the same
-    /// budgets twice is a no-op.
+    /// budgets twice is a no-op. `Record` converges (re-arming before
+    /// `Start` recreates the same empty store), `Seek` positions a
+    /// read-only cursor (re-seeking the same pause lands in the same
+    /// place), and `QueryHistory`/`TraceStats`/`PublishTrace` are pure
+    /// reads of (or convergent writes keyed on) the finished recording —
+    /// all retry safely. `OpenReplay` is *not* idempotent for the same
+    /// reason as `OpenSession`: a retry whose first attempt landed would
+    /// leak a replay session.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -298,6 +368,11 @@ impl Command {
                 | Command::Ping
                 | Command::Terminate
                 | Command::CloseSession { .. }
+                | Command::Record { .. }
+                | Command::Seek { .. }
+                | Command::QueryHistory { .. }
+                | Command::TraceStats
+                | Command::PublishTrace { .. }
                 | Command::SetLimits { .. }
         )
     }
@@ -447,6 +522,21 @@ pub enum Response {
         /// The configured depth limit.
         limit: u64,
     },
+    /// Answer to [`Command::QueryHistory`]: the matching writes, in
+    /// pause order.
+    History {
+        /// Matching (pause, rendered value) pairs.
+        hits: Vec<trace::HistoryHit>,
+    },
+    /// Answer to [`Command::TraceStats`]: the recording's shape so far.
+    TraceStats {
+        /// Pauses captured.
+        pauses: u64,
+        /// Full keyframe snapshots among them.
+        keyframes: u64,
+        /// Size of the store's serialized (on-disk) form.
+        bytes: u64,
+    },
     /// Answer to [`Command::Ping`]: the serve loop is alive and reading.
     Pong {
         /// The responder's monotonic clock (microseconds since its
@@ -490,6 +580,12 @@ impl Response {
             }
             Response::Overloaded { load, limit } => format!("Overloaded({load}/{limit})"),
             Response::QueueFull { depth, limit } => format!("QueueFull({depth}/{limit})"),
+            Response::History { hits } => format!("History({})", hits.len()),
+            Response::TraceStats {
+                pauses,
+                keyframes,
+                bytes,
+            } => format!("TraceStats({pauses} pauses, {keyframes} kf, {bytes}B)"),
             Response::Pong { now_us } => format!("Pong({now_us})"),
             Response::Error { message } => format!("Error({message})"),
         }
@@ -725,6 +821,68 @@ mod tests {
             let back: ResourceKind = serde_json::from_str(&json).unwrap();
             assert_eq!(kind, back);
         }
+    }
+
+    #[test]
+    fn trace_commands_are_named_classified_and_roundtrip() {
+        let record = Command::Record { keyframe_every: 32 };
+        assert_eq!(record.kind(), "Record");
+        assert!(record.is_idempotent(), "Record converges before Start");
+        let seek = Command::Seek { pause: 1234 };
+        assert_eq!(seek.kind(), "Seek");
+        assert!(seek.is_idempotent(), "Seek is a read cursor");
+        let query = Command::QueryHistory {
+            variable: "main::x".into(),
+            from: Some(10),
+            to: None,
+            last_only: false,
+        };
+        assert_eq!(query.kind(), "QueryHistory");
+        assert!(query.is_idempotent());
+        let stats = Command::TraceStats;
+        assert_eq!(stats.kind(), "TraceStats");
+        assert!(stats.is_idempotent());
+        let publish = Command::PublishTrace {
+            name: "run1".into(),
+        };
+        assert_eq!(publish.kind(), "PublishTrace");
+        assert!(publish.is_idempotent(), "re-publishing converges");
+        let replay = Command::OpenReplay {
+            name: "run1".into(),
+        };
+        assert_eq!(replay.kind(), "OpenReplay");
+        assert!(
+            !replay.is_idempotent(),
+            "a retried OpenReplay would leak a session, like OpenSession"
+        );
+        for cmd in [record, seek, query, stats, publish, replay] {
+            let json = serde_json::to_string(&cmd).unwrap();
+            let back: Command = serde_json::from_str(&json).unwrap();
+            assert_eq!(cmd, back);
+        }
+
+        let hist = Response::History {
+            hits: vec![trace::HistoryHit {
+                pause: 41,
+                value: "7".into(),
+            }],
+        };
+        let json = serde_json::to_string(&hist).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(hist, back);
+        assert_eq!(back.summary(), "History(1)");
+        let stats = Response::TraceStats {
+            pauses: 100_000,
+            keyframes: 3125,
+            bytes: 1 << 20,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+        assert_eq!(
+            back.summary(),
+            "TraceStats(100000 pauses, 3125 kf, 1048576B)"
+        );
     }
 
     #[test]

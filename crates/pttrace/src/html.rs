@@ -10,7 +10,8 @@
 use serde_json::Value as Json;
 
 /// Renders a trace (as produced by [`crate::trace_from_recording`]) into a
-/// single self-contained HTML page with Forward/Back controls.
+/// single self-contained HTML page with Forward/Back controls and a
+/// timeline scrub slider for jumping straight to any pause.
 pub fn render_html(trace: &Json, title: &str) -> String {
     let json = serde_json::to_string(trace).unwrap_or_else(|_| "{}".into());
     // Guard the inline <script> against `</script>` inside string values.
@@ -45,6 +46,9 @@ button {{ font-size: 14px; margin-right: 6px; }}
     <button id="fwd">Forward &#9654;</button>
     <span id="pos"></span>
   </div>
+  <div>
+    <input type="range" id="scrub" min="0" value="0" style="width: 100%">
+  </div>
   <h3>Frames</h3><div id="frames"></div>
   <h3>Heap</h3><div id="heap"></div>
   <h3>Output</h3><div id="out"></div>
@@ -75,6 +79,9 @@ function esc(s) {{
 function show() {{
   const steps = data.trace || [];
   const step = steps[i] || {{}};
+  const scrub = document.getElementById("scrub");
+  scrub.max = Math.max(steps.length - 1, 0);
+  scrub.value = i;
   const lines = (data.code || "").split("\n");
   document.getElementById("code").innerHTML = lines
     .map((l, k) => (k + 1 === step.line ? '<span class="cur">' : "<span>") + esc(l) + " </span>")
@@ -104,6 +111,10 @@ document.getElementById("fwd").onclick = () => {{
 }};
 document.getElementById("back").onclick = () => {{
   if (i > 0) {{ i--; show(); }}
+}};
+document.getElementById("scrub").oninput = e => {{
+  i = Math.min(Math.max(+e.target.value, 0), Math.max((data.trace || []).length - 1, 0));
+  show();
 }};
 show();
 </script>
@@ -153,6 +164,8 @@ mod tests {
         assert!(html.contains("<title>demo</title>"));
         assert!(html.contains("id=\"fwd\""));
         assert!(html.contains("id=\"back\""));
+        assert!(html.contains("id=\"scrub\""));
+        assert!(html.contains("type=\"range\""));
         assert!(html.contains("\"trace\":"));
         assert!(html.contains("REF"));
     }

@@ -1,0 +1,126 @@
+//! Per-reader view over a shared [`Store`]: a small LRU of decoded
+//! keyframe segments plus the observability surface. Many readers can
+//! scrub one `Arc<Store>` concurrently; each keeps its own cache and
+//! reports into its own [`obs::Registry`]:
+//!
+//! * `trace.seek_ns` — latency histogram of every `state_at` call;
+//! * `trace.keyframe_hits` / `trace.keyframe_decodes` — cache hits vs
+//!   segments decoded from compressed records;
+//! * `trace.resident_bytes` — store + cache footprint of this reader.
+
+use crate::Store;
+use state::ProgramState;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Decoded segments a reader keeps around. Sequential scans (forward or
+/// reverse) touch at most two segments at a time; a handful more absorbs
+/// ping-ponging around a breakpoint.
+const CACHE_SEGMENTS: usize = 8;
+
+#[derive(Default)]
+struct SegCache {
+    /// (segment start pause, decoded states), most recently used last.
+    segs: Vec<(u64, Arc<Vec<Arc<ProgramState>>>)>,
+}
+
+/// A cached, instrumented reader over a shared trace [`Store`].
+pub struct TraceReader {
+    store: Arc<Store>,
+    obs: obs::Registry,
+    cache: Mutex<SegCache>,
+}
+
+impl TraceReader {
+    /// Wraps a shared store; metrics go to `registry`.
+    pub fn new(store: Arc<Store>, registry: obs::Registry) -> Self {
+        let r = TraceReader {
+            store,
+            obs: registry,
+            cache: Mutex::new(SegCache::default()),
+        };
+        r.update_resident_gauge();
+        r
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// This reader's registry.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.obs
+    }
+
+    /// Bytes resident for this reader: the shared store plus this
+    /// reader's decoded-segment cache (estimated).
+    pub fn resident_bytes(&self) -> u64 {
+        let cache = self.cache.lock().unwrap();
+        let cached: u64 = cache
+            .segs
+            .iter()
+            .map(|(_, seg)| seg.len() as u64 * 1024)
+            .sum();
+        self.store.resident_bytes() + cached
+    }
+
+    fn update_resident_gauge(&self) {
+        self.obs
+            .set_gauge("trace.resident_bytes", self.resident_bytes());
+    }
+
+    /// State at pause `n`, decoded through the keyframe index and the
+    /// segment cache. O(log n) index lookup plus at most
+    /// `keyframe_every` delta replays on a cache miss, O(1) on a hit.
+    pub fn state_at(&self, n: u64) -> Result<Arc<ProgramState>, String> {
+        let begin = Instant::now();
+        if n >= self.store.len() {
+            return Err(format!("pause {n} out of range (len {})", self.store.len()));
+        }
+        let key = self.store.segment_start(n);
+        let seg = {
+            let mut cache = self.cache.lock().unwrap();
+            if let Some(i) = cache.segs.iter().position(|(k, _)| *k == key) {
+                let entry = cache.segs.remove(i);
+                let seg = entry.1.clone();
+                cache.segs.push(entry);
+                self.obs.inc("trace.keyframe_hits");
+                Some(seg)
+            } else {
+                None
+            }
+        };
+        let seg = match seg {
+            Some(seg) => seg,
+            None => {
+                let states = self.store.decode_segment(n)?;
+                let seg: Arc<Vec<Arc<ProgramState>>> =
+                    Arc::new(states.into_iter().map(Arc::new).collect());
+                let mut cache = self.cache.lock().unwrap();
+                cache.segs.push((key, seg.clone()));
+                if cache.segs.len() > CACHE_SEGMENTS {
+                    cache.segs.remove(0);
+                }
+                drop(cache);
+                self.obs.inc("trace.keyframe_decodes");
+                self.update_resident_gauge();
+                seg
+            }
+        };
+        let st = seg
+            .get((n - key) as usize)
+            .cloned()
+            .ok_or_else(|| format!("pause {n} missing from segment {key}"))?;
+        self.obs.record_duration("trace.seek_ns", begin.elapsed());
+        Ok(st)
+    }
+}
+
+impl std::fmt::Debug for TraceReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("pauses", &self.store.len())
+            .finish()
+    }
+}

@@ -1,0 +1,124 @@
+//! Time travel on a persistent recording (the omniscient-debugging
+//! direction of the paper's §V record/replay workflow).
+//!
+//! Records a MiniC run *inside the engine* via the MI `Record` command,
+//! asks the engine history questions no live debugger can answer ("when
+//! did `s` last change before pause 40?"), then saves the store to disk,
+//! reopens it cold, and scrubs it: O(log n) seeks to arbitrary pauses,
+//! reverse-step through the exact forward sequence, and a Python-Tutor
+//! HTML page with a timeline slider rendered straight from the store.
+//!
+//! Run with: `cargo run --example time_travel`
+
+use easytracker::{MiTracker, Recording, ReplayTracker, Tracker};
+
+const PROG: &str = r#"int square(int k) {
+    int r = k * k;
+    return r;
+}
+
+int main() {
+    int s = 0;
+    int i = 1;
+    while (i <= 4) {
+        s = s + square(i);
+        printf("%d\n", s);
+        i = i + 1;
+    }
+    return s;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Arm the in-engine recorder, then run to completion. Every pause
+    //    lands in the engine's trace store as a keyframe or delta.
+    let mut live = MiTracker::load_c("square.c", PROG)?;
+    live.record(8)?;
+    let mut reason = live.start()?;
+    let mut pauses = 1u64;
+    while reason.is_alive() {
+        reason = live.step()?;
+        pauses += 1;
+    }
+    let (recorded, keyframes, bytes) = live.trace_stats()?;
+    println!(
+        "recorded {recorded} pauses ({pauses} observed live) in {keyframes} keyframes, \
+         {bytes} bytes on the wire-format"
+    );
+
+    // 2. History queries answered by the write index — no replay at all.
+    println!("\nevery write to main::s:");
+    for hit in live.query_history("main::s", None, None)? {
+        println!("  pause {:>3}: s = {}", hit.pause, hit.value);
+    }
+    if let Some(hit) = live.last_change("s", Some(recorded / 2))? {
+        println!(
+            "last change to s before pause {}: pause {} (s = {})",
+            recorded / 2,
+            hit.pause,
+            hit.value
+        );
+    }
+
+    // 3. Seek the *engine* back in time: inspection commands now answer
+    //    from the recording, byte-identical to what the live run showed.
+    live.seek(recorded / 2)?;
+    let mid = live.get_state()?;
+    println!(
+        "\nengine seeked to pause {}: line {}, {:?}",
+        recorded / 2,
+        mid.frame.location().line(),
+        mid.reason
+    );
+
+    // 4. Persist a recording, reopen it cold, and scrub. The client-side
+    //    capture observes the same deterministic execution the engine
+    //    recorded, folded into the same store format.
+    live.terminate();
+    let mut fresh = MiTracker::load_c("square.c", PROG)?;
+    let recording = Recording::capture(&mut fresh)?;
+    fresh.terminate();
+    let replay = ReplayTracker::new(recording);
+    let dir = std::env::temp_dir().join("easytracker-time-travel");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("square.eztrace");
+    replay.save(&path)?;
+    let mut t = ReplayTracker::open(&path)?;
+    t.start()?;
+    println!(
+        "\nreopened {} ({} pauses) from disk",
+        path.display(),
+        t.recorded_pauses()
+    );
+
+    // O(log n) seeks: jump around the timeline in arbitrary order.
+    for target in [0, t.recorded_pauses() - 1, t.recorded_pauses() / 3] {
+        t.seek(target)?;
+        let st = t.get_state()?;
+        println!(
+            "  seek({target:>3}) -> line {:>2}, depth {}",
+            st.frame.location().line(),
+            st.frame.depth()
+        );
+    }
+
+    // Reverse-step: the exact forward sequence, walked backwards.
+    t.seek(t.recorded_pauses() - 1)?;
+    print!("  reverse from the end:");
+    for _ in 0..6 {
+        t.step_back()?;
+        print!(" line {}", t.current_line().unwrap_or(0));
+    }
+    println!();
+
+    // 5. Render the Python-Tutor HTML artifact with the scrub slider.
+    let trace = pttrace::trace_from_recording(&t.to_recording());
+    let html = pttrace::html::render_html(&trace, "square.c — time travel");
+    let html_path = dir.join("time_travel.html");
+    std::fs::write(&html_path, html)?;
+    println!(
+        "\nwrote {} — open it and drag the slider",
+        html_path.display()
+    );
+    Ok(())
+}

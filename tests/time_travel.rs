@@ -1,0 +1,99 @@
+//! Memory regression gate for store-backed time travel: scrubbing a
+//! long recording must NOT cost what the naive full-snapshot replay
+//! path costs (one decoded `ProgramState` per pause, forever resident).
+//! The trace store keeps compressed deltas plus a bounded decoded-
+//! segment cache, and reports its footprint through the
+//! `replay.resident_bytes` gauge — this test pins that gauge to a
+//! fraction of the naive cost so a cache or encoding regression fails
+//! loudly instead of quietly re-growing O(pauses) memory.
+
+use easytracker::{MiTracker, Recording, ReplayTracker, Tracker};
+
+/// A loop long enough that full snapshots measurably dominate: ~8k
+/// pauses of a two-variable frame.
+const PROG: &str = "\
+int main() {
+    int i = 0;
+    int s = 0;
+    while (i < 2000) {
+        s = s + i;
+        i = i + 1;
+    }
+    return 0;
+}
+";
+
+fn capture() -> Recording {
+    let mut live = MiTracker::load_c("loop.c", PROG).unwrap();
+    let rec = Recording::capture(&mut live).unwrap();
+    live.terminate();
+    rec
+}
+
+#[test]
+fn resident_bytes_stay_a_fraction_of_full_snapshots() {
+    let recording = capture();
+    assert!(
+        recording.len() > 4_000,
+        "workload too short to measure ({} pauses)",
+        recording.len()
+    );
+    // The naive replay path this store replaced: every pause's state
+    // decoded and resident at once.
+    let naive: u64 = recording
+        .steps
+        .iter()
+        .map(|s| serde_json::to_vec(&s.state).unwrap().len() as u64)
+        .sum();
+
+    let registry = obs::Registry::new();
+    let mut t = ReplayTracker::with_registry(recording, registry.clone());
+    t.start().unwrap();
+    // Scrub all over the timeline — worst case for the segment cache.
+    let n = t.recorded_pauses();
+    for k in 0..64 {
+        t.seek(k * 997 % n).unwrap();
+    }
+    let resident = registry.snapshot().gauge("replay.resident_bytes");
+    assert!(resident > 0, "gauge never set");
+    assert!(
+        resident < naive / 2,
+        "store-backed replay resident {resident}B is not below half the \
+         naive full-snapshot cost {naive}B"
+    );
+}
+
+#[test]
+fn many_readers_share_one_store() {
+    let recording = capture();
+    let shared = ReplayTracker::new(recording);
+    let store = shared.store().clone();
+    let n = store.len();
+
+    // Four readers scrub the same recording to different places; each
+    // keeps its own position and cache, none copies the store.
+    let mut readers: Vec<ReplayTracker> = (0..4)
+        .map(|_| ReplayTracker::from_store(store.clone()))
+        .collect();
+    for (k, r) in readers.iter_mut().enumerate() {
+        r.start().unwrap();
+        r.seek(n * (k as u64 + 1) / 5).unwrap();
+    }
+    let lines: Vec<u32> = readers
+        .iter_mut()
+        .map(|r| r.current_line().unwrap())
+        .collect();
+    // Positions are independent…
+    assert!(
+        lines.windows(2).any(|w| w[0] != w[1]),
+        "readers collapsed to one position: {lines:?}"
+    );
+    // …and every reader answers identically where timelines coincide.
+    for r in &mut readers {
+        r.seek(7).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r.get_state().unwrap()).unwrap(),
+            serde_json::to_string(&store.state_at(7).unwrap()).unwrap(),
+        );
+    }
+}
